@@ -1,0 +1,324 @@
+//! The gold standard: a constraint-exact expert oracle.
+//!
+//! The paper's gold standards are handcrafted by academic advisors /
+//! travel agents and act as the score ceiling (10 for Univ-1, 15 for
+//! Univ-2, popularity 5 for trips). We simulate the expert with search:
+//!
+//! * **Courses** — backtracking over one interleaving template at a time:
+//!   fill each slot with an item of the required kind whose antecedents
+//!   are already scheduled at the required gap. A completed assignment
+//!   realizes the template exactly, so it scores `H` — the paper's gold
+//!   score.
+//! * **Trips** — beam search maximizing mean POI popularity under full
+//!   trip validity (time budget, distance threshold, theme gap,
+//!   antecedents).
+
+use tpp_core::score_plan;
+use tpp_geo::haversine_km;
+use tpp_model::{InterleavingTemplate, ItemId, ItemKind, Plan, PlanningInstance};
+
+/// Produces an expert (gold-standard) plan; `start` pins the first item
+/// when given. Returns the best plan found (courses: the first exact
+/// template realization; trips: the highest-popularity valid itinerary).
+pub fn gold_plan(instance: &PlanningInstance, start: Option<ItemId>) -> Plan {
+    if instance.is_trip() {
+        gold_trip(instance, start)
+    } else {
+        gold_course(instance, start)
+    }
+}
+
+fn gold_course(instance: &PlanningInstance, start: Option<ItemId>) -> Plan {
+    let templates = instance.soft.templates.templates();
+    for template in templates {
+        if let Some(plan) = fill_template(instance, template, start) {
+            return plan;
+        }
+    }
+    // No exact realization (or no templates): fall back to a greedy valid
+    // plan so callers always get *something* to compare against.
+    Plan::from_items(
+        instance
+            .catalog
+            .ids()
+            .take(instance.horizon())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Backtracking slot-filling with a node budget.
+fn fill_template(
+    instance: &PlanningInstance,
+    template: &InterleavingTemplate,
+    start: Option<ItemId>,
+) -> Option<Plan> {
+    let slots = template.slots();
+    let h = slots.len().min(instance.horizon());
+    let catalog = &instance.catalog;
+    let gap = instance.hard.gap;
+
+    // Candidate pools per kind; cores that are prerequisites of other
+    // cores come first so chains get scheduled early.
+    let pool_of = |kind: ItemKind| -> Vec<ItemId> {
+        let mut pool: Vec<ItemId> = catalog
+            .items_of_kind(kind)
+            .map(|i| i.id)
+            .collect();
+        let prereq_degree = |id: ItemId| -> usize {
+            catalog
+                .items()
+                .iter()
+                .filter(|it| it.prereq.referenced_items().contains(&id))
+                .count()
+        };
+        pool.sort_by_key(|&id| std::cmp::Reverse(prereq_degree(id)));
+        pool
+    };
+    let primaries = pool_of(ItemKind::Primary);
+    let secondaries = pool_of(ItemKind::Secondary);
+
+    struct Search<'a> {
+        instance: &'a PlanningInstance,
+        slots: &'a [ItemKind],
+        h: usize,
+        gap: usize,
+        primaries: &'a [ItemId],
+        secondaries: &'a [ItemId],
+        chosen: Vec<ItemId>,
+        positions: Vec<Option<usize>>,
+        nodes: usize,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self) -> bool {
+            if self.chosen.len() == self.h {
+                return true;
+            }
+            self.nodes += 1;
+            if self.nodes > 200_000 {
+                return false; // budget blown; caller tries the next template
+            }
+            let k = self.chosen.len();
+            let kind = self.slots[k];
+            let pool: Vec<ItemId> = if kind.is_primary() {
+                self.primaries.to_vec()
+            } else {
+                self.secondaries.to_vec()
+            };
+            for id in pool {
+                if self.positions[id.index()].is_some() {
+                    continue;
+                }
+                let item = self.instance.catalog.item(id);
+                let positions = &self.positions;
+                let pos_of = |p: ItemId| positions[p.index()];
+                if !item.prereq.satisfied_with_gap(&pos_of, k, self.gap) {
+                    continue;
+                }
+                self.positions[id.index()] = Some(k);
+                self.chosen.push(id);
+                if self.dfs() {
+                    return true;
+                }
+                self.chosen.pop();
+                self.positions[id.index()] = None;
+            }
+            false
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        slots: &slots[..h],
+        h,
+        gap,
+        primaries: &primaries,
+        secondaries: &secondaries,
+        chosen: Vec::with_capacity(h),
+        positions: vec![None; catalog.len()],
+        nodes: 0,
+    };
+    if let Some(s) = start {
+        let item = catalog.item(s);
+        if item.kind != slots[0] || !item.prereq.is_none() {
+            return None; // this template cannot host the pinned start
+        }
+        search.positions[s.index()] = Some(0);
+        search.chosen.push(s);
+    }
+    if search.dfs() {
+        Some(Plan::from_items(search.chosen))
+    } else {
+        None
+    }
+}
+
+fn gold_trip(instance: &PlanningInstance, start: Option<ItemId>) -> Plan {
+    let catalog = &instance.catalog;
+    let trip = instance.trip.as_ref().expect("trip instance");
+    let h = instance.horizon();
+
+    #[derive(Clone)]
+    struct Cand {
+        items: Vec<ItemId>,
+        hours: f64,
+        dist: f64,
+        pop_sum: f64,
+    }
+
+    let pop = |id: ItemId| catalog.item(id).poi.expect("poi attrs").popularity;
+    let leg = |a: ItemId, b: ItemId| {
+        let pa = catalog.item(a).poi.expect("poi attrs");
+        let pb = catalog.item(b).poi.expect("poi attrs");
+        haversine_km(pa.lat, pa.lon, pb.lat, pb.lon)
+    };
+
+    let starts: Vec<ItemId> = match start {
+        Some(s) => vec![s],
+        None => catalog
+            .items()
+            .iter()
+            .filter(|i| i.is_primary())
+            .map(|i| i.id)
+            .collect(),
+    };
+    let mut beam: Vec<Cand> = starts
+        .into_iter()
+        .filter(|&s| catalog.item(s).credits <= instance.hard.credits + 1e-9)
+        .map(|s| Cand {
+            items: vec![s],
+            hours: catalog.item(s).credits,
+            dist: 0.0,
+            pop_sum: pop(s),
+        })
+        .collect();
+    // The expert hands over a real itinerary, not a lone 5.0 POI: any
+    // candidate with at least 3 stops beats any shorter one; within that,
+    // mean popularity decides, and longer wins popularity ties.
+    let mut best: Option<Plan> = None;
+    let mut best_key = (0usize, f64::NEG_INFINITY, 0usize);
+
+    const WIDTH: usize = 48;
+    while !beam.is_empty() {
+        let mut next: Vec<Cand> = Vec::new();
+        for cand in &beam {
+            let plan = Plan::from_items(cand.items.clone());
+            let s = score_plan(instance, &plan);
+            let key = (cand.items.len().min(3), s, cand.items.len());
+            if s > 0.0 && key > best_key {
+                best_key = key;
+                best = Some(plan);
+            }
+            if cand.items.len() >= h {
+                continue;
+            }
+            let last = *cand.items.last().expect("non-empty");
+            for item in catalog.items() {
+                if cand.items.contains(&item.id) {
+                    continue;
+                }
+                if cand.hours + item.credits > instance.hard.credits + 1e-9 {
+                    continue;
+                }
+                let step = leg(last, item.id);
+                if let Some(max_km) = trip.max_distance_km {
+                    if cand.dist + step > max_km + 1e-9 {
+                        continue;
+                    }
+                }
+                if trip.no_consecutive_same_theme
+                    && catalog.item(last).topics.intersection_count(&item.topics) > 0
+                {
+                    continue;
+                }
+                let items = &cand.items;
+                let pos_of = |p: ItemId| items.iter().position(|&x| x == p);
+                if !item
+                    .prereq
+                    .satisfied_with_gap(&pos_of, items.len(), instance.hard.gap)
+                {
+                    continue;
+                }
+                let mut nitems = cand.items.clone();
+                nitems.push(item.id);
+                next.push(Cand {
+                    items: nitems,
+                    hours: cand.hours + item.credits,
+                    dist: cand.dist + step,
+                    pop_sum: cand.pop_sum + pop(item.id),
+                });
+            }
+        }
+        next.sort_by(|a, b| {
+            let ka = a.pop_sum / a.items.len() as f64 + 0.05 * a.items.len() as f64;
+            let kb = b.pop_sum / b.items.len() as f64 + 0.05 * b.items.len() as f64;
+            kb.partial_cmp(&ka).expect("finite")
+        });
+        next.truncate(WIDTH);
+        beam = next;
+    }
+    best.unwrap_or_else(|| {
+        Plan::from_items(
+            catalog
+                .items()
+                .iter()
+                .filter(|i| i.is_primary())
+                .take(1)
+                .map(|i| i.id)
+                .collect(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_core::plan_violations;
+    use tpp_datagen::defaults::{NYC_SEED, PARIS_SEED, UNIV1_SEED, UNIV2_SEED};
+
+    #[test]
+    fn gold_course_plans_are_perfect_univ1() {
+        for inst in [
+            tpp_datagen::univ1_ds_ct(UNIV1_SEED),
+            tpp_datagen::univ1_cyber(UNIV1_SEED),
+            tpp_datagen::univ1_cs(UNIV1_SEED),
+        ] {
+            let plan = gold_plan(&inst, None);
+            assert!(
+                plan_violations(&inst, &plan).is_empty(),
+                "{}: {:?}",
+                inst.catalog.name(),
+                plan_violations(&inst, &plan)
+            );
+            // Exact template realization ⇒ the paper's gold score of 10.
+            assert_eq!(score_plan(&inst, &plan), 10.0, "{}", inst.catalog.name());
+        }
+    }
+
+    #[test]
+    fn gold_course_plan_is_perfect_univ2() {
+        let inst = tpp_datagen::univ2_ds(UNIV2_SEED);
+        let plan = gold_plan(&inst, None);
+        assert_eq!(score_plan(&inst, &plan), 15.0);
+    }
+
+    #[test]
+    fn gold_with_pinned_start() {
+        let inst = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+        let start = inst.default_start.unwrap();
+        let plan = gold_plan(&inst, Some(start));
+        assert_eq!(plan.items()[0], start);
+        assert_eq!(score_plan(&inst, &plan), 10.0);
+    }
+
+    #[test]
+    fn gold_trip_plans_are_popular_and_valid() {
+        for d in [tpp_datagen::nyc(NYC_SEED), tpp_datagen::paris(PARIS_SEED)] {
+            let plan = gold_plan(&d.instance, None);
+            assert!(plan_violations(&d.instance, &plan).is_empty());
+            let s = score_plan(&d.instance, &plan);
+            assert!(s >= 4.4, "{}: gold trip score {s}", d.instance.catalog.name());
+            assert!(plan.len() >= 3, "gold itinerary too short: {}", plan.len());
+        }
+    }
+}

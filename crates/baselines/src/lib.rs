@@ -1,0 +1,26 @@
+//! # tpp-baselines
+//!
+//! The three comparison points of the paper's evaluation (§IV-A2):
+//!
+//! * [`omega`] — the adapted **OMEGA** sequence recommender \[16\]:
+//!   topological ordering + greedy edge selection over a topic-coverage
+//!   matrix, wrapped in the paper's two-step gap-prefix + OMEGA-suffix
+//!   scheme. OMEGA is not constraint-aware, and (as the paper reports)
+//!   fails the hard constraints most of the time.
+//! * [`eda`] — the **EDA** next-step baseline \[17\]: at every step take
+//!   the action with the highest Eq. 2 reward, breaking ties uniformly at
+//!   random. Myopic: no policy, no look-ahead.
+//! * [`gold`] — the **gold standard**: a constraint-exact backtracking
+//!   search standing in for the paper's human experts; it produces the
+//!   perfect-score plans (10 / 15 / popularity-5) the paper uses as its
+//!   ceiling.
+
+#![warn(missing_docs)]
+
+pub mod eda;
+pub mod gold;
+pub mod omega;
+
+pub use eda::eda_plan;
+pub use gold::gold_plan;
+pub use omega::{omega_plan, OmegaConfig};

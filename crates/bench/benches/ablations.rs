@@ -1,0 +1,120 @@
+//! Ablations of the design choices DESIGN.md calls out. Each group
+//! benches the variants back to back so both the runtime cost and (via
+//! the printed score) the quality effect of the choice are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpp_bench::{bench_params, pinned};
+use tpp_core::{score_plan, PlannerParams, RlPlanner, SimAggregate};
+use tpp_datagen::defaults::*;
+use tpp_rl::env::ChainEnv;
+use tpp_rl::{EpsilonGreedy, QLearningAgent, SarsaAgent, SarsaConfig, Schedule};
+
+fn learn_score(instance: &tpp_model::PlanningInstance, params: &PlannerParams) -> f64 {
+    let start = instance.default_start.unwrap();
+    let (policy, _) = RlPlanner::learn(instance, params, 0);
+    score_plan(
+        instance,
+        &RlPlanner::recommend(&policy, instance, params, start),
+    )
+}
+
+/// AvgSim vs MinSim aggregation in the reward (the paper runs both).
+fn ablation_sim_aggregate(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let base = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let mut group = c.benchmark_group("ablation_sim_aggregate");
+    group.sample_size(10);
+    for (name, sim) in [("avg", SimAggregate::Average), ("min", SimAggregate::Minimum)] {
+        let params = base.clone().with_sim(sim);
+        group.bench_function(name, |b| b.iter(|| learn_score(&instance, &params)));
+    }
+    group.finish();
+}
+
+/// SARSA vs Q-learning on the generic substrate (the paper argues for
+/// on-policy SARSA).
+fn ablation_sarsa_vs_q(c: &mut Criterion) {
+    let config = SarsaConfig {
+        alpha: Schedule::Constant(0.5),
+        gamma: 0.9,
+        episodes: 300,
+    };
+    let mut group = c.benchmark_group("ablation_sarsa_vs_q");
+    group.sample_size(10);
+    group.bench_function("sarsa", |b| {
+        b.iter(|| {
+            let mut env = ChainEnv::new(12, 11);
+            let mut agent = SarsaAgent::new(&env, config);
+            let mut rng = StdRng::seed_from_u64(1);
+            agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0)
+        })
+    });
+    group.bench_function("qlearning", |b| {
+        b.iter(|| {
+            let mut env = ChainEnv::new(12, 11);
+            let mut agent = QLearningAgent::new(&env, config);
+            let mut rng = StdRng::seed_from_u64(1);
+            agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0)
+        })
+    });
+    group.finish();
+}
+
+/// The θ = r1·r2 gate vs an ungated reward (ε = 0 disables the coverage
+/// gate; Theorem 1 rests on the gate).
+fn ablation_gate(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let mut group = c.benchmark_group("ablation_gate");
+    group.sample_size(10);
+    let gated = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let mut ungated = gated.clone();
+    ungated.epsilon = 0.0; // coverage gate always passes
+    group.bench_function("gated_default_eps", |b| {
+        b.iter(|| learn_score(&instance, &gated))
+    });
+    group.bench_function("coverage_gate_off", |b| {
+        b.iter(|| learn_score(&instance, &ungated))
+    });
+    group.finish();
+}
+
+/// Exploration schedule: decaying ε-greedy vs pure reward-greedy
+/// (Algorithm 1's literal rollout).
+fn ablation_exploration(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let mut group = c.benchmark_group("ablation_exploration");
+    group.sample_size(10);
+    let decaying = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let mut greedy_only = decaying.clone();
+    greedy_only.exploration = Schedule::Constant(0.0);
+    group.bench_function("decaying_eps", |b| b.iter(|| learn_score(&instance, &decaying)));
+    group.bench_function("reward_greedy_only", |b| {
+        b.iter(|| learn_score(&instance, &greedy_only))
+    });
+    group.finish();
+}
+
+/// Eligibility traces: λ = 0.9 (default) vs plain one-step SARSA (λ = 0).
+fn ablation_traces(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_cyber(UNIV1_SEED);
+    let mut group = c.benchmark_group("ablation_traces");
+    group.sample_size(10);
+    let with_traces = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let mut one_step = with_traces.clone();
+    one_step.lambda = 0.0;
+    group.bench_function("lambda_0_9", |b| b.iter(|| learn_score(&instance, &with_traces)));
+    group.bench_function("lambda_0", |b| b.iter(|| learn_score(&instance, &one_step)));
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_sim_aggregate,
+    ablation_sarsa_vs_q,
+    ablation_gate,
+    ablation_exploration,
+    ablation_traces
+);
+criterion_main!(ablations);

@@ -1,0 +1,90 @@
+//! Figure benches: Fig. 1's per-method critical paths and Fig. 2's
+//! learning-time scaling in N (the bench ids encode the episode count so
+//! the linearity claim can be read off the Criterion report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpp_baselines::{eda_plan, gold_plan, omega_plan, OmegaConfig};
+use tpp_bench::{bench_params, pinned};
+use tpp_core::{score_plan, PlannerParams, RlPlanner};
+use tpp_datagen::defaults::*;
+
+fn bench_fig1_course(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let params = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let start = instance.default_start.unwrap();
+    let mut group = c.benchmark_group("fig1_course");
+    group.sample_size(10);
+    group.bench_function("rl_planner", |b| {
+        b.iter(|| {
+            let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+            score_plan(
+                &instance,
+                &RlPlanner::recommend(&policy, &instance, &params, start),
+            )
+        })
+    });
+    group.bench_function("eda", |b| {
+        b.iter(|| score_plan(&instance, &eda_plan(&instance, &params, start, 0)))
+    });
+    group.bench_function("omega", |b| {
+        b.iter(|| {
+            score_plan(
+                &instance,
+                &omega_plan(&instance, &OmegaConfig::paper_adaptation(instance.horizon()), None),
+            )
+        })
+    });
+    group.bench_function("gold", |b| {
+        b.iter(|| score_plan(&instance, &gold_plan(&instance, Some(start))))
+    });
+    group.finish();
+}
+
+fn bench_fig1_trip(c: &mut Criterion) {
+    let d = tpp_datagen::nyc(NYC_SEED);
+    let instance = &d.instance;
+    let params = pinned(bench_params(PlannerParams::trip_defaults(), 100), instance);
+    let start = instance.default_start.unwrap();
+    let mut group = c.benchmark_group("fig1_trip");
+    group.sample_size(10);
+    group.bench_function("rl_planner", |b| {
+        b.iter(|| {
+            let (policy, _) = RlPlanner::learn(instance, &params, 0);
+            score_plan(
+                instance,
+                &RlPlanner::recommend(&policy, instance, &params, start),
+            )
+        })
+    });
+    group.bench_function("eda", |b| {
+        b.iter(|| score_plan(instance, &eda_plan(instance, &params, start, 0)))
+    });
+    group.bench_function("gold", |b| {
+        b.iter(|| score_plan(instance, &gold_plan(instance, Some(start))))
+    });
+    group.finish();
+}
+
+fn bench_fig2_scalability(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let mut group = c.benchmark_group("fig2_scalability");
+    group.sample_size(10);
+    for n in [100usize, 200, 300, 500, 1000] {
+        let params = pinned(bench_params(PlannerParams::univ1_defaults(), n), &instance);
+        group.bench_with_input(BenchmarkId::new("learn", n), &n, |b, _| {
+            b.iter(|| RlPlanner::learn(&instance, &params, 0))
+        });
+    }
+    // Recommendation time is independent of N: one bench with a trained
+    // policy (Fig. 2 b/d's flat line).
+    let params = pinned(bench_params(PlannerParams::univ1_defaults(), 500), &instance);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+    let start = instance.default_start.unwrap();
+    group.bench_function("recommend", |b| {
+        b.iter(|| RlPlanner::recommend(&policy, &instance, &params, start))
+    });
+    group.finish();
+}
+
+criterion_group!(figures, bench_fig1_course, bench_fig1_trip, bench_fig2_scalability);
+criterion_main!(figures);

@@ -1,0 +1,132 @@
+//! Micro-benches on the hot kernels: topic bitsets (vs a naive
+//! `Vec<bool>` reference), the Eq. 6 similarity kernel, Q-table row
+//! scans, the full Eq. 2 reward, and haversine distance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tpp_core::{InterleavingKernel, PlannerParams, RewardModel, SimAggregate};
+use tpp_datagen::defaults::UNIV1_SEED;
+use tpp_model::{ItemId, ItemKind, TemplateSet, TopicId, TopicVector};
+use tpp_rl::QTable;
+
+/// The naive baseline the bitset replaces (DESIGN.md `ablation_bitset`).
+fn naive_novel_coverage(m: &[bool], ideal: &[bool], current: &[bool]) -> u32 {
+    m.iter()
+        .zip(ideal)
+        .zip(current)
+        .filter(|((m, i), c)| **m && **i && !**c)
+        .count() as u32
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let n = 100usize;
+    let mk = |step: usize| -> TopicVector {
+        TopicVector::from_topics(n, (0..n).step_by(step).map(TopicId::from))
+    };
+    let m = mk(3);
+    let ideal = mk(2);
+    let current = mk(5);
+    let mb: Vec<bool> = m.to_bits().iter().map(|&b| b == 1).collect();
+    let ib: Vec<bool> = ideal.to_bits().iter().map(|&b| b == 1).collect();
+    let cb: Vec<bool> = current.to_bits().iter().map(|&b| b == 1).collect();
+
+    let mut group = c.benchmark_group("ablation_bitset");
+    group.bench_function("bitset_novel_ideal_coverage", |b| {
+        b.iter(|| black_box(&m).novel_ideal_coverage(black_box(&ideal), black_box(&current)))
+    });
+    group.bench_function("vec_bool_novel_ideal_coverage", |b| {
+        b.iter(|| naive_novel_coverage(black_box(&mb), black_box(&ib), black_box(&cb)))
+    });
+    group.bench_function("bitset_union", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            x.union_with(black_box(&ideal));
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_similarity_kernel(c: &mut Criterion) {
+    let it = TemplateSet::paper_course_example();
+    let seq = [
+        ItemKind::Primary,
+        ItemKind::Secondary,
+        ItemKind::Primary,
+        ItemKind::Primary,
+        ItemKind::Secondary,
+        ItemKind::Secondary,
+    ];
+    let mut group = c.benchmark_group("similarity_kernel");
+    group.bench_function("avg_sim_len6", |b| {
+        b.iter(|| InterleavingKernel::aggregate(black_box(&seq), &it, SimAggregate::Average))
+    });
+    group.bench_function("best_sim_len6", |b| {
+        b.iter(|| InterleavingKernel::best(black_box(&seq), &it))
+    });
+    group.finish();
+}
+
+fn bench_qtable(c: &mut Criterion) {
+    let n = 128usize;
+    let mut q = QTable::square(n);
+    for i in 0..n {
+        for j in 0..n {
+            q.set(i, j, ((i * 31 + j * 17) % 97) as f64);
+        }
+    }
+    let allowed: Vec<usize> = (0..n).step_by(2).collect();
+    let mut group = c.benchmark_group("qtable");
+    group.bench_function("best_action_masked_row128", |b| {
+        b.iter(|| q.best_action(black_box(5), black_box(&allowed)))
+    });
+    group.bench_function("td_update", |b| {
+        b.iter(|| {
+            q.td_update(black_box(3), black_box(7), 0.75, black_box(1.25));
+            q.get(3, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_reward(c: &mut Criterion) {
+    let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+    let params = PlannerParams::univ1_defaults();
+    let model = RewardModel::new(
+        instance.soft.ideal_topics.clone(),
+        instance.soft.templates.clone(),
+        instance.hard.gap,
+        &params,
+        false,
+    );
+    let item = instance.catalog.by_code("CS 634").unwrap();
+    let seq = [ItemKind::Primary, ItemKind::Secondary, ItemKind::Primary];
+    let mut coverage = instance.catalog.vocabulary().zero_vector();
+    coverage.union_with(&instance.catalog.by_code("CS 675").unwrap().topics);
+    let pos = |id: ItemId| if id.0 < 3 { Some(id.0 as usize) } else { None };
+    c.bench_function("reward_eq2_full", |b| {
+        b.iter(|| model.reward(black_box(item), &seq, &coverage, &pos, None))
+    });
+}
+
+fn bench_haversine(c: &mut Criterion) {
+    c.bench_function("haversine_km", |b| {
+        b.iter(|| {
+            tpp_geo::haversine_km(
+                black_box(48.8584),
+                black_box(2.2945),
+                black_box(40.7128),
+                black_box(-74.0060),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_bitset,
+    bench_similarity_kernel,
+    bench_qtable,
+    bench_reward,
+    bench_haversine
+);
+criterion_main!(micro);

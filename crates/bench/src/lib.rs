@@ -1,0 +1,33 @@
+//! # tpp-bench
+//!
+//! Shared helpers for the Criterion benchmark suite. The benches live in
+//! `benches/`:
+//!
+//! * `tables.rs` — one group per paper table (IX–XVI plus the case
+//!   studies), each timing a representative cell of that experiment;
+//! * `figures.rs` — Fig. 1 comparisons and the Fig. 2 scalability curve;
+//! * `ablations.rs` — the design-choice ablations DESIGN.md calls out
+//!   (AvgSim vs MinSim, SARSA vs Q-learning, the θ gate, exploration,
+//!   λ traces);
+//! * `micro.rs` — hot-kernel micro-benches (bitsets, similarity, Q rows).
+
+#![warn(missing_docs)]
+
+use tpp_core::PlannerParams;
+use tpp_model::PlanningInstance;
+
+/// A cheap (low-episode) parameter set for benchmarking one learn cycle
+/// without waiting for the full 500-episode default.
+pub fn bench_params(base: PlannerParams, episodes: usize) -> PlannerParams {
+    let mut p = base;
+    p.episodes = episodes;
+    p
+}
+
+/// Pins the start item for a bench run.
+pub fn pinned(params: PlannerParams, instance: &PlanningInstance) -> PlannerParams {
+    match instance.default_start {
+        Some(s) => params.with_start(s),
+        None => params,
+    }
+}

@@ -1,0 +1,287 @@
+//! `rl-planner` — command-line driver for the RL-Planner reproduction.
+//!
+//! ```text
+//! rl-planner list
+//! rl-planner exp <id>|all [--csv DIR] [--md FILE]
+//! rl-planner plan --dataset <name> [--start CODE] [--seed N] [--episodes N] [--min-sim]
+//! rl-planner compare --dataset <name> [--runs N]
+//! rl-planner gold --dataset <name> [--start CODE]
+//! rl-planner train --dataset <name> --out policy.qpol [--seed N]
+//! rl-planner recommend --dataset <name> --policy policy.qpol [--start CODE]
+//! rl-planner datagen --dataset <name> --out dataset.json
+//! ```
+//!
+//! Datasets: `ds-ct`, `cyber`, `cs`, `univ2`, `nyc`, `paris`.
+
+use std::process::ExitCode;
+use tpp_core::{plan_violations, score_plan, PlannerParams, RlPlanner};
+use tpp_model::PlanningInstance;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rl-planner list
+  rl-planner exp <id>|all [--csv DIR] [--md FILE]
+  rl-planner plan --dataset <name> [--start CODE] [--seed N] [--episodes N] [--min-sim]
+  rl-planner compare --dataset <name> [--runs N]
+  rl-planner gold --dataset <name> [--start CODE]
+  rl-planner train --dataset <name> --out policy.qpol [--seed N]
+  rl-planner recommend --dataset <name> --policy policy.qpol [--start CODE]
+  rl-planner datagen --dataset <name> --out dataset.json
+datasets: ds-ct cyber cs univ2 nyc paris";
+
+/// A tiny flag parser: `--key value` pairs plus boolean switches.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(key) = a.strip_prefix("--") {
+                if matches!(key, "min-sim") {
+                    switches.push(key);
+                    i += 1;
+                } else {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    pairs.push((key, v.as_str()));
+                    i += 2;
+                }
+            } else {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.contains(&key)
+    }
+}
+
+fn dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
+    use tpp_datagen::defaults::*;
+    let (instance, params) = match name {
+        "ds-ct" => (tpp_datagen::univ1_ds_ct(UNIV1_SEED), PlannerParams::univ1_defaults()),
+        "cyber" => (tpp_datagen::univ1_cyber(UNIV1_SEED), PlannerParams::univ1_defaults()),
+        "cs" => (tpp_datagen::univ1_cs(UNIV1_SEED), PlannerParams::univ1_defaults()),
+        "univ2" => (tpp_datagen::univ2_ds(UNIV2_SEED), PlannerParams::univ2_defaults()),
+        "nyc" => (tpp_datagen::nyc(NYC_SEED).instance, PlannerParams::trip_defaults()),
+        "paris" => (tpp_datagen::paris(PARIS_SEED).instance, PlannerParams::trip_defaults()),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    Ok((instance, params))
+}
+
+fn resolve_start(
+    instance: &PlanningInstance,
+    flag: Option<&str>,
+) -> Result<tpp_model::ItemId, String> {
+    match flag {
+        Some(code) => instance
+            .catalog
+            .by_code(code)
+            .map(|i| i.id)
+            .ok_or_else(|| format!("unknown item code {code:?}")),
+        None => instance
+            .default_start
+            .ok_or_else(|| "dataset has no default start; pass --start".to_owned()),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no subcommand".into());
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("experiments:");
+            for e in tpp_eval::all_experiments() {
+                println!("  {}", e.as_str());
+            }
+            println!("datasets: ds-ct cyber cs univ2 nyc paris");
+            Ok(())
+        }
+        "exp" => {
+            let id = args.get(1).ok_or("exp needs an experiment id or 'all'")?;
+            let flags = Flags::parse(&args[2..])?;
+            let csv_dir = flags.get("csv");
+            let md_path = flags.get("md");
+            let ids: Vec<String> = if id == "all" {
+                tpp_eval::all_experiments()
+                    .map(|e| e.as_str().to_owned())
+                    .collect()
+            } else {
+                vec![id.clone()]
+            };
+            let mut reports = Vec::with_capacity(ids.len());
+            for id in ids {
+                let report = tpp_eval::run_experiment(&id)
+                    .ok_or_else(|| format!("unknown experiment {id:?}"))?;
+                println!("{}", report.render_ascii());
+                if let Some(dir) = csv_dir {
+                    report.write_csvs(dir).map_err(|e| e.to_string())?;
+                    println!("(csv written to {dir})");
+                }
+                reports.push(report);
+            }
+            if let Some(path) = md_path {
+                tpp_eval::write_markdown_bundle(path, "RL-Planner experiments", &reports)
+                    .map_err(|e| e.to_string())?;
+                println!("(markdown bundle written to {path})");
+            }
+            Ok(())
+        }
+        "plan" => {
+            let flags = Flags::parse(&args[1..])?;
+            let (instance, mut params) = dataset(flags.required("dataset")?)?;
+            if let Some(n) = flags.get("episodes") {
+                params.episodes = n.parse().map_err(|_| "bad --episodes")?;
+            }
+            if flags.has("min-sim") {
+                params.sim = tpp_core::SimAggregate::Minimum;
+            }
+            let seed: u64 = flags.get("seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+            let start = resolve_start(&instance, flags.get("start"))?;
+            let params = params.with_start(start);
+            let (policy, stats) = RlPlanner::learn(&instance, &params, seed);
+            let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+            println!("plan:  {}", plan.render(&instance.catalog));
+            println!("score: {}", score_plan(&instance, &plan));
+            let violations = plan_violations(&instance, &plan);
+            if violations.is_empty() {
+                println!("all hard constraints satisfied");
+            } else {
+                for v in violations {
+                    println!("violation: {v}");
+                }
+            }
+            println!(
+                "training: {} episodes, mean return {:.3}",
+                stats.episodes(),
+                stats.mean_return()
+            );
+            Ok(())
+        }
+        "compare" => {
+            let flags = Flags::parse(&args[1..])?;
+            let name = flags.required("dataset")?;
+            let (instance, params) = dataset(name)?;
+            let runs: u64 = flags.get("runs").unwrap_or("5").parse().map_err(|_| "bad --runs")?;
+            let start = resolve_start(&instance, flags.get("start"))?;
+            let params = params.with_start(start);
+            let avg = |f: &dyn Fn(u64) -> f64| -> f64 {
+                (0..runs).map(f).sum::<f64>() / runs as f64
+            };
+            let rl = avg(&|seed| {
+                let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+                score_plan(&instance, &RlPlanner::recommend(&policy, &instance, &params, start))
+            });
+            let eda = avg(&|seed| {
+                score_plan(
+                    &instance,
+                    &tpp_baselines::eda_plan(&instance, &params, start, seed),
+                )
+            });
+            let omega = score_plan(
+                &instance,
+                &tpp_baselines::omega_plan(
+                    &instance,
+                    &tpp_baselines::OmegaConfig::paper_adaptation(instance.horizon()),
+                    None,
+                ),
+            );
+            let gold = score_plan(&instance, &tpp_baselines::gold_plan(&instance, Some(start)));
+            println!("{name} ({} runs averaged):", runs);
+            println!("  RL-Planner  {rl:.2}");
+            println!("  EDA         {eda:.2}");
+            println!("  OMEGA       {omega:.2}");
+            println!("  Gold        {gold:.2}");
+            Ok(())
+        }
+        "gold" => {
+            let flags = Flags::parse(&args[1..])?;
+            let (instance, _) = dataset(flags.required("dataset")?)?;
+            let start = flags
+                .get("start")
+                .map(|code| resolve_start(&instance, Some(code)))
+                .transpose()?;
+            let plan = tpp_baselines::gold_plan(&instance, start);
+            println!("gold plan: {}", plan.render(&instance.catalog));
+            println!("score:     {}", score_plan(&instance, &plan));
+            Ok(())
+        }
+        "train" => {
+            let flags = Flags::parse(&args[1..])?;
+            let (instance, params) = dataset(flags.required("dataset")?)?;
+            let out = flags.required("out")?;
+            let seed: u64 = flags.get("seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+            let start = resolve_start(&instance, flags.get("start"))?;
+            let (policy, stats) = RlPlanner::learn(&instance, &params.with_start(start), seed);
+            tpp_store::save_qtable(out, &policy.q).map_err(|e| e.to_string())?;
+            println!(
+                "trained {} episodes on {}; policy saved to {out}",
+                stats.episodes(),
+                instance.catalog.name()
+            );
+            Ok(())
+        }
+        "recommend" => {
+            let flags = Flags::parse(&args[1..])?;
+            let (instance, params) = dataset(flags.required("dataset")?)?;
+            let q = tpp_store::load_qtable(flags.required("policy")?).map_err(|e| e.to_string())?;
+            if q.n_states() != instance.catalog.len() {
+                return Err(format!(
+                    "policy has {} states, dataset has {} items",
+                    q.n_states(),
+                    instance.catalog.len()
+                ));
+            }
+            let start = resolve_start(&instance, flags.get("start"))?;
+            let plan = RlPlanner::recommend_with_q(&q, &instance, &params.with_start(start), start);
+            println!("plan:  {}", plan.render(&instance.catalog));
+            println!("score: {}", score_plan(&instance, &plan));
+            Ok(())
+        }
+        "datagen" => {
+            let flags = Flags::parse(&args[1..])?;
+            let (instance, _) = dataset(flags.required("dataset")?)?;
+            let out = flags.required("out")?;
+            tpp_store::save_json(out, &instance).map_err(|e| e.to_string())?;
+            println!(
+                "{} ({} items, {} topics) written to {out}",
+                instance.catalog.name(),
+                instance.catalog.len(),
+                instance.catalog.vocabulary().len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI smoke tests: drive the `rl-planner` binary end to end.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rl-planner"))
+}
+
+#[test]
+fn list_prints_experiments_and_datasets() {
+    let out = bin().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in ["fig1", "table9", "table16", "fig2"] {
+        assert!(stdout.contains(id), "missing {id} in: {stdout}");
+    }
+    assert!(stdout.contains("ds-ct"));
+}
+
+#[test]
+fn plan_subcommand_produces_a_plan() {
+    let out = bin()
+        .args(["plan", "--dataset", "ds-ct", "--episodes", "60", "--seed", "1"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("plan:"), "{stdout}");
+    assert!(stdout.contains("score:"), "{stdout}");
+    assert!(stdout.contains("CS 675"), "starts from the default start: {stdout}");
+}
+
+#[test]
+fn train_then_recommend_via_policy_file() {
+    let dir = std::env::temp_dir().join(format!("rl-planner-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy = dir.join("p.qpol");
+    let out = bin()
+        .args(["train", "--dataset", "nyc", "--out", policy.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(policy.exists());
+
+    let out = bin()
+        .args([
+            "recommend",
+            "--dataset",
+            "nyc",
+            "--policy",
+            policy.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("score:"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn datagen_writes_dataset_json() {
+    let dir = std::env::temp_dir().join(format!("rl-planner-cli-dg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("univ2.json");
+    let out = bin()
+        .args(["datagen", "--dataset", "univ2", "--out", file.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let data = std::fs::read_to_string(&file).unwrap();
+    assert!(data.contains("STATS 263"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_arguments_fail_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = bin().args(["plan", "--dataset", "nope"]).output().expect("spawn");
+    assert!(!out.status.success());
+
+    let out = bin().args(["exp", "table99"]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn gold_subcommand_prints_perfect_course_plan() {
+    let out = bin().args(["gold", "--dataset", "ds-ct"]).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("score:     10"), "{stdout}");
+}
+
+#[test]
+fn compare_subcommand_lists_all_methods() {
+    let out = bin()
+        .args(["compare", "--dataset", "univ2", "--runs", "2"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for m in ["RL-Planner", "EDA", "OMEGA", "Gold"] {
+        assert!(stdout.contains(m), "missing {m}: {stdout}");
+    }
+}

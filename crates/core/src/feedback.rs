@@ -1,0 +1,275 @@
+//! Feedback-adaptive planning — the paper's §VI future work, implemented.
+//!
+//! *"Feedback could come as binary values (useful item / not useful),
+//! categorical rating (e.g., on a scale of 1 – 5), or as a probability
+//! distribution. This will allow us to create a loop that accounts for
+//! effectiveness and incorporate that in future design choices."*
+//!
+//! The loop is tabular, like the planner it adapts: each observation is
+//! reduced to a **utility** in `[-1, 1]`; applying the feedback shifts
+//! the learned Q mass toward (or away from) the rated item, and items
+//! whose cumulative utility falls below a threshold are excluded from
+//! subsequent recommendations outright.
+
+use crate::params::PlannerParams;
+use crate::planner::{LearnedPolicy, RlPlanner};
+use tpp_model::{ItemId, Plan, PlanningInstance};
+
+/// One piece of user feedback about a recommended item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// Useful / not useful.
+    Binary(bool),
+    /// A 1–5 rating.
+    Rating(u8),
+    /// A probability distribution over the 1–5 rating levels
+    /// (re-normalized if it does not sum to 1).
+    Distribution([f64; 5]),
+}
+
+impl Feedback {
+    /// Reduces the feedback to a utility in `[-1, 1]`
+    /// (3 stars ≙ neutral 0).
+    pub fn utility(&self) -> f64 {
+        match self {
+            Feedback::Binary(true) => 1.0,
+            Feedback::Binary(false) => -1.0,
+            Feedback::Rating(r) => {
+                let r = f64::from((*r).clamp(1, 5));
+                (r - 3.0) / 2.0
+            }
+            Feedback::Distribution(p) => {
+                let total: f64 = p.iter().sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let mean: f64 = p
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &pi)| (i as f64 + 1.0) * pi / total)
+                    .sum();
+                (mean - 3.0) / 2.0
+            }
+        }
+    }
+}
+
+/// Configuration of the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackConfig {
+    /// Q-shift per unit utility, as a fraction of the table's magnitude.
+    pub learning_rate: f64,
+    /// Cumulative utility at or below which an item is excluded from
+    /// future recommendations.
+    pub exclude_threshold: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            learning_rate: 0.25,
+            exclude_threshold: -1.0,
+        }
+    }
+}
+
+/// The adaptive planning loop: wraps a learned policy and folds user
+/// feedback into it between recommendations.
+#[derive(Debug, Clone)]
+pub struct FeedbackLoop {
+    policy: LearnedPolicy,
+    config: FeedbackConfig,
+    /// Cumulative utility per item.
+    utilities: Vec<f64>,
+    /// Items currently excluded.
+    banned: Vec<ItemId>,
+}
+
+impl FeedbackLoop {
+    /// Starts a loop around a learned policy for a catalog of `n` items.
+    pub fn new(policy: LearnedPolicy, n_items: usize, config: FeedbackConfig) -> Self {
+        assert_eq!(
+            policy.q.n_states(),
+            n_items,
+            "policy shape must match the catalog"
+        );
+        FeedbackLoop {
+            policy,
+            config,
+            utilities: vec![0.0; n_items],
+            banned: Vec::new(),
+        }
+    }
+
+    /// Records feedback about `item` and folds it into the policy:
+    /// every Q entry *toward* the item shifts by
+    /// `learning_rate · utility · scale`, and the item is banned once its
+    /// cumulative utility reaches the exclusion threshold.
+    pub fn observe(&mut self, item: ItemId, feedback: &Feedback) {
+        let idx = item.index();
+        assert!(idx < self.utilities.len(), "item out of range");
+        let u = feedback.utility();
+        self.utilities[idx] += u;
+        let scale = self.policy.q.max_abs().max(1.0);
+        let shift = self.config.learning_rate * u * scale;
+        for s in 0..self.policy.q.n_states() {
+            if s != idx {
+                let v = self.policy.q.get(s, idx);
+                self.policy.q.set(s, idx, v + shift);
+            }
+        }
+        if self.utilities[idx] <= self.config.exclude_threshold && !self.banned.contains(&item) {
+            self.banned.push(item);
+        }
+    }
+
+    /// Cumulative utility of an item.
+    pub fn utility_of(&self, item: ItemId) -> f64 {
+        self.utilities.get(item.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Items currently excluded from recommendations.
+    pub fn banned(&self) -> &[ItemId] {
+        &self.banned
+    }
+
+    /// The adapted policy.
+    pub fn policy(&self) -> &LearnedPolicy {
+        &self.policy
+    }
+
+    /// Recommends a plan under the adapted policy, honouring exclusions.
+    pub fn replan(
+        &self,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+    ) -> Plan {
+        RlPlanner::recommend_with_exclusions(
+            &self.policy.q,
+            instance,
+            params,
+            start,
+            &self.banned,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_datagen::defaults::UNIV1_SEED;
+
+    fn setup() -> (PlanningInstance, PlannerParams, LearnedPolicy, ItemId) {
+        let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+        let start = instance.default_start.unwrap();
+        let params = PlannerParams::univ1_defaults().with_start(start);
+        let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+        (instance, params, policy, start)
+    }
+
+    #[test]
+    fn utilities_map_to_expected_range() {
+        assert_eq!(Feedback::Binary(true).utility(), 1.0);
+        assert_eq!(Feedback::Binary(false).utility(), -1.0);
+        assert_eq!(Feedback::Rating(3).utility(), 0.0);
+        assert_eq!(Feedback::Rating(5).utility(), 1.0);
+        assert_eq!(Feedback::Rating(1).utility(), -1.0);
+        // Out-of-range ratings clamp.
+        assert_eq!(Feedback::Rating(9).utility(), 1.0);
+        assert_eq!(Feedback::Rating(0).utility(), -1.0);
+    }
+
+    #[test]
+    fn distribution_utility_is_mean_based() {
+        // All mass on 5 → +1; uniform → 0; all on 1 → −1.
+        assert_eq!(Feedback::Distribution([0.0, 0.0, 0.0, 0.0, 1.0]).utility(), 1.0);
+        let u = Feedback::Distribution([0.2; 5]).utility();
+        assert!(u.abs() < 1e-12, "{u}");
+        assert_eq!(Feedback::Distribution([1.0, 0.0, 0.0, 0.0, 0.0]).utility(), -1.0);
+        // Unnormalized distributions are re-normalized.
+        let a = Feedback::Distribution([0.0, 0.0, 0.0, 0.0, 2.0]).utility();
+        assert_eq!(a, 1.0);
+        // Degenerate all-zero → neutral.
+        assert_eq!(Feedback::Distribution([0.0; 5]).utility(), 0.0);
+    }
+
+    #[test]
+    fn negative_feedback_excludes_item_from_replan() {
+        let (instance, params, policy, start) = setup();
+        let plan0 = RlPlanner::recommend(&policy, &instance, &params, start);
+        // Dislike the second recommended item strongly.
+        let disliked = plan0.items()[1];
+        let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+        lp.observe(disliked, &Feedback::Binary(false));
+        assert_eq!(lp.banned(), &[disliked]);
+        let plan1 = lp.replan(&instance, &params, start);
+        assert!(!plan1.contains(disliked), "banned item recommended again");
+        assert_eq!(plan1.len(), instance.horizon());
+    }
+
+    #[test]
+    fn mild_negative_feedback_does_not_ban() {
+        let (instance, params, policy, start) = setup();
+        let plan0 = RlPlanner::recommend(&policy, &instance, &params, start);
+        let item = plan0.items()[2];
+        let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+        lp.observe(item, &Feedback::Rating(2)); // utility −0.5 > −1.0
+        assert!(lp.banned().is_empty());
+        assert_eq!(lp.utility_of(item), -0.5);
+        // Repeated mild negatives accumulate to a ban.
+        lp.observe(item, &Feedback::Rating(2));
+        assert_eq!(lp.banned(), &[item]);
+    }
+
+    #[test]
+    fn positive_feedback_raises_q_toward_item() {
+        let (instance, _params, policy, _start) = setup();
+        let liked = instance.catalog.by_code("CS 634").unwrap().id;
+        let before: f64 = (0..policy.q.n_states())
+            .map(|s| policy.q.get(s, liked.index()))
+            .sum();
+        let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+        lp.observe(liked, &Feedback::Rating(5));
+        let after: f64 = (0..lp.policy().q.n_states())
+            .map(|s| lp.policy().q.get(s, liked.index()))
+            .sum();
+        assert!(after > before, "positive feedback must raise Q mass");
+    }
+
+    #[test]
+    fn replan_stays_valid_after_feedback() {
+        let (instance, params, policy, start) = setup();
+        let plan0 = RlPlanner::recommend(&policy, &instance, &params, start);
+        let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+        // Dislike two electives (never ban cores: a core ban can make the
+        // split infeasible, which is the advisor's call, not the loop's).
+        let electives: Vec<ItemId> = plan0
+            .items()
+            .iter()
+            .copied()
+            .filter(|&id| !instance.catalog.item(id).is_primary())
+            .take(2)
+            .collect();
+        for &e in &electives {
+            lp.observe(e, &Feedback::Binary(false));
+        }
+        let plan1 = lp.replan(&instance, &params, start);
+        for &e in &electives {
+            assert!(!plan1.contains(e));
+        }
+        // The replan still fills the horizon with distinct items.
+        assert_eq!(plan1.len(), instance.horizon());
+        let mut seen = std::collections::HashSet::new();
+        for &id in plan1.items() {
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "policy shape")]
+    fn shape_mismatch_panics() {
+        let (_, _, policy, _) = setup();
+        let _ = FeedbackLoop::new(policy, 3, FeedbackConfig::default());
+    }
+}

@@ -1,0 +1,41 @@
+//! # tpp-core
+//!
+//! The paper's primary contribution: **RL-Planner**, a computational
+//! framework for the Task Planning Problem modeled as a constrained MDP
+//! (§III).
+//!
+//! * [`reward`] — the weighted reward design of Eq. 2–7: the gated
+//!   combination `R = θ · [δ · AvgSim + β · weight_type]` with
+//!   `θ = r1 · r2` (topic-coverage gate × antecedent-gap gate) and the
+//!   Levenshtein-inspired interleaving similarity kernel.
+//! * [`mod@env`] — deterministic discrete CMDP environments over the complete
+//!   item graph, instantiated for course planning (fixed horizon
+//!   `H = #cr / cr`) and trip planning (visit-time budget, distance
+//!   threshold, no-consecutive-theme gap).
+//! * [`planner`] — Algorithm 1: SARSA policy learning and greedy
+//!   Q-table plan recommendation.
+//! * [`score`] — the evaluation score (Eq. 7 for courses; popularity for
+//!   trips; 0 on any hard-constraint violation).
+//! * [`transfer`] — cross-universe policy transport for the §IV-D
+//!   transfer-learning case studies.
+//! * [`feedback`] — the §VI future-work extension: an adaptive loop
+//!   folding binary / categorical / distributional user feedback into
+//!   the learned policy.
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod feedback;
+pub mod params;
+pub mod planner;
+pub mod reward;
+pub mod score;
+pub mod transfer;
+
+pub use env::TppEnv;
+pub use feedback::{Feedback, FeedbackConfig, FeedbackLoop};
+pub use params::{PlannerParams, SimAggregate, StartPolicy, TypeWeights};
+pub use planner::{LearnedPolicy, RlPlanner};
+pub use reward::{InterleavingKernel, RewardModel};
+pub use score::{plan_violations, raw_score, score_plan};
+pub use transfer::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};

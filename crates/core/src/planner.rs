@@ -1,0 +1,339 @@
+//! RL-Planner: Algorithm 1 — learn a policy with SARSA, recommend plans
+//! by greedy Q-table traversal.
+
+use crate::env::TppEnv;
+use crate::params::{PlannerParams, StartPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_model::{ItemId, Plan, PlanningInstance};
+use tpp_rl::{Environment, QTable, TrainStats};
+
+/// A learned policy: the Q-table plus the universe it indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedPolicy {
+    /// The `|I| × |I|` action-value table.
+    pub q: QTable,
+    /// Name of the catalog the table indexes (sanity check on reuse).
+    pub catalog_name: String,
+}
+
+/// The RL-Planner facade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RlPlanner;
+
+/// Algorithm 1's behaviour policy: with probability `explore` a uniform
+/// random valid action; otherwise `argmax R(s, ·)` over the valid set
+/// (lines 4 and 9 of the pseudo-code select by *immediate reward*, which
+/// is what keeps training trajectories feasible — the Eq. 2 gate zeroes
+/// every constraint-violating action). Reward ties break by higher Q,
+/// then uniformly at random.
+fn select_action(
+    env: &TppEnv<'_>,
+    q: &QTable,
+    visits: &[u32],
+    n: usize,
+    allowed: &[usize],
+    explore: f64,
+    rng: &mut StdRng,
+) -> usize {
+    debug_assert!(!allowed.is_empty());
+    if rng.random::<f64>() < explore {
+        return allowed[rng.random_range(0..allowed.len())];
+    }
+    let s = env.state();
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_key = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &a in allowed {
+        let key = (env.peek_reward(a), q.get(s, a));
+        if key.0 > best_key.0 + 1e-12
+            || ((key.0 - best_key.0).abs() <= 1e-12 && key.1 > best_key.1 + 1e-12)
+        {
+            best_key = key;
+            best.clear();
+            best.push(a);
+        } else if (key.0 - best_key.0).abs() <= 1e-12 && (key.1 - best_key.1).abs() <= 1e-12 {
+            best.push(a);
+        }
+    }
+    // Full (reward, Q) ties break toward the least-visited pair: the
+    // systematic version of the paper's "one will be picked at random",
+    // ensuring "extensive training" actually covers every tie member.
+    let min_visits = best.iter().map(|&a| visits[s * n + a]).min().expect("non-empty");
+    let least: Vec<usize> = best
+        .iter()
+        .copied()
+        .filter(|&a| visits[s * n + a] == min_visits)
+        .collect();
+    least[rng.random_range(0..least.len())]
+}
+
+impl RlPlanner {
+    /// Learns a policy on `instance` under `params` (Algorithm 1, lines
+    /// 1–14): reward-greedy behaviour with scheduled ε exploration,
+    /// on-policy SARSA updates (Eq. 9). Deterministic in `seed`.
+    pub fn learn(
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        seed: u64,
+    ) -> (LearnedPolicy, TrainStats) {
+        params.validate().expect("invalid planner parameters");
+        let mut env = TppEnv::new(instance, params);
+        let n = instance.catalog.len();
+        let mut q = QTable::square(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let primaries: Vec<usize> = instance
+            .catalog
+            .items()
+            .iter()
+            .filter(|i| i.is_primary())
+            .map(|i| i.id.index())
+            .collect();
+        let mut stats = TrainStats::with_capacity(params.episodes);
+        let mut actions = Vec::with_capacity(n);
+        let mut visits = vec![0u32; n * n];
+        for episode in 0..params.episodes {
+            let explore = params.exploration.at(episode);
+            let start = match params.start {
+                StartPolicy::Fixed(id) => id.index(),
+                StartPolicy::Random => rng.random_range(0..n),
+                StartPolicy::RandomPrimary => {
+                    if primaries.is_empty() {
+                        rng.random_range(0..n)
+                    } else {
+                        primaries[rng.random_range(0..primaries.len())]
+                    }
+                }
+            };
+            env.reset(start);
+            let mut ep_return = 0.0;
+            let mut s = env.state();
+            env.valid_actions(&mut actions);
+            if actions.is_empty() {
+                stats.push(0.0);
+                continue;
+            }
+            let mut a = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
+            // Eligibility traces (SARSA(λ)): a TPP episode never repeats
+            // a state-action pair, so the trace is simply the visited
+            // pairs with geometrically decaying weights. Traces are what
+            // lets the reward a core course earns late in an episode
+            // reach the early decision that scheduled its antecedent.
+            let mut trace: Vec<(usize, usize, f64)> = Vec::with_capacity(env.horizon());
+            loop {
+                let out = env.step(a);
+                ep_return += out.reward;
+                visits[s * n + a] += 1;
+                trace.push((s, a, 1.0));
+                let (done, td_error) = if out.done {
+                    (true, out.reward - q.get(s, a))
+                } else {
+                    env.valid_actions(&mut actions);
+                    if actions.is_empty() {
+                        (true, out.reward - q.get(s, a))
+                    } else {
+                        let a_next = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
+                        let delta = out.reward + params.gamma * q.get(out.next_state, a_next)
+                            - q.get(s, a);
+                        s = out.next_state;
+                        a = a_next;
+                        (false, delta)
+                    }
+                };
+                for (ts, ta, e) in &mut trace {
+                    let v = q.get(*ts, *ta);
+                    q.set(*ts, *ta, v + params.alpha * td_error * *e);
+                    *e *= params.gamma * params.lambda;
+                }
+                if done {
+                    break;
+                }
+            }
+            stats.push(ep_return);
+        }
+        (
+            LearnedPolicy {
+                q,
+                catalog_name: instance.catalog.name().to_owned(),
+            },
+            stats,
+        )
+    }
+
+    /// Recommends a plan by greedy Q-table traversal from `start`
+    /// (Algorithm 1, lines 15–24). The environment enforces action
+    /// validity (unvisited items; trip budgets), so the walk is exactly
+    /// "argmax Q over the remaining items" until `H` items are placed.
+    /// Q ties (e.g. rows the training runs never reached) break by
+    /// immediate reward, then by lower index for determinism.
+    pub fn recommend(
+        policy: &LearnedPolicy,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+    ) -> Plan {
+        assert_eq!(
+            policy.catalog_name,
+            instance.catalog.name(),
+            "policy was learned on a different catalog; transfer it first"
+        );
+        Self::recommend_with_q(&policy.q, instance, params, start)
+    }
+
+    /// Recommends with a bare Q-table (used after transfer, where the
+    /// table was learned elsewhere and transported into this universe).
+    pub fn recommend_with_q(
+        q: &QTable,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+    ) -> Plan {
+        Self::recommend_with_exclusions(q, instance, params, start, &[])
+    }
+
+    /// Recommends while excluding `banned` items entirely — the feedback
+    /// loop's "not useful" items (§VI's future-work extension).
+    pub fn recommend_with_exclusions(
+        q: &QTable,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+        banned: &[ItemId],
+    ) -> Plan {
+        let mut env = TppEnv::new(instance, params);
+        env.reset(start.index());
+        for &b in banned {
+            env.exclude(b);
+        }
+        let mut actions = Vec::with_capacity(instance.catalog.len());
+        loop {
+            let s = env.state();
+            env.valid_actions(&mut actions);
+            if actions.is_empty() {
+                break;
+            }
+            // SARSA is on-policy: the Q-table evaluates the reward-greedy
+            // behaviour policy of Algorithm 1's training loop, so the
+            // recommendation executes that same policy with exploration
+            // off — immediate reward first (the Eq. 2 gate zeroes every
+            // constraint-violating action, which is what makes Theorem 1
+            // hold operationally), learned Q value as the tie-breaker.
+            // Reward ties are exactly where learning shows: EDA resolves
+            // them blindly, RL-Planner with the long-horizon signal
+            // (keep prerequisite chains schedulable; don't strand the
+            // itinerary away from high-value continuations). Lower index
+            // breaks exact (reward, Q) ties for determinism.
+            let best = actions
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    (env.peek_reward(a), q.get(s, a))
+                        .partial_cmp(&(env.peek_reward(b), q.get(s, b)))
+                        .expect("values are finite")
+                        .then(b.cmp(&a))
+                })
+                .expect("actions is non-empty");
+            if env.step(best).done {
+                break;
+            }
+        }
+        env.plan()
+    }
+
+    /// Learn-then-recommend convenience: returns the plan from the
+    /// instance's default start (or item 0).
+    pub fn plan(instance: &PlanningInstance, params: &PlannerParams, seed: u64) -> Plan {
+        let (policy, _) = Self::learn(instance, params, seed);
+        let start = instance.default_start.unwrap_or(ItemId(0));
+        Self::recommend(&policy, instance, params, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SimAggregate;
+    use tpp_model::toy;
+    use tpp_model::validate_plan;
+
+    fn toy_instance() -> PlanningInstance {
+        PlanningInstance {
+            catalog: toy::table2_catalog(),
+            hard: toy::table2_hard(),
+            soft: toy::table2_soft(),
+            trip: None,
+            default_start: Some(ItemId(0)),
+        }
+    }
+
+    fn toy_params() -> PlannerParams {
+        let mut p = PlannerParams::univ1_defaults();
+        p.epsilon = 0.0; // the toy ideal vector is sparse; don't gate
+        p.episodes = 300;
+        p
+    }
+
+    #[test]
+    fn learns_and_recommends_full_length_plan() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let (policy, stats) = RlPlanner::learn(&inst, &params, 7);
+        assert_eq!(stats.episodes(), 300);
+        assert_eq!(policy.q.n_states(), 6);
+        let plan = RlPlanner::recommend(&policy, &inst, &params, ItemId(0));
+        assert_eq!(plan.len(), 6);
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for &id in plan.items() {
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn learned_plan_satisfies_hard_constraints() {
+        // With enough episodes the toy instance is solved exactly: the
+        // recommended plan passes every hard constraint.
+        let inst = toy_instance();
+        let mut params = toy_params();
+        params.episodes = 800;
+        let (policy, _) = RlPlanner::learn(&inst, &params, 11);
+        let plan = RlPlanner::recommend(&policy, &inst, &params, ItemId(0));
+        let violations = validate_plan(&plan, &inst.catalog, &inst.hard);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let (p1, _) = RlPlanner::learn(&inst, &params, 5);
+        let (p2, _) = RlPlanner::learn(&inst, &params, 5);
+        assert_eq!(p1.q, p2.q);
+    }
+
+    #[test]
+    fn min_similarity_variant_runs() {
+        let inst = toy_instance();
+        let params = toy_params().with_sim(SimAggregate::Minimum);
+        let plan = RlPlanner::plan(&inst, &params, 3);
+        assert_eq!(plan.len(), 6);
+    }
+
+    #[test]
+    fn fixed_start_policy_used_in_training() {
+        let inst = toy_instance();
+        let params = toy_params().with_start(ItemId(2));
+        let (policy, _) = RlPlanner::learn(&inst, &params, 9);
+        let plan = RlPlanner::recommend(&policy, &inst, &params, ItemId(2));
+        assert_eq!(plan.items()[0], ItemId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different catalog")]
+    fn recommend_rejects_foreign_policy() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let (mut policy, _) = RlPlanner::learn(&inst, &params, 1);
+        policy.catalog_name = "something/else".into();
+        let _ = RlPlanner::recommend(&policy, &inst, &params, ItemId(0));
+    }
+}

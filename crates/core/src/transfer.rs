@@ -1,0 +1,142 @@
+//! Transfer learning across item universes (§IV-D).
+//!
+//! A tabular policy indexes items of the universe it was learned on; to
+//! apply it elsewhere the Q mass must be transported through a state
+//! mapping:
+//!
+//! * **Courses** — programs inside one university share course codes
+//!   (M.S. DS-CT and M.S. CS both offer CS 675, CS 610, …), so the
+//!   mapping is identity-on-shared-codes.
+//! * **Trips** — NYC and Paris share no POIs, so each target POI maps to
+//!   the source POI with the most similar *theme profile* (Jaccard over
+//!   theme names, ties broken by popularity proximity). Theme
+//!   vocabularies differ (21 vs 16 themes), hence matching by name.
+
+use tpp_model::Catalog;
+use tpp_rl::{transfer_q, QTable, StateMapping};
+
+/// Builds a target→source mapping by exact item-code equality.
+pub fn course_mapping_by_code(target: &Catalog, source: &Catalog) -> StateMapping {
+    let map = target
+        .items()
+        .iter()
+        .map(|item| source.by_code(&item.code).map(|s| s.id.index()))
+        .collect();
+    StateMapping::new(map)
+}
+
+/// Builds a target→source mapping by nearest theme profile.
+///
+/// Similarity is Jaccard over theme *names* (the vocabularies differ);
+/// zero-similarity items stay unmapped; ties prefer the source POI whose
+/// popularity is closest.
+pub fn poi_mapping_by_theme(target: &Catalog, source: &Catalog) -> StateMapping {
+    let theme_names = |catalog: &Catalog, idx: usize| -> Vec<String> {
+        let item = &catalog.items()[idx];
+        item.topics
+            .iter_topics()
+            .map(|t| catalog.vocabulary().name(t).to_owned())
+            .collect()
+    };
+    let source_profiles: Vec<(Vec<String>, f64)> = (0..source.len())
+        .map(|i| {
+            let pop = source.items()[i].poi.map_or(0.0, |a| a.popularity);
+            (theme_names(source, i), pop)
+        })
+        .collect();
+    let map = (0..target.len())
+        .map(|ti| {
+            let t_themes = theme_names(target, ti);
+            let t_pop = target.items()[ti].poi.map_or(0.0, |a| a.popularity);
+            let mut best: Option<(f64, f64, usize)> = None; // (sim, -pop_diff, idx)
+            for (si, (s_themes, s_pop)) in source_profiles.iter().enumerate() {
+                let inter = t_themes.iter().filter(|t| s_themes.contains(t)).count();
+                if inter == 0 {
+                    continue;
+                }
+                let union = t_themes.len() + s_themes.len() - inter;
+                let sim = inter as f64 / union as f64;
+                let pop_closeness = -(t_pop - s_pop).abs();
+                let cand = (sim, pop_closeness, si);
+                if best.is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+            best.map(|(_, _, si)| si)
+        })
+        .collect();
+    StateMapping::new(map)
+}
+
+/// Transports a learned Q-table into a target universe through a mapping.
+pub fn transfer_policy(source_q: &QTable, mapping: &StateMapping) -> QTable {
+    transfer_q(source_q, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_datagen::defaults::{NYC_SEED, PARIS_SEED, UNIV1_SEED};
+    use tpp_datagen::{nyc, paris, univ1_cs, univ1_ds_ct};
+
+    #[test]
+    fn course_mapping_hits_shared_codes() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        let cs = univ1_cs(UNIV1_SEED);
+        let m = course_mapping_by_code(&ds.catalog, &cs.catalog);
+        assert_eq!(m.target_len(), ds.catalog.len());
+        // CS 675 exists in both; its mapping must point at the CS
+        // program's CS 675.
+        let t675 = ds.catalog.by_code("CS 675").unwrap().id.index();
+        let s675 = cs.catalog.by_code("CS 675").unwrap().id.index();
+        assert_eq!(m.source_of(t675), Some(s675));
+        // Coverage is substantial (the programs overlap heavily).
+        assert!(m.coverage() > 0.4, "coverage {}", m.coverage());
+    }
+
+    #[test]
+    fn course_mapping_leaves_exclusive_courses_unmapped() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        let cs = univ1_cs(UNIV1_SEED);
+        let m = course_mapping_by_code(&ds.catalog, &cs.catalog);
+        // CS 677 (Deep Learning) is DS-CT-only.
+        let t = ds.catalog.by_code("CS 677").unwrap().id.index();
+        assert!(cs.catalog.by_code("CS 677").is_none());
+        assert_eq!(m.source_of(t), None);
+    }
+
+    #[test]
+    fn poi_mapping_prefers_same_theme() {
+        let p = paris(PARIS_SEED);
+        let n = nyc(NYC_SEED);
+        let m = poi_mapping_by_theme(&p.instance.catalog, &n.instance.catalog);
+        assert!(m.coverage() > 0.6, "coverage {}", m.coverage());
+        // The Louvre (museum+gallery) should map to a museum-ish NYC POI.
+        let louvre = p.instance.catalog.by_code("louvre museum").unwrap();
+        let mapped = m.source_of(louvre.id.index()).expect("louvre maps");
+        let nyc_item = &n.instance.catalog.items()[mapped];
+        let nyc_voc = n.instance.catalog.vocabulary();
+        let museum = nyc_voc.id_of("museum").unwrap();
+        let gallery = nyc_voc.id_of("gallery").unwrap();
+        assert!(
+            nyc_item.topics.get(museum) || nyc_item.topics.get(gallery),
+            "louvre mapped to {}",
+            nyc_item.code
+        );
+    }
+
+    #[test]
+    fn transfer_moves_q_mass_through_shared_courses() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        let cs = univ1_cs(UNIV1_SEED);
+        let mut q = QTable::square(cs.catalog.len());
+        let s610 = cs.catalog.by_code("CS 610").unwrap().id.index();
+        let s675 = cs.catalog.by_code("CS 675").unwrap().id.index();
+        q.set(s610, s675, 9.0);
+        let m = course_mapping_by_code(&ds.catalog, &cs.catalog);
+        let tq = transfer_policy(&q, &m);
+        let t610 = ds.catalog.by_code("CS 610").unwrap().id.index();
+        let t675 = ds.catalog.by_code("CS 675").unwrap().id.index();
+        assert_eq!(tq.get(t610, t675), 9.0);
+    }
+}

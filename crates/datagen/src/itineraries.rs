@@ -1,0 +1,187 @@
+//! Flickr-like itinerary logs.
+//!
+//! The paper mines day-itineraries from Flickr photo timestamps ("a set
+//! of POIs visited on the same day"). We simulate the same marginal
+//! behaviour with a **popularity-and-proximity random walk**: tourists
+//! start at a POI drawn proportionally to popularity, then repeatedly
+//! move to an unvisited POI with probability proportional to
+//! `popularity / (1 + distance_km)` — people photograph famous places
+//! and don't trek across town between shots. Walk lengths of 2–6 POIs
+//! match a day of sightseeing.
+//!
+//! These logs are exactly what the OMEGA baseline's co-consumption matrix
+//! is built from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_model::{Catalog, ItemId, Plan};
+
+/// Generates `count` day-itineraries over a POI catalog.
+///
+/// # Panics
+/// Panics if the catalog has fewer than 2 items or items without POI
+/// attributes.
+pub fn generate_itineraries(catalog: &Catalog, count: usize, seed: u64) -> Vec<Plan> {
+    assert!(catalog.len() >= 2, "need at least two POIs");
+    let n = catalog.len();
+    let pops: Vec<f64> = catalog
+        .items()
+        .iter()
+        .map(|i| i.poi.expect("itineraries need POI attributes").popularity)
+        .collect();
+    let coords: Vec<(f64, f64)> = catalog
+        .items()
+        .iter()
+        .map(|i| {
+            let a = i.poi.expect("checked above");
+            (a.lat, a.lon)
+        })
+        .collect();
+    let total_pop: f64 = pops.iter().sum();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut weights = vec![0.0f64; n];
+    for _ in 0..count {
+        let len = rng.random_range(2..=6usize).min(n);
+        let mut walk = Vec::with_capacity(len);
+        // Start ∝ popularity.
+        let mut pick = rng.random::<f64>() * total_pop;
+        let mut start = 0usize;
+        for (i, &p) in pops.iter().enumerate() {
+            pick -= p;
+            if pick <= 0.0 {
+                start = i;
+                break;
+            }
+        }
+        walk.push(start);
+        while walk.len() < len {
+            let cur = *walk.last().expect("walk is non-empty");
+            let mut total = 0.0;
+            for (j, w) in weights.iter_mut().enumerate() {
+                if walk.contains(&j) {
+                    *w = 0.0;
+                } else {
+                    let d = tpp_geo::haversine_km(
+                        coords[cur].0,
+                        coords[cur].1,
+                        coords[j].0,
+                        coords[j].1,
+                    );
+                    *w = pops[j] / (1.0 + d);
+                }
+                total += *w;
+            }
+            if total <= 0.0 {
+                break;
+            }
+            let mut pick = rng.random::<f64>() * total;
+            let mut next = None;
+            for (j, &w) in weights.iter().enumerate() {
+                pick -= w;
+                if w > 0.0 && pick <= 0.0 {
+                    next = Some(j);
+                    break;
+                }
+            }
+            match next {
+                Some(j) => walk.push(j),
+                None => break,
+            }
+        }
+        out.push(Plan::from_items(
+            walk.into_iter().map(ItemId::from).collect(),
+        ));
+    }
+    out
+}
+
+/// Builds the co-consumption matrix OMEGA's original utility uses:
+/// `M[i][j]` = number of itineraries in which item `i` is consumed
+/// (strictly) before item `j`.
+pub fn co_consumption_matrix(catalog: &Catalog, itineraries: &[Plan]) -> Vec<Vec<u32>> {
+    let n = catalog.len();
+    let mut m = vec![vec![0u32; n]; n];
+    for it in itineraries {
+        let items = it.items();
+        for (a, &i) in items.iter().enumerate() {
+            for &j in &items[a + 1..] {
+                m[i.index()][j.index()] += 1;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trips::nyc;
+
+    #[test]
+    fn walks_have_no_repeats_and_bounded_length() {
+        let d = nyc(1);
+        let its = generate_itineraries(&d.instance.catalog, 100, 9);
+        assert_eq!(its.len(), 100);
+        for it in &its {
+            assert!((1..=6).contains(&it.len()));
+            for (i, &id) in it.items().iter().enumerate() {
+                assert!(!it.items()[..i].contains(&id), "repeat in {it}");
+            }
+        }
+    }
+
+    #[test]
+    fn popular_pois_visited_more() {
+        let d = nyc(1);
+        let its = generate_itineraries(&d.instance.catalog, 2000, 10);
+        let mut visits = vec![0u32; d.instance.catalog.len()];
+        for it in &its {
+            for &id in it.items() {
+                visits[id.index()] += 1;
+            }
+        }
+        // The most popular POI should be visited more often than the
+        // least popular one — by a wide margin.
+        let (mut best, mut worst) = (0usize, 0usize);
+        for (i, item) in d.instance.catalog.items().iter().enumerate() {
+            let p = item.poi.unwrap().popularity;
+            if p > d.instance.catalog.items()[best].poi.unwrap().popularity {
+                best = i;
+            }
+            if p < d.instance.catalog.items()[worst].poi.unwrap().popularity {
+                worst = i;
+            }
+        }
+        assert!(
+            visits[best] > 2 * visits[worst].max(1),
+            "best {} visits vs worst {}",
+            visits[best],
+            visits[worst]
+        );
+    }
+
+    #[test]
+    fn co_consumption_counts_ordered_pairs() {
+        let d = nyc(1);
+        let its = vec![
+            Plan::from_items(vec![ItemId(0), ItemId(1), ItemId(2)]),
+            Plan::from_items(vec![ItemId(1), ItemId(0)]),
+        ];
+        let m = co_consumption_matrix(&d.instance.catalog, &its);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[0][2], 1);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[2][0], 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = nyc(1);
+        let a = generate_itineraries(&d.instance.catalog, 50, 123);
+        let b = generate_itineraries(&d.instance.catalog, 50, 123);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,251 @@
+//! Generic synthetic TPP instances of arbitrary size.
+//!
+//! The paper's evaluation fixes six datasets; this generator produces
+//! course-style instances with a configurable item count, vocabulary
+//! size, prerequisite density and core fraction. It backs the
+//! size-scalability extension experiment (how learning time grows with
+//! `|I|`, complementing Fig. 2's growth in `N`) and gives downstream
+//! users a way to stress the planner on their own scales.
+
+use crate::names::{COURSE_TITLE_HEADS, COURSE_TITLE_SUBJECTS, TOPIC_POOL};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_model::{
+    Catalog, HardConstraints, InterleavingTemplate, Item, ItemId, ItemKind, PlanningInstance,
+    PrereqExpr, SoftConstraints, TemplateSet, TopicVector, TopicVocabulary,
+};
+
+/// Knobs for the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of items `|I|` (≥ 4).
+    pub n_items: usize,
+    /// Topic vocabulary size `|T|` (capped at the topic pool size).
+    pub n_topics: usize,
+    /// Fraction of primary items in `(0, 1)`.
+    pub core_fraction: f64,
+    /// Probability that an item carries a prerequisite.
+    pub prereq_density: f64,
+    /// Plan horizon: primary slots.
+    pub n_primary: usize,
+    /// Plan horizon: secondary slots.
+    pub n_secondary: usize,
+    /// Antecedent gap.
+    pub gap: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_items: 50,
+            n_topics: 60,
+            core_fraction: 0.25,
+            prereq_density: 0.3,
+            n_primary: 5,
+            n_secondary: 5,
+            gap: 3,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A config scaled to `n_items`, with everything else default.
+    pub fn sized(n_items: usize) -> Self {
+        SyntheticConfig {
+            n_items,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a synthetic course-style instance. Deterministic in `seed`.
+///
+/// Guarantees: the catalog validates (dense ids, acyclic prerequisites),
+/// at least `n_primary` prerequisite-free primaries exist (so the start
+/// policy always has somewhere to begin and a valid plan exists), and
+/// the templates match the hard constraints.
+///
+/// # Panics
+/// Panics when the config cannot be satisfied (`n_items < horizon`,
+/// zero horizon, …).
+pub fn synthetic_course_instance(config: &SyntheticConfig, seed: u64) -> PlanningInstance {
+    let horizon = config.n_primary + config.n_secondary;
+    assert!(horizon > 0, "horizon must be positive");
+    assert!(
+        config.n_items >= horizon.max(4),
+        "need at least max(horizon, 4) items"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_topics = config.n_topics.clamp(4, TOPIC_POOL.len());
+    let vocabulary = TopicVocabulary::new(TOPIC_POOL[..n_topics].iter().copied())
+        .expect("topic pool has no duplicates");
+
+    let n_primaries = ((config.n_items as f64 * config.core_fraction).round() as usize)
+        .clamp(config.n_primary, config.n_items - config.n_secondary);
+
+    let mut items = Vec::with_capacity(config.n_items);
+    for i in 0..config.n_items {
+        let head = COURSE_TITLE_HEADS[i % COURSE_TITLE_HEADS.len()];
+        let subject = COURSE_TITLE_SUBJECTS[(i / 3) % COURSE_TITLE_SUBJECTS.len()];
+        let code = format!("SYN {:04}", 100 + i);
+        let name = format!("{head} {subject}");
+        let kind = if i < n_primaries {
+            ItemKind::Primary
+        } else {
+            ItemKind::Secondary
+        };
+        // The first `n_primary` primaries and the first `n_secondary`
+        // secondaries stay prerequisite-free so a valid plan always
+        // exists; later items draw antecedents from strictly earlier ids
+        // (acyclic by construction).
+        let protected = i < config.n_primary
+            || (i >= n_primaries && i < n_primaries + config.n_secondary);
+        let prereq = if !protected && i >= 2 && rng.random::<f64>() < config.prereq_density {
+            let a = ItemId::from(rng.random_range(0..i));
+            if rng.random::<f64>() < 0.5 && i >= 3 {
+                let mut b = ItemId::from(rng.random_range(0..i));
+                while b == a {
+                    b = ItemId::from(rng.random_range(0..i));
+                }
+                PrereqExpr::any_of([a, b])
+            } else {
+                PrereqExpr::Item(a)
+            }
+        } else {
+            PrereqExpr::None
+        };
+        let mut topics = vocabulary.zero_vector();
+        topics.set(tpp_model::TopicId::from((i * 7 + 1) % n_topics));
+        let extra = rng.random_range(1..=3usize);
+        for _ in 0..extra {
+            topics.set(tpp_model::TopicId::from(rng.random_range(0..n_topics)));
+        }
+        items.push(Item::course(ItemId::from(i), code, name, kind, 3.0, prereq, topics));
+    }
+
+    let catalog = Catalog::new(
+        format!("synthetic/{}items", config.n_items),
+        vocabulary,
+        items,
+    )
+    .expect("generated catalog is valid");
+    let hard = HardConstraints {
+        credits: 3.0 * horizon as f64,
+        n_primary: config.n_primary,
+        n_secondary: config.n_secondary,
+        gap: config.gap,
+    };
+    // Templates: strict alternation plus a front-loaded variant, adjusted
+    // to the requested split.
+    let mut alternating = String::new();
+    let (mut p, mut s) = (config.n_primary, config.n_secondary);
+    while p + s > 0 {
+        if p * (config.n_secondary + 1) >= s * (config.n_primary + 1) && p > 0 {
+            alternating.push('P');
+            p -= 1;
+        } else {
+            alternating.push('S');
+            s -= 1;
+        }
+    }
+    let front_loaded = "P".repeat(config.n_primary) + &"S".repeat(config.n_secondary);
+    let templates = TemplateSet::new(vec![
+        InterleavingTemplate::from_str(&alternating).expect("generated template is valid"),
+        InterleavingTemplate::from_str(&front_loaded).expect("generated template is valid"),
+    ]);
+    let soft = SoftConstraints::new(TopicVector::ones(n_topics), templates, &hard)
+        .expect("templates match constraints");
+    let default_start = Some(ItemId(0));
+    let instance = PlanningInstance {
+        catalog,
+        hard,
+        soft,
+        trip: None,
+        default_start,
+    };
+    instance.validate().expect("generated instance is consistent");
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_valid_instance() {
+        let inst = synthetic_course_instance(&SyntheticConfig::default(), 1);
+        assert_eq!(inst.catalog.len(), 50);
+        assert_eq!(inst.horizon(), 10);
+        assert!(inst.catalog.primary_count() >= 5);
+        inst.validate().unwrap();
+    }
+
+    #[test]
+    fn scales_to_large_catalogs() {
+        for n in [20, 100, 500, 2000] {
+            let inst = synthetic_course_instance(&SyntheticConfig::sized(n), 7);
+            assert_eq!(inst.catalog.len(), n);
+        }
+    }
+
+    #[test]
+    fn start_item_is_prereq_free_primary() {
+        let inst = synthetic_course_instance(&SyntheticConfig::default(), 3);
+        let start = inst.catalog.item(inst.default_start.unwrap());
+        assert!(start.is_primary());
+        assert!(start.prereq.is_none());
+    }
+
+    #[test]
+    fn a_valid_plan_exists_via_gold_search_shape() {
+        // The protected prefix guarantees enough prereq-free items of
+        // each kind to fill the front-loaded template.
+        let inst = synthetic_course_instance(&SyntheticConfig::default(), 11);
+        let free_primaries = inst
+            .catalog
+            .items()
+            .iter()
+            .filter(|i| i.is_primary() && i.prereq.is_none())
+            .count();
+        let free_secondaries = inst
+            .catalog
+            .items()
+            .iter()
+            .filter(|i| !i.is_primary() && i.prereq.is_none())
+            .count();
+        assert!(free_primaries >= inst.hard.n_primary);
+        assert!(free_secondaries >= inst.hard.n_secondary);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = synthetic_course_instance(&SyntheticConfig::default(), 5);
+        let b = synthetic_course_instance(&SyntheticConfig::default(), 5);
+        for (x, y) in a.catalog.items().iter().zip(b.catalog.items()) {
+            assert_eq!(x.topics, y.topics);
+            assert_eq!(x.prereq, y.prereq);
+        }
+    }
+
+    #[test]
+    fn custom_split_respected() {
+        let config = SyntheticConfig {
+            n_primary: 3,
+            n_secondary: 7,
+            ..SyntheticConfig::default()
+        };
+        let inst = synthetic_course_instance(&config, 2);
+        assert_eq!(inst.horizon(), 10);
+        inst.soft.templates.check_shape(&inst.hard).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_config_panics() {
+        let config = SyntheticConfig {
+            n_items: 5,
+            ..SyntheticConfig::default()
+        };
+        let _ = synthetic_course_instance(&config, 0);
+    }
+}

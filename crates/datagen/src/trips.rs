@@ -1,0 +1,408 @@
+//! Trip datasets: NYC and Paris POI universes (§IV-A1).
+//!
+//! The paper derives these from Flickr photo logs (2908 NYC / 5494 Paris
+//! day-itineraries) with themes from the Google Places API (21 NYC / 16
+//! Paris themes) over 90 / 114 POIs. We embed every POI the paper prints
+//! (Tables VII, VIII) verbatim and synthesize the rest inside each city's
+//! bounding box, then sample itinerary logs with a popularity-and-
+//! proximity random walk (see [`crate::itineraries`]).
+//!
+//! Antecedent convention (§II-B2): physically demanding POIs come first —
+//! every restaurant POI requires *some museum or gallery* to have been
+//! visited earlier in the day (`OR` antecedent), mirroring "visit a
+//! museum before a restaurant/cafe".
+
+use crate::itineraries::generate_itineraries;
+use crate::names::{
+    PoiSpec, NYC_POIS, NYC_THEMES, PARIS_POIS, PARIS_THEMES, POI_SYNTH_AREAS_NYC,
+    POI_SYNTH_AREAS_PARIS, POI_SYNTH_HEADS_NYC, POI_SYNTH_HEADS_PARIS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_geo::BoundingBox;
+use tpp_model::{
+    Catalog, HardConstraints, Item, ItemId, ItemKind, Plan, PlanningInstance, PoiAttrs,
+    PrereqExpr, SoftConstraints, TemplateSet, TopicVector, TopicVocabulary, TripConstraints,
+};
+
+/// A trip dataset: the planning instance plus the Flickr-like itinerary
+/// logs OMEGA consumes.
+#[derive(Debug, Clone)]
+pub struct TripDataset {
+    /// The POI planning instance.
+    pub instance: PlanningInstance,
+    /// Day-itineraries mined from the (synthetic) photo logs.
+    pub itineraries: Vec<Plan>,
+}
+
+/// City parameters for the generator.
+struct CitySpec {
+    name: &'static str,
+    themes: &'static [&'static str],
+    named: &'static [PoiSpec],
+    synth_heads: &'static [&'static str],
+    synth_areas: &'static [&'static str],
+    bbox: BoundingBox,
+    n_pois: usize,
+    n_itineraries: usize,
+    default_start: &'static str,
+    /// Theme indices eligible as synthesized-POI themes that count as
+    /// "museum-like" antecedents for restaurants.
+    museum_like: &'static [&'static str],
+}
+
+fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
+    let vocabulary = TopicVocabulary::new(spec.themes.iter().copied())
+        .expect("theme lists have no duplicates");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    struct Draft {
+        code: String,
+        name: String,
+        themes: Vec<usize>,
+        attrs: PoiAttrs,
+        primary: bool,
+    }
+
+    let mut drafts: Vec<Draft> = Vec::with_capacity(spec.n_pois);
+    for p in spec.named {
+        let themes = p
+            .themes
+            .iter()
+            .map(|t| {
+                spec.themes
+                    .iter()
+                    .position(|x| x == t)
+                    .expect("named POI themes exist")
+            })
+            .collect();
+        drafts.push(Draft {
+            code: p.code.to_owned(),
+            name: title_case(p.code),
+            themes,
+            attrs: PoiAttrs {
+                lat: p.at.0,
+                lon: p.at.1,
+                // Half-star quantization (see the synthesized POIs below).
+                popularity: (2.0 * p.popularity).round() / 2.0,
+            },
+            primary: p.primary,
+        });
+    }
+    // Synthesize the remainder inside the city's bounding box.
+    let mut combo = 0usize;
+    while drafts.len() < spec.n_pois {
+        let head = spec.synth_heads[combo % spec.synth_heads.len()];
+        let area = spec.synth_areas[(combo / spec.synth_heads.len()) % spec.synth_areas.len()];
+        let suffix = combo / (spec.synth_heads.len() * spec.synth_areas.len());
+        combo += 1;
+        let code = if suffix == 0 {
+            format!("{head} {area}")
+        } else {
+            format!("{head} {area} {}", suffix + 1)
+        };
+        // Theme: derive the leading theme from the head fragment when it
+        // names one, otherwise draw a random theme; add a second theme
+        // sometimes.
+        let lead = spec
+            .themes
+            .iter()
+            .position(|t| head.contains(t) || head.contains(&t[..t.len().min(5)]))
+            .unwrap_or_else(|| rng.random_range(0..spec.themes.len()));
+        let mut themes = vec![lead];
+        if rng.random::<f64>() < 0.4 {
+            let extra = rng.random_range(0..spec.themes.len());
+            if extra != lead {
+                themes.push(extra);
+            }
+        }
+        let point = spec.bbox.lerp(rng.random::<f64>(), rng.random::<f64>());
+        drafts.push(Draft {
+            code: code.clone(),
+            name: title_case(&code),
+            themes,
+            attrs: PoiAttrs {
+                lat: point.lat,
+                lon: point.lon,
+                // Popularity skewed low (most POIs are minor) and
+                // quantized to half-star levels like real rating data —
+                // the resulting reward ties are what separate blind
+                // (EDA) from learned (RL) tie-breaking.
+                popularity: (2.0 * (1.0 + 4.0 * rng.random::<f64>().powi(2))).round() / 2.0,
+            },
+            primary: false,
+        });
+    }
+
+    // Restaurant antecedents: any museum/gallery-like POI qualifies.
+    let museum_ids: Vec<ItemId> = drafts
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            d.themes
+                .iter()
+                .any(|&t| spec.museum_like.contains(&spec.themes[t]))
+        })
+        .map(|(i, _)| ItemId::from(i))
+        .collect();
+    let restaurant_theme = spec
+        .themes
+        .iter()
+        .position(|t| *t == "restaurant")
+        .expect("both cities have a restaurant theme");
+
+    let items: Vec<Item> = drafts
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let prereq = if d.themes.contains(&restaurant_theme) && !museum_ids.is_empty() {
+                // Limit the OR list to a handful of nearby museums so the
+                // expression stays readable.
+                let mut nearby: Vec<(f64, ItemId)> = museum_ids
+                    .iter()
+                    .filter(|m| m.index() != i)
+                    .map(|&m| {
+                        let md = &drafts[m.index()].attrs;
+                        let dist = tpp_geo::haversine_km(d.attrs.lat, d.attrs.lon, md.lat, md.lon);
+                        (dist, m)
+                    })
+                    .collect();
+                nearby.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                PrereqExpr::any_of(nearby.into_iter().take(3).map(|(_, m)| m))
+            } else {
+                PrereqExpr::None
+            };
+            let hours = (0.25_f64 * (d.attrs.popularity * 1.5).round()).clamp(0.5, 2.0);
+            Item::poi(
+                ItemId::from(i),
+                d.code.clone(),
+                d.name.clone(),
+                if d.primary {
+                    ItemKind::Primary
+                } else {
+                    ItemKind::Secondary
+                },
+                hours,
+                prereq,
+                TopicVector::from_topics(
+                    spec.themes.len(),
+                    d.themes.iter().map(|&t| tpp_model::TopicId::from(t)),
+                ),
+                d.attrs,
+            )
+        })
+        .collect();
+
+    let catalog =
+        Catalog::new(spec.name, vocabulary, items).expect("generated catalog is valid");
+    let hard = HardConstraints {
+        credits: 6.0,
+        n_primary: 2,
+        n_secondary: 3,
+        gap: 1,
+    };
+    let ideal = TopicVector::ones(catalog.vocabulary().len());
+    let soft = SoftConstraints::new(ideal, TemplateSet::paper_trip_example(), &hard)
+        .expect("paper trip templates are 2P/3S");
+    let itineraries = generate_itineraries(&catalog, spec.n_itineraries, seed ^ 0x17);
+    // Default start: a central, popular primary POI (itineraries starting
+    // at a geographically remote primary dead-end against the distance
+    // threshold).
+    let default_start = catalog
+        .by_code(spec.default_start)
+        .map(|i| i.id);
+    let instance = PlanningInstance {
+        catalog,
+        hard,
+        soft,
+        trip: Some(TripConstraints {
+            max_distance_km: Some(5.0),
+            no_consecutive_same_theme: true,
+        }),
+        default_start,
+    };
+    instance.validate().expect("generated instance is consistent");
+    TripDataset {
+        instance,
+        itineraries,
+    }
+}
+
+fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The NYC trip dataset: 90 POIs, 21 themes, 2908 itineraries.
+pub fn nyc(seed: u64) -> TripDataset {
+    build_city(
+        &CitySpec {
+            name: "trips/nyc",
+            themes: NYC_THEMES,
+            named: NYC_POIS,
+            synth_heads: POI_SYNTH_HEADS_NYC,
+            synth_areas: POI_SYNTH_AREAS_NYC,
+            bbox: BoundingBox::nyc(),
+            n_pois: 90,
+            n_itineraries: 2908,
+            default_start: "brooklyn bridge",
+            museum_like: &["museum", "gallery"],
+        },
+        seed,
+    )
+}
+
+/// The Paris trip dataset: 114 POIs, 16 themes, 5494 itineraries.
+pub fn paris(seed: u64) -> TripDataset {
+    build_city(
+        &CitySpec {
+            name: "trips/paris",
+            themes: PARIS_THEMES,
+            named: PARIS_POIS,
+            synth_heads: POI_SYNTH_HEADS_PARIS,
+            synth_areas: POI_SYNTH_AREAS_PARIS,
+            bbox: BoundingBox::paris(),
+            n_pois: 114,
+            n_itineraries: 5494,
+            default_start: "louvre museum",
+            museum_like: &["museum", "gallery"],
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::{NYC_SEED, PARIS_SEED};
+
+    #[test]
+    fn nyc_matches_paper_statistics() {
+        let d = nyc(NYC_SEED);
+        assert_eq!(d.instance.catalog.len(), 90);
+        assert_eq!(d.instance.catalog.vocabulary().len(), 21);
+        assert_eq!(d.itineraries.len(), 2908);
+        assert!(d.instance.is_trip());
+    }
+
+    #[test]
+    fn paris_matches_paper_statistics() {
+        let d = paris(PARIS_SEED);
+        assert_eq!(d.instance.catalog.len(), 114);
+        assert_eq!(d.instance.catalog.vocabulary().len(), 16);
+        assert_eq!(d.itineraries.len(), 5494);
+    }
+
+    #[test]
+    fn paper_table8_pois_present() {
+        let d = paris(PARIS_SEED);
+        for code in ["pont neuf", "promenade plantée", "sainte chapelle", "viaduc des arts"] {
+            assert!(d.instance.catalog.by_code(code).is_some(), "missing {code}");
+        }
+        let n = nyc(NYC_SEED);
+        for code in ["battery park", "brooklyn bridge", "colonnade row", "flatiron building"] {
+            assert!(n.instance.catalog.by_code(code).is_some(), "missing {code}");
+        }
+    }
+
+    #[test]
+    fn all_pois_have_attrs_and_valid_popularity() {
+        let d = paris(PARIS_SEED);
+        for item in d.instance.catalog.items() {
+            let attrs = item.poi.expect("POI items carry attrs");
+            assert!((1.0..=5.0).contains(&attrs.popularity), "{}", item.code);
+            assert!((0.5..=2.5).contains(&item.credits), "{}", item.code);
+            assert!(BoundingBox::paris().contains(&tpp_geo::GeoPoint::new(attrs.lat, attrs.lon)));
+        }
+    }
+
+    #[test]
+    fn restaurants_require_prior_museum() {
+        let d = paris(PARIS_SEED);
+        let voc = d.instance.catalog.vocabulary();
+        let restaurant = voc.id_of("restaurant").unwrap();
+        let mut saw_restaurant = false;
+        for item in d.instance.catalog.items() {
+            if item.topics.get(restaurant) {
+                saw_restaurant = true;
+                assert!(
+                    !item.prereq.is_none(),
+                    "{} is a restaurant without an antecedent",
+                    item.code
+                );
+                // Each antecedent must be museum-like.
+                for dep in item.prereq.referenced_items() {
+                    let dep_item = d.instance.catalog.item(dep);
+                    let museum = voc.id_of("museum").unwrap();
+                    let gallery = voc.id_of("gallery").unwrap();
+                    assert!(
+                        dep_item.topics.get(museum) || dep_item.topics.get(gallery),
+                        "{} antecedent {} is not museum-like",
+                        item.code,
+                        dep_item.code
+                    );
+                }
+            }
+        }
+        assert!(saw_restaurant, "dataset should contain restaurants");
+    }
+
+    #[test]
+    fn primaries_exist_and_popular() {
+        for d in [nyc(NYC_SEED), paris(PARIS_SEED)] {
+            let primaries: Vec<_> = d
+                .instance
+                .catalog
+                .items()
+                .iter()
+                .filter(|i| i.is_primary())
+                .collect();
+            assert!(primaries.len() >= 2, "{}", d.instance.catalog.name());
+            for p in &primaries {
+                assert!(p.poi.unwrap().popularity >= 4.5, "{}", p.code);
+            }
+        }
+    }
+
+    #[test]
+    fn itineraries_are_valid_walks() {
+        let d = nyc(NYC_SEED);
+        for it in d.itineraries.iter().take(200) {
+            assert!((2..=6).contains(&it.len()), "length {}", it.len());
+            // No repeats.
+            for (i, &id) in it.items().iter().enumerate() {
+                assert!(!it.items()[..i].contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = nyc(5);
+        let b = nyc(5);
+        assert_eq!(a.itineraries.len(), b.itineraries.len());
+        assert_eq!(a.itineraries[0], b.itineraries[0]);
+        for (x, y) in a.instance.catalog.items().iter().zip(b.instance.catalog.items()) {
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.topics, y.topics);
+        }
+    }
+
+    #[test]
+    fn default_start_is_popular_primary() {
+        let d = paris(PARIS_SEED);
+        let start = d.instance.default_start.expect("has a start");
+        let item = d.instance.catalog.item(start);
+        assert_eq!(item.code, "louvre museum");
+        assert!(item.is_primary());
+        assert!(item.poi.unwrap().popularity >= 4.9);
+    }
+}

@@ -1,0 +1,586 @@
+//! Univ-1: the NJIT-like catalog (§IV-A1).
+//!
+//! The paper's Univ-1 dataset has 1216 courses over 126 programs in 6
+//! schools, with three M.S. programs used in the experiments:
+//!
+//! | program | courses | topics |
+//! |---|---|---|
+//! | Data Science – Computational Track (DS-CT) | 31 | 60 |
+//! | Cybersecurity | 30 | 61 |
+//! | Computer Science (CS) | 32 | 100 |
+//!
+//! Every course the paper names (Table VI, plus the codes appearing in
+//! the transfer-learning sequences of Table V) is embedded verbatim, with
+//! the same core/elective designation per program: e.g. CS 675 (Machine
+//! Learning) is *core* in DS-CT but *elective* in M.S. CS. DS-CT and CS
+//! intentionally share many courses — that overlap is what makes the
+//! paper's transfer-learning case study (§IV-D) possible.
+
+use crate::names::TOPIC_POOL;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_model::{
+    Catalog, HardConstraints, InterleavingTemplate, Item, ItemId, ItemKind, PlanningInstance,
+    PrereqExpr, SoftConstraints, TemplateSet, TopicVector, TopicVocabulary,
+};
+
+/// A course in the shared NJIT-like pool.
+struct CourseSpec {
+    code: &'static str,
+    name: &'static str,
+    /// Prerequisites, all required ("AND").
+    pre_all: &'static [&'static str],
+    /// Prerequisites, any one suffices ("OR").
+    pre_any: &'static [&'static str],
+}
+
+const fn c(
+    code: &'static str,
+    name: &'static str,
+    pre_all: &'static [&'static str],
+    pre_any: &'static [&'static str],
+) -> CourseSpec {
+    CourseSpec {
+        code,
+        name,
+        pre_all,
+        pre_any,
+    }
+}
+
+/// The shared course pool. Table VI courses come first, verbatim.
+static POOL: &[CourseSpec] = &[
+    c("CS 610", "Data Structures and Algorithms", &[], &[]),
+    c("CS 608", "Cryptography and Security", &[], &[]),
+    c("CS 656", "Internet and Higher-Layer Protocols", &[], &["CS 652"]),
+    c("CS 667", "Design Techniques for Algorithms", &["CS 610"], &[]),
+    c("CS 652", "Computer Networks-Architectures, Protocols and Standards", &[], &[]),
+    c("CS 634", "Data Mining", &[], &["CS 631", "CS 636"]),
+    c("CS 675", "Machine Learning", &[], &[]),
+    c("CS 631", "Data Management System Design", &[], &[]),
+    c("CS 630", "Operating System Design", &[], &[]),
+    c("CS 700B", "Master's Project", &["CS 673"], &["CS 610", "CS 631"]),
+    c("CS 683", "Software Project Management", &[], &[]),
+    c("CS 677", "Deep Learning", &["CS 675"], &["CS 610", "CS 634", "CS 657"]),
+    c("CS 639", "Elec. Medical Records: Med Terminologies and Comp. Imp.", &[], &[]),
+    c("CS 645", "Security and Privacy in Computer Systems", &[], &["CS 608", "CS 652"]),
+    c("CS 644", "Introduction to Big Data", &[], &[]),
+    c("MATH 661", "Applied Statistics", &[], &[]),
+    c("CS 636", "Data Analytics with R Program", &[], &[]),
+    // Codes that appear in Table V's "bad" transfer sequences.
+    c("CS 696", "Network Management and Security", &["CS 646"], &[]),
+    c("CS 704", "Advanced Topics in Data Mining", &["CS 634"], &[]),
+    // Plausible fills (invented but NJIT-flavoured).
+    c("MATH 662", "Probability Distributions and Inference", &[], &[]),
+    c("CS 632", "Advanced Database System Design", &["CS 631"], &[]),
+    c("CS 633", "Distributed Systems", &[], &["CS 630", "CS 652"]),
+    c("CS 635", "Computer Programming Languages", &[], &[]),
+    c("CS 637", "Data Visualization and Analytics", &[], &["CS 636"]),
+    c("CS 643", "Cloud Computing", &[], &["CS 633", "CS 652"]),
+    c("CS 646", "Network Protocols Security", &["CS 652"], &[]),
+    c("CS 647", "Counter Hacking Techniques", &[], &["CS 608", "CS 645"]),
+    c("CS 648", "Digital Forensics", &[], &["CS 649", "CS 647"]),
+    c("CS 649", "Intrusion Detection and Malware Analysis", &[], &["CS 608"]),
+    c("CS 657", "Statistical Methods in Data Science", &[], &["MATH 661"]),
+    c("CS 659", "Image Processing and Analysis", &[], &[]),
+    c("CS 660", "Permission-Based Blockchain Systems", &[], &[]),
+    c("CS 665", "Pattern Recognition and Applications", &[], &["CS 675"]),
+    c("CS 668", "Computational Geometry", &["CS 610"], &[]),
+    c("CS 670", "Artificial Intelligence", &[], &["CS 610"]),
+    c("CS 673", "Software Design and Production Methodology", &[], &[]),
+    c("CS 680", "Linux Kernel Programming", &[], &["CS 630"]),
+    c("CS 684", "Software Testing and Quality Assurance", &[], &["CS 673"]),
+    c("CS 685", "Software Architecture and Evaluation", &[], &["CS 673"]),
+    c("CS 686", "Secure Web Application Development", &[], &["CS 645"]),
+    c("CS 687", "Programming for Data Science", &[], &[]),
+    c("CS 688", "Natural Language Processing", &[], &["CS 675"]),
+    c("CS 690", "Information Retrieval", &[], &["CS 631"]),
+    c("CS 698", "Reinforcement Learning", &["CS 675"], &[]),
+    c("CS 701", "Advanced Operating Systems", &["CS 630"], &[]),
+    c("CS 707", "Social Network Analysis", &[], &["CS 634"]),
+    c("CS 708", "Advanced Data Security and Privacy", &[], &["CS 645", "CS 608"]),
+    c("CS 732", "Advanced Machine Learning", &["CS 675"], &[]),
+    c("CS 744", "Experiment Design in Computing", &[], &["MATH 661"]),
+    c("IS 601", "Web Systems Development", &[], &[]),
+    c("IS 663", "System Analysis and Design", &[], &[]),
+    c("IS 682", "Forensic Auditing for Computing Security", &[], &["CS 648"]),
+];
+
+/// One of the three Univ-1 M.S. programs the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Univ1Program {
+    /// M.S. Data Science — Computational Track (31 courses, 60 topics).
+    DsCt,
+    /// M.S. Cybersecurity (30 courses, 61 topics).
+    Cyber,
+    /// M.S. Computer Science (32 courses, 100 topics).
+    Cs,
+}
+
+impl Univ1Program {
+    /// Program name as used in catalog identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Univ1Program::DsCt => "univ1/ms-ds-ct",
+            Univ1Program::Cyber => "univ1/ms-cybersecurity",
+            Univ1Program::Cs => "univ1/ms-cs",
+        }
+    }
+
+    /// `(course codes with core flag, topic vocabulary size, default start)`.
+    fn spec(self) -> (&'static [(&'static str, bool)], usize, &'static str) {
+        match self {
+            // 31 courses, 5 cores — exactly the courses Table V labels
+            // "core" in DS-CT, so every valid plan must schedule all of
+            // them; CS 677's elective antecedent (CS 610 OR CS 634) is
+            // the prerequisite trap that separates far-sighted policies
+            // from myopic ones.
+            Univ1Program::DsCt => (
+                &[
+                    ("CS 675", true),
+                    ("CS 677", true),
+                    ("CS 644", true),
+                    ("MATH 661", true),
+                    ("CS 636", true),
+                    ("CS 631", false),
+                    ("MATH 662", false),
+                    ("CS 657", false),
+                    ("CS 610", false),
+                    ("CS 683", false),
+                    ("CS 652", false),
+                    ("CS 639", false),
+                    ("CS 645", false),
+                    ("CS 634", false),
+                    ("CS 696", false),
+                    ("CS 704", false),
+                    ("CS 632", false),
+                    ("CS 637", false),
+                    ("CS 643", false),
+                    ("CS 659", false),
+                    ("CS 660", false),
+                    ("CS 665", false),
+                    ("CS 670", false),
+                    ("CS 687", false),
+                    ("CS 688", false),
+                    ("CS 690", false),
+                    ("CS 698", false),
+                    ("CS 707", false),
+                    ("CS 732", false),
+                    ("CS 744", false),
+                    ("CS 700B", false),
+                ],
+                60,
+                "CS 675",
+            ),
+            // 30 courses, 6 cores; CS 696 and CS 648 carry elective
+            // antecedents (CS 646, CS 649).
+            Univ1Program::Cyber => (
+                &[
+                    ("CS 608", true),
+                    ("CS 645", true),
+                    ("CS 652", true),
+                    ("CS 656", true),
+                    ("CS 696", true),
+                    ("CS 646", false),
+                    ("CS 647", false),
+                    ("CS 648", true),
+                    ("CS 610", false),
+                    ("CS 630", false),
+                    ("CS 631", false),
+                    ("CS 633", false),
+                    ("CS 635", false),
+                    ("CS 643", false),
+                    ("CS 649", false),
+                    ("CS 660", false),
+                    ("CS 670", false),
+                    ("CS 673", false),
+                    ("CS 680", false),
+                    ("CS 683", false),
+                    ("CS 684", false),
+                    ("CS 686", false),
+                    ("CS 701", false),
+                    ("CS 708", false),
+                    ("MATH 661", false),
+                    ("IS 601", false),
+                    ("IS 663", false),
+                    ("IS 682", false),
+                    ("CS 675", false),
+                    ("CS 700B", false),
+                ],
+                61,
+                "CS 608",
+            ),
+            // 32 courses, 6 cores — exactly Table V's M.S. CS core labels
+            // (CS 610/656/667/631/630/700B); CS 656 and CS 700B carry
+            // elective antecedents (CS 652, CS 673).
+            Univ1Program::Cs => (
+                &[
+                    ("CS 610", true),
+                    ("CS 656", true),
+                    ("CS 667", true),
+                    ("CS 631", true),
+                    ("CS 630", true),
+                    ("CS 700B", true),
+                    ("CS 635", false),
+                    ("CS 673", false),
+                    ("CS 608", false),
+                    ("CS 652", false),
+                    ("CS 634", false),
+                    ("CS 675", false),
+                    ("CS 704", false),
+                    ("CS 645", false),
+                    ("CS 636", false),
+                    ("MATH 661", false),
+                    ("CS 632", false),
+                    ("CS 633", false),
+                    ("CS 643", false),
+                    ("CS 646", false),
+                    ("CS 659", false),
+                    ("CS 665", false),
+                    ("CS 668", false),
+                    ("CS 670", false),
+                    ("CS 680", false),
+                    ("CS 683", false),
+                    ("CS 684", false),
+                    ("CS 685", false),
+                    ("CS 688", false),
+                    ("CS 690", false),
+                    ("CS 701", false),
+                    ("CS 732", false),
+                ],
+                100,
+                "CS 610",
+            ),
+        }
+    }
+}
+
+fn find_spec(code: &str) -> &'static CourseSpec {
+    POOL.iter()
+        .find(|s| s.code == code)
+        .unwrap_or_else(|| panic!("course {code} missing from pool"))
+}
+
+/// Builds a prerequisite expression for `spec`, keeping only antecedents
+/// present in this program (a prerequisite taught outside the program is
+/// waived, as real programs do).
+fn build_prereq(spec: &CourseSpec, id_of: &dyn Fn(&str) -> Option<ItemId>) -> PrereqExpr {
+    let all: Vec<ItemId> = spec.pre_all.iter().filter_map(|c| id_of(c)).collect();
+    let any: Vec<ItemId> = spec.pre_any.iter().filter_map(|c| id_of(c)).collect();
+    let all_expr = PrereqExpr::all_of(all);
+    let any_expr = PrereqExpr::any_of(any);
+    match (all_expr.is_none(), any_expr.is_none()) {
+        (true, true) => PrereqExpr::None,
+        (false, true) => all_expr,
+        (true, false) => any_expr,
+        (false, false) => PrereqExpr::All(vec![all_expr, any_expr]),
+    }
+}
+
+/// Assigns topic vectors: phrase-match the course name against the
+/// vocabulary, then pad with seeded-random topics to 3–6 per course.
+fn assign_topics(
+    name: &str,
+    item_index: usize,
+    vocabulary: &TopicVocabulary,
+    rng: &mut StdRng,
+) -> TopicVector {
+    let mut v = vocabulary.zero_vector();
+    let lower = name.to_lowercase();
+    for (i, topic) in vocabulary.names().iter().enumerate() {
+        if lower.contains(topic.as_str()) {
+            v.set(tpp_model::TopicId::from(i));
+        }
+    }
+    let target = rng.random_range(2..=4);
+    let n = vocabulary.len();
+    // One quasi-unique "spread" topic per course keeps the coverage gate
+    // passable late in a plan (without it, sparse name-derived topics
+    // make late cores permanently gated once their themes are covered).
+    v.set(tpp_model::TopicId::from((item_index * 7 + 3) % n));
+    let mut guard = 0;
+    while (v.count_ones() as usize) < target && guard < 1000 {
+        v.set(tpp_model::TopicId::from(rng.random_range(0..n)));
+        guard += 1;
+    }
+    v
+}
+
+/// Standard Univ-1 hard constraints: 30 credit hours at 3 credits each,
+/// 5 core + 5 elective, prerequisites at least a semester (3 courses)
+/// earlier — the paper's `⟨30, 5, 5, 3⟩`.
+pub fn univ1_hard() -> HardConstraints {
+    HardConstraints {
+        credits: 30.0,
+        n_primary: 5,
+        n_secondary: 5,
+        gap: 3,
+    }
+}
+
+/// The Univ-1 interleaving template set: three expert permutations of
+/// 5 primary + 5 secondary slots.
+pub fn univ1_templates() -> TemplateSet {
+    TemplateSet::new(vec![
+        InterleavingTemplate::from_str("PPSPSSPSPS").expect("valid"),
+        InterleavingTemplate::from_str("PSSPPSPSSP").expect("valid"),
+        InterleavingTemplate::from_str("PSPSPSPSPS").expect("valid"),
+    ])
+}
+
+/// Generates one Univ-1 program instance.
+pub fn univ1_program(program: Univ1Program, seed: u64) -> PlanningInstance {
+    let (members, n_topics, start_code) = program.spec();
+    let vocabulary = TopicVocabulary::new(TOPIC_POOL[..n_topics].iter().copied())
+        .expect("topic pool has no duplicates");
+    let mut rng = StdRng::seed_from_u64(seed ^ members.len() as u64);
+
+    let id_of = |code: &str| -> Option<ItemId> {
+        members
+            .iter()
+            .position(|(c, _)| *c == code)
+            .map(ItemId::from)
+    };
+
+    let items: Vec<Item> = members
+        .iter()
+        .enumerate()
+        .map(|(i, (code, is_core))| {
+            let spec = find_spec(code);
+            let kind = if *is_core {
+                ItemKind::Primary
+            } else {
+                ItemKind::Secondary
+            };
+            Item::course(
+                ItemId::from(i),
+                spec.code,
+                spec.name,
+                kind,
+                3.0,
+                build_prereq(spec, &id_of),
+                assign_topics(spec.name, i, &vocabulary, &mut rng),
+            )
+        })
+        .collect();
+
+    let catalog = Catalog::new(program.name(), vocabulary, items)
+        .expect("generated catalog satisfies invariants");
+    let hard = univ1_hard();
+    // §IV-A3: |T_ideal| equals the full program vocabulary (60/61/100) —
+    // the student wants broad coverage; personalization narrows it via
+    // the experiment configs.
+    let ideal = TopicVector::ones(catalog.vocabulary().len());
+    let soft = SoftConstraints::new(ideal, univ1_templates(), &hard)
+        .expect("templates match hard constraints");
+    let default_start = catalog.by_code(start_code).map(|it| it.id);
+    let inst = PlanningInstance {
+        catalog,
+        hard,
+        soft,
+        trip: None,
+        default_start,
+    };
+    inst.validate().expect("generated instance is consistent");
+    inst
+}
+
+/// M.S. DS-CT instance (31 courses, 60 topics).
+pub fn univ1_ds_ct(seed: u64) -> PlanningInstance {
+    univ1_program(Univ1Program::DsCt, seed)
+}
+
+/// M.S. Cybersecurity instance (30 courses, 61 topics).
+pub fn univ1_cyber(seed: u64) -> PlanningInstance {
+    univ1_program(Univ1Program::Cyber, seed)
+}
+
+/// M.S. CS instance (32 courses, 100 topics).
+pub fn univ1_cs(seed: u64) -> PlanningInstance {
+    univ1_program(Univ1Program::Cs, seed)
+}
+
+/// The full Univ-1 catalog: 1216 courses across 126 degree programs in 6
+/// schools, for scalability experiments. Program membership is recorded
+/// in course codes (`"P017 CS 012"` = course 12 of program 17).
+pub fn univ1_full_catalog(seed: u64) -> Catalog {
+    let n_courses = 1216;
+    let n_programs = 126;
+    let n_schools = 6;
+    let vocabulary =
+        TopicVocabulary::new(TOPIC_POOL.iter().copied()).expect("pool has no duplicates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items = Vec::with_capacity(n_courses);
+    for i in 0..n_courses {
+        let program = i % n_programs;
+        let school = program % n_schools;
+        let head = crate::names::COURSE_TITLE_HEADS[i % crate::names::COURSE_TITLE_HEADS.len()];
+        let subject =
+            crate::names::COURSE_TITLE_SUBJECTS[(i / 7) % crate::names::COURSE_TITLE_SUBJECTS.len()];
+        let code = format!("P{program:03} S{school} C{:03}", i / n_programs);
+        let name = format!("{head} {subject}");
+        let kind = if rng.random::<f64>() < 0.3 {
+            ItemKind::Primary
+        } else {
+            ItemKind::Secondary
+        };
+        // ~30% of courses get one OR prerequisite pair among earlier
+        // courses of the same program (acyclic by construction).
+        let prereq = if i >= 2 * n_programs && rng.random::<f64>() < 0.3 {
+            let a = ItemId::from(i - n_programs);
+            let b = ItemId::from(i - 2 * n_programs);
+            PrereqExpr::any_of([a, b])
+        } else {
+            PrereqExpr::None
+        };
+        let topics = assign_topics(&name, i, &vocabulary, &mut rng);
+        items.push(Item::course(ItemId::from(i), code, name, kind, 3.0, prereq, topics));
+    }
+    Catalog::new("univ1/full", vocabulary, items).expect("generated catalog is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::UNIV1_SEED;
+
+    #[test]
+    fn ds_ct_matches_paper_statistics() {
+        let inst = univ1_ds_ct(UNIV1_SEED);
+        assert_eq!(inst.catalog.len(), 31);
+        assert_eq!(inst.catalog.vocabulary().len(), 60);
+        assert_eq!(inst.hard.horizon(), 10);
+        assert!(inst.catalog.primary_count() < inst.catalog.secondary_count());
+        assert_eq!(inst.catalog.primary_count(), 5);
+    }
+
+    #[test]
+    fn cyber_matches_paper_statistics() {
+        let inst = univ1_cyber(UNIV1_SEED);
+        assert_eq!(inst.catalog.len(), 30);
+        assert_eq!(inst.catalog.vocabulary().len(), 61);
+    }
+
+    #[test]
+    fn cs_matches_paper_statistics() {
+        let inst = univ1_cs(UNIV1_SEED);
+        assert_eq!(inst.catalog.len(), 32);
+        assert_eq!(inst.catalog.vocabulary().len(), 100);
+    }
+
+    #[test]
+    fn table6_kinds_match_paper() {
+        // DS-CT: CS 675 core, CS 610 elective, CS 634 elective.
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        assert!(ds.catalog.by_code("CS 675").unwrap().is_primary());
+        assert!(!ds.catalog.by_code("CS 610").unwrap().is_primary());
+        assert!(!ds.catalog.by_code("CS 634").unwrap().is_primary());
+        // CS: CS 610 core, CS 675 elective, CS 700B core.
+        let cs = univ1_cs(UNIV1_SEED);
+        assert!(cs.catalog.by_code("CS 610").unwrap().is_primary());
+        assert!(!cs.catalog.by_code("CS 675").unwrap().is_primary());
+        assert!(cs.catalog.by_code("CS 700B").unwrap().is_primary());
+    }
+
+    #[test]
+    fn programs_share_courses_for_transfer() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        let cs = univ1_cs(UNIV1_SEED);
+        let shared: Vec<&str> = ds
+            .catalog
+            .items()
+            .iter()
+            .filter(|i| cs.catalog.by_code(&i.code).is_some())
+            .map(|i| i.code.as_str())
+            .collect();
+        assert!(
+            shared.len() >= 15,
+            "only {} shared courses: {shared:?}",
+            shared.len()
+        );
+    }
+
+    #[test]
+    fn prereqs_resolve_inside_program() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        // CS 677 requires CS 675 AND (CS 610 OR CS 634 OR CS 657) — all
+        // present in DS-CT, so every antecedent resolves in-program.
+        let cs677 = ds.catalog.by_code("CS 677").unwrap();
+        let deps: Vec<&str> = cs677
+            .prereq
+            .referenced_items()
+            .into_iter()
+            .map(|d| ds.catalog.item(d).code.as_str())
+            .collect();
+        assert_eq!(deps, vec!["CS 675", "CS 610", "CS 634", "CS 657"]);
+    }
+
+    #[test]
+    fn every_course_has_topics() {
+        for inst in [
+            univ1_ds_ct(UNIV1_SEED),
+            univ1_cyber(UNIV1_SEED),
+            univ1_cs(UNIV1_SEED),
+        ] {
+            for item in inst.catalog.items() {
+                assert!(
+                    item.topics.count_ones() >= 2,
+                    "{} has too few topics",
+                    item.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_phrase_matching_sets_expected_topics() {
+        let ds = univ1_ds_ct(UNIV1_SEED);
+        let voc = ds.catalog.vocabulary();
+        let ml = ds.catalog.by_code("CS 675").unwrap();
+        assert!(ml.topics.get(voc.id_of("machine learning").unwrap()));
+        let dm = ds.catalog.by_code("CS 634").unwrap();
+        assert!(dm.topics.get(voc.id_of("data mining").unwrap()));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = univ1_ds_ct(42);
+        let b = univ1_ds_ct(42);
+        for (x, y) in a.catalog.items().iter().zip(b.catalog.items()) {
+            assert_eq!(x.topics, y.topics);
+        }
+        let c = univ1_ds_ct(43);
+        assert!(
+            a.catalog
+                .items()
+                .iter()
+                .zip(c.catalog.items())
+                .any(|(x, y)| x.topics != y.topics),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn default_starts() {
+        assert_eq!(
+            univ1_ds_ct(UNIV1_SEED).default_start,
+            univ1_ds_ct(UNIV1_SEED).catalog.by_code("CS 675").map(|i| i.id)
+        );
+        assert!(univ1_cs(UNIV1_SEED).default_start.is_some());
+    }
+
+    #[test]
+    fn full_catalog_statistics() {
+        let cat = univ1_full_catalog(7);
+        assert_eq!(cat.len(), 1216);
+        assert_eq!(cat.vocabulary().len(), TOPIC_POOL.len());
+        // Roughly 30% primaries.
+        let p = cat.primary_count() as f64 / cat.len() as f64;
+        assert!((0.2..0.4).contains(&p), "primary fraction {p}");
+    }
+
+    #[test]
+    fn templates_have_paper_shape() {
+        univ1_templates().check_shape(&univ1_hard()).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: every seed must yield structurally valid datasets.
+
+use proptest::prelude::*;
+use tpp_datagen::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Univ-1 program instances validate for arbitrary seeds and keep
+    /// the paper's published statistics.
+    #[test]
+    fn univ1_valid_for_any_seed(seed in any::<u64>()) {
+        for (inst, items, topics) in [
+            (univ1_ds_ct(seed), 31usize, 60usize),
+            (univ1_cyber(seed), 30, 61),
+            (univ1_cs(seed), 32, 100),
+        ] {
+            inst.validate().unwrap();
+            prop_assert_eq!(inst.catalog.len(), items);
+            prop_assert_eq!(inst.catalog.vocabulary().len(), topics);
+            prop_assert!(inst.catalog.primary_count() < inst.catalog.secondary_count());
+            // Start course is always prerequisite-free.
+            let start = inst.catalog.item(inst.default_start.unwrap());
+            prop_assert!(start.prereq.is_none());
+        }
+    }
+
+    /// Univ-2 instances validate for arbitrary seeds.
+    #[test]
+    fn univ2_valid_for_any_seed(seed in any::<u64>()) {
+        let inst = univ2_ds(seed);
+        inst.validate().unwrap();
+        prop_assert_eq!(inst.catalog.len(), 36);
+        prop_assert_eq!(inst.catalog.vocabulary().len(), 73);
+        for item in inst.catalog.items() {
+            prop_assert!(item.category.is_some());
+        }
+    }
+
+    /// Synthetic instances validate across the config space.
+    #[test]
+    fn synthetic_valid_across_configs(
+        n_items in 12usize..150,
+        n_topics in 8usize..100,
+        core_fraction in 0.15f64..0.6,
+        prereq_density in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let config = SyntheticConfig {
+            n_items,
+            n_topics,
+            core_fraction,
+            prereq_density,
+            n_primary: 4,
+            n_secondary: 4,
+            gap: 2,
+        };
+        let inst = synthetic_course_instance(&config, seed);
+        inst.validate().unwrap();
+        prop_assert_eq!(inst.catalog.len(), n_items);
+        prop_assert!(inst.catalog.primary_count() >= 4);
+    }
+}
+
+// Trip generation is expensive (thousands of itineraries); exercise a
+// handful of seeds deterministically instead of via proptest.
+#[test]
+fn trips_valid_for_several_seeds() {
+    for seed in [0u64, 1, 99, u64::MAX] {
+        let d = nyc(seed);
+        d.instance.validate().unwrap();
+        assert_eq!(d.instance.catalog.len(), 90);
+        assert_eq!(d.itineraries.len(), 2908);
+        for item in d.instance.catalog.items() {
+            let attrs = item.poi.expect("poi attrs");
+            assert!((1.0..=5.0).contains(&attrs.popularity));
+            // Popularity is half-star quantized.
+            let doubled = attrs.popularity * 2.0;
+            assert!((doubled - doubled.round()).abs() < 1e-9, "{}", item.code);
+        }
+    }
+}
+
+#[test]
+fn all_program_prereqs_internally_consistent() {
+    // Every antecedent referenced by any program course resolves inside
+    // that program (build_prereq waives external ones).
+    for inst in [univ1_ds_ct(1), univ1_cyber(1), univ1_cs(1), univ2_ds(1)] {
+        for item in inst.catalog.items() {
+            for dep in item.prereq.referenced_items() {
+                assert!(
+                    inst.catalog.get(dep).is_some(),
+                    "{}: dangling antecedent",
+                    item.code
+                );
+            }
+        }
+    }
+}

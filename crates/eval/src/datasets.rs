@@ -1,0 +1,125 @@
+//! Cached dataset construction shared by all experiments.
+//!
+//! The sweep tables re-evaluate the same instances dozens of times;
+//! regenerating 5k+ itineraries per cell would dominate the runtime, so
+//! the six evaluation datasets are built once behind `OnceLock`s with the
+//! default seeds.
+
+use std::sync::OnceLock;
+use tpp_datagen::defaults::{NYC_SEED, PARIS_SEED, UNIV1_SEED, UNIV2_SEED};
+use tpp_datagen::TripDataset;
+use tpp_model::PlanningInstance;
+
+/// The four course datasets, in the order Fig. 1(a) presents them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CourseDataset {
+    /// Univ-1 M.S. Data Science — Computational Track.
+    DsCt,
+    /// Univ-1 M.S. Cybersecurity.
+    Cyber,
+    /// Univ-1 M.S. Computer Science.
+    Cs,
+    /// Univ-2 M.S. Data Science.
+    Univ2,
+}
+
+impl CourseDataset {
+    /// All four, in presentation order.
+    pub const ALL: [CourseDataset; 4] = [
+        CourseDataset::DsCt,
+        CourseDataset::Cyber,
+        CourseDataset::Cs,
+        CourseDataset::Univ2,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CourseDataset::DsCt => "Univ-1 DS-CT",
+            CourseDataset::Cyber => "Univ-1 Cybersecurity",
+            CourseDataset::Cs => "Univ-1 CS",
+            CourseDataset::Univ2 => "Univ-2 DS",
+        }
+    }
+}
+
+/// The two trip datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCity {
+    /// New York City (90 POIs, 21 themes).
+    Nyc,
+    /// Paris (114 POIs, 16 themes).
+    Paris,
+}
+
+impl TripCity {
+    /// Both cities, in presentation order.
+    pub const ALL: [TripCity; 2] = [TripCity::Nyc, TripCity::Paris];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TripCity::Nyc => "NYC",
+            TripCity::Paris => "Paris",
+        }
+    }
+}
+
+/// The cached instance for a course dataset.
+pub fn course_instance(ds: CourseDataset) -> &'static PlanningInstance {
+    match ds {
+        CourseDataset::DsCt => {
+            static CELL: OnceLock<PlanningInstance> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::univ1_ds_ct(UNIV1_SEED))
+        }
+        CourseDataset::Cyber => {
+            static CELL: OnceLock<PlanningInstance> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::univ1_cyber(UNIV1_SEED))
+        }
+        CourseDataset::Cs => {
+            static CELL: OnceLock<PlanningInstance> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::univ1_cs(UNIV1_SEED))
+        }
+        CourseDataset::Univ2 => {
+            static CELL: OnceLock<PlanningInstance> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::univ2_ds(UNIV2_SEED))
+        }
+    }
+}
+
+/// The cached trip dataset (instance + itinerary logs) for a city.
+pub fn trip_dataset(city: TripCity) -> &'static TripDataset {
+    match city {
+        TripCity::Nyc => {
+            static CELL: OnceLock<TripDataset> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::nyc(NYC_SEED))
+        }
+        TripCity::Paris => {
+            static CELL: OnceLock<TripDataset> = OnceLock::new();
+            CELL.get_or_init(|| tpp_datagen::paris(PARIS_SEED))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_return_same_instance() {
+        let a = course_instance(CourseDataset::DsCt) as *const _;
+        let b = course_instance(CourseDataset::DsCt) as *const _;
+        assert_eq!(a, b);
+        let t = trip_dataset(TripCity::Nyc) as *const _;
+        let u = trip_dataset(TripCity::Nyc) as *const _;
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn labels_and_sizes() {
+        assert_eq!(course_instance(CourseDataset::Univ2).catalog.len(), 36);
+        assert_eq!(trip_dataset(TripCity::Paris).instance.catalog.len(), 114);
+        assert_eq!(CourseDataset::DsCt.label(), "Univ-1 DS-CT");
+        assert_eq!(TripCity::Nyc.label(), "NYC");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 1: RL-Planner vs OMEGA vs EDA vs gold standard.
+//!
+//! (a) average plan score on the four course programs; (b) on the two
+//! cities. Scores average 10 runs; OMEGA and gold are deterministic.
+//! Expected shape (§IV-B): RL-Planner above both automated baselines and
+//! close to gold; OMEGA mostly 0 (hard-constraint failures).
+
+use crate::datasets::{course_instance, trip_dataset, CourseDataset, TripCity};
+use crate::report::{fmt_score, NamedTable, Report};
+use crate::runner;
+use tpp_core::{PlannerParams, SimAggregate};
+
+/// Runs Fig. 1 and returns the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig1", "RL-Planner, OMEGA, EDA, and Gold Standard (Fig. 1)");
+
+    // (a) Course planning.
+    let mut rows = Vec::new();
+    for ds in CourseDataset::ALL {
+        let instance = course_instance(ds);
+        let base = if ds == CourseDataset::Univ2 {
+            PlannerParams::univ2_defaults()
+        } else {
+            PlannerParams::univ1_defaults()
+        };
+        let params = runner::pinned(&base, instance);
+        let min_params = params.clone().with_sim(SimAggregate::Minimum);
+        rows.push(vec![
+            ds.label().to_owned(),
+            fmt_score(runner::rl_avg_score(instance, &params)),
+            fmt_score(runner::rl_avg_score(instance, &min_params)),
+            fmt_score(runner::eda_avg_score(instance, &params)),
+            fmt_score(runner::omega_score_course(ds)),
+            fmt_score(runner::gold_score(instance)),
+        ]);
+    }
+    report.push_table(NamedTable::new(
+        "(a) course planning — average score over 10 runs",
+        ["dataset", "RL-Planner (AvgSim)", "RL-Planner (MinSim)", "EDA", "OMEGA", "Gold"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    ));
+
+    // (b) Trip planning.
+    let mut rows = Vec::new();
+    for city in TripCity::ALL {
+        let d = trip_dataset(city);
+        let params = runner::pinned(&PlannerParams::trip_defaults(), &d.instance);
+        let min_params = params.clone().with_sim(SimAggregate::Minimum);
+        rows.push(vec![
+            city.label().to_owned(),
+            fmt_score(runner::rl_avg_score(&d.instance, &params)),
+            fmt_score(runner::rl_avg_score(&d.instance, &min_params)),
+            fmt_score(runner::eda_avg_score(&d.instance, &params)),
+            fmt_score(runner::omega_score_trip(city)),
+            fmt_score(runner::gold_score(&d.instance)),
+        ]);
+    }
+    report.push_table(NamedTable::new(
+        "(b) trip planning — average score over 10 runs",
+        ["city", "RL-Planner (AvgSim)", "RL-Planner (MinSim)", "EDA", "OMEGA", "Gold"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    ));
+
+    report.push_note(
+        "Paper shape: RL-Planner close to gold (7.9/10 on DS-CT, ~4.6/5 on trips), \
+         EDA lower, OMEGA mostly 0 because its recommendations violate hard constraints.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_ordering() {
+        let report = run();
+        assert_eq!(report.tables.len(), 2);
+        for table in &report.tables {
+            for row in &table.rows {
+                let rl: f64 = row[1].parse().unwrap();
+                let eda: f64 = row[3].parse().unwrap();
+                let omega: f64 = row[4].parse().unwrap();
+                let gold: f64 = row[5].parse().unwrap();
+                // RL must match or beat EDA up to 10-run sampling noise
+                // (Univ-2's N = 100 default leaves the two within a few
+                // tenths of each other on some seed draws).
+                assert!(rl >= eda - 0.5, "{}: RL {rl} < EDA {eda}", row[0]);
+                assert!(gold >= rl - 1e-9, "{}: gold {gold} < RL {rl}", row[0]);
+                assert!(omega <= 1e-9, "{}: OMEGA {omega} should be ~0", row[0]);
+                assert!(rl > 0.0, "{}: RL should produce valid plans", row[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 2: scalability — policy-learning time vs N (panels a, c) and
+//! recommendation time vs N (panels b, d).
+//!
+//! The paper's claims are shape claims: learning time grows linearly
+//! with the number of episodes, and applying a learned policy takes
+//! seconds or less (interactive use). Both are re-measured here on the
+//! DS-CT and NYC datasets.
+
+use crate::datasets::{course_instance, trip_dataset, CourseDataset, TripCity};
+use crate::report::{NamedTable, Report};
+use crate::runner;
+use std::time::Instant;
+use tpp_core::{PlannerParams, RlPlanner};
+
+/// Episode counts measured, as in Fig. 2.
+pub const EPISODES: [usize; 5] = [100, 200, 300, 500, 1000];
+
+/// Wall-clock of one learn and one recommend at `episodes`, in
+/// milliseconds, averaged over `reps` repetitions.
+fn measure(
+    instance: &tpp_model::PlanningInstance,
+    base: &PlannerParams,
+    episodes: usize,
+    reps: u64,
+) -> (f64, f64) {
+    let mut params = runner::pinned(base, instance);
+    params.episodes = episodes;
+    let start = runner::start_of(instance);
+    let mut learn_ms = 0.0;
+    let mut rec_ms = 0.0;
+    for seed in 0..reps {
+        let t0 = Instant::now();
+        let (policy, _) = RlPlanner::learn(instance, &params, seed);
+        learn_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let _ = RlPlanner::recommend(&policy, instance, &params, start);
+        rec_ms += t1.elapsed().as_secs_f64() * 1e3;
+    }
+    (learn_ms / reps as f64, rec_ms / reps as f64)
+}
+
+/// Runs Fig. 2 and returns the report. `reps` averages repeated timings
+/// (3 by default from the registry).
+pub fn run_with_reps(reps: u64) -> Report {
+    let mut report = Report::new(
+        "fig2",
+        "Scalability: learning and recommendation time vs N (Fig. 2)",
+    );
+    let specs: [(&str, &tpp_model::PlanningInstance, PlannerParams); 2] = [
+        (
+            "courses (Univ-1 DS-CT)",
+            course_instance(CourseDataset::DsCt),
+            PlannerParams::univ1_defaults(),
+        ),
+        (
+            "trips (NYC)",
+            &trip_dataset(TripCity::Nyc).instance,
+            PlannerParams::trip_defaults(),
+        ),
+    ];
+    for (label, instance, base) in specs {
+        let mut rows = Vec::new();
+        for n in EPISODES {
+            let (learn, rec) = measure(instance, &base, n, reps);
+            rows.push(vec![
+                n.to_string(),
+                format!("{learn:.1}"),
+                format!("{rec:.3}"),
+            ]);
+        }
+        report.push_table(NamedTable::new(
+            format!("{label} — wall-clock vs episodes"),
+            ["N", "learn (ms)", "recommend (ms)"].map(String::from).to_vec(),
+            rows,
+        ));
+    }
+    report.push_note(
+        "Paper shape: learning time linear in N; recommendation time flat and \
+         far below a second, enabling interactive use.",
+    );
+    report
+}
+
+/// Runs with the default repetition count.
+pub fn run() -> Report {
+    run_with_reps(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learning_time_grows_roughly_linearly() {
+        // Compare N=100 vs N=1000 on the course dataset with 1 rep: the
+        // ratio should be clearly super-constant (≥ 3x) and not wildly
+        // super-linear (≤ 40x) — generous bounds, this is a timing test.
+        let instance = course_instance(CourseDataset::DsCt);
+        let base = PlannerParams::univ1_defaults();
+        let (t100, _) = measure(instance, &base, 100, 1);
+        let (t1000, r1000) = measure(instance, &base, 1000, 1);
+        let ratio = t1000 / t100.max(1e-6);
+        assert!(
+            (3.0..60.0).contains(&ratio),
+            "t(1000)/t(100) = {ratio} (t100={t100}ms t1000={t1000}ms)"
+        );
+        // Recommendation is interactive-fast.
+        assert!(r1000 < 1000.0, "recommend took {r1000} ms");
+    }
+}

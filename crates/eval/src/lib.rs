@@ -1,0 +1,38 @@
+//! # tpp-eval
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§IV), a shared parallel runner, a rater simulation for the
+//! user study, and ASCII/CSV report rendering.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig1`] | Fig. 1(a)(b) — RL-Planner vs OMEGA vs EDA vs gold |
+//! | [`table4`] | Table IV — user-study ratings (simulated raters) |
+//! | [`table5`] | Tables V & VI — course transfer learning case study |
+//! | [`table7`] | Table VII — trip transfer learning case study |
+//! | [`table8`] | Table VIII — itinerary descriptions under (t, d) |
+//! | [`sweeps`] | Tables IX–XVI — parameter robustness |
+//! | [`fig2`] | Fig. 2 — scalability (learn / recommend time vs N) |
+//! | [`extensions`] | beyond-paper: ablations, size scaling, feedback |
+//!
+//! Every experiment returns a [`report::Report`]; `run_experiment` and
+//! `all_experiments` drive them by id (the CLI's `exp` subcommand).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod raters;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod sweeps;
+pub mod table4;
+pub mod table5;
+pub mod table7;
+pub mod table8;
+
+pub use registry::{all_experiments, run_experiment, ExperimentId};
+pub use report::{write_markdown_bundle, NamedTable, Report};

@@ -1,0 +1,154 @@
+//! Experiment registry: run any table/figure by id.
+
+use crate::report::Report;
+use crate::{extensions, fig1, fig2, sweeps, table4, table5, table7, table8};
+
+/// Identifiers of every reproducible experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Fig. 1 — method comparison.
+    Fig1,
+    /// Table IV — user study.
+    Table4,
+    /// Tables V & VI — course transfer.
+    Table5,
+    /// Table VII — trip transfer.
+    Table7,
+    /// Table VIII — itinerary descriptions.
+    Table8,
+    /// Table IX — Univ-1 ε & weights sweep.
+    Table9,
+    /// Table X — Univ-1 N/α/γ sweep.
+    Table10,
+    /// Table XI — Univ-1 start & δβ sweep.
+    Table11,
+    /// Table XII — Univ-2 N/α/γ/ε sweep.
+    Table12,
+    /// Table XIII — Univ-2 ω sweep.
+    Table13,
+    /// Table XIV — Univ-2 start & δβ sweep.
+    Table14,
+    /// Table XV — trips N/α/γ/d sweep.
+    Table15,
+    /// Table XVI — trips t & δβ sweep.
+    Table16,
+    /// Fig. 2 — scalability.
+    Fig2,
+    /// Extension: design-choice ablations.
+    Ablations,
+    /// Extension: scalability in catalog size.
+    SizeScaling,
+    /// Extension: the §VI feedback loop.
+    Feedback,
+    /// Extension: learning curves.
+    Convergence,
+}
+
+impl ExperimentId {
+    /// All experiments, in paper order.
+    pub const ALL: [ExperimentId; 18] = [
+        ExperimentId::Fig1,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table7,
+        ExperimentId::Table8,
+        ExperimentId::Table9,
+        ExperimentId::Table10,
+        ExperimentId::Table11,
+        ExperimentId::Table12,
+        ExperimentId::Table13,
+        ExperimentId::Table14,
+        ExperimentId::Table15,
+        ExperimentId::Table16,
+        ExperimentId::Fig2,
+        ExperimentId::Ablations,
+        ExperimentId::SizeScaling,
+        ExperimentId::Feedback,
+        ExperimentId::Convergence,
+    ];
+
+    /// String id accepted by the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExperimentId::Fig1 => "fig1",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Table5 => "table5",
+            ExperimentId::Table7 => "table7",
+            ExperimentId::Table8 => "table8",
+            ExperimentId::Table9 => "table9",
+            ExperimentId::Table10 => "table10",
+            ExperimentId::Table11 => "table11",
+            ExperimentId::Table12 => "table12",
+            ExperimentId::Table13 => "table13",
+            ExperimentId::Table14 => "table14",
+            ExperimentId::Table15 => "table15",
+            ExperimentId::Table16 => "table16",
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Ablations => "ablations",
+            ExperimentId::SizeScaling => "size-scaling",
+            ExperimentId::Feedback => "feedback",
+            ExperimentId::Convergence => "convergence",
+        }
+    }
+
+    /// Parses a string id (case-insensitive).
+    pub fn parse(s: &str) -> Option<ExperimentId> {
+        let s = s.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|e| e.as_str() == s)
+    }
+
+    /// Runs the experiment.
+    pub fn run(self) -> Report {
+        match self {
+            ExperimentId::Fig1 => fig1::run(),
+            ExperimentId::Table4 => table4::run(),
+            ExperimentId::Table5 => table5::run(),
+            ExperimentId::Table7 => table7::run(),
+            ExperimentId::Table8 => table8::run(),
+            ExperimentId::Table9 => sweeps::run_table9(),
+            ExperimentId::Table10 => sweeps::run_table10(),
+            ExperimentId::Table11 => sweeps::run_table11(),
+            ExperimentId::Table12 => sweeps::run_table12(),
+            ExperimentId::Table13 => sweeps::run_table13(),
+            ExperimentId::Table14 => sweeps::run_table14(),
+            ExperimentId::Table15 => sweeps::run_table15(),
+            ExperimentId::Table16 => sweeps::run_table16(),
+            ExperimentId::Fig2 => fig2::run(),
+            ExperimentId::Ablations => extensions::run_ablations(),
+            ExperimentId::SizeScaling => extensions::run_size_scaling(),
+            ExperimentId::Feedback => extensions::run_feedback(),
+            ExperimentId::Convergence => extensions::run_convergence(),
+        }
+    }
+}
+
+/// Runs one experiment by string id.
+pub fn run_experiment(id: &str) -> Option<Report> {
+    ExperimentId::parse(id).map(ExperimentId::run)
+}
+
+/// All experiment ids, in paper order.
+pub fn all_experiments() -> impl Iterator<Item = ExperimentId> {
+    ExperimentId::ALL.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for e in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(e.as_str()), Some(e));
+        }
+        assert_eq!(ExperimentId::parse("TABLE9"), Some(ExperimentId::Table9));
+        assert_eq!(ExperimentId::parse("nope"), None);
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        // 8 sweep/robustness tables + fig1 + fig2 + user study + 3 case
+        // studies (Table VI folds into table5) + 4 extensions.
+        assert_eq!(ExperimentId::ALL.len(), 18);
+    }
+}

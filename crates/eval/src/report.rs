@@ -1,0 +1,292 @@
+//! Report structures and rendering (ASCII tables + CSV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One table of results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTable {
+    /// Table caption.
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl NamedTable {
+    /// Creates a table, checking row widths.
+    pub fn new(
+        name: impl Into<String>,
+        headers: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        let headers_len = headers.len();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), headers_len, "row {i} has wrong width");
+        }
+        NamedTable {
+            name: name.into(),
+            headers,
+            rows,
+        }
+    }
+
+    /// Renders the table with box-drawing-free ASCII (pipes and dashes).
+    pub fn render_ascii(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.name);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, width) in widths.iter().enumerate().take(ncols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                s.push(' ');
+                s.push_str(cell);
+                s.extend(std::iter::repeat_n(' ', pad));
+                s.push_str(" |");
+            }
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full experiment report: one or more tables plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id (e.g. `"fig1"`, `"table9"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<NamedTable>,
+    /// Interpretation / caveats, one paragraph per entry.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: NamedTable) {
+        self.tables.push(table);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the whole report as ASCII.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# [{}] {}", self.id, self.title);
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render_ascii());
+        }
+        for n in &self.notes {
+            out.push('\n');
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Writes one CSV per table under `dir` as `<id>_<k>.csv`.
+    pub fn write_csvs(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (k, t) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{k}.csv", self.id));
+            std::fs::write(path, t.to_csv())?;
+        }
+        Ok(())
+    }
+
+    /// Renders as GitHub-flavoured Markdown (the ASCII tables are already
+    /// valid GFM pipe tables; this adds headings and italicised notes).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} (`{}`)", self.title, self.id);
+        for t in &self.tables {
+            let _ = writeln!(out, "\n### {}\n", t.name);
+            // Re-render the body without the `## name` line.
+            let body = t.render_ascii();
+            let mut lines = body.lines();
+            let _ = lines.next(); // drop "## name"
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Appends `reports` to one combined Markdown file.
+pub fn write_markdown_bundle(
+    path: impl AsRef<std::path::Path>,
+    title: &str,
+    reports: &[Report],
+) -> std::io::Result<()> {
+    let mut out = format!("# {title}\n");
+    for r in reports {
+        out.push('\n');
+        out.push_str(&r.render_markdown());
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Formats a score cell the way the paper prints them (two decimals,
+/// trailing zeros trimmed).
+pub fn fmt_score(v: f64) -> String {
+    let s = format!("{v:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NamedTable {
+        NamedTable::new(
+            "demo",
+            vec!["a".into(), "long header".into()],
+            vec![
+                vec!["1".into(), "x".into()],
+                vec!["2222".into(), "y,z".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let s = sample().render_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("## demo"));
+        // All data lines have the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"y,z\""));
+        assert!(csv.starts_with("a,long header\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn rejects_jagged_rows() {
+        NamedTable::new("bad", vec!["a".into()], vec![vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn fmt_score_trims() {
+        assert_eq!(fmt_score(7.90), "7.9");
+        assert_eq!(fmt_score(10.0), "10");
+        assert_eq!(fmt_score(0.0), "0");
+        assert_eq!(fmt_score(8.24), "8.24");
+    }
+
+    #[test]
+    fn markdown_render_and_bundle() {
+        let mut r = Report::new("t2", "md demo");
+        r.push_table(sample());
+        r.push_note("be careful");
+        let md = r.render_markdown();
+        assert!(md.contains("## md demo (`t2`)"));
+        assert!(md.contains("### demo"));
+        assert!(md.contains("> be careful"));
+        assert!(md.contains("| a"));
+        let path = std::env::temp_dir().join(format!("tpp-md-{}.md", std::process::id()));
+        write_markdown_bundle(&path, "bundle", &[r]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("# bundle"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_render_and_csv() {
+        let mut r = Report::new("t1", "demo report");
+        r.push_table(sample());
+        r.push_note("hello");
+        let s = r.render_ascii();
+        assert!(s.contains("[t1]") && s.contains("note: hello"));
+        let dir = std::env::temp_dir().join(format!("tpp-report-{}", std::process::id()));
+        r.write_csvs(&dir).unwrap();
+        assert!(dir.join("t1_0.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,128 @@
+//! Table IV: the user study, with simulated raters (see [`crate::raters`]).
+//!
+//! Course side: 25 students rate an RL-Planner DS-CT plan against the
+//! gold standard. Trip side: 50 workers validate 10 itineraries (5 NYC +
+//! 5 Paris, 5 raters each) for both methods. Ratings are per-question
+//! means on a 1–5 scale.
+
+use crate::datasets::{course_instance, trip_dataset, CourseDataset, TripCity};
+use crate::raters::{panel_ratings, Question};
+use crate::report::{NamedTable, Report};
+use crate::runner;
+use tpp_baselines::gold_plan;
+use tpp_core::{PlannerParams, RlPlanner};
+use tpp_model::{Plan, PlanningInstance};
+
+fn rl_plan(instance: &PlanningInstance, params: &PlannerParams, seed: u64) -> Plan {
+    let params = runner::pinned(params, instance);
+    let (policy, _) = RlPlanner::learn(instance, &params, seed);
+    RlPlanner::recommend(&policy, instance, &params, runner::start_of(instance))
+}
+
+/// Runs the Table IV study simulation.
+pub fn run() -> Report {
+    let mut report = Report::new("table4", "User study: average ratings (Table IV)");
+
+    // --- Course planning: 25 students, DS-CT.
+    let inst = course_instance(CourseDataset::DsCt);
+    let params = PlannerParams::univ1_defaults();
+    // Average the RL ratings over 5 independent plans, as multiple
+    // advisee plans were shown in the study.
+    let mut rl_course = [0.0f64; 4];
+    for seed in 0..5 {
+        let plan = rl_plan(inst, &params, seed);
+        let r = panel_ratings(inst, &plan, 25, 100 + seed);
+        for i in 0..4 {
+            rl_course[i] += r[i] / 5.0;
+        }
+    }
+    let gold_course = panel_ratings(inst, &gold_plan(inst, None), 25, 7);
+
+    // --- Trip planning: 5 itineraries per city, 5 unique raters each.
+    let mut rl_trip = [0.0f64; 4];
+    let mut gold_trip = [0.0f64; 4];
+    let mut n = 0.0;
+    for city in TripCity::ALL {
+        let d = trip_dataset(city);
+        let tparams = PlannerParams::trip_defaults();
+        for seed in 0..5u64 {
+            let plan = rl_plan(&d.instance, &tparams, seed);
+            let r = panel_ratings(&d.instance, &plan, 5, 200 + seed);
+            let g = panel_ratings(
+                &d.instance,
+                &gold_plan(&d.instance, Some(runner::start_of(&d.instance))),
+                5,
+                300 + seed,
+            );
+            for i in 0..4 {
+                rl_trip[i] += r[i];
+                gold_trip[i] += g[i];
+            }
+            n += 1.0;
+        }
+    }
+    for i in 0..4 {
+        rl_trip[i] /= n;
+        gold_trip[i] /= n;
+    }
+
+    let rows = Question::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            vec![
+                q.label().to_owned(),
+                format!("{:.2}", rl_course[i]),
+                format!("{:.2}", gold_course[i]),
+                format!("{:.2}", rl_trip[i]),
+                format!("{:.2}", gold_trip[i]),
+            ]
+        })
+        .collect();
+    report.push_table(NamedTable::new(
+        "average ratings (1–5), simulated raters",
+        [
+            "question",
+            "course RL-Planner",
+            "course Gold",
+            "trip RL-Planner",
+            "trip Gold",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    ));
+    report.push_note(
+        "Paper values — course: RL 3.6/3.1/3.6/3.24 vs gold 4.12/3.4/3.76/3.68; \
+         trip: RL 4.2/3.7/3.8/4.09 vs gold 4.5/4.12/3.9/4.11. The raters here are \
+         simulated (see raters.rs); the reproduced claim is the relative one: \
+         RL-Planner within a few tenths of gold on every question.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_rl_close_to_but_below_gold() {
+        let report = run();
+        let table = &report.tables[0];
+        for row in &table.rows {
+            let rl_c: f64 = row[1].parse().unwrap();
+            let gold_c: f64 = row[2].parse().unwrap();
+            let rl_t: f64 = row[3].parse().unwrap();
+            let gold_t: f64 = row[4].parse().unwrap();
+            for v in [rl_c, gold_c, rl_t, gold_t] {
+                assert!((1.0..=5.0).contains(&v));
+            }
+            // Gold matches or beats RL up to rater noise, and stays
+            // within ~1.2 points — the paper's "highly comparable" claim.
+            assert!(gold_c + 0.2 >= rl_c, "{}: course rl {rl_c} gold {gold_c}", row[0]);
+            assert!(gold_t + 0.2 >= rl_t, "{}: trip rl {rl_t} gold {gold_t}", row[0]);
+            assert!(gold_c - rl_c < 1.2, "{}: course gap too wide", row[0]);
+            assert!(gold_t - rl_t < 1.2, "{}: trip gap too wide", row[0]);
+        }
+    }
+}

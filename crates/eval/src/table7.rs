@@ -1,0 +1,70 @@
+//! Table VII: transfer learning between NYC and Paris.
+//!
+//! The cities share no POIs and even their theme vocabularies differ
+//! (21 vs 16 themes), so Q mass is transported through the
+//! nearest-theme-profile mapping. The paper reports short transferred
+//! itineraries with their scores.
+
+use crate::datasets::{trip_dataset, TripCity};
+use crate::report::{fmt_score, NamedTable, Report};
+use crate::runner;
+use tpp_core::{poi_mapping_by_theme, score_plan, transfer_policy, PlannerParams, RlPlanner};
+
+/// Runs the Table VII case study.
+pub fn run() -> Report {
+    let mut report = Report::new("table7", "Trip transfer learning NYC ↔ Paris (Table VII)");
+    let mut rows = Vec::new();
+    for (learnt, applied) in [(TripCity::Nyc, TripCity::Paris), (TripCity::Paris, TripCity::Nyc)] {
+        let source = &trip_dataset(learnt).instance;
+        let target = &trip_dataset(applied).instance;
+        let params = PlannerParams::trip_defaults();
+        let mapping = poi_mapping_by_theme(&target.catalog, &source.catalog);
+        let src_params = runner::pinned(&params, source);
+        let (policy, _) = RlPlanner::learn(source, &src_params, 0);
+        let q = transfer_policy(&policy.q, &mapping);
+        let start = runner::start_of(target);
+        let tgt_params = params.clone().with_start(start);
+        let plan = RlPlanner::recommend_with_q(&q, target, &tgt_params, start);
+        let seq = plan
+            .items()
+            .iter()
+            .map(|&id| format!("'{}'", target.catalog.item(id).code))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        rows.push(vec![
+            learnt.label().to_owned(),
+            applied.label().to_owned(),
+            format!("[{seq}]"),
+            fmt_score(score_plan(target, &plan)),
+            format!("{:.0}%", 100.0 * mapping.coverage()),
+        ]);
+    }
+    report.push_table(NamedTable::new(
+        "transferred itineraries (Table VII)",
+        ["learnt policy", "applied policy", "sequence of recommended POIs", "score", "mapping coverage"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    ));
+    report.push_note(
+        "Paper values: NYC→Paris 4.3 and Paris→NYC 4.5 on 2–3-POI itineraries; \
+         the reproduced claim is that theme-space transfer yields valid, \
+         high-popularity itineraries without retraining.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_transfer_yields_positive_scores() {
+        let report = run();
+        for row in &report.tables[0].rows {
+            let score: f64 = row[3].parse().unwrap();
+            assert!(score > 3.5, "{} → {}: score {score}", row[0], row[1]);
+            assert!(!row[2].is_empty());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! A uniform grid spatial index over points in a bounding box.
+//!
+//! Used by the trip dataset generator (sample a plausible "next POI on the
+//! same day" near the current one) and by feasibility checks. For ≤ ~120
+//! POIs per city a fancy structure is pointless; a grid gives O(1) cell
+//! lookup and small candidate lists with trivial code.
+
+use crate::point::{BoundingBox, GeoPoint};
+
+/// A uniform grid over a bounding box storing `(point, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    bbox: BoundingBox,
+    cells_per_axis: usize,
+    /// Row-major cells, each a list of (point, payload).
+    cells: Vec<Vec<(GeoPoint, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Creates an empty index with `cells_per_axis × cells_per_axis`
+    /// cells over `bbox`.
+    ///
+    /// # Panics
+    /// Panics when `cells_per_axis == 0`.
+    pub fn new(bbox: BoundingBox, cells_per_axis: usize) -> Self {
+        assert!(cells_per_axis > 0, "grid needs at least one cell per axis");
+        GridIndex {
+            bbox,
+            cells_per_axis,
+            cells: vec![Vec::new(); cells_per_axis * cells_per_axis],
+            len: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> usize {
+        let n = self.cells_per_axis;
+        let u = if self.bbox.max_lat > self.bbox.min_lat {
+            (p.lat - self.bbox.min_lat) / (self.bbox.max_lat - self.bbox.min_lat)
+        } else {
+            0.0
+        };
+        let v = if self.bbox.max_lon > self.bbox.min_lon {
+            (p.lon - self.bbox.min_lon) / (self.bbox.max_lon - self.bbox.min_lon)
+        } else {
+            0.0
+        };
+        let row = ((u * n as f64) as usize).min(n - 1);
+        let col = ((v * n as f64) as usize).min(n - 1);
+        row * n + col
+    }
+
+    /// Inserts a point (clamped into the box if slightly outside).
+    pub fn insert(&mut self, p: GeoPoint, payload: T) {
+        let idx = self.cell_of(&p);
+        self.cells[idx].push((p, payload));
+        self.len += 1;
+    }
+
+    /// All payloads within `radius_km` of `p`, with their distances,
+    /// sorted nearest-first.
+    pub fn within_radius(&self, p: &GeoPoint, radius_km: f64) -> Vec<(f64, &T)> {
+        let mut out: Vec<(f64, &T)> = Vec::new();
+        // Candidate cells: expand outward from p's cell far enough to
+        // cover radius_km (conservatively scan all cells when the radius
+        // spans the box — the datasets are tiny).
+        for cell in &self.cells {
+            for (q, payload) in cell {
+                let d = p.distance_km(q);
+                if d <= radius_km {
+                    out.push((d, payload));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        out
+    }
+
+    /// The nearest payload to `p`, if any.
+    pub fn nearest(&self, p: &GeoPoint) -> Option<(f64, &T)> {
+        let mut best: Option<(f64, &T)> = None;
+        for cell in &self.cells {
+            for (q, payload) in cell {
+                let d = p.distance_km(q);
+                if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                    best = Some((d, payload));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paris_grid() -> GridIndex<&'static str> {
+        let mut g = GridIndex::new(BoundingBox::paris(), 8);
+        g.insert(GeoPoint::new(48.8584, 2.2945), "eiffel");
+        g.insert(GeoPoint::new(48.8606, 2.3376), "louvre");
+        g.insert(GeoPoint::new(48.8530, 2.3499), "notre-dame");
+        g.insert(GeoPoint::new(48.8600, 2.3266), "orsay");
+        g
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let g = paris_grid();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let g = paris_grid();
+        // A point next to the Louvre.
+        let (d, who) = g.nearest(&GeoPoint::new(48.8610, 2.3380)).unwrap();
+        assert_eq!(*who, "louvre");
+        assert!(d < 0.1);
+    }
+
+    #[test]
+    fn within_radius_sorted() {
+        let g = paris_grid();
+        let hits = g.within_radius(&GeoPoint::new(48.8606, 2.3376), 2.0);
+        assert!(hits.len() >= 3);
+        // Sorted nearest-first.
+        for w in hits.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(*hits[0].1, "louvre");
+    }
+
+    #[test]
+    fn within_radius_excludes_far() {
+        let g = paris_grid();
+        let hits = g.within_radius(&GeoPoint::new(48.8584, 2.2945), 0.5);
+        assert_eq!(hits.len(), 1); // only the Eiffel Tower itself
+    }
+
+    #[test]
+    fn empty_grid_nearest_none() {
+        let g: GridIndex<u8> = GridIndex::new(BoundingBox::paris(), 4);
+        assert!(g.nearest(&GeoPoint::new(48.86, 2.33)).is_none());
+        assert!(g.within_radius(&GeoPoint::new(48.86, 2.33), 10.0).is_empty());
+    }
+
+    #[test]
+    fn points_outside_box_clamp_into_edge_cells() {
+        let mut g = GridIndex::new(BoundingBox::new(0.0, 0.0, 1.0, 1.0), 4);
+        g.insert(GeoPoint::new(5.0, 5.0), "out");
+        assert_eq!(g.len(), 1);
+        assert!(g.nearest(&GeoPoint::new(1.0, 1.0)).is_some());
+    }
+}

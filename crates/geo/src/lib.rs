@@ -1,0 +1,18 @@
+//! # tpp-geo
+//!
+//! Geographic substrate for the trip-planning instantiation of TPP:
+//! great-circle (haversine) distances between POIs, bounding boxes for
+//! city extents, and a uniform grid index for nearest-neighbour queries.
+//!
+//! The paper's trip datasets impose a **distance threshold** `d` on
+//! itineraries (Tables VIII, XV) and its generators place POIs inside a
+//! city's extent; both need geometry, and no geo crate is on the offline
+//! list, so this is built from scratch.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod point;
+
+pub use grid::GridIndex;
+pub use point::{haversine_km, BoundingBox, GeoPoint};

@@ -1,0 +1,160 @@
+//! Points, distances and bounding boxes on the WGS-84 sphere.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(self.lat, self.lon, other.lat, other.lon)
+    }
+}
+
+/// Great-circle distance between two lat/lon pairs (degrees), in km,
+/// via the haversine formula — numerically stable for the sub-city
+/// distances trip planning deals in.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+    let a = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+}
+
+/// An axis-aligned lat/lon box, used as a city extent by the POI
+/// generators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southernmost latitude.
+    pub min_lat: f64,
+    /// Westernmost longitude.
+    pub min_lon: f64,
+    /// Northernmost latitude.
+    pub max_lat: f64,
+    /// Easternmost longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a box; coordinates are normalized so min ≤ max.
+    pub fn new(lat_a: f64, lon_a: f64, lat_b: f64, lon_b: f64) -> Self {
+        BoundingBox {
+            min_lat: lat_a.min(lat_b),
+            min_lon: lon_a.min(lon_b),
+            max_lat: lat_a.max(lat_b),
+            max_lon: lon_a.max(lon_b),
+        }
+    }
+
+    /// `true` when the point lies inside (inclusive).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat)
+            && (self.min_lon..=self.max_lon).contains(&p.lon)
+    }
+
+    /// The box centre.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Linear interpolation into the box: `(u, v) ∈ [0,1]²` → point.
+    pub fn lerp(&self, u: f64, v: f64) -> GeoPoint {
+        GeoPoint::new(
+            self.min_lat + (self.max_lat - self.min_lat) * u.clamp(0.0, 1.0),
+            self.min_lon + (self.max_lon - self.min_lon) * v.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Central-Paris extent used by the Paris POI generator.
+    pub fn paris() -> Self {
+        BoundingBox::new(48.815, 2.25, 48.902, 2.42)
+    }
+
+    /// Manhattan-and-surroundings extent used by the NYC POI generator.
+    pub fn nyc() -> Self {
+        BoundingBox::new(40.68, -74.02, 40.82, -73.93)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        assert_eq!(haversine_km(48.85, 2.35, 48.85, 2.35), 0.0);
+    }
+
+    #[test]
+    fn known_distance_paris_landmarks() {
+        // Eiffel Tower → Louvre ≈ 3.2 km.
+        let d = haversine_km(48.8584, 2.2945, 48.8606, 2.3376);
+        assert!((2.9..3.5).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn known_distance_paris_to_nyc() {
+        // ≈ 5837 km.
+        let d = haversine_km(48.8566, 2.3522, 40.7128, -74.0060);
+        assert!((5800.0..5900.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = haversine_km(48.86, 2.34, 40.71, -74.0);
+        let b = haversine_km(40.71, -74.0, 48.86, 2.34);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbox_contains_and_center() {
+        let b = BoundingBox::paris();
+        assert!(b.contains(&GeoPoint::new(48.8584, 2.2945))); // Eiffel
+        assert!(!b.contains(&GeoPoint::new(40.71, -74.0))); // NYC
+        let c = b.center();
+        assert!(b.contains(&c));
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BoundingBox::new(2.0, 5.0, 1.0, 4.0);
+        assert_eq!(b.min_lat, 1.0);
+        assert_eq!(b.max_lat, 2.0);
+        assert_eq!(b.min_lon, 4.0);
+        assert_eq!(b.max_lon, 5.0);
+    }
+
+    #[test]
+    fn lerp_hits_corners_and_clamps() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(b.lerp(0.0, 0.0), GeoPoint::new(0.0, 0.0));
+        assert_eq!(b.lerp(1.0, 1.0), GeoPoint::new(10.0, 20.0));
+        assert_eq!(b.lerp(-1.0, 2.0), GeoPoint::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn point_distance_method() {
+        let a = GeoPoint::new(48.8584, 2.2945);
+        let b = GeoPoint::new(48.8606, 2.3376);
+        assert!((a.distance_km(&b) - haversine_km(a.lat, a.lon, b.lat, b.lon)).abs() < 1e-12);
+    }
+}

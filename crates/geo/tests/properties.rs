@@ -1,0 +1,89 @@
+//! Property tests for the geographic substrate.
+
+use proptest::prelude::*;
+use tpp_geo::{haversine_km, BoundingBox, GeoPoint, GridIndex};
+
+fn lat() -> impl Strategy<Value = f64> {
+    -89.0f64..89.0
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -179.0f64..179.0
+}
+
+proptest! {
+    /// Distance is non-negative, zero on identical points, symmetric.
+    #[test]
+    fn haversine_metric_basics(a1 in lat(), o1 in lon(), a2 in lat(), o2 in lon()) {
+        let d = haversine_km(a1, o1, a2, o2);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d.is_finite());
+        let back = haversine_km(a2, o2, a1, o1);
+        prop_assert!((d - back).abs() < 1e-9);
+        prop_assert!(haversine_km(a1, o1, a1, o1) < 1e-9);
+    }
+
+    /// No two Earth points are farther apart than half the circumference.
+    #[test]
+    fn haversine_bounded_by_half_circumference(
+        a1 in lat(), o1 in lon(), a2 in lat(), o2 in lon()
+    ) {
+        let d = haversine_km(a1, o1, a2, o2);
+        prop_assert!(d <= std::f64::consts::PI * tpp_geo::point::EARTH_RADIUS_KM + 1e-6);
+    }
+
+    /// Triangle inequality (within numerical tolerance).
+    #[test]
+    fn haversine_triangle_inequality(
+        a1 in lat(), o1 in lon(), a2 in lat(), o2 in lon(), a3 in lat(), o3 in lon()
+    ) {
+        let ab = haversine_km(a1, o1, a2, o2);
+        let bc = haversine_km(a2, o2, a3, o3);
+        let ac = haversine_km(a1, o1, a3, o3);
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    /// Bounding-box lerp always lands inside the box, and contains() is
+    /// consistent with the corners.
+    #[test]
+    fn bbox_lerp_contained(u in 0.0f64..=1.0, v in 0.0f64..=1.0) {
+        let b = BoundingBox::paris();
+        let p = b.lerp(u, v);
+        prop_assert!(b.contains(&p));
+    }
+
+    /// The grid index finds exactly the points a linear scan finds.
+    #[test]
+    fn grid_within_radius_matches_linear_scan(
+        points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..40),
+        qu in 0.0f64..1.0,
+        qv in 0.0f64..1.0,
+        radius in 1.0f64..80.0,
+    ) {
+        let bbox = BoundingBox::new(48.0, 2.0, 49.0, 3.0);
+        let mut grid = GridIndex::new(bbox, 6);
+        let pts: Vec<GeoPoint> = points
+            .iter()
+            .map(|&(u, v)| bbox.lerp(u, v))
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let q = bbox.lerp(qu, qv);
+        let hits: Vec<usize> = grid.within_radius(&q, radius).iter().map(|(_, &i)| i).collect();
+        let expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_km(p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        let mut hits_sorted = hits.clone();
+        hits_sorted.sort_unstable();
+        prop_assert_eq!(hits_sorted, expected);
+        // And the returned list is sorted nearest-first.
+        let dists: Vec<f64> = grid.within_radius(&q, radius).iter().map(|(d, _)| *d).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

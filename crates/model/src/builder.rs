@@ -1,0 +1,322 @@
+//! Ergonomic catalog construction.
+//!
+//! [`Catalog::new`](crate::Catalog::new) wants dense ids and
+//! already-resolved prerequisite expressions — exactly what a generator
+//! produces, but tedious to write by hand. `CatalogBuilder` lets callers
+//! describe items by **code**, with prerequisites referencing other
+//! codes, and resolves everything (ids, expressions, validation) at
+//! `build()`.
+//!
+//! ```
+//! use tpp_model::builder::CatalogBuilder;
+//! use tpp_model::ItemKind;
+//!
+//! let catalog = CatalogBuilder::new("demo")
+//!     .topics(["algorithms", "statistics", "ml"])
+//!     .course("CS 1", "Algorithms", ItemKind::Primary, 3.0, &["algorithms"])
+//!     .course("ST 1", "Statistics", ItemKind::Primary, 3.0, &["statistics"])
+//!     .course("CS 2", "Machine Learning", ItemKind::Secondary, 3.0, &["ml"])
+//!     .requires_all("CS 2", &["CS 1", "ST 1"])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(catalog.len(), 3);
+//! assert_eq!(catalog.by_code("CS 2").unwrap().prereq.referenced_items().len(), 2);
+//! ```
+
+use crate::catalog::Catalog;
+use crate::error::ModelError;
+use crate::ids::ItemId;
+use crate::item::{Category, Item, ItemKind, PoiAttrs};
+use crate::prereq::PrereqExpr;
+use crate::topic::TopicVocabulary;
+
+/// Pending prerequisite declaration, by code.
+enum PendingPrereq {
+    All(Vec<String>),
+    Any(Vec<String>),
+}
+
+/// Pending item description.
+struct PendingItem {
+    code: String,
+    name: String,
+    kind: ItemKind,
+    credits: f64,
+    topics: Vec<String>,
+    category: Option<Category>,
+    poi: Option<PoiAttrs>,
+    prereqs: Vec<PendingPrereq>,
+}
+
+/// Builds a [`Catalog`] from code-addressed descriptions.
+pub struct CatalogBuilder {
+    name: String,
+    topics: Vec<String>,
+    items: Vec<PendingItem>,
+}
+
+impl CatalogBuilder {
+    /// Starts a builder for a catalog with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CatalogBuilder {
+            name: name.into(),
+            topics: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Declares the topic vocabulary (order defines topic ids).
+    pub fn topics<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.topics = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a course-style item covering the named topics.
+    pub fn course(
+        mut self,
+        code: impl Into<String>,
+        name: impl Into<String>,
+        kind: ItemKind,
+        credits: f64,
+        topics: &[&str],
+    ) -> Self {
+        self.items.push(PendingItem {
+            code: code.into(),
+            name: name.into(),
+            kind,
+            credits,
+            topics: topics.iter().map(|t| (*t).to_owned()).collect(),
+            category: None,
+            poi: None,
+            prereqs: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a POI-style item.
+    #[allow(clippy::too_many_arguments)]
+    pub fn poi(
+        mut self,
+        code: impl Into<String>,
+        name: impl Into<String>,
+        kind: ItemKind,
+        visit_hours: f64,
+        themes: &[&str],
+        lat: f64,
+        lon: f64,
+        popularity: f64,
+    ) -> Self {
+        self.items.push(PendingItem {
+            code: code.into(),
+            name: name.into(),
+            kind,
+            credits: visit_hours,
+            topics: themes.iter().map(|t| (*t).to_owned()).collect(),
+            category: None,
+            poi: Some(PoiAttrs {
+                lat,
+                lon,
+                popularity,
+            }),
+            prereqs: Vec::new(),
+        });
+        self
+    }
+
+    /// Tags the most recently added item with a category.
+    ///
+    /// # Panics
+    /// Panics if no item has been added yet.
+    pub fn category(mut self, category: Category) -> Self {
+        self.items
+            .last_mut()
+            .expect("category() must follow an item")
+            .category = Some(category);
+        self
+    }
+
+    /// Requires all of `antecedents` (by code) before `code` ("AND").
+    pub fn requires_all(mut self, code: &str, antecedents: &[&str]) -> Self {
+        self.push_prereq(code, PendingPrereq::All(
+            antecedents.iter().map(|a| (*a).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Requires any one of `antecedents` before `code` ("OR").
+    pub fn requires_any(mut self, code: &str, antecedents: &[&str]) -> Self {
+        self.push_prereq(code, PendingPrereq::Any(
+            antecedents.iter().map(|a| (*a).to_owned()).collect(),
+        ));
+        self
+    }
+
+    fn push_prereq(&mut self, code: &str, p: PendingPrereq) {
+        if let Some(item) = self.items.iter_mut().find(|i| i.code == code) {
+            item.prereqs.push(p);
+        } else {
+            // Remember against a placeholder so build() can report the
+            // unknown code uniformly.
+            self.items.push(PendingItem {
+                code: code.to_owned(),
+                name: String::new(),
+                kind: ItemKind::Secondary,
+                credits: f64::NAN,
+                topics: Vec::new(),
+                category: None,
+                poi: None,
+                prereqs: vec![p],
+            });
+        }
+    }
+
+    /// Resolves codes, assigns dense ids, and validates.
+    pub fn build(self) -> Result<Catalog, ModelError> {
+        let vocabulary = TopicVocabulary::new(self.topics)?;
+        // A placeholder created by a prereq declaration on an unknown
+        // code surfaces as an unknown-code error.
+        if let Some(ph) = self.items.iter().find(|i| i.credits.is_nan()) {
+            return Err(ModelError::UnknownItemCode(ph.code.clone()));
+        }
+        let id_of = |code: &str| -> Result<ItemId, ModelError> {
+            self.items
+                .iter()
+                .position(|i| i.code == code)
+                .map(ItemId::from)
+                .ok_or_else(|| ModelError::UnknownItemCode(code.to_owned()))
+        };
+        let mut built = Vec::with_capacity(self.items.len());
+        for (idx, pending) in self.items.iter().enumerate() {
+            let mut topics = vocabulary.zero_vector();
+            for t in &pending.topics {
+                let tid = vocabulary
+                    .id_of(t)
+                    .ok_or_else(|| ModelError::UnknownTopic(t.clone()))?;
+                topics.set(tid);
+            }
+            let mut exprs = Vec::new();
+            for p in &pending.prereqs {
+                let expr = match p {
+                    PendingPrereq::All(codes) => PrereqExpr::all_of(
+                        codes
+                            .iter()
+                            .map(|c| id_of(c))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    PendingPrereq::Any(codes) => PrereqExpr::any_of(
+                        codes
+                            .iter()
+                            .map(|c| id_of(c))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
+                if !expr.is_none() {
+                    exprs.push(expr);
+                }
+            }
+            let prereq = match exprs.len() {
+                0 => PrereqExpr::None,
+                1 => exprs.into_iter().next().expect("len checked"),
+                _ => PrereqExpr::All(exprs),
+            };
+            built.push(Item {
+                id: ItemId::from(idx),
+                code: pending.code.clone(),
+                name: pending.name.clone(),
+                kind: pending.kind,
+                credits: pending.credits,
+                prereq,
+                topics,
+                category: pending.category,
+                poi: pending.poi,
+            });
+        }
+        Catalog::new(self.name, vocabulary, built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CatalogBuilder {
+        CatalogBuilder::new("test")
+            .topics(["a", "b", "c"])
+            .course("X", "X course", ItemKind::Primary, 3.0, &["a"])
+            .course("Y", "Y course", ItemKind::Secondary, 3.0, &["b"])
+            .course("Z", "Z course", ItemKind::Secondary, 3.0, &["b", "c"])
+    }
+
+    #[test]
+    fn builds_and_resolves_codes() {
+        let cat = base()
+            .requires_any("Z", &["X", "Y"])
+            .build()
+            .unwrap();
+        assert_eq!(cat.len(), 3);
+        let z = cat.by_code("Z").unwrap();
+        assert_eq!(z.prereq, PrereqExpr::any_of([ItemId(0), ItemId(1)]));
+        assert_eq!(z.topics.count_ones(), 2);
+    }
+
+    #[test]
+    fn combines_all_and_any_declarations() {
+        let cat = base()
+            .requires_all("Z", &["X"])
+            .requires_any("Z", &["Y"])
+            .build()
+            .unwrap();
+        let z = cat.by_code("Z").unwrap();
+        // ALL(X) collapses to Item(X); combined with Item(Y) under All.
+        assert_eq!(
+            z.prereq,
+            PrereqExpr::All(vec![PrereqExpr::Item(ItemId(0)), PrereqExpr::Item(ItemId(1))])
+        );
+    }
+
+    #[test]
+    fn unknown_prereq_target_code_errors() {
+        let err = base().requires_all("Z", &["NOPE"]).build().unwrap_err();
+        assert!(matches!(err, ModelError::UnknownItemCode(c) if c == "NOPE"));
+    }
+
+    #[test]
+    fn prereq_on_unknown_item_errors() {
+        let err = base().requires_all("NOPE", &["X"]).build().unwrap_err();
+        assert!(matches!(err, ModelError::UnknownItemCode(c) if c == "NOPE"));
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let err = CatalogBuilder::new("t")
+            .topics(["a"])
+            .course("X", "X", ItemKind::Primary, 3.0, &["zz"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownTopic(t) if t == "zz"));
+    }
+
+    #[test]
+    fn cycles_caught_by_catalog_validation() {
+        let err = base()
+            .requires_all("X", &["Y"])
+            .requires_all("Y", &["X"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::PrerequisiteCycle(_)));
+    }
+
+    #[test]
+    fn poi_items_with_category() {
+        let cat = CatalogBuilder::new("trip")
+            .topics(["museum", "park"])
+            .poi("m1", "Museum", ItemKind::Primary, 2.0, &["museum"], 48.8, 2.3, 5.0)
+            .category(Category(1))
+            .poi("p1", "Park", ItemKind::Secondary, 1.0, &["park"], 48.9, 2.4, 3.5)
+            .build()
+            .unwrap();
+        assert!(cat.is_trip_catalog());
+        assert_eq!(cat.by_code("m1").unwrap().category, Some(Category(1)));
+        assert_eq!(cat.by_code("p1").unwrap().poi.unwrap().popularity, 3.5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Hard and soft constraints of the Task Planning Problem.
+
+use crate::template::TemplateSet;
+use crate::topic::TopicVector;
+use serde::{Deserialize, Serialize};
+
+/// The paper's `P_hard = ⟨#cr, #primary, #secondary, gap⟩` (§II-A2).
+///
+/// For course planning `#cr` is a *minimum* credit requirement (e.g. 30
+/// credit hours); for trip planning it is a visitation-time *budget* (e.g.
+/// 6 hours) — the environment stops when the budget would be exceeded.
+/// `gap` is the lower bound on the in-sequence distance between an item
+/// and its antecedents (`Dist(pre^m, m) ≥ gap`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardConstraints {
+    /// `#cr`: credit-hour requirement (courses) or time budget (trips).
+    pub credits: f64,
+    /// `#primary`: required number of primary items.
+    pub n_primary: usize,
+    /// `#secondary`: required number of secondary items.
+    pub n_secondary: usize,
+    /// `gap`: minimum sequence distance between an item and its
+    /// antecedents (e.g. 3 ≈ one semester at 3 courses/semester).
+    pub gap: usize,
+}
+
+impl HardConstraints {
+    /// The paper's course-planning running example: `⟨30, 5, 5, 3⟩`.
+    pub fn course_example() -> Self {
+        HardConstraints {
+            credits: 30.0,
+            n_primary: 5,
+            n_secondary: 5,
+            gap: 3,
+        }
+    }
+
+    /// The paper's trip-planning running example: `⟨6, 2, 3, 1⟩`.
+    pub fn trip_example() -> Self {
+        HardConstraints {
+            credits: 6.0,
+            n_primary: 2,
+            n_secondary: 3,
+            gap: 1,
+        }
+    }
+
+    /// Total plan length `H = #primary + #secondary`.
+    ///
+    /// For fixed-credit courses this coincides with `#cr / cr^m` (§III-A:
+    /// "a requirement of 30 credits translates to taking 10 items, thus
+    /// H = 10").
+    #[inline]
+    pub fn horizon(&self) -> usize {
+        self.n_primary + self.n_secondary
+    }
+
+    /// Sanity-checks the constraint values.
+    pub fn validate(&self) -> Result<(), crate::ModelError> {
+        if self.credits <= 0.0 || !self.credits.is_finite() {
+            return Err(crate::ModelError::InvalidConstraints(format!(
+                "credits must be positive and finite, got {}",
+                self.credits
+            )));
+        }
+        if self.horizon() == 0 {
+            return Err(crate::ModelError::InvalidConstraints(
+                "n_primary + n_secondary must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Trip-only hard constraints layered on top of [`HardConstraints`]
+/// (§IV-A1: distance threshold `d`; the trip `gap` is realised as "not
+/// visiting two POIs of the same theme consecutively").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripConstraints {
+    /// Maximum total inter-POI travel distance in kilometres (`d`), if any.
+    pub max_distance_km: Option<f64>,
+    /// Forbid two consecutive POIs sharing a theme.
+    pub no_consecutive_same_theme: bool,
+}
+
+impl Default for TripConstraints {
+    fn default() -> Self {
+        TripConstraints {
+            max_distance_km: Some(5.0),
+            no_consecutive_same_theme: true,
+        }
+    }
+}
+
+/// The paper's `P_soft = ⟨T_ideal, IT⟩` (§II-A3): the user's ideal
+/// topic/theme coverage and the expert's interleaving template set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftConstraints {
+    /// `T_ideal`: topics the user wishes covered.
+    pub ideal_topics: TopicVector,
+    /// `IT`: the expert-provided set of ideal primary/secondary
+    /// permutations.
+    pub templates: TemplateSet,
+}
+
+impl SoftConstraints {
+    /// Creates soft constraints, checking template shape against the hard
+    /// constraints they will accompany.
+    pub fn new(
+        ideal_topics: TopicVector,
+        templates: TemplateSet,
+        hard: &HardConstraints,
+    ) -> Result<Self, crate::ModelError> {
+        templates.check_shape(hard)?;
+        Ok(SoftConstraints {
+            ideal_topics,
+            templates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{InterleavingTemplate, TemplateSet};
+
+    #[test]
+    fn course_example_matches_paper() {
+        let h = HardConstraints::course_example();
+        assert_eq!(h.credits, 30.0);
+        assert_eq!(h.n_primary, 5);
+        assert_eq!(h.n_secondary, 5);
+        assert_eq!(h.gap, 3);
+        assert_eq!(h.horizon(), 10);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn trip_example_matches_paper() {
+        let h = HardConstraints::trip_example();
+        assert_eq!(h.credits, 6.0);
+        assert_eq!(h.horizon(), 5);
+        assert_eq!(h.gap, 1);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_constraints_rejected() {
+        let mut h = HardConstraints::course_example();
+        h.credits = 0.0;
+        assert!(h.validate().is_err());
+        let mut h2 = HardConstraints::course_example();
+        h2.n_primary = 0;
+        h2.n_secondary = 0;
+        assert!(h2.validate().is_err());
+        let mut h3 = HardConstraints::course_example();
+        h3.credits = f64::NAN;
+        assert!(h3.validate().is_err());
+    }
+
+    #[test]
+    fn soft_constraints_check_template_shape() {
+        let hard = HardConstraints {
+            credits: 6.0,
+            n_primary: 1,
+            n_secondary: 1,
+            gap: 1,
+        };
+        let good = TemplateSet::new(vec![InterleavingTemplate::from_str("PS").unwrap()]);
+        assert!(SoftConstraints::new(
+            crate::TopicVector::zeros(4),
+            good,
+            &hard
+        )
+        .is_ok());
+        let bad = TemplateSet::new(vec![InterleavingTemplate::from_str("PP").unwrap()]);
+        assert!(SoftConstraints::new(crate::TopicVector::zeros(4), bad, &hard).is_err());
+    }
+
+    #[test]
+    fn trip_constraints_default() {
+        let t = TripConstraints::default();
+        assert_eq!(t.max_distance_km, Some(5.0));
+        assert!(t.no_consecutive_same_theme);
+    }
+}

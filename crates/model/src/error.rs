@@ -1,0 +1,103 @@
+//! Error types for model construction and validation.
+
+use crate::ids::ItemId;
+use std::fmt;
+
+/// Errors raised while building or querying the data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A topic name appeared twice in a vocabulary.
+    DuplicateTopic(String),
+    /// A topic name was not found in the vocabulary.
+    UnknownTopic(String),
+    /// An item code (e.g. `"CS 675"`) appeared twice in a catalog.
+    DuplicateItemCode(String),
+    /// An item id referenced an item outside the catalog.
+    UnknownItem(ItemId),
+    /// An item code was not found in the catalog.
+    UnknownItemCode(String),
+    /// An item's topic vector length disagrees with the catalog vocabulary.
+    VocabularyMismatch {
+        /// The offending item.
+        item: ItemId,
+        /// Length the item's vector has.
+        got: usize,
+        /// Length the vocabulary requires.
+        expected: usize,
+    },
+    /// A prerequisite expression references the item itself.
+    SelfPrerequisite(ItemId),
+    /// The prerequisite graph contains a cycle through this item.
+    PrerequisiteCycle(ItemId),
+    /// A constraint set is internally inconsistent (message explains).
+    InvalidConstraints(String),
+    /// An interleaving template's slot counts disagree with the hard
+    /// constraints it is meant to accompany.
+    TemplateShapeMismatch {
+        /// Primary slots found in the permutation.
+        primaries: usize,
+        /// Secondary slots found in the permutation.
+        secondaries: usize,
+        /// Primary count required by the hard constraints.
+        expected_primaries: usize,
+        /// Secondary count required by the hard constraints.
+        expected_secondaries: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateTopic(n) => write!(f, "duplicate topic name: {n:?}"),
+            ModelError::UnknownTopic(n) => write!(f, "unknown topic name: {n:?}"),
+            ModelError::DuplicateItemCode(c) => write!(f, "duplicate item code: {c:?}"),
+            ModelError::UnknownItem(id) => write!(f, "unknown item id: {id}"),
+            ModelError::UnknownItemCode(c) => write!(f, "unknown item code: {c:?}"),
+            ModelError::VocabularyMismatch { item, got, expected } => write!(
+                f,
+                "item {item} has a topic vector of length {got}, vocabulary has {expected} topics"
+            ),
+            ModelError::SelfPrerequisite(id) => {
+                write!(f, "item {id} lists itself as a prerequisite")
+            }
+            ModelError::PrerequisiteCycle(id) => {
+                write!(f, "prerequisite cycle detected through item {id}")
+            }
+            ModelError::InvalidConstraints(msg) => write!(f, "invalid constraints: {msg}"),
+            ModelError::TemplateShapeMismatch {
+                primaries,
+                secondaries,
+                expected_primaries,
+                expected_secondaries,
+            } => write!(
+                f,
+                "template has {primaries} primary / {secondaries} secondary slots, \
+                 hard constraints require {expected_primaries}/{expected_secondaries}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::VocabularyMismatch {
+            item: ItemId(3),
+            got: 12,
+            expected: 13,
+        };
+        let s = e.to_string();
+        assert!(s.contains("m3") && s.contains("12") && s.contains("13"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::UnknownTopic("X".into()));
+        assert!(e.to_string().contains('X'));
+    }
+}

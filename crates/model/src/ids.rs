@@ -1,0 +1,109 @@
+//! Strongly-typed identifiers for items and topics.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic index-mixing
+//! bug between the item axis and the topic axis of the model, at zero
+//! runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an item (a course or a POI) inside one [`crate::Catalog`].
+///
+/// Ids are dense: a catalog with `n` items uses ids `0..n`, which lets the
+/// learner index `|I| × |I|` Q-tables directly without hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<usize> for ItemId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        ItemId(u32::try_from(v).expect("item id exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a topic/theme inside one [`crate::TopicVocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TopicId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TopicId(v)
+    }
+}
+
+impl From<usize> for TopicId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        TopicId(u32::try_from(v).expect("topic id exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_roundtrip_usize() {
+        let id = ItemId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ItemId(42));
+    }
+
+    #[test]
+    fn topic_id_display() {
+        assert_eq!(TopicId(7).to_string(), "t7");
+        assert_eq!(ItemId(3).to_string(), "m3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ItemId(1) < ItemId(2));
+        assert!(TopicId(0) < TopicId(10));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let s = serde_json::to_string(&ItemId(5)).unwrap();
+        assert_eq!(s, "5");
+        let back: ItemId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, ItemId(5));
+    }
+}

@@ -1,0 +1,114 @@
+//! A complete TPP instance: catalog + constraints, the unit planners and
+//! experiments consume.
+
+use crate::catalog::Catalog;
+use crate::constraints::{HardConstraints, SoftConstraints, TripConstraints};
+use crate::ids::ItemId;
+use serde::{Deserialize, Serialize};
+
+/// One ready-to-plan problem instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanningInstance {
+    /// The item universe.
+    pub catalog: Catalog,
+    /// Hard constraints `P_hard`.
+    pub hard: HardConstraints,
+    /// Soft constraints `P_soft`.
+    pub soft: SoftConstraints,
+    /// Trip-only constraints; `None` for course instances.
+    pub trip: Option<TripConstraints>,
+    /// The dataset's default starting item (Table III's `s_1`), if any.
+    pub default_start: Option<ItemId>,
+}
+
+impl PlanningInstance {
+    /// `true` when this is a trip instance.
+    pub fn is_trip(&self) -> bool {
+        self.trip.is_some()
+    }
+
+    /// The plan horizon `H`.
+    pub fn horizon(&self) -> usize {
+        self.hard.horizon()
+    }
+
+    /// Consistency checks across the bundle: constraint sanity, template
+    /// shape, ideal-vector vocabulary length, start item validity.
+    pub fn validate(&self) -> Result<(), crate::ModelError> {
+        self.hard.validate()?;
+        self.soft.templates.check_shape(&self.hard)?;
+        if self.soft.ideal_topics.len() != self.catalog.vocabulary().len() {
+            return Err(crate::ModelError::InvalidConstraints(format!(
+                "ideal topic vector has length {}, vocabulary has {}",
+                self.soft.ideal_topics.len(),
+                self.catalog.vocabulary().len()
+            )));
+        }
+        if let Some(start) = self.default_start {
+            if self.catalog.get(start).is_none() {
+                return Err(crate::ModelError::UnknownItem(start));
+            }
+        }
+        if self.hard.horizon() > self.catalog.len() {
+            return Err(crate::ModelError::InvalidConstraints(format!(
+                "horizon {} exceeds catalog size {}",
+                self.hard.horizon(),
+                self.catalog.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    fn toy_instance() -> PlanningInstance {
+        PlanningInstance {
+            catalog: toy::table2_catalog(),
+            hard: toy::table2_hard(),
+            soft: toy::table2_soft(),
+            trip: None,
+            default_start: Some(ItemId(0)),
+        }
+    }
+
+    #[test]
+    fn toy_instance_validates() {
+        let inst = toy_instance();
+        inst.validate().unwrap();
+        assert!(!inst.is_trip());
+        assert_eq!(inst.horizon(), 6);
+    }
+
+    #[test]
+    fn bad_start_rejected() {
+        let mut inst = toy_instance();
+        inst.default_start = Some(ItemId(99));
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn oversized_horizon_rejected() {
+        let mut inst = toy_instance();
+        inst.hard.n_primary = 10;
+        inst.hard.n_secondary = 10;
+        inst.soft.templates = crate::TemplateSet::new(vec![]);
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn trip_instance_flag() {
+        let inst = PlanningInstance {
+            catalog: toy::paris_toy_catalog(),
+            hard: toy::paris_toy_hard(),
+            soft: toy::paris_toy_soft(),
+            trip: Some(TripConstraints::default()),
+            default_start: None,
+        };
+        assert!(inst.is_trip());
+        inst.validate().unwrap();
+    }
+}

@@ -1,0 +1,204 @@
+//! Items: the paper's quadruple `m = ⟨type^m, cr^m, pre^m, T^m⟩`.
+
+use crate::ids::ItemId;
+use crate::prereq::PrereqExpr;
+use crate::topic::TopicVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's `type^m`: primary items are required for the task (core
+/// courses, must-visit POIs), secondary items are chosen among optional
+/// ones (electives, optional POIs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemKind {
+    /// Required for the task (core course / must-visit POI).
+    Primary,
+    /// Optional, chosen by user interest (elective / optional POI).
+    Secondary,
+}
+
+impl ItemKind {
+    /// `true` for [`ItemKind::Primary`].
+    #[inline]
+    pub fn is_primary(self) -> bool {
+        matches!(self, ItemKind::Primary)
+    }
+}
+
+impl fmt::Display for ItemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemKind::Primary => f.write_str("primary"),
+            ItemKind::Secondary => f.write_str("secondary"),
+        }
+    }
+}
+
+/// A coarse item category beyond primary/secondary.
+///
+/// Univ-2 (the Stanford-like catalog) weights items by one of six
+/// **sub-disciplines** (§IV-A1: Mathematical & Statistical Foundations,
+/// Experimentation, Scientific Computing, Applied ML & DS, Practical
+/// Component, Elective), with reward weights ω1..ω6 (Table III). The
+/// category index selects the weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Category(pub u8);
+
+impl Category {
+    /// The category as a weight-vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Geographic and popularity attributes carried by POI items only.
+///
+/// Locations feed the trip distance threshold `d`; popularity (the 1–5
+/// score derived from Flickr photo counts in the paper) feeds the trip
+/// plan score, whose gold-standard ceiling is "the highest popularity
+/// score of any POI" (§IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoiAttrs {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Popularity score in `[1, 5]`.
+    pub popularity: f64,
+}
+
+/// An item of the planning universe: a course or a POI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Dense id inside the owning catalog.
+    pub id: ItemId,
+    /// Stable human-readable code, e.g. `"CS 675"` or `"louvre museum"`.
+    pub code: String,
+    /// Display name, e.g. `"Machine Learning"`.
+    pub name: String,
+    /// Primary (core / must-visit) or secondary (elective / optional).
+    pub kind: ItemKind,
+    /// The paper's `cr^m`: credit hours for courses, visit hours for POIs.
+    pub credits: f64,
+    /// Prerequisite / antecedent expression (`pre^m`), possibly
+    /// [`PrereqExpr::None`].
+    pub prereq: PrereqExpr,
+    /// Covered topics (`T^m`).
+    pub topics: TopicVector,
+    /// Sub-discipline category, when the dataset defines one (Univ-2).
+    pub category: Option<Category>,
+    /// POI attributes, for trip datasets only.
+    pub poi: Option<PoiAttrs>,
+}
+
+impl Item {
+    /// Convenience constructor for course-style items.
+    pub fn course(
+        id: ItemId,
+        code: impl Into<String>,
+        name: impl Into<String>,
+        kind: ItemKind,
+        credits: f64,
+        prereq: PrereqExpr,
+        topics: TopicVector,
+    ) -> Self {
+        Item {
+            id,
+            code: code.into(),
+            name: name.into(),
+            kind,
+            credits,
+            prereq,
+            topics,
+            category: None,
+            poi: None,
+        }
+    }
+
+    /// Convenience constructor for POI-style items.
+    #[allow(clippy::too_many_arguments)]
+    pub fn poi(
+        id: ItemId,
+        code: impl Into<String>,
+        name: impl Into<String>,
+        kind: ItemKind,
+        visit_hours: f64,
+        prereq: PrereqExpr,
+        topics: TopicVector,
+        attrs: PoiAttrs,
+    ) -> Self {
+        Item {
+            id,
+            code: code.into(),
+            name: name.into(),
+            kind,
+            credits: visit_hours,
+            prereq,
+            topics,
+            category: None,
+            poi: Some(attrs),
+        }
+    }
+
+    /// `true` if this is a primary item.
+    #[inline]
+    pub fn is_primary(&self) -> bool {
+        self.kind.is_primary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicVector;
+
+    #[test]
+    fn kind_display_matches_paper_terms() {
+        assert_eq!(ItemKind::Primary.to_string(), "primary");
+        assert_eq!(ItemKind::Secondary.to_string(), "secondary");
+    }
+
+    #[test]
+    fn course_constructor() {
+        let it = Item::course(
+            ItemId(0),
+            "CS 610",
+            "Data Structures and Algorithms",
+            ItemKind::Primary,
+            3.0,
+            PrereqExpr::None,
+            TopicVector::from_bits(&[1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0]),
+        );
+        assert!(it.is_primary());
+        assert_eq!(it.credits, 3.0);
+        assert!(it.poi.is_none());
+        assert!(it.category.is_none());
+    }
+
+    #[test]
+    fn poi_constructor_keeps_attrs() {
+        let it = Item::poi(
+            ItemId(1),
+            "louvre",
+            "Louvre Museum",
+            ItemKind::Primary,
+            2.5,
+            PrereqExpr::None,
+            TopicVector::from_bits(&[1, 1, 0, 0, 0, 0, 0, 1]),
+            PoiAttrs {
+                lat: 48.8606,
+                lon: 2.3376,
+                popularity: 5.0,
+            },
+        );
+        let attrs = it.poi.unwrap();
+        assert_eq!(attrs.popularity, 5.0);
+        assert_eq!(it.credits, 2.5);
+    }
+
+    #[test]
+    fn category_index() {
+        assert_eq!(Category(3).index(), 3);
+    }
+}

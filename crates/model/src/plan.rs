@@ -1,0 +1,213 @@
+//! Plans: ordered sequences of items (the output of a planner).
+
+use crate::catalog::Catalog;
+use crate::ids::ItemId;
+use crate::item::ItemKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A recommended sequence of items.
+///
+/// A `Plan` is just the ordered id list plus cheap accessors; whether it
+/// satisfies a constraint set is decided by [`crate::validate_plan`], and
+/// its quality score by `tpp-core::score`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Plan {
+    items: Vec<ItemId>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan { items: Vec::new() }
+    }
+
+    /// A plan over the given sequence.
+    pub fn from_items(items: Vec<ItemId>) -> Self {
+        Plan { items }
+    }
+
+    /// Builds a plan by resolving item codes against a catalog.
+    ///
+    /// # Errors
+    /// Returns [`crate::ModelError::UnknownItemCode`] for unresolvable
+    /// codes.
+    pub fn from_codes(catalog: &Catalog, codes: &[&str]) -> Result<Self, crate::ModelError> {
+        let items = codes
+            .iter()
+            .map(|c| {
+                catalog
+                    .by_code(c)
+                    .map(|it| it.id)
+                    .ok_or_else(|| crate::ModelError::UnknownItemCode((*c).to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Plan { items })
+    }
+
+    /// Appends an item.
+    #[inline]
+    pub fn push(&mut self, id: ItemId) {
+        self.items.push(id);
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The item sequence.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Position of `id` in the plan, if present.
+    #[inline]
+    pub fn position_of(&self, id: ItemId) -> Option<usize> {
+        self.items.iter().position(|&x| x == id)
+    }
+
+    /// `true` if the plan contains `id`.
+    #[inline]
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.position_of(id).is_some()
+    }
+
+    /// The primary/secondary slot sequence this plan realizes, used by the
+    /// interleaving similarity kernel.
+    pub fn kind_sequence(&self, catalog: &Catalog) -> Vec<ItemKind> {
+        self.items.iter().map(|&id| catalog.item(id).kind).collect()
+    }
+
+    /// Total credits (course plans) / total visit hours (trip plans).
+    pub fn total_credits(&self, catalog: &Catalog) -> f64 {
+        self.items.iter().map(|&id| catalog.item(id).credits).sum()
+    }
+
+    /// Number of primary items in the plan.
+    pub fn primary_count(&self, catalog: &Catalog) -> usize {
+        self.items
+            .iter()
+            .filter(|&&id| catalog.item(id).is_primary())
+            .count()
+    }
+
+    /// Union of all topics covered by the plan's items.
+    pub fn covered_topics(&self, catalog: &Catalog) -> crate::TopicVector {
+        let mut cov = catalog.vocabulary().zero_vector();
+        for &id in &self.items {
+            cov.union_with(&catalog.item(id).topics);
+        }
+        cov
+    }
+
+    /// Renders the plan as `code : kind → code : kind → …`, the notation
+    /// of the paper's Table V.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for (i, &id) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" → ");
+            }
+            let it = catalog.item(id);
+            out.push_str(&it.code);
+            out.push_str(" : ");
+            out.push_str(if it.is_primary() { "core" } else { "elective" });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, id) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" → ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ItemId> for Plan {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Self {
+        Plan {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn paper_example1_sequence() {
+        // §II-B1: m1 → m2 → m4 → m5 → m6 → m3 fully satisfies I2 = PSSSPP.
+        let cat = toy::table2_catalog();
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        assert_eq!(plan.len(), 6);
+        let kinds: String = plan
+            .kind_sequence(&cat)
+            .iter()
+            .map(|k| if k.is_primary() { 'P' } else { 'S' })
+            .collect();
+        assert_eq!(kinds, "PSSSPP");
+        assert_eq!(plan.total_credits(&cat), 18.0);
+        assert_eq!(plan.primary_count(&cat), 3);
+    }
+
+    #[test]
+    fn from_codes_rejects_unknown() {
+        let cat = toy::table2_catalog();
+        assert!(Plan::from_codes(&cat, &["m1", "nope"]).is_err());
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let plan = Plan::from_items(vec![ItemId(3), ItemId(1)]);
+        assert_eq!(plan.position_of(ItemId(1)), Some(1));
+        assert!(plan.contains(ItemId(3)));
+        assert!(!plan.contains(ItemId(9)));
+    }
+
+    #[test]
+    fn covered_topics_unions() {
+        let cat = toy::table2_catalog();
+        let plan = Plan::from_codes(&cat, &["m2", "m4"]).unwrap();
+        // m2 covers {1,2}; m4 covers {9,10}.
+        assert_eq!(plan.covered_topics(&cat).count_ones(), 4);
+    }
+
+    #[test]
+    fn render_matches_table5_notation() {
+        let cat = toy::table2_catalog();
+        let plan = Plan::from_codes(&cat, &["m1", "m2"]).unwrap();
+        assert_eq!(plan.render(&cat), "m1 : core → m2 : elective");
+    }
+
+    #[test]
+    fn display_and_from_iterator() {
+        let plan: Plan = [ItemId(0), ItemId(2)].into_iter().collect();
+        assert_eq!(plan.to_string(), "m0 → m2");
+        assert!(Plan::new().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = Plan::from_items(vec![ItemId(1), ItemId(0)]);
+        let s = serde_json::to_string(&plan).unwrap();
+        let back: Plan = serde_json::from_str(&s).unwrap();
+        assert_eq!(plan, back);
+    }
+}

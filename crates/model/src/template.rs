@@ -1,0 +1,230 @@
+//! Interleaving templates: the soft constraint `IT` (§II-A3).
+//!
+//! An interleaving template is one ideal permutation of primary and
+//! secondary slots, e.g. `[primary, secondary, secondary, primary, ...]`;
+//! `IT` is a set of such permutations provided by the domain expert. The
+//! recommended sequence must adhere to these "as closely as possible" —
+//! that closeness is quantified by the similarity kernel in
+//! `tpp-core::reward`.
+
+use crate::constraints::HardConstraints;
+use crate::item::ItemKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One slot of a template: primary or secondary.
+pub type SlotKind = ItemKind;
+
+/// One ideal permutation `I ∈ IT` of primary/secondary slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterleavingTemplate {
+    slots: Vec<SlotKind>,
+}
+
+impl InterleavingTemplate {
+    /// Creates a template from explicit slots.
+    pub fn new(slots: Vec<SlotKind>) -> Self {
+        InterleavingTemplate { slots }
+    }
+
+    /// Parses the compact notation used throughout this repo's docs and
+    /// tests: `'P'` = primary, `'S'` = secondary, e.g. `"PPSPSS"` for the
+    /// paper's `I1 = [primary, primary, secondary, primary, secondary,
+    /// secondary]`. Also available through [`std::str::FromStr`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Result<Self, crate::ModelError> {
+        let mut slots = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch.to_ascii_uppercase() {
+                'P' => slots.push(ItemKind::Primary),
+                'S' => slots.push(ItemKind::Secondary),
+                other => {
+                    return Err(crate::ModelError::InvalidConstraints(format!(
+                        "template char must be P or S, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(InterleavingTemplate { slots })
+    }
+
+    /// The slot sequence.
+    #[inline]
+    pub fn slots(&self) -> &[SlotKind] {
+        &self.slots
+    }
+
+    /// Template length (`|I| = #primary + #secondary`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` for the empty template.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of primary slots.
+    pub fn primary_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_primary()).count()
+    }
+
+    /// Number of secondary slots.
+    pub fn secondary_count(&self) -> usize {
+        self.len() - self.primary_count()
+    }
+}
+
+impl std::str::FromStr for InterleavingTemplate {
+    type Err = crate::ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        InterleavingTemplate::from_str(s)
+    }
+}
+
+impl fmt::Display for InterleavingTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.slots {
+            f.write_str(if s.is_primary() { "P" } else { "S" })?;
+        }
+        Ok(())
+    }
+}
+
+/// The full template set `IT = {I1, I2, …}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateSet {
+    templates: Vec<InterleavingTemplate>,
+}
+
+impl TemplateSet {
+    /// Creates a template set.
+    pub fn new(templates: Vec<InterleavingTemplate>) -> Self {
+        TemplateSet { templates }
+    }
+
+    /// Parses several compact-notation templates at once.
+    pub fn from_strs(specs: &[&str]) -> Result<Self, crate::ModelError> {
+        let templates = specs
+            .iter()
+            .map(|s| InterleavingTemplate::from_str(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TemplateSet { templates })
+    }
+
+    /// The paper's course-planning example `IT` (§II-B1):
+    /// `{PPSPSS, PSSSPP, PSSPPS}`.
+    pub fn paper_course_example() -> Self {
+        Self::from_strs(&["PPSPSS", "PSSSPP", "PSSPPS"]).expect("static templates are valid")
+    }
+
+    /// The paper's trip-planning example `IT` (§II-B2):
+    /// `{PSPSS, PSSSP, PSSPS}`.
+    pub fn paper_trip_example() -> Self {
+        Self::from_strs(&["PSPSS", "PSSSP", "PSSPS"]).expect("static templates are valid")
+    }
+
+    /// The templates, in insertion order.
+    #[inline]
+    pub fn templates(&self) -> &[InterleavingTemplate] {
+        &self.templates
+    }
+
+    /// `|IT|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// `true` when no templates are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Checks that every template has exactly the primary/secondary slot
+    /// counts the hard constraints require.
+    pub fn check_shape(&self, hard: &HardConstraints) -> Result<(), crate::ModelError> {
+        for t in &self.templates {
+            let p = t.primary_count();
+            let s = t.secondary_count();
+            if p != hard.n_primary || s != hard.n_secondary {
+                return Err(crate::ModelError::TemplateShapeMismatch {
+                    primaries: p,
+                    secondaries: s,
+                    expected_primaries: hard.n_primary,
+                    expected_secondaries: hard.n_secondary,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let t = InterleavingTemplate::from_str("PpSs").unwrap();
+        assert_eq!(t.to_string(), "PPSS");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.primary_count(), 2);
+        assert_eq!(t.secondary_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(InterleavingTemplate::from_str("PXQ").is_err());
+    }
+
+    #[test]
+    fn paper_course_templates() {
+        let it = TemplateSet::paper_course_example();
+        assert_eq!(it.len(), 3);
+        // I1 = [primary, primary, secondary, primary, secondary, secondary]
+        assert_eq!(it.templates()[0].to_string(), "PPSPSS");
+        // I2 = [primary, secondary, secondary, secondary, primary, primary]
+        assert_eq!(it.templates()[1].to_string(), "PSSSPP");
+        // I3 = [primary, secondary, secondary, primary, primary, secondary]
+        assert_eq!(it.templates()[2].to_string(), "PSSPPS");
+        for t in it.templates() {
+            assert_eq!(t.primary_count(), 3);
+            assert_eq!(t.secondary_count(), 3);
+        }
+    }
+
+    #[test]
+    fn paper_trip_templates() {
+        let it = TemplateSet::paper_trip_example();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.templates()[0].to_string(), "PSPSS");
+        for t in it.templates() {
+            assert_eq!(t.primary_count(), 2);
+            assert_eq!(t.secondary_count(), 3);
+        }
+        // Matches the trip hard-constraint example ⟨6, 2, 3, 1⟩.
+        it.check_shape(&HardConstraints::trip_example()).unwrap();
+    }
+
+    #[test]
+    fn check_shape_flags_mismatch() {
+        let it = TemplateSet::paper_trip_example();
+        let err = it.check_shape(&HardConstraints::course_example()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ModelError::TemplateShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_set_checks_vacuously() {
+        let it = TemplateSet::new(vec![]);
+        assert!(it.is_empty());
+        it.check_shape(&HardConstraints::course_example()).unwrap();
+    }
+}

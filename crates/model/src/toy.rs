@@ -1,0 +1,292 @@
+//! The paper's running toy instances, usable from tests, examples and
+//! documentation: the Table II course catalog and the §II-B2 Paris POIs.
+
+use crate::catalog::Catalog;
+use crate::constraints::{HardConstraints, SoftConstraints};
+use crate::ids::ItemId;
+use crate::item::{Item, ItemKind, PoiAttrs};
+use crate::prereq::PrereqExpr;
+use crate::template::TemplateSet;
+use crate::topic::{TopicVector, TopicVocabulary};
+
+/// The 13-topic vocabulary of §II-B1.
+pub fn course_vocabulary() -> TopicVocabulary {
+    TopicVocabulary::new([
+        "Algorithms",
+        "Classification",
+        "Clustering",
+        "Statistics",
+        "Regression",
+        "Data Structure",
+        "Neural Network",
+        "Probability",
+        "Data Visualization",
+        "Linear System",
+        "Matrix Decomposition",
+        "Data Management",
+        "Data Transfer",
+    ])
+    .expect("static vocabulary is valid")
+}
+
+/// The paper's Table II toy course catalog (6 courses, 13 topics).
+///
+/// `m5` (Big Data) requires `Data Mining OR Data Analytics`; `m6`
+/// (Machine Learning) requires `Linear Algebra AND Data Mining`.
+pub fn table2_catalog() -> Catalog {
+    let v = TopicVector::from_bits;
+    let items = vec![
+        Item::course(
+            ItemId(0),
+            "m1",
+            "Data Structures and Algorithms",
+            ItemKind::Primary,
+            3.0,
+            PrereqExpr::None,
+            v(&[1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0]),
+        ),
+        Item::course(
+            ItemId(1),
+            "m2",
+            "Data Mining",
+            ItemKind::Secondary,
+            3.0,
+            PrereqExpr::None,
+            v(&[0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+        ),
+        Item::course(
+            ItemId(2),
+            "m3",
+            "Data Analytics",
+            ItemKind::Primary,
+            3.0,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0]),
+        ),
+        Item::course(
+            ItemId(3),
+            "m4",
+            "Linear Algebra",
+            ItemKind::Secondary,
+            3.0,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0]),
+        ),
+        Item::course(
+            ItemId(4),
+            "m5",
+            "Big Data",
+            ItemKind::Secondary,
+            3.0,
+            PrereqExpr::any_of([ItemId(1), ItemId(2)]),
+            v(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1]),
+        ),
+        Item::course(
+            ItemId(5),
+            "m6",
+            "Machine Learning",
+            ItemKind::Primary,
+            3.0,
+            PrereqExpr::all_of([ItemId(3), ItemId(1)]),
+            v(&[0, 1, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0]),
+        ),
+    ];
+    Catalog::new("paper/table2", course_vocabulary(), items).expect("static catalog is valid")
+}
+
+/// Hard constraints for the Table II instance: 6 courses of 3 credits each
+/// (18 credits), 3 primary + 3 secondary, gap 3 — sized so the example
+/// sequence `m1→m2→m4→m5→m6→m3` of §II-B1 is a complete plan.
+pub fn table2_hard() -> HardConstraints {
+    HardConstraints {
+        credits: 18.0,
+        n_primary: 3,
+        n_secondary: 3,
+        gap: 3,
+    }
+}
+
+/// Soft constraints for the Table II instance: Example 1's
+/// `T_ideal = [0,1,1,0,0,0,1,0,0,1,0,0,0]` (Classification, Clustering,
+/// Neural Network, Linear System) and the example template set.
+pub fn table2_soft() -> SoftConstraints {
+    SoftConstraints::new(
+        TopicVector::from_bits(&[0, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0]),
+        TemplateSet::paper_course_example(),
+        &table2_hard(),
+    )
+    .expect("static soft constraints are valid")
+}
+
+/// The 8-theme trip vocabulary of §II-B2.
+pub fn trip_vocabulary() -> TopicVocabulary {
+    TopicVocabulary::new([
+        "Museum",
+        "Art Gallery",
+        "Cathedral",
+        "Palace",
+        "River",
+        "Street",
+        "Restaurant",
+        "Architecture",
+    ])
+    .expect("static vocabulary is valid")
+}
+
+/// A 9-POI Paris toy catalog matching the §II-B2 narrative (Louvre covers
+/// Museum + Art Gallery + Architecture, restaurants must follow a museum
+/// visit, …).
+pub fn paris_toy_catalog() -> Catalog {
+    let v = TopicVector::from_bits;
+    let poi = |lat: f64, lon: f64, pop: f64| PoiAttrs {
+        lat,
+        lon,
+        popularity: pop,
+    };
+    let items = vec![
+        Item::poi(
+            ItemId(0),
+            "eiffel tower",
+            "Eiffel Tower",
+            ItemKind::Primary,
+            1.5,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 0, 0, 0, 0, 1]),
+            poi(48.8584, 2.2945, 5.0),
+        ),
+        Item::poi(
+            ItemId(1),
+            "louvre museum",
+            "Louvre Museum",
+            ItemKind::Primary,
+            2.5,
+            PrereqExpr::None,
+            v(&[1, 1, 0, 0, 0, 0, 0, 1]),
+            poi(48.8606, 2.3376, 5.0),
+        ),
+        Item::poi(
+            ItemId(2),
+            "pantheon",
+            "Panthéon",
+            ItemKind::Secondary,
+            1.0,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 0, 0, 0, 0, 1]),
+            poi(48.8462, 2.3464, 4.2),
+        ),
+        Item::poi(
+            ItemId(3),
+            "rue des martyrs",
+            "Rue des Martyrs",
+            ItemKind::Secondary,
+            0.5,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 0, 0, 1, 0, 0]),
+            poi(48.8781, 2.3394, 3.6),
+        ),
+        Item::poi(
+            ItemId(4),
+            "musee d'orsay",
+            "Musée d'Orsay",
+            ItemKind::Secondary,
+            2.0,
+            PrereqExpr::None,
+            v(&[1, 1, 0, 0, 0, 0, 0, 0]),
+            poi(48.8600, 2.3266, 4.7),
+        ),
+        Item::poi(
+            ItemId(5),
+            "notre-dame",
+            "Cathédrale Notre-Dame de Paris",
+            ItemKind::Secondary,
+            1.0,
+            PrereqExpr::None,
+            v(&[0, 0, 1, 0, 0, 0, 0, 1]),
+            poi(48.8530, 2.3499, 4.8),
+        ),
+        Item::poi(
+            ItemId(6),
+            "palais garnier",
+            "Palais Garnier",
+            ItemKind::Secondary,
+            1.0,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 1, 0, 0, 0, 1]),
+            poi(48.8720, 2.3316, 4.4),
+        ),
+        Item::poi(
+            ItemId(7),
+            "river seine",
+            "The River Seine",
+            ItemKind::Secondary,
+            0.5,
+            PrereqExpr::None,
+            v(&[0, 0, 0, 0, 1, 0, 0, 0]),
+            poi(48.8566, 2.3430, 4.5),
+        ),
+        Item::poi(
+            ItemId(8),
+            "le cinq",
+            "Le Cinq",
+            ItemKind::Secondary,
+            1.5,
+            // §III-B2: "If Louvre is recommended before Le Cinq
+            // (restaurant), then an action gets value 1 for r2".
+            PrereqExpr::Item(ItemId(1)),
+            v(&[0, 0, 0, 0, 0, 0, 1, 0]),
+            poi(48.8689, 2.3008, 4.1),
+        ),
+    ];
+    Catalog::new("paper/paris-toy", trip_vocabulary(), items).expect("static catalog is valid")
+}
+
+/// Trip hard constraints of §II-B2: `⟨6, 2, 3, 1⟩`.
+pub fn paris_toy_hard() -> HardConstraints {
+    HardConstraints::trip_example()
+}
+
+/// Trip soft constraints of Example 2: ideal themes Museum, Art Gallery,
+/// River, Restaurant, Architecture; the §II-B2 template set.
+pub fn paris_toy_soft() -> SoftConstraints {
+    let voc = trip_vocabulary();
+    SoftConstraints::new(
+        voc.vector_of(&["Museum", "Art Gallery", "River", "Restaurant", "Architecture"])
+            .expect("static topics exist"),
+        TemplateSet::paper_trip_example(),
+        &paris_toy_hard(),
+    )
+    .expect("static soft constraints are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_course_instance_is_consistent() {
+        let c = table2_catalog();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.primary_count(), 3);
+        let hard = table2_hard();
+        assert_eq!(hard.horizon(), 6);
+        let soft = table2_soft();
+        assert_eq!(soft.templates.len(), 3);
+        assert_eq!(soft.ideal_topics.count_ones(), 4);
+    }
+
+    #[test]
+    fn toy_trip_instance_is_consistent() {
+        let c = paris_toy_catalog();
+        assert_eq!(c.len(), 9);
+        assert!(c.is_trip_catalog());
+        assert_eq!(c.primary_count(), 2);
+        // Louvre's topic vector from §II-B2: [1,1,0,0,0,0,0,1].
+        let louvre = c.by_code("louvre museum").unwrap();
+        assert_eq!(louvre.topics.to_bits(), vec![1, 1, 0, 0, 0, 0, 0, 1]);
+        // Le Cinq's antecedent is the Louvre.
+        let cinq = c.by_code("le cinq").unwrap();
+        assert_eq!(cinq.prereq, PrereqExpr::Item(ItemId(1)));
+        let soft = paris_toy_soft();
+        assert_eq!(soft.ideal_topics.count_ones(), 5);
+    }
+}

@@ -1,0 +1,503 @@
+//! Plan validation against hard constraints.
+//!
+//! The paper scores a plan as `0` whenever any hard constraint is
+//! violated (§IV-E: "If the hard constraints are not satisfied, those are
+//! marked with values 0"). This module reports *which* constraints a plan
+//! violates; the scorer in `tpp-core` maps a non-empty violation list to a
+//! zero score.
+//!
+//! Following Theorem 1's Case I, a surplus of primary items is *not* a
+//! violation: "a core course could be construed as an elective" — so the
+//! split check is `primary ≥ #primary` with total length `H`.
+
+use crate::catalog::Catalog;
+use crate::constraints::{HardConstraints, TripConstraints};
+use crate::ids::ItemId;
+use crate::plan::Plan;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hard-constraint violation found in a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// An item id not present in the catalog.
+    UnknownItem(ItemId),
+    /// The same item appears twice.
+    DuplicateItem(ItemId),
+    /// Plan length differs from `H = #primary + #secondary`.
+    WrongLength {
+        /// Items in the plan.
+        got: usize,
+        /// Required horizon.
+        expected: usize,
+    },
+    /// Course plans: total credits fall short of `#cr`.
+    CreditShortfall {
+        /// Credits accumulated.
+        got: f64,
+        /// Minimum required.
+        required: f64,
+    },
+    /// Trip plans: total visit time exceeds the budget `t`.
+    TimeBudgetExceeded {
+        /// Hours accumulated.
+        got: f64,
+        /// Budget.
+        budget: f64,
+    },
+    /// Fewer primary items than `#primary` (Theorem 1 Case II).
+    TooFewPrimaries {
+        /// Primaries in the plan.
+        got: usize,
+        /// Required minimum.
+        required: usize,
+    },
+    /// An item's antecedents are absent or closer than `gap`.
+    PrereqUnsatisfied {
+        /// The item whose prerequisite failed.
+        item: ItemId,
+        /// Its position in the plan.
+        position: usize,
+    },
+    /// Trip plans: total inter-POI distance exceeds the threshold `d`.
+    DistanceExceeded {
+        /// Kilometres travelled.
+        got: f64,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Trip plans: two consecutive POIs share a theme.
+    ConsecutiveSameTheme {
+        /// Position of the second POI of the offending pair.
+        position: usize,
+    },
+    /// Too few items from a required category (Univ-2's per-sub-
+    /// discipline unit requirements, §IV-A1).
+    CategoryShortfall {
+        /// The category index.
+        category: usize,
+        /// Items of that category in the plan.
+        got: usize,
+        /// Required minimum.
+        required: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownItem(id) => write!(f, "unknown item {id}"),
+            Violation::DuplicateItem(id) => write!(f, "duplicate item {id}"),
+            Violation::WrongLength { got, expected } => {
+                write!(f, "plan has {got} items, horizon requires {expected}")
+            }
+            Violation::CreditShortfall { got, required } => {
+                write!(f, "only {got} credits, {required} required")
+            }
+            Violation::TimeBudgetExceeded { got, budget } => {
+                write!(f, "{got} visit hours exceed the {budget}h budget")
+            }
+            Violation::TooFewPrimaries { got, required } => {
+                write!(f, "only {got} primary items, {required} required")
+            }
+            Violation::PrereqUnsatisfied { item, position } => {
+                write!(f, "prerequisites of {item} (at {position}) unsatisfied")
+            }
+            Violation::DistanceExceeded { got, threshold } => {
+                write!(f, "{got:.2} km travelled exceeds threshold {threshold:.2} km")
+            }
+            Violation::ConsecutiveSameTheme { position } => {
+                write!(f, "POIs at positions {} and {position} share a theme", position - 1)
+            }
+            Violation::CategoryShortfall {
+                category,
+                got,
+                required,
+            } => write!(
+                f,
+                "only {got} items from category {category}, {required} required"
+            ),
+        }
+    }
+}
+
+/// Validates a **course** plan against `P_hard`. Returns all violations
+/// (empty ⇒ the plan satisfies every hard constraint).
+pub fn validate_plan(plan: &Plan, catalog: &Catalog, hard: &HardConstraints) -> Vec<Violation> {
+    let mut out = Vec::new();
+    validate_common(plan, catalog, hard, true, &mut out);
+    if out.iter().any(|v| matches!(v, Violation::UnknownItem(_))) {
+        return out; // further checks would index out of range
+    }
+    // Minimum-credit requirement (#cr): course semantics.
+    let credits = plan.total_credits(catalog);
+    if credits + 1e-9 < hard.credits {
+        out.push(Violation::CreditShortfall {
+            got: credits,
+            required: hard.credits,
+        });
+    }
+    out
+}
+
+/// Validates a **trip** plan: time is a budget instead of a minimum, and
+/// the trip-only constraints (distance threshold, no-consecutive-theme)
+/// apply. `distance_km(a, b)` supplies inter-POI travel distance.
+pub fn validate_trip_plan<D>(
+    plan: &Plan,
+    catalog: &Catalog,
+    hard: &HardConstraints,
+    trip: &TripConstraints,
+    distance_km: D,
+) -> Vec<Violation>
+where
+    D: Fn(ItemId, ItemId) -> f64,
+{
+    let mut out = Vec::new();
+    // The paper's own trip outputs (Tables VII, VIII) are itineraries of
+    // 2-3 POIs scored positively, so the length-H and primary-split
+    // checks are *targets* for trips, not validity requirements; the
+    // binding hard constraints are the budgets, the theme gap and the
+    // antecedents.
+    validate_common(plan, catalog, hard, false, &mut out);
+    if out.iter().any(|v| matches!(v, Violation::UnknownItem(_))) {
+        return out;
+    }
+    // Visitation-time budget.
+    let hours = plan.total_credits(catalog);
+    if hours > hard.credits + 1e-9 {
+        out.push(Violation::TimeBudgetExceeded {
+            got: hours,
+            budget: hard.credits,
+        });
+    }
+    // Distance threshold d over consecutive legs.
+    if let Some(threshold) = trip.max_distance_km {
+        let total: f64 = plan
+            .items()
+            .windows(2)
+            .map(|w| distance_km(w[0], w[1]))
+            .sum();
+        if total > threshold + 1e-9 {
+            out.push(Violation::DistanceExceeded {
+                got: total,
+                threshold,
+            });
+        }
+    }
+    // No two consecutive POIs of the same theme.
+    if trip.no_consecutive_same_theme {
+        for (i, w) in plan.items().windows(2).enumerate() {
+            let a = &catalog.item(w[0]).topics;
+            let b = &catalog.item(w[1]).topics;
+            if a.intersection_count(b) > 0 {
+                out.push(Violation::ConsecutiveSameTheme { position: i + 1 });
+            }
+        }
+    }
+    out
+}
+
+/// Checks shared by both domains: known items, no duplicates,
+/// prerequisite gaps; with `enforce_shape`, also length `H` and the
+/// primary minimum (courses only — see `validate_trip_plan`).
+fn validate_common(
+    plan: &Plan,
+    catalog: &Catalog,
+    hard: &HardConstraints,
+    enforce_shape: bool,
+    out: &mut Vec<Violation>,
+) {
+    for &id in plan.items() {
+        if catalog.get(id).is_none() {
+            out.push(Violation::UnknownItem(id));
+        }
+    }
+    if out.iter().any(|v| matches!(v, Violation::UnknownItem(_))) {
+        return;
+    }
+    for (i, &id) in plan.items().iter().enumerate() {
+        if plan.items()[..i].contains(&id) {
+            out.push(Violation::DuplicateItem(id));
+        }
+    }
+    if enforce_shape {
+        let h = hard.horizon();
+        if plan.len() != h {
+            out.push(Violation::WrongLength {
+                got: plan.len(),
+                expected: h,
+            });
+        }
+        let primaries = plan.primary_count(catalog);
+        if primaries < hard.n_primary {
+            out.push(Violation::TooFewPrimaries {
+                got: primaries,
+                required: hard.n_primary,
+            });
+        }
+    }
+    // Gap: every item's antecedent expression must hold at its position.
+    let pos_of = |id: ItemId| plan.position_of(id);
+    for (i, &id) in plan.items().iter().enumerate() {
+        let prereq = &catalog.item(id).prereq;
+        if !prereq.satisfied_with_gap(&pos_of, i, hard.gap) {
+            out.push(Violation::PrereqUnsatisfied {
+                item: id,
+                position: i,
+            });
+        }
+    }
+}
+
+/// Checks per-category minimum counts on top of the standard course
+/// validation (Univ-2 expresses its hard constraints as unit requirements
+/// in six sub-disciplines; `minimums[k]` is the required number of items
+/// of [`crate::Category`] `k`). Items without a category count toward
+/// nothing.
+pub fn validate_category_minimums(
+    plan: &Plan,
+    catalog: &Catalog,
+    minimums: &[usize],
+) -> Vec<Violation> {
+    let mut counts = vec![0usize; minimums.len()];
+    for &id in plan.items() {
+        if let Some(item) = catalog.get(id) {
+            if let Some(cat) = item.category {
+                if let Some(slot) = counts.get_mut(cat.index()) {
+                    *slot += 1;
+                }
+            }
+        }
+    }
+    minimums
+        .iter()
+        .enumerate()
+        .filter(|&(k, &req)| counts[k] < req)
+        .map(|(k, &req)| Violation::CategoryShortfall {
+            category: k,
+            got: counts[k],
+            required: req,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::TripConstraints;
+    use crate::toy;
+
+    #[test]
+    fn paper_example1_plan_is_valid() {
+        let cat = toy::table2_catalog();
+        let hard = toy::table2_hard();
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        // m5 (Big Data) needs m2 OR m3 at gap 3: m2 at 0, m5 at 3 → ok.
+        // m6 (ML) needs m4 AND m2: m4 at 2, m2 at 1, m6 at 4 → 4-1=3 ≥ 3 ok.
+        assert_eq!(validate_plan(&plan, &cat, &hard), vec![]);
+    }
+
+    #[test]
+    fn gap_violation_detected() {
+        let cat = toy::table2_catalog();
+        let hard = toy::table2_hard();
+        // m5 straight after m2: distance 1 < gap 3.
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m5", "m4", "m6", "m3"]).unwrap();
+        let v = validate_plan(&plan, &cat, &hard);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::PrereqUnsatisfied { position: 2, .. })));
+    }
+
+    #[test]
+    fn missing_prereq_detected() {
+        let cat = toy::table2_catalog();
+        let hard = toy::table2_hard();
+        // m6 requires m4 AND m2; m4 missing entirely.
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m3", "m5", "m6"]).unwrap();
+        let v = validate_plan(&plan, &cat, &hard);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::PrereqUnsatisfied { .. }
+        )));
+        assert!(v.iter().any(|x| matches!(x, Violation::WrongLength { .. })));
+    }
+
+    #[test]
+    fn credit_shortfall_detected() {
+        let cat = toy::table2_catalog();
+        let mut hard = toy::table2_hard();
+        hard.credits = 21.0; // 7 courses' worth but only 6 exist in plan
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        let v = validate_plan(&plan, &cat, &hard);
+        assert!(v.iter().any(|x| matches!(x, Violation::CreditShortfall { .. })));
+    }
+
+    #[test]
+    fn too_few_primaries_detected() {
+        let cat = toy::table2_catalog();
+        let mut hard = toy::table2_hard();
+        hard.n_primary = 4;
+        hard.n_secondary = 2;
+        let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        let v = validate_plan(&plan, &cat, &hard);
+        assert!(v.iter().any(|x| matches!(x, Violation::TooFewPrimaries { .. })));
+    }
+
+    #[test]
+    fn surplus_primaries_allowed_case_i() {
+        // Theorem 1 Case I: more cores than required is consistent.
+        let cat = toy::table2_catalog();
+        let hard = HardConstraints {
+            credits: 9.0,
+            n_primary: 1,
+            n_secondary: 2,
+            gap: 1,
+        };
+        // Two primaries (m1, m3) where only 1 is required, length 3 = H.
+        let plan = Plan::from_codes(&cat, &["m1", "m3", "m2"]).unwrap();
+        assert_eq!(validate_plan(&plan, &cat, &hard), vec![]);
+    }
+
+    #[test]
+    fn duplicate_item_detected() {
+        let cat = toy::table2_catalog();
+        let hard = toy::table2_hard();
+        let plan = Plan::from_codes(&cat, &["m1", "m1", "m2", "m4", "m5", "m3"]).unwrap();
+        let v = validate_plan(&plan, &cat, &hard);
+        assert!(v.iter().any(|x| matches!(x, Violation::DuplicateItem(_))));
+    }
+
+    #[test]
+    fn unknown_item_short_circuits() {
+        let cat = toy::table2_catalog();
+        let hard = toy::table2_hard();
+        let plan = Plan::from_items(vec![ItemId(99)]);
+        let v = validate_plan(&plan, &cat, &hard);
+        assert_eq!(v, vec![Violation::UnknownItem(ItemId(99))]);
+    }
+
+    #[test]
+    fn trip_plan_time_budget() {
+        let cat = toy::paris_toy_catalog();
+        let hard = toy::paris_toy_hard(); // 6h budget, 2 primary + 3 secondary
+        let trip = TripConstraints {
+            max_distance_km: None,
+            no_consecutive_same_theme: false,
+        };
+        // Louvre(2.5) + Le Cinq(1.5) + Eiffel(1.5) + Rue des Martyrs(0.5)
+        // + Seine(0.5) = 6.5h > 6h.
+        let plan = Plan::from_codes(
+            &cat,
+            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+        )
+        .unwrap();
+        let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 0.0);
+        assert!(v.iter().any(|x| matches!(x, Violation::TimeBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn trip_example2_sequence_valid_with_relaxed_budget() {
+        let cat = toy::paris_toy_catalog();
+        let mut hard = toy::paris_toy_hard();
+        hard.credits = 7.0;
+        let trip = TripConstraints {
+            max_distance_km: None,
+            no_consecutive_same_theme: true,
+        };
+        // §II-B2: Louvre → Le Cinq → Eiffel → Rue des Martyrs → Seine
+        // fully satisfies I1 = PSPSS; Le Cinq's antecedent (Louvre) holds.
+        let plan = Plan::from_codes(
+            &cat,
+            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+        )
+        .unwrap();
+        assert_eq!(
+            validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 0.0),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn trip_distance_threshold() {
+        let cat = toy::paris_toy_catalog();
+        let mut hard = toy::paris_toy_hard();
+        hard.credits = 10.0;
+        let trip = TripConstraints {
+            max_distance_km: Some(1.0),
+            no_consecutive_same_theme: false,
+        };
+        let plan = Plan::from_codes(
+            &cat,
+            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+        )
+        .unwrap();
+        // Pretend each leg is 2 km: 4 legs = 8 km > 1 km.
+        let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 2.0);
+        assert!(v.iter().any(|x| matches!(x, Violation::DistanceExceeded { .. })));
+    }
+
+    #[test]
+    fn trip_consecutive_theme_detected() {
+        let cat = toy::paris_toy_catalog();
+        let mut hard = toy::paris_toy_hard();
+        hard.credits = 10.0;
+        hard.n_primary = 1;
+        hard.n_secondary = 1;
+        let trip = TripConstraints {
+            max_distance_km: None,
+            no_consecutive_same_theme: true,
+        };
+        // Louvre (Museum, Art Gallery, Architecture) then Musée d'Orsay
+        // (Museum, Art Gallery): shared themes back-to-back.
+        let plan = Plan::from_codes(&cat, &["louvre museum", "musee d'orsay"]).unwrap();
+        let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 0.0);
+        assert!(v.iter().any(|x| matches!(x, Violation::ConsecutiveSameTheme { position: 1 })));
+    }
+
+    #[test]
+    fn category_minimums_checked() {
+        use crate::item::Category;
+        // Tag the toy courses with two categories: primaries → 0,
+        // secondaries → 1.
+        let mut cat = toy::table2_catalog();
+        let tagged: Vec<_> = cat
+            .items()
+            .iter()
+            .cloned()
+            .map(|mut it| {
+                it.category = Some(Category(u8::from(!it.is_primary())));
+                it
+            })
+            .collect();
+        cat = Catalog::new("tagged", toy::course_vocabulary(), tagged).unwrap();
+        let plan = Plan::from_codes(&cat, &["m1", "m3"]).unwrap(); // two primaries
+        // Requires 1 of category 0 and 1 of category 1: category 1 short.
+        let v = validate_category_minimums(&plan, &cat, &[1, 1]);
+        assert_eq!(
+            v,
+            vec![Violation::CategoryShortfall {
+                category: 1,
+                got: 0,
+                required: 1
+            }]
+        );
+        // Satisfied when a secondary joins.
+        let plan = Plan::from_codes(&cat, &["m1", "m2"]).unwrap();
+        assert!(validate_category_minimums(&plan, &cat, &[1, 1]).is_empty());
+        // No minimums → vacuous.
+        assert!(validate_category_minimums(&plan, &cat, &[]).is_empty());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::CreditShortfall {
+            got: 27.0,
+            required: 30.0,
+        };
+        assert!(v.to_string().contains("27"));
+        let d = Violation::ConsecutiveSameTheme { position: 2 };
+        assert!(d.to_string().contains("1") && d.to_string().contains("2"));
+    }
+}

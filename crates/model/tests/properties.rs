@@ -1,0 +1,165 @@
+//! Property-based tests for the TPP data model.
+
+use proptest::prelude::*;
+use tpp_model::{ItemId, Plan, PrereqExpr, TopicId, TopicVector};
+
+/// Strategy producing a `0/1` bit pattern of the given length.
+fn bits(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=1, len)
+}
+
+proptest! {
+    // ---- Bitset algebra laws ----------------------------------------
+
+    #[test]
+    fn union_is_commutative(a in bits(130), b in bits(130)) {
+        let va = TopicVector::from_bits(&a);
+        let vb = TopicVector::from_bits(&b);
+        let mut ab = va.clone();
+        ab.union_with(&vb);
+        let mut ba = vb.clone();
+        ba.union_with(&va);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn union_is_idempotent(a in bits(97)) {
+        let va = TopicVector::from_bits(&a);
+        let mut aa = va.clone();
+        aa.union_with(&va);
+        prop_assert_eq!(aa, va);
+    }
+
+    #[test]
+    fn intersection_bounded_by_counts(a in bits(64), b in bits(64)) {
+        let va = TopicVector::from_bits(&a);
+        let vb = TopicVector::from_bits(&b);
+        let i = va.intersection_count(&vb);
+        prop_assert!(i <= va.count_ones());
+        prop_assert!(i <= vb.count_ones());
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in bits(80), b in bits(80)) {
+        let va = TopicVector::from_bits(&a);
+        let vb = TopicVector::from_bits(&b);
+        let mut u = va.clone();
+        u.union_with(&vb);
+        // |a ∪ b| = |a| + |b| - |a ∩ b|
+        prop_assert_eq!(
+            u.count_ones(),
+            va.count_ones() + vb.count_ones() - va.intersection_count(&vb)
+        );
+    }
+
+    #[test]
+    fn difference_plus_intersection_is_count(a in bits(70), b in bits(70)) {
+        let va = TopicVector::from_bits(&a);
+        let vb = TopicVector::from_bits(&b);
+        prop_assert_eq!(
+            va.difference_count(&vb) + va.intersection_count(&vb),
+            va.count_ones()
+        );
+    }
+
+    #[test]
+    fn novel_ideal_coverage_consistent_with_sets(
+        m in bits(66), ideal in bits(66), current in bits(66)
+    ) {
+        let vm = TopicVector::from_bits(&m);
+        let vi = TopicVector::from_bits(&ideal);
+        let vc = TopicVector::from_bits(&current);
+        // Reference computation via explicit set iteration.
+        let expected = (0..66usize)
+            .filter(|&t| {
+                let t = TopicId::from(t);
+                vm.get(t) && vi.get(t) && !vc.get(t)
+            })
+            .count() as u32;
+        prop_assert_eq!(vm.novel_ideal_coverage(&vi, &vc), expected);
+    }
+
+    #[test]
+    fn to_bits_roundtrip(a in bits(100)) {
+        let v = TopicVector::from_bits(&a);
+        prop_assert_eq!(v.to_bits(), a);
+    }
+
+    #[test]
+    fn iter_topics_matches_get(a in bits(129)) {
+        let v = TopicVector::from_bits(&a);
+        let listed: Vec<usize> = v.iter_topics().map(|t| t.index()).collect();
+        let expected: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == 1).then_some(i))
+            .collect();
+        prop_assert_eq!(listed, expected);
+    }
+
+    #[test]
+    fn jaccard_in_unit_interval(a in bits(50), b in bits(50)) {
+        let j = TopicVector::from_bits(&a).jaccard(&TopicVector::from_bits(&b));
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    // ---- Prerequisite evaluation ------------------------------------
+
+    #[test]
+    fn block_gap_monotone_in_candidate_position(
+        pre_pos in 0usize..30, gap in 1usize..6, at in 0usize..36
+    ) {
+        // If satisfied at position `at`, it stays satisfied at any later
+        // position: blocks only grow.
+        let p = PrereqExpr::Item(ItemId(0));
+        let pos = move |id: ItemId| (id == ItemId(0)).then_some(pre_pos);
+        if p.satisfied_with_gap(&pos, at, gap) {
+            prop_assert!(p.satisfied_with_gap(&pos, at + 1, gap));
+            prop_assert!(p.satisfied_with_gap(&pos, at + gap, gap));
+        }
+    }
+
+    #[test]
+    fn and_implies_or(ids in prop::collection::vec(0u32..8, 2..5), at in 0usize..12) {
+        let items: Vec<ItemId> = ids.iter().copied().map(ItemId).collect();
+        let all = PrereqExpr::all_of(items.clone());
+        let any = PrereqExpr::any_of(items);
+        // Presence map: even ids are present at position id/2.
+        let pos = |id: ItemId| id.0.is_multiple_of(2).then_some((id.0 / 2) as usize);
+        if all.satisfied_with_gap(&pos, at, 1) {
+            prop_assert!(any.satisfied_with_gap(&pos, at, 1));
+        }
+    }
+
+    #[test]
+    fn min_distance_implies_block_gap(
+        pre_pos in 0usize..30, gap in 1usize..6, at in 0usize..36
+    ) {
+        // The literal reading is strictly stronger than block semantics:
+        // at - pos >= gap  ⇒  ⌊pos/gap⌋ < ⌊at/gap⌋.
+        let p = PrereqExpr::Item(ItemId(0));
+        let pos = move |id: ItemId| (id == ItemId(0)).then_some(pre_pos);
+        if p.satisfied_with_min_distance(&pos, at, gap) {
+            prop_assert!(p.satisfied_with_gap(&pos, at, gap));
+        }
+    }
+
+    // ---- Plans -------------------------------------------------------
+
+    #[test]
+    fn plan_position_of_agrees_with_items(ids in prop::collection::vec(0u32..50, 0..20)) {
+        // Deduplicate to make position_of well-defined.
+        let mut seen = std::collections::HashSet::new();
+        let uniq: Vec<ItemId> = ids
+            .into_iter()
+            .filter(|i| seen.insert(*i))
+            .map(ItemId)
+            .collect();
+        let plan = Plan::from_items(uniq.clone());
+        for (i, id) in uniq.iter().enumerate() {
+            prop_assert_eq!(plan.position_of(*id), Some(i));
+            prop_assert!(plan.contains(*id));
+        }
+        prop_assert_eq!(plan.len(), uniq.len());
+    }
+}

@@ -1,0 +1,157 @@
+//! The environment abstraction the learners run against.
+
+/// Result of taking one action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// State reached by the action.
+    pub next_state: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// `true` when the episode ended with this step.
+    pub done: bool,
+}
+
+/// A deterministic, discrete, episodic environment.
+///
+/// The TPP CMDP (§III-A) fits this shape exactly: states are items of the
+/// complete item graph `G`, an action is "add item `a` next" and is
+/// identified by the *target state index*, transitions are deterministic
+/// (`T : S × E → S`), and an episode ends when the trajectory/budget
+/// bound `H` is reached.
+pub trait Environment {
+    /// Number of states `|S|` (also the number of action columns — in
+    /// TPP the action space is "go to state `a`", so actions and states
+    /// share indices and the Q-table is `|I| × |I|`).
+    fn n_states(&self) -> usize;
+
+    /// Starts a new episode at `start`. Implementations reset all episode
+    /// bookkeeping (visited set, coverage, budgets).
+    fn reset(&mut self, start: usize);
+
+    /// Current state.
+    fn state(&self) -> usize;
+
+    /// Actions legal in the current state, as target-state indices.
+    /// An empty slice means the episode cannot continue.
+    fn valid_actions(&self, buf: &mut Vec<usize>);
+
+    /// Applies an action. Callers must only pass actions previously
+    /// reported valid; implementations may panic otherwise.
+    fn step(&mut self, action: usize) -> StepOutcome;
+
+    /// Immediate reward the current state would yield for `action`,
+    /// without transitioning. Default implementation is unsupported;
+    /// environments that can answer cheaply (TPP can — Eq. 2 is a pure
+    /// function of episode state) override it. Needed by the
+    /// reward-greedy action selection of the paper's Algorithm 1 and the
+    /// EDA baseline.
+    fn peek_reward(&self, action: usize) -> f64 {
+        let _ = action;
+        unimplemented!("this environment does not support peek_reward")
+    }
+}
+
+/// A tiny deterministic chain environment for substrate tests: states
+/// `0..n`, from state `s` the legal actions are `s+1` (reward `1.0`) and,
+/// when `s ≥ 1`, `s-1` (reward `-1.0`); an episode ends after `horizon`
+/// steps or at state `n-1`. The left penalty makes rightward progress
+/// the unique optimal policy (with a 0 reward, oscillation would farm
+/// the rightward reward repeatedly and be optimal).
+#[derive(Debug, Clone)]
+pub struct ChainEnv {
+    n: usize,
+    horizon: usize,
+    state: usize,
+    steps: usize,
+}
+
+impl ChainEnv {
+    /// Creates a chain of `n ≥ 2` states with the given horizon.
+    pub fn new(n: usize, horizon: usize) -> Self {
+        assert!(n >= 2);
+        ChainEnv {
+            n,
+            horizon,
+            state: 0,
+            steps: 0,
+        }
+    }
+}
+
+impl Environment for ChainEnv {
+    fn n_states(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self, start: usize) {
+        self.state = start.min(self.n - 1);
+        self.steps = 0;
+    }
+
+    fn state(&self) -> usize {
+        self.state
+    }
+
+    fn valid_actions(&self, buf: &mut Vec<usize>) {
+        buf.clear();
+        if self.state + 1 < self.n {
+            buf.push(self.state + 1);
+        }
+        if self.state >= 1 {
+            buf.push(self.state - 1);
+        }
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let reward = if action == self.state + 1 { 1.0 } else { -1.0 };
+        self.state = action;
+        self.steps += 1;
+        StepOutcome {
+            next_state: self.state,
+            reward,
+            done: self.steps >= self.horizon || self.state == self.n - 1,
+        }
+    }
+
+    fn peek_reward(&self, action: usize) -> f64 {
+        if action == self.state + 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_env_basics() {
+        let mut e = ChainEnv::new(5, 10);
+        e.reset(0);
+        assert_eq!(e.state(), 0);
+        let mut acts = Vec::new();
+        e.valid_actions(&mut acts);
+        assert_eq!(acts, vec![1]); // cannot go below 0
+        let out = e.step(1);
+        assert_eq!(out, StepOutcome { next_state: 1, reward: 1.0, done: false });
+        e.valid_actions(&mut acts);
+        assert_eq!(acts, vec![2, 0]);
+        assert_eq!(e.peek_reward(2), 1.0);
+        assert_eq!(e.peek_reward(0), -1.0);
+    }
+
+    #[test]
+    fn chain_env_terminates_at_end_or_horizon() {
+        let mut e = ChainEnv::new(3, 10);
+        e.reset(0);
+        e.step(1);
+        let out = e.step(2);
+        assert!(out.done); // reached last state
+        let mut e2 = ChainEnv::new(10, 2);
+        e2.reset(0);
+        e2.step(1);
+        assert!(e2.step(2).done); // horizon
+    }
+}

@@ -1,0 +1,152 @@
+//! Expected SARSA: the lower-variance on-policy TD variant.
+//!
+//! Instead of bootstrapping from the *sampled* next action (SARSA) or the
+//! *max* next action (Q-learning), Expected SARSA bootstraps from the
+//! expectation under the ε-greedy behaviour policy:
+//!
+//! ```text
+//! Q(s,a) ← Q(s,a) + α [ r + γ E_{a'~π}[Q(s',a')] − Q(s,a) ]
+//! ```
+//!
+//! Included as a substrate-level comparison point for the paper's
+//! on-policy choice; the TPP ablation benches pit it against SARSA(λ).
+
+use crate::env::Environment;
+use crate::policy::ActionSelector;
+use crate::qtable::QTable;
+use crate::sarsa::SarsaConfig;
+use crate::stats::TrainStats;
+use rand::Rng;
+
+/// Expected-SARSA agent with a fixed behaviour ε (the expectation needs
+/// the policy's action distribution in closed form, so the exploration
+/// rate lives here rather than in the selector).
+#[derive(Debug, Clone)]
+pub struct ExpectedSarsaAgent {
+    /// Learned action values.
+    pub q: QTable,
+    config: SarsaConfig,
+    epsilon: f64,
+}
+
+impl ExpectedSarsaAgent {
+    /// Creates an agent with a zero Q-table sized for `env` and the
+    /// given behaviour ε.
+    pub fn new<E: Environment>(env: &E, config: SarsaConfig, epsilon: f64) -> Self {
+        ExpectedSarsaAgent {
+            q: QTable::square(env.n_states()),
+            config,
+            epsilon: epsilon.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The ε-greedy expectation `E_{a~π}[Q(s, a)]` over `allowed`.
+    fn expected_value(&self, s: usize, allowed: &[usize]) -> f64 {
+        if allowed.is_empty() {
+            return 0.0;
+        }
+        let best = self.q.best_value(s, allowed);
+        let mean: f64 =
+            allowed.iter().map(|&a| self.q.get(s, a)).sum::<f64>() / allowed.len() as f64;
+        (1.0 - self.epsilon) * best + self.epsilon * mean
+    }
+
+    /// Trains for `config.episodes` episodes (same calling convention as
+    /// [`crate::SarsaAgent::train`]).
+    pub fn train<E, S, R, F>(
+        &mut self,
+        env: &mut E,
+        selector: &S,
+        rng: &mut R,
+        mut start_of: F,
+    ) -> TrainStats
+    where
+        E: Environment,
+        S: ActionSelector,
+        R: Rng + ?Sized,
+        F: FnMut(usize, &mut R) -> usize,
+    {
+        let mut stats = TrainStats::with_capacity(self.config.episodes);
+        let mut actions = Vec::with_capacity(env.n_states());
+        for episode in 0..self.config.episodes {
+            let alpha = self.config.alpha.at(episode);
+            env.reset(start_of(episode, rng));
+            let mut ep_return = 0.0;
+            loop {
+                let s = env.state();
+                env.valid_actions(&mut actions);
+                if actions.is_empty() {
+                    break;
+                }
+                let a = selector.select(&self.q, s, &actions, rng);
+                let out = env.step(a);
+                ep_return += out.reward;
+                if out.done {
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                env.valid_actions(&mut actions);
+                let target = out.reward
+                    + self.config.gamma * self.expected_value(out.next_state, &actions);
+                self.q.td_update(s, a, alpha, target);
+            }
+            stats.push(ep_return);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use crate::policy::EpsilonGreedy;
+    use crate::schedule::Schedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_sarsa_learns_chain_policy() {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 500,
+        };
+        let mut agent = ExpectedSarsaAgent::new(&env, config, 0.2);
+        let mut rng = StdRng::seed_from_u64(6);
+        agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0);
+        for s in 1..5usize {
+            assert!(agent.q.get(s, s + 1) > agent.q.get(s, s - 1), "state {s}");
+        }
+    }
+
+    #[test]
+    fn expectation_interpolates_best_and_mean() {
+        let env = ChainEnv::new(3, 2);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 0,
+        };
+        let mut agent = ExpectedSarsaAgent::new(&env, config, 0.5);
+        agent.q.set(0, 1, 4.0);
+        agent.q.set(0, 2, 0.0);
+        // best = 4, mean = 2, ε = 0.5 ⇒ 0.5·4 + 0.5·2 = 3.
+        assert_eq!(agent.expected_value(0, &[1, 2]), 3.0);
+        assert_eq!(agent.expected_value(0, &[]), 0.0);
+    }
+
+    #[test]
+    fn epsilon_zero_reduces_to_greedy_bootstrap() {
+        let env = ChainEnv::new(3, 2);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 0,
+        };
+        let mut agent = ExpectedSarsaAgent::new(&env, config, 0.0);
+        agent.q.set(0, 1, 4.0);
+        assert_eq!(agent.expected_value(0, &[1, 2]), 4.0);
+    }
+}

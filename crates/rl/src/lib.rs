@@ -1,0 +1,39 @@
+//! # tpp-rl
+//!
+//! Tabular reinforcement-learning substrate, hand-rolled because no
+//! mature RL crate exists offline (and the paper's learner is tabular
+//! anyway): dense Q-tables, the on-policy SARSA algorithm the paper
+//! adopts (§III-C, Eq. 9), off-policy Q-learning for the ablation
+//! comparison, ε-greedy/greedy action selection, parameter schedules,
+//! greedy rollouts and cross-universe policy transfer.
+//!
+//! Everything is generic over the [`Environment`] trait so the substrate
+//! is reusable beyond TPP; the TPP environments live in `tpp-core`.
+
+#![warn(missing_docs)]
+
+pub mod dp;
+pub mod env;
+pub mod expected_sarsa;
+pub mod mc;
+pub mod policy;
+pub mod qlearning;
+pub mod qtable;
+pub mod rollout;
+pub mod sarsa;
+pub mod schedule;
+pub mod stats;
+pub mod transfer;
+
+pub use dp::{policy_iteration, value_iteration, DpSolution, ExplicitMdp};
+pub use env::{Environment, StepOutcome};
+pub use expected_sarsa::ExpectedSarsaAgent;
+pub use mc::MonteCarloAgent;
+pub use policy::{ActionSelector, EpsilonGreedy, GreedySelector};
+pub use qlearning::QLearningAgent;
+pub use qtable::QTable;
+pub use rollout::greedy_rollout;
+pub use sarsa::{SarsaAgent, SarsaConfig};
+pub use schedule::Schedule;
+pub use stats::TrainStats;
+pub use transfer::{transfer_q, StateMapping};

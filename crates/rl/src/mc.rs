@@ -1,0 +1,177 @@
+//! Monte Carlo control (first-visit, ε-greedy), the third solution
+//! family §III-C surveys before the paper settles on temporal-difference
+//! SARSA ("Temporal Difference ... is a combination of Monte Carlo and
+//! Dynamic Programming"). Kept as a comparison point: MC waits for the
+//! episode to finish before updating, so on the same budget it
+//! propagates credit more slowly than TD — measurable in tests.
+
+use crate::env::Environment;
+use crate::policy::ActionSelector;
+use crate::qtable::QTable;
+use crate::sarsa::SarsaConfig;
+use crate::stats::TrainStats;
+use rand::Rng;
+
+/// First-visit Monte Carlo control agent with incremental-mean updates
+/// scaled by α (constant-α MC).
+#[derive(Debug, Clone)]
+pub struct MonteCarloAgent {
+    /// Learned action values.
+    pub q: QTable,
+    config: SarsaConfig,
+}
+
+impl MonteCarloAgent {
+    /// Creates an agent with a zero Q-table sized for `env`. Reuses
+    /// [`SarsaConfig`]: α, γ and the episode count mean the same things.
+    pub fn new<E: Environment>(env: &E, config: SarsaConfig) -> Self {
+        MonteCarloAgent {
+            q: QTable::square(env.n_states()),
+            config,
+        }
+    }
+
+    /// Trains for `config.episodes` episodes (same calling convention as
+    /// [`crate::SarsaAgent::train`]): roll the whole episode under the
+    /// selector, then update every first-visit `(s, a)` toward its
+    /// observed return.
+    pub fn train<E, S, R, F>(
+        &mut self,
+        env: &mut E,
+        selector: &S,
+        rng: &mut R,
+        mut start_of: F,
+    ) -> TrainStats
+    where
+        E: Environment,
+        S: ActionSelector,
+        R: Rng + ?Sized,
+        F: FnMut(usize, &mut R) -> usize,
+    {
+        let mut stats = TrainStats::with_capacity(self.config.episodes);
+        let mut actions = Vec::with_capacity(env.n_states());
+        let mut trajectory: Vec<(usize, usize, f64)> = Vec::new();
+        for episode in 0..self.config.episodes {
+            let alpha = self.config.alpha.at(episode);
+            env.reset(start_of(episode, rng));
+            trajectory.clear();
+            let mut ep_return = 0.0;
+            loop {
+                let s = env.state();
+                env.valid_actions(&mut actions);
+                if actions.is_empty() {
+                    break;
+                }
+                let a = selector.select(&self.q, s, &actions, rng);
+                let out = env.step(a);
+                trajectory.push((s, a, out.reward));
+                ep_return += out.reward;
+                if out.done {
+                    break;
+                }
+            }
+            // Backward return accumulation; first-visit filter.
+            let mut g = 0.0;
+            let mut returns: Vec<(usize, usize, f64)> = Vec::with_capacity(trajectory.len());
+            for &(s, a, r) in trajectory.iter().rev() {
+                g = r + self.config.gamma * g;
+                returns.push((s, a, g));
+            }
+            returns.reverse();
+            let mut seen = std::collections::HashSet::new();
+            for (s, a, g) in returns {
+                if seen.insert((s, a)) {
+                    self.q.td_update(s, a, alpha, g);
+                }
+            }
+            stats.push(ep_return);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use crate::policy::EpsilonGreedy;
+    use crate::schedule::Schedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(episodes: usize) -> SarsaConfig {
+        SarsaConfig {
+            alpha: Schedule::Constant(0.3),
+            gamma: 0.9,
+            episodes,
+        }
+    }
+
+    #[test]
+    fn mc_learns_chain_policy() {
+        let mut env = ChainEnv::new(6, 5);
+        let mut agent = MonteCarloAgent::new(&env, config(1500));
+        let mut rng = StdRng::seed_from_u64(5);
+        agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0);
+        for s in 1..5usize {
+            assert!(
+                agent.q.get(s, s + 1) > agent.q.get(s, s - 1),
+                "state {s}: {} !> {}",
+                agent.q.get(s, s + 1),
+                agent.q.get(s, s - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn mc_returns_improve() {
+        let mut env = ChainEnv::new(6, 5);
+        let mut agent = MonteCarloAgent::new(&env, config(800));
+        let mut rng = StdRng::seed_from_u64(9);
+        let stats = agent.train(&mut env, &EpsilonGreedy::new(0.15), &mut rng, |_, _| 0);
+        assert!(stats.mean_return_over(700..800) >= stats.mean_return_over(0..100));
+    }
+
+    #[test]
+    fn mc_first_visit_updates_each_pair_once_per_episode() {
+        // On a 2-state chain the episode is one step; Q(0,1) after one
+        // episode with α = 1 equals the return exactly.
+        let mut env = ChainEnv::new(2, 5);
+        let mut agent = MonteCarloAgent::new(
+            &env,
+            SarsaConfig {
+                alpha: Schedule::Constant(1.0),
+                gamma: 0.9,
+                episodes: 1,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        agent.train(&mut env, &EpsilonGreedy::new(0.0), &mut rng, |_, _| 0);
+        assert_eq!(agent.q.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn td_beats_mc_on_equal_small_budget() {
+        // §III-C's implicit claim: TD propagates credit faster. On a
+        // short budget SARSA's greedy policy is at least as good as
+        // MC's, measured by greedy return from state 0.
+        use crate::rollout::greedy_rollout;
+        use crate::sarsa::SarsaAgent;
+        let budget = 120;
+        let mut env = ChainEnv::new(8, 7);
+        let mut sarsa = SarsaAgent::new(&env, config(budget));
+        let mut rng = StdRng::seed_from_u64(3);
+        sarsa.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0);
+        let mut env2 = ChainEnv::new(8, 7);
+        let mut mc = MonteCarloAgent::new(&env2, config(budget));
+        let mut rng2 = StdRng::seed_from_u64(3);
+        mc.train(&mut env2, &EpsilonGreedy::new(0.2), &mut rng2, |_, _| 0);
+
+        let (_, sarsa_ret) = greedy_rollout(&mut ChainEnv::new(8, 7), &sarsa.q, 0);
+        let (_, mc_ret) = greedy_rollout(&mut ChainEnv::new(8, 7), &mc.q, 0);
+        assert!(
+            sarsa_ret >= mc_ret,
+            "SARSA return {sarsa_ret} < MC return {mc_ret}"
+        );
+    }
+}

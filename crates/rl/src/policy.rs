@@ -1,0 +1,120 @@
+//! Action selection during learning.
+
+use crate::qtable::QTable;
+use rand::Rng;
+
+/// Selects one action from the valid set, given the current Q-table.
+pub trait ActionSelector {
+    /// Picks an action index from `allowed` (non-empty) for state `s`.
+    fn select<R: Rng + ?Sized>(
+        &self,
+        q: &QTable,
+        s: usize,
+        allowed: &[usize],
+        rng: &mut R,
+    ) -> usize;
+}
+
+/// Pure exploitation: `argmax_a Q(s, a)` with deterministic low-index
+/// tie-breaking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySelector;
+
+impl ActionSelector for GreedySelector {
+    fn select<R: Rng + ?Sized>(
+        &self,
+        q: &QTable,
+        s: usize,
+        allowed: &[usize],
+        _rng: &mut R,
+    ) -> usize {
+        q.best_action(s, allowed)
+            .expect("select requires a non-empty action set")
+    }
+}
+
+/// ε-greedy: explore uniformly with probability `epsilon`, otherwise
+/// exploit.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonGreedy {
+    /// Exploration probability in `[0, 1]`.
+    pub epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates an ε-greedy selector; `epsilon` is clamped into `[0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        EpsilonGreedy {
+            epsilon: epsilon.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl ActionSelector for EpsilonGreedy {
+    fn select<R: Rng + ?Sized>(
+        &self,
+        q: &QTable,
+        s: usize,
+        allowed: &[usize],
+        rng: &mut R,
+    ) -> usize {
+        assert!(!allowed.is_empty(), "select requires a non-empty action set");
+        if rng.random::<f64>() < self.epsilon {
+            allowed[rng.random_range(0..allowed.len())]
+        } else {
+            q.best_action(s, allowed).expect("allowed is non-empty")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut q = QTable::square(3);
+        q.set(0, 2, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(GreedySelector.select(&q, 0, &[1, 2], &mut rng), 2);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let mut q = QTable::square(3);
+        q.set(0, 1, 5.0);
+        let sel = EpsilonGreedy::new(0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(sel.select(&q, 0, &[1, 2], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_all_actions() {
+        let q = QTable::square(4);
+        let sel = EpsilonGreedy::new(1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sel.select(&q, 0, &[1, 2, 3], &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn epsilon_clamped() {
+        assert_eq!(EpsilonGreedy::new(3.0).epsilon, 1.0);
+        assert_eq!(EpsilonGreedy::new(-1.0).epsilon, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_action_set_panics() {
+        let q = QTable::square(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        EpsilonGreedy::new(0.5).select(&q, 0, &[], &mut rng);
+    }
+}

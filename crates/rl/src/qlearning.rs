@@ -1,0 +1,127 @@
+//! Q-learning: the off-policy counterpart, kept for the SARSA-vs-Q
+//! ablation called out in DESIGN.md (the paper argues for on-policy
+//! SARSA; the ablation lets us measure that choice).
+
+use crate::env::Environment;
+use crate::policy::ActionSelector;
+use crate::qtable::QTable;
+use crate::sarsa::SarsaConfig;
+use crate::stats::TrainStats;
+use rand::Rng;
+
+/// Off-policy TD(0) agent:
+/// `Q(s,a) ← Q(s,a) + α [ r + γ max_a' Q(s',a') − Q(s,a) ]`.
+#[derive(Debug, Clone)]
+pub struct QLearningAgent {
+    /// Learned action values.
+    pub q: QTable,
+    config: SarsaConfig,
+}
+
+impl QLearningAgent {
+    /// Creates an agent with a zero Q-table sized for `env`. Reuses
+    /// [`SarsaConfig`] — the hyper-parameters are identical.
+    pub fn new<E: Environment>(env: &E, config: SarsaConfig) -> Self {
+        QLearningAgent {
+            q: QTable::square(env.n_states()),
+            config,
+        }
+    }
+
+    /// Trains for `config.episodes` episodes (same calling convention as
+    /// [`crate::SarsaAgent::train`]).
+    pub fn train<E, S, R, F>(
+        &mut self,
+        env: &mut E,
+        selector: &S,
+        rng: &mut R,
+        mut start_of: F,
+    ) -> TrainStats
+    where
+        E: Environment,
+        S: ActionSelector,
+        R: Rng + ?Sized,
+        F: FnMut(usize, &mut R) -> usize,
+    {
+        let mut stats = TrainStats::with_capacity(self.config.episodes);
+        let mut actions = Vec::with_capacity(env.n_states());
+        for episode in 0..self.config.episodes {
+            let alpha = self.config.alpha.at(episode);
+            env.reset(start_of(episode, rng));
+            let mut ep_return = 0.0;
+            loop {
+                let s = env.state();
+                env.valid_actions(&mut actions);
+                if actions.is_empty() {
+                    break;
+                }
+                let a = selector.select(&self.q, s, &actions, rng);
+                let out = env.step(a);
+                ep_return += out.reward;
+                if out.done {
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                env.valid_actions(&mut actions);
+                let target =
+                    out.reward + self.config.gamma * self.q.best_value(out.next_state, &actions);
+                self.q.td_update(s, a, alpha, target);
+            }
+            stats.push(ep_return);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use crate::policy::EpsilonGreedy;
+    use crate::schedule::Schedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_to_walk_right_on_chain() {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 500,
+        };
+        let mut agent = QLearningAgent::new(&env, config);
+        let mut rng = StdRng::seed_from_u64(4);
+        agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0);
+        for s in 1..5usize {
+            assert!(agent.q.get(s, s + 1) > agent.q.get(s, s - 1));
+        }
+    }
+
+    #[test]
+    fn sarsa_and_qlearning_agree_on_greedy_policy_here() {
+        // On a deterministic chain with enough training both converge to
+        // the same greedy policy, even though the value estimates differ.
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.4),
+            gamma: 0.9,
+            episodes: 800,
+        };
+        let mut env = ChainEnv::new(5, 4);
+        let mut sarsa = crate::SarsaAgent::new(&env, config);
+        let mut rng = StdRng::seed_from_u64(21);
+        sarsa.train(&mut env, &EpsilonGreedy::new(0.3), &mut rng, |_, _| 0);
+        let mut env2 = ChainEnv::new(5, 4);
+        let mut ql = QLearningAgent::new(&env2, config);
+        let mut rng2 = StdRng::seed_from_u64(21);
+        ql.train(&mut env2, &EpsilonGreedy::new(0.3), &mut rng2, |_, _| 0);
+        for s in 1..4usize {
+            let allowed = [s + 1, s - 1];
+            assert_eq!(
+                sarsa.q.best_action(s, &allowed),
+                ql.q.best_action(s, &allowed),
+                "policies disagree at state {s}"
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Dense Q-tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `n_states × n_actions` action-value table.
+///
+/// For TPP both axes are items, so the table is `|I| × |I|` exactly as
+/// §III-C describes. Stored row-major in one contiguous allocation for
+/// cache-friendly row scans (the recommender's `argmax_j Q(s, j)` is a
+/// single row sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    n_states: usize,
+    n_actions: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// A zero-initialized table.
+    pub fn zeros(n_states: usize, n_actions: usize) -> Self {
+        QTable {
+            n_states,
+            n_actions,
+            values: vec![0.0; n_states * n_actions],
+        }
+    }
+
+    /// A square `n × n` zero table (the TPP shape).
+    pub fn square(n: usize) -> Self {
+        Self::zeros(n, n)
+    }
+
+    /// Number of state rows.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of action columns.
+    #[inline]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// `Q(s, a)`.
+    #[inline]
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        debug_assert!(s < self.n_states && a < self.n_actions);
+        self.values[s * self.n_actions + a]
+    }
+
+    /// Sets `Q(s, a)`.
+    #[inline]
+    pub fn set(&mut self, s: usize, a: usize, v: f64) {
+        debug_assert!(s < self.n_states && a < self.n_actions);
+        self.values[s * self.n_actions + a] = v;
+    }
+
+    /// The SARSA/Q-learning temporal-difference update (Eq. 9):
+    /// `Q(s,a) ← Q(s,a) + α [target − Q(s,a)]`.
+    #[inline]
+    pub fn td_update(&mut self, s: usize, a: usize, alpha: f64, target: f64) {
+        let q = self.get(s, a);
+        self.set(s, a, q + alpha * (target - q));
+    }
+
+    /// Row `s` as a slice.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.values[s * self.n_actions..(s + 1) * self.n_actions]
+    }
+
+    /// `argmax` of `Q(s, ·)` restricted to `allowed` (first maximum
+    /// wins). `None` when `allowed` is empty.
+    pub fn best_action(&self, s: usize, allowed: &[usize]) -> Option<usize> {
+        let row = self.row(s);
+        allowed
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                row[a]
+                    .partial_cmp(&row[b])
+                    .expect("Q values are finite")
+                    // Stabilize ties toward the lower action index so
+                    // recommendation is deterministic.
+                    .then(b.cmp(&a))
+            })
+    }
+
+    /// `max` of `Q(s, ·)` restricted to `allowed`; `0.0` when empty
+    /// (terminal convention).
+    pub fn best_value(&self, s: usize, allowed: &[usize]) -> f64 {
+        if allowed.is_empty() {
+            return 0.0;
+        }
+        let row = self.row(s);
+        allowed
+            .iter()
+            .map(|&a| row[a])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum absolute entry (`‖Q‖∞`), useful for convergence checks.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Raw values, row-major (for persistence).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a table from raw parts.
+    ///
+    /// # Panics
+    /// Panics when `values.len() != n_states * n_actions`.
+    pub fn from_raw(n_states: usize, n_actions: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n_states * n_actions, "shape mismatch");
+        QTable {
+            n_states,
+            n_actions,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut q = QTable::square(4);
+        q.set(1, 2, 3.5);
+        assert_eq!(q.get(1, 2), 3.5);
+        assert_eq!(q.get(2, 1), 0.0);
+        assert_eq!(q.n_states(), 4);
+        assert_eq!(q.n_actions(), 4);
+    }
+
+    #[test]
+    fn td_update_moves_toward_target() {
+        let mut q = QTable::square(2);
+        q.td_update(0, 1, 0.5, 10.0);
+        assert_eq!(q.get(0, 1), 5.0);
+        q.td_update(0, 1, 0.5, 10.0);
+        assert_eq!(q.get(0, 1), 7.5);
+    }
+
+    #[test]
+    fn best_action_respects_mask() {
+        let mut q = QTable::square(4);
+        q.set(0, 3, 9.0);
+        q.set(0, 1, 5.0);
+        // 3 is best overall but masked out.
+        assert_eq!(q.best_action(0, &[1, 2]), Some(1));
+        assert_eq!(q.best_action(0, &[1, 2, 3]), Some(3));
+        assert_eq!(q.best_action(0, &[]), None);
+    }
+
+    #[test]
+    fn best_action_tie_breaks_low_index() {
+        let q = QTable::square(4);
+        // All zeros: lowest index among allowed wins.
+        assert_eq!(q.best_action(0, &[2, 1, 3]), Some(1));
+    }
+
+    #[test]
+    fn best_value_terminal_convention() {
+        let mut q = QTable::square(3);
+        q.set(0, 1, -2.0);
+        q.set(0, 2, -5.0);
+        assert_eq!(q.best_value(0, &[1, 2]), -2.0);
+        assert_eq!(q.best_value(0, &[]), 0.0);
+    }
+
+    #[test]
+    fn row_is_contiguous() {
+        let mut q = QTable::zeros(2, 3);
+        q.set(1, 0, 1.0);
+        q.set(1, 2, 2.0);
+        assert_eq!(q.row(1), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let q = QTable::from_raw(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q.get(1, 0), 3.0);
+        assert_eq!(q.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_rejects_bad_shape() {
+        let _ = QTable::from_raw(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn max_abs() {
+        let mut q = QTable::square(2);
+        q.set(0, 0, -7.0);
+        q.set(1, 1, 3.0);
+        assert_eq!(q.max_abs(), 7.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Greedy rollouts: applying a learned policy.
+//!
+//! The paper's recommendation phase (Algorithm 1, lines 15–24) starts at
+//! a given item and repeatedly walks to the unvisited item with the
+//! maximum Q value until the sequence reaches `H` items.
+
+use crate::env::Environment;
+use crate::qtable::QTable;
+
+/// Rolls an environment forward greedily under `q` from `start`.
+///
+/// Returns the visited state sequence (including `start`) and the total
+/// (undiscounted) reward collected. Stops when the environment reports
+/// `done` or no valid action remains.
+pub fn greedy_rollout<E: Environment>(env: &mut E, q: &QTable, start: usize) -> (Vec<usize>, f64) {
+    env.reset(start);
+    let mut seq = vec![env.state()];
+    let mut total = 0.0;
+    let mut actions = Vec::with_capacity(env.n_states());
+    loop {
+        let s = env.state();
+        env.valid_actions(&mut actions);
+        let Some(a) = q.best_action(s, &actions) else {
+            break;
+        };
+        let out = env.step(a);
+        seq.push(out.next_state);
+        total += out.reward;
+        if out.done {
+            break;
+        }
+    }
+    (seq, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use crate::policy::EpsilonGreedy;
+    use crate::sarsa::{SarsaAgent, SarsaConfig};
+    use crate::schedule::Schedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rollout_follows_learned_policy() {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 600,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let mut rng = StdRng::seed_from_u64(8);
+        agent.train(&mut env, &EpsilonGreedy::new(0.2), &mut rng, |_, _| 0);
+        let mut env2 = ChainEnv::new(6, 5);
+        let (seq, total) = greedy_rollout(&mut env2, &agent.q, 0);
+        assert_eq!(seq, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn rollout_on_untrained_q_still_terminates() {
+        let mut env = ChainEnv::new(4, 10);
+        let q = QTable::square(4);
+        let (seq, _) = greedy_rollout(&mut env, &q, 1);
+        assert!(!seq.is_empty());
+        assert!(seq.len() <= 11);
+    }
+}

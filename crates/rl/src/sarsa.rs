@@ -1,0 +1,215 @@
+//! SARSA: the on-policy TD(0) learner the paper adopts (§III-C).
+//!
+//! The paper motivates SARSA over value iteration / off-policy learning
+//! ("known to converge faster and with fewer errors") and updates Q with
+//! Eq. 9:
+//!
+//! ```text
+//! Q(s_i, e_i) ← Q(s_i, e_i) + α [ r_{i+1} + γ Q(s_{i+1}, e_{i+1}) − Q(s_i, e_i) ]
+//! ```
+
+use crate::env::Environment;
+use crate::policy::ActionSelector;
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use crate::stats::TrainStats;
+use rand::Rng;
+
+/// SARSA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SarsaConfig {
+    /// Learning rate α (Table III default 0.75 for courses).
+    pub alpha: Schedule,
+    /// Discount factor γ (Table III default 0.95 for courses).
+    pub gamma: f64,
+    /// Number of training episodes `N`.
+    pub episodes: usize,
+}
+
+impl SarsaConfig {
+    /// The paper's course-planning defaults: α = 0.75, γ = 0.95, N = 500.
+    pub fn paper_course_defaults() -> Self {
+        SarsaConfig {
+            alpha: Schedule::Constant(0.75),
+            gamma: 0.95,
+            episodes: 500,
+        }
+    }
+
+    /// The paper's trip-planning defaults: α = 0.95, γ = 0.75, N = 500.
+    pub fn paper_trip_defaults() -> Self {
+        SarsaConfig {
+            alpha: Schedule::Constant(0.95),
+            gamma: 0.75,
+            episodes: 500,
+        }
+    }
+}
+
+/// The SARSA agent: owns the Q-table and its configuration.
+#[derive(Debug, Clone)]
+pub struct SarsaAgent {
+    /// Learned action values.
+    pub q: QTable,
+    config: SarsaConfig,
+}
+
+impl SarsaAgent {
+    /// Creates an agent with a zero Q-table sized for `env`.
+    pub fn new<E: Environment>(env: &E, config: SarsaConfig) -> Self {
+        SarsaAgent {
+            q: QTable::square(env.n_states()),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SarsaConfig {
+        &self.config
+    }
+
+    /// Trains for `config.episodes` episodes. Each episode starts at
+    /// `start_of(episode)`, selects actions with `selector`, and applies
+    /// Eq. 9 at every step (with a zero bootstrap on the terminal step).
+    /// Returns per-episode return statistics.
+    pub fn train<E, S, R, F>(
+        &mut self,
+        env: &mut E,
+        selector: &S,
+        rng: &mut R,
+        mut start_of: F,
+    ) -> TrainStats
+    where
+        E: Environment,
+        S: ActionSelector,
+        R: Rng + ?Sized,
+        F: FnMut(usize, &mut R) -> usize,
+    {
+        let mut stats = TrainStats::with_capacity(self.config.episodes);
+        let mut actions = Vec::with_capacity(env.n_states());
+        for episode in 0..self.config.episodes {
+            let alpha = self.config.alpha.at(episode);
+            let start = start_of(episode, rng);
+            env.reset(start);
+            let mut ep_return = 0.0;
+            let mut s = env.state();
+            env.valid_actions(&mut actions);
+            if actions.is_empty() {
+                stats.push(0.0);
+                continue;
+            }
+            let mut a = selector.select(&self.q, s, &actions, rng);
+            loop {
+                let out = env.step(a);
+                ep_return += out.reward;
+                if out.done {
+                    // Terminal: bootstrap value is 0.
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                let s_next = out.next_state;
+                env.valid_actions(&mut actions);
+                if actions.is_empty() {
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                let a_next = selector.select(&self.q, s_next, &actions, rng);
+                let target = out.reward + self.config.gamma * self.q.get(s_next, a_next);
+                self.q.td_update(s, a, alpha, target);
+                s = s_next;
+                a = a_next;
+            }
+            stats.push(ep_return);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use crate::policy::EpsilonGreedy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_agent(episodes: usize, seed: u64) -> (SarsaAgent, TrainStats) {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let sel = EpsilonGreedy::new(0.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = agent.train(&mut env, &sel, &mut rng, |_, _| 0);
+        (agent, stats)
+    }
+
+    #[test]
+    fn learns_to_walk_right_on_chain() {
+        let (agent, _) = trained_agent(500, 3);
+        // From every interior state, going right must dominate going left.
+        for s in 1..5usize {
+            assert!(
+                agent.q.get(s, s + 1) > agent.q.get(s, s - 1),
+                "state {s}: right {} !> left {}",
+                agent.q.get(s, s + 1),
+                agent.q.get(s, s - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn returns_improve_with_training() {
+        let (_, stats) = trained_agent(400, 11);
+        let early = stats.mean_return_over(0..50);
+        let late = stats.mean_return_over(350..400);
+        assert!(
+            late >= early,
+            "late mean {late} should be at least early mean {early}"
+        );
+    }
+
+    #[test]
+    fn q_values_bounded_by_geometric_series() {
+        // Rewards are ≤ 1 per step, so Q ≤ 1/(1-γ) = 10 for γ = 0.9.
+        let (agent, _) = trained_agent(1000, 5);
+        assert!(agent.q.max_abs() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_episodes_is_noop() {
+        let env = ChainEnv::new(4, 3);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 0,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let mut env = ChainEnv::new(4, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let stats = agent.train(&mut env, &EpsilonGreedy::new(0.1), &mut rng, |_, _| 0);
+        assert_eq!(stats.episodes(), 0);
+        assert_eq!(agent.q.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let (a1, _) = trained_agent(100, 99);
+        let (a2, _) = trained_agent(100, 99);
+        assert_eq!(a1.q, a2.q);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SarsaConfig::paper_course_defaults();
+        assert_eq!(c.alpha.at(0), 0.75);
+        assert_eq!(c.gamma, 0.95);
+        assert_eq!(c.episodes, 500);
+        let t = SarsaConfig::paper_trip_defaults();
+        assert_eq!(t.alpha.at(0), 0.95);
+        assert_eq!(t.gamma, 0.75);
+    }
+}

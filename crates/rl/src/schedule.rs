@@ -1,0 +1,82 @@
+//! Parameter schedules (exploration/learning-rate decay).
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar schedule over training episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f64),
+    /// Linear from `from` to `to` over `over` episodes, then `to`.
+    Linear {
+        /// Starting value (episode 0).
+        from: f64,
+        /// Final value.
+        to: f64,
+        /// Episodes over which to interpolate.
+        over: usize,
+    },
+    /// Exponential decay `from * rate^episode`, floored at `min`.
+    Exponential {
+        /// Starting value.
+        from: f64,
+        /// Per-episode multiplicative factor in `(0, 1]`.
+        rate: f64,
+        /// Lower bound.
+        min: f64,
+    },
+}
+
+impl Schedule {
+    /// Value at `episode`.
+    pub fn at(&self, episode: usize) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { from, to, over } => {
+                if over == 0 || episode >= over {
+                    to
+                } else {
+                    from + (to - from) * (episode as f64 / over as f64)
+                }
+            }
+            Schedule::Exponential { from, rate, min } => {
+                (from * rate.powi(episode as i32)).max(min)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant() {
+        assert_eq!(Schedule::Constant(0.75).at(0), 0.75);
+        assert_eq!(Schedule::Constant(0.75).at(9999), 0.75);
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = Schedule::Linear { from: 1.0, to: 0.0, over: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(10), 0.0);
+        assert_eq!(s.at(100), 0.0);
+    }
+
+    #[test]
+    fn linear_zero_span() {
+        let s = Schedule::Linear { from: 1.0, to: 0.2, over: 0 };
+        assert_eq!(s.at(0), 0.2);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::Exponential { from: 1.0, rate: 0.5, min: 0.1 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(2), 0.25);
+        assert_eq!(s.at(10), 0.1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Training statistics.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Per-episode returns recorded during training.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    returns: Vec<f64>,
+}
+
+impl TrainStats {
+    /// Empty stats with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        TrainStats {
+            returns: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one episode's return.
+    pub fn push(&mut self, ep_return: f64) {
+        self.returns.push(ep_return);
+    }
+
+    /// Number of recorded episodes.
+    pub fn episodes(&self) -> usize {
+        self.returns.len()
+    }
+
+    /// All returns, in episode order.
+    pub fn returns(&self) -> &[f64] {
+        &self.returns
+    }
+
+    /// Mean return over all episodes (`0.0` when empty).
+    pub fn mean_return(&self) -> f64 {
+        self.mean_return_over(0..self.returns.len())
+    }
+
+    /// Mean return over an episode range, clamped to what was recorded.
+    pub fn mean_return_over(&self, range: Range<usize>) -> f64 {
+        let end = range.end.min(self.returns.len());
+        let start = range.start.min(end);
+        let slice = &self.returns[start..end];
+        if slice.is_empty() {
+            0.0
+        } else {
+            slice.iter().sum::<f64>() / slice.len() as f64
+        }
+    }
+
+    /// Trailing moving average with the given window, one value per
+    /// episode — handy for convergence plots.
+    pub fn moving_average(&self, window: usize) -> Vec<f64> {
+        let w = window.max(1);
+        let mut out = Vec::with_capacity(self.returns.len());
+        let mut sum = 0.0;
+        for i in 0..self.returns.len() {
+            sum += self.returns[i];
+            if i >= w {
+                sum -= self.returns[i - w];
+            }
+            out.push(sum / (i.min(w - 1) + 1) as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_ranges() {
+        let mut s = TrainStats::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.episodes(), 4);
+        assert_eq!(s.mean_return(), 2.5);
+        assert_eq!(s.mean_return_over(2..4), 3.5);
+        assert_eq!(s.mean_return_over(2..100), 3.5); // clamped
+        assert_eq!(s.mean_return_over(4..4), 0.0);
+    }
+
+    #[test]
+    fn moving_average_window() {
+        let mut s = TrainStats::default();
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            s.push(v);
+        }
+        let ma = s.moving_average(2);
+        assert_eq!(ma, vec![2.0, 3.0, 5.0, 7.0]);
+        // Window 1 reproduces the raw series.
+        assert_eq!(s.moving_average(1), s.returns());
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TrainStats::default();
+        assert_eq!(s.mean_return(), 0.0);
+        assert!(s.moving_average(3).is_empty());
+    }
+}

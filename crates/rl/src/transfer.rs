@@ -1,0 +1,138 @@
+//! Cross-universe policy transfer.
+//!
+//! The paper's transfer-learning case studies (§IV-D) learn a policy on
+//! one item universe (M.S. CS; NYC) and apply it to another (M.S. DS-CT;
+//! Paris). A tabular policy is tied to its state indexing, so transfer
+//! needs an explicit **state mapping** from target states to source
+//! states; unmapped target states fall back to zero-initialized rows and
+//! columns.
+
+use crate::qtable::QTable;
+use serde::{Deserialize, Serialize};
+
+/// For each target state, the source state it corresponds to (if any).
+///
+/// Course programs inside one university share course ids/codes, giving an
+/// identity-on-intersection mapping; disjoint POI universes are mapped by
+/// nearest-neighbour in theme space (built in `tpp-core::transfer`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateMapping {
+    map: Vec<Option<usize>>,
+}
+
+impl StateMapping {
+    /// Creates a mapping; `map[t]` is the source state for target `t`.
+    pub fn new(map: Vec<Option<usize>>) -> Self {
+        StateMapping { map }
+    }
+
+    /// Identity mapping over `n` states.
+    pub fn identity(n: usize) -> Self {
+        StateMapping {
+            map: (0..n).map(Some).collect(),
+        }
+    }
+
+    /// Number of target states.
+    pub fn target_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Source state for target `t`.
+    pub fn source_of(&self, t: usize) -> Option<usize> {
+        self.map.get(t).copied().flatten()
+    }
+
+    /// Fraction of target states that have a source (coverage of the
+    /// transfer).
+    pub fn coverage(&self) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        self.map.iter().filter(|m| m.is_some()).count() as f64 / self.map.len() as f64
+    }
+}
+
+/// Transports a source Q-table into a target universe of
+/// `mapping.target_len()` states: `Q_t(i, j) = Q_s(map(i), map(j))` where
+/// both endpoints are mapped, `0` otherwise.
+pub fn transfer_q(source: &QTable, mapping: &StateMapping) -> QTable {
+    let n = mapping.target_len();
+    let mut out = QTable::square(n);
+    for i in 0..n {
+        let Some(si) = mapping.source_of(i) else {
+            continue;
+        };
+        if si >= source.n_states() {
+            continue;
+        }
+        for j in 0..n {
+            let Some(sj) = mapping.source_of(j) else {
+                continue;
+            };
+            if sj >= source.n_actions() {
+                continue;
+            }
+            out.set(i, j, source.get(si, sj));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transfer_copies_table() {
+        let mut q = QTable::square(3);
+        q.set(0, 1, 2.0);
+        q.set(2, 0, -1.0);
+        let t = transfer_q(&q, &StateMapping::identity(3));
+        assert_eq!(t, q);
+    }
+
+    #[test]
+    fn partial_mapping_zeroes_unmapped() {
+        let mut q = QTable::square(3);
+        q.set(0, 1, 5.0);
+        q.set(1, 0, 7.0);
+        // Target 0 → source 1, target 1 unmapped, target 2 → source 0.
+        let m = StateMapping::new(vec![Some(1), None, Some(0)]);
+        let t = transfer_q(&q, &m);
+        assert_eq!(t.get(0, 2), 7.0); // Q_s(1, 0)
+        assert_eq!(t.get(2, 0), 5.0); // Q_s(0, 1)
+        assert_eq!(t.get(0, 1), 0.0);
+        assert_eq!(t.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn mapping_coverage() {
+        let m = StateMapping::new(vec![Some(0), None, Some(2), None]);
+        assert_eq!(m.coverage(), 0.5);
+        assert_eq!(m.target_len(), 4);
+        assert_eq!(m.source_of(2), Some(2));
+        assert_eq!(m.source_of(1), None);
+        assert_eq!(m.source_of(99), None);
+        assert_eq!(StateMapping::new(vec![]).coverage(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_sources_ignored() {
+        let q = QTable::square(2);
+        let m = StateMapping::new(vec![Some(5), Some(0)]);
+        let t = transfer_q(&q, &m);
+        assert_eq!(t.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn target_can_be_larger_than_source() {
+        let mut q = QTable::square(2);
+        q.set(0, 1, 3.0);
+        let m = StateMapping::new(vec![Some(0), Some(1), None, None]);
+        let t = transfer_q(&q, &m);
+        assert_eq!(t.n_states(), 4);
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.get(2, 3), 0.0);
+    }
+}

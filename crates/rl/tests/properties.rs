@@ -1,0 +1,139 @@
+//! Property tests for the RL substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpp_rl::env::ChainEnv;
+use tpp_rl::{
+    greedy_rollout, transfer_q, EpsilonGreedy, QTable, SarsaAgent, SarsaConfig, Schedule,
+    StateMapping,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Q values stay bounded by the geometric series of the maximum
+    /// absolute reward: |Q| ≤ r_max / (1 − γ).
+    #[test]
+    fn q_values_bounded(
+        alpha in 0.05f64..1.0,
+        gamma in 0.0f64..0.99,
+        episodes in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(alpha),
+            gamma,
+            episodes,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        agent.train(&mut env, &EpsilonGreedy::new(0.3), &mut rng, |_, _| 0);
+        let bound = 1.0 / (1.0 - gamma) + 1e-9;
+        prop_assert!(agent.q.max_abs() <= bound, "{} > {bound}", agent.q.max_abs());
+    }
+
+    /// Training is a pure function of the seed.
+    #[test]
+    fn training_deterministic(seed in 0u64..500) {
+        let run = || {
+            let mut env = ChainEnv::new(5, 4);
+            let mut agent = SarsaAgent::new(&env, SarsaConfig {
+                alpha: Schedule::Constant(0.5),
+                gamma: 0.9,
+                episodes: 50,
+            });
+            let mut rng = StdRng::seed_from_u64(seed);
+            agent.train(&mut env, &EpsilonGreedy::new(0.3), &mut rng, |_, _| 0);
+            agent.q
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Identity transfer is the identity; composing a mapping with the
+    /// zero table stays zero.
+    #[test]
+    fn transfer_identity_and_zero(vals in prop::collection::vec(-100.0f64..100.0, 9)) {
+        let q = QTable::from_raw(3, 3, vals);
+        prop_assert_eq!(transfer_q(&q, &StateMapping::identity(3)), q.clone());
+        let zero = QTable::square(3);
+        let m = StateMapping::new(vec![Some(2), Some(0), None]);
+        prop_assert_eq!(transfer_q(&zero, &m).max_abs(), 0.0);
+    }
+
+    /// Transfer never invents mass: every target entry equals some
+    /// source entry or zero.
+    #[test]
+    fn transfer_entries_come_from_source(
+        vals in prop::collection::vec(-10.0f64..10.0, 16),
+        map in prop::collection::vec(prop::option::of(0usize..4), 4),
+    ) {
+        let q = QTable::from_raw(4, 4, vals.clone());
+        let t = transfer_q(&q, &StateMapping::new(map));
+        for &v in t.values() {
+            prop_assert!(
+                v == 0.0 || vals.iter().any(|&x| (x - v).abs() < 1e-12),
+                "entry {v} not in source"
+            );
+        }
+    }
+
+    /// Greedy rollouts terminate and never exceed horizon + 1 states.
+    #[test]
+    fn rollout_terminates(n in 2usize..12, horizon in 1usize..15, seed in 0u64..100) {
+        let mut env = ChainEnv::new(n, horizon);
+        let mut agent = SarsaAgent::new(&env, SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 30,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        agent.train(&mut env, &EpsilonGreedy::new(0.5), &mut rng, |_, _| 0);
+        let (seq, _) = greedy_rollout(&mut ChainEnv::new(n, horizon), &agent.q, 0);
+        prop_assert!(!seq.is_empty());
+        prop_assert!(seq.len() <= horizon + 1);
+        for &s in &seq {
+            prop_assert!(s < n);
+        }
+    }
+
+    /// Schedules never leave their defining ranges.
+    #[test]
+    fn schedules_stay_in_range(ep in 0usize..10_000) {
+        let lin = Schedule::Linear { from: 1.0, to: 0.1, over: 500 };
+        let v = lin.at(ep);
+        prop_assert!((0.1..=1.0).contains(&v));
+        let exp = Schedule::Exponential { from: 0.8, rate: 0.99, min: 0.05 };
+        let v = exp.at(ep);
+        prop_assert!((0.05..=0.8).contains(&v));
+    }
+
+    /// Value iteration's fixed point satisfies the Bellman optimality
+    /// equation on random-reward chains.
+    #[test]
+    fn value_iteration_bellman_consistent(
+        rewards in prop::collection::vec(-5.0f64..5.0, 5),
+        gamma in 0.1f64..0.95,
+    ) {
+        use tpp_rl::{value_iteration, ExplicitMdp};
+        // A forward chain with arbitrary rewards; terminal at the end.
+        let n = rewards.len() + 1;
+        let transitions = (0..n)
+            .map(|s| {
+                if s + 1 < n {
+                    vec![Some((s + 1, rewards[s]))]
+                } else {
+                    vec![None]
+                }
+            })
+            .collect();
+        let mdp = ExplicitMdp { transitions, gamma };
+        let sol = value_iteration(&mdp, 1e-12, 100_000);
+        for (s, reward) in rewards.iter().enumerate() {
+            let backup = reward + gamma * sol.values[s + 1];
+            prop_assert!((sol.values[s] - backup).abs() < 1e-6);
+        }
+        prop_assert_eq!(sol.values[n - 1], 0.0);
+    }
+}

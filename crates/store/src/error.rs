@@ -1,0 +1,75 @@
+//! Store error type.
+
+use std::fmt;
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Binary payload did not start with the expected magic bytes.
+    BadMagic,
+    /// Binary payload has an unsupported format version.
+    UnsupportedVersion(u16),
+    /// Binary payload is shorter than its header claims.
+    Truncated {
+        /// Bytes required.
+        expected: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// Checksum mismatch: the payload is corrupt.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Json(e) => write!(f, "json error: {e}"),
+            StoreError::BadMagic => f.write_str("not a QPOL policy file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported QPOL version {v}"),
+            StoreError::Truncated { expected, got } => {
+                write!(f, "truncated payload: need {expected} bytes, have {got}")
+            }
+            StoreError::ChecksumMismatch => f.write_str("checksum mismatch (corrupt payload)"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::BadMagic.to_string().contains("QPOL"));
+        assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        let t = StoreError::Truncated { expected: 10, got: 3 };
+        assert!(t.to_string().contains("10") && t.to_string().contains('3'));
+    }
+}

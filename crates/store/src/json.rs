@@ -1,0 +1,85 @@
+//! JSON snapshots for any serde-serializable artifact.
+
+use crate::error::StoreError;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Serializes `value` as pretty JSON at `path`, creating parent
+/// directories as needed.
+pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let data = serde_json::to_vec_pretty(value)?;
+    fs::write(path, data)?;
+    Ok(())
+}
+
+/// Loads a JSON snapshot from `path`.
+pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, StoreError> {
+    let data = fs::read(path)?;
+    Ok(serde_json::from_slice(&data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_model::Plan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tpp-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_plan() {
+        let path = tmp("plan.json");
+        let plan = Plan::from_items(vec![3u32.into(), 1u32.into()]);
+        save_json(&path, &plan).unwrap();
+        let back: Plan = load_json(&path).unwrap();
+        assert_eq!(plan, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_catalog_with_index_rebuild() {
+        let path = tmp("catalog.json");
+        let cat = tpp_model::toy::table2_catalog();
+        save_json(&path, &cat).unwrap();
+        let mut back: tpp_model::Catalog = load_json(&path).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.len(), cat.len());
+        assert_eq!(back.by_code("m6").unwrap().name, "Machine Learning");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn creates_parent_dirs() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("tpp-store-nested-{}", std::process::id()));
+        let path = dir.join("a/b/c.json");
+        save_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> = load_json(&path).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r: Result<Plan, _> = load_json("/nonexistent/nope.json");
+        assert!(matches!(r, Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_json_error() {
+        let path = tmp("bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let r: Result<Plan, _> = load_json(&path);
+        assert!(matches!(r, Err(StoreError::Json(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! # tpp-store
+//!
+//! Persistence for datasets and learned policies:
+//!
+//! * human-readable **JSON snapshots** (via serde) for catalogs and any
+//!   serializable experiment artifact;
+//! * a compact, hand-rolled, checksummed **binary format** (`QPOL`) for
+//!   Q-tables, so a policy trained once can be reloaded and reused for
+//!   interactive recommendation or transfer without retraining.
+//!
+//! The binary format is deliberately simple: magic, version, shape,
+//! little-endian `f64` payload, FNV-1a checksum. Corruption and
+//! truncation are detected, version skew is rejected.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod policy;
+
+pub use error::StoreError;
+pub use json::{load_json, save_json};
+pub use policy::{decode_qtable, encode_qtable, load_qtable, save_qtable};

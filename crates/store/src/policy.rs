@@ -1,0 +1,221 @@
+//! The `QPOL` binary format for learned policies.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"QPOL"
+//! 4       2     version (currently 1)
+//! 6       2     reserved (0)
+//! 8       4     n_states  (u32)
+//! 12      4     n_actions (u32)
+//! 16      8*n   Q values, row-major f64 LE, n = n_states * n_actions
+//! 16+8n   8     FNV-1a 64 checksum over bytes [0, 16+8n)
+//! ```
+
+use crate::error::StoreError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+use tpp_rl::QTable;
+
+const MAGIC: &[u8; 4] = b"QPOL";
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 16;
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes a Q-table into the `QPOL` wire format.
+pub fn encode_qtable(q: &QTable) -> Bytes {
+    let n = q.values().len();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0);
+    buf.put_u32_le(u32::try_from(q.n_states()).expect("state count fits u32"));
+    buf.put_u32_le(u32::try_from(q.n_actions()).expect("action count fits u32"));
+    for &v in q.values() {
+        buf.put_f64_le(v);
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decodes a `QPOL` payload, verifying magic, version, shape and
+/// checksum.
+pub fn decode_qtable(mut data: &[u8]) -> Result<QTable, StoreError> {
+    if data.len() < HEADER_LEN + 8 {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN + 8,
+            got: data.len(),
+        });
+    }
+    let total = data.len();
+    let body = &data[..total - 8];
+    let stored_checksum = u64::from_le_bytes(
+        data[total - 8..].try_into().expect("slice is 8 bytes"),
+    );
+    if fnv1a64(body) != stored_checksum {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let _reserved = data.get_u16_le();
+    let n_states = data.get_u32_le() as usize;
+    let n_actions = data.get_u32_le() as usize;
+    let n = n_states
+        .checked_mul(n_actions)
+        .ok_or(StoreError::BadMagic)?;
+    let expected = HEADER_LEN + 8 * n + 8;
+    if total != expected {
+        return Err(StoreError::Truncated {
+            expected,
+            got: total,
+        });
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(data.get_f64_le());
+    }
+    Ok(QTable::from_raw(n_states, n_actions, values))
+}
+
+/// Writes a Q-table to `path` in `QPOL` format.
+pub fn save_qtable(path: impl AsRef<Path>, q: &QTable) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, encode_qtable(q))?;
+    Ok(())
+}
+
+/// Reads a Q-table from a `QPOL` file.
+pub fn load_qtable(path: impl AsRef<Path>) -> Result<QTable, StoreError> {
+    let data = fs::read(path)?;
+    decode_qtable(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_q() -> QTable {
+        let mut q = QTable::square(4);
+        q.set(0, 1, 1.25);
+        q.set(3, 2, -7.5);
+        q.set(2, 2, f64::MIN_POSITIVE);
+        q
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let q = sample_q();
+        let bytes = encode_qtable(&q);
+        let back = decode_qtable(&bytes).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tpp-qpol-{}.bin", std::process::id()));
+        let q = sample_q();
+        save_qtable(&path, &q).unwrap();
+        let back = load_qtable(&path).unwrap();
+        assert_eq!(q, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = encode_qtable(&sample_q()).to_vec();
+        bytes[0] = b'X';
+        // Fix the checksum so the magic check (not the checksum) fires.
+        let len = bytes.len();
+        let c = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        assert!(matches!(decode_qtable(&bytes), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn detects_version_skew() {
+        let mut bytes = encode_qtable(&sample_q()).to_vec();
+        bytes[4] = 99;
+        let len = bytes.len();
+        let c = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        assert!(matches!(
+            decode_qtable(&bytes),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut bytes = encode_qtable(&sample_q()).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_qtable(&bytes),
+            Err(StoreError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode_qtable(&sample_q());
+        assert!(matches!(
+            decode_qtable(&bytes[..10]),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_qtable(&[]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_shape_length_mismatch() {
+        // Claim a bigger table than the payload carries.
+        let mut bytes = encode_qtable(&sample_q()).to_vec();
+        bytes[8] = 200; // n_states = 200
+        let len = bytes.len();
+        let c = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        assert!(matches!(
+            decode_qtable(&bytes),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let q = QTable::square(0);
+        let back = decode_qtable(&encode_qtable(&q)).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        // Known vector: fnv1a64("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

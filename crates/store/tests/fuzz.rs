@@ -1,0 +1,42 @@
+//! Decoder robustness: arbitrary bytes must never panic the QPOL
+//! decoder — every malformed input maps to a typed error.
+
+use proptest::prelude::*;
+use tpp_rl::QTable;
+use tpp_store::{decode_qtable, encode_qtable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine; panicking is not.
+        let _ = decode_qtable(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_payloads_error_cleanly(
+        vals in prop::collection::vec(-1e3f64..1e3, 9),
+        cut in 0usize..80,
+    ) {
+        let q = QTable::from_raw(3, 3, vals);
+        let bytes = encode_qtable(&q);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(decode_qtable(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_detected(
+        vals in prop::collection::vec(-1e3f64..1e3, 4),
+        pos in 0usize..48,
+        mask in 1u8..=255,
+    ) {
+        let q = QTable::from_raw(2, 2, vals);
+        let mut bytes = encode_qtable(&q).to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        // A flipped bit anywhere must be caught — in the body by the
+        // checksum, in the checksum field by the mismatch itself.
+        prop_assert!(decode_qtable(&bytes).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Topic extraction: tokenize → drop stopwords → keep noun-like tokens.
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Heuristic noun filter.
+///
+/// We have no POS tagger offline, so we approximate "noun" the way the
+/// paper's throwaway pipeline would: keep tokens that are not stopwords,
+/// not pure numbers, at least 3 characters long, and not obviously verbal
+/// or adverbial (common `-ing`-verb exceptions and `-ly` adverbs are
+/// dropped; domain `-ing` nouns like *clustering* are kept via an
+/// allowlist).
+fn is_noun_like(tok: &str) -> bool {
+    if tok.len() < 3 || tok.chars().all(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if tok.ends_with("ly") && tok.len() > 4 {
+        return false;
+    }
+    if tok.ends_with("ing") {
+        // Domain gerunds that act as topic nouns in catalogs.
+        const NOUN_ING: &[&str] = &[
+            "clustering", "computing", "engineering", "learning", "mining", "planning",
+            "processing", "programming", "testing", "modeling", "networking", "rendering",
+            "scheduling",
+        ];
+        return NOUN_ING.contains(&tok);
+    }
+    true
+}
+
+/// Extracts topic keywords from a free-text name/description: lowercase
+/// tokens, stopwords removed, noun-like tokens only, first-occurrence
+/// order, de-duplicated.
+pub fn extract_topics(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for tok in tokenize(text) {
+        if is_stopword(&tok) || !is_noun_like(&tok) {
+            continue;
+        }
+        if !out.contains(&tok) {
+            out.push(tok);
+        }
+    }
+    out
+}
+
+/// A reusable extractor with optional extra stopwords and a cap on topics
+/// per item, mirroring how a dataset pipeline configures preprocessing
+/// once and applies it to every record.
+#[derive(Debug, Clone, Default)]
+pub struct TopicExtractor {
+    extra_stopwords: Vec<String>,
+    max_topics_per_item: Option<usize>,
+    stemming: bool,
+}
+
+impl TopicExtractor {
+    /// A fresh extractor with default behaviour.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds dataset-specific stopwords (e.g. a department name that
+    /// appears in every course title).
+    pub fn with_extra_stopwords<S: Into<String>>(
+        mut self,
+        words: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.extra_stopwords
+            .extend(words.into_iter().map(|w| w.into().to_lowercase()));
+        self
+    }
+
+    /// Caps the number of topics extracted per item.
+    pub fn with_max_topics(mut self, max: usize) -> Self {
+        self.max_topics_per_item = Some(max);
+        self
+    }
+
+    /// Enables suffix-stripping so trivially-inflected variants merge
+    /// into one topic ("algorithms"/"algorithm").
+    pub fn with_stemming(mut self) -> Self {
+        self.stemming = true;
+        self
+    }
+
+    /// Runs extraction over one text.
+    pub fn extract(&self, text: &str) -> Vec<String> {
+        let mut topics = extract_topics(text);
+        if self.stemming {
+            let mut stemmed: Vec<String> = Vec::with_capacity(topics.len());
+            for t in topics {
+                let s = crate::stem::stem(&t);
+                if !stemmed.contains(&s) {
+                    stemmed.push(s);
+                }
+            }
+            topics = stemmed;
+        }
+        topics.retain(|t| !self.extra_stopwords.iter().any(|s| s == t));
+        if let Some(max) = self.max_topics_per_item {
+            topics.truncate(max);
+        }
+        topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn course_title_extraction() {
+        // "Introduction to Big Data" → {big, data}: "introduction"/"to"
+        // are stopwords.
+        assert_eq!(extract_topics("Introduction to Big Data"), vec!["big", "data"]);
+    }
+
+    #[test]
+    fn keeps_domain_gerunds() {
+        let t = extract_topics("Machine Learning and Data Mining");
+        assert_eq!(t, vec!["machine", "learning", "data", "mining"]);
+    }
+
+    #[test]
+    fn drops_numbers_and_short_tokens() {
+        assert_eq!(extract_topics("CS 675 ML II"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drops_adverbs() {
+        assert_eq!(extract_topics("highly scalable systems"), vec!["scalable", "systems"]);
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        assert_eq!(
+            extract_topics("data structures and data algorithms"),
+            vec!["data", "structures", "algorithms"]
+        );
+    }
+
+    #[test]
+    fn extractor_extra_stopwords() {
+        let e = TopicExtractor::new().with_extra_stopwords(["data"]);
+        assert_eq!(e.extract("Data Mining"), vec!["mining"]);
+    }
+
+    #[test]
+    fn extractor_stems_and_dedups() {
+        let e = TopicExtractor::new().with_stemming();
+        assert_eq!(
+            e.extract("Algorithms and the Algorithm Zoo"),
+            vec!["algorithm", "zoo"]
+        );
+    }
+
+    #[test]
+    fn extractor_caps_topics() {
+        let e = TopicExtractor::new().with_max_topics(2);
+        assert_eq!(
+            e.extract("Cryptography Security Privacy Networks"),
+            vec!["cryptography", "security"]
+        );
+    }
+}

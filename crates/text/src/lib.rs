@@ -1,0 +1,26 @@
+//! # tpp-text
+//!
+//! Minimal text substrate used to derive topic vocabularies from item
+//! descriptions, reproducing the paper's preprocessing: *"To form topic
+//! vectors, we extract nouns from course names and removed stopwords"*
+//! (§IV-A1).
+//!
+//! No NLP crates are available offline, so tokenization, stopword
+//! filtering, a suffix-heuristic noun filter and vocabulary construction
+//! are implemented from scratch. The heuristics are deliberately simple —
+//! the paper's pipeline is equally simple — and deterministic, which is
+//! what the seeded dataset generators require.
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vocab;
+
+pub use extract::{extract_topics, TopicExtractor};
+pub use stem::{stem, stem_all};
+pub use stopwords::is_stopword;
+pub use tokenize::tokenize;
+pub use vocab::VocabularyBuilder;

@@ -1,0 +1,109 @@
+//! A light English suffix-stripper (Porter-inspired, deliberately
+//! conservative).
+//!
+//! Used by the vocabulary builder to merge trivially-inflected topic
+//! variants ("algorithms"/"algorithm", "networks"/"network") so the
+//! fixed-size topic vocabularies the paper uses (60/61/100/73) aren't
+//! wasted on plural/singular duplicates. Only the safest rules are
+//! applied — over-stemming would merge distinct topics, which is worse
+//! than the duplication it fixes.
+
+/// Stems one lowercase token.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    // Short tokens are left alone: stripping "s" from "as"/"its" etc.
+    // does more harm than good.
+    if w.len() <= 3 {
+        return w.to_owned();
+    }
+    // -sses → -ss  (classes → class)
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    // -ies → -y  (queries → query)
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    // -ness → ∅ (robustness → robust)
+    if let Some(base) = w.strip_suffix("ness") {
+        if base.len() >= 4 {
+            return base.to_owned();
+        }
+    }
+    // plain plural -s (but not -ss, -us, -is: "class", "corpus", "basis")
+    if w.ends_with('s')
+        && !w.ends_with("ss")
+        && !w.ends_with("us")
+        && !w.ends_with("is")
+    {
+        return w[..w.len() - 1].to_owned();
+    }
+    w.to_owned()
+}
+
+/// Stems every token in place and returns the list (convenience for
+/// pipelines).
+pub fn stem_all<S: AsRef<str>>(tokens: &[S]) -> Vec<String> {
+    tokens.iter().map(|t| stem(t.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_nouns_merge() {
+        assert_eq!(stem("algorithms"), "algorithm");
+        assert_eq!(stem("networks"), "network");
+        assert_eq!(stem("databases"), "database");
+    }
+
+    #[test]
+    fn ies_to_y() {
+        assert_eq!(stem("queries"), "query");
+        assert_eq!(stem("libraries"), "library");
+    }
+
+    #[test]
+    fn sses_to_ss() {
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("processes"), "process");
+    }
+
+    #[test]
+    fn ness_stripped() {
+        assert_eq!(stem("robustness"), "robust");
+    }
+
+    #[test]
+    fn protected_endings_untouched() {
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("corpus"), "corpus");
+        assert_eq!(stem("analysis"), "analysis");
+    }
+
+    #[test]
+    fn short_tokens_untouched() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("its"), "its");
+        assert_eq!(stem("gas"), "gas");
+    }
+
+    #[test]
+    fn stem_all_maps() {
+        assert_eq!(
+            stem_all(&["graphs", "queries", "data"]),
+            vec!["graph", "query", "data"]
+        );
+    }
+
+    #[test]
+    fn idempotent() {
+        for w in ["algorithms", "queries", "classes", "robustness", "data"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem not idempotent on {w}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! English stopword list.
+//!
+//! Covers function words plus the catalog boilerplate that appears in
+//! course titles ("introduction", "advanced", "topics", department codes)
+//! — the tokens the paper's preprocessing removes before forming topic
+//! vocabularies.
+
+/// Alphabetically sorted stopword list (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "advanced", "after", "again", "against", "all", "am", "an", "and",
+    "any", "applications", "applied", "are", "as", "at", "be", "because", "been", "before",
+    "being", "below", "between", "both", "but", "by", "can", "co-op", "could", "course", "cs",
+    "de", "des", "did", "do", "does", "doing", "down", "du", "during", "each", "et", "few",
+    "first", "for", "foundations", "from", "further", "had", "has", "have", "having", "he",
+    "her", "here", "hers", "him", "his", "how", "i", "if", "ii", "iii", "in", "independent",
+    "interactive", "into", "intro", "introduction", "is", "it", "its", "iv", "la", "le", "les",
+    "master's", "math", "me", "more", "most", "ms&e", "my", "new", "no", "nor", "not", "of",
+    "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "principles",
+    "programs", "project", "s", "same", "seminar", "she", "should", "so", "some", "special",
+    "st", "stats", "study", "such", "techniques", "than", "that", "the", "their", "them",
+    "then", "there", "these", "they", "this", "those", "through", "to", "too", "topics",
+    "under", "until", "up", "using", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "with", "you", "your",
+];
+
+/// `true` when `word` (already lowercased) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn common_function_words() {
+        for w in ["the", "and", "of", "with", "to"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn catalog_boilerplate() {
+        for w in ["introduction", "advanced", "topics", "course", "cs"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["algorithms", "clustering", "museum", "cryptography"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Word tokenization.
+
+/// Splits `text` into lowercase word tokens.
+///
+/// A token is a maximal run of alphanumeric characters, apostrophes and
+/// internal hyphens; everything else separates tokens. Tokens are
+/// lowercased with Unicode-aware lowercasing so `"Musée"` → `"musée"`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' || ch == '-' {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    // Strip leading/trailing punctuation that slipped in (hyphens,
+    // apostrophes) and drop tokens that end up empty.
+    let trimmed = tok.trim_matches(|c| c == '\'' || c == '-');
+    if !trimmed.is_empty() {
+        out.push(trimmed.to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        assert_eq!(
+            tokenize("Data Structures and Algorithms"),
+            vec!["data", "structures", "and", "algorithms"]
+        );
+        assert_eq!(
+            tokenize("Security, Privacy & Trust!"),
+            vec!["security", "privacy", "trust"]
+        );
+    }
+
+    #[test]
+    fn keeps_internal_hyphens_and_apostrophes() {
+        assert_eq!(tokenize("state-of-the-art"), vec!["state-of-the-art"]);
+        assert_eq!(tokenize("musée d'orsay"), vec!["musée", "d'orsay"]);
+    }
+
+    #[test]
+    fn strips_edge_punctuation() {
+        assert_eq!(tokenize("-leading trailing-"), vec!["leading", "trailing"]);
+        assert_eq!(tokenize("'quoted'"), vec!["quoted"]);
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(tokenize("Église St-Eustache"), vec!["église", "st-eustache"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(tokenize("CS 675"), vec!["cs", "675"]);
+    }
+}

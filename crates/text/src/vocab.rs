@@ -1,0 +1,197 @@
+//! Vocabulary construction: turning per-item topic keyword lists into a
+//! shared [`tpp_model::TopicVocabulary`] and per-item topic vectors.
+
+use crate::extract::TopicExtractor;
+use tpp_model::{ModelError, TopicVector, TopicVocabulary};
+
+/// Accumulates topic keywords over a corpus of item descriptions and
+/// builds a shared vocabulary plus per-item vectors.
+///
+/// Topics are kept in first-seen order (so regenerating the same corpus
+/// yields identical topic ids) and can be capped at a target size —
+/// the paper fixes `|T|` per dataset (60, 61, 100, 73, 21, 16). When
+/// capped, the *most frequent* topics win; ties break by first-seen order.
+#[derive(Debug, Clone)]
+pub struct VocabularyBuilder {
+    extractor: TopicExtractor,
+    /// (topic, corpus frequency), in first-seen order.
+    topics: Vec<(String, usize)>,
+    /// Per-item keyword lists, in insertion order.
+    item_topics: Vec<Vec<String>>,
+}
+
+impl VocabularyBuilder {
+    /// Builder with a default extractor.
+    pub fn new() -> Self {
+        Self::with_extractor(TopicExtractor::new())
+    }
+
+    /// Builder with a configured extractor.
+    pub fn with_extractor(extractor: TopicExtractor) -> Self {
+        VocabularyBuilder {
+            extractor,
+            topics: Vec::new(),
+            item_topics: Vec::new(),
+        }
+    }
+
+    /// Extracts topics from one item description and records them.
+    /// Returns the item's index in insertion order.
+    pub fn add_item(&mut self, description: &str) -> usize {
+        let kws = self.extractor.extract(description);
+        for kw in &kws {
+            if let Some(entry) = self.topics.iter_mut().find(|(t, _)| t == kw) {
+                entry.1 += 1;
+            } else {
+                self.topics.push((kw.clone(), 1));
+            }
+        }
+        self.item_topics.push(kws);
+        self.item_topics.len() - 1
+    }
+
+    /// Records an item with pre-extracted topic keywords (used when the
+    /// dataset generator assigns topics directly).
+    pub fn add_item_with_topics<S: Into<String>>(
+        &mut self,
+        topics: impl IntoIterator<Item = S>,
+    ) -> usize {
+        let kws: Vec<String> = topics.into_iter().map(Into::into).collect();
+        for kw in &kws {
+            if let Some(entry) = self.topics.iter_mut().find(|(t, _)| t == kw) {
+                entry.1 += 1;
+            } else {
+                self.topics.push((kw.clone(), 1));
+            }
+        }
+        self.item_topics.push(kws);
+        self.item_topics.len() - 1
+    }
+
+    /// Number of distinct topics seen so far.
+    pub fn distinct_topics(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Finalizes into a vocabulary and one topic vector per added item.
+    ///
+    /// With `max_topics = Some(k)` the vocabulary keeps only the `k` most
+    /// frequent topics; item vectors then cover the surviving topics only.
+    pub fn build(
+        self,
+        max_topics: Option<usize>,
+    ) -> Result<(TopicVocabulary, Vec<TopicVector>), ModelError> {
+        let mut kept: Vec<String> = match max_topics {
+            Some(k) if k < self.topics.len() => {
+                // Stable selection of top-k by frequency; ties keep
+                // first-seen order because sort_by is stable.
+                let mut ranked: Vec<(usize, &(String, usize))> =
+                    self.topics.iter().enumerate().collect();
+                ranked.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
+                let mut chosen: Vec<usize> =
+                    ranked.into_iter().take(k).map(|(i, _)| i).collect();
+                chosen.sort_unstable(); // restore first-seen order
+                chosen
+                    .into_iter()
+                    .map(|i| self.topics[i].0.clone())
+                    .collect()
+            }
+            _ => self.topics.iter().map(|(t, _)| t.clone()).collect(),
+        };
+        // Defensive: dedup should never trigger, but vocabulary rejects
+        // duplicates anyway.
+        kept.dedup();
+        let vocabulary = TopicVocabulary::new(kept)?;
+        let vectors = self
+            .item_topics
+            .iter()
+            .map(|kws| {
+                let mut v = vocabulary.zero_vector();
+                for kw in kws {
+                    if let Some(id) = vocabulary.id_of(kw) {
+                        v.set(id);
+                    }
+                }
+                v
+            })
+            .collect();
+        Ok((vocabulary, vectors))
+    }
+}
+
+impl Default for VocabularyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_vocab_and_vectors() {
+        let mut b = VocabularyBuilder::new();
+        let i0 = b.add_item("Data Mining");
+        let i1 = b.add_item("Machine Learning");
+        let i2 = b.add_item("Data Analytics");
+        assert_eq!((i0, i1, i2), (0, 1, 2));
+        assert_eq!(b.distinct_topics(), 5); // data, mining, machine, learning, analytics
+        let (voc, vecs) = b.build(None).unwrap();
+        assert_eq!(voc.len(), 5);
+        assert_eq!(vecs.len(), 3);
+        // "data" is topic 0 and appears in items 0 and 2.
+        let data = voc.id_of("data").unwrap();
+        assert!(vecs[0].get(data) && vecs[2].get(data) && !vecs[1].get(data));
+    }
+
+    #[test]
+    fn cap_keeps_most_frequent() {
+        let mut b = VocabularyBuilder::new();
+        b.add_item("data mining");
+        b.add_item("data analytics");
+        b.add_item("data visualization");
+        let (voc, vecs) = b.build(Some(2)).unwrap();
+        assert_eq!(voc.len(), 2);
+        // "data" (freq 3) survives; "mining" (freq 1, first-seen) is the
+        // tie-break winner among the singletons.
+        assert!(voc.id_of("data").is_some());
+        assert!(voc.id_of("mining").is_some());
+        // Vectors shrink accordingly: item 2 only covers "data" now.
+        assert_eq!(vecs[2].count_ones(), 1);
+    }
+
+    #[test]
+    fn pre_extracted_topics_path() {
+        let mut b = VocabularyBuilder::new();
+        b.add_item_with_topics(["museum", "art"]);
+        b.add_item_with_topics(["museum", "river"]);
+        let (voc, vecs) = b.build(None).unwrap();
+        assert_eq!(voc.len(), 3);
+        assert_eq!(vecs[0].count_ones(), 2);
+        assert_eq!(
+            vecs[0].intersection_count(&vecs[1]),
+            1 // shared "museum"
+        );
+    }
+
+    #[test]
+    fn deterministic_topic_ids() {
+        let build = || {
+            let mut b = VocabularyBuilder::new();
+            b.add_item("alpha beta");
+            b.add_item("beta gamma");
+            b.build(None).unwrap().0
+        };
+        let v1 = build();
+        let v2 = build();
+        assert_eq!(v1.names(), v2.names());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_vocab() {
+        let (voc, vecs) = VocabularyBuilder::new().build(None).unwrap();
+        assert!(voc.is_empty());
+        assert!(vecs.is_empty());
+    }
+}

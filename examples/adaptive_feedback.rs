@@ -1,0 +1,63 @@
+//! Adaptive feedback (the paper's §VI future work): recommend a plan,
+//! collect the student's reactions — a binary thumbs-down, a 5-star
+//! rating, and a probability-distribution rating — and replan.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_feedback
+//! ```
+
+use rl_planner::core::{Feedback, FeedbackConfig, FeedbackLoop};
+use rl_planner::prelude::*;
+
+fn main() {
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+    let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+    println!("initial plan:\n  {}\n", plan.render(&instance.catalog));
+
+    let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+
+    // The student reacts to three recommended electives.
+    let electives: Vec<_> = plan
+        .items()
+        .iter()
+        .copied()
+        .filter(|&id| !instance.catalog.item(id).is_primary())
+        .collect();
+    let (hated, meh, loved) = (electives[0], electives[1], electives[2]);
+    println!(
+        "feedback: 👎 {}   ★★☆☆☆ {}   p(5)=0.9 {}",
+        instance.catalog.item(hated).code,
+        instance.catalog.item(meh).code,
+        instance.catalog.item(loved).code
+    );
+    lp.observe(hated, &Feedback::Binary(false));
+    lp.observe(meh, &Feedback::Rating(2));
+    lp.observe(loved, &Feedback::Distribution([0.0, 0.0, 0.05, 0.05, 0.9]));
+
+    println!(
+        "utilities: {} → {:+.2}, {} → {:+.2}, {} → {:+.2}; banned: {:?}",
+        instance.catalog.item(hated).code,
+        lp.utility_of(hated),
+        instance.catalog.item(meh).code,
+        lp.utility_of(meh),
+        instance.catalog.item(loved).code,
+        lp.utility_of(loved),
+        lp.banned()
+            .iter()
+            .map(|&id| instance.catalog.item(id).code.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    let replanned = lp.replan(&instance, &params, start);
+    println!("\nreplanned:\n  {}", replanned.render(&instance.catalog));
+    assert!(!replanned.contains(hated), "banned elective must be gone");
+    println!(
+        "\nscore {} (violations: {}); the disliked course is gone, the loved \
+         one keeps winning its ties.",
+        score_plan(&instance, &replanned),
+        plan_violations(&instance, &replanned).len()
+    );
+}

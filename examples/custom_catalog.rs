@@ -1,0 +1,94 @@
+//! Bring your own catalog: build a planning instance from scratch with
+//! `CatalogBuilder` and plan over it — the workflow a university or
+//! travel platform adopting this library would follow.
+//!
+//! ```sh
+//! cargo run --release --example custom_catalog
+//! ```
+
+use rl_planner::model::CatalogBuilder;
+use rl_planner::prelude::*;
+
+fn main() {
+    // A small fictional "M.S. Robotics" program: 12 courses, 10 topics.
+    let catalog = CatalogBuilder::new("custom/ms-robotics")
+        .topics([
+            "kinematics",
+            "control",
+            "perception",
+            "planning",
+            "learning",
+            "hardware",
+            "software",
+            "mathematics",
+            "ethics",
+            "simulation",
+        ])
+        .course("ROB 500", "Foundations of Robotics", ItemKind::Primary, 3.0, &["kinematics", "mathematics"])
+        .course("ROB 510", "Robot Control Systems", ItemKind::Primary, 3.0, &["control", "mathematics"])
+        .course("ROB 520", "Motion Planning", ItemKind::Primary, 3.0, &["planning", "software"])
+        .course("ROB 530", "Robot Perception", ItemKind::Primary, 3.0, &["perception", "learning"])
+        .course("ROB 601", "Learning for Robotics", ItemKind::Secondary, 3.0, &["learning", "simulation"])
+        .course("ROB 602", "Embedded Robot Software", ItemKind::Secondary, 3.0, &["software", "hardware"])
+        .course("ROB 603", "Mechatronics", ItemKind::Secondary, 3.0, &["hardware", "kinematics"])
+        .course("ROB 604", "Human-Robot Interaction", ItemKind::Secondary, 3.0, &["ethics", "perception"])
+        .course("ROB 605", "Simulation Environments", ItemKind::Secondary, 3.0, &["simulation", "software"])
+        .course("ROB 606", "Optimal Control", ItemKind::Secondary, 3.0, &["control", "mathematics"])
+        .course("ROB 607", "Field Robotics Project", ItemKind::Secondary, 3.0, &["hardware", "planning"])
+        .course("ROB 608", "Robot Ethics and Policy", ItemKind::Secondary, 3.0, &["ethics"])
+        // Prerequisite structure: control before optimal control, the
+        // foundations before the project, perception OR learning before HRI.
+        .requires_all("ROB 606", &["ROB 510"])
+        .requires_all("ROB 607", &["ROB 500"])
+        .requires_any("ROB 604", &["ROB 530", "ROB 601"])
+        .requires_all("ROB 520", &["ROB 500"])
+        .build()
+        .expect("catalog is well-formed");
+
+    // Degree rules: 7 courses (21 credits), 3 core + 4 electives, with
+    // prerequisites at least a 2-course "term" earlier.
+    let hard = HardConstraints {
+        credits: 21.0,
+        n_primary: 3,
+        n_secondary: 4,
+        gap: 2,
+    };
+    let templates = TemplateSet::from_strs(&["PSPSPSS", "PPSSPSS", "PSPSSPS"]).unwrap();
+    let ideal = catalog
+        .vocabulary()
+        .vector_of(&["control", "planning", "learning", "simulation"])
+        .unwrap();
+    let soft = SoftConstraints::new(ideal, templates, &hard).unwrap();
+    let start = catalog.by_code("ROB 500").unwrap().id;
+    let instance = PlanningInstance {
+        catalog,
+        hard,
+        soft,
+        trip: None,
+        default_start: Some(start),
+    };
+    instance.validate().expect("instance is consistent");
+
+    let mut params = PlannerParams::univ1_defaults().with_start(start);
+    params.epsilon = 0.0; // the ideal vector is sparse: don't gate on it
+    let (policy, _) = RlPlanner::learn(&instance, &params, 7);
+    let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+
+    println!("M.S. Robotics plan:");
+    for (i, &id) in plan.items().iter().enumerate() {
+        let item = instance.catalog.item(id);
+        println!(
+            "  term {} | {:8} {:28} [{}]",
+            i / 2 + 1,
+            item.code,
+            item.name,
+            if item.is_primary() { "core" } else { "elective" }
+        );
+    }
+    println!(
+        "\nscore {:.2} / {}; violations: {}",
+        score_plan(&instance, &plan),
+        instance.horizon(),
+        plan_violations(&instance, &plan).len()
+    );
+}

@@ -1,0 +1,55 @@
+//! A miniature robustness sweep (the Tables IX–XI idea at example
+//! scale): vary one knob at a time from the Table III defaults and print
+//! the average score, with both AvgSim and MinSim reward variants.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use rl_planner::prelude::*;
+
+fn avg_score(instance: &PlanningInstance, params: &PlannerParams, runs: u64) -> f64 {
+    let start = instance.default_start.unwrap();
+    (0..runs)
+        .map(|seed| {
+            let (policy, _) = RlPlanner::learn(instance, params, seed);
+            score_plan(instance, &RlPlanner::recommend(&policy, instance, params, start))
+        })
+        .sum::<f64>()
+        / runs as f64
+}
+
+fn main() {
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let base = || PlannerParams::univ1_defaults().with_start(start);
+    let runs = 5;
+
+    println!("Univ-1 DS-CT, {} runs per cell (gold = 10)\n", runs);
+
+    println!("topic threshold ε:");
+    for eps in [0.0025, 0.01, 0.02] {
+        let mut p = base();
+        p.epsilon = eps;
+        let avg = avg_score(&instance, &p, runs);
+        let min = avg_score(&instance, &p.clone().with_sim(SimAggregate::Minimum), runs);
+        println!("  ε={eps:<7} avg-sim {avg:>5.2}   min-sim {min:>5.2}");
+    }
+
+    println!("reward weights (δ, β):");
+    for (d, b) in [(0.4, 0.6), (0.5, 0.5), (0.6, 0.4)] {
+        let p = base().with_delta_beta(d, b);
+        println!("  δ/β={d}/{b:<5} avg-sim {:>5.2}", avg_score(&instance, &p, runs));
+    }
+
+    println!("episodes N:");
+    for n in [100, 500, 1000] {
+        let mut p = base();
+        p.episodes = n;
+        println!("  N={n:<6} avg-sim {:>5.2}", avg_score(&instance, &p, runs));
+    }
+
+    println!(
+        "\nThe full sweeps (Tables IX–XVI) run via:  rl-planner exp table9  …  exp table16"
+    );
+}

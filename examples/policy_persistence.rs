@@ -1,0 +1,37 @@
+//! Policy persistence: train once, save the Q-table in the checksummed
+//! `QPOL` binary format, reload it, and verify the reloaded policy
+//! recommends the identical plan (interactive reuse without retraining).
+//!
+//! ```sh
+//! cargo run --release --example policy_persistence
+//! ```
+
+use rl_planner::prelude::*;
+use rl_planner::store;
+
+fn main() {
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+
+    let (policy, _) = RlPlanner::learn(&instance, &params, 9);
+    let before = RlPlanner::recommend(&policy, &instance, &params, start);
+
+    let path = std::env::temp_dir().join("rl-planner-example-policy.qpol");
+    store::save_qtable(&path, &policy.q).expect("save policy");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "saved {}×{} Q-table to {} ({bytes} bytes, fnv-1a checksummed)",
+        policy.q.n_states(),
+        policy.q.n_actions(),
+        path.display()
+    );
+
+    let reloaded = store::load_qtable(&path).expect("load policy");
+    assert_eq!(reloaded, policy.q, "round-trip must be lossless");
+    let after = RlPlanner::recommend_with_q(&reloaded, &instance, &params, start);
+    assert_eq!(before, after, "reloaded policy must plan identically");
+    println!("reloaded policy recommends the identical plan:");
+    println!("  {}", after.render(&instance.catalog));
+    std::fs::remove_file(&path).ok();
+}

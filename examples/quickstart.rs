@@ -1,0 +1,58 @@
+//! Quickstart: build a dataset, learn a policy, recommend a plan.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rl_planner::prelude::*;
+
+fn main() {
+    // The Univ-1 M.S. DS-CT instance with the paper's statistics: 31
+    // courses, 60 topics, hard constraints ⟨30 credits, 5 core,
+    // 5 elective, gap 3⟩.
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    println!(
+        "dataset: {} — {} courses, {} topics, horizon {}",
+        instance.catalog.name(),
+        instance.catalog.len(),
+        instance.catalog.vocabulary().len(),
+        instance.horizon()
+    );
+
+    // Table III defaults, starting from CS 675 (Machine Learning).
+    let start = instance.default_start.expect("dataset has a default start");
+    let params = PlannerParams::univ1_defaults().with_start(start);
+
+    // Learn (Algorithm 1: SARSA over the CMDP) and recommend.
+    let (policy, stats) = RlPlanner::learn(&instance, &params, 42);
+    println!(
+        "trained {} episodes; mean episode return {:.2}",
+        stats.episodes(),
+        stats.mean_return()
+    );
+    let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+
+    println!("\nrecommended plan:");
+    for (i, &id) in plan.items().iter().enumerate() {
+        let item = instance.catalog.item(id);
+        println!(
+            "  semester {} | {:8} {:50} [{}]",
+            i / instance.hard.gap + 1,
+            item.code,
+            item.name,
+            if item.is_primary() { "core" } else { "elective" },
+        );
+    }
+
+    // Score and validate (any hard-constraint violation would zero it).
+    let score = score_plan(&instance, &plan);
+    let violations = plan_violations(&instance, &plan);
+    println!("\nscore: {score} / {} (gold standard)", instance.horizon());
+    if violations.is_empty() {
+        println!("all hard constraints satisfied");
+    } else {
+        for v in violations {
+            println!("violation: {v}");
+        }
+    }
+}

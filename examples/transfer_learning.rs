@@ -1,0 +1,54 @@
+//! Transfer learning (the §IV-D case studies): learn on M.S. CS and plan
+//! for M.S. DS-CT through the shared-course mapping; learn on NYC and
+//! plan Paris through the theme-space mapping.
+//!
+//! ```sh
+//! cargo run --release --example transfer_learning
+//! ```
+
+use rl_planner::core::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};
+use rl_planner::prelude::*;
+
+fn main() {
+    use rl_planner::datagen::{self, defaults::*};
+
+    // --- Courses: M.S. CS → M.S. DS-CT.
+    let cs = datagen::univ1_cs(UNIV1_SEED);
+    let ds = datagen::univ1_ds_ct(UNIV1_SEED);
+    let src_params = PlannerParams::univ1_defaults().with_start(cs.default_start.unwrap());
+    let (policy, _) = RlPlanner::learn(&cs, &src_params, 3);
+
+    let mapping = course_mapping_by_code(&ds.catalog, &cs.catalog);
+    println!(
+        "course mapping: {:.0}% of DS-CT courses are shared with M.S. CS",
+        100.0 * mapping.coverage()
+    );
+    let q = transfer_policy(&policy.q, &mapping);
+    let start = ds.default_start.unwrap();
+    let tgt_params = PlannerParams::univ1_defaults().with_start(start);
+    let plan = RlPlanner::recommend_with_q(&q, &ds, &tgt_params, start);
+    println!("transferred DS-CT plan:\n  {}", plan.render(&ds.catalog));
+    println!("score {:.2}; violations {}\n", score_plan(&ds, &plan), plan_violations(&ds, &plan).len());
+
+    // --- Trips: NYC → Paris (disjoint POIs, different theme vocabularies).
+    let nyc = datagen::nyc(NYC_SEED).instance;
+    let paris = datagen::paris(PARIS_SEED).instance;
+    let src_params = PlannerParams::trip_defaults().with_start(nyc.default_start.unwrap());
+    let (policy, _) = RlPlanner::learn(&nyc, &src_params, 3);
+    let mapping = poi_mapping_by_theme(&paris.catalog, &nyc.catalog);
+    println!(
+        "trip mapping: {:.0}% of Paris POIs found a theme-profile match in NYC",
+        100.0 * mapping.coverage()
+    );
+    let q = transfer_policy(&policy.q, &mapping);
+    let start = paris.default_start.unwrap();
+    let tgt_params = PlannerParams::trip_defaults().with_start(start);
+    let plan = RlPlanner::recommend_with_q(&q, &paris, &tgt_params, start);
+    let names: Vec<&str> = plan
+        .items()
+        .iter()
+        .map(|&id| paris.catalog.item(id).code.as_str())
+        .collect();
+    println!("transferred Paris itinerary: {names:?}");
+    println!("score {:.2}", score_plan(&paris, &plan));
+}

@@ -1,0 +1,71 @@
+//! # rl-planner
+//!
+//! A from-scratch Rust reproduction of **RL-Planner** from *"Guided Task
+//! Planning Under Complex Constraints"* (ICDE 2022): the Task Planning
+//! Problem (TPP) modeled as a constrained MDP and solved with weighted
+//! SARSA, evaluated on course planning and trip planning against the
+//! OMEGA and EDA baselines and expert gold standards.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — items, topic bitsets, AND/OR prerequisites, constraints,
+//!   interleaving templates, plans, catalogs, validation;
+//! * [`text`] — topic-vocabulary extraction from item descriptions;
+//! * [`geo`] — haversine distances, city extents, grid index;
+//! * [`store`] — JSON snapshots and the `QPOL` binary policy format;
+//! * [`rl`] — tabular RL substrate (Q-tables, SARSA, Q-learning,
+//!   policies, transfer);
+//! * [`datagen`] — seeded datasets matching the paper's statistics
+//!   (Univ-1, Univ-2, NYC, Paris);
+//! * [`core`] — the paper's contribution: reward design (Eq. 2–7), CMDP
+//!   environments, the RL-Planner learner/recommender, scoring, transfer;
+//! * [`baselines`] — OMEGA, EDA and the gold-standard oracle;
+//! * [`eval`] — the experiment harness reproducing every table and
+//!   figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rl_planner::prelude::*;
+//!
+//! // A course-planning instance with the paper's published statistics.
+//! let instance = rl_planner::datagen::univ1_ds_ct(42);
+//! let mut params = PlannerParams::univ1_defaults()
+//!     .with_start(instance.default_start.unwrap());
+//! params.episodes = 50; // keep the doctest quick
+//!
+//! // Learn a policy (Algorithm 1) and recommend a 10-course plan.
+//! let (policy, _stats) = RlPlanner::learn(&instance, &params, 7);
+//! let plan = RlPlanner::recommend(&policy, &instance, &params,
+//!                                 instance.default_start.unwrap());
+//! assert_eq!(plan.len(), instance.horizon());
+//! println!("{}", plan.render(&instance.catalog));
+//! println!("score: {}", score_plan(&instance, &plan));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tpp_baselines as baselines;
+pub use tpp_core as core;
+pub use tpp_datagen as datagen;
+pub use tpp_eval as eval;
+pub use tpp_geo as geo;
+pub use tpp_model as model;
+pub use tpp_rl as rl;
+pub use tpp_store as store;
+pub use tpp_text as text;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use tpp_baselines::{eda_plan, gold_plan, omega_plan, OmegaConfig};
+    pub use tpp_core::{
+        plan_violations, score_plan, PlannerParams, RlPlanner, SimAggregate, StartPolicy,
+        TppEnv, TypeWeights,
+    };
+    pub use tpp_model::{
+        Catalog, HardConstraints, InterleavingTemplate, Item, ItemId, ItemKind, Plan,
+        PlanningInstance, PrereqExpr, SoftConstraints, TemplateSet, TopicVector,
+        TopicVocabulary, TripConstraints,
+    };
+    pub use tpp_rl::QTable;
+}

@@ -1,0 +1,87 @@
+//! Failure-injection tests: the public API must fail loudly and
+//! informatively, never silently.
+
+use rl_planner::prelude::*;
+
+fn ds_ct() -> PlanningInstance {
+    rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED)
+}
+
+#[test]
+#[should_panic(expected = "invalid planner parameters")]
+fn learn_rejects_inconsistent_delta_beta() {
+    let instance = ds_ct();
+    let mut params = PlannerParams::univ1_defaults();
+    params.delta = 0.9; // beta stays 0.4 → sums to 1.3
+    let _ = RlPlanner::learn(&instance, &params, 0);
+}
+
+#[test]
+#[should_panic(expected = "invalid planner parameters")]
+fn learn_rejects_bad_gamma() {
+    let instance = ds_ct();
+    let mut params = PlannerParams::univ1_defaults();
+    params.gamma = 1.5;
+    let _ = RlPlanner::learn(&instance, &params, 0);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn env_rejects_out_of_range_start() {
+    use rl_planner::rl::Environment;
+    let instance = ds_ct();
+    let params = PlannerParams::univ1_defaults();
+    let mut env = TppEnv::new(&instance, &params);
+    env.reset(instance.catalog.len() + 5);
+}
+
+#[test]
+fn instance_validation_catches_mismatched_ideal_vector() {
+    let mut instance = ds_ct();
+    instance.soft.ideal_topics = TopicVector::ones(3); // vocabulary has 60
+    let err = instance.validate().unwrap_err();
+    assert!(err.to_string().contains("ideal topic vector"));
+}
+
+#[test]
+fn template_shape_mismatch_is_reported() {
+    let hard = HardConstraints {
+        credits: 30.0,
+        n_primary: 5,
+        n_secondary: 5,
+        gap: 3,
+    };
+    let bad = TemplateSet::from_strs(&["PPSS"]).unwrap();
+    let err = bad.check_shape(&hard).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('2') && msg.contains('5'), "{msg}");
+}
+
+#[test]
+fn catalog_rejects_duplicate_codes_with_clear_error() {
+    use rl_planner::model::CatalogBuilder;
+    let err = CatalogBuilder::new("dup")
+        .topics(["a"])
+        .course("X", "First", ItemKind::Primary, 3.0, &["a"])
+        .course("X", "Second", ItemKind::Primary, 3.0, &["a"])
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains('X'));
+}
+
+#[test]
+fn plan_from_unknown_codes_is_an_error_not_a_panic() {
+    let instance = ds_ct();
+    let err = Plan::from_codes(&instance.catalog, &["CS 675", "NOT A COURSE"]).unwrap_err();
+    assert!(err.to_string().contains("NOT A COURSE"));
+}
+
+#[test]
+fn scoring_a_foreign_plan_reports_unknown_items() {
+    let instance = ds_ct();
+    let foreign = Plan::from_items(vec![ItemId(999)]);
+    let violations = plan_violations(&instance, &foreign);
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].to_string().contains("unknown item"));
+    assert_eq!(score_plan(&instance, &foreign), 0.0);
+}

@@ -1,0 +1,82 @@
+//! The §VI feedback loop exercised across crates — including on trips,
+//! where exclusions interact with the budget-pruned action space.
+
+use rl_planner::core::{Feedback, FeedbackConfig, FeedbackLoop};
+use rl_planner::prelude::*;
+
+#[test]
+fn trip_feedback_reroutes_around_disliked_poi() {
+    let d = rl_planner::datagen::paris(rl_planner::datagen::defaults::PARIS_SEED);
+    let instance = &d.instance;
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::trip_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(instance, &params, 0);
+    let before = RlPlanner::recommend(&policy, instance, &params, start);
+    assert!(before.len() >= 2);
+
+    // The traveller hates the second stop.
+    let disliked = before.items()[1];
+    let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+    lp.observe(disliked, &Feedback::Binary(false));
+    let after = lp.replan(instance, &params, start);
+
+    assert!(!after.contains(disliked), "disliked POI still present");
+    // The rerouted itinerary stays fully valid (the environment enforces
+    // budgets regardless of exclusions).
+    assert!(plan_violations(instance, &after).is_empty());
+    assert!(score_plan(instance, &after) > 0.0);
+}
+
+#[test]
+fn repeated_feedback_rounds_accumulate() {
+    let instance = rl_planner::datagen::univ1_cs(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 1);
+    let mut lp = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+
+    // Three rounds: each round bans the first still-recommended elective.
+    let mut banned_total = 0;
+    for _ in 0..3 {
+        let plan = lp.replan(&instance, &params, start);
+        let Some(elective) = plan
+            .items()
+            .iter()
+            .copied()
+            .find(|&id| !instance.catalog.item(id).is_primary() && !lp.banned().contains(&id))
+        else {
+            break;
+        };
+        lp.observe(elective, &Feedback::Binary(false));
+        banned_total += 1;
+        let next = lp.replan(&instance, &params, start);
+        for b in lp.banned() {
+            assert!(!next.contains(*b), "banned item {b} reappeared");
+        }
+    }
+    assert_eq!(lp.banned().len(), banned_total);
+}
+
+#[test]
+fn distribution_feedback_equivalent_to_its_mean_rating() {
+    // A distribution concentrated on rating r has the same utility as
+    // Rating(r), so the loop state evolves identically.
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 2);
+    let item = instance.catalog.by_code("CS 683").unwrap().id;
+
+    let mut a = FeedbackLoop::new(policy.clone(), instance.catalog.len(), FeedbackConfig::default());
+    a.observe(item, &Feedback::Rating(4));
+    let mut b = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
+    let mut dist = [0.0; 5];
+    dist[3] = 1.0; // all mass on rating 4
+    b.observe(item, &Feedback::Distribution(dist));
+
+    assert_eq!(a.utility_of(item), b.utility_of(item));
+    assert_eq!(
+        a.replan(&instance, &params, start),
+        b.replan(&instance, &params, start)
+    );
+}

@@ -1,0 +1,63 @@
+//! Persistence round-trips across crates: a policy saved to `QPOL` and a
+//! dataset saved to JSON drive identical behaviour after reload.
+
+use rl_planner::prelude::*;
+use rl_planner::store;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rl-planner-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn policy_roundtrip_drives_identical_plans() {
+    let instance = rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 13);
+    let before = RlPlanner::recommend(&policy, &instance, &params, start);
+
+    let path = tmp("q.qpol");
+    store::save_qtable(&path, &policy.q).unwrap();
+    let q = store::load_qtable(&path).unwrap();
+    assert_eq!(q, policy.q);
+    let after = RlPlanner::recommend_with_q(&q, &instance, &params, start);
+    assert_eq!(before, after);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dataset_roundtrip_preserves_planning_behaviour() {
+    let instance = rl_planner::datagen::univ1_cyber(rl_planner::datagen::defaults::UNIV1_SEED);
+    let path = tmp("cyber.json");
+    store::save_json(&path, &instance).unwrap();
+    let mut back: PlanningInstance = store::load_json(&path).unwrap();
+    back.catalog.rebuild_index();
+    back.validate().unwrap();
+    assert_eq!(back.catalog.len(), instance.catalog.len());
+
+    // Identical seeds on original and reloaded instance give identical plans.
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let (p1, _) = RlPlanner::learn(&instance, &params, 3);
+    let (p2, _) = RlPlanner::learn(&back, &params, 3);
+    assert_eq!(
+        RlPlanner::recommend(&p1, &instance, &params, start),
+        RlPlanner::recommend(&p2, &back, &params, start)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_policy_file_is_rejected() {
+    let instance = rl_planner::datagen::univ2_ds(rl_planner::datagen::defaults::UNIV2_SEED);
+    let params = PlannerParams::univ2_defaults().with_start(instance.default_start.unwrap());
+    let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+    let path = tmp("corrupt.qpol");
+    store::save_qtable(&path, &policy.q).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(store::load_qtable(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,123 @@
+//! End-to-end course-planning pipeline over the public facade API.
+
+use rl_planner::prelude::*;
+
+fn ds_ct() -> PlanningInstance {
+    rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED)
+}
+
+#[test]
+fn full_pipeline_produces_valid_scored_plan() {
+    let instance = ds_ct();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    // Across 6 seeds, a clear majority of runs must produce plans that
+    // satisfy every hard constraint, and all runs must fill the horizon.
+    let mut valid = 0;
+    for seed in 0..6 {
+        let (policy, stats) = RlPlanner::learn(&instance, &params, seed);
+        assert_eq!(stats.episodes(), params.episodes);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        assert_eq!(plan.len(), instance.horizon());
+        assert_eq!(plan.items()[0], start);
+        if plan_violations(&instance, &plan).is_empty() {
+            valid += 1;
+            let s = score_plan(&instance, &plan);
+            assert!(s > 0.0 && s <= instance.horizon() as f64);
+        }
+    }
+    assert!(valid >= 3, "only {valid}/6 seeds produced valid plans");
+}
+
+#[test]
+fn rl_beats_eda_beats_omega_on_average() {
+    let instance = ds_ct();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    let runs = 8u64;
+    let rl: f64 = (0..runs)
+        .map(|seed| {
+            let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+            score_plan(&instance, &RlPlanner::recommend(&policy, &instance, &params, start))
+        })
+        .sum::<f64>()
+        / runs as f64;
+    let eda: f64 = (0..runs)
+        .map(|seed| score_plan(&instance, &eda_plan(&instance, &params, start, seed)))
+        .sum::<f64>()
+        / runs as f64;
+    let omega = score_plan(
+        &instance,
+        &omega_plan(&instance, &OmegaConfig::paper_adaptation(instance.horizon()), None),
+    );
+    let gold = score_plan(&instance, &gold_plan(&instance, Some(start)));
+    assert!(gold >= rl, "gold {gold} < rl {rl}");
+    assert!(rl >= eda - 0.5, "rl {rl} well below eda {eda}");
+    assert!(eda > omega, "eda {eda} <= omega {omega}");
+    assert_eq!(gold, instance.horizon() as f64, "gold is a perfect template");
+}
+
+#[test]
+fn plans_respect_semester_structure() {
+    // Every valid plan schedules CS 677's antecedents (CS 675 and one of
+    // CS 610 / CS 634 / CS 657) at least one semester earlier.
+    let instance = ds_ct();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ1_defaults().with_start(start);
+    for seed in 0..6 {
+        let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        if !plan_violations(&instance, &plan).is_empty() {
+            continue;
+        }
+        let cs677 = instance.catalog.by_code("CS 677").unwrap().id;
+        if let Some(pos) = plan.position_of(cs677) {
+            let sem = pos / instance.hard.gap;
+            let cs675 = instance.catalog.by_code("CS 675").unwrap().id;
+            let p675 = plan.position_of(cs675).expect("CS 675 is core, always present");
+            assert!(p675 / instance.hard.gap < sem, "CS 675 not a semester before CS 677");
+        }
+    }
+}
+
+#[test]
+fn univ2_category_weights_flow_through() {
+    // The Univ-2 pipeline exercises the six-way category weighting.
+    let instance = rl_planner::datagen::univ2_ds(rl_planner::datagen::defaults::UNIV2_SEED);
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::univ2_defaults().with_start(start);
+    assert!(matches!(params.weights, TypeWeights::Categories(_)));
+    let (policy, _) = RlPlanner::learn(&instance, &params, 1);
+    let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+    assert_eq!(plan.len(), 15);
+    // Every recommended course carries a category.
+    for &id in plan.items() {
+        assert!(instance.catalog.item(id).category.is_some());
+    }
+}
+
+#[test]
+fn min_similarity_variant_is_comparable() {
+    // §IV-A4: "RL-Planner works effectively regardless of the similarity
+    // metric used" — MinSim scores the same order of magnitude as AvgSim.
+    let instance = ds_ct();
+    let start = instance.default_start.unwrap();
+    let base = PlannerParams::univ1_defaults().with_start(start);
+    let avg: f64 = (0..6u64)
+        .map(|s| {
+            let (p, _) = RlPlanner::learn(&instance, &base, s);
+            score_plan(&instance, &RlPlanner::recommend(&p, &instance, &base, start))
+        })
+        .sum::<f64>()
+        / 6.0;
+    let minp = base.clone().with_sim(SimAggregate::Minimum);
+    let min: f64 = (0..6u64)
+        .map(|s| {
+            let (p, _) = RlPlanner::learn(&instance, &minp, s);
+            score_plan(&instance, &RlPlanner::recommend(&p, &instance, &minp, start))
+        })
+        .sum::<f64>()
+        / 6.0;
+    assert!(min > 0.0, "MinSim should still produce valid plans");
+    assert!((avg - min).abs() < 6.0, "variants diverged: avg {avg}, min {min}");
+}

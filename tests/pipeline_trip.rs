@@ -1,0 +1,119 @@
+//! End-to-end trip-planning pipeline over the public facade API.
+
+use rl_planner::prelude::*;
+
+fn nyc() -> PlanningInstance {
+    rl_planner::datagen::nyc(rl_planner::datagen::defaults::NYC_SEED).instance
+}
+
+#[test]
+fn itineraries_respect_all_trip_constraints() {
+    let instance = nyc();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::trip_defaults().with_start(start);
+    for seed in 0..5 {
+        let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        // The CMDP prunes invalid actions, so the walk is violation-free
+        // by construction.
+        assert!(
+            plan_violations(&instance, &plan).is_empty(),
+            "seed {seed}: {:?}",
+            plan_violations(&instance, &plan)
+        );
+        // Time budget.
+        assert!(plan.total_credits(&instance.catalog) <= instance.hard.credits + 1e-9);
+        // No consecutive shared themes.
+        for w in plan.items().windows(2) {
+            let a = &instance.catalog.item(w[0]).topics;
+            let b = &instance.catalog.item(w[1]).topics;
+            assert_eq!(a.intersection_count(b), 0, "consecutive same theme");
+        }
+        // Itineraries are non-trivial.
+        assert!(plan.len() >= 2, "seed {seed}: length {}", plan.len());
+    }
+}
+
+#[test]
+fn restaurant_antecedents_enforced_end_to_end() {
+    let d = rl_planner::datagen::paris(rl_planner::datagen::defaults::PARIS_SEED);
+    let instance = &d.instance;
+    let voc = instance.catalog.vocabulary();
+    let restaurant = voc.id_of("restaurant").unwrap();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::trip_defaults().with_start(start);
+    for seed in 0..5 {
+        let (policy, _) = RlPlanner::learn(instance, &params, seed);
+        let plan = RlPlanner::recommend(&policy, instance, &params, start);
+        for (i, &id) in plan.items().iter().enumerate() {
+            let item = instance.catalog.item(id);
+            if item.topics.get(restaurant) && !item.prereq.is_none() {
+                // Some museum/gallery must appear earlier.
+                let earlier = &plan.items()[..i];
+                let museum = voc.id_of("museum").unwrap();
+                let gallery = voc.id_of("gallery").unwrap();
+                assert!(
+                    earlier.iter().any(|&e| {
+                        let t = &instance.catalog.item(e).topics;
+                        t.get(museum) || t.get(gallery)
+                    }),
+                    "restaurant {} before any museum (seed {seed})",
+                    item.code
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tightening_budgets_shrinks_or_preserves_itineraries() {
+    let base = nyc();
+    let start = base.default_start.unwrap();
+    let params = PlannerParams::trip_defaults().with_start(start);
+    let mut lens = Vec::new();
+    for t in [8.0, 6.0, 4.0] {
+        let mut instance = base.clone();
+        instance.hard.credits = t;
+        let (policy, _) = RlPlanner::learn(&instance, &params, 0);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        assert!(plan.total_credits(&instance.catalog) <= t + 1e-9);
+        lens.push(plan.len());
+    }
+    assert!(
+        lens[0] >= lens[2],
+        "an 8h budget should fit at least as many POIs as 4h: {lens:?}"
+    );
+}
+
+#[test]
+fn trip_scores_bounded_by_max_popularity() {
+    let instance = nyc();
+    let start = instance.default_start.unwrap();
+    let params = PlannerParams::trip_defaults().with_start(start);
+    let (policy, _) = RlPlanner::learn(&instance, &params, 2);
+    let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+    let s = score_plan(&instance, &plan);
+    assert!(s > 0.0 && s <= 5.0, "trip score {s} out of range");
+}
+
+#[test]
+fn itinerary_logs_feed_omega() {
+    let d = rl_planner::datagen::nyc(rl_planner::datagen::defaults::NYC_SEED);
+    assert_eq!(d.itineraries.len(), 2908);
+    let m = rl_planner::datagen::itineraries::co_consumption_matrix(
+        &d.instance.catalog,
+        &d.itineraries,
+    );
+    // The matrix is non-trivial: popular pairs co-occur.
+    let total: u64 = m.iter().flatten().map(|&x| u64::from(x)).sum();
+    assert!(total > 10_000, "co-consumption total {total}");
+    let plan = omega_plan(
+        &d.instance,
+        &OmegaConfig {
+            prefix_len: 2,
+            use_logs: true,
+        },
+        Some(&m),
+    );
+    assert!(!plan.is_empty());
+}

@@ -1,0 +1,134 @@
+//! Cross-crate property tests driven through the public facade.
+
+use proptest::prelude::*;
+use rl_planner::core::{InterleavingKernel, RewardModel};
+use rl_planner::model::ItemKind;
+use rl_planner::prelude::*;
+
+fn kind_seq(len: usize) -> impl Strategy<Value = Vec<ItemKind>> {
+    prop::collection::vec(
+        prop::bool::ANY.prop_map(|b| if b { ItemKind::Primary } else { ItemKind::Secondary }),
+        0..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 6 bounds: 0 ≤ Sim(s, I)^k ≤ k, with equality to k only on a
+    /// perfect prefix match.
+    #[test]
+    fn sim_bounded_by_prefix_length(seq in kind_seq(12)) {
+        let it = TemplateSet::paper_course_example();
+        for t in it.templates() {
+            let k = seq.len().min(t.len());
+            let s = InterleavingKernel::sim(&seq, t);
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= k as f64 + 1e-12);
+            if k > 0 && (s - k as f64).abs() < 1e-12 {
+                prop_assert!(seq[..k] == t.slots()[..k]);
+            }
+        }
+    }
+
+    /// MinSim ≤ AvgSim ≤ best-template Sim, always.
+    #[test]
+    fn sim_aggregates_ordered(seq in kind_seq(10)) {
+        let it = TemplateSet::paper_course_example();
+        let avg = InterleavingKernel::aggregate(&seq, &it, SimAggregate::Average);
+        let min = InterleavingKernel::aggregate(&seq, &it, SimAggregate::Minimum);
+        let best = InterleavingKernel::best(&seq, &it);
+        prop_assert!(min <= avg + 1e-12);
+        prop_assert!(avg <= best + 1e-12);
+    }
+
+    /// Theorem 1 as a property: the Eq. 2 reward is 0 whenever the
+    /// antecedent gate fails, for arbitrary histories.
+    #[test]
+    fn reward_zero_without_antecedents(
+        seq in kind_seq(8),
+        delta in 0.0f64..=1.0,
+    ) {
+        let catalog = rl_planner::model::toy::table2_catalog();
+        let mut params = PlannerParams::univ1_defaults();
+        params.delta = delta;
+        params.beta = 1.0 - delta;
+        params.epsilon = 0.0;
+        let model = RewardModel::new(
+            rl_planner::model::toy::table2_soft().ideal_topics,
+            TemplateSet::paper_course_example(),
+            3,
+            &params,
+            false,
+        );
+        // m6 requires m4 AND m2; the position map reports nothing.
+        let m6 = catalog.by_code("m6").unwrap();
+        let empty = catalog.vocabulary().zero_vector();
+        let none = |_: ItemId| None::<usize>;
+        prop_assert_eq!(model.reward(m6, &seq, &empty, &none, None), 0.0);
+    }
+
+    /// Rewards are finite and non-negative for any gate-passing item.
+    #[test]
+    fn reward_finite_nonnegative(seq in kind_seq(8)) {
+        let catalog = rl_planner::model::toy::table2_catalog();
+        let mut params = PlannerParams::univ1_defaults();
+        params.epsilon = 0.0;
+        let model = RewardModel::new(
+            rl_planner::model::toy::table2_soft().ideal_topics,
+            TemplateSet::paper_course_example(),
+            3,
+            &params,
+            false,
+        );
+        let m1 = catalog.by_code("m1").unwrap(); // no antecedents
+        let empty = catalog.vocabulary().zero_vector();
+        let none = |_: ItemId| None::<usize>;
+        let r = model.reward(m1, &seq, &empty, &none, None);
+        prop_assert!(r.is_finite());
+        prop_assert!(r >= 0.0);
+    }
+
+    /// Recommended plans never repeat an item and never exceed the
+    /// horizon, for any seed and episode budget.
+    #[test]
+    fn recommendation_well_formed(seed in 0u64..50, episodes in 10usize..80) {
+        let instance =
+            rl_planner::datagen::univ1_ds_ct(rl_planner::datagen::defaults::UNIV1_SEED);
+        let start = instance.default_start.unwrap();
+        let mut params = PlannerParams::univ1_defaults().with_start(start);
+        params.episodes = episodes;
+        let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        prop_assert!(plan.len() <= instance.horizon());
+        let mut seen = std::collections::HashSet::new();
+        for &id in plan.items() {
+            prop_assert!(seen.insert(id), "duplicate {id}");
+            prop_assert!(instance.catalog.get(id).is_some());
+        }
+        prop_assert_eq!(plan.items()[0], start);
+    }
+
+    /// The environment's incremental validity agrees with the validator:
+    /// an episode driven to completion never yields trip violations.
+    #[test]
+    fn env_validity_agrees_with_validator(seed in 0u64..30) {
+        let instance =
+            rl_planner::datagen::nyc(rl_planner::datagen::defaults::NYC_SEED).instance;
+        let start = instance.default_start.unwrap();
+        let mut params = PlannerParams::trip_defaults().with_start(start);
+        params.episodes = 30;
+        let (policy, _) = RlPlanner::learn(&instance, &params, seed);
+        let plan = RlPlanner::recommend(&policy, &instance, &params, start);
+        prop_assert!(plan_violations(&instance, &plan).is_empty());
+    }
+
+    /// QPOL encode/decode is lossless for arbitrary Q contents.
+    #[test]
+    fn qpol_roundtrip(vals in prop::collection::vec(-1e6f64..1e6, 16)) {
+        let q = QTable::from_raw(4, 4, vals);
+        let bytes = rl_planner::store::encode_qtable(&q);
+        let back = rl_planner::store::decode_qtable(&bytes).unwrap();
+        prop_assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-universe transfer pipelines (the §IV-D case studies) through the
+//! public API.
+
+use rl_planner::core::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};
+use rl_planner::prelude::*;
+
+#[test]
+fn course_transfer_cs_to_dsct_produces_usable_plans() {
+    use rl_planner::datagen::{defaults::UNIV1_SEED, univ1_cs, univ1_ds_ct};
+    let cs = univ1_cs(UNIV1_SEED);
+    let ds = univ1_ds_ct(UNIV1_SEED);
+    let src_params = PlannerParams::univ1_defaults().with_start(cs.default_start.unwrap());
+    let mapping = course_mapping_by_code(&ds.catalog, &cs.catalog);
+    assert!(mapping.coverage() > 0.4);
+
+    let start = ds.default_start.unwrap();
+    let tgt_params = PlannerParams::univ1_defaults().with_start(start);
+    let mut positive = 0;
+    for seed in 0..6 {
+        let (policy, _) = RlPlanner::learn(&cs, &src_params, seed);
+        let q = transfer_policy(&policy.q, &mapping);
+        let plan = RlPlanner::recommend_with_q(&q, &ds, &tgt_params, start);
+        assert_eq!(plan.len(), ds.horizon());
+        if score_plan(&ds, &plan) > 0.0 {
+            positive += 1;
+        }
+    }
+    assert!(positive >= 2, "only {positive}/6 transfers scored > 0");
+}
+
+#[test]
+fn course_transfer_roundtrip_both_directions() {
+    use rl_planner::datagen::{defaults::UNIV1_SEED, univ1_cs, univ1_ds_ct};
+    let cs = univ1_cs(UNIV1_SEED);
+    let ds = univ1_ds_ct(UNIV1_SEED);
+    // DS-CT → CS direction.
+    let src_params = PlannerParams::univ1_defaults().with_start(ds.default_start.unwrap());
+    let (policy, _) = RlPlanner::learn(&ds, &src_params, 1);
+    let mapping = course_mapping_by_code(&cs.catalog, &ds.catalog);
+    let q = transfer_policy(&policy.q, &mapping);
+    let start = cs.default_start.unwrap();
+    let plan = RlPlanner::recommend_with_q(
+        &q,
+        &cs,
+        &PlannerParams::univ1_defaults().with_start(start),
+        start,
+    );
+    assert_eq!(plan.len(), cs.horizon());
+    // The plan must be well-formed even when invalid: no duplicates.
+    let mut seen = std::collections::HashSet::new();
+    for &id in plan.items() {
+        assert!(seen.insert(id));
+    }
+}
+
+#[test]
+fn trip_transfer_both_directions_scores_high() {
+    use rl_planner::datagen::{defaults::*, nyc, paris};
+    let n = nyc(NYC_SEED).instance;
+    let p = paris(PARIS_SEED).instance;
+    for (src, tgt) in [(&n, &p), (&p, &n)] {
+        let src_params = PlannerParams::trip_defaults().with_start(src.default_start.unwrap());
+        let (policy, _) = RlPlanner::learn(src, &src_params, 0);
+        let mapping = poi_mapping_by_theme(&tgt.catalog, &src.catalog);
+        assert!(mapping.coverage() > 0.5, "{} → {}", src.catalog.name(), tgt.catalog.name());
+        let q = transfer_policy(&policy.q, &mapping);
+        let start = tgt.default_start.unwrap();
+        let plan = RlPlanner::recommend_with_q(
+            &q,
+            tgt,
+            &PlannerParams::trip_defaults().with_start(start),
+            start,
+        );
+        let s = score_plan(tgt, &plan);
+        assert!(
+            s > 3.5,
+            "{} → {}: transferred score {s}",
+            src.catalog.name(),
+            tgt.catalog.name()
+        );
+    }
+}
+
+#[test]
+fn transferred_q_respects_target_validity() {
+    // Even a transferred (foreign) policy cannot make the environment
+    // violate trip constraints — validity is enforced by the CMDP.
+    use rl_planner::datagen::{defaults::*, nyc, paris};
+    let n = nyc(NYC_SEED).instance;
+    let p = paris(PARIS_SEED).instance;
+    let src_params = PlannerParams::trip_defaults().with_start(n.default_start.unwrap());
+    let (policy, _) = RlPlanner::learn(&n, &src_params, 4);
+    let mapping = poi_mapping_by_theme(&p.catalog, &n.catalog);
+    let q = transfer_policy(&policy.q, &mapping);
+    let start = p.default_start.unwrap();
+    let plan =
+        RlPlanner::recommend_with_q(&q, &p, &PlannerParams::trip_defaults().with_start(start), start);
+    assert!(plan_violations(&p, &plan).is_empty());
+}
