@@ -60,10 +60,7 @@ fn fill_template(
     // Candidate pools per kind; cores that are prerequisites of other
     // cores come first so chains get scheduled early.
     let pool_of = |kind: ItemKind| -> Vec<ItemId> {
-        let mut pool: Vec<ItemId> = catalog
-            .items_of_kind(kind)
-            .map(|i| i.id)
-            .collect();
+        let mut pool: Vec<ItemId> = catalog.items_of_kind(kind).map(|i| i.id).collect();
         let prereq_degree = |id: ItemId| -> usize {
             catalog
                 .items()
@@ -317,7 +314,11 @@ mod tests {
             let plan = gold_plan(&d.instance, None);
             assert!(plan_violations(&d.instance, &plan).is_empty());
             let s = score_plan(&d.instance, &plan);
-            assert!(s >= 4.4, "{}: gold trip score {s}", d.instance.catalog.name());
+            assert!(
+                s >= 4.4,
+                "{}: gold trip score {s}",
+                d.instance.catalog.name()
+            );
             assert!(plan.len() >= 3, "gold itinerary too short: {}", plan.len());
         }
     }

@@ -194,11 +194,7 @@ mod tests {
     #[test]
     fn omega_produces_h_items_for_courses() {
         let inst = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
-        let plan = omega_plan(
-            &inst,
-            &OmegaConfig::paper_adaptation(inst.horizon()),
-            None,
-        );
+        let plan = omega_plan(&inst, &OmegaConfig::paper_adaptation(inst.horizon()), None);
         assert_eq!(plan.len(), inst.horizon());
     }
 
@@ -213,11 +209,7 @@ mod tests {
             tpp_datagen::univ1_cyber(UNIV1_SEED),
             tpp_datagen::univ1_cs(UNIV1_SEED),
         ] {
-            let plan = omega_plan(
-                &inst,
-                &OmegaConfig::paper_adaptation(inst.horizon()),
-                None,
-            );
+            let plan = omega_plan(&inst, &OmegaConfig::paper_adaptation(inst.horizon()), None);
             total += 1;
             if score_plan(&inst, &plan) == 0.0 {
                 zeros += 1;

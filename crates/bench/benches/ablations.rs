@@ -23,10 +23,16 @@ fn learn_score(instance: &tpp_model::PlanningInstance, params: &PlannerParams) -
 /// AvgSim vs MinSim aggregation in the reward (the paper runs both).
 fn ablation_sim_aggregate(c: &mut Criterion) {
     let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
-    let base = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let base = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 100),
+        &instance,
+    );
     let mut group = c.benchmark_group("ablation_sim_aggregate");
     group.sample_size(10);
-    for (name, sim) in [("avg", SimAggregate::Average), ("min", SimAggregate::Minimum)] {
+    for (name, sim) in [
+        ("avg", SimAggregate::Average),
+        ("min", SimAggregate::Minimum),
+    ] {
         let params = base.clone().with_sim(sim);
         group.bench_function(name, |b| b.iter(|| learn_score(&instance, &params)));
     }
@@ -68,7 +74,10 @@ fn ablation_gate(c: &mut Criterion) {
     let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
     let mut group = c.benchmark_group("ablation_gate");
     group.sample_size(10);
-    let gated = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let gated = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 100),
+        &instance,
+    );
     let mut ungated = gated.clone();
     ungated.epsilon = 0.0; // coverage gate always passes
     group.bench_function("gated_default_eps", |b| {
@@ -86,10 +95,15 @@ fn ablation_exploration(c: &mut Criterion) {
     let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
     let mut group = c.benchmark_group("ablation_exploration");
     group.sample_size(10);
-    let decaying = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let decaying = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 100),
+        &instance,
+    );
     let mut greedy_only = decaying.clone();
     greedy_only.exploration = Schedule::Constant(0.0);
-    group.bench_function("decaying_eps", |b| b.iter(|| learn_score(&instance, &decaying)));
+    group.bench_function("decaying_eps", |b| {
+        b.iter(|| learn_score(&instance, &decaying))
+    });
     group.bench_function("reward_greedy_only", |b| {
         b.iter(|| learn_score(&instance, &greedy_only))
     });
@@ -101,10 +115,15 @@ fn ablation_traces(c: &mut Criterion) {
     let instance = tpp_datagen::univ1_cyber(UNIV1_SEED);
     let mut group = c.benchmark_group("ablation_traces");
     group.sample_size(10);
-    let with_traces = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let with_traces = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 100),
+        &instance,
+    );
     let mut one_step = with_traces.clone();
     one_step.lambda = 0.0;
-    group.bench_function("lambda_0_9", |b| b.iter(|| learn_score(&instance, &with_traces)));
+    group.bench_function("lambda_0_9", |b| {
+        b.iter(|| learn_score(&instance, &with_traces))
+    });
     group.bench_function("lambda_0", |b| b.iter(|| learn_score(&instance, &one_step)));
     group.finish();
 }

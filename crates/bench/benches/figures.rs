@@ -10,7 +10,10 @@ use tpp_datagen::defaults::*;
 
 fn bench_fig1_course(c: &mut Criterion) {
     let instance = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
-    let params = pinned(bench_params(PlannerParams::univ1_defaults(), 100), &instance);
+    let params = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 100),
+        &instance,
+    );
     let start = instance.default_start.unwrap();
     let mut group = c.benchmark_group("fig1_course");
     group.sample_size(10);
@@ -30,7 +33,11 @@ fn bench_fig1_course(c: &mut Criterion) {
         b.iter(|| {
             score_plan(
                 &instance,
-                &omega_plan(&instance, &OmegaConfig::paper_adaptation(instance.horizon()), None),
+                &omega_plan(
+                    &instance,
+                    &OmegaConfig::paper_adaptation(instance.horizon()),
+                    None,
+                ),
             )
         })
     });
@@ -77,7 +84,10 @@ fn bench_fig2_scalability(c: &mut Criterion) {
     }
     // Recommendation time is independent of N: one bench with a trained
     // policy (Fig. 2 b/d's flat line).
-    let params = pinned(bench_params(PlannerParams::univ1_defaults(), 500), &instance);
+    let params = pinned(
+        bench_params(PlannerParams::univ1_defaults(), 500),
+        &instance,
+    );
     let (policy, _) = RlPlanner::learn(&instance, &params, 0);
     let start = instance.default_start.unwrap();
     group.bench_function("recommend", |b| {
@@ -86,5 +96,10 @@ fn bench_fig2_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures, bench_fig1_course, bench_fig1_trip, bench_fig2_scalability);
+criterion_group!(
+    figures,
+    bench_fig1_course,
+    bench_fig1_trip,
+    bench_fig2_scalability
+);
 criterion_main!(figures);

@@ -11,23 +11,43 @@
 //! rl-planner datagen --dataset <name> --out dataset.json
 //! ```
 //!
+//! Global observability flags, accepted anywhere on the command line:
+//! `--trace FILE` (structured JSONL event log), `--metrics FILE|-`
+//! (metrics registry as JSON, or text on stdout with `-`), `-v/--verbose`
+//! (pretty per-episode events on stderr), `-q/--quiet` (suppress the
+//! post-command metrics summary).
+//!
 //! Datasets: `ds-ct`, `cyber`, `cs`, `univ2`, `nyc`, `paris`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use tpp_core::{plan_violations, score_plan, PlannerParams, RlPlanner};
 use tpp_model::PlanningInstance;
+use tpp_obs::Level;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
-        }
+    let (obs, args) = match ObsOptions::extract(args) {
+        Ok(v) => v,
+        Err(msg) => return usage_error(&msg),
+    };
+    if let Err(msg) = obs.install() {
+        return usage_error(&msg);
     }
+    let result = run(&args, &obs);
+    let finished = obs.finish();
+    tpp_obs::flush();
+    match result.and(finished) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => usage_error(&msg),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
 }
 
 const USAGE: &str = "usage:
@@ -39,7 +59,91 @@ const USAGE: &str = "usage:
   rl-planner train --dataset <name> --out policy.qpol [--seed N]
   rl-planner recommend --dataset <name> --policy policy.qpol [--start CODE]
   rl-planner datagen --dataset <name> --out dataset.json
+global flags (anywhere on the line):
+  --trace FILE    write structured JSONL events to FILE
+  --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
+  -v, --verbose   pretty-print events on stderr (per-episode detail)
+  -q, --quiet     suppress the post-command metrics summary
 datasets: ds-ct cyber cs univ2 nyc paris";
+
+/// Global observability options, extracted before subcommand dispatch.
+struct ObsOptions {
+    trace: Option<String>,
+    metrics_out: Option<String>,
+    verbose: bool,
+    quiet: bool,
+}
+
+impl ObsOptions {
+    /// Splits the obs flags out of `args`, returning the remainder.
+    fn extract(args: Vec<String>) -> Result<(ObsOptions, Vec<String>), String> {
+        let mut obs = ObsOptions {
+            trace: None,
+            metrics_out: None,
+            verbose: false,
+            quiet: false,
+        };
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => {
+                    obs.trace = Some(it.next().ok_or("--trace needs a file path")?);
+                }
+                "--metrics" => {
+                    obs.metrics_out = Some(it.next().ok_or("--metrics needs a file path or '-'")?);
+                }
+                "-v" | "--verbose" => obs.verbose = true,
+                "-q" | "--quiet" => obs.quiet = true,
+                _ => rest.push(a),
+            }
+        }
+        if obs.verbose && obs.quiet {
+            return Err("--verbose and --quiet are mutually exclusive".into());
+        }
+        Ok((obs, rest))
+    }
+
+    /// Installs the requested sinks. With neither `--trace` nor `-v`
+    /// the observability layer stays disabled (near-zero overhead).
+    fn install(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace {
+            let sink = tpp_obs::JsonlSink::create(path, Level::Trace)
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            tpp_obs::add_sink(Arc::new(sink));
+        }
+        if self.verbose {
+            tpp_obs::add_sink(Arc::new(tpp_obs::PrettySink::stderr(Level::Debug)));
+        }
+        Ok(())
+    }
+
+    /// Writes the `--metrics` output, if requested.
+    fn finish(&self) -> Result<(), String> {
+        match self.metrics_out.as_deref() {
+            None => Ok(()),
+            Some("-") => {
+                print!("{}", tpp_obs::metrics().render_text());
+                Ok(())
+            }
+            Some(path) => std::fs::write(path, tpp_obs::metrics().render_json())
+                .map_err(|e| format!("cannot write metrics file {path:?}: {e}")),
+        }
+    }
+
+    /// Prints the post-command metrics summary to stderr (skipped with
+    /// `--quiet`, and when it would duplicate `--metrics -`).
+    fn summary(&self) {
+        if self.quiet || self.metrics_out.as_deref() == Some("-") {
+            return;
+        }
+        let text = tpp_obs::metrics().render_text();
+        if !text.is_empty() {
+            eprintln!("--- metrics ---");
+            eprint!("{text}");
+        }
+    }
+}
 
 /// A tiny flag parser: `--key value` pairs plus boolean switches.
 struct Flags<'a> {
@@ -88,12 +192,30 @@ impl<'a> Flags<'a> {
 fn dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
     use tpp_datagen::defaults::*;
     let (instance, params) = match name {
-        "ds-ct" => (tpp_datagen::univ1_ds_ct(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        "cyber" => (tpp_datagen::univ1_cyber(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        "cs" => (tpp_datagen::univ1_cs(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        "univ2" => (tpp_datagen::univ2_ds(UNIV2_SEED), PlannerParams::univ2_defaults()),
-        "nyc" => (tpp_datagen::nyc(NYC_SEED).instance, PlannerParams::trip_defaults()),
-        "paris" => (tpp_datagen::paris(PARIS_SEED).instance, PlannerParams::trip_defaults()),
+        "ds-ct" => (
+            tpp_datagen::univ1_ds_ct(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "cyber" => (
+            tpp_datagen::univ1_cyber(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "cs" => (
+            tpp_datagen::univ1_cs(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "univ2" => (
+            tpp_datagen::univ2_ds(UNIV2_SEED),
+            PlannerParams::univ2_defaults(),
+        ),
+        "nyc" => (
+            tpp_datagen::nyc(NYC_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        "paris" => (
+            tpp_datagen::paris(PARIS_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
         other => return Err(format!("unknown dataset {other:?}")),
     };
     Ok((instance, params))
@@ -115,7 +237,7 @@ fn resolve_start(
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
     };
@@ -142,9 +264,17 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let mut reports = Vec::with_capacity(ids.len());
             for id in ids {
-                let report = tpp_eval::run_experiment(&id)
+                let exp = tpp_eval::ExperimentId::parse(&id)
                     .ok_or_else(|| format!("unknown experiment {id:?}"))?;
+                let (report, elapsed) = exp.run_timed();
                 println!("{}", report.render_ascii());
+                if !obs.quiet {
+                    println!(
+                        "({} finished in {:.1} s)",
+                        exp.as_str(),
+                        elapsed.as_secs_f64()
+                    );
+                }
                 if let Some(dir) = csv_dir {
                     report.write_csvs(dir).map_err(|e| e.to_string())?;
                     println!("(csv written to {dir})");
@@ -156,6 +286,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 println!("(markdown bundle written to {path})");
             }
+            obs.summary();
             Ok(())
         }
         "plan" => {
@@ -167,7 +298,11 @@ fn run(args: &[String]) -> Result<(), String> {
             if flags.has("min-sim") {
                 params.sim = tpp_core::SimAggregate::Minimum;
             }
-            let seed: u64 = flags.get("seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+            let seed: u64 = flags
+                .get("seed")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --seed")?;
             let start = resolve_start(&instance, flags.get("start"))?;
             let params = params.with_start(start);
             let (policy, stats) = RlPlanner::learn(&instance, &params, seed);
@@ -182,26 +317,33 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("violation: {v}");
                 }
             }
+            let s = stats.summary();
             println!(
-                "training: {} episodes, mean return {:.3}",
-                stats.episodes(),
-                stats.mean_return()
+                "training: {} episodes, return mean {:.3} / p50 {:.3} / p95 {:.3}",
+                s.episodes, s.mean, s.p50, s.p95
             );
+            obs.summary();
             Ok(())
         }
         "compare" => {
             let flags = Flags::parse(&args[1..])?;
             let name = flags.required("dataset")?;
             let (instance, params) = dataset(name)?;
-            let runs: u64 = flags.get("runs").unwrap_or("5").parse().map_err(|_| "bad --runs")?;
+            let runs: u64 = flags
+                .get("runs")
+                .unwrap_or("5")
+                .parse()
+                .map_err(|_| "bad --runs")?;
             let start = resolve_start(&instance, flags.get("start"))?;
             let params = params.with_start(start);
-            let avg = |f: &dyn Fn(u64) -> f64| -> f64 {
-                (0..runs).map(f).sum::<f64>() / runs as f64
-            };
+            let avg =
+                |f: &dyn Fn(u64) -> f64| -> f64 { (0..runs).map(f).sum::<f64>() / runs as f64 };
             let rl = avg(&|seed| {
                 let (policy, _) = RlPlanner::learn(&instance, &params, seed);
-                score_plan(&instance, &RlPlanner::recommend(&policy, &instance, &params, start))
+                score_plan(
+                    &instance,
+                    &RlPlanner::recommend(&policy, &instance, &params, start),
+                )
             });
             let eda = avg(&|seed| {
                 score_plan(
@@ -241,7 +383,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let flags = Flags::parse(&args[1..])?;
             let (instance, params) = dataset(flags.required("dataset")?)?;
             let out = flags.required("out")?;
-            let seed: u64 = flags.get("seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+            let seed: u64 = flags
+                .get("seed")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --seed")?;
             let start = resolve_start(&instance, flags.get("start"))?;
             let (policy, stats) = RlPlanner::learn(&instance, &params.with_start(start), seed);
             tpp_store::save_qtable(out, &policy.q).map_err(|e| e.to_string())?;
@@ -250,6 +396,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.episodes(),
                 instance.catalog.name()
             );
+            obs.summary();
             Ok(())
         }
         "recommend" => {

@@ -20,14 +20,29 @@ fn list_prints_experiments_and_datasets() {
 #[test]
 fn plan_subcommand_produces_a_plan() {
     let out = bin()
-        .args(["plan", "--dataset", "ds-ct", "--episodes", "60", "--seed", "1"])
+        .args([
+            "plan",
+            "--dataset",
+            "ds-ct",
+            "--episodes",
+            "60",
+            "--seed",
+            "1",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("plan:"), "{stdout}");
     assert!(stdout.contains("score:"), "{stdout}");
-    assert!(stdout.contains("CS 675"), "starts from the default start: {stdout}");
+    assert!(
+        stdout.contains("CS 675"),
+        "starts from the default start: {stdout}"
+    );
 }
 
 #[test]
@@ -36,10 +51,20 @@ fn train_then_recommend_via_policy_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let policy = dir.join("p.qpol");
     let out = bin()
-        .args(["train", "--dataset", "nyc", "--out", policy.to_str().unwrap()])
+        .args([
+            "train",
+            "--dataset",
+            "nyc",
+            "--out",
+            policy.to_str().unwrap(),
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(policy.exists());
 
     let out = bin()
@@ -52,7 +77,11 @@ fn train_then_recommend_via_policy_file() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("score:"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
@@ -64,10 +93,20 @@ fn datagen_writes_dataset_json() {
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("univ2.json");
     let out = bin()
-        .args(["datagen", "--dataset", "univ2", "--out", file.to_str().unwrap()])
+        .args([
+            "datagen",
+            "--dataset",
+            "univ2",
+            "--out",
+            file.to_str().unwrap(),
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let data = std::fs::read_to_string(&file).unwrap();
     assert!(data.contains("STATS 263"));
     std::fs::remove_dir_all(&dir).ok();
@@ -80,7 +119,10 @@ fn unknown_arguments_fail_with_usage() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("usage:"), "{stderr}");
 
-    let out = bin().args(["plan", "--dataset", "nope"]).output().expect("spawn");
+    let out = bin()
+        .args(["plan", "--dataset", "nope"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
 
     let out = bin().args(["exp", "table99"]).output().expect("spawn");
@@ -89,8 +131,15 @@ fn unknown_arguments_fail_with_usage() {
 
 #[test]
 fn gold_subcommand_prints_perfect_course_plan() {
-    let out = bin().args(["gold", "--dataset", "ds-ct"]).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["gold", "--dataset", "ds-ct"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("score:     10"), "{stdout}");
 }
@@ -101,7 +150,11 @@ fn compare_subcommand_lists_all_methods() {
         .args(["compare", "--dataset", "univ2", "--runs", "2"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     for m in ["RL-Planner", "EDA", "OMEGA", "Gold"] {
         assert!(stdout.contains(m), "missing {m}: {stdout}");

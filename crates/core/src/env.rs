@@ -10,9 +10,64 @@
 
 use crate::params::PlannerParams;
 use crate::reward::RewardModel;
+use std::cell::Cell;
 use tpp_geo::haversine_km;
 use tpp_model::{ItemId, ItemKind, Plan, PlanningInstance, TopicVector};
 use tpp_rl::{Environment, StepOutcome};
+
+/// Why the constraint gate rejected a candidate action (§III-A's action
+/// validity: only feasible items are explorable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateReject {
+    /// The `#cr` budget — course credits, or the trip visit-time limit.
+    Credits,
+    /// The no-consecutive-same-theme rule (the trip gap constraint).
+    ThemeGap,
+    /// The trip distance threshold `d`.
+    Distance,
+}
+
+impl GateReject {
+    /// Stable lowercase name, used as the metrics-counter suffix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateReject::Credits => "credits",
+            GateReject::ThemeGap => "theme_gap",
+            GateReject::Distance => "distance",
+        }
+    }
+}
+
+/// Constraint-gate tallies accumulated across [`Environment::valid_actions`]
+/// calls: how many candidate actions were checked and how many each hard
+/// constraint rejected. Drained by the training loop into the global
+/// metrics registry (`gate.checked`, `gate.reject.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// Unvisited candidates examined by the gate.
+    pub checked: u64,
+    /// Rejections by the `#cr` budget.
+    pub credits: u64,
+    /// Rejections by the no-consecutive-same-theme rule.
+    pub theme_gap: u64,
+    /// Rejections by the distance threshold.
+    pub distance: u64,
+}
+
+impl GateCounts {
+    fn bump(&mut self, reason: GateReject) {
+        match reason {
+            GateReject::Credits => self.credits += 1,
+            GateReject::ThemeGap => self.theme_gap += 1,
+            GateReject::Distance => self.distance += 1,
+        }
+    }
+
+    /// Total rejections across every constraint.
+    pub fn rejected(&self) -> u64 {
+        self.credits + self.theme_gap + self.distance
+    }
+}
 
 /// The TPP environment over one planning instance.
 #[derive(Debug, Clone)]
@@ -20,6 +75,9 @@ pub struct TppEnv<'a> {
     instance: &'a PlanningInstance,
     model: RewardModel,
     horizon: usize,
+    // Interior mutability because `valid_actions` takes `&self`; the env
+    // is single-threaded per experiment run.
+    gates: Cell<GateCounts>,
     // --- episode state ---
     visited: Vec<bool>,
     positions: Vec<Option<usize>>,
@@ -46,6 +104,7 @@ impl<'a> TppEnv<'a> {
             instance,
             model,
             horizon: instance.horizon(),
+            gates: Cell::new(GateCounts::default()),
             visited: vec![false; n],
             positions: vec![None; n],
             seq_kinds: Vec::with_capacity(instance.horizon()),
@@ -100,29 +159,41 @@ impl<'a> TppEnv<'a> {
         !self.instance.is_trip() && self.elapsed_hours >= self.instance.hard.credits - 1e-9
     }
 
-    fn trip_action_ok(&self, j: usize) -> bool {
+    /// The action-validity gate: `None` if item `j` may follow the
+    /// current state, otherwise the hard constraint that rejects it.
+    fn gate(&self, j: usize) -> Option<GateReject> {
         let Some(trip) = &self.instance.trip else {
-            return true;
+            return None;
         };
         let item = &self.instance.catalog.items()[j];
         // Visit-time budget (#cr is the time threshold for trips).
         if self.elapsed_hours + item.credits > self.instance.hard.credits + 1e-9 {
-            return false;
+            return Some(GateReject::Credits);
         }
         if trip.no_consecutive_same_theme && !self.items.is_empty() {
             let cur = &self.instance.catalog.items()[self.current].topics;
             if cur.intersection_count(&item.topics) > 0 {
-                return false;
+                return Some(GateReject::ThemeGap);
             }
         }
         if let Some(max_km) = trip.max_distance_km {
             if !self.items.is_empty()
                 && self.travelled_km + self.leg_km(self.current, j) > max_km + 1e-9
             {
-                return false;
+                return Some(GateReject::Distance);
             }
         }
-        true
+        None
+    }
+
+    /// Gate tallies accumulated so far (see [`GateCounts`]).
+    pub fn gate_counts(&self) -> GateCounts {
+        self.gates.get()
+    }
+
+    /// Returns the accumulated gate tallies and resets them to zero.
+    pub fn take_gate_counts(&self) -> GateCounts {
+        self.gates.take()
     }
 }
 
@@ -161,11 +232,18 @@ impl Environment for TppEnv<'_> {
         if self.items.len() >= self.horizon || self.credits_exhausted() {
             return;
         }
+        let mut g = self.gates.get();
         for j in 0..self.visited.len() {
-            if !self.visited[j] && self.trip_action_ok(j) {
-                buf.push(j);
+            if self.visited[j] {
+                continue;
+            }
+            g.checked += 1;
+            match self.gate(j) {
+                None => buf.push(j),
+                Some(reason) => g.bump(reason),
             }
         }
+        self.gates.set(g);
     }
 
     fn step(&mut self, action: usize) -> StepOutcome {
@@ -243,7 +321,11 @@ mod tests {
         let mut env = TppEnv::new(&inst, &params);
         env.reset(0);
         let order = [1usize, 3, 4, 5, 2];
-        let mut last = StepOutcome { next_state: 0, reward: 0.0, done: false };
+        let mut last = StepOutcome {
+            next_state: 0,
+            reward: 0.0,
+            done: false,
+        };
         for &a in &order {
             assert!(!last.done);
             last = env.step(a);
@@ -361,11 +443,22 @@ mod tests {
         // courses even though the primary/secondary horizon allows 6.
         use tpp_model::CatalogBuilder;
         let catalog = {
-            let mut b = CatalogBuilder::new("var-credits").topics(["t0", "t1", "t2", "t3", "t4", "t5"]);
+            let mut b =
+                CatalogBuilder::new("var-credits").topics(["t0", "t1", "t2", "t3", "t4", "t5"]);
             for i in 0..6 {
-                let kind = if i < 3 { tpp_model::ItemKind::Primary } else { tpp_model::ItemKind::Secondary };
+                let kind = if i < 3 {
+                    tpp_model::ItemKind::Primary
+                } else {
+                    tpp_model::ItemKind::Secondary
+                };
                 let names = ["t0", "t1", "t2", "t3", "t4", "t5"];
-                b = b.course(format!("C{i}"), format!("Course {i}"), kind, 4.0, &[names[i]]);
+                b = b.course(
+                    format!("C{i}"),
+                    format!("Course {i}"),
+                    kind,
+                    4.0,
+                    &[names[i]],
+                );
             }
             b.build().unwrap()
         };
@@ -399,6 +492,44 @@ mod tests {
         let mut acts = Vec::new();
         env.valid_actions(&mut acts);
         assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn gate_counts_attribute_rejections_to_constraints() {
+        let inst = trip_instance();
+        let params = PlannerParams::trip_defaults();
+        let mut env = TppEnv::new(&inst, &params);
+        env.reset(1); // Louvre
+        let mut acts = Vec::new();
+        env.valid_actions(&mut acts);
+        let g = env.take_gate_counts();
+        // Every unvisited item was examined exactly once.
+        assert_eq!(g.checked, (inst.catalog.len() - 1) as u64);
+        assert_eq!(g.checked, acts.len() as u64 + g.rejected());
+        // The Louvre's neighbours share Museum/Art/Architecture themes →
+        // the theme-gap rule fires (see trip_budget_limits_actions).
+        assert!(g.theme_gap > 0, "{g:?}");
+        // take drains the tallies.
+        assert_eq!(env.gate_counts(), GateCounts::default());
+        // A 1 km distance cap makes the distance gate fire too.
+        let mut inst2 = trip_instance();
+        inst2.trip = Some(TripConstraints {
+            max_distance_km: Some(1.0),
+            no_consecutive_same_theme: false,
+        });
+        let mut env2 = TppEnv::new(&inst2, &params);
+        env2.reset(1);
+        env2.valid_actions(&mut acts);
+        assert!(env2.gate_counts().distance > 0);
+        // Course instances gate nothing per-action.
+        let course = course_instance();
+        let cparams = course_params();
+        let mut cenv = TppEnv::new(&course, &cparams);
+        cenv.reset(0);
+        cenv.valid_actions(&mut acts);
+        let cg = cenv.gate_counts();
+        assert_eq!(cg.rejected(), 0);
+        assert_eq!(cg.checked, acts.len() as u64);
     }
 
     #[test]

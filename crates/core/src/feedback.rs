@@ -145,13 +145,7 @@ impl FeedbackLoop {
         params: &PlannerParams,
         start: ItemId,
     ) -> Plan {
-        RlPlanner::recommend_with_exclusions(
-            &self.policy.q,
-            instance,
-            params,
-            start,
-            &self.banned,
-        )
+        RlPlanner::recommend_with_exclusions(&self.policy.q, instance, params, start, &self.banned)
     }
 }
 
@@ -183,10 +177,16 @@ mod tests {
     #[test]
     fn distribution_utility_is_mean_based() {
         // All mass on 5 → +1; uniform → 0; all on 1 → −1.
-        assert_eq!(Feedback::Distribution([0.0, 0.0, 0.0, 0.0, 1.0]).utility(), 1.0);
+        assert_eq!(
+            Feedback::Distribution([0.0, 0.0, 0.0, 0.0, 1.0]).utility(),
+            1.0
+        );
         let u = Feedback::Distribution([0.2; 5]).utility();
         assert!(u.abs() < 1e-12, "{u}");
-        assert_eq!(Feedback::Distribution([1.0, 0.0, 0.0, 0.0, 0.0]).utility(), -1.0);
+        assert_eq!(
+            Feedback::Distribution([1.0, 0.0, 0.0, 0.0, 0.0]).utility(),
+            -1.0
+        );
         // Unnormalized distributions are re-normalized.
         let a = Feedback::Distribution([0.0, 0.0, 0.0, 0.0, 2.0]).utility();
         assert_eq!(a, 1.0);

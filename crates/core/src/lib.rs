@@ -32,7 +32,7 @@ pub mod reward;
 pub mod score;
 pub mod transfer;
 
-pub use env::TppEnv;
+pub use env::{GateCounts, GateReject, TppEnv};
 pub use feedback::{Feedback, FeedbackConfig, FeedbackLoop};
 pub use params::{PlannerParams, SimAggregate, StartPolicy, TypeWeights};
 pub use planner::{LearnedPolicy, RlPlanner};

@@ -54,9 +54,9 @@ impl TypeWeights {
             }
             TypeWeights::Categories(w) => {
                 let idx = category.unwrap_or(w.len().saturating_sub(1));
-                w.get(idx).copied().unwrap_or_else(|| {
-                    w.last().copied().unwrap_or(0.0)
-                })
+                w.get(idx)
+                    .copied()
+                    .unwrap_or_else(|| w.last().copied().unwrap_or(0.0))
             }
         }
     }
@@ -197,7 +197,10 @@ impl PlannerParams {
     /// Checks parameter invariants (`δ + β = 1`, weights sum to 1, …).
     pub fn validate(&self) -> Result<(), String> {
         if (self.delta + self.beta - 1.0).abs() > 1e-9 {
-            return Err(format!("delta + beta must be 1, got {}", self.delta + self.beta));
+            return Err(format!(
+                "delta + beta must be 1, got {}",
+                self.delta + self.beta
+            ));
         }
         if !(0.0..=1.0).contains(&self.gamma) {
             return Err(format!("gamma must be in [0,1], got {}", self.gamma));
@@ -222,7 +225,10 @@ impl PlannerParams {
             }
         }
         if self.epsilon < 0.0 {
-            return Err(format!("epsilon must be non-negative, got {}", self.epsilon));
+            return Err(format!(
+                "epsilon must be non-negative, got {}",
+                self.epsilon
+            ));
         }
         if !(0.0..=1.0).contains(&self.lambda) {
             return Err(format!("lambda must be in [0,1], got {}", self.lambda));

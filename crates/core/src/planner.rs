@@ -5,7 +5,9 @@ use crate::env::TppEnv;
 use crate::params::{PlannerParams, StartPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 use tpp_model::{ItemId, Plan, PlanningInstance};
+use tpp_obs::{obs_event, Level};
 use tpp_rl::{Environment, QTable, TrainStats};
 
 /// A learned policy: the Q-table plus the universe it indexes.
@@ -58,7 +60,11 @@ fn select_action(
     // Full (reward, Q) ties break toward the least-visited pair: the
     // systematic version of the paper's "one will be picked at random",
     // ensuring "extensive training" actually covers every tie member.
-    let min_visits = best.iter().map(|&a| visits[s * n + a]).min().expect("non-empty");
+    let min_visits = best
+        .iter()
+        .map(|&a| visits[s * n + a])
+        .min()
+        .expect("non-empty");
     let least: Vec<usize> = best
         .iter()
         .copied()
@@ -77,6 +83,10 @@ impl RlPlanner {
         seed: u64,
     ) -> (LearnedPolicy, TrainStats) {
         params.validate().expect("invalid planner parameters");
+        let mut span = tpp_obs::span(Level::Info, "train.session")
+            .with("catalog", instance.catalog.name())
+            .with("episodes", params.episodes)
+            .with("seed", seed);
         let mut env = TppEnv::new(instance, params);
         let n = instance.catalog.len();
         let mut q = QTable::square(n);
@@ -91,7 +101,13 @@ impl RlPlanner {
         let mut stats = TrainStats::with_capacity(params.episodes);
         let mut actions = Vec::with_capacity(n);
         let mut visits = vec![0u32; n * n];
+        // Valid-action-set sizes are tallied locally (sizes are bounded
+        // by |I|) and flushed to the shared histogram once per session:
+        // ten seeds train in parallel, and per-step updates of shared
+        // atomics cost measurable cache-line contention.
+        let mut va_sizes = vec![0u64; n + 1];
         for episode in 0..params.episodes {
+            let ep_started = tpp_obs::enabled(Level::Debug).then(Instant::now);
             let explore = params.exploration.at(episode);
             let start = match params.start {
                 StartPolicy::Fixed(id) => id.index(),
@@ -108,8 +124,17 @@ impl RlPlanner {
             let mut ep_return = 0.0;
             let mut s = env.state();
             env.valid_actions(&mut actions);
+            va_sizes[actions.len()] += 1;
             if actions.is_empty() {
                 stats.push(0.0);
+                obs_event!(
+                    Level::Debug,
+                    "train.episode",
+                    episode = episode,
+                    epsilon = explore,
+                    ep_return = 0.0,
+                    steps = 0usize,
+                );
                 continue;
             }
             let mut a = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
@@ -119,6 +144,7 @@ impl RlPlanner {
             // lets the reward a core course earns late in an episode
             // reach the early decision that scheduled its antecedent.
             let mut trace: Vec<(usize, usize, f64)> = Vec::with_capacity(env.horizon());
+            let mut max_td: f64 = 0.0;
             loop {
                 let out = env.step(a);
                 ep_return += out.reward;
@@ -128,17 +154,20 @@ impl RlPlanner {
                     (true, out.reward - q.get(s, a))
                 } else {
                     env.valid_actions(&mut actions);
+                    va_sizes[actions.len()] += 1;
                     if actions.is_empty() {
                         (true, out.reward - q.get(s, a))
                     } else {
-                        let a_next = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
-                        let delta = out.reward + params.gamma * q.get(out.next_state, a_next)
-                            - q.get(s, a);
+                        let a_next =
+                            select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
+                        let delta =
+                            out.reward + params.gamma * q.get(out.next_state, a_next) - q.get(s, a);
                         s = out.next_state;
                         a = a_next;
                         (false, delta)
                     }
                 };
+                max_td = max_td.max(td_error.abs());
                 for (ts, ta, e) in &mut trace {
                     let v = q.get(*ts, *ta);
                     q.set(*ts, *ta, v + params.alpha * td_error * *e);
@@ -149,7 +178,36 @@ impl RlPlanner {
                 }
             }
             stats.push(ep_return);
+            if let Some(t0) = ep_started {
+                obs_event!(
+                    Level::Debug,
+                    "train.episode",
+                    episode = episode,
+                    epsilon = explore,
+                    ep_return = ep_return,
+                    steps = trace.len(),
+                    max_td_error = max_td,
+                    max_q_delta = params.alpha * max_td,
+                    duration_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+            }
         }
+        let gates = env.take_gate_counts();
+        let m = tpp_obs::metrics();
+        let va_hist = m.histogram("env.valid_actions");
+        for (size, &count) in va_sizes.iter().enumerate() {
+            va_hist.record_n(size as u64, count);
+        }
+        m.counter("gate.checked").add(gates.checked);
+        m.counter("gate.reject.credits").add(gates.credits);
+        m.counter("gate.reject.theme_gap").add(gates.theme_gap);
+        m.counter("gate.reject.distance").add(gates.distance);
+        let summary = stats.summary();
+        span.record("mean_return", summary.mean);
+        span.record("p50_return", summary.p50);
+        span.record("p95_return", summary.p95);
+        span.record("gate_checked", gates.checked);
+        span.record("gate_rejected", gates.rejected());
         (
             LearnedPolicy {
                 q,
@@ -199,6 +257,10 @@ impl RlPlanner {
         start: ItemId,
         banned: &[ItemId],
     ) -> Plan {
+        let mut span = tpp_obs::span(Level::Debug, "plan.recommend")
+            .with("catalog", instance.catalog.name())
+            .with("start", start.index())
+            .with("banned", banned.len());
         let mut env = TppEnv::new(instance, params);
         env.reset(start.index());
         for &b in banned {
@@ -236,7 +298,9 @@ impl RlPlanner {
                 break;
             }
         }
-        env.plan()
+        let plan = env.plan();
+        span.record("plan_len", plan.len());
+        plan
     }
 
     /// Learn-then-recommend convenience: returns the plan from the

@@ -56,9 +56,7 @@ impl InterleavingKernel {
         }
         let sims = templates.templates().iter().map(|t| Self::sim(seq, t));
         match mode {
-            SimAggregate::Average => {
-                sims.sum::<f64>() / templates.len() as f64
-            }
+            SimAggregate::Average => sims.sum::<f64>() / templates.len() as f64,
             SimAggregate::Minimum => sims.fold(f64::INFINITY, f64::min),
         }
     }

@@ -85,8 +85,7 @@ mod tests {
         // m1 → m2 → m4 → m5 → m6 → m3 fully realizes I2 = PSSSPP and
         // satisfies all hard constraints ⇒ score = H = 6.
         let inst = course_instance();
-        let plan =
-            Plan::from_codes(&inst.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        let plan = Plan::from_codes(&inst.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
         assert!(plan_violations(&inst, &plan).is_empty());
         assert_eq!(score_plan(&inst, &plan), 6.0);
     }
@@ -95,8 +94,7 @@ mod tests {
     fn violated_plan_scores_zero_but_raw_score_positive() {
         let inst = course_instance();
         // m5 right after m2: gap violation.
-        let plan =
-            Plan::from_codes(&inst.catalog, &["m1", "m2", "m5", "m4", "m6", "m3"]).unwrap();
+        let plan = Plan::from_codes(&inst.catalog, &["m1", "m2", "m5", "m4", "m6", "m3"]).unwrap();
         assert!(!plan_violations(&inst, &plan).is_empty());
         assert_eq!(score_plan(&inst, &plan), 0.0);
         assert!(raw_score(&inst, &plan) > 0.0);
@@ -131,7 +129,13 @@ mod tests {
         // budget. Mean popularity = 22.2 / 5 = 4.44.
         let plan = Plan::from_codes(
             &inst.catalog,
-            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+            &[
+                "louvre museum",
+                "le cinq",
+                "eiffel tower",
+                "rue des martyrs",
+                "river seine",
+            ],
         )
         .unwrap();
         assert!(plan_violations(&inst, &plan).is_empty());
@@ -145,7 +149,13 @@ mod tests {
         inst.hard.credits = 5.0; // exemplar needs 6.5h
         let plan = Plan::from_codes(
             &inst.catalog,
-            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+            &[
+                "louvre museum",
+                "le cinq",
+                "eiffel tower",
+                "rue des martyrs",
+                "river seine",
+            ],
         )
         .unwrap();
         assert_eq!(score_plan(&inst, &plan), 0.0);
@@ -154,8 +164,7 @@ mod tests {
     #[test]
     fn course_score_upper_bounded_by_h() {
         let inst = course_instance();
-        let plan =
-            Plan::from_codes(&inst.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+        let plan = Plan::from_codes(&inst.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
         assert!(score_plan(&inst, &plan) <= inst.horizon() as f64);
     }
 }

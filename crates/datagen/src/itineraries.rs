@@ -94,6 +94,13 @@ pub fn generate_itineraries(catalog: &Catalog, count: usize, seed: u64) -> Vec<P
             walk.into_iter().map(ItemId::from).collect(),
         ));
     }
+    tpp_obs::obs_event!(
+        tpp_obs::Level::Debug,
+        "datagen.itineraries",
+        catalog = catalog.name(),
+        count = out.len(),
+        seed = seed,
+    );
     out
 }
 

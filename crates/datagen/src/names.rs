@@ -134,8 +134,16 @@ pub const TOPIC_POOL: &[&str] = &[
 
 /// Adjective/noun fragments for synthesizing extra course titles.
 pub const COURSE_TITLE_HEADS: &[&str] = &[
-    "Advanced", "Applied", "Topics in", "Foundations of", "Principles of", "Introduction to",
-    "Seminar in", "Methods in", "Systems for", "Theory of",
+    "Advanced",
+    "Applied",
+    "Topics in",
+    "Foundations of",
+    "Principles of",
+    "Introduction to",
+    "Seminar in",
+    "Methods in",
+    "Systems for",
+    "Theory of",
 ];
 
 /// Subject fragments for synthesizing extra course titles.
@@ -164,15 +172,47 @@ pub const COURSE_TITLE_SUBJECTS: &[&str] = &[
 
 /// The 21 POI themes the paper extracts for NYC from the Places API.
 pub const NYC_THEMES: &[&str] = &[
-    "park", "establishment", "museum", "church", "bridge", "gallery", "theater", "market",
-    "library", "monument", "skyscraper", "stadium", "zoo", "aquarium", "garden", "square",
-    "harbor", "university", "restaurant", "observatory", "memorial",
+    "park",
+    "establishment",
+    "museum",
+    "church",
+    "bridge",
+    "gallery",
+    "theater",
+    "market",
+    "library",
+    "monument",
+    "skyscraper",
+    "stadium",
+    "zoo",
+    "aquarium",
+    "garden",
+    "square",
+    "harbor",
+    "university",
+    "restaurant",
+    "observatory",
+    "memorial",
 ];
 
 /// The 16 POI themes the paper extracts for Paris.
 pub const PARIS_THEMES: &[&str] = &[
-    "establishment", "park", "church", "museum", "gallery", "palace", "river", "street",
-    "restaurant", "cathedral", "monument", "garden", "opera", "market", "cemetery", "tower",
+    "establishment",
+    "park",
+    "church",
+    "museum",
+    "gallery",
+    "palace",
+    "river",
+    "street",
+    "restaurant",
+    "cathedral",
+    "monument",
+    "garden",
+    "opera",
+    "market",
+    "cemetery",
+    "tower",
 ];
 
 /// Named NYC POIs; every POI the paper prints (Tables VII, VIII) comes
@@ -196,87 +236,479 @@ pub struct PoiSpec {
 /// NYC POIs named in the paper plus well-known fills (24 entries; the
 /// generator synthesizes the rest of the 90).
 pub const NYC_POIS: &[PoiSpec] = &[
-    PoiSpec { code: "battery park", themes: &["park"], at: (40.7033, -74.0170), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "brooklyn bridge", themes: &["bridge", "establishment"], at: (40.7061, -73.9969), hours: 1.0, popularity: 4.5, primary: true },
-    PoiSpec { code: "colonnade row", themes: &["establishment", "museum"], at: (40.7290, -73.9925), hours: 0.5, popularity: 3.0, primary: false },
-    PoiSpec { code: "flatiron building", themes: &["skyscraper", "establishment"], at: (40.7411, -73.9897), hours: 0.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "hudson river park", themes: &["park"], at: (40.7285, -74.0115), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "rockefeller center", themes: &["establishment", "skyscraper"], at: (40.7587, -73.9787), hours: 1.5, popularity: 4.5, primary: true },
-    PoiSpec { code: "museum of television and radio", themes: &["museum"], at: (40.7614, -73.9776), hours: 1.5, popularity: 3.5, primary: false },
-    PoiSpec { code: "new york university", themes: &["university"], at: (40.7295, -73.9965), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "central park", themes: &["park", "garden"], at: (40.7829, -73.9654), hours: 2.0, popularity: 4.5, primary: true },
-    PoiSpec { code: "metropolitan museum of art", themes: &["museum", "gallery"], at: (40.7794, -73.9632), hours: 2.5, popularity: 5.0, primary: true },
-    PoiSpec { code: "museum of modern art", themes: &["museum", "gallery"], at: (40.7614, -73.9776), hours: 2.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "times square", themes: &["square", "establishment"], at: (40.7580, -73.9855), hours: 0.5, popularity: 4.5, primary: true },
-    PoiSpec { code: "empire state building", themes: &["skyscraper", "observatory"], at: (40.7484, -73.9857), hours: 1.5, popularity: 4.5, primary: true },
-    PoiSpec { code: "statue of liberty", themes: &["monument", "memorial"], at: (40.6892, -74.0445), hours: 2.5, popularity: 4.5, primary: true },
-    PoiSpec { code: "grand central terminal", themes: &["establishment", "market"], at: (40.7527, -73.9772), hours: 0.5, popularity: 4.5, primary: false },
-    PoiSpec { code: "new york public library", themes: &["library"], at: (40.7532, -73.9822), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "high line", themes: &["park", "garden"], at: (40.7480, -74.0048), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "bryant park", themes: &["park", "square"], at: (40.7536, -73.9832), hours: 0.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "south street seaport", themes: &["harbor", "market"], at: (40.7063, -74.0036), hours: 1.0, popularity: 3.5, primary: false },
-    PoiSpec { code: "katz's delicatessen", themes: &["restaurant"], at: (40.7223, -73.9874), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "trinity church", themes: &["church"], at: (40.7081, -74.0120), hours: 0.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "st patrick's cathedral", themes: &["church"], at: (40.7585, -73.9759), hours: 0.5, popularity: 4.5, primary: false },
-    PoiSpec { code: "yankee stadium", themes: &["stadium"], at: (40.8296, -73.9262), hours: 2.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "bronx zoo", themes: &["zoo", "park"], at: (40.8506, -73.8770), hours: 2.5, popularity: 4.0, primary: false },
+    PoiSpec {
+        code: "battery park",
+        themes: &["park"],
+        at: (40.7033, -74.0170),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "brooklyn bridge",
+        themes: &["bridge", "establishment"],
+        at: (40.7061, -73.9969),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "colonnade row",
+        themes: &["establishment", "museum"],
+        at: (40.7290, -73.9925),
+        hours: 0.5,
+        popularity: 3.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "flatiron building",
+        themes: &["skyscraper", "establishment"],
+        at: (40.7411, -73.9897),
+        hours: 0.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "hudson river park",
+        themes: &["park"],
+        at: (40.7285, -74.0115),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "rockefeller center",
+        themes: &["establishment", "skyscraper"],
+        at: (40.7587, -73.9787),
+        hours: 1.5,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "museum of television and radio",
+        themes: &["museum"],
+        at: (40.7614, -73.9776),
+        hours: 1.5,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "new york university",
+        themes: &["university"],
+        at: (40.7295, -73.9965),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "central park",
+        themes: &["park", "garden"],
+        at: (40.7829, -73.9654),
+        hours: 2.0,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "metropolitan museum of art",
+        themes: &["museum", "gallery"],
+        at: (40.7794, -73.9632),
+        hours: 2.5,
+        popularity: 5.0,
+        primary: true,
+    },
+    PoiSpec {
+        code: "museum of modern art",
+        themes: &["museum", "gallery"],
+        at: (40.7614, -73.9776),
+        hours: 2.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "times square",
+        themes: &["square", "establishment"],
+        at: (40.7580, -73.9855),
+        hours: 0.5,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "empire state building",
+        themes: &["skyscraper", "observatory"],
+        at: (40.7484, -73.9857),
+        hours: 1.5,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "statue of liberty",
+        themes: &["monument", "memorial"],
+        at: (40.6892, -74.0445),
+        hours: 2.5,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "grand central terminal",
+        themes: &["establishment", "market"],
+        at: (40.7527, -73.9772),
+        hours: 0.5,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "new york public library",
+        themes: &["library"],
+        at: (40.7532, -73.9822),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "high line",
+        themes: &["park", "garden"],
+        at: (40.7480, -74.0048),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "bryant park",
+        themes: &["park", "square"],
+        at: (40.7536, -73.9832),
+        hours: 0.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "south street seaport",
+        themes: &["harbor", "market"],
+        at: (40.7063, -74.0036),
+        hours: 1.0,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "katz's delicatessen",
+        themes: &["restaurant"],
+        at: (40.7223, -73.9874),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "trinity church",
+        themes: &["church"],
+        at: (40.7081, -74.0120),
+        hours: 0.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "st patrick's cathedral",
+        themes: &["church"],
+        at: (40.7585, -73.9759),
+        hours: 0.5,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "yankee stadium",
+        themes: &["stadium"],
+        at: (40.8296, -73.9262),
+        hours: 2.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "bronx zoo",
+        themes: &["zoo", "park"],
+        at: (40.8506, -73.8770),
+        hours: 2.5,
+        popularity: 4.0,
+        primary: false,
+    },
 ];
 
 /// Paris POIs named in the paper plus well-known fills (26 entries; the
 /// generator synthesizes the rest of the 114).
 pub const PARIS_POIS: &[PoiSpec] = &[
-    PoiSpec { code: "pont neuf", themes: &["establishment", "river"], at: (48.8566, 2.3413), hours: 0.5, popularity: 4.5, primary: false },
-    PoiSpec { code: "promenade plantée", themes: &["park", "garden"], at: (48.8484, 2.3758), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "sainte chapelle", themes: &["church", "monument"], at: (48.8554, 2.3450), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "tour montparnasse", themes: &["establishment", "tower"], at: (48.8421, 2.3219), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "église st-eustache", themes: &["church"], at: (48.8634, 2.3451), hours: 0.5, popularity: 3.5, primary: false },
-    PoiSpec { code: "viaduc des arts", themes: &["establishment", "gallery"], at: (48.8494, 2.3750), hours: 0.5, popularity: 3.5, primary: false },
-    PoiSpec { code: "église st-germain des prés", themes: &["church"], at: (48.8540, 2.3339), hours: 0.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "musée du luxembourg", themes: &["museum", "gallery"], at: (48.8494, 2.3340), hours: 1.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "musée des égouts de paris", themes: &["museum"], at: (48.8628, 2.3028), hours: 1.0, popularity: 3.0, primary: false },
-    PoiSpec { code: "église st-sulpice", themes: &["church"], at: (48.8511, 2.3348), hours: 0.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "eiffel tower", themes: &["tower", "monument"], at: (48.8584, 2.2945), hours: 1.5, popularity: 4.5, primary: true },
-    PoiSpec { code: "louvre museum", themes: &["museum", "gallery"], at: (48.8606, 2.3376), hours: 2.5, popularity: 5.0, primary: true },
-    PoiSpec { code: "pantheon", themes: &["monument", "church"], at: (48.8462, 2.3464), hours: 1.0, popularity: 4.0, primary: false },
-    PoiSpec { code: "rue des martyrs", themes: &["street", "market"], at: (48.8781, 2.3394), hours: 0.5, popularity: 3.5, primary: false },
-    PoiSpec { code: "musée d'orsay", themes: &["museum", "gallery"], at: (48.8600, 2.3266), hours: 2.0, popularity: 4.5, primary: true },
-    PoiSpec { code: "notre-dame", themes: &["cathedral", "church"], at: (48.8530, 2.3499), hours: 1.0, popularity: 4.5, primary: true },
-    PoiSpec { code: "palais garnier", themes: &["palace", "opera"], at: (48.8720, 2.3316), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "river seine", themes: &["river"], at: (48.8566, 2.3430), hours: 0.5, popularity: 4.5, primary: false },
-    PoiSpec { code: "le cinq", themes: &["restaurant"], at: (48.8689, 2.3008), hours: 1.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "arc de triomphe", themes: &["monument"], at: (48.8738, 2.2950), hours: 1.0, popularity: 4.5, primary: true },
-    PoiSpec { code: "jardin du luxembourg", themes: &["garden", "park"], at: (48.8462, 2.3372), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "sacré-cœur", themes: &["church", "monument"], at: (48.8867, 2.3431), hours: 1.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "centre pompidou", themes: &["museum", "gallery"], at: (48.8607, 2.3522), hours: 2.0, popularity: 4.5, primary: false },
-    PoiSpec { code: "père lachaise", themes: &["cemetery", "garden"], at: (48.8610, 2.3933), hours: 1.5, popularity: 4.0, primary: false },
-    PoiSpec { code: "marché bastille", themes: &["market", "street"], at: (48.8530, 2.3698), hours: 0.5, popularity: 3.5, primary: false },
-    PoiSpec { code: "champs-élysées", themes: &["street", "establishment"], at: (48.8698, 2.3076), hours: 1.0, popularity: 4.5, primary: false },
+    PoiSpec {
+        code: "pont neuf",
+        themes: &["establishment", "river"],
+        at: (48.8566, 2.3413),
+        hours: 0.5,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "promenade plantée",
+        themes: &["park", "garden"],
+        at: (48.8484, 2.3758),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "sainte chapelle",
+        themes: &["church", "monument"],
+        at: (48.8554, 2.3450),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "tour montparnasse",
+        themes: &["establishment", "tower"],
+        at: (48.8421, 2.3219),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "église st-eustache",
+        themes: &["church"],
+        at: (48.8634, 2.3451),
+        hours: 0.5,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "viaduc des arts",
+        themes: &["establishment", "gallery"],
+        at: (48.8494, 2.3750),
+        hours: 0.5,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "église st-germain des prés",
+        themes: &["church"],
+        at: (48.8540, 2.3339),
+        hours: 0.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "musée du luxembourg",
+        themes: &["museum", "gallery"],
+        at: (48.8494, 2.3340),
+        hours: 1.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "musée des égouts de paris",
+        themes: &["museum"],
+        at: (48.8628, 2.3028),
+        hours: 1.0,
+        popularity: 3.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "église st-sulpice",
+        themes: &["church"],
+        at: (48.8511, 2.3348),
+        hours: 0.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "eiffel tower",
+        themes: &["tower", "monument"],
+        at: (48.8584, 2.2945),
+        hours: 1.5,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "louvre museum",
+        themes: &["museum", "gallery"],
+        at: (48.8606, 2.3376),
+        hours: 2.5,
+        popularity: 5.0,
+        primary: true,
+    },
+    PoiSpec {
+        code: "pantheon",
+        themes: &["monument", "church"],
+        at: (48.8462, 2.3464),
+        hours: 1.0,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "rue des martyrs",
+        themes: &["street", "market"],
+        at: (48.8781, 2.3394),
+        hours: 0.5,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "musée d'orsay",
+        themes: &["museum", "gallery"],
+        at: (48.8600, 2.3266),
+        hours: 2.0,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "notre-dame",
+        themes: &["cathedral", "church"],
+        at: (48.8530, 2.3499),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "palais garnier",
+        themes: &["palace", "opera"],
+        at: (48.8720, 2.3316),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "river seine",
+        themes: &["river"],
+        at: (48.8566, 2.3430),
+        hours: 0.5,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "le cinq",
+        themes: &["restaurant"],
+        at: (48.8689, 2.3008),
+        hours: 1.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "arc de triomphe",
+        themes: &["monument"],
+        at: (48.8738, 2.2950),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: true,
+    },
+    PoiSpec {
+        code: "jardin du luxembourg",
+        themes: &["garden", "park"],
+        at: (48.8462, 2.3372),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "sacré-cœur",
+        themes: &["church", "monument"],
+        at: (48.8867, 2.3431),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "centre pompidou",
+        themes: &["museum", "gallery"],
+        at: (48.8607, 2.3522),
+        hours: 2.0,
+        popularity: 4.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "père lachaise",
+        themes: &["cemetery", "garden"],
+        at: (48.8610, 2.3933),
+        hours: 1.5,
+        popularity: 4.0,
+        primary: false,
+    },
+    PoiSpec {
+        code: "marché bastille",
+        themes: &["market", "street"],
+        at: (48.8530, 2.3698),
+        hours: 0.5,
+        popularity: 3.5,
+        primary: false,
+    },
+    PoiSpec {
+        code: "champs-élysées",
+        themes: &["street", "establishment"],
+        at: (48.8698, 2.3076),
+        hours: 1.0,
+        popularity: 4.5,
+        primary: false,
+    },
 ];
 
 /// Name fragments for synthesizing additional POIs.
 pub const POI_SYNTH_HEADS_NYC: &[&str] = &[
-    "gallery at", "museum of", "park at", "theater on", "market on", "library of",
-    "garden of", "church of", "observatory at", "memorial of",
+    "gallery at",
+    "museum of",
+    "park at",
+    "theater on",
+    "market on",
+    "library of",
+    "garden of",
+    "church of",
+    "observatory at",
+    "memorial of",
 ];
 
 /// Street/area fragments for synthesizing additional NYC POIs.
 pub const POI_SYNTH_AREAS_NYC: &[&str] = &[
-    "astor place", "greenwich village", "soho", "tribeca", "chelsea", "harlem", "midtown",
-    "wall street", "lower east side", "upper west side", "chinatown", "little italy",
-    "east village", "hell's kitchen", "murray hill", "nolita",
+    "astor place",
+    "greenwich village",
+    "soho",
+    "tribeca",
+    "chelsea",
+    "harlem",
+    "midtown",
+    "wall street",
+    "lower east side",
+    "upper west side",
+    "chinatown",
+    "little italy",
+    "east village",
+    "hell's kitchen",
+    "murray hill",
+    "nolita",
 ];
 
 /// Name fragments for synthesizing additional Paris POIs.
 pub const POI_SYNTH_HEADS_PARIS: &[&str] = &[
-    "musée de", "galerie", "église de", "jardin de", "marché de", "place de",
-    "rue de", "théâtre de", "palais de", "fontaine de",
+    "musée de",
+    "galerie",
+    "église de",
+    "jardin de",
+    "marché de",
+    "place de",
+    "rue de",
+    "théâtre de",
+    "palais de",
+    "fontaine de",
 ];
 
 /// Quarter fragments for synthesizing additional Paris POIs.
 pub const POI_SYNTH_AREAS_PARIS: &[&str] = &[
-    "montmartre", "le marais", "belleville", "la villette", "passy", "auteuil", "bercy",
-    "montparnasse", "les halles", "saint-michel", "la défense", "batignolles", "pigalle",
-    "charonne", "vaugirard", "grenelle",
+    "montmartre",
+    "le marais",
+    "belleville",
+    "la villette",
+    "passy",
+    "auteuil",
+    "bercy",
+    "montparnasse",
+    "les halles",
+    "saint-michel",
+    "la défense",
+    "batignolles",
+    "pigalle",
+    "charonne",
+    "vaugirard",
+    "grenelle",
 ];
 
 #[cfg(test)]
@@ -306,16 +738,28 @@ mod tests {
     #[test]
     fn paper_named_pois_present() {
         for code in [
-            "battery park", "brooklyn bridge", "colonnade row", "flatiron building",
-            "hudson river park", "rockefeller center", "museum of television and radio",
+            "battery park",
+            "brooklyn bridge",
+            "colonnade row",
+            "flatiron building",
+            "hudson river park",
+            "rockefeller center",
+            "museum of television and radio",
             "new york university",
         ] {
             assert!(NYC_POIS.iter().any(|p| p.code == code), "missing {code}");
         }
         for code in [
-            "pont neuf", "promenade plantée", "sainte chapelle", "tour montparnasse",
-            "église st-eustache", "viaduc des arts", "église st-germain des prés",
-            "musée du luxembourg", "musée des égouts de paris", "église st-sulpice",
+            "pont neuf",
+            "promenade plantée",
+            "sainte chapelle",
+            "tour montparnasse",
+            "église st-eustache",
+            "viaduc des arts",
+            "église st-germain des prés",
+            "musée du luxembourg",
+            "musée des égouts de paris",
+            "église st-sulpice",
         ] {
             assert!(PARIS_POIS.iter().any(|p| p.code == code), "missing {code}");
         }
@@ -325,12 +769,20 @@ mod tests {
     fn poi_themes_exist_in_city_theme_lists() {
         for p in NYC_POIS {
             for t in p.themes {
-                assert!(NYC_THEMES.contains(t), "nyc poi {} has unknown theme {t}", p.code);
+                assert!(
+                    NYC_THEMES.contains(t),
+                    "nyc poi {} has unknown theme {t}",
+                    p.code
+                );
             }
         }
         for p in PARIS_POIS {
             for t in p.themes {
-                assert!(PARIS_THEMES.contains(t), "paris poi {} has unknown theme {t}", p.code);
+                assert!(
+                    PARIS_THEMES.contains(t),
+                    "paris poi {} has unknown theme {t}",
+                    p.code
+                );
             }
         }
     }

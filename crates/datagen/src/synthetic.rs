@@ -98,8 +98,8 @@ pub fn synthetic_course_instance(config: &SyntheticConfig, seed: u64) -> Plannin
         // secondaries stay prerequisite-free so a valid plan always
         // exists; later items draw antecedents from strictly earlier ids
         // (acyclic by construction).
-        let protected = i < config.n_primary
-            || (i >= n_primaries && i < n_primaries + config.n_secondary);
+        let protected =
+            i < config.n_primary || (i >= n_primaries && i < n_primaries + config.n_secondary);
         let prereq = if !protected && i >= 2 && rng.random::<f64>() < config.prereq_density {
             let a = ItemId::from(rng.random_range(0..i));
             if rng.random::<f64>() < 0.5 && i >= 3 {
@@ -120,7 +120,15 @@ pub fn synthetic_course_instance(config: &SyntheticConfig, seed: u64) -> Plannin
         for _ in 0..extra {
             topics.set(tpp_model::TopicId::from(rng.random_range(0..n_topics)));
         }
-        items.push(Item::course(ItemId::from(i), code, name, kind, 3.0, prereq, topics));
+        items.push(Item::course(
+            ItemId::from(i),
+            code,
+            name,
+            kind,
+            3.0,
+            prereq,
+            topics,
+        ));
     }
 
     let catalog = Catalog::new(
@@ -163,7 +171,16 @@ pub fn synthetic_course_instance(config: &SyntheticConfig, seed: u64) -> Plannin
         trip: None,
         default_start,
     };
-    instance.validate().expect("generated instance is consistent");
+    instance
+        .validate()
+        .expect("generated instance is consistent");
+    tpp_obs::obs_event!(
+        tpp_obs::Level::Debug,
+        "datagen.synthetic",
+        items = config.n_items,
+        topics = n_topics,
+        seed = seed,
+    );
     instance
 }
 

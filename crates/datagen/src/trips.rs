@@ -21,8 +21,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tpp_geo::BoundingBox;
 use tpp_model::{
-    Catalog, HardConstraints, Item, ItemId, ItemKind, Plan, PlanningInstance, PoiAttrs,
-    PrereqExpr, SoftConstraints, TemplateSet, TopicVector, TopicVocabulary, TripConstraints,
+    Catalog, HardConstraints, Item, ItemId, ItemKind, Plan, PlanningInstance, PoiAttrs, PrereqExpr,
+    SoftConstraints, TemplateSet, TopicVector, TopicVocabulary, TripConstraints,
 };
 
 /// A trip dataset: the planning instance plus the Flickr-like itinerary
@@ -52,8 +52,8 @@ struct CitySpec {
 }
 
 fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
-    let vocabulary = TopicVocabulary::new(spec.themes.iter().copied())
-        .expect("theme lists have no duplicates");
+    let vocabulary =
+        TopicVocabulary::new(spec.themes.iter().copied()).expect("theme lists have no duplicates");
     let mut rng = StdRng::seed_from_u64(seed);
 
     struct Draft {
@@ -193,8 +193,7 @@ fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
         })
         .collect();
 
-    let catalog =
-        Catalog::new(spec.name, vocabulary, items).expect("generated catalog is valid");
+    let catalog = Catalog::new(spec.name, vocabulary, items).expect("generated catalog is valid");
     let hard = HardConstraints {
         credits: 6.0,
         n_primary: 2,
@@ -208,9 +207,7 @@ fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
     // Default start: a central, popular primary POI (itineraries starting
     // at a geographically remote primary dead-end against the distance
     // threshold).
-    let default_start = catalog
-        .by_code(spec.default_start)
-        .map(|i| i.id);
+    let default_start = catalog.by_code(spec.default_start).map(|i| i.id);
     let instance = PlanningInstance {
         catalog,
         hard,
@@ -221,7 +218,9 @@ fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
         }),
         default_start,
     };
-    instance.validate().expect("generated instance is consistent");
+    instance
+        .validate()
+        .expect("generated instance is consistent");
     TripDataset {
         instance,
         itineraries,
@@ -304,11 +303,21 @@ mod tests {
     #[test]
     fn paper_table8_pois_present() {
         let d = paris(PARIS_SEED);
-        for code in ["pont neuf", "promenade plantée", "sainte chapelle", "viaduc des arts"] {
+        for code in [
+            "pont neuf",
+            "promenade plantée",
+            "sainte chapelle",
+            "viaduc des arts",
+        ] {
             assert!(d.instance.catalog.by_code(code).is_some(), "missing {code}");
         }
         let n = nyc(NYC_SEED);
-        for code in ["battery park", "brooklyn bridge", "colonnade row", "flatiron building"] {
+        for code in [
+            "battery park",
+            "brooklyn bridge",
+            "colonnade row",
+            "flatiron building",
+        ] {
             assert!(n.instance.catalog.by_code(code).is_some(), "missing {code}");
         }
     }
@@ -390,7 +399,13 @@ mod tests {
         let b = nyc(5);
         assert_eq!(a.itineraries.len(), b.itineraries.len());
         assert_eq!(a.itineraries[0], b.itineraries[0]);
-        for (x, y) in a.instance.catalog.items().iter().zip(b.instance.catalog.items()) {
+        for (x, y) in a
+            .instance
+            .catalog
+            .items()
+            .iter()
+            .zip(b.instance.catalog.items())
+        {
             assert_eq!(x.code, y.code);
             assert_eq!(x.topics, y.topics);
         }

@@ -52,58 +52,168 @@ const fn c(
 static POOL: &[CourseSpec] = &[
     c("CS 610", "Data Structures and Algorithms", &[], &[]),
     c("CS 608", "Cryptography and Security", &[], &[]),
-    c("CS 656", "Internet and Higher-Layer Protocols", &[], &["CS 652"]),
-    c("CS 667", "Design Techniques for Algorithms", &["CS 610"], &[]),
-    c("CS 652", "Computer Networks-Architectures, Protocols and Standards", &[], &[]),
+    c(
+        "CS 656",
+        "Internet and Higher-Layer Protocols",
+        &[],
+        &["CS 652"],
+    ),
+    c(
+        "CS 667",
+        "Design Techniques for Algorithms",
+        &["CS 610"],
+        &[],
+    ),
+    c(
+        "CS 652",
+        "Computer Networks-Architectures, Protocols and Standards",
+        &[],
+        &[],
+    ),
     c("CS 634", "Data Mining", &[], &["CS 631", "CS 636"]),
     c("CS 675", "Machine Learning", &[], &[]),
     c("CS 631", "Data Management System Design", &[], &[]),
     c("CS 630", "Operating System Design", &[], &[]),
-    c("CS 700B", "Master's Project", &["CS 673"], &["CS 610", "CS 631"]),
+    c(
+        "CS 700B",
+        "Master's Project",
+        &["CS 673"],
+        &["CS 610", "CS 631"],
+    ),
     c("CS 683", "Software Project Management", &[], &[]),
-    c("CS 677", "Deep Learning", &["CS 675"], &["CS 610", "CS 634", "CS 657"]),
-    c("CS 639", "Elec. Medical Records: Med Terminologies and Comp. Imp.", &[], &[]),
-    c("CS 645", "Security and Privacy in Computer Systems", &[], &["CS 608", "CS 652"]),
+    c(
+        "CS 677",
+        "Deep Learning",
+        &["CS 675"],
+        &["CS 610", "CS 634", "CS 657"],
+    ),
+    c(
+        "CS 639",
+        "Elec. Medical Records: Med Terminologies and Comp. Imp.",
+        &[],
+        &[],
+    ),
+    c(
+        "CS 645",
+        "Security and Privacy in Computer Systems",
+        &[],
+        &["CS 608", "CS 652"],
+    ),
     c("CS 644", "Introduction to Big Data", &[], &[]),
     c("MATH 661", "Applied Statistics", &[], &[]),
     c("CS 636", "Data Analytics with R Program", &[], &[]),
     // Codes that appear in Table V's "bad" transfer sequences.
-    c("CS 696", "Network Management and Security", &["CS 646"], &[]),
+    c(
+        "CS 696",
+        "Network Management and Security",
+        &["CS 646"],
+        &[],
+    ),
     c("CS 704", "Advanced Topics in Data Mining", &["CS 634"], &[]),
     // Plausible fills (invented but NJIT-flavoured).
-    c("MATH 662", "Probability Distributions and Inference", &[], &[]),
-    c("CS 632", "Advanced Database System Design", &["CS 631"], &[]),
+    c(
+        "MATH 662",
+        "Probability Distributions and Inference",
+        &[],
+        &[],
+    ),
+    c(
+        "CS 632",
+        "Advanced Database System Design",
+        &["CS 631"],
+        &[],
+    ),
     c("CS 633", "Distributed Systems", &[], &["CS 630", "CS 652"]),
     c("CS 635", "Computer Programming Languages", &[], &[]),
-    c("CS 637", "Data Visualization and Analytics", &[], &["CS 636"]),
+    c(
+        "CS 637",
+        "Data Visualization and Analytics",
+        &[],
+        &["CS 636"],
+    ),
     c("CS 643", "Cloud Computing", &[], &["CS 633", "CS 652"]),
     c("CS 646", "Network Protocols Security", &["CS 652"], &[]),
-    c("CS 647", "Counter Hacking Techniques", &[], &["CS 608", "CS 645"]),
+    c(
+        "CS 647",
+        "Counter Hacking Techniques",
+        &[],
+        &["CS 608", "CS 645"],
+    ),
     c("CS 648", "Digital Forensics", &[], &["CS 649", "CS 647"]),
-    c("CS 649", "Intrusion Detection and Malware Analysis", &[], &["CS 608"]),
-    c("CS 657", "Statistical Methods in Data Science", &[], &["MATH 661"]),
+    c(
+        "CS 649",
+        "Intrusion Detection and Malware Analysis",
+        &[],
+        &["CS 608"],
+    ),
+    c(
+        "CS 657",
+        "Statistical Methods in Data Science",
+        &[],
+        &["MATH 661"],
+    ),
     c("CS 659", "Image Processing and Analysis", &[], &[]),
     c("CS 660", "Permission-Based Blockchain Systems", &[], &[]),
-    c("CS 665", "Pattern Recognition and Applications", &[], &["CS 675"]),
+    c(
+        "CS 665",
+        "Pattern Recognition and Applications",
+        &[],
+        &["CS 675"],
+    ),
     c("CS 668", "Computational Geometry", &["CS 610"], &[]),
     c("CS 670", "Artificial Intelligence", &[], &["CS 610"]),
-    c("CS 673", "Software Design and Production Methodology", &[], &[]),
+    c(
+        "CS 673",
+        "Software Design and Production Methodology",
+        &[],
+        &[],
+    ),
     c("CS 680", "Linux Kernel Programming", &[], &["CS 630"]),
-    c("CS 684", "Software Testing and Quality Assurance", &[], &["CS 673"]),
-    c("CS 685", "Software Architecture and Evaluation", &[], &["CS 673"]),
-    c("CS 686", "Secure Web Application Development", &[], &["CS 645"]),
+    c(
+        "CS 684",
+        "Software Testing and Quality Assurance",
+        &[],
+        &["CS 673"],
+    ),
+    c(
+        "CS 685",
+        "Software Architecture and Evaluation",
+        &[],
+        &["CS 673"],
+    ),
+    c(
+        "CS 686",
+        "Secure Web Application Development",
+        &[],
+        &["CS 645"],
+    ),
     c("CS 687", "Programming for Data Science", &[], &[]),
     c("CS 688", "Natural Language Processing", &[], &["CS 675"]),
     c("CS 690", "Information Retrieval", &[], &["CS 631"]),
     c("CS 698", "Reinforcement Learning", &["CS 675"], &[]),
     c("CS 701", "Advanced Operating Systems", &["CS 630"], &[]),
     c("CS 707", "Social Network Analysis", &[], &["CS 634"]),
-    c("CS 708", "Advanced Data Security and Privacy", &[], &["CS 645", "CS 608"]),
+    c(
+        "CS 708",
+        "Advanced Data Security and Privacy",
+        &[],
+        &["CS 645", "CS 608"],
+    ),
     c("CS 732", "Advanced Machine Learning", &["CS 675"], &[]),
-    c("CS 744", "Experiment Design in Computing", &[], &["MATH 661"]),
+    c(
+        "CS 744",
+        "Experiment Design in Computing",
+        &[],
+        &["MATH 661"],
+    ),
     c("IS 601", "Web Systems Development", &[], &[]),
     c("IS 663", "System Analysis and Design", &[], &[]),
-    c("IS 682", "Forensic Auditing for Computing Security", &[], &["CS 648"]),
+    c(
+        "IS 682",
+        "Forensic Auditing for Computing Security",
+        &[],
+        &["CS 648"],
+    ),
 ];
 
 /// One of the three Univ-1 M.S. programs the paper evaluates.
@@ -415,8 +525,8 @@ pub fn univ1_full_catalog(seed: u64) -> Catalog {
         let program = i % n_programs;
         let school = program % n_schools;
         let head = crate::names::COURSE_TITLE_HEADS[i % crate::names::COURSE_TITLE_HEADS.len()];
-        let subject =
-            crate::names::COURSE_TITLE_SUBJECTS[(i / 7) % crate::names::COURSE_TITLE_SUBJECTS.len()];
+        let subject = crate::names::COURSE_TITLE_SUBJECTS
+            [(i / 7) % crate::names::COURSE_TITLE_SUBJECTS.len()];
         let code = format!("P{program:03} S{school} C{:03}", i / n_programs);
         let name = format!("{head} {subject}");
         let kind = if rng.random::<f64>() < 0.3 {
@@ -434,7 +544,15 @@ pub fn univ1_full_catalog(seed: u64) -> Catalog {
             PrereqExpr::None
         };
         let topics = assign_topics(&name, i, &vocabulary, &mut rng);
-        items.push(Item::course(ItemId::from(i), code, name, kind, 3.0, prereq, topics));
+        items.push(Item::course(
+            ItemId::from(i),
+            code,
+            name,
+            kind,
+            3.0,
+            prereq,
+            topics,
+        ));
     }
     Catalog::new("univ1/full", vocabulary, items).expect("generated catalog is valid")
 }
@@ -564,7 +682,10 @@ mod tests {
     fn default_starts() {
         assert_eq!(
             univ1_ds_ct(UNIV1_SEED).default_start,
-            univ1_ds_ct(UNIV1_SEED).catalog.by_code("CS 675").map(|i| i.id)
+            univ1_ds_ct(UNIV1_SEED)
+                .catalog
+                .by_code("CS 675")
+                .map(|i| i.id)
         );
         assert!(univ1_cs(UNIV1_SEED).default_start.is_some());
     }

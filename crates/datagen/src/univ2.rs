@@ -58,46 +58,256 @@ const fn c(
 static COURSES: &[CourseSpec] = &[
     // (a) Mathematical and Statistical Foundations — 7 courses.
     c("STATS 263", "Design of Experiments", 0, true, &[], &[]),
-    c("STATS 305A", "Applied Statistics: Linear Models", 0, true, &[], &[]),
+    c(
+        "STATS 305A",
+        "Applied Statistics: Linear Models",
+        0,
+        true,
+        &[],
+        &[],
+    ),
     c("MATH 230A", "Theory of Probability", 0, false, &[], &[]),
-    c("STATS 315A", "Modern Applied Statistics: Statistical Learning", 0, false, &[], &["STATS 305A"]),
-    c("MATH 104", "Applied Matrix Theory and Linear System Methods", 0, false, &[], &[]),
-    c("STATS 200", "Statistical Inference and Hypothesis Testing", 0, false, &[], &["MATH 230A"]),
-    c("STATS 217", "Stochastic Processes", 0, false, &["MATH 230A"], &[]),
+    c(
+        "STATS 315A",
+        "Modern Applied Statistics: Statistical Learning",
+        0,
+        false,
+        &[],
+        &["STATS 305A"],
+    ),
+    c(
+        "MATH 104",
+        "Applied Matrix Theory and Linear System Methods",
+        0,
+        false,
+        &[],
+        &[],
+    ),
+    c(
+        "STATS 200",
+        "Statistical Inference and Hypothesis Testing",
+        0,
+        false,
+        &[],
+        &["MATH 230A"],
+    ),
+    c(
+        "STATS 217",
+        "Stochastic Processes",
+        0,
+        false,
+        &["MATH 230A"],
+        &[],
+    ),
     // (b) Experimentation — 4 courses.
-    c("MS&E 237", "Experiment Design for Product Analytics", 1, true, &[], &[]),
-    c("STATS 209", "Causal Inference for Data Science", 1, false, &[], &["STATS 263", "MS&E 237"]),
-    c("STATS 266", "Advanced Experiment Design and Sampling", 1, false, &["STATS 263"], &[]),
-    c("MS&E 226", "Small Data: Inference and Decision Analysis", 1, false, &[], &["STATS 200"]),
+    c(
+        "MS&E 237",
+        "Experiment Design for Product Analytics",
+        1,
+        true,
+        &[],
+        &[],
+    ),
+    c(
+        "STATS 209",
+        "Causal Inference for Data Science",
+        1,
+        false,
+        &[],
+        &["STATS 263", "MS&E 237"],
+    ),
+    c(
+        "STATS 266",
+        "Advanced Experiment Design and Sampling",
+        1,
+        false,
+        &["STATS 263"],
+        &[],
+    ),
+    c(
+        "MS&E 226",
+        "Small Data: Inference and Decision Analysis",
+        1,
+        false,
+        &[],
+        &["STATS 200"],
+    ),
     // (c) Scientific Computing — 6 courses.
-    c("CME 211", "Scientific Computing and Software Development", 2, true, &[], &[]),
-    c("CME 213", "Parallel Computing for Scientific Applications", 2, false, &["CME 211"], &[]),
-    c("CS 246", "Mining Massive Data Sets and Stream Processing", 2, false, &[], &["CME 211"]),
-    c("CME 302", "Numerical Methods and Linear Algebra", 2, false, &[], &["MATH 104"]),
-    c("CS 149", "Parallel Programming Systems", 2, false, &[], &["CME 211"]),
-    c("CME 216", "Machine Learning for Computational Engineering", 2, false, &[], &["CME 211", "CS 229"]),
+    c(
+        "CME 211",
+        "Scientific Computing and Software Development",
+        2,
+        true,
+        &[],
+        &[],
+    ),
+    c(
+        "CME 213",
+        "Parallel Computing for Scientific Applications",
+        2,
+        false,
+        &["CME 211"],
+        &[],
+    ),
+    c(
+        "CS 246",
+        "Mining Massive Data Sets and Stream Processing",
+        2,
+        false,
+        &[],
+        &["CME 211"],
+    ),
+    c(
+        "CME 302",
+        "Numerical Methods and Linear Algebra",
+        2,
+        false,
+        &[],
+        &["MATH 104"],
+    ),
+    c(
+        "CS 149",
+        "Parallel Programming Systems",
+        2,
+        false,
+        &[],
+        &["CME 211"],
+    ),
+    c(
+        "CME 216",
+        "Machine Learning for Computational Engineering",
+        2,
+        false,
+        &[],
+        &["CME 211", "CS 229"],
+    ),
     // (d) Applied Machine Learning and Data Science — 8 courses.
     c("CS 229", "Machine Learning", 3, true, &["MATH 104"], &[]),
-    c("CS 224N", "Natural Language Processing with Deep Learning", 3, false, &["CS 229"], &[]),
-    c("CS 231N", "Computer Vision and Convolutional Networks", 3, false, &["CS 229"], &[]),
-    c("CS 234", "Reinforcement Learning", 3, false, &["CS 229"], &[]),
-    c("CS 345", "Data Management and Query Optimization", 3, true, &[], &[]),
-    c("CS 224W", "Machine Learning with Graphs and Social Networks", 3, false, &[], &["CS 229"]),
-    c("STATS 202", "Data Mining and Pattern Recognition", 3, false, &[], &["STATS 305A"]),
-    c("CS 329", "Interpretability and Fairness in Machine Learning", 3, false, &["CS 229"], &[]),
+    c(
+        "CS 224N",
+        "Natural Language Processing with Deep Learning",
+        3,
+        false,
+        &["CS 229"],
+        &[],
+    ),
+    c(
+        "CS 231N",
+        "Computer Vision and Convolutional Networks",
+        3,
+        false,
+        &["CS 229"],
+        &[],
+    ),
+    c(
+        "CS 234",
+        "Reinforcement Learning",
+        3,
+        false,
+        &["CS 229"],
+        &[],
+    ),
+    c(
+        "CS 345",
+        "Data Management and Query Optimization",
+        3,
+        true,
+        &[],
+        &[],
+    ),
+    c(
+        "CS 224W",
+        "Machine Learning with Graphs and Social Networks",
+        3,
+        false,
+        &[],
+        &["CS 229"],
+    ),
+    c(
+        "STATS 202",
+        "Data Mining and Pattern Recognition",
+        3,
+        false,
+        &[],
+        &["STATS 305A"],
+    ),
+    c(
+        "CS 329",
+        "Interpretability and Fairness in Machine Learning",
+        3,
+        false,
+        &["CS 229"],
+        &[],
+    ),
     // (e) Practical Component — 3 courses.
-    c("STATS 390", "Data Science Consulting Practicum", 4, true, &["STATS 202"], &[]),
+    c(
+        "STATS 390",
+        "Data Science Consulting Practicum",
+        4,
+        true,
+        &["STATS 202"],
+        &[],
+    ),
     c("CS 341", "Big Data Project", 4, false, &["CS 246"], &[]),
-    c("MS&E 108", "Industry Analytics Project", 4, false, &[], &["MS&E 237"]),
+    c(
+        "MS&E 108",
+        "Industry Analytics Project",
+        4,
+        false,
+        &[],
+        &["MS&E 237"],
+    ),
     // (f) Electives — 8 courses.
-    c("CS 255", "Cryptography and Computer Security", 5, false, &[], &[]),
-    c("CS 261", "Optimization and Algorithmic Paradigms", 5, false, &[], &[]),
-    c("BIOMEDIN 215", "Data Driven Medicine and Health Informatics", 5, false, &[], &[]),
+    c(
+        "CS 255",
+        "Cryptography and Computer Security",
+        5,
+        false,
+        &[],
+        &[],
+    ),
+    c(
+        "CS 261",
+        "Optimization and Algorithmic Paradigms",
+        5,
+        false,
+        &[],
+        &[],
+    ),
+    c(
+        "BIOMEDIN 215",
+        "Data Driven Medicine and Health Informatics",
+        5,
+        false,
+        &[],
+        &[],
+    ),
     c("MS&E 234", "Data Privacy and Ethics", 5, false, &[], &[]),
-    c("CS 276", "Information Retrieval and Web Search", 5, false, &[], &["CS 345"]),
+    c(
+        "CS 276",
+        "Information Retrieval and Web Search",
+        5,
+        false,
+        &[],
+        &["CS 345"],
+    ),
     c("GSB 570", "Data Analytics in Fintech", 5, false, &[], &[]),
-    c("CS 247", "Human Computer Interaction and Data Visualization", 5, false, &[], &[]),
-    c("EE 263", "Signal Processing and Linear Dynamical Systems", 5, false, &[], &["MATH 104"]),
+    c(
+        "CS 247",
+        "Human Computer Interaction and Data Visualization",
+        5,
+        false,
+        &[],
+        &[],
+    ),
+    c(
+        "EE 263",
+        "Signal Processing and Linear Dynamical Systems",
+        5,
+        false,
+        &[],
+        &["MATH 104"],
+    ),
 ];
 
 /// Univ-2 hard constraints: 15 courses of 3 units (45 units), 6 core +
@@ -126,7 +336,12 @@ pub fn univ2_default_weights() -> [f64; 6] {
     [0.25, 0.01, 0.15, 0.42, 0.01, 0.16]
 }
 
-fn assign_topics(name: &str, item_index: usize, vocabulary: &TopicVocabulary, rng: &mut StdRng) -> TopicVector {
+fn assign_topics(
+    name: &str,
+    item_index: usize,
+    vocabulary: &TopicVocabulary,
+    rng: &mut StdRng,
+) -> TopicVector {
     let mut v = vocabulary.zero_vector();
     let lower = name.to_lowercase();
     for (i, topic) in vocabulary.names().iter().enumerate() {
@@ -221,8 +436,8 @@ pub fn univ2_full_catalog(seed: u64) -> Catalog {
     for i in 0..n_courses {
         let dept = departments[i % departments.len()];
         let head = crate::names::COURSE_TITLE_HEADS[i % crate::names::COURSE_TITLE_HEADS.len()];
-        let subject =
-            crate::names::COURSE_TITLE_SUBJECTS[(i / 11) % crate::names::COURSE_TITLE_SUBJECTS.len()];
+        let subject = crate::names::COURSE_TITLE_SUBJECTS
+            [(i / 11) % crate::names::COURSE_TITLE_SUBJECTS.len()];
         let code = format!("{dept} {}", 100 + i / departments.len());
         let name = format!("{head} {subject}");
         let kind = if rng.random::<f64>() < 0.25 {
@@ -262,7 +477,10 @@ mod tests {
         let inst = univ2_ds(UNIV2_SEED);
         let mut counts = [0usize; 6];
         for item in inst.catalog.items() {
-            counts[item.category.expect("every Univ-2 course has a category").index()] += 1;
+            counts[item
+                .category
+                .expect("every Univ-2 course has a category")
+                .index()] += 1;
         }
         assert_eq!(counts.iter().sum::<usize>(), 36);
         assert_eq!(counts, [7, 4, 6, 8, 3, 8]);

@@ -35,7 +35,10 @@ pub fn run_ablations() -> Report {
             p.lambda = 0.0;
             p
         }),
-        ("MinSim aggregation", base.clone().with_sim(SimAggregate::Minimum)),
+        (
+            "MinSim aggregation",
+            base.clone().with_sim(SimAggregate::Minimum),
+        ),
         ("no exploration (pure reward-greedy training)", {
             let mut p = base.clone();
             p.exploration = Schedule::Constant(0.0);
@@ -154,6 +157,21 @@ pub fn run_convergence() -> Report {
             format!("{label} — 50-episode moving average return"),
             ["episode", "avg return"].map(String::from).to_vec(),
             rows,
+        ));
+        let s = stats.summary();
+        report.push_table(NamedTable::new(
+            format!("{label} — return distribution"),
+            ["episodes", "mean", "p50", "p95", "min", "max"]
+                .map(String::from)
+                .to_vec(),
+            vec![vec![
+                s.episodes.to_string(),
+                format!("{:.3}", s.mean),
+                format!("{:.3}", s.p50),
+                format!("{:.3}", s.p95),
+                format!("{:.3}", s.min),
+                format!("{:.3}", s.max),
+            ]],
         ));
     }
     report.push_note(

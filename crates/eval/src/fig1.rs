@@ -36,9 +36,16 @@ pub fn run() -> Report {
     }
     report.push_table(NamedTable::new(
         "(a) course planning — average score over 10 runs",
-        ["dataset", "RL-Planner (AvgSim)", "RL-Planner (MinSim)", "EDA", "OMEGA", "Gold"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "dataset",
+            "RL-Planner (AvgSim)",
+            "RL-Planner (MinSim)",
+            "EDA",
+            "OMEGA",
+            "Gold",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     ));
 
@@ -59,9 +66,16 @@ pub fn run() -> Report {
     }
     report.push_table(NamedTable::new(
         "(b) trip planning — average score over 10 runs",
-        ["city", "RL-Planner (AvgSim)", "RL-Planner (MinSim)", "EDA", "OMEGA", "Gold"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "city",
+            "RL-Planner (AvgSim)",
+            "RL-Planner (MinSim)",
+            "EDA",
+            "OMEGA",
+            "Gold",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     ));
 

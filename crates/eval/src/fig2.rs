@@ -70,7 +70,9 @@ pub fn run_with_reps(reps: u64) -> Report {
         }
         report.push_table(NamedTable::new(
             format!("{label} — wall-clock vs episodes"),
-            ["N", "learn (ms)", "recommend (ms)"].map(String::from).to_vec(),
+            ["N", "learn (ms)", "recommend (ms)"]
+                .map(String::from)
+                .to_vec(),
             rows,
         ));
     }

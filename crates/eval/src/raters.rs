@@ -102,12 +102,12 @@ pub fn feature(instance: &PlanningInstance, plan: &Plan, q: Question) -> f64 {
         }
         Question::InterleavingOrThresholds => {
             if instance.is_trip() {
-                let budget_ok = plan_violations(instance, plan)
-                    .iter()
-                    .all(|v| !matches!(
+                let budget_ok = plan_violations(instance, plan).iter().all(|v| {
+                    !matches!(
                         v,
                         Violation::TimeBudgetExceeded { .. } | Violation::DistanceExceeded { .. }
-                    ));
+                    )
+                });
                 let completeness = plan.len() as f64 / instance.horizon() as f64;
                 if budget_ok {
                     0.5 + 0.5 * completeness.min(1.0)
@@ -176,7 +176,10 @@ mod tests {
         let plan = gold_plan(inst, None);
         assert!(feature(inst, &plan, Question::Overall) > 0.9);
         assert_eq!(feature(inst, &plan, Question::Ordering), 1.0);
-        assert_eq!(feature(inst, &plan, Question::InterleavingOrThresholds), 1.0);
+        assert_eq!(
+            feature(inst, &plan, Question::InterleavingOrThresholds),
+            1.0
+        );
     }
 
     #[test]

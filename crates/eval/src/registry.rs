@@ -99,6 +99,26 @@ impl ExperimentId {
 
     /// Runs the experiment.
     pub fn run(self) -> Report {
+        self.run_timed().0
+    }
+
+    /// Runs the experiment and reports its wall-clock. The duration is
+    /// also emitted as an `exp.run` event and recorded in the
+    /// `exp.run.ms` metrics histogram.
+    pub fn run_timed(self) -> (Report, std::time::Duration) {
+        let started = std::time::Instant::now();
+        let mut span = tpp_obs::span(tpp_obs::Level::Info, "exp.run").with("id", self.as_str());
+        let report = self.dispatch();
+        let elapsed = started.elapsed();
+        span.record("wall_ms", elapsed.as_secs_f64() * 1e3);
+        drop(span);
+        tpp_obs::metrics()
+            .histogram("exp.run.ms")
+            .record(u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX));
+        (report, elapsed)
+    }
+
+    fn dispatch(self) -> Report {
         match self {
             ExperimentId::Fig1 => fig1::run(),
             ExperimentId::Table4 => table4::run(),

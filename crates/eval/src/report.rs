@@ -16,11 +16,7 @@ pub struct NamedTable {
 
 impl NamedTable {
     /// Creates a table, checking row widths.
-    pub fn new(
-        name: impl Into<String>,
-        headers: Vec<String>,
-        rows: Vec<Vec<String>>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, headers: Vec<String>, rows: Vec<Vec<String>>) -> Self {
         let headers_len = headers.len();
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), headers_len, "row {i} has wrong width");
@@ -91,9 +87,7 @@ impl NamedTable {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","),
-            );
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out

@@ -9,6 +9,7 @@ use tpp_baselines::{eda_plan, gold_plan, omega_plan, OmegaConfig};
 use tpp_core::{score_plan, PlannerParams, RlPlanner};
 use tpp_datagen::itineraries::co_consumption_matrix;
 use tpp_model::{ItemId, PlanningInstance};
+use tpp_obs::Level;
 
 /// Number of runs averaged, per the paper's protocol.
 pub const RUNS: u64 = 10;
@@ -54,8 +55,16 @@ pub fn rl_avg_score(instance: &PlanningInstance, params: &PlannerParams) -> f64 
         _ => start_of(instance),
     };
     let scores = parallel_map(0..RUNS, |seed| {
+        let mut span = tpp_obs::span(Level::Debug, "eval.rl_run")
+            .with("catalog", instance.catalog.name())
+            .with("seed", seed);
         let (policy, _) = RlPlanner::learn(instance, params, seed);
-        score_plan(instance, &RlPlanner::recommend(&policy, instance, params, start))
+        let score = score_plan(
+            instance,
+            &RlPlanner::recommend(&policy, instance, params, start),
+        );
+        span.record("score", score);
+        score
     });
     mean(&scores)
 }

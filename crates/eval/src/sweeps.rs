@@ -32,7 +32,8 @@ fn sweep_table(
     let mut headers = vec!["method".to_owned()];
     headers.extend(cells.iter().map(|c| c.label.clone()));
 
-    let score_row = |label: &str, f: &dyn Fn(&PlanningInstance, &PlannerParams) -> f64,
+    let score_row = |label: &str,
+                     f: &dyn Fn(&PlanningInstance, &PlannerParams) -> f64,
                      sim: Option<SimAggregate>| {
         let mut row = vec![label.to_owned()];
         for cell in &cells {
@@ -138,11 +139,15 @@ pub fn run_table10() -> Report {
     report.push_table(sweep_table(
         "number of episodes N",
         inst,
-        cells_from(&[100.0, 200.0, 300.0, 500.0, 1000.0], &|v| format!("{v}"), |v| {
-            let mut p = univ1_base();
-            p.episodes = v as usize;
-            (p, None)
-        }),
+        cells_from(
+            &[100.0, 200.0, 300.0, 500.0, 1000.0],
+            &|v| format!("{v}"),
+            |v| {
+                let mut p = univ1_base();
+                p.episodes = v as usize;
+                (p, None)
+            },
+        ),
         false,
     ));
     report.push_table(sweep_table(
@@ -193,7 +198,13 @@ pub fn run_table11() -> Report {
         })
         .collect();
     report.push_table(sweep_table("starting point s1", inst, cells, false));
-    let pairs = [(0.4, 0.6), (0.45, 0.55), (0.5, 0.5), (0.55, 0.45), (0.6, 0.4)];
+    let pairs = [
+        (0.4, 0.6),
+        (0.45, 0.55),
+        (0.5, 0.5),
+        (0.55, 0.45),
+        (0.6, 0.4),
+    ];
     let cells = pairs
         .iter()
         .map(|&(d, b)| Cell {
@@ -217,11 +228,15 @@ pub fn run_table12() -> Report {
     report.push_table(sweep_table(
         "number of episodes N",
         inst,
-        cells_from(&[100.0, 200.0, 300.0, 500.0, 1000.0], &|v| format!("{v}"), |v| {
-            let mut p = univ2_base();
-            p.episodes = v as usize;
-            (p, None)
-        }),
+        cells_from(
+            &[100.0, 200.0, 300.0, 500.0, 1000.0],
+            &|v| format!("{v}"),
+            |v| {
+                let mut p = univ2_base();
+                p.episodes = v as usize;
+                (p, None)
+            },
+        ),
         false,
     ));
     report.push_table(sweep_table(
@@ -247,11 +262,15 @@ pub fn run_table12() -> Report {
     report.push_table(sweep_table(
         "topic coverage threshold ε",
         inst,
-        cells_from(&[0.0025, 0.005, 0.01, 0.015, 0.02], &|v| format!("{v}"), |v| {
-            let mut p = univ2_base();
-            p.epsilon = v;
-            (p, None)
-        }),
+        cells_from(
+            &[0.0025, 0.005, 0.01, 0.015, 0.02],
+            &|v| format!("{v}"),
+            |v| {
+                let mut p = univ2_base();
+                p.epsilon = v;
+                (p, None)
+            },
+        ),
         true,
     ));
     report
@@ -305,7 +324,14 @@ pub fn run_table14() -> Report {
         })
         .collect();
     report.push_table(sweep_table("starting point s1", inst, cells, false));
-    let pairs = [(0.2, 0.8), (0.3, 0.7), (0.4, 0.6), (0.6, 0.4), (0.7, 0.3), (0.8, 0.2)];
+    let pairs = [
+        (0.2, 0.8),
+        (0.3, 0.7),
+        (0.4, 0.6),
+        (0.6, 0.4),
+        (0.7, 0.3),
+        (0.8, 0.2),
+    ];
     let cells = pairs
         .iter()
         .map(|&(d, b)| Cell {
@@ -331,11 +357,15 @@ pub fn run_table15() -> Report {
         report.push_table(sweep_table(
             &format!("{} — number of episodes N", city.label()),
             inst,
-            cells_from(&[100.0, 200.0, 300.0, 500.0, 1000.0], &|v| format!("{v}"), |v| {
-                let mut p = base();
-                p.episodes = v as usize;
-                (p, None)
-            }),
+            cells_from(
+                &[100.0, 200.0, 300.0, 500.0, 1000.0],
+                &|v| format!("{v}"),
+                |v| {
+                    let mut p = base();
+                    p.episodes = v as usize;
+                    (p, None)
+                },
+            ),
             false,
         ));
         report.push_table(sweep_table(
@@ -397,7 +427,13 @@ pub fn run_table16() -> Report {
             }),
             true,
         ));
-        let pairs = [(0.4, 0.6), (0.45, 0.55), (0.5, 0.5), (0.55, 0.45), (0.6, 0.4)];
+        let pairs = [
+            (0.4, 0.6),
+            (0.45, 0.55),
+            (0.5, 0.5),
+            (0.55, 0.45),
+            (0.6, 0.4),
+        ];
         let cells = pairs
             .iter()
             .map(|&(dl, b)| Cell {

@@ -119,8 +119,16 @@ mod tests {
             }
             // Gold matches or beats RL up to rater noise, and stays
             // within ~1.2 points — the paper's "highly comparable" claim.
-            assert!(gold_c + 0.2 >= rl_c, "{}: course rl {rl_c} gold {gold_c}", row[0]);
-            assert!(gold_t + 0.2 >= rl_t, "{}: trip rl {rl_t} gold {gold_t}", row[0]);
+            assert!(
+                gold_c + 0.2 >= rl_c,
+                "{}: course rl {rl_c} gold {gold_c}",
+                row[0]
+            );
+            assert!(
+                gold_t + 0.2 >= rl_t,
+                "{}: trip rl {rl_t} gold {gold_t}",
+                row[0]
+            );
             assert!(gold_c - rl_c < 1.2, "{}: course gap too wide", row[0]);
             assert!(gold_t - rl_t < 1.2, "{}: trip gap too wide", row[0]);
         }

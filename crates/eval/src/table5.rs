@@ -11,8 +11,7 @@ use crate::datasets::{course_instance, CourseDataset};
 use crate::report::{fmt_score, NamedTable, Report};
 use crate::runner;
 use tpp_core::{
-    course_mapping_by_code, plan_violations, score_plan, transfer_policy, PlannerParams,
-    RlPlanner,
+    course_mapping_by_code, plan_violations, score_plan, transfer_policy, PlannerParams, RlPlanner,
 };
 use tpp_model::{Plan, PlanningInstance};
 
@@ -68,7 +67,10 @@ pub fn run() -> Report {
                 Some((plan, score)) => {
                     for &id in plan.items() {
                         if !mentioned.contains(&id)
-                            || !std::ptr::eq(mentioned_from[mentioned.iter().position(|&m| m == id).unwrap()], target)
+                            || !std::ptr::eq(
+                                mentioned_from[mentioned.iter().position(|&m| m == id).unwrap()],
+                                target,
+                            )
                         {
                             mentioned.push(id);
                             mentioned_from.push(target);
@@ -94,9 +96,15 @@ pub fn run() -> Report {
     }
     report.push_table(NamedTable::new(
         "transferred recommendations (Table V)",
-        ["learnt policy", "applied policy", "case", "sequence", "score"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "learnt policy",
+            "applied policy",
+            "case",
+            "sequence",
+            "score",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     ));
 

@@ -14,7 +14,10 @@ use tpp_core::{poi_mapping_by_theme, score_plan, transfer_policy, PlannerParams,
 pub fn run() -> Report {
     let mut report = Report::new("table7", "Trip transfer learning NYC ↔ Paris (Table VII)");
     let mut rows = Vec::new();
-    for (learnt, applied) in [(TripCity::Nyc, TripCity::Paris), (TripCity::Paris, TripCity::Nyc)] {
+    for (learnt, applied) in [
+        (TripCity::Nyc, TripCity::Paris),
+        (TripCity::Paris, TripCity::Nyc),
+    ] {
         let source = &trip_dataset(learnt).instance;
         let target = &trip_dataset(applied).instance;
         let params = PlannerParams::trip_defaults();
@@ -41,9 +44,15 @@ pub fn run() -> Report {
     }
     report.push_table(NamedTable::new(
         "transferred itineraries (Table VII)",
-        ["learnt policy", "applied policy", "sequence of recommended POIs", "score", "mapping coverage"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "learnt policy",
+            "applied policy",
+            "sequence of recommended POIs",
+            "score",
+            "mapping coverage",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     ));
     report.push_note(

@@ -63,9 +63,16 @@ pub fn run() -> Report {
     }
     report.push_table(NamedTable::new(
         "itinerary descriptions",
-        ["city", "itinerary", "time threshold (t)", "distance threshold (d)", "POIs' type", "constraints met"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "city",
+            "itinerary",
+            "time threshold (t)",
+            "distance threshold (d)",
+            "POIs' type",
+            "constraints met",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     ));
     report.push_note(

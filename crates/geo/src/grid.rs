@@ -153,7 +153,9 @@ mod tests {
     fn empty_grid_nearest_none() {
         let g: GridIndex<u8> = GridIndex::new(BoundingBox::paris(), 4);
         assert!(g.nearest(&GeoPoint::new(48.86, 2.33)).is_none());
-        assert!(g.within_radius(&GeoPoint::new(48.86, 2.33), 10.0).is_empty());
+        assert!(g
+            .within_radius(&GeoPoint::new(48.86, 2.33), 10.0)
+            .is_empty());
     }
 
     #[test]

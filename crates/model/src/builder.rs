@@ -137,17 +137,19 @@ impl CatalogBuilder {
 
     /// Requires all of `antecedents` (by code) before `code` ("AND").
     pub fn requires_all(mut self, code: &str, antecedents: &[&str]) -> Self {
-        self.push_prereq(code, PendingPrereq::All(
-            antecedents.iter().map(|a| (*a).to_owned()).collect(),
-        ));
+        self.push_prereq(
+            code,
+            PendingPrereq::All(antecedents.iter().map(|a| (*a).to_owned()).collect()),
+        );
         self
     }
 
     /// Requires any one of `antecedents` before `code` ("OR").
     pub fn requires_any(mut self, code: &str, antecedents: &[&str]) -> Self {
-        self.push_prereq(code, PendingPrereq::Any(
-            antecedents.iter().map(|a| (*a).to_owned()).collect(),
-        ));
+        self.push_prereq(
+            code,
+            PendingPrereq::Any(antecedents.iter().map(|a| (*a).to_owned()).collect()),
+        );
         self
     }
 
@@ -231,7 +233,15 @@ impl CatalogBuilder {
                 poi: pending.poi,
             });
         }
-        Catalog::new(self.name, vocabulary, built)
+        let catalog = Catalog::new(self.name, vocabulary, built)?;
+        tpp_obs::obs_event!(
+            tpp_obs::Level::Debug,
+            "catalog.build",
+            name = catalog.name(),
+            items = catalog.len(),
+            topics = catalog.vocabulary().len(),
+        );
+        Ok(catalog)
     }
 }
 
@@ -249,10 +259,7 @@ mod tests {
 
     #[test]
     fn builds_and_resolves_codes() {
-        let cat = base()
-            .requires_any("Z", &["X", "Y"])
-            .build()
-            .unwrap();
+        let cat = base().requires_any("Z", &["X", "Y"]).build().unwrap();
         assert_eq!(cat.len(), 3);
         let z = cat.by_code("Z").unwrap();
         assert_eq!(z.prereq, PrereqExpr::any_of([ItemId(0), ItemId(1)]));
@@ -270,7 +277,10 @@ mod tests {
         // ALL(X) collapses to Item(X); combined with Item(Y) under All.
         assert_eq!(
             z.prereq,
-            PrereqExpr::All(vec![PrereqExpr::Item(ItemId(0)), PrereqExpr::Item(ItemId(1))])
+            PrereqExpr::All(vec![
+                PrereqExpr::Item(ItemId(0)),
+                PrereqExpr::Item(ItemId(1))
+            ])
         );
     }
 
@@ -310,9 +320,27 @@ mod tests {
     fn poi_items_with_category() {
         let cat = CatalogBuilder::new("trip")
             .topics(["museum", "park"])
-            .poi("m1", "Museum", ItemKind::Primary, 2.0, &["museum"], 48.8, 2.3, 5.0)
+            .poi(
+                "m1",
+                "Museum",
+                ItemKind::Primary,
+                2.0,
+                &["museum"],
+                48.8,
+                2.3,
+                5.0,
+            )
             .category(Category(1))
-            .poi("p1", "Park", ItemKind::Secondary, 1.0, &["park"], 48.9, 2.4, 3.5)
+            .poi(
+                "p1",
+                "Park",
+                ItemKind::Secondary,
+                1.0,
+                &["park"],
+                48.9,
+                2.4,
+                3.5,
+            )
             .build()
             .unwrap();
         assert!(cat.is_trip_catalog());

@@ -93,11 +93,8 @@ impl Catalog {
                 continue;
             }
             // Stack of (node, next-child-index) over precomputed dep lists.
-            let mut stack: Vec<(usize, Vec<ItemId>, usize)> = vec![(
-                start,
-                self.items[start].prereq.referenced_items(),
-                0,
-            )];
+            let mut stack: Vec<(usize, Vec<ItemId>, usize)> =
+                vec![(start, self.items[start].prereq.referenced_items(), 0)];
             color[start] = Color::Gray;
             while let Some((node, deps, idx)) = stack.last_mut() {
                 if *idx < deps.len() {
@@ -106,11 +103,7 @@ impl Catalog {
                     match color[child] {
                         Color::White => {
                             color[child] = Color::Gray;
-                            stack.push((
-                                child,
-                                self.items[child].prereq.referenced_items(),
-                                0,
-                            ));
+                            stack.push((child, self.items[child].prereq.referenced_items(), 0));
                         }
                         Color::Gray => {
                             return Err(ModelError::PrerequisiteCycle(ItemId::from(child)));

@@ -167,12 +167,7 @@ mod tests {
             gap: 1,
         };
         let good = TemplateSet::new(vec![InterleavingTemplate::from_str("PS").unwrap()]);
-        assert!(SoftConstraints::new(
-            crate::TopicVector::zeros(4),
-            good,
-            &hard
-        )
-        .is_ok());
+        assert!(SoftConstraints::new(crate::TopicVector::zeros(4), good, &hard).is_ok());
         let bad = TemplateSet::new(vec![InterleavingTemplate::from_str("PP").unwrap()]);
         assert!(SoftConstraints::new(crate::TopicVector::zeros(4), bad, &hard).is_err());
     }

@@ -53,7 +53,11 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateItemCode(c) => write!(f, "duplicate item code: {c:?}"),
             ModelError::UnknownItem(id) => write!(f, "unknown item id: {id}"),
             ModelError::UnknownItemCode(c) => write!(f, "unknown item code: {c:?}"),
-            ModelError::VocabularyMismatch { item, got, expected } => write!(
+            ModelError::VocabularyMismatch {
+                item,
+                got,
+                expected,
+            } => write!(
                 f,
                 "item {item} has a topic vector of length {got}, vocabulary has {expected} topics"
             ),

@@ -214,7 +214,9 @@ mod tests {
     #[test]
     fn check_shape_flags_mismatch() {
         let it = TemplateSet::paper_trip_example();
-        let err = it.check_shape(&HardConstraints::course_example()).unwrap_err();
+        let err = it
+            .check_shape(&HardConstraints::course_example())
+            .unwrap_err();
         assert!(matches!(
             err,
             crate::ModelError::TemplateShapeMismatch { .. }

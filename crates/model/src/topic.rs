@@ -173,7 +173,10 @@ impl TopicVector {
     /// `true` if every topic in `self` is also in `other`.
     pub fn is_subset_of(&self, other: &TopicVector) -> bool {
         debug_assert_eq!(self.len, other.len, "vocabulary mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Jaccard similarity `|a∩b| / |a∪b|`; `1.0` when both are empty.
@@ -252,7 +255,9 @@ pub struct TopicVocabulary {
 
 impl TopicVocabulary {
     /// Creates a vocabulary from topic names. Duplicate names are rejected.
-    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Result<Self, crate::ModelError> {
+    pub fn new<S: Into<String>>(
+        names: impl IntoIterator<Item = S>,
+    ) -> Result<Self, crate::ModelError> {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         for (i, n) in names.iter().enumerate() {
             if names[..i].iter().any(|m| m == n) {
@@ -342,7 +347,9 @@ mod tests {
         v.set(TopicId(63));
         v.set(TopicId(64));
         v.set(TopicId(99));
-        assert!(v.get(TopicId(0)) && v.get(TopicId(63)) && v.get(TopicId(64)) && v.get(TopicId(99)));
+        assert!(
+            v.get(TopicId(0)) && v.get(TopicId(63)) && v.get(TopicId(64)) && v.get(TopicId(99))
+        );
         assert_eq!(v.count_ones(), 4);
         v.unset(TopicId(63));
         assert!(!v.get(TopicId(63)));

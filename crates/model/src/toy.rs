@@ -250,8 +250,14 @@ pub fn paris_toy_hard() -> HardConstraints {
 pub fn paris_toy_soft() -> SoftConstraints {
     let voc = trip_vocabulary();
     SoftConstraints::new(
-        voc.vector_of(&["Museum", "Art Gallery", "River", "Restaurant", "Architecture"])
-            .expect("static topics exist"),
+        voc.vector_of(&[
+            "Museum",
+            "Art Gallery",
+            "River",
+            "Restaurant",
+            "Architecture",
+        ])
+        .expect("static topics exist"),
         TemplateSet::paper_trip_example(),
         &paris_toy_hard(),
     )

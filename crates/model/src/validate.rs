@@ -104,10 +104,17 @@ impl fmt::Display for Violation {
                 write!(f, "prerequisites of {item} (at {position}) unsatisfied")
             }
             Violation::DistanceExceeded { got, threshold } => {
-                write!(f, "{got:.2} km travelled exceeds threshold {threshold:.2} km")
+                write!(
+                    f,
+                    "{got:.2} km travelled exceeds threshold {threshold:.2} km"
+                )
             }
             Violation::ConsecutiveSameTheme { position } => {
-                write!(f, "POIs at positions {} and {position} share a theme", position - 1)
+                write!(
+                    f,
+                    "POIs at positions {} and {position} share a theme",
+                    position - 1
+                )
             }
             Violation::CategoryShortfall {
                 category,
@@ -317,10 +324,9 @@ mod tests {
         // m6 requires m4 AND m2; m4 missing entirely.
         let plan = Plan::from_codes(&cat, &["m1", "m2", "m3", "m5", "m6"]).unwrap();
         let v = validate_plan(&plan, &cat, &hard);
-        assert!(v.iter().any(|x| matches!(
-            x,
-            Violation::PrereqUnsatisfied { .. }
-        )));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::PrereqUnsatisfied { .. })));
         assert!(v.iter().any(|x| matches!(x, Violation::WrongLength { .. })));
     }
 
@@ -331,7 +337,9 @@ mod tests {
         hard.credits = 21.0; // 7 courses' worth but only 6 exist in plan
         let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
         let v = validate_plan(&plan, &cat, &hard);
-        assert!(v.iter().any(|x| matches!(x, Violation::CreditShortfall { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::CreditShortfall { .. })));
     }
 
     #[test]
@@ -342,7 +350,9 @@ mod tests {
         hard.n_secondary = 2;
         let plan = Plan::from_codes(&cat, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
         let v = validate_plan(&plan, &cat, &hard);
-        assert!(v.iter().any(|x| matches!(x, Violation::TooFewPrimaries { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TooFewPrimaries { .. })));
     }
 
     #[test]
@@ -390,11 +400,19 @@ mod tests {
         // + Seine(0.5) = 6.5h > 6h.
         let plan = Plan::from_codes(
             &cat,
-            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+            &[
+                "louvre museum",
+                "le cinq",
+                "eiffel tower",
+                "rue des martyrs",
+                "river seine",
+            ],
         )
         .unwrap();
         let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 0.0);
-        assert!(v.iter().any(|x| matches!(x, Violation::TimeBudgetExceeded { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TimeBudgetExceeded { .. })));
     }
 
     #[test]
@@ -410,7 +428,13 @@ mod tests {
         // fully satisfies I1 = PSPSS; Le Cinq's antecedent (Louvre) holds.
         let plan = Plan::from_codes(
             &cat,
-            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+            &[
+                "louvre museum",
+                "le cinq",
+                "eiffel tower",
+                "rue des martyrs",
+                "river seine",
+            ],
         )
         .unwrap();
         assert_eq!(
@@ -430,12 +454,20 @@ mod tests {
         };
         let plan = Plan::from_codes(
             &cat,
-            &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+            &[
+                "louvre museum",
+                "le cinq",
+                "eiffel tower",
+                "rue des martyrs",
+                "river seine",
+            ],
         )
         .unwrap();
         // Pretend each leg is 2 km: 4 legs = 8 km > 1 km.
         let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 2.0);
-        assert!(v.iter().any(|x| matches!(x, Violation::DistanceExceeded { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DistanceExceeded { .. })));
     }
 
     #[test]
@@ -453,7 +485,9 @@ mod tests {
         // (Museum, Art Gallery): shared themes back-to-back.
         let plan = Plan::from_codes(&cat, &["louvre museum", "musee d'orsay"]).unwrap();
         let v = validate_trip_plan(&plan, &cat, &hard, &trip, |_, _| 0.0);
-        assert!(v.iter().any(|x| matches!(x, Violation::ConsecutiveSameTheme { position: 1 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ConsecutiveSameTheme { position: 1 })));
     }
 
     #[test]
@@ -473,7 +507,7 @@ mod tests {
             .collect();
         cat = Catalog::new("tagged", toy::course_vocabulary(), tagged).unwrap();
         let plan = Plan::from_codes(&cat, &["m1", "m3"]).unwrap(); // two primaries
-        // Requires 1 of category 0 and 1 of category 1: category 1 short.
+                                                                   // Requires 1 of category 0 and 1 of category 1: category 1 short.
         let v = validate_category_minimums(&plan, &cat, &[1, 1]);
         assert_eq!(
             v,

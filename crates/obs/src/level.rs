@@ -1,0 +1,93 @@
+//! Event severity levels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity of an event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level lifecycle (sessions, experiments, datasets).
+    Info = 3,
+    /// Per-episode detail.
+    Debug = 4,
+    /// Per-step detail.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lowercase name (`"info"`, …) as used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Reconstructs a level from its `repr` (inverse of `as u8`).
+    pub(crate) fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown level {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_severity_descending() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+            assert_eq!(Level::from_u8(l as u8), Some(l));
+        }
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! # tpp-obs
+//!
+//! Zero-dependency structured observability for the RL-Planner
+//! workspace: events, RAII spans, and a metrics registry, all std-only
+//! (the repo's offline policy rules out `tracing`/`metrics`-style
+//! crates) and all near-zero cost when disabled.
+//!
+//! Three layers:
+//!
+//! * **Events & spans** — [`obs_event!`] emits a named event with
+//!   key/value [`Value`] fields; [`span`] returns an RAII guard that
+//!   times its scope and emits `duration_us` on drop. Both are gated on
+//!   a process-wide [`Level`]: with no sinks installed the cost of a
+//!   disabled event is one relaxed atomic load.
+//! * **Metrics** — [`metrics`] is a process-wide registry of atomic
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s with
+//!   p50/p95/p99 summaries; render it as text or JSON at exit.
+//! * **Sinks** — events fan out to runtime-installed [`Sink`]s: the
+//!   machine-readable [`JsonlSink`] (one JSON object per line) and the
+//!   human-readable [`PrettySink`] (stderr). Library crates never write
+//!   to stderr themselves; only an installed sink does.
+//!
+//! ## JSONL schema
+//!
+//! Every line is one object: `{"t_us": <u64 microseconds since the
+//! first obs call>, "level": "error|warn|info|debug|trace", "event":
+//! <string>, "fields": {<string>: <number|string|bool|null>, …}}`.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpp_obs as obs;
+//!
+//! let collector = Arc::new(obs::CollectorSink::new());
+//! obs::add_sink(collector.clone());
+//!
+//! {
+//!     let mut sp = obs::span(obs::Level::Info, "demo.work").with("size", 3usize);
+//!     obs::obs_event!(obs::Level::Info, "demo.step", index = 0, ok = true);
+//!     sp.record("result", "done");
+//! } // span drops here and emits `demo.work` with `duration_us`
+//!
+//! obs::metrics().counter("demo.steps").inc();
+//! let lines = collector.lines();
+//! assert_eq!(lines.len(), 2);
+//! for line in &lines {
+//!     obs::json::parse(line).expect("every line is valid JSON");
+//! }
+//! obs::clear_sinks();
+//! obs::metrics().reset();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod level;
+mod metrics;
+mod sink;
+mod span;
+mod value;
+
+pub use level::Level;
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSummary, Metrics, N_BUCKETS,
+};
+pub use sink::{render_jsonl, CollectorSink, JsonlSink, PrettySink, Sink};
+pub use span::Span;
+pub use value::Value;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static SINKS: RwLock<Vec<Arc<dyn Sink>>> = RwLock::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+/// Whether events at `level` currently reach any sink.
+///
+/// This is the fast path the macros check first: a single relaxed
+/// atomic load, false whenever no sink wants the level.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// The current maximum enabled level, if any sink is installed.
+pub fn max_level() -> Option<Level> {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Microseconds since the process's observability epoch (the first obs
+/// call).
+pub fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Installs a sink; events at or below its [`Sink::max_level`] start
+/// flowing to it immediately.
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    let _ = EPOCH.get_or_init(Instant::now);
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    sinks.push(sink);
+    let max = sinks.iter().map(|s| s.max_level() as u8).max().unwrap_or(0);
+    MAX_LEVEL.store(max, Ordering::Relaxed);
+}
+
+/// Flushes and removes every installed sink, disabling event emission.
+pub fn clear_sinks() {
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+    for s in sinks.iter() {
+        s.flush();
+    }
+    sinks.clear();
+}
+
+/// Flushes every installed sink (call before process exit so buffered
+/// JSONL reaches disk).
+pub fn flush() {
+    for s in SINKS.read().expect("sink registry poisoned").iter() {
+        s.flush();
+    }
+}
+
+/// Emits one event to every sink whose level admits it.
+///
+/// Prefer [`obs_event!`], which skips field construction entirely when
+/// the level is disabled.
+pub fn emit(level: Level, name: &str, fields: &[(&'static str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let t_us = now_us();
+    for sink in SINKS.read().expect("sink registry poisoned").iter() {
+        if level <= sink.max_level() {
+            sink.record(t_us, level, name, fields);
+        }
+    }
+}
+
+/// Opens a timed RAII span (see [`Span`]). Inert when `level` is
+/// disabled.
+pub fn span(level: Level, name: &'static str) -> Span {
+    Span::new(level, name)
+}
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(Metrics::new)
+}
+
+/// Emits a structured event: `obs_event!(Level::Info, "name", key =
+/// value, …)`. Field expressions are not evaluated when `level` is
+/// disabled.
+#[macro_export]
+macro_rules! obs_event {
+    ($level:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::emit(
+                $level,
+                $name,
+                &[$((stringify!($key), $crate::Value::from($value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the process-wide sink/level state.
+    pub static GLOBAL: Mutex<()> = Mutex::new(());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_reach_installed_sinks_and_respect_levels() {
+        let _guard = testutil::GLOBAL.lock().unwrap();
+        clear_sinks();
+        assert!(!enabled(Level::Error));
+        obs_event!(Level::Info, "dropped.before.sinks", n = 1);
+
+        let collector = Arc::new(CollectorSink::new());
+        add_sink(collector.clone());
+        assert!(enabled(Level::Trace));
+
+        obs_event!(Level::Info, "hello", n = 2usize, label = "x");
+        let mut sp = span(Level::Debug, "scope").with("k", 1u64);
+        assert!(sp.is_enabled());
+        sp.record("late", true);
+        drop(sp);
+
+        let lines = collector.lines();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(json::Json::as_str),
+            Some("hello")
+        );
+        let second = json::parse(&lines[1]).unwrap();
+        assert_eq!(
+            second.get("event").and_then(json::Json::as_str),
+            Some("scope")
+        );
+        assert!(second
+            .get("fields")
+            .and_then(|f| f.get("duration_us"))
+            .and_then(json::Json::as_f64)
+            .is_some());
+
+        clear_sinks();
+        assert!(!enabled(Level::Error));
+        obs_event!(Level::Info, "dropped.after.clear", n = 3);
+        assert_eq!(collector.lines().len(), 2);
+    }
+
+    #[test]
+    fn span_durations_feed_the_metrics_registry() {
+        let _guard = testutil::GLOBAL.lock().unwrap();
+        clear_sinks();
+        let collector = Arc::new(CollectorSink::new());
+        add_sink(collector);
+        {
+            let _sp = span(Level::Info, "timed.unit");
+        }
+        clear_sinks();
+        let h = metrics().histogram("span.timed.unit.us");
+        assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn sink_level_filtering_is_per_sink() {
+        let _guard = testutil::GLOBAL.lock().unwrap();
+        clear_sinks();
+        let verbose = Arc::new(CollectorSink::new());
+        add_sink(verbose.clone());
+        // Global level is Trace (collector wants everything); a debug
+        // event flows, and the global gate reflects the max over sinks.
+        obs_event!(Level::Trace, "fine.detail");
+        assert_eq!(max_level(), Some(Level::Trace));
+        assert_eq!(verbose.lines().len(), 1);
+        clear_sinks();
+        assert_eq!(max_level(), None);
+    }
+}

@@ -1,0 +1,473 @@
+//! The metrics registry: atomic counters, gauges, and log-bucketed
+//! histograms with percentile summaries.
+//!
+//! All instruments are lock-free on the hot path (one atomic RMW per
+//! update); the registry itself takes a mutex only on first lookup, so
+//! callers that care should resolve a handle once and cache it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically-increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: values 0–3 exactly, then four
+/// sub-buckets per power-of-two octave up to `u64::MAX`.
+pub const N_BUCKETS: usize = 252;
+
+/// A log-bucketed histogram over `u64` samples.
+///
+/// Buckets 0–3 hold the exact values 0–3; above that each power-of-two
+/// octave `[2^k, 2^(k+1))` is split into four equal sub-buckets, so the
+/// relative quantization error of any reported quantile is at most
+/// 12.5% (half a sub-bucket). 252 buckets cover the full `u64` range.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 2
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    (octave - 1) * 4 + sub
+}
+
+/// The `[lower, upper)` value range of bucket `i` (upper is saturating
+/// at `u64::MAX` for the top octave).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 4 {
+        return (i as u64, i as u64 + 1);
+    }
+    let octave = i / 4 + 1;
+    let base = 1u64 << octave;
+    let step = base / 4;
+    let lower = base + (i % 4) as u64 * step;
+    (lower, lower.saturating_add(step))
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records `n` samples of the same value in one shot. Lets hot loops
+    /// tally locally and flush once, avoiding per-iteration contention
+    /// on the shared atomics.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as integer microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) estimated from bucket
+    /// midpoints; exact for values below 4. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        if rank >= n {
+            return self.max();
+        }
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Midpoint, clamped by the exact observed maximum.
+                return (lo + (hi - lo) / 2).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary of the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Snapshot of one histogram's distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A registry of named instruments.
+///
+/// A process-wide instance lives behind [`crate::metrics`]; independent
+/// registries can be created for tests.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Instruments>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                inner.counters.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.gauges.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                inner.gauges.insert(name.to_owned(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                inner.histograms.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Drops every registered instrument (tests, or run separation).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        *inner = Instruments::default();
+    }
+
+    /// Renders a human-readable summary table (sorted by name; empty
+    /// sections omitted).
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        if !inner.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in &inner.counters {
+                let _ = writeln!(out, "  {name:<40} {}", c.get());
+            }
+        }
+        if !inner.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, g) in &inner.gauges {
+                let _ = writeln!(out, "  {name:<40} {}", g.get());
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &inner.histograms {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} count={} mean={:.1} p50={} p95={} p99={} max={}",
+                    s.count, s.mean, s.p50, s.p95, s.p99, s.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Renders the whole registry as one JSON object.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::escape_into(name, &mut out);
+            let _ = write!(out, ":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::escape_into(name, &mut out);
+            let v = g.get();
+            if v.is_finite() {
+                let _ = write!(out, ":{v}");
+            } else {
+                out.push_str(":null");
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::escape_into(name, &mut out);
+            let s = h.summary();
+            let mean = if s.mean.is_finite() { s.mean } else { 0.0 };
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"mean\":{mean},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                s.count, s.p50, s.p95, s.p99, s.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_correct() {
+        // Exact buckets below 4.
+        for v in 0u64..4 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+        // Every bucket's bounds contain exactly the values that map to
+        // it, and consecutive buckets tile the line with no gaps.
+        for i in 4..N_BUCKETS - 4 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi - 1), i, "last value of bucket {i}");
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, next_lo, "gap between buckets {i} and {}", i + 1);
+        }
+        // Spot-check the first octaves: [4,5) [5,6) [6,7) [7,8) [8,10)…
+        assert_eq!(bucket_bounds(4), (4, 5));
+        assert_eq!(bucket_bounds(7), (7, 8));
+        assert_eq!(bucket_bounds(8), (8, 10));
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        // Top of the range stays in bounds.
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_match_exact_percentiles_within_bucket_error() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // 12.5% relative quantization error bound.
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(
+                err <= 0.125,
+                "q={q}: got {got}, exact {exact}, err {err:.3}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantiles_exact_for_small_values() {
+        let h = Histogram::default();
+        for v in [0u64, 0, 1, 2, 2, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(0.01), 0);
+        assert_eq!(h.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn registry_reuses_instruments_by_name() {
+        let m = Metrics::new();
+        m.counter("a").inc();
+        m.counter("a").add(2);
+        assert_eq!(m.counter("a").get(), 3);
+        m.gauge("g").set(1.5);
+        assert_eq!(m.gauge("g").get(), 1.5);
+        m.histogram("h").record(7);
+        assert_eq!(m.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn render_json_is_valid_json() {
+        let m = Metrics::new();
+        m.counter("c.one").add(5);
+        m.gauge("g\"quoted").set(0.25);
+        m.histogram("h.lat").record(100);
+        let parsed = crate::json::parse(&m.render_json()).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("c.one"))
+                .and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+        assert!(parsed
+            .get("gauges")
+            .and_then(|g| g.get("g\"quoted"))
+            .is_some());
+        let h = parsed
+            .get("histograms")
+            .and_then(|h| h.get("h.lat"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn render_text_lists_everything() {
+        let m = Metrics::new();
+        assert!(m.render_text().contains("no metrics"));
+        m.counter("hits").inc();
+        m.histogram("lat").record(3);
+        let text = m.render_text();
+        assert!(text.contains("hits"));
+        assert!(text.contains("p95"));
+        m.reset();
+        assert!(m.render_text().contains("no metrics"));
+    }
+}

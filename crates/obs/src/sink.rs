@@ -1,0 +1,234 @@
+//! Event sinks: where structured events go.
+//!
+//! Two production sinks ship here — a machine-readable JSONL writer and
+//! a human-readable stderr pretty-printer — plus an in-memory collector
+//! for tests. Sinks are installed at runtime via [`crate::add_sink`];
+//! with no sinks installed the emit path is a single relaxed atomic
+//! load.
+
+use crate::level::Level;
+use crate::value::Value;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for structured events.
+pub trait Sink: Send + Sync {
+    /// The most verbose level this sink wants to receive.
+    fn max_level(&self) -> Level;
+
+    /// Records one event. `t_us` is microseconds since the process's
+    /// observability epoch.
+    fn record(&self, t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]);
+
+    /// Flushes buffered output (best-effort).
+    fn flush(&self) {}
+}
+
+/// Renders one event as a single JSON line (no trailing newline).
+pub fn render_jsonl(
+    t_us: u64,
+    level: Level,
+    name: &str,
+    fields: &[(&'static str, Value)],
+) -> String {
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    let _ = write!(
+        line,
+        "{{\"t_us\":{t_us},\"level\":\"{}\",\"event\":",
+        level.as_str()
+    );
+    crate::json::escape_into(name, &mut line);
+    line.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        crate::json::escape_into(k, &mut line);
+        line.push(':');
+        v.write_json(&mut line);
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Machine-readable sink: one JSON object per line.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    level: Level,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and writes JSONL to it at the given
+    /// verbosity.
+    pub fn create(path: impl AsRef<Path>, level: Level) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(file), level))
+    }
+
+    /// Wraps an arbitrary writer (tests, pipes).
+    pub fn to_writer(writer: Box<dyn Write + Send>, level: Level) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+            level,
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]) {
+        let mut line = render_jsonl(t_us, level, name, fields);
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Human-readable sink: aligned single-line records on stderr.
+pub struct PrettySink {
+    level: Level,
+}
+
+impl PrettySink {
+    /// A pretty-printer that shows events up to `level`.
+    pub fn stderr(level: Level) -> Self {
+        PrettySink { level }
+    }
+
+    /// Renders one event the way the sink prints it.
+    pub fn render(t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]) -> String {
+        let mut line = String::with_capacity(64);
+        let _ = write!(
+            line,
+            "{:>12.3}ms {:>5} {name}",
+            t_us as f64 / 1e3,
+            level.as_str().to_ascii_uppercase()
+        );
+        for (k, v) in fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        line
+    }
+}
+
+impl Sink for PrettySink {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]) {
+        let line = Self::render(t_us, level, name, fields);
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
+/// Test sink: collects rendered JSONL lines in memory.
+#[derive(Default)]
+pub struct CollectorSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CollectorSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lines collected so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("collector poisoned").clone()
+    }
+}
+
+impl Sink for CollectorSink {
+    fn max_level(&self) -> Level {
+        Level::Trace
+    }
+
+    fn record(&self, t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]) {
+        self.lines
+            .lock()
+            .expect("collector poisoned")
+            .push(render_jsonl(t_us, level, name, fields));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_rendering_parses_and_carries_fields() {
+        let line = render_jsonl(
+            1500,
+            Level::Info,
+            "train.episode",
+            &[
+                ("episode", Value::U64(3)),
+                ("return", Value::F64(4.25)),
+                ("label", Value::Str("a\"b".into())),
+            ],
+        );
+        let v = crate::json::parse(&line).expect("valid json line");
+        assert_eq!(v.get("t_us").and_then(|x| x.as_f64()), Some(1500.0));
+        assert_eq!(v.get("level").and_then(|x| x.as_str()), Some("info"));
+        assert_eq!(
+            v.get("event").and_then(|x| x.as_str()),
+            Some("train.episode")
+        );
+        let f = v.get("fields").expect("fields object");
+        assert_eq!(f.get("episode").and_then(|x| x.as_f64()), Some(3.0));
+        assert_eq!(f.get("return").and_then(|x| x.as_f64()), Some(4.25));
+        assert_eq!(f.get("label").and_then(|x| x.as_str()), Some("a\"b"));
+    }
+
+    #[test]
+    fn pretty_rendering_is_single_line() {
+        let line = PrettySink::render(
+            2_000,
+            Level::Warn,
+            "gate.reject",
+            &[("kind", Value::Str("credits".into()))],
+        );
+        assert!(line.contains("WARN"));
+        assert!(line.contains("gate.reject kind=credits"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join(format!("tpp-obs-sink-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path, Level::Trace).unwrap();
+            sink.record(1, Level::Info, "a", &[]);
+            sink.record(2, Level::Debug, "b", &[("k", Value::Bool(true))]);
+            sink.flush();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            crate::json::parse(l).expect("every line parses");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,133 @@
+//! Field values carried by events and spans.
+
+use std::fmt;
+
+/// A dynamically-typed field value.
+///
+/// Conversions exist from every primitive the instrumented crates emit,
+/// so call sites can write `("seed", seed.into())` or go through the
+/// [`obs_event!`](crate::obs_event) macro, which applies `Value::from`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value as a JSON fragment (numbers bare, strings
+    /// escaped and quoted, non-finite floats as `null`).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::I64(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Value::U64(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => crate::json::escape_into(s, out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+value_from!(
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::Str(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_cover_primitives() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i32), Value::I64(-2));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_handles_nonfinite() {
+        let mut s = String::new();
+        Value::from("a\"b\n").write_json(&mut s);
+        assert_eq!(s, "\"a\\\"b\\n\"");
+        s.clear();
+        Value::F64(f64::NAN).write_json(&mut s);
+        assert_eq!(s, "null");
+        s.clear();
+        Value::F64(2.25).write_json(&mut s);
+        assert_eq!(s, "2.25");
+    }
+}

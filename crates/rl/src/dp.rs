@@ -41,7 +41,10 @@ impl ExplicitMdp {
         let na = self.n_actions();
         for (s, row) in self.transitions.iter().enumerate() {
             if row.len() != na {
-                return Err(format!("state {s} has {} actions, expected {na}", row.len()));
+                return Err(format!(
+                    "state {s} has {} actions, expected {na}",
+                    row.len()
+                ));
             }
             for t in row.iter().flatten() {
                 if t.0 >= self.n_states() {

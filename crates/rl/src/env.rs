@@ -135,7 +135,14 @@ mod tests {
         e.valid_actions(&mut acts);
         assert_eq!(acts, vec![1]); // cannot go below 0
         let out = e.step(1);
-        assert_eq!(out, StepOutcome { next_state: 1, reward: 1.0, done: false });
+        assert_eq!(
+            out,
+            StepOutcome {
+                next_state: 1,
+                reward: 1.0,
+                done: false
+            }
+        );
         e.valid_actions(&mut acts);
         assert_eq!(acts, vec![2, 0]);
         assert_eq!(e.peek_reward(2), 1.0);

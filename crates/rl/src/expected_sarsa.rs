@@ -86,8 +86,8 @@ impl ExpectedSarsaAgent {
                     break;
                 }
                 env.valid_actions(&mut actions);
-                let target = out.reward
-                    + self.config.gamma * self.expected_value(out.next_state, &actions);
+                let target =
+                    out.reward + self.config.gamma * self.expected_value(out.next_state, &actions);
                 self.q.td_update(s, a, alpha, target);
             }
             stats.push(ep_return);

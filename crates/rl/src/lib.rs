@@ -35,5 +35,5 @@ pub use qtable::QTable;
 pub use rollout::greedy_rollout;
 pub use sarsa::{SarsaAgent, SarsaConfig};
 pub use schedule::Schedule;
-pub use stats::TrainStats;
+pub use stats::{ReturnSummary, TrainStats};
 pub use transfer::{transfer_q, StateMapping};

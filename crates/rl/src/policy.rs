@@ -58,7 +58,10 @@ impl ActionSelector for EpsilonGreedy {
         allowed: &[usize],
         rng: &mut R,
     ) -> usize {
-        assert!(!allowed.is_empty(), "select requires a non-empty action set");
+        assert!(
+            !allowed.is_empty(),
+            "select requires a non-empty action set"
+        );
         if rng.random::<f64>() < self.epsilon {
             allowed[rng.random_range(0..allowed.len())]
         } else {

@@ -74,17 +74,14 @@ impl QTable {
     /// wins). `None` when `allowed` is empty.
     pub fn best_action(&self, s: usize, allowed: &[usize]) -> Option<usize> {
         let row = self.row(s);
-        allowed
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                row[a]
-                    .partial_cmp(&row[b])
-                    .expect("Q values are finite")
-                    // Stabilize ties toward the lower action index so
-                    // recommendation is deterministic.
-                    .then(b.cmp(&a))
-            })
+        allowed.iter().copied().max_by(|&a, &b| {
+            row[a]
+                .partial_cmp(&row[b])
+                .expect("Q values are finite")
+                // Stabilize ties toward the lower action index so
+                // recommendation is deterministic.
+                .then(b.cmp(&a))
+        })
     }
 
     /// `max` of `Q(s, ·)` restricted to `allowed`; `0.0` when empty

@@ -14,6 +14,7 @@ use crate::qtable::QTable;
 use crate::schedule::Schedule;
 use crate::stats::TrainStats;
 use rand::Rng;
+use tpp_obs::{obs_event, Level};
 
 /// SARSA hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +86,9 @@ impl SarsaAgent {
         R: Rng + ?Sized,
         F: FnMut(usize, &mut R) -> usize,
     {
+        let mut span = tpp_obs::span(Level::Info, "sarsa.train")
+            .with("episodes", self.config.episodes)
+            .with("gamma", self.config.gamma);
         let mut stats = TrainStats::with_capacity(self.config.episodes);
         let mut actions = Vec::with_capacity(env.n_states());
         for episode in 0..self.config.episodes {
@@ -120,7 +124,15 @@ impl SarsaAgent {
                 a = a_next;
             }
             stats.push(ep_return);
+            obs_event!(
+                Level::Debug,
+                "sarsa.episode",
+                episode = episode,
+                alpha = alpha,
+                ep_return = ep_return,
+            );
         }
+        span.record("mean_return", stats.mean_return());
         stats
     }
 }

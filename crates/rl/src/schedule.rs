@@ -58,7 +58,11 @@ mod tests {
 
     #[test]
     fn linear_endpoints_and_midpoint() {
-        let s = Schedule::Linear { from: 1.0, to: 0.0, over: 10 };
+        let s = Schedule::Linear {
+            from: 1.0,
+            to: 0.0,
+            over: 10,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!((s.at(5) - 0.5).abs() < 1e-12);
         assert_eq!(s.at(10), 0.0);
@@ -67,13 +71,21 @@ mod tests {
 
     #[test]
     fn linear_zero_span() {
-        let s = Schedule::Linear { from: 1.0, to: 0.2, over: 0 };
+        let s = Schedule::Linear {
+            from: 1.0,
+            to: 0.2,
+            over: 0,
+        };
         assert_eq!(s.at(0), 0.2);
     }
 
     #[test]
     fn exponential_decays_to_floor() {
-        let s = Schedule::Exponential { from: 1.0, rate: 0.5, min: 0.1 };
+        let s = Schedule::Exponential {
+            from: 1.0,
+            rate: 0.5,
+            min: 0.1,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(1), 0.5);
         assert_eq!(s.at(2), 0.25);

@@ -49,6 +49,42 @@ impl TrainStats {
         }
     }
 
+    /// Nearest-rank percentile over all returns (`q` in `[0, 1]`;
+    /// `0.0` when empty). Exact — sorts a copy, so prefer [`summary`]
+    /// [`TrainStats::summary`] when several quantiles are needed.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let mut sorted = self.returns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("returns are finite"));
+        percentile_of_sorted(&sorted, q)
+    }
+
+    /// Median return (`0.0` when empty).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile return (`0.0` when empty).
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// One-pass summary of the recorded returns (all zeros when empty).
+    pub fn summary(&self) -> ReturnSummary {
+        if self.returns.is_empty() {
+            return ReturnSummary::default();
+        }
+        let mut sorted = self.returns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("returns are finite"));
+        ReturnSummary {
+            episodes: sorted.len(),
+            mean: self.mean_return(),
+            p50: percentile_of_sorted(&sorted, 0.50),
+            p95: percentile_of_sorted(&sorted, 0.95),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
     /// Trailing moving average with the given window, one value per
     /// episode — handy for convergence plots.
     pub fn moving_average(&self, window: usize) -> Vec<f64> {
@@ -64,6 +100,34 @@ impl TrainStats {
         }
         out
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Distribution summary of the per-episode returns, shared by the
+/// metrics layer and the convergence CSV writers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReturnSummary {
+    /// Number of episodes summarised.
+    pub episodes: usize,
+    /// Mean return.
+    pub mean: f64,
+    /// Median return (nearest rank).
+    pub p50: f64,
+    /// 95th-percentile return (nearest rank).
+    pub p95: f64,
+    /// Smallest return.
+    pub min: f64,
+    /// Largest return.
+    pub max: f64,
 }
 
 #[cfg(test)]
@@ -100,5 +164,36 @@ mod tests {
         let s = TrainStats::default();
         assert_eq!(s.mean_return(), 0.0);
         assert!(s.moving_average(3).is_empty());
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.summary(), ReturnSummary::default());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = TrainStats::default();
+        // Push out of order so the percentile path has to sort.
+        for v in [30.0, 10.0, 50.0, 20.0, 40.0] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.p50(), 30.0); // ceil(0.5 * 5) = rank 3
+        assert_eq!(s.percentile(0.6), 30.0);
+        assert_eq!(s.p95(), 50.0); // ceil(0.95 * 5) = rank 5
+        assert_eq!(s.percentile(1.0), 50.0);
+    }
+
+    #[test]
+    fn summary_matches_individual_helpers() {
+        let mut s = TrainStats::default();
+        for v in [3.0, 1.0, 4.0, 1.5, 9.0, 2.5] {
+            s.push(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.episodes, 6);
+        assert_eq!(sum.mean, s.mean_return());
+        assert_eq!(sum.p50, s.p50());
+        assert_eq!(sum.p95, s.p95());
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 9.0);
     }
 }

@@ -69,7 +69,10 @@ mod tests {
     fn display_variants() {
         assert!(StoreError::BadMagic.to_string().contains("QPOL"));
         assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
-        let t = StoreError::Truncated { expected: 10, got: 3 };
+        let t = StoreError::Truncated {
+            expected: 10,
+            got: 3,
+        };
         assert!(t.to_string().contains("10") && t.to_string().contains('3'));
     }
 }

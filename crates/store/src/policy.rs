@@ -60,9 +60,8 @@ pub fn decode_qtable(mut data: &[u8]) -> Result<QTable, StoreError> {
     }
     let total = data.len();
     let body = &data[..total - 8];
-    let stored_checksum = u64::from_le_bytes(
-        data[total - 8..].try_into().expect("slice is 8 bytes"),
-    );
+    let stored_checksum =
+        u64::from_le_bytes(data[total - 8..].try_into().expect("slice is 8 bytes"));
     if fnv1a64(body) != stored_checksum {
         return Err(StoreError::ChecksumMismatch);
     }

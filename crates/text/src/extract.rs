@@ -21,8 +21,18 @@ fn is_noun_like(tok: &str) -> bool {
     if tok.ends_with("ing") {
         // Domain gerunds that act as topic nouns in catalogs.
         const NOUN_ING: &[&str] = &[
-            "clustering", "computing", "engineering", "learning", "mining", "planning",
-            "processing", "programming", "testing", "modeling", "networking", "rendering",
+            "clustering",
+            "computing",
+            "engineering",
+            "learning",
+            "mining",
+            "planning",
+            "processing",
+            "programming",
+            "testing",
+            "modeling",
+            "networking",
+            "rendering",
             "scheduling",
         ];
         return NOUN_ING.contains(&tok);
@@ -115,7 +125,10 @@ mod tests {
     fn course_title_extraction() {
         // "Introduction to Big Data" → {big, data}: "introduction"/"to"
         // are stopwords.
-        assert_eq!(extract_topics("Introduction to Big Data"), vec!["big", "data"]);
+        assert_eq!(
+            extract_topics("Introduction to Big Data"),
+            vec!["big", "data"]
+        );
     }
 
     #[test]
@@ -131,7 +144,10 @@ mod tests {
 
     #[test]
     fn drops_adverbs() {
-        assert_eq!(extract_topics("highly scalable systems"), vec!["scalable", "systems"]);
+        assert_eq!(
+            extract_topics("highly scalable systems"),
+            vec!["scalable", "systems"]
+        );
     }
 
     #[test]

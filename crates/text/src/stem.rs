@@ -33,11 +33,7 @@ pub fn stem(word: &str) -> String {
         }
     }
     // plain plural -s (but not -ss, -us, -is: "class", "corpus", "basis")
-    if w.ends_with('s')
-        && !w.ends_with("ss")
-        && !w.ends_with("us")
-        && !w.ends_with("is")
-    {
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
         return w[..w.len() - 1].to_owned();
     }
     w.to_owned()

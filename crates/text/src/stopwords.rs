@@ -7,20 +7,155 @@
 
 /// Alphabetically sorted stopword list (binary-searchable).
 static STOPWORDS: &[&str] = &[
-    "a", "about", "above", "advanced", "after", "again", "against", "all", "am", "an", "and",
-    "any", "applications", "applied", "are", "as", "at", "be", "because", "been", "before",
-    "being", "below", "between", "both", "but", "by", "can", "co-op", "could", "course", "cs",
-    "de", "des", "did", "do", "does", "doing", "down", "du", "during", "each", "et", "few",
-    "first", "for", "foundations", "from", "further", "had", "has", "have", "having", "he",
-    "her", "here", "hers", "him", "his", "how", "i", "if", "ii", "iii", "in", "independent",
-    "interactive", "into", "intro", "introduction", "is", "it", "its", "iv", "la", "le", "les",
-    "master's", "math", "me", "more", "most", "ms&e", "my", "new", "no", "nor", "not", "of",
-    "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "principles",
-    "programs", "project", "s", "same", "seminar", "she", "should", "so", "some", "special",
-    "st", "stats", "study", "such", "techniques", "than", "that", "the", "their", "them",
-    "then", "there", "these", "they", "this", "those", "through", "to", "too", "topics",
-    "under", "until", "up", "using", "very", "was", "we", "were", "what", "when", "where",
-    "which", "while", "who", "whom", "why", "with", "you", "your",
+    "a",
+    "about",
+    "above",
+    "advanced",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "applications",
+    "applied",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "co-op",
+    "could",
+    "course",
+    "cs",
+    "de",
+    "des",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "du",
+    "during",
+    "each",
+    "et",
+    "few",
+    "first",
+    "for",
+    "foundations",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "him",
+    "his",
+    "how",
+    "i",
+    "if",
+    "ii",
+    "iii",
+    "in",
+    "independent",
+    "interactive",
+    "into",
+    "intro",
+    "introduction",
+    "is",
+    "it",
+    "its",
+    "iv",
+    "la",
+    "le",
+    "les",
+    "master's",
+    "math",
+    "me",
+    "more",
+    "most",
+    "ms&e",
+    "my",
+    "new",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "out",
+    "over",
+    "own",
+    "principles",
+    "programs",
+    "project",
+    "s",
+    "same",
+    "seminar",
+    "she",
+    "should",
+    "so",
+    "some",
+    "special",
+    "st",
+    "stats",
+    "study",
+    "such",
+    "techniques",
+    "than",
+    "that",
+    "the",
+    "their",
+    "them",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "topics",
+    "under",
+    "until",
+    "up",
+    "using",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "with",
+    "you",
+    "your",
 ];
 
 /// `true` when `word` (already lowercased) is a stopword.

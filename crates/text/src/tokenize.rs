@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn lowercases_unicode() {
-        assert_eq!(tokenize("Église St-Eustache"), vec!["église", "st-eustache"]);
+        assert_eq!(
+            tokenize("Église St-Eustache"),
+            vec!["église", "st-eustache"]
+        );
     }
 
     #[test]

@@ -88,8 +88,7 @@ impl VocabularyBuilder {
                 let mut ranked: Vec<(usize, &(String, usize))> =
                     self.topics.iter().enumerate().collect();
                 ranked.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
-                let mut chosen: Vec<usize> =
-                    ranked.into_iter().take(k).map(|(i, _)| i).collect();
+                let mut chosen: Vec<usize> = ranked.into_iter().take(k).map(|(i, _)| i).collect();
                 chosen.sort_unstable(); // restore first-seen order
                 chosen
                     .into_iter()

@@ -16,10 +16,26 @@ fn main() {
     use rl_planner::datagen::{self, defaults::*};
     let runs = 5;
     let datasets: Vec<(&str, PlanningInstance, PlannerParams)> = vec![
-        ("Univ-1 DS-CT", datagen::univ1_ds_ct(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        ("Univ-1 Cybersecurity", datagen::univ1_cyber(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        ("Univ-1 CS", datagen::univ1_cs(UNIV1_SEED), PlannerParams::univ1_defaults()),
-        ("Univ-2 DS", datagen::univ2_ds(UNIV2_SEED), PlannerParams::univ2_defaults()),
+        (
+            "Univ-1 DS-CT",
+            datagen::univ1_ds_ct(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        (
+            "Univ-1 Cybersecurity",
+            datagen::univ1_cyber(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        (
+            "Univ-1 CS",
+            datagen::univ1_cs(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        (
+            "Univ-2 DS",
+            datagen::univ2_ds(UNIV2_SEED),
+            PlannerParams::univ2_defaults(),
+        ),
     ];
     println!(
         "{:<22} {:>10} {:>8} {:>8} {:>6}",
@@ -30,14 +46,21 @@ fn main() {
         let params = base.with_start(start);
         let rl = avg(runs, |seed| {
             let (policy, _) = RlPlanner::learn(&instance, &params, seed);
-            score_plan(&instance, &RlPlanner::recommend(&policy, &instance, &params, start))
+            score_plan(
+                &instance,
+                &RlPlanner::recommend(&policy, &instance, &params, start),
+            )
         });
         let eda = avg(runs, |seed| {
             score_plan(&instance, &eda_plan(&instance, &params, start, seed))
         });
         let omega = score_plan(
             &instance,
-            &omega_plan(&instance, &OmegaConfig::paper_adaptation(instance.horizon()), None),
+            &omega_plan(
+                &instance,
+                &OmegaConfig::paper_adaptation(instance.horizon()),
+                None,
+            ),
         );
         let gold = score_plan(&instance, &gold_plan(&instance, Some(start)));
         println!("{label:<22} {rl:>10.2} {eda:>8.2} {omega:>8.2} {gold:>6.2}");

@@ -24,18 +24,90 @@ fn main() {
             "ethics",
             "simulation",
         ])
-        .course("ROB 500", "Foundations of Robotics", ItemKind::Primary, 3.0, &["kinematics", "mathematics"])
-        .course("ROB 510", "Robot Control Systems", ItemKind::Primary, 3.0, &["control", "mathematics"])
-        .course("ROB 520", "Motion Planning", ItemKind::Primary, 3.0, &["planning", "software"])
-        .course("ROB 530", "Robot Perception", ItemKind::Primary, 3.0, &["perception", "learning"])
-        .course("ROB 601", "Learning for Robotics", ItemKind::Secondary, 3.0, &["learning", "simulation"])
-        .course("ROB 602", "Embedded Robot Software", ItemKind::Secondary, 3.0, &["software", "hardware"])
-        .course("ROB 603", "Mechatronics", ItemKind::Secondary, 3.0, &["hardware", "kinematics"])
-        .course("ROB 604", "Human-Robot Interaction", ItemKind::Secondary, 3.0, &["ethics", "perception"])
-        .course("ROB 605", "Simulation Environments", ItemKind::Secondary, 3.0, &["simulation", "software"])
-        .course("ROB 606", "Optimal Control", ItemKind::Secondary, 3.0, &["control", "mathematics"])
-        .course("ROB 607", "Field Robotics Project", ItemKind::Secondary, 3.0, &["hardware", "planning"])
-        .course("ROB 608", "Robot Ethics and Policy", ItemKind::Secondary, 3.0, &["ethics"])
+        .course(
+            "ROB 500",
+            "Foundations of Robotics",
+            ItemKind::Primary,
+            3.0,
+            &["kinematics", "mathematics"],
+        )
+        .course(
+            "ROB 510",
+            "Robot Control Systems",
+            ItemKind::Primary,
+            3.0,
+            &["control", "mathematics"],
+        )
+        .course(
+            "ROB 520",
+            "Motion Planning",
+            ItemKind::Primary,
+            3.0,
+            &["planning", "software"],
+        )
+        .course(
+            "ROB 530",
+            "Robot Perception",
+            ItemKind::Primary,
+            3.0,
+            &["perception", "learning"],
+        )
+        .course(
+            "ROB 601",
+            "Learning for Robotics",
+            ItemKind::Secondary,
+            3.0,
+            &["learning", "simulation"],
+        )
+        .course(
+            "ROB 602",
+            "Embedded Robot Software",
+            ItemKind::Secondary,
+            3.0,
+            &["software", "hardware"],
+        )
+        .course(
+            "ROB 603",
+            "Mechatronics",
+            ItemKind::Secondary,
+            3.0,
+            &["hardware", "kinematics"],
+        )
+        .course(
+            "ROB 604",
+            "Human-Robot Interaction",
+            ItemKind::Secondary,
+            3.0,
+            &["ethics", "perception"],
+        )
+        .course(
+            "ROB 605",
+            "Simulation Environments",
+            ItemKind::Secondary,
+            3.0,
+            &["simulation", "software"],
+        )
+        .course(
+            "ROB 606",
+            "Optimal Control",
+            ItemKind::Secondary,
+            3.0,
+            &["control", "mathematics"],
+        )
+        .course(
+            "ROB 607",
+            "Field Robotics Project",
+            ItemKind::Secondary,
+            3.0,
+            &["hardware", "planning"],
+        )
+        .course(
+            "ROB 608",
+            "Robot Ethics and Policy",
+            ItemKind::Secondary,
+            3.0,
+            &["ethics"],
+        )
         // Prerequisite structure: control before optimal control, the
         // foundations before the project, perception OR learning before HRI.
         .requires_all("ROB 606", &["ROB 510"])
@@ -82,7 +154,11 @@ fn main() {
             i / 2 + 1,
             item.code,
             item.name,
-            if item.is_primary() { "core" } else { "elective" }
+            if item.is_primary() {
+                "core"
+            } else {
+                "elective"
+            }
         );
     }
     println!(

@@ -13,7 +13,10 @@ fn avg_score(instance: &PlanningInstance, params: &PlannerParams, runs: u64) -> 
     (0..runs)
         .map(|seed| {
             let (policy, _) = RlPlanner::learn(instance, params, seed);
-            score_plan(instance, &RlPlanner::recommend(&policy, instance, params, start))
+            score_plan(
+                instance,
+                &RlPlanner::recommend(&policy, instance, params, start),
+            )
         })
         .sum::<f64>()
         / runs as f64
@@ -39,7 +42,10 @@ fn main() {
     println!("reward weights (δ, β):");
     for (d, b) in [(0.4, 0.6), (0.5, 0.5), (0.6, 0.4)] {
         let p = base().with_delta_beta(d, b);
-        println!("  δ/β={d}/{b:<5} avg-sim {:>5.2}", avg_score(&instance, &p, runs));
+        println!(
+            "  δ/β={d}/{b:<5} avg-sim {:>5.2}",
+            avg_score(&instance, &p, runs)
+        );
     }
 
     println!("episodes N:");
@@ -49,7 +55,5 @@ fn main() {
         println!("  N={n:<6} avg-sim {:>5.2}", avg_score(&instance, &p, runs));
     }
 
-    println!(
-        "\nThe full sweeps (Tables IX–XVI) run via:  rl-planner exp table9  …  exp table16"
-    );
+    println!("\nThe full sweeps (Tables IX–XVI) run via:  rl-planner exp table9  …  exp table16");
 }

@@ -40,7 +40,11 @@ fn main() {
             i / instance.hard.gap + 1,
             item.code,
             item.name,
-            if item.is_primary() { "core" } else { "elective" },
+            if item.is_primary() {
+                "core"
+            } else {
+                "elective"
+            },
         );
     }
 

@@ -28,7 +28,11 @@ fn main() {
     let tgt_params = PlannerParams::univ1_defaults().with_start(start);
     let plan = RlPlanner::recommend_with_q(&q, &ds, &tgt_params, start);
     println!("transferred DS-CT plan:\n  {}", plan.render(&ds.catalog));
-    println!("score {:.2}; violations {}\n", score_plan(&ds, &plan), plan_violations(&ds, &plan).len());
+    println!(
+        "score {:.2}; violations {}\n",
+        score_plan(&ds, &plan),
+        plan_violations(&ds, &plan).len()
+    );
 
     // --- Trips: NYC → Paris (disjoint POIs, different theme vocabularies).
     let nyc = datagen::nyc(NYC_SEED).instance;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI runs, in the same order.
+# Usage: scripts/check.sh [--quick]   (--quick skips the release build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo test -q
+if [[ $quick -eq 0 ]]; then
+  run cargo build --release -p rl-planner-cli
+fi
+echo "All checks passed."

@@ -21,7 +21,9 @@
 //!   environments, the RL-Planner learner/recommender, scoring, transfer;
 //! * [`baselines`] — OMEGA, EDA and the gold-standard oracle;
 //! * [`eval`] — the experiment harness reproducing every table and
-//!   figure.
+//!   figure;
+//! * [`obs`] — std-only structured tracing (JSONL events, RAII spans)
+//!   and metrics (counters, gauges, log-bucketed histograms).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use tpp_datagen as datagen;
 pub use tpp_eval as eval;
 pub use tpp_geo as geo;
 pub use tpp_model as model;
+pub use tpp_obs as obs;
 pub use tpp_rl as rl;
 pub use tpp_store as store;
 pub use tpp_text as text;
@@ -59,13 +62,13 @@ pub use tpp_text as text;
 pub mod prelude {
     pub use tpp_baselines::{eda_plan, gold_plan, omega_plan, OmegaConfig};
     pub use tpp_core::{
-        plan_violations, score_plan, PlannerParams, RlPlanner, SimAggregate, StartPolicy,
-        TppEnv, TypeWeights,
+        plan_violations, score_plan, PlannerParams, RlPlanner, SimAggregate, StartPolicy, TppEnv,
+        TypeWeights,
     };
     pub use tpp_model::{
         Catalog, HardConstraints, InterleavingTemplate, Item, ItemId, ItemKind, Plan,
-        PlanningInstance, PrereqExpr, SoftConstraints, TemplateSet, TopicVector,
-        TopicVocabulary, TripConstraints,
+        PlanningInstance, PrereqExpr, SoftConstraints, TemplateSet, TopicVector, TopicVocabulary,
+        TripConstraints,
     };
     pub use tpp_rl::QTable;
 }

@@ -67,7 +67,11 @@ fn distribution_feedback_equivalent_to_its_mean_rating() {
     let (policy, _) = RlPlanner::learn(&instance, &params, 2);
     let item = instance.catalog.by_code("CS 683").unwrap().id;
 
-    let mut a = FeedbackLoop::new(policy.clone(), instance.catalog.len(), FeedbackConfig::default());
+    let mut a = FeedbackLoop::new(
+        policy.clone(),
+        instance.catalog.len(),
+        FeedbackConfig::default(),
+    );
     a.observe(item, &Feedback::Rating(4));
     let mut b = FeedbackLoop::new(policy, instance.catalog.len(), FeedbackConfig::default());
     let mut dist = [0.0; 5];

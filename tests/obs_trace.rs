@@ -1,0 +1,122 @@
+//! End-to-end observability: short training runs with the JSONL sink
+//! installed must emit schema-conformant trace lines, and the metrics
+//! registry must pick up the constraint-gate and histogram instruments.
+//!
+//! Single `#[test]` because the sink registry and metrics are
+//! process-wide.
+
+use rl_planner::obs;
+use rl_planner::obs::json::{self, Json};
+use rl_planner::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn training_with_jsonl_sink_emits_schema_valid_trace() {
+    let path =
+        std::env::temp_dir().join(format!("rl-planner-obs-trace-{}.jsonl", std::process::id()));
+    let sink = obs::JsonlSink::create(&path, obs::Level::Trace).expect("create trace file");
+    obs::add_sink(Arc::new(sink));
+
+    // A short course training run + recommendation on DS-CT…
+    let course = rl_planner::datagen::univ1_ds_ct(42);
+    let start = course.default_start.unwrap();
+    let mut params = PlannerParams::univ1_defaults().with_start(start);
+    params.episodes = 50;
+    let (policy, stats) = RlPlanner::learn(&course, &params, 0);
+    let _ = RlPlanner::recommend(&policy, &course, &params, start);
+    assert_eq!(stats.episodes(), 50);
+
+    // …and a trip run, which exercises the constraint gate.
+    let trip = rl_planner::datagen::paris(7).instance;
+    let tstart = trip.default_start.unwrap();
+    let mut tparams = PlannerParams::trip_defaults().with_start(tstart);
+    tparams.episodes = 50;
+    let _ = RlPlanner::learn(&trip, &tparams, 0);
+
+    // Flushes buffered lines and disables emission.
+    obs::clear_sinks();
+
+    let body = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+
+    let levels = ["error", "warn", "info", "debug", "trace"];
+    let mut episodes = 0usize;
+    let mut sessions = 0usize;
+    let mut recommends = 0usize;
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+        // Schema: t_us (number), level (known string), event (string),
+        // fields (object).
+        let t_us = v
+            .get("t_us")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing t_us in {line:?}"));
+        assert!(t_us >= 0.0);
+        let level = v
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("missing level in {line:?}"));
+        assert!(levels.contains(&level), "unknown level {level:?}");
+        let event = v
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("missing event in {line:?}"));
+        let fields = v
+            .get("fields")
+            .unwrap_or_else(|| panic!("missing fields in {line:?}"));
+        match event {
+            "train.episode" => {
+                episodes += 1;
+                assert!(fields.get("episode").and_then(Json::as_f64).is_some());
+                assert!(fields.get("epsilon").and_then(Json::as_f64).is_some());
+                assert!(fields.get("ep_return").and_then(Json::as_f64).is_some());
+            }
+            "train.session" => {
+                sessions += 1;
+                assert!(fields.get("mean_return").and_then(Json::as_f64).is_some());
+                assert!(fields.get("duration_us").and_then(Json::as_f64).is_some());
+                assert!(fields.get("gate_checked").and_then(Json::as_f64).is_some());
+            }
+            "plan.recommend" => {
+                recommends += 1;
+                assert!(fields.get("plan_len").and_then(Json::as_f64).is_some());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(episodes, 100, "one train.episode event per episode");
+    assert_eq!(sessions, 2, "one train.session span per learn call");
+    assert!(recommends >= 1, "the recommendation span must appear");
+
+    // Timestamps are monotone non-decreasing in emission order.
+    let stamps: Vec<f64> = lines
+        .iter()
+        .map(|l| {
+            json::parse(l)
+                .unwrap()
+                .get("t_us")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        })
+        .collect();
+    assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+
+    // The metrics registry saw the gate and the action-set histogram.
+    let m = obs::metrics();
+    assert!(m.counter("gate.checked").get() > 0);
+    let rejected = m.counter("gate.reject.credits").get()
+        + m.counter("gate.reject.theme_gap").get()
+        + m.counter("gate.reject.distance").get();
+    assert!(rejected > 0, "trip training must hit the constraint gate");
+    assert!(m.histogram("env.valid_actions").count() > 0);
+    assert!(m.histogram("span.train.session.us").count() >= 2);
+
+    // The machine-readable metrics dump is itself valid JSON.
+    let dump = m.render_json();
+    let parsed = json::parse(&dump).expect("metrics JSON parses");
+    assert!(parsed.get("counters").is_some());
+    assert!(parsed.get("histograms").is_some());
+}

@@ -17,8 +17,7 @@ fn table2_exemplar_sequence_is_perfect() {
         trip: None,
         default_start: Some(ItemId(0)),
     };
-    let plan =
-        Plan::from_codes(&instance.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
+    let plan = Plan::from_codes(&instance.catalog, &["m1", "m2", "m4", "m5", "m6", "m3"]).unwrap();
     assert!(plan_violations(&instance, &plan).is_empty());
     assert_eq!(score_plan(&instance, &plan), 6.0);
 }
@@ -49,7 +48,13 @@ fn paris_exemplar_itinerary_matches_template_i1() {
     let catalog = toy::paris_toy_catalog();
     let plan = Plan::from_codes(
         &catalog,
-        &["louvre museum", "le cinq", "eiffel tower", "rue des martyrs", "river seine"],
+        &[
+            "louvre museum",
+            "le cinq",
+            "eiffel tower",
+            "rue des martyrs",
+            "river seine",
+        ],
     )
     .unwrap();
     let kinds = plan.kind_sequence(&catalog);

@@ -38,7 +38,10 @@ fn rl_beats_eda_beats_omega_on_average() {
     let rl: f64 = (0..runs)
         .map(|seed| {
             let (policy, _) = RlPlanner::learn(&instance, &params, seed);
-            score_plan(&instance, &RlPlanner::recommend(&policy, &instance, &params, start))
+            score_plan(
+                &instance,
+                &RlPlanner::recommend(&policy, &instance, &params, start),
+            )
         })
         .sum::<f64>()
         / runs as f64;
@@ -48,13 +51,21 @@ fn rl_beats_eda_beats_omega_on_average() {
         / runs as f64;
     let omega = score_plan(
         &instance,
-        &omega_plan(&instance, &OmegaConfig::paper_adaptation(instance.horizon()), None),
+        &omega_plan(
+            &instance,
+            &OmegaConfig::paper_adaptation(instance.horizon()),
+            None,
+        ),
     );
     let gold = score_plan(&instance, &gold_plan(&instance, Some(start)));
     assert!(gold >= rl, "gold {gold} < rl {rl}");
     assert!(rl >= eda - 0.5, "rl {rl} well below eda {eda}");
     assert!(eda > omega, "eda {eda} <= omega {omega}");
-    assert_eq!(gold, instance.horizon() as f64, "gold is a perfect template");
+    assert_eq!(
+        gold,
+        instance.horizon() as f64,
+        "gold is a perfect template"
+    );
 }
 
 #[test]
@@ -74,8 +85,13 @@ fn plans_respect_semester_structure() {
         if let Some(pos) = plan.position_of(cs677) {
             let sem = pos / instance.hard.gap;
             let cs675 = instance.catalog.by_code("CS 675").unwrap().id;
-            let p675 = plan.position_of(cs675).expect("CS 675 is core, always present");
-            assert!(p675 / instance.hard.gap < sem, "CS 675 not a semester before CS 677");
+            let p675 = plan
+                .position_of(cs675)
+                .expect("CS 675 is core, always present");
+            assert!(
+                p675 / instance.hard.gap < sem,
+                "CS 675 not a semester before CS 677"
+            );
         }
     }
 }
@@ -106,7 +122,10 @@ fn min_similarity_variant_is_comparable() {
     let avg: f64 = (0..6u64)
         .map(|s| {
             let (p, _) = RlPlanner::learn(&instance, &base, s);
-            score_plan(&instance, &RlPlanner::recommend(&p, &instance, &base, start))
+            score_plan(
+                &instance,
+                &RlPlanner::recommend(&p, &instance, &base, start),
+            )
         })
         .sum::<f64>()
         / 6.0;
@@ -114,10 +133,16 @@ fn min_similarity_variant_is_comparable() {
     let min: f64 = (0..6u64)
         .map(|s| {
             let (p, _) = RlPlanner::learn(&instance, &minp, s);
-            score_plan(&instance, &RlPlanner::recommend(&p, &instance, &minp, start))
+            score_plan(
+                &instance,
+                &RlPlanner::recommend(&p, &instance, &minp, start),
+            )
         })
         .sum::<f64>()
         / 6.0;
     assert!(min > 0.0, "MinSim should still produce valid plans");
-    assert!((avg - min).abs() < 6.0, "variants diverged: avg {avg}, min {min}");
+    assert!(
+        (avg - min).abs() < 6.0,
+        "variants diverged: avg {avg}, min {min}"
+    );
 }

@@ -7,7 +7,13 @@ use rl_planner::prelude::*;
 
 fn kind_seq(len: usize) -> impl Strategy<Value = Vec<ItemKind>> {
     prop::collection::vec(
-        prop::bool::ANY.prop_map(|b| if b { ItemKind::Primary } else { ItemKind::Secondary }),
+        prop::bool::ANY.prop_map(|b| {
+            if b {
+                ItemKind::Primary
+            } else {
+                ItemKind::Secondary
+            }
+        }),
         0..=len,
     )
 }

@@ -62,7 +62,12 @@ fn trip_transfer_both_directions_scores_high() {
         let src_params = PlannerParams::trip_defaults().with_start(src.default_start.unwrap());
         let (policy, _) = RlPlanner::learn(src, &src_params, 0);
         let mapping = poi_mapping_by_theme(&tgt.catalog, &src.catalog);
-        assert!(mapping.coverage() > 0.5, "{} → {}", src.catalog.name(), tgt.catalog.name());
+        assert!(
+            mapping.coverage() > 0.5,
+            "{} → {}",
+            src.catalog.name(),
+            tgt.catalog.name()
+        );
         let q = transfer_policy(&policy.q, &mapping);
         let start = tgt.default_start.unwrap();
         let plan = RlPlanner::recommend_with_q(
@@ -93,7 +98,11 @@ fn transferred_q_respects_target_validity() {
     let mapping = poi_mapping_by_theme(&p.catalog, &n.catalog);
     let q = transfer_policy(&policy.q, &mapping);
     let start = p.default_start.unwrap();
-    let plan =
-        RlPlanner::recommend_with_q(&q, &p, &PlannerParams::trip_defaults().with_start(start), start);
+    let plan = RlPlanner::recommend_with_q(
+        &q,
+        &p,
+        &PlannerParams::trip_defaults().with_start(start),
+        start,
+    );
     assert!(plan_violations(&p, &plan).is_empty());
 }
