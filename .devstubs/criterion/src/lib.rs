@@ -1,0 +1,135 @@
+//! Dev-only offline stand-in for `criterion` 0.3: compiles the bench
+//! targets and runs each registered closure once (no statistics).
+
+use std::fmt;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(group: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{group}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        let _ = t0.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, P: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: P,
+        mut f: F,
+    ) {
+        let s = setup();
+        black_box(f(s));
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{id} (stub: single run)", self.name);
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{id} (stub: single run)", self.name);
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {id} (stub: single run)");
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

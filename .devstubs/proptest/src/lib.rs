@@ -1,0 +1,172 @@
+//! Dev-only offline stand-in for `proptest`: enough surface for the
+//! workspace's property-test files to *compile*. The `proptest!` macro
+//! expands to nothing, so property tests are skipped (not run) under
+//! the stub.
+
+use std::marker::PhantomData;
+
+pub trait Strategy {
+    type Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    #[allow(dead_code)]
+    inner: S,
+    #[allow(dead_code)]
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+}
+
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+pub struct AnyOf<T>(PhantomData<T>);
+
+impl<T> Strategy for AnyOf<T> {
+    type Value = T;
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub struct SizeRange;
+
+impl From<usize> for SizeRange {
+    fn from(_: usize) -> Self {
+        SizeRange
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(_: std::ops::Range<usize>) -> Self {
+        SizeRange
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(_: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::Strategy;
+        use std::marker::PhantomData;
+
+        pub struct VecStrategy<S: Strategy>(PhantomData<S>);
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+        }
+
+        pub fn vec<S: Strategy>(
+            _element: S,
+            _size: impl Into<crate::SizeRange>,
+        ) -> VecStrategy<S> {
+            VecStrategy(PhantomData)
+        }
+    }
+
+    pub mod option {
+        use crate::Strategy;
+        use std::marker::PhantomData;
+
+        pub struct OptionStrategy<S: Strategy>(PhantomData<S>);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+        }
+
+        pub fn of<S: Strategy>(_inner: S) -> OptionStrategy<S> {
+            OptionStrategy(PhantomData)
+        }
+    }
+
+    pub mod bool {
+        pub const ANY: crate::AnyOf<bool> = crate::AnyOf(std::marker::PhantomData);
+    }
+
+    pub mod num {
+        pub mod f64 {
+            pub const ANY: crate::AnyOf<f64> = crate::AnyOf(std::marker::PhantomData);
+        }
+        pub mod usize {
+            pub const ANY: crate::AnyOf<usize> = crate::AnyOf(std::marker::PhantomData);
+        }
+    }
+}
+
+pub fn any<T>() -> AnyOf<T> {
+    AnyOf(PhantomData)
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
+
+/// No-op expansion: property tests are skipped under the offline stub.
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($tt:tt)*) => {
+        compile_error!("prop_oneof unsupported by offline stub")
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, AnyOf, Just, ProptestConfig, Strategy,
+    };
+}

@@ -1,0 +1,23 @@
+//! Dev-only offline stand-in for `serde`: blanket-implemented marker
+//! traits so `#[derive(Serialize, Deserialize)]` and generic bounds
+//! typecheck. Actual (de)serialization is NOT available — the stub
+//! `serde_json` returns errors at runtime.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

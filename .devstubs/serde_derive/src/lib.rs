@@ -1,0 +1,15 @@
+//! Dev-only no-op serde derives: the sibling stub `serde` crate blanket
+//! impls the traits, so the derives only need to exist (and accept the
+//! `#[serde(...)]` attribute).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

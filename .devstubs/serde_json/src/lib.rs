@@ -1,0 +1,56 @@
+//! Dev-only offline stand-in for `serde_json`: typechecks, but every
+//! call fails at runtime (the stub `serde` cannot drive real codecs).
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub struct Error(&'static str);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn unavailable<T>() -> Result<T> {
+    Err(Error("offline dev stub; real serialization unavailable"))
+}
+
+pub fn to_string<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    unavailable()
+}
+
+pub fn to_string_pretty<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    unavailable()
+}
+
+pub fn to_vec<T: ?Sized + Serialize>(_value: &T) -> Result<Vec<u8>> {
+    unavailable()
+}
+
+pub fn to_vec_pretty<T: ?Sized + Serialize>(_value: &T) -> Result<Vec<u8>> {
+    unavailable()
+}
+
+pub fn from_str<'a, T: Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unavailable()
+}
+
+pub fn from_slice<'a, T: Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    unavailable()
+}
+
+pub fn from_reader<R: std::io::Read, T: DeserializeOwned>(_rdr: R) -> Result<T> {
+    unavailable()
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-68dc3d3cb645d333.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-68dc3d3cb645d333.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b5c7d361da27f42a.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b5c7d361da27f42a.rlib: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b5c7d361da27f42a.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

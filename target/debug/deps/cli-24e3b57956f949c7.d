@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-24e3b57956f949c7.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-24e3b57956f949c7: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rl-planner=/root/repo/target/debug/rl-planner

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9c856551aa952ecd.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9c856551aa952ecd: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rl-planner=/root/repo/target/debug/rl-planner

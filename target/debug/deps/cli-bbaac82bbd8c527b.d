@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-bbaac82bbd8c527b.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-bbaac82bbd8c527b.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rl-planner=placeholder:rl-planner
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

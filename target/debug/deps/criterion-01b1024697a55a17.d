@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-01b1024697a55a17.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-01b1024697a55a17.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-bc8f99c0f3ad4cbf.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bc8f99c0f3ad4cbf.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bc8f99c0f3ad4cbf.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

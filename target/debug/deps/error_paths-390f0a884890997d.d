@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/error_paths-390f0a884890997d.d: tests/error_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_paths-390f0a884890997d.rmeta: tests/error_paths.rs Cargo.toml
+
+tests/error_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

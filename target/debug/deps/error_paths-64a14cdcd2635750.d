@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_paths-64a14cdcd2635750.d: tests/error_paths.rs
+
+/root/repo/target/debug/deps/error_paths-64a14cdcd2635750: tests/error_paths.rs
+
+tests/error_paths.rs:

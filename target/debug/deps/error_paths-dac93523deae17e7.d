@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_paths-dac93523deae17e7.d: tests/error_paths.rs
+
+/root/repo/target/debug/deps/error_paths-dac93523deae17e7: tests/error_paths.rs
+
+tests/error_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback-13e19d1be46a7b08.d: tests/feedback.rs
+
+/root/repo/target/debug/deps/feedback-13e19d1be46a7b08: tests/feedback.rs
+
+tests/feedback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/feedback-7919f46263686b7e.d: tests/feedback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeedback-7919f46263686b7e.rmeta: tests/feedback.rs Cargo.toml
+
+tests/feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

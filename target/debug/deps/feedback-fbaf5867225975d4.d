@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback-fbaf5867225975d4.d: tests/feedback.rs
+
+/root/repo/target/debug/deps/feedback-fbaf5867225975d4: tests/feedback.rs
+
+tests/feedback.rs:

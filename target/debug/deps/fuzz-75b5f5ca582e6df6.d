@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-75b5f5ca582e6df6.d: crates/store/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-75b5f5ca582e6df6: crates/store/tests/fuzz.rs
+
+crates/store/tests/fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-dff06f149c2f85dd.d: crates/store/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-dff06f149c2f85dd.rmeta: crates/store/tests/fuzz.rs Cargo.toml
+
+crates/store/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-e564bf06c015d073.d: crates/store/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-e564bf06c015d073: crates/store/tests/fuzz.rs
+
+crates/store/tests/fuzz.rs:

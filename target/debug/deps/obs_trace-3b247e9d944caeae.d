@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_trace-3b247e9d944caeae.d: tests/obs_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-3b247e9d944caeae.rmeta: tests/obs_trace.rs Cargo.toml
+
+tests/obs_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

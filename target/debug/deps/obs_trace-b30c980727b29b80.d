@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-b30c980727b29b80.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-b30c980727b29b80: tests/obs_trace.rs
+
+tests/obs_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-3d30d63a52496c92.d: tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-3d30d63a52496c92.rmeta: tests/paper_examples.rs Cargo.toml
+
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-bc813a18a63ecf6d.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-bc813a18a63ecf6d: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-f65120ce6c177a09.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-f65120ce6c177a09: tests/paper_examples.rs
+
+tests/paper_examples.rs:

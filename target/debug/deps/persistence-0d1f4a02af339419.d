@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-0d1f4a02af339419.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-0d1f4a02af339419.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

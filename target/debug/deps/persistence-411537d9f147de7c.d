@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-411537d9f147de7c.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-411537d9f147de7c: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-d99811b8b295d6dc.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-d99811b8b295d6dc: tests/persistence.rs
+
+tests/persistence.rs:

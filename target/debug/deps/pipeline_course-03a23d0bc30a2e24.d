@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_course-03a23d0bc30a2e24.d: tests/pipeline_course.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_course-03a23d0bc30a2e24.rmeta: tests/pipeline_course.rs Cargo.toml
+
+tests/pipeline_course.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

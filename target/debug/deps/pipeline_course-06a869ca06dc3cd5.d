@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_course-06a869ca06dc3cd5.d: tests/pipeline_course.rs
+
+/root/repo/target/debug/deps/pipeline_course-06a869ca06dc3cd5: tests/pipeline_course.rs
+
+tests/pipeline_course.rs:

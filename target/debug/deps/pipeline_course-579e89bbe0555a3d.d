@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_course-579e89bbe0555a3d.d: tests/pipeline_course.rs
+
+/root/repo/target/debug/deps/pipeline_course-579e89bbe0555a3d: tests/pipeline_course.rs
+
+tests/pipeline_course.rs:

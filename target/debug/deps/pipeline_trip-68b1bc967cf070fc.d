@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_trip-68b1bc967cf070fc.d: tests/pipeline_trip.rs
+
+/root/repo/target/debug/deps/pipeline_trip-68b1bc967cf070fc: tests/pipeline_trip.rs
+
+tests/pipeline_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_trip-b31c9ba86b7acda4.d: tests/pipeline_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_trip-b31c9ba86b7acda4.rmeta: tests/pipeline_trip.rs Cargo.toml
+
+tests/pipeline_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_trip-d274c005c74c21fa.d: tests/pipeline_trip.rs
+
+/root/repo/target/debug/deps/pipeline_trip-d274c005c74c21fa: tests/pipeline_trip.rs
+
+tests/pipeline_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-097b5781287ea744.d: crates/model/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-097b5781287ea744.rmeta: crates/model/tests/properties.rs Cargo.toml
+
+crates/model/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0dd5c2b8744f52cc.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0dd5c2b8744f52cc: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

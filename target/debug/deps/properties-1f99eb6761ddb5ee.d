@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1f99eb6761ddb5ee.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1f99eb6761ddb5ee: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-32d7fc390e10baaf.d: crates/geo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-32d7fc390e10baaf.rmeta: crates/geo/tests/properties.rs Cargo.toml
+
+crates/geo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

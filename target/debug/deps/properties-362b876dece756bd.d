@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-362b876dece756bd.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-362b876dece756bd: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8c4eadf0617f91a7.d: crates/rl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8c4eadf0617f91a7: crates/rl/tests/properties.rs
+
+crates/rl/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9c417790477d037c.d: crates/datagen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9c417790477d037c: crates/datagen/tests/properties.rs
+
+crates/datagen/tests/properties.rs:

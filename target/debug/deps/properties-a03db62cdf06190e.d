@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a03db62cdf06190e.d: crates/rl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a03db62cdf06190e: crates/rl/tests/properties.rs
+
+crates/rl/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b3c00f2ba2ed7053.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b3c00f2ba2ed7053: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

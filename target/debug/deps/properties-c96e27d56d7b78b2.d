@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c96e27d56d7b78b2.d: crates/datagen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c96e27d56d7b78b2: crates/datagen/tests/properties.rs
+
+crates/datagen/tests/properties.rs:

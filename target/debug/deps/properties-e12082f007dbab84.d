@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e12082f007dbab84.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e12082f007dbab84: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f5916a81e63ce643.d: crates/rl/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f5916a81e63ce643.rmeta: crates/rl/tests/properties.rs Cargo.toml
+
+crates/rl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

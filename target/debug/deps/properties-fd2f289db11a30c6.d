@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fd2f289db11a30c6.d: crates/datagen/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fd2f289db11a30c6.rmeta: crates/datagen/tests/properties.rs Cargo.toml
+
+crates/datagen/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5fb7c34fe0c0c596.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5fb7c34fe0c0c596.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

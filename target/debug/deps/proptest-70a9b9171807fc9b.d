@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-70a9b9171807fc9b.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-70a9b9171807fc9b.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-70a9b9171807fc9b.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

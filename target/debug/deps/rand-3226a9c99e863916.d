@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-3226a9c99e863916.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3226a9c99e863916.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3226a9c99e863916.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

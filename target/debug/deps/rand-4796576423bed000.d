@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4796576423bed000.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4796576423bed000.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rl_planner-0d0b1a6a685e3ca5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librl_planner-0d0b1a6a685e3ca5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

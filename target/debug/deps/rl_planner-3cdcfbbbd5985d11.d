@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-3cdcfbbbd5985d11.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rl_planner-3cdcfbbbd5985d11: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

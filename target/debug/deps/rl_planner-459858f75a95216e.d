@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-459858f75a95216e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rl_planner-459858f75a95216e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

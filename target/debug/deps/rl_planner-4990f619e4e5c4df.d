@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rl_planner-4990f619e4e5c4df.d: src/lib.rs
+
+/root/repo/target/debug/deps/librl_planner-4990f619e4e5c4df.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librl_planner-4990f619e4e5c4df.rmeta: src/lib.rs
+
+src/lib.rs:

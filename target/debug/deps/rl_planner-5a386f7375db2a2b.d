@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rl_planner-5a386f7375db2a2b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librl_planner-5a386f7375db2a2b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-aa21eb20426335e2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rl_planner-aa21eb20426335e2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rl_planner-c5cdc215d366aed0.d: src/lib.rs
+
+/root/repo/target/debug/deps/librl_planner-c5cdc215d366aed0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librl_planner-c5cdc215d366aed0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rl_planner-c8618aaa18df2963.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librl_planner-c8618aaa18df2963.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

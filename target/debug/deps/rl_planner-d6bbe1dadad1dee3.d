@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-d6bbe1dadad1dee3.d: src/lib.rs
+
+/root/repo/target/debug/deps/rl_planner-d6bbe1dadad1dee3: src/lib.rs
+
+src/lib.rs:

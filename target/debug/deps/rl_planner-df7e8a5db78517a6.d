@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-df7e8a5db78517a6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rl_planner-df7e8a5db78517a6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rl_planner-e0ceed46a9a6b67f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librl_planner-e0ceed46a9a6b67f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rl_planner-f159cba7411419e9.d: src/lib.rs
+
+/root/repo/target/debug/deps/rl_planner-f159cba7411419e9: src/lib.rs
+
+src/lib.rs:

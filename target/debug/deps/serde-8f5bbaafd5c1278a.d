@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8f5bbaafd5c1278a.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8f5bbaafd5c1278a.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8f5bbaafd5c1278a.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

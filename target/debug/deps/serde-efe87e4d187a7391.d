@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-efe87e4d187a7391.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-efe87e4d187a7391.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7ebd74994a78c188.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-7ebd74994a78c188.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

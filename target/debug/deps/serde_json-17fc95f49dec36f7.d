@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-17fc95f49dec36f7.d: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-17fc95f49dec36f7.rlib: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-17fc95f49dec36f7.rmeta: .devstubs/serde_json/src/lib.rs
+
+.devstubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-60f64bfc166f5d79.d: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-60f64bfc166f5d79.rmeta: .devstubs/serde_json/src/lib.rs
+
+.devstubs/serde_json/src/lib.rs:

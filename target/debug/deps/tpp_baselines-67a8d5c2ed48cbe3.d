@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpp_baselines-67a8d5c2ed48cbe3.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_baselines-67a8d5c2ed48cbe3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tpp_baselines-72eb1dbfab2f6c82.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/debug/deps/tpp_baselines-72eb1dbfab2f6c82: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:

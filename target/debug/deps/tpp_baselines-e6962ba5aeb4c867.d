@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_baselines-e6962ba5aeb4c867.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/debug/deps/libtpp_baselines-e6962ba5aeb4c867.rlib: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/debug/deps/libtpp_baselines-e6962ba5aeb4c867.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:

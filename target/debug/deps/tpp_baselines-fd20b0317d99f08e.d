@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_baselines-fd20b0317d99f08e.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/debug/deps/libtpp_baselines-fd20b0317d99f08e.rlib: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/debug/deps/libtpp_baselines-fd20b0317d99f08e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:

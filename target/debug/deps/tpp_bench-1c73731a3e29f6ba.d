@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpp_bench-1c73731a3e29f6ba.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_bench-1c73731a3e29f6ba.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpp_bench-21d12566e32acd0e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_bench-21d12566e32acd0e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tpp_bench-5861e1c1edfdc21b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtpp_bench-5861e1c1edfdc21b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtpp_bench-5861e1c1edfdc21b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpp_bench-5ae93e6d7c29c961.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tpp_bench-5ae93e6d7c29c961: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

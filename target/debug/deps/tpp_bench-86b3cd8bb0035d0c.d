@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tpp_bench-86b3cd8bb0035d0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtpp_bench-86b3cd8bb0035d0c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtpp_bench-86b3cd8bb0035d0c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpp_bench-ab9dcbffdbce08b8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tpp_bench-ab9dcbffdbce08b8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpp_core-41737b759ed4d356.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/libtpp_core-41737b759ed4d356.rlib: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/libtpp_core-41737b759ed4d356.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/feedback.rs:
+crates/core/src/params.rs:
+crates/core/src/planner.rs:
+crates/core/src/reward.rs:
+crates/core/src/score.rs:
+crates/core/src/transfer.rs:

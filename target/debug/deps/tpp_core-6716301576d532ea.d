@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpp_core-6716301576d532ea.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+/root/repo/target/debug/deps/tpp_core-6716301576d532ea: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/feedback.rs:
+crates/core/src/params.rs:
+crates/core/src/planner.rs:
+crates/core/src/reward.rs:
+crates/core/src/score.rs:
+crates/core/src/transfer.rs:

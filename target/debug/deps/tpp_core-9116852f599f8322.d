@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tpp_core-9116852f599f8322.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_core-9116852f599f8322.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/feedback.rs:
+crates/core/src/params.rs:
+crates/core/src/planner.rs:
+crates/core/src/reward.rs:
+crates/core/src/score.rs:
+crates/core/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tpp_datagen-0b377596a48b52c9.d: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_datagen-0b377596a48b52c9.rmeta: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/itineraries.rs:
+crates/datagen/src/names.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/trips.rs:
+crates/datagen/src/univ1.rs:
+crates/datagen/src/univ2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

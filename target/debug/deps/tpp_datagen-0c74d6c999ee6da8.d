@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpp_datagen-0c74d6c999ee6da8.d: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/debug/deps/tpp_datagen-0c74d6c999ee6da8: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/itineraries.rs:
+crates/datagen/src/names.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/trips.rs:
+crates/datagen/src/univ1.rs:
+crates/datagen/src/univ2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpp_datagen-c4fab243f1c5c3cc.d: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/debug/deps/tpp_datagen-c4fab243f1c5c3cc: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/itineraries.rs:
+crates/datagen/src/names.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/trips.rs:
+crates/datagen/src/univ1.rs:
+crates/datagen/src/univ2.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpp_datagen-d34de2d4dea1afa1.d: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/debug/deps/libtpp_datagen-d34de2d4dea1afa1.rlib: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/debug/deps/libtpp_datagen-d34de2d4dea1afa1.rmeta: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/itineraries.rs:
+crates/datagen/src/names.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/trips.rs:
+crates/datagen/src/univ1.rs:
+crates/datagen/src/univ2.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tpp_eval-ddbde987a99319c2.d: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/extensions.rs crates/eval/src/fig1.rs crates/eval/src/fig2.rs crates/eval/src/raters.rs crates/eval/src/registry.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/sweeps.rs crates/eval/src/table4.rs crates/eval/src/table5.rs crates/eval/src/table7.rs crates/eval/src/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_eval-ddbde987a99319c2.rmeta: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/extensions.rs crates/eval/src/fig1.rs crates/eval/src/fig2.rs crates/eval/src/raters.rs crates/eval/src/registry.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/sweeps.rs crates/eval/src/table4.rs crates/eval/src/table5.rs crates/eval/src/table7.rs crates/eval/src/table8.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/datasets.rs:
+crates/eval/src/extensions.rs:
+crates/eval/src/fig1.rs:
+crates/eval/src/fig2.rs:
+crates/eval/src/raters.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/sweeps.rs:
+crates/eval/src/table4.rs:
+crates/eval/src/table5.rs:
+crates/eval/src/table7.rs:
+crates/eval/src/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

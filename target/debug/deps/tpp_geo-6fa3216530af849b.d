@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpp_geo-6fa3216530af849b.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_geo-6fa3216530af849b.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tpp_geo-7ada4f3c9c0b9238.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+/root/repo/target/debug/deps/tpp_geo-7ada4f3c9c0b9238: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpp_geo-a4fa80fa8453daf2.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+/root/repo/target/debug/deps/libtpp_geo-a4fa80fa8453daf2.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+/root/repo/target/debug/deps/libtpp_geo-a4fa80fa8453daf2.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tpp_model-1f94c1a2158e9048.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/catalog.rs crates/model/src/constraints.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/item.rs crates/model/src/plan.rs crates/model/src/prereq.rs crates/model/src/template.rs crates/model/src/topic.rs crates/model/src/toy.rs crates/model/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_model-1f94c1a2158e9048.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/catalog.rs crates/model/src/constraints.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/item.rs crates/model/src/plan.rs crates/model/src/prereq.rs crates/model/src/template.rs crates/model/src/topic.rs crates/model/src/toy.rs crates/model/src/validate.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/catalog.rs:
+crates/model/src/constraints.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/instance.rs:
+crates/model/src/item.rs:
+crates/model/src/plan.rs:
+crates/model/src/prereq.rs:
+crates/model/src/template.rs:
+crates/model/src/topic.rs:
+crates/model/src/toy.rs:
+crates/model/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

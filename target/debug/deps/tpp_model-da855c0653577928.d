@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tpp_model-da855c0653577928.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/catalog.rs crates/model/src/constraints.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/item.rs crates/model/src/plan.rs crates/model/src/prereq.rs crates/model/src/template.rs crates/model/src/topic.rs crates/model/src/toy.rs crates/model/src/validate.rs
+
+/root/repo/target/debug/deps/tpp_model-da855c0653577928: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/catalog.rs crates/model/src/constraints.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/item.rs crates/model/src/plan.rs crates/model/src/prereq.rs crates/model/src/template.rs crates/model/src/topic.rs crates/model/src/toy.rs crates/model/src/validate.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/catalog.rs:
+crates/model/src/constraints.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/instance.rs:
+crates/model/src/item.rs:
+crates/model/src/plan.rs:
+crates/model/src/prereq.rs:
+crates/model/src/template.rs:
+crates/model/src/topic.rs:
+crates/model/src/toy.rs:
+crates/model/src/validate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpp_obs-2e14321101f0d378.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+/root/repo/target/debug/deps/libtpp_obs-2e14321101f0d378.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+/root/repo/target/debug/deps/libtpp_obs-2e14321101f0d378.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/level.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpp_obs-8620eff4df69a95a.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+/root/repo/target/debug/deps/tpp_obs-8620eff4df69a95a: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/level.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/value.rs:

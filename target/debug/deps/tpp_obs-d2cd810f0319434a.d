@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tpp_obs-d2cd810f0319434a.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_obs-d2cd810f0319434a.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/level.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

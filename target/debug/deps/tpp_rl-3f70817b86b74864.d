@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/tpp_rl-3f70817b86b74864.d: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_rl-3f70817b86b74864.rmeta: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs Cargo.toml
+
+crates/rl/src/lib.rs:
+crates/rl/src/dp.rs:
+crates/rl/src/env.rs:
+crates/rl/src/expected_sarsa.rs:
+crates/rl/src/mc.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rollout.rs:
+crates/rl/src/sarsa.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/stats.rs:
+crates/rl/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tpp_rl-83c8b0201bb8087b.d: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs
+
+/root/repo/target/debug/deps/tpp_rl-83c8b0201bb8087b: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/dp.rs:
+crates/rl/src/env.rs:
+crates/rl/src/expected_sarsa.rs:
+crates/rl/src/mc.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rollout.rs:
+crates/rl/src/sarsa.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/stats.rs:
+crates/rl/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_store-350eabeb4166374d.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/debug/deps/libtpp_store-350eabeb4166374d.rlib: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/debug/deps/libtpp_store-350eabeb4166374d.rmeta: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tpp_store-6337071b62991bfb.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/debug/deps/tpp_store-6337071b62991bfb: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpp_store-c04e71be02339e04.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_store-c04e71be02339e04.rmeta: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_store-e8d1733bb9431dea.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/debug/deps/libtpp_store-e8d1733bb9431dea.rlib: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/debug/deps/libtpp_store-e8d1733bb9431dea.rmeta: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_text-139f2d9438fe4dee.d: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/tpp_text-139f2d9438fe4dee: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/extract.rs:
+crates/text/src/stem.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpp_text-858f3a940b95bea3.d: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libtpp_text-858f3a940b95bea3.rlib: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libtpp_text-858f3a940b95bea3.rmeta: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/extract.rs:
+crates/text/src/stem.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpp_text-ab3bf0adc4027787.d: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpp_text-ab3bf0adc4027787.rmeta: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/extract.rs:
+crates/text/src/stem.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpp_text-c83f187e030ed0db.d: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/tpp_text-c83f187e030ed0db: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/extract.rs:
+crates/text/src/stem.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpp_text-f67fbe1a84cfb55b.d: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libtpp_text-f67fbe1a84cfb55b.rlib: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libtpp_text-f67fbe1a84cfb55b.rmeta: crates/text/src/lib.rs crates/text/src/extract.rs crates/text/src/stem.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/extract.rs:
+crates/text/src/stem.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

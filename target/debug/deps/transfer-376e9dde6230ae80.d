@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer-376e9dde6230ae80.d: tests/transfer.rs
+
+/root/repo/target/debug/deps/transfer-376e9dde6230ae80: tests/transfer.rs
+
+tests/transfer.rs:

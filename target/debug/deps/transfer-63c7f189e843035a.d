@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transfer-63c7f189e843035a.d: tests/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransfer-63c7f189e843035a.rmeta: tests/transfer.rs Cargo.toml
+
+tests/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer-e6b8f267aa6ff2af.d: tests/transfer.rs
+
+/root/repo/target/debug/deps/transfer-e6b8f267aa6ff2af: tests/transfer.rs
+
+tests/transfer.rs:

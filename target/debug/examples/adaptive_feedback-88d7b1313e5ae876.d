@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_feedback-88d7b1313e5ae876.d: examples/adaptive_feedback.rs
+
+/root/repo/target/debug/examples/adaptive_feedback-88d7b1313e5ae876: examples/adaptive_feedback.rs
+
+examples/adaptive_feedback.rs:

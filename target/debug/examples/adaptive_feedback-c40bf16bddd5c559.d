@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_feedback-c40bf16bddd5c559.d: examples/adaptive_feedback.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_feedback-c40bf16bddd5c559.rmeta: examples/adaptive_feedback.rs Cargo.toml
+
+examples/adaptive_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

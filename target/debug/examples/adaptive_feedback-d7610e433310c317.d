@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_feedback-d7610e433310c317.d: examples/adaptive_feedback.rs
+
+/root/repo/target/debug/examples/adaptive_feedback-d7610e433310c317: examples/adaptive_feedback.rs
+
+examples/adaptive_feedback.rs:

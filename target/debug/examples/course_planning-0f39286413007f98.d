@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/course_planning-0f39286413007f98.d: examples/course_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcourse_planning-0f39286413007f98.rmeta: examples/course_planning.rs Cargo.toml
+
+examples/course_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

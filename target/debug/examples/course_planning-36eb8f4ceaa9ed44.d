@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/course_planning-36eb8f4ceaa9ed44.d: examples/course_planning.rs
+
+/root/repo/target/debug/examples/course_planning-36eb8f4ceaa9ed44: examples/course_planning.rs
+
+examples/course_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/course_planning-96a598fd4e8e1b7e.d: examples/course_planning.rs
+
+/root/repo/target/debug/examples/course_planning-96a598fd4e8e1b7e: examples/course_planning.rs
+
+examples/course_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_catalog-8f998017c9356012.d: examples/custom_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_catalog-8f998017c9356012.rmeta: examples/custom_catalog.rs Cargo.toml
+
+examples/custom_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_catalog-ba7535a240b6b6d1.d: examples/custom_catalog.rs
+
+/root/repo/target/debug/examples/custom_catalog-ba7535a240b6b6d1: examples/custom_catalog.rs
+
+examples/custom_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_catalog-c7e635e6e9b67bad.d: examples/custom_catalog.rs
+
+/root/repo/target/debug/examples/custom_catalog-c7e635e6e9b67bad: examples/custom_catalog.rs
+
+examples/custom_catalog.rs:

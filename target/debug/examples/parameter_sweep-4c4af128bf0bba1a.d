@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parameter_sweep-4c4af128bf0bba1a.d: examples/parameter_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparameter_sweep-4c4af128bf0bba1a.rmeta: examples/parameter_sweep.rs Cargo.toml
+
+examples/parameter_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

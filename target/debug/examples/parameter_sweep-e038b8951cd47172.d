@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_sweep-e038b8951cd47172.d: examples/parameter_sweep.rs
+
+/root/repo/target/debug/examples/parameter_sweep-e038b8951cd47172: examples/parameter_sweep.rs
+
+examples/parameter_sweep.rs:

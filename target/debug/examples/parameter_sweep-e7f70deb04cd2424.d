@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_sweep-e7f70deb04cd2424.d: examples/parameter_sweep.rs
+
+/root/repo/target/debug/examples/parameter_sweep-e7f70deb04cd2424: examples/parameter_sweep.rs
+
+examples/parameter_sweep.rs:

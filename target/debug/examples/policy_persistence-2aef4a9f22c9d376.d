@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_persistence-2aef4a9f22c9d376.d: examples/policy_persistence.rs
+
+/root/repo/target/debug/examples/policy_persistence-2aef4a9f22c9d376: examples/policy_persistence.rs
+
+examples/policy_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_persistence-dfe9039d7b97ba8b.d: examples/policy_persistence.rs
+
+/root/repo/target/debug/examples/policy_persistence-dfe9039d7b97ba8b: examples/policy_persistence.rs
+
+examples/policy_persistence.rs:

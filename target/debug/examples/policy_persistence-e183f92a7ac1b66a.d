@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_persistence-e183f92a7ac1b66a.d: examples/policy_persistence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_persistence-e183f92a7ac1b66a.rmeta: examples/policy_persistence.rs Cargo.toml
+
+examples/policy_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-65aadb08bb252460.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-65aadb08bb252460: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ba36bcc5d12ebf63.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ba36bcc5d12ebf63: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transfer_learning-0645fd8b0c151303.d: examples/transfer_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransfer_learning-0645fd8b0c151303.rmeta: examples/transfer_learning.rs Cargo.toml
+
+examples/transfer_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_learning-5dc8210aa8ab4f0b.d: examples/transfer_learning.rs
+
+/root/repo/target/debug/examples/transfer_learning-5dc8210aa8ab4f0b: examples/transfer_learning.rs
+
+examples/transfer_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_learning-a5acce82340f0c55.d: examples/transfer_learning.rs
+
+/root/repo/target/debug/examples/transfer_learning-a5acce82340f0c55: examples/transfer_learning.rs
+
+examples/transfer_learning.rs:

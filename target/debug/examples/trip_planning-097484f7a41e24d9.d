@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trip_planning-097484f7a41e24d9.d: examples/trip_planning.rs
+
+/root/repo/target/debug/examples/trip_planning-097484f7a41e24d9: examples/trip_planning.rs
+
+examples/trip_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trip_planning-2bde879ce20957fa.d: examples/trip_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrip_planning-2bde879ce20957fa.rmeta: examples/trip_planning.rs Cargo.toml
+
+examples/trip_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

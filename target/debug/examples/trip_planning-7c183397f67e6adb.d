@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trip_planning-7c183397f67e6adb.d: examples/trip_planning.rs
+
+/root/repo/target/debug/examples/trip_planning-7c183397f67e6adb: examples/trip_planning.rs
+
+examples/trip_planning.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-c8c056bb7aeda54d.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-c8c056bb7aeda54d.rlib: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-c8c056bb7aeda54d.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9f5c890c09f85ec2.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9f5c890c09f85ec2.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9f5c890c09f85ec2.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rl_planner-12e55d213348e1b3.d: src/lib.rs
+
+/root/repo/target/release/deps/librl_planner-12e55d213348e1b3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librl_planner-12e55d213348e1b3.rmeta: src/lib.rs
+
+src/lib.rs:

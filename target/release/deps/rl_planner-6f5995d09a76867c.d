@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rl_planner-6f5995d09a76867c.d: src/lib.rs
+
+/root/repo/target/release/deps/librl_planner-6f5995d09a76867c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librl_planner-6f5995d09a76867c.rmeta: src/lib.rs
+
+src/lib.rs:

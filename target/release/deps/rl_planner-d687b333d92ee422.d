@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rl_planner-d687b333d92ee422.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rl_planner-d687b333d92ee422: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

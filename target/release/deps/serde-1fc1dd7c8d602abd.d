@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-1fc1dd7c8d602abd.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1fc1dd7c8d602abd.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1fc1dd7c8d602abd.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

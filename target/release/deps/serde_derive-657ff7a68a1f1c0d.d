@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-657ff7a68a1f1c0d.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-657ff7a68a1f1c0d.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-769e43a0ba820c7d.d: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-769e43a0ba820c7d.rlib: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-769e43a0ba820c7d.rmeta: .devstubs/serde_json/src/lib.rs
+
+.devstubs/serde_json/src/lib.rs:

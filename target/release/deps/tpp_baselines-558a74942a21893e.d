@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tpp_baselines-558a74942a21893e.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/release/deps/libtpp_baselines-558a74942a21893e.rlib: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/release/deps/libtpp_baselines-558a74942a21893e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tpp_baselines-e6975ee8b20df45d.d: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/release/deps/libtpp_baselines-e6975ee8b20df45d.rlib: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+/root/repo/target/release/deps/libtpp_baselines-e6975ee8b20df45d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/eda.rs crates/baselines/src/gold.rs crates/baselines/src/omega.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/eda.rs:
+crates/baselines/src/gold.rs:
+crates/baselines/src/omega.rs:

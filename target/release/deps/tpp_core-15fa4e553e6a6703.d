@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tpp_core-15fa4e553e6a6703.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+/root/repo/target/release/deps/libtpp_core-15fa4e553e6a6703.rlib: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+/root/repo/target/release/deps/libtpp_core-15fa4e553e6a6703.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/feedback.rs crates/core/src/params.rs crates/core/src/planner.rs crates/core/src/reward.rs crates/core/src/score.rs crates/core/src/transfer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/feedback.rs:
+crates/core/src/params.rs:
+crates/core/src/planner.rs:
+crates/core/src/reward.rs:
+crates/core/src/score.rs:
+crates/core/src/transfer.rs:

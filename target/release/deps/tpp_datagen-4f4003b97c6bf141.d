@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tpp_datagen-4f4003b97c6bf141.d: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/release/deps/libtpp_datagen-4f4003b97c6bf141.rlib: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+/root/repo/target/release/deps/libtpp_datagen-4f4003b97c6bf141.rmeta: crates/datagen/src/lib.rs crates/datagen/src/itineraries.rs crates/datagen/src/names.rs crates/datagen/src/synthetic.rs crates/datagen/src/trips.rs crates/datagen/src/univ1.rs crates/datagen/src/univ2.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/itineraries.rs:
+crates/datagen/src/names.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/trips.rs:
+crates/datagen/src/univ1.rs:
+crates/datagen/src/univ2.rs:

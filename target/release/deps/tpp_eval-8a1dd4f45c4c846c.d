@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/tpp_eval-8a1dd4f45c4c846c.d: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/extensions.rs crates/eval/src/fig1.rs crates/eval/src/fig2.rs crates/eval/src/raters.rs crates/eval/src/registry.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/sweeps.rs crates/eval/src/table4.rs crates/eval/src/table5.rs crates/eval/src/table7.rs crates/eval/src/table8.rs
+
+/root/repo/target/release/deps/libtpp_eval-8a1dd4f45c4c846c.rlib: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/extensions.rs crates/eval/src/fig1.rs crates/eval/src/fig2.rs crates/eval/src/raters.rs crates/eval/src/registry.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/sweeps.rs crates/eval/src/table4.rs crates/eval/src/table5.rs crates/eval/src/table7.rs crates/eval/src/table8.rs
+
+/root/repo/target/release/deps/libtpp_eval-8a1dd4f45c4c846c.rmeta: crates/eval/src/lib.rs crates/eval/src/datasets.rs crates/eval/src/extensions.rs crates/eval/src/fig1.rs crates/eval/src/fig2.rs crates/eval/src/raters.rs crates/eval/src/registry.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/sweeps.rs crates/eval/src/table4.rs crates/eval/src/table5.rs crates/eval/src/table7.rs crates/eval/src/table8.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/datasets.rs:
+crates/eval/src/extensions.rs:
+crates/eval/src/fig1.rs:
+crates/eval/src/fig2.rs:
+crates/eval/src/raters.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/sweeps.rs:
+crates/eval/src/table4.rs:
+crates/eval/src/table5.rs:
+crates/eval/src/table7.rs:
+crates/eval/src/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tpp_geo-7962c17aed7f0444.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+/root/repo/target/release/deps/libtpp_geo-7962c17aed7f0444.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+/root/repo/target/release/deps/libtpp_geo-7962c17aed7f0444.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tpp_obs-a876d03cf8bccf64.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+/root/repo/target/release/deps/libtpp_obs-a876d03cf8bccf64.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+/root/repo/target/release/deps/libtpp_obs-a876d03cf8bccf64.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/level.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/value.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/level.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/value.rs:

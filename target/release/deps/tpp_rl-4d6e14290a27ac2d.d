@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/tpp_rl-4d6e14290a27ac2d.d: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs
+
+/root/repo/target/release/deps/libtpp_rl-4d6e14290a27ac2d.rlib: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs
+
+/root/repo/target/release/deps/libtpp_rl-4d6e14290a27ac2d.rmeta: crates/rl/src/lib.rs crates/rl/src/dp.rs crates/rl/src/env.rs crates/rl/src/expected_sarsa.rs crates/rl/src/mc.rs crates/rl/src/policy.rs crates/rl/src/qlearning.rs crates/rl/src/qtable.rs crates/rl/src/rollout.rs crates/rl/src/sarsa.rs crates/rl/src/schedule.rs crates/rl/src/stats.rs crates/rl/src/transfer.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/dp.rs:
+crates/rl/src/env.rs:
+crates/rl/src/expected_sarsa.rs:
+crates/rl/src/mc.rs:
+crates/rl/src/policy.rs:
+crates/rl/src/qlearning.rs:
+crates/rl/src/qtable.rs:
+crates/rl/src/rollout.rs:
+crates/rl/src/sarsa.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/stats.rs:
+crates/rl/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tpp_store-149e6c0276a042b3.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/release/deps/libtpp_store-149e6c0276a042b3.rlib: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/release/deps/libtpp_store-149e6c0276a042b3.rmeta: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tpp_store-fe84cf69cd58cd4b.d: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/release/deps/libtpp_store-fe84cf69cd58cd4b.rlib: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+/root/repo/target/release/deps/libtpp_store-fe84cf69cd58cd4b.rmeta: crates/store/src/lib.rs crates/store/src/error.rs crates/store/src/json.rs crates/store/src/policy.rs
+
+crates/store/src/lib.rs:
+crates/store/src/error.rs:
+crates/store/src/json.rs:
+crates/store/src/policy.rs:
