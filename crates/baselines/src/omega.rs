@@ -147,7 +147,7 @@ pub fn omega_plan(
                 Some(l) => matrix[l.index()][j],
                 None => matrix[j].iter().copied().max().unwrap_or(0),
             };
-            if best.is_none_or(|(bu, bj)| u > bu || (u == bu && j < bj)) {
+            if best.map_or(true, |(bu, bj)| u > bu || (u == bu && j < bj)) {
                 best = Some((u, j));
             }
         }

@@ -7,9 +7,16 @@
 //! rl-planner compare --dataset <name> [--runs N]
 //! rl-planner gold --dataset <name> [--start CODE]
 //! rl-planner train --dataset <name> --out policy.qpol [--seed N]
-//! rl-planner recommend --dataset <name> --policy policy.qpol [--start CODE]
+//!   [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K] [--resume]
+//! rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR) [--start CODE]
 //! rl-planner datagen --dataset <name> --out dataset.json
 //! ```
+//!
+//! With `--checkpoint-dir` the trainer persists a crash-safe snapshot
+//! every N episodes (generational, keep-last-K, atomic writes) and
+//! `--resume` continues from the newest valid one — bit-identical to a
+//! run that never stopped. `recommend --checkpoint-dir` serves the
+//! newest valid generation, falling back past corrupt ones.
 //!
 //! Global observability flags, accepted anywhere on the command line:
 //! `--trace FILE` (structured JSONL event log), `--metrics FILE|-`
@@ -50,15 +57,25 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Every dataset name `dataset()` accepts, for usage and error text.
+const DATASETS: &str = "ds-ct cyber cs univ2 nyc paris";
+
 const USAGE: &str = "usage:
   rl-planner list
   rl-planner exp <id>|all [--csv DIR] [--md FILE]
   rl-planner plan --dataset <name> [--start CODE] [--seed N] [--episodes N] [--min-sim]
   rl-planner compare --dataset <name> [--runs N]
   rl-planner gold --dataset <name> [--start CODE]
-  rl-planner train --dataset <name> --out policy.qpol [--seed N]
-  rl-planner recommend --dataset <name> --policy policy.qpol [--start CODE]
+  rl-planner train --dataset <name> --out policy.qpol [--seed N] [--episodes N]
+                   [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K] [--resume]
+  rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR)
+                       [--start CODE]
   rl-planner datagen --dataset <name> --out dataset.json
+checkpointing (train):
+  --checkpoint-dir DIR    write crash-safe generational checkpoints to DIR
+  --checkpoint-every N    snapshot every N episodes (default 100, 0 = off)
+  --keep K                retain the newest K generations (default 3)
+  --resume                continue from the newest valid checkpoint in DIR
 global flags (anywhere on the line):
   --trace FILE    write structured JSONL events to FILE
   --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
@@ -159,7 +176,7 @@ impl<'a> Flags<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(key) = a.strip_prefix("--") {
-                if matches!(key, "min-sim") {
+                if matches!(key, "min-sim" | "resume") {
                     switches.push(key);
                     i += 1;
                 } else {
@@ -216,9 +233,52 @@ fn dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
             tpp_datagen::paris(PARIS_SEED).instance,
             PlannerParams::trip_defaults(),
         ),
-        other => return Err(format!("unknown dataset {other:?}")),
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?}; valid datasets: {DATASETS}"
+            ))
+        }
     };
     Ok((instance, params))
+}
+
+/// Edit distance for near-miss suggestions on `--start` codes.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The `k` catalog codes closest to `code` by case-insensitive edit
+/// distance, for "unknown item code" error messages.
+fn nearest_codes(catalog: &tpp_model::Catalog, code: &str, k: usize) -> Vec<String> {
+    let needle = code.to_lowercase();
+    let mut scored: Vec<(usize, &str)> = catalog
+        .items()
+        .iter()
+        .map(|i| {
+            (
+                levenshtein(&i.code.to_lowercase(), &needle),
+                i.code.as_str(),
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)));
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(_, c)| c.to_owned())
+        .collect()
 }
 
 fn resolve_start(
@@ -226,11 +286,17 @@ fn resolve_start(
     flag: Option<&str>,
 ) -> Result<tpp_model::ItemId, String> {
     match flag {
-        Some(code) => instance
-            .catalog
-            .by_code(code)
-            .map(|i| i.id)
-            .ok_or_else(|| format!("unknown item code {code:?}")),
+        Some(code) => instance.catalog.by_code(code).map(|i| i.id).ok_or_else(|| {
+            let near = nearest_codes(&instance.catalog, code, 3);
+            if near.is_empty() {
+                format!("unknown item code {code:?}")
+            } else {
+                format!(
+                    "unknown item code {code:?}; nearest matches: {}",
+                    near.join(", ")
+                )
+            }
+        }),
         None => instance
             .default_start
             .ok_or_else(|| "dataset has no default start; pass --start".to_owned()),
@@ -381,15 +447,84 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
         }
         "train" => {
             let flags = Flags::parse(&args[1..])?;
-            let (instance, params) = dataset(flags.required("dataset")?)?;
+            let (instance, mut params) = dataset(flags.required("dataset")?)?;
             let out = flags.required("out")?;
+            if let Some(n) = flags.get("episodes") {
+                params.episodes = n.parse().map_err(|_| "bad --episodes")?;
+            }
             let seed: u64 = flags
                 .get("seed")
                 .unwrap_or("0")
                 .parse()
                 .map_err(|_| "bad --seed")?;
             let start = resolve_start(&instance, flags.get("start"))?;
-            let (policy, stats) = RlPlanner::learn(&instance, &params.with_start(start), seed);
+            let params = params.with_start(start);
+            if flags.has("resume") && flags.get("checkpoint-dir").is_none() {
+                return Err("--resume requires --checkpoint-dir".into());
+            }
+            let (policy, stats) = match flags.get("checkpoint-dir") {
+                None => RlPlanner::learn(&instance, &params, seed),
+                Some(dir) => {
+                    let every: usize = flags
+                        .get("checkpoint-every")
+                        .unwrap_or("100")
+                        .parse()
+                        .map_err(|_| "bad --checkpoint-every")?;
+                    let keep: usize = flags
+                        .get("keep")
+                        .unwrap_or("3")
+                        .parse()
+                        .map_err(|_| "bad --keep")?;
+                    // `--fault-ops N` wraps the checkpoint filesystem in
+                    // the fault injector and simulates a hard crash at
+                    // mutating operation N — the integration tests'
+                    // deterministic "kill" switch.
+                    let fault = flags
+                        .get("fault-ops")
+                        .map(|v| v.parse::<u64>().map_err(|_| "bad --fault-ops"))
+                        .transpose()?
+                        .map(|n| {
+                            tpp_store::FaultFs::new(
+                                tpp_store::RealFs,
+                                n,
+                                tpp_store::FaultKind::Crash,
+                            )
+                        });
+                    let real = tpp_store::RealFs;
+                    let fs: &dyn tpp_store::Vfs = match &fault {
+                        Some(f) => f,
+                        None => &real,
+                    };
+                    let set = tpp_store::CheckpointSet::new(fs, dir, keep);
+                    let resume = if flags.has("resume") {
+                        match set.load_latest().map_err(|e| e.to_string())? {
+                            Some((generation, ckpt)) => {
+                                eprintln!(
+                                    "resuming from {} (episode {})",
+                                    set.generation_path(generation).display(),
+                                    ckpt.episode
+                                );
+                                Some(ckpt)
+                            }
+                            None => None, // empty set: start fresh
+                        }
+                    } else {
+                        None
+                    };
+                    RlPlanner::learn_checkpointed(
+                        &instance,
+                        &params,
+                        seed,
+                        resume.as_ref(),
+                        every,
+                        |ckpt| {
+                            set.save(ckpt)
+                                .map(|_| ())
+                                .map_err(|e| format!("checkpoint failed: {e}"))
+                        },
+                    )?
+                }
+            };
             tpp_store::save_qtable(out, &policy.q).map_err(|e| e.to_string())?;
             println!(
                 "trained {} episodes on {}; policy saved to {out}",
@@ -402,7 +537,27 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
         "recommend" => {
             let flags = Flags::parse(&args[1..])?;
             let (instance, params) = dataset(flags.required("dataset")?)?;
-            let q = tpp_store::load_qtable(flags.required("policy")?).map_err(|e| e.to_string())?;
+            let q = match (flags.get("policy"), flags.get("checkpoint-dir")) {
+                (Some(path), _) => tpp_store::load_qtable(path).map_err(|e| e.to_string())?,
+                (None, Some(dir)) => {
+                    // Degrade gracefully: serve the newest generation
+                    // that decodes cleanly, skipping corrupt ones.
+                    let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
+                    match set.load_latest().map_err(|e| e.to_string())? {
+                        Some((generation, ckpt)) => {
+                            eprintln!(
+                                "using checkpoint generation {generation} (episode {})",
+                                ckpt.episode
+                            );
+                            ckpt.q
+                        }
+                        None => return Err(format!("no checkpoints in {dir}")),
+                    }
+                }
+                (None, None) => {
+                    return Err("recommend needs --policy FILE or --checkpoint-dir DIR".into())
+                }
+            };
             if q.n_states() != instance.catalog.len() {
                 return Err(format!(
                     "policy has {} states, dataset has {} items",

@@ -1,0 +1,193 @@
+//! Kill-and-resume integration tests: drive the `rl-planner` binary
+//! through a checkpointed training run, "kill" it mid-flight with the
+//! deterministic fault injector (`--fault-ops`), resume, and require the
+//! final policy to be byte-identical to an uninterrupted run's.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rl-planner"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rl-planner-ckpt-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `train --checkpoint-dir` on the fast univ2 dataset (100 episodes).
+fn train(dir: &PathBuf, out: &str, extra: &[&str]) -> std::process::Output {
+    let ckpt = dir.join("ckpt");
+    bin()
+        .args([
+            "train",
+            "--dataset",
+            "univ2",
+            "--seed",
+            "9",
+            "--out",
+            dir.join(out).to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "20",
+        ])
+        .args(extra)
+        .output()
+        .expect("spawn rl-planner")
+}
+
+#[test]
+fn killed_and_resumed_training_is_byte_identical() {
+    let dir = tmp_dir("identical");
+
+    // Uninterrupted reference run (separate checkpoint dir).
+    let full_dir = tmp_dir("identical-full");
+    let out = train(&full_dir, "full.qpol", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // "Kill" the run at mutating filesystem op 12 — inside the second
+    // checkpoint generation's write — then resume from what survived.
+    let out = train(&dir, "crashed.qpol", &["--fault-ops", "12"]);
+    assert!(!out.status.success(), "the injected crash must be fatal");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint failed"), "{stderr}");
+    assert!(
+        !dir.join("crashed.qpol").exists(),
+        "a crashed run must not publish a final policy"
+    );
+
+    let out = train(&dir, "resumed.qpol", &["--resume"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("resuming from"), "{stderr}");
+
+    let full = std::fs::read(full_dir.join("full.qpol")).unwrap();
+    let resumed = std::fs::read(dir.join("resumed.qpol")).unwrap();
+    assert_eq!(
+        full, resumed,
+        "interrupted+resumed policy differs from the uninterrupted one"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&full_dir).ok();
+}
+
+#[test]
+fn recommend_falls_back_past_a_corrupt_newest_generation() {
+    let dir = tmp_dir("fallback");
+    let out = train(&dir, "p.qpol", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Corrupt the newest generation in place (bit-rot, not truncation).
+    let ckpt = dir.join("ckpt");
+    let mut gens: Vec<PathBuf> = std::fs::read_dir(&ckpt)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qpol"))
+        .collect();
+    gens.sort();
+    assert!(gens.len() >= 2, "expected several generations: {gens:?}");
+    let newest = gens.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(newest, &bytes).unwrap();
+
+    let out = bin()
+        .args([
+            "recommend",
+            "--dataset",
+            "univ2",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn rl-planner");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("plan:"),
+        "fallback generation must still produce a plan"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recommend_with_empty_checkpoint_dir_is_a_clean_error() {
+    let dir = tmp_dir("empty");
+    let out = bin()
+        .args([
+            "recommend",
+            "--dataset",
+            "univ2",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn rl-planner");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no checkpoints"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_dataset_error_lists_valid_names() {
+    let out = bin()
+        .args(["plan", "--dataset", "univ3"])
+        .output()
+        .expect("spawn rl-planner");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown dataset"), "{stderr}");
+    assert!(
+        stderr.contains("ds-ct") && stderr.contains("paris"),
+        "must list the valid datasets: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_start_code_suggests_nearest_matches() {
+    let out = bin()
+        .args(["gold", "--dataset", "ds-ct", "--start", "CS 676"])
+        .output()
+        .expect("spawn rl-planner");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown item code"), "{stderr}");
+    assert!(
+        stderr.contains("nearest matches") && stderr.contains("CS 675"),
+        "must suggest the near-miss code: {stderr}"
+    );
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_rejected() {
+    let out = bin()
+        .args([
+            "train",
+            "--dataset",
+            "univ2",
+            "--out",
+            "/dev/null",
+            "--resume",
+        ])
+        .output()
+        .expect("spawn rl-planner");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume requires --checkpoint-dir"),
+        "{stderr}"
+    );
+}

@@ -3,12 +3,10 @@
 
 use crate::env::TppEnv;
 use crate::params::{PlannerParams, StartPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use tpp_model::{ItemId, Plan, PlanningInstance};
 use tpp_obs::{obs_event, Level};
-use tpp_rl::{Environment, QTable, TrainStats};
+use tpp_rl::{Environment, QTable, TrainCheckpoint, TrainRng, TrainStats};
 
 /// A learned policy: the Q-table plus the universe it indexes.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,11 +34,11 @@ fn select_action(
     n: usize,
     allowed: &[usize],
     explore: f64,
-    rng: &mut StdRng,
+    rng: &mut TrainRng,
 ) -> usize {
     debug_assert!(!allowed.is_empty());
-    if rng.random::<f64>() < explore {
-        return allowed[rng.random_range(0..allowed.len())];
+    if rng.next_f64() < explore {
+        return allowed[rng.index(allowed.len())];
     }
     let s = env.state();
     let mut best: Vec<usize> = Vec::new();
@@ -70,7 +68,7 @@ fn select_action(
         .copied()
         .filter(|&a| visits[s * n + a] == min_visits)
         .collect();
-    least[rng.random_range(0..least.len())]
+    least[rng.index(least.len())]
 }
 
 impl RlPlanner {
@@ -82,15 +80,84 @@ impl RlPlanner {
         params: &PlannerParams,
         seed: u64,
     ) -> (LearnedPolicy, TrainStats) {
+        Self::learn_checkpointed(instance, params, seed, None, 0, |_| Ok(()))
+            .expect("checkpointing disabled; the sink cannot fail")
+    }
+
+    /// [`learn`](Self::learn) with crash-safe checkpointing: every
+    /// `checkpoint_every` completed episodes (0 disables) the full
+    /// training state — Q-table, visit counts, RNG words, returns — is
+    /// handed to `on_checkpoint` for persistence, and `resume` restores
+    /// such a snapshot so the continued run is **bit-identical** to one
+    /// that never stopped. A sink error aborts training (the caller
+    /// asked for durability it is no longer getting).
+    ///
+    /// Errors on a `resume` snapshot whose shape does not match
+    /// `instance`/`params` (wrong catalog size, more episodes than the
+    /// target) rather than silently training on mismatched state.
+    pub fn learn_checkpointed<C>(
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        seed: u64,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_every: usize,
+        mut on_checkpoint: C,
+    ) -> Result<(LearnedPolicy, TrainStats), String>
+    where
+        C: FnMut(&TrainCheckpoint) -> Result<(), String>,
+    {
         params.validate().expect("invalid planner parameters");
+        let n = instance.catalog.len();
+        let (mut q, mut rng, start_episode, mut visits, mut stats) = match resume {
+            Some(ckpt) => {
+                if ckpt.q.n_states() != n || ckpt.q.n_actions() != n {
+                    return Err(format!(
+                        "checkpoint Q-table is {}x{} but catalog {:?} has {n} items",
+                        ckpt.q.n_states(),
+                        ckpt.q.n_actions(),
+                        instance.catalog.name(),
+                    ));
+                }
+                if ckpt.episode as usize > params.episodes {
+                    return Err(format!(
+                        "checkpoint has {} completed episodes but the target is {}",
+                        ckpt.episode, params.episodes,
+                    ));
+                }
+                if !ckpt.visits.is_empty() && ckpt.visits.len() != n * n {
+                    return Err(format!(
+                        "checkpoint visit table has {} entries, expected {}",
+                        ckpt.visits.len(),
+                        n * n,
+                    ));
+                }
+                let visits = if ckpt.visits.is_empty() {
+                    vec![0u32; n * n]
+                } else {
+                    ckpt.visits.clone()
+                };
+                (
+                    ckpt.q.clone(),
+                    TrainRng::from_state(ckpt.rng_state),
+                    ckpt.episode as usize,
+                    visits,
+                    ckpt.stats(),
+                )
+            }
+            None => (
+                QTable::square(n),
+                TrainRng::seed_from_u64(seed),
+                0,
+                vec![0u32; n * n],
+                TrainStats::with_capacity(params.episodes),
+            ),
+        };
         let mut span = tpp_obs::span(Level::Info, "train.session")
             .with("catalog", instance.catalog.name())
             .with("episodes", params.episodes)
-            .with("seed", seed);
+            .with("seed", seed)
+            .with("resumed_at", start_episode);
         let mut env = TppEnv::new(instance, params);
-        let n = instance.catalog.len();
-        let mut q = QTable::square(n);
-        let mut rng = StdRng::seed_from_u64(seed);
         let primaries: Vec<usize> = instance
             .catalog
             .items()
@@ -98,25 +165,45 @@ impl RlPlanner {
             .filter(|i| i.is_primary())
             .map(|i| i.id.index())
             .collect();
-        let mut stats = TrainStats::with_capacity(params.episodes);
         let mut actions = Vec::with_capacity(n);
-        let mut visits = vec![0u32; n * n];
         // Valid-action-set sizes are tallied locally (sizes are bounded
         // by |I|) and flushed to the shared histogram once per session:
         // ten seeds train in parallel, and per-step updates of shared
         // atomics cost measurable cache-line contention.
         let mut va_sizes = vec![0u64; n + 1];
-        for episode in 0..params.episodes {
+        // Emits a snapshot after `episode` finished, when due. Cloning
+        // the training state is the price of handing the sink an
+        // immutable snapshot while the loop keeps mutating its own.
+        let mut maybe_checkpoint = |episode: usize,
+                                    q: &QTable,
+                                    rng: &TrainRng,
+                                    visits: &[u32],
+                                    stats: &TrainStats|
+         -> Result<(), String> {
+            let done = episode + 1;
+            if checkpoint_every == 0 || done % checkpoint_every != 0 {
+                return Ok(());
+            }
+            on_checkpoint(&TrainCheckpoint {
+                q: q.clone(),
+                episode: done as u64,
+                sched_pos: done as u64,
+                rng_state: rng.state(),
+                visits: visits.to_vec(),
+                returns: stats.returns().to_vec(),
+            })
+        };
+        for episode in start_episode..params.episodes {
             let ep_started = tpp_obs::enabled(Level::Debug).then(Instant::now);
             let explore = params.exploration.at(episode);
             let start = match params.start {
                 StartPolicy::Fixed(id) => id.index(),
-                StartPolicy::Random => rng.random_range(0..n),
+                StartPolicy::Random => rng.index(n),
                 StartPolicy::RandomPrimary => {
                     if primaries.is_empty() {
-                        rng.random_range(0..n)
+                        rng.index(n)
                     } else {
-                        primaries[rng.random_range(0..primaries.len())]
+                        primaries[rng.index(primaries.len())]
                     }
                 }
             };
@@ -135,6 +222,7 @@ impl RlPlanner {
                     ep_return = 0.0,
                     steps = 0usize,
                 );
+                maybe_checkpoint(episode, &q, &rng, &visits, &stats)?;
                 continue;
             }
             let mut a = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
@@ -191,6 +279,7 @@ impl RlPlanner {
                     duration_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
                 );
             }
+            maybe_checkpoint(episode, &q, &rng, &visits, &stats)?;
         }
         let gates = env.take_gate_counts();
         let m = tpp_obs::metrics();
@@ -208,13 +297,13 @@ impl RlPlanner {
         span.record("p95_return", summary.p95);
         span.record("gate_checked", gates.checked);
         span.record("gate_rejected", gates.rejected());
-        (
+        Ok((
             LearnedPolicy {
                 q,
                 catalog_name: instance.catalog.name().to_owned(),
             },
             stats,
-        )
+        ))
     }
 
     /// Recommends a plan by greedy Q-table traversal from `start`
@@ -389,6 +478,83 @@ mod tests {
         let (policy, _) = RlPlanner::learn(&inst, &params, 9);
         let plan = RlPlanner::recommend(&policy, &inst, &params, ItemId(2));
         assert_eq!(plan.items()[0], ItemId(2));
+    }
+
+    #[test]
+    fn checkpoints_fire_on_schedule_and_carry_progress() {
+        let inst = toy_instance();
+        let mut params = toy_params();
+        params.episodes = 100;
+        let mut seen: Vec<u64> = Vec::new();
+        let (_, stats) = RlPlanner::learn_checkpointed(&inst, &params, 3, None, 25, |ckpt| {
+            assert_eq!(ckpt.returns.len() as u64, ckpt.episode);
+            assert_eq!(ckpt.visits.len(), 36);
+            seen.push(ckpt.episode);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![25, 50, 75, 100]);
+        assert_eq!(stats.episodes(), 100);
+    }
+
+    #[test]
+    fn interrupted_plus_resumed_is_bit_identical() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let (full, full_stats) = RlPlanner::learn(&inst, &params, 17);
+
+        // Capture the state mid-run, then "crash": train a fresh run
+        // that resumes from the snapshot.
+        let mut snapshot = None;
+        RlPlanner::learn_checkpointed(&inst, &params, 17, None, 150, |ckpt| {
+            if snapshot.is_none() {
+                snapshot = Some(ckpt.clone());
+            }
+            Ok(())
+        })
+        .unwrap();
+        let snapshot = snapshot.expect("one checkpoint at episode 150");
+        assert_eq!(snapshot.episode, 150);
+        let (resumed, resumed_stats) =
+            RlPlanner::learn_checkpointed(&inst, &params, 17, Some(&snapshot), 0, |_| Ok(()))
+                .unwrap();
+
+        assert_eq!(full.q.values(), resumed.q.values());
+        assert_eq!(full_stats.returns(), resumed_stats.returns());
+    }
+
+    #[test]
+    fn checkpoint_sink_error_aborts_training() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let err = RlPlanner::learn_checkpointed(&inst, &params, 1, None, 10, |_| {
+            Err("disk full".to_owned())
+        })
+        .unwrap_err();
+        assert!(err.contains("disk full"));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_shapes() {
+        let inst = toy_instance();
+        let mut params = toy_params();
+        let mut ckpt = tpp_rl::TrainCheckpoint {
+            q: tpp_rl::QTable::square(4), // catalog has 6 items
+            episode: 10,
+            sched_pos: 10,
+            rng_state: [1, 2, 3, 4],
+            visits: vec![],
+            returns: vec![0.0; 10],
+        };
+        let err = RlPlanner::learn_checkpointed(&inst, &params, 1, Some(&ckpt), 0, |_| Ok(()))
+            .unwrap_err();
+        assert!(err.contains("6 items"), "{err}");
+
+        ckpt.q = tpp_rl::QTable::square(6);
+        params.episodes = 5; // fewer than the checkpoint's 10
+        let err = RlPlanner::learn_checkpointed(&inst, &params, 1, Some(&ckpt), 0, |_| Ok(()))
+            .unwrap_err();
+        assert!(err.contains("target is 5"), "{err}");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn poi_mapping_by_theme(target: &Catalog, source: &Catalog) -> StateMapping 
                 let sim = inter as f64 / union as f64;
                 let pop_closeness = -(t_pop - s_pop).abs();
                 let cand = (sim, pop_closeness, si);
-                if best.is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                if best.map_or(true, |b| (cand.0, cand.1) > (b.0, b.1)) {
                     best = Some(cand);
                 }
             }

@@ -46,7 +46,7 @@ impl NamedTable {
                 let pad = width - cell.chars().count();
                 s.push(' ');
                 s.push_str(cell);
-                s.extend(std::iter::repeat_n(' ', pad));
+                s.extend(std::iter::repeat(' ').take(pad));
                 s.push_str(" |");
             }
             out.push_str(&s);

@@ -92,7 +92,7 @@ impl<T: Clone> GridIndex<T> {
         for cell in &self.cells {
             for (q, payload) in cell {
                 let d = p.distance_km(q);
-                if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
                     best = Some((d, payload));
                 }
             }

@@ -1,0 +1,65 @@
+//! Mid-training snapshots.
+//!
+//! A [`TrainCheckpoint`] captures everything a deterministic training
+//! loop needs to continue exactly where it stopped: the Q-table, the
+//! episode counter, the exploration-schedule position, the [`TrainRng`]
+//! state words, the visit counts some learners use for tie-breaking,
+//! and the per-episode returns accumulated so far. Restoring all of it
+//! makes an interrupted-and-resumed run bit-identical to an
+//! uninterrupted one — the property the persistence layer's resume
+//! tests assert.
+//!
+//! [`TrainRng`]: crate::rng::TrainRng
+
+use crate::qtable::QTable;
+use crate::stats::TrainStats;
+
+/// A resumable snapshot of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// The Q-table at the snapshot point.
+    pub q: QTable,
+    /// Episodes completed so far (training resumes at this index).
+    pub episode: u64,
+    /// Position in the exploration schedule. Current learners keep this
+    /// equal to `episode`, but it is stored separately so a future
+    /// step-based schedule can checkpoint its own clock.
+    pub sched_pos: u64,
+    /// The four xoshiro256** state words of the training RNG.
+    pub rng_state: [u64; 4],
+    /// State-action visit counts (empty when the learner keeps none).
+    pub visits: Vec<u32>,
+    /// Per-episode returns accumulated so far.
+    pub returns: Vec<f64>,
+}
+
+impl TrainCheckpoint {
+    /// Rebuilds the return statistics accumulated up to the snapshot.
+    pub fn stats(&self) -> TrainStats {
+        let mut stats = TrainStats::with_capacity(self.returns.len());
+        for &r in &self.returns {
+            stats.push(r);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rebuilds_returns() {
+        let ckpt = TrainCheckpoint {
+            q: QTable::square(2),
+            episode: 3,
+            sched_pos: 3,
+            rng_state: [1, 2, 3, 4],
+            visits: vec![],
+            returns: vec![1.0, 2.0, 3.0],
+        };
+        let stats = ckpt.stats();
+        assert_eq!(stats.episodes(), 3);
+        assert_eq!(stats.returns(), &[1.0, 2.0, 3.0]);
+    }
+}

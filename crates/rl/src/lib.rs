@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dp;
 pub mod env;
 pub mod expected_sarsa;
@@ -19,12 +20,14 @@ pub mod mc;
 pub mod policy;
 pub mod qlearning;
 pub mod qtable;
+pub mod rng;
 pub mod rollout;
 pub mod sarsa;
 pub mod schedule;
 pub mod stats;
 pub mod transfer;
 
+pub use checkpoint::TrainCheckpoint;
 pub use dp::{policy_iteration, value_iteration, DpSolution, ExplicitMdp};
 pub use env::{Environment, StepOutcome};
 pub use expected_sarsa::ExpectedSarsaAgent;
@@ -32,6 +35,7 @@ pub use mc::MonteCarloAgent;
 pub use policy::{ActionSelector, EpsilonGreedy, GreedySelector};
 pub use qlearning::QLearningAgent;
 pub use qtable::QTable;
+pub use rng::TrainRng;
 pub use rollout::greedy_rollout;
 pub use sarsa::{SarsaAgent, SarsaConfig};
 pub use schedule::Schedule;

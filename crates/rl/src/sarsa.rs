@@ -8,9 +8,11 @@
 //! Q(s_i, e_i) ← Q(s_i, e_i) + α [ r_{i+1} + γ Q(s_{i+1}, e_{i+1}) − Q(s_i, e_i) ]
 //! ```
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::env::Environment;
 use crate::policy::ActionSelector;
 use crate::qtable::QTable;
+use crate::rng::TrainRng;
 use crate::schedule::Schedule;
 use crate::stats::TrainStats;
 use rand::Rng;
@@ -135,6 +137,153 @@ impl SarsaAgent {
         span.record("mean_return", stats.mean_return());
         stats
     }
+
+    /// Reconstructs an agent mid-run from a checkpoint: the Q-table is
+    /// restored as-is and the training RNG resumes its stream at the
+    /// captured state words. Pass the same checkpoint to
+    /// [`train_resumable`](Self::train_resumable) to also restore the
+    /// episode counter and accumulated returns.
+    pub fn resume_from(config: SarsaConfig, ckpt: &TrainCheckpoint) -> (Self, TrainRng) {
+        (
+            SarsaAgent {
+                q: ckpt.q.clone(),
+                config,
+            },
+            TrainRng::from_state(ckpt.rng_state),
+        )
+    }
+
+    /// Like [`train`](Self::train), but checkpointable and resumable.
+    ///
+    /// Exploration is ε-greedy with `epsilon` evaluated per episode at
+    /// the schedule position (so a decaying schedule resumes at the
+    /// right point). Every `every` completed episodes (`0` disables) a
+    /// [`TrainCheckpoint`] is handed to `on_checkpoint`; an `Err` from
+    /// the sink aborts training and is returned verbatim — the caller's
+    /// persistence failure is this loop's crash signal.
+    ///
+    /// With `resume: Some(ckpt)`, the Q-table, RNG, episode counter and
+    /// return history are all restored from the snapshot before the
+    /// loop continues, which makes a seed-matched interrupted+resumed
+    /// run bit-identical to an uninterrupted one.
+    // The argument list IS the resume contract — every piece of state a
+    // restart needs travels explicitly, nothing hides in `self`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_resumable<E, F, C>(
+        &mut self,
+        env: &mut E,
+        epsilon: Schedule,
+        rng: &mut TrainRng,
+        mut start_of: F,
+        resume: Option<&TrainCheckpoint>,
+        every: usize,
+        mut on_checkpoint: C,
+    ) -> Result<TrainStats, String>
+    where
+        E: Environment,
+        F: FnMut(usize, &mut TrainRng) -> usize,
+        C: FnMut(&TrainCheckpoint) -> Result<(), String>,
+    {
+        let mut stats = TrainStats::with_capacity(self.config.episodes);
+        let mut first_episode = 0usize;
+        if let Some(ckpt) = resume {
+            self.q = ckpt.q.clone();
+            *rng = TrainRng::from_state(ckpt.rng_state);
+            for &r in &ckpt.returns {
+                stats.push(r);
+            }
+            first_episode = usize::try_from(ckpt.episode).map_err(|_| "episode overflow")?;
+        }
+        let mut span = tpp_obs::span(Level::Info, "sarsa.train")
+            .with("episodes", self.config.episodes)
+            .with("first_episode", first_episode)
+            .with("gamma", self.config.gamma);
+        let mut actions = Vec::with_capacity(env.n_states());
+        for episode in first_episode..self.config.episodes {
+            let alpha = self.config.alpha.at(episode);
+            let eps = epsilon.at(episode);
+            let start = start_of(episode, rng);
+            env.reset(start);
+            let mut ep_return = 0.0;
+            let mut s = env.state();
+            env.valid_actions(&mut actions);
+            if actions.is_empty() {
+                stats.push(0.0);
+                self.maybe_checkpoint(episode, every, rng, &stats, &mut on_checkpoint)?;
+                continue;
+            }
+            let mut a = Self::select_eps_greedy(&self.q, s, &actions, eps, rng);
+            loop {
+                let out = env.step(a);
+                ep_return += out.reward;
+                if out.done {
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                let s_next = out.next_state;
+                env.valid_actions(&mut actions);
+                if actions.is_empty() {
+                    self.q.td_update(s, a, alpha, out.reward);
+                    break;
+                }
+                let a_next = Self::select_eps_greedy(&self.q, s_next, &actions, eps, rng);
+                let target = out.reward + self.config.gamma * self.q.get(s_next, a_next);
+                self.q.td_update(s, a, alpha, target);
+                s = s_next;
+                a = a_next;
+            }
+            stats.push(ep_return);
+            obs_event!(
+                Level::Debug,
+                "sarsa.episode",
+                episode = episode,
+                alpha = alpha,
+                ep_return = ep_return,
+            );
+            self.maybe_checkpoint(episode, every, rng, &stats, &mut on_checkpoint)?;
+        }
+        span.record("mean_return", stats.mean_return());
+        Ok(stats)
+    }
+
+    /// ε-greedy over [`TrainRng`] (same semantics as
+    /// [`EpsilonGreedy`](crate::policy::EpsilonGreedy), but on the
+    /// checkpointable RNG).
+    fn select_eps_greedy(
+        q: &QTable,
+        s: usize,
+        allowed: &[usize],
+        epsilon: f64,
+        rng: &mut TrainRng,
+    ) -> usize {
+        if rng.next_f64() < epsilon {
+            allowed[rng.index(allowed.len())]
+        } else {
+            q.best_action(s, allowed).expect("allowed is non-empty")
+        }
+    }
+
+    fn maybe_checkpoint(
+        &self,
+        episode: usize,
+        every: usize,
+        rng: &TrainRng,
+        stats: &TrainStats,
+        on_checkpoint: &mut dyn FnMut(&TrainCheckpoint) -> Result<(), String>,
+    ) -> Result<(), String> {
+        if every == 0 || (episode + 1) % every != 0 {
+            return Ok(());
+        }
+        let done = episode as u64 + 1;
+        on_checkpoint(&TrainCheckpoint {
+            q: self.q.clone(),
+            episode: done,
+            sched_pos: done,
+            rng_state: rng.state(),
+            visits: Vec::new(),
+            returns: stats.returns().to_vec(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +361,105 @@ mod tests {
         let (a1, _) = trained_agent(100, 99);
         let (a2, _) = trained_agent(100, 99);
         assert_eq!(a1.q, a2.q);
+    }
+
+    fn resumable_run(
+        episodes: usize,
+        seed: u64,
+        every: usize,
+        capture_at: Option<u64>,
+    ) -> (SarsaAgent, Option<TrainCheckpoint>) {
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let mut rng = TrainRng::seed_from_u64(seed);
+        let mut captured = None;
+        agent
+            .train_resumable(
+                &mut env,
+                Schedule::Constant(0.2),
+                &mut rng,
+                |_, _| 0,
+                None,
+                every,
+                |ckpt| {
+                    if Some(ckpt.episode) == capture_at {
+                        captured = Some(ckpt.clone());
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        (agent, captured)
+    }
+
+    #[test]
+    fn resumable_training_is_deterministic() {
+        let (a1, _) = resumable_run(200, 17, 0, None);
+        let (a2, _) = resumable_run(200, 17, 50, None);
+        assert_eq!(a1.q, a2.q, "checkpointing must not perturb training");
+    }
+
+    #[test]
+    fn interrupted_plus_resumed_matches_uninterrupted_bit_for_bit() {
+        // Full run, capturing the mid-run snapshot as it goes by.
+        let (full, ckpt) = resumable_run(200, 23, 25, Some(100));
+        let ckpt = ckpt.expect("checkpoint at episode 100");
+        assert_eq!(ckpt.returns.len(), 100);
+
+        // Fresh agent restored from the snapshot, trained to the end.
+        let mut env = ChainEnv::new(6, 5);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 200,
+        };
+        let (mut resumed, mut rng) = SarsaAgent::resume_from(config, &ckpt);
+        let stats = resumed
+            .train_resumable(
+                &mut env,
+                Schedule::Constant(0.2),
+                &mut rng,
+                |_, _| 0,
+                Some(&ckpt),
+                25,
+                |_| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(stats.episodes(), 200);
+        assert_eq!(
+            full.q.values(),
+            resumed.q.values(),
+            "resumed Q-table must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn checkpoint_sink_error_aborts_training() {
+        let mut env = ChainEnv::new(4, 3);
+        let config = SarsaConfig {
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.9,
+            episodes: 100,
+        };
+        let mut agent = SarsaAgent::new(&env, config);
+        let mut rng = TrainRng::seed_from_u64(0);
+        let err = agent
+            .train_resumable(
+                &mut env,
+                Schedule::Constant(0.1),
+                &mut rng,
+                |_, _| 0,
+                None,
+                10,
+                |_| Err("disk full".to_owned()),
+            )
+            .unwrap_err();
+        assert_eq!(err, "disk full");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Generational checkpoint directories with corruption fallback.
+//!
+//! A [`CheckpointSet`] manages a directory of training checkpoints
+//! (`ckpt-00001.qpol`, `ckpt-00002.qpol`, …) plus a human-readable
+//! `LATEST` pointer file. Writes are atomic (see [`crate::atomic`]) and
+//! only the newest `keep` generations are retained. The loader walks
+//! generations newest-first and returns the first one that passes
+//! magic/version/checksum validation, emitting a `tpp_obs` warning per
+//! corrupt generation it skips — so a torn or bit-rotted newest
+//! checkpoint degrades to the last good one instead of killing the run.
+//!
+//! The `LATEST` file is advisory (for humans and external tooling); the
+//! loader always re-derives the newest generation from the directory
+//! listing, so a stale or missing pointer can never mislead recovery.
+
+use crate::atomic::atomic_write;
+use crate::error::StoreError;
+use crate::policy::{decode_checkpoint, encode_checkpoint};
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+use tpp_obs::{obs_event, Level};
+use tpp_rl::TrainCheckpoint;
+
+/// Prefix of generation file names.
+const PREFIX: &str = "ckpt-";
+/// Extension of generation file names.
+const EXT: &str = "qpol";
+/// Name of the advisory newest-generation pointer file.
+const LATEST: &str = "LATEST";
+
+/// A keep-last-K generational checkpoint directory.
+pub struct CheckpointSet<'f> {
+    fs: &'f dyn Vfs,
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl<'f> CheckpointSet<'f> {
+    /// Opens (or designates) `dir` as a checkpoint set retaining the
+    /// newest `keep` generations (clamped to at least 1). The directory
+    /// is created lazily on first save.
+    pub fn new(fs: &'f dyn Vfs, dir: impl Into<PathBuf>, keep: usize) -> Self {
+        CheckpointSet {
+            fs,
+            dir: dir.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of generation `generation`.
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("{PREFIX}{generation:05}.{EXT}"))
+    }
+
+    /// Parses a generation number out of a directory entry, ignoring
+    /// anything that is not a `ckpt-NNNNN.qpol` file (stranded `.tmp`
+    /// staging files, `LATEST`, stray user files).
+    fn parse_generation(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let stem = name.strip_prefix(PREFIX)?;
+        let digits = stem.strip_suffix(&format!(".{EXT}"))?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// All generation numbers present, ascending. A missing directory
+    /// is an empty set, not an error.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        if !self.fs.exists(&self.dir) {
+            return Ok(Vec::new());
+        }
+        let entries = self
+            .fs
+            .read_dir(&self.dir)
+            .map_err(|e| StoreError::at(&self.dir, e.into()))?;
+        let mut gens: Vec<u64> = entries
+            .iter()
+            .filter_map(|p| Self::parse_generation(p))
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        Ok(gens)
+    }
+
+    /// Writes `ckpt` as the next generation, updates `LATEST`, and
+    /// prunes generations older than the newest `keep`. Returns the new
+    /// generation number.
+    pub fn save(&self, ckpt: &TrainCheckpoint) -> Result<u64, StoreError> {
+        let gens = self.generations()?;
+        let generation = gens.last().map_or(1, |g| g + 1);
+        let path = self.generation_path(generation);
+        atomic_write(self.fs, &path, &encode_checkpoint(ckpt))?;
+        let pointer = format!(
+            "{}\n",
+            path.file_name()
+                .expect("generation file name")
+                .to_string_lossy()
+        );
+        atomic_write(self.fs, self.dir.join(LATEST), pointer.as_bytes())?;
+        obs_event!(
+            Level::Debug,
+            "store.ckpt.saved",
+            generation = generation,
+            episode = ckpt.episode,
+        );
+        // Prune beyond keep-last-K. The new generation is durable at
+        // this point, so a crash mid-prune only leaves extra history.
+        for &old in gens.iter().rev().skip(self.keep.saturating_sub(1)) {
+            let old_path = self.generation_path(old);
+            self.fs
+                .remove_file(&old_path)
+                .map_err(|e| StoreError::at(&old_path, e.into()))?;
+        }
+        Ok(generation)
+    }
+
+    /// Loads the newest generation that decodes cleanly, newest-first,
+    /// emitting a warn event per corrupt generation skipped.
+    ///
+    /// Returns `Ok(None)` for an empty (or absent) set, and
+    /// [`StoreError::NoValidCheckpoint`] when generations exist but
+    /// every one of them is corrupt.
+    pub fn load_latest(&self) -> Result<Option<(u64, TrainCheckpoint)>, StoreError> {
+        let gens = self.generations()?;
+        let mut tried = 0usize;
+        for &generation in gens.iter().rev() {
+            let path = self.generation_path(generation);
+            let result = self
+                .fs
+                .read(&path)
+                .map_err(StoreError::from)
+                .and_then(|data| decode_checkpoint(&data));
+            match result {
+                Ok(ckpt) => {
+                    if tried > 0 {
+                        obs_event!(
+                            Level::Warn,
+                            "store.ckpt.fallback",
+                            generation = generation,
+                            skipped = tried,
+                        );
+                    }
+                    return Ok(Some((generation, ckpt)));
+                }
+                Err(e) => {
+                    tried += 1;
+                    obs_event!(
+                        Level::Warn,
+                        "store.ckpt.corrupt_generation",
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+        if tried > 0 {
+            return Err(StoreError::NoValidCheckpoint {
+                dir: self.dir.clone(),
+                tried,
+            });
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::RealFs;
+    use tpp_rl::QTable;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpp-ckpt-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn ckpt(episode: u64) -> TrainCheckpoint {
+        let mut q = QTable::square(3);
+        q.set(0, 1, episode as f64);
+        TrainCheckpoint {
+            q,
+            episode,
+            sched_pos: episode,
+            rng_state: [episode, 2, 3, 4],
+            visits: vec![1, 2, 3],
+            returns: (0..episode).map(|e| e as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_set_loads_none() {
+        let dir = tmp_dir("empty");
+        let set = CheckpointSet::new(&RealFs, &dir, 3);
+        assert!(set.load_latest().unwrap().is_none());
+        assert!(set.generations().unwrap().is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_generations() {
+        let dir = tmp_dir("gen");
+        let set = CheckpointSet::new(&RealFs, &dir, 5);
+        assert_eq!(set.save(&ckpt(10)).unwrap(), 1);
+        assert_eq!(set.save(&ckpt(20)).unwrap(), 2);
+        let (generation, back) = set.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(back, ckpt(20));
+        assert_eq!(set.generations().unwrap(), vec![1, 2]);
+        let latest = std::fs::read_to_string(dir.join("LATEST")).unwrap();
+        assert_eq!(latest.trim(), "ckpt-00002.qpol");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prunes_to_keep_last_k() {
+        let dir = tmp_dir("prune");
+        let set = CheckpointSet::new(&RealFs, &dir, 2);
+        for e in 1..=5 {
+            set.save(&ckpt(e * 10)).unwrap();
+        }
+        assert_eq!(set.generations().unwrap(), vec![4, 5]);
+        let (generation, back) = set.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 5);
+        assert_eq!(back.episode, 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = tmp_dir("fallback");
+        let set = CheckpointSet::new(&RealFs, &dir, 3);
+        set.save(&ckpt(10)).unwrap();
+        set.save(&ckpt(20)).unwrap();
+        // Corrupt generation 2 in place.
+        let path = set.generation_path(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (generation, back) = set.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(back.episode, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_corrupt_is_a_typed_error() {
+        let dir = tmp_dir("allbad");
+        let set = CheckpointSet::new(&RealFs, &dir, 3);
+        set.save(&ckpt(10)).unwrap();
+        std::fs::write(set.generation_path(1), b"garbage").unwrap();
+        let err = set.load_latest().unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NoValidCheckpoint { tried: 1, .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ignores_foreign_files_and_stranded_tmp() {
+        let dir = tmp_dir("foreign");
+        let set = CheckpointSet::new(&RealFs, &dir, 3);
+        set.save(&ckpt(10)).unwrap();
+        std::fs::write(dir.join("ckpt-00009.qpol.tmp"), b"stranded").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        std::fs::write(dir.join("ckpt-abc.qpol"), b"nope").unwrap();
+        assert_eq!(set.generations().unwrap(), vec![1]);
+        let (generation, _) = set.load_latest().unwrap().unwrap();
+        assert_eq!(generation, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_generation_rules() {
+        let p = |s: &str| CheckpointSet::parse_generation(Path::new(s));
+        assert_eq!(p("/d/ckpt-00042.qpol"), Some(42));
+        assert_eq!(p("/d/ckpt-7.qpol"), Some(7));
+        assert_eq!(p("/d/ckpt-.qpol"), None);
+        assert_eq!(p("/d/ckpt-12.qpol.tmp"), None);
+        assert_eq!(p("/d/LATEST"), None);
+        assert_eq!(p("/d/ckpt-12.bin"), None);
+    }
+}

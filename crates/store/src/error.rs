@@ -1,6 +1,7 @@
 //! Store error type.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Errors from persistence operations.
 #[derive(Debug)]
@@ -22,6 +23,53 @@ pub enum StoreError {
     },
     /// Checksum mismatch: the payload is corrupt.
     ChecksumMismatch,
+    /// The payload is a plain policy with no resume state, but a
+    /// checkpoint (Q-table + resume state) was required.
+    MissingResumeState,
+    /// A failure with the offending path attached, so CLI errors can
+    /// name the file instead of a bare "No such file or directory".
+    At {
+        /// The file or directory the operation was acting on.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<StoreError>,
+    },
+    /// A checkpoint directory held generations, but none decoded
+    /// cleanly.
+    NoValidCheckpoint {
+        /// The checkpoint directory.
+        dir: PathBuf,
+        /// How many candidate generations were tried and rejected.
+        tried: usize,
+    },
+}
+
+impl StoreError {
+    /// Wraps `source` with the path it was operating on (idempotent
+    /// convenience used by every file-level entry point).
+    pub fn at(path: impl Into<PathBuf>, source: StoreError) -> StoreError {
+        StoreError::At {
+            path: path.into(),
+            source: Box::new(source),
+        }
+    }
+
+    /// The error with any [`StoreError::At`] context stripped — what
+    /// actually went wrong, regardless of where.
+    pub fn root_cause(&self) -> &StoreError {
+        match self {
+            StoreError::At { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// The innermost path attached via [`StoreError::At`], if any.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            StoreError::At { path, source } => Some(source.path().unwrap_or(path)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -35,6 +83,15 @@ impl fmt::Display for StoreError {
                 write!(f, "truncated payload: need {expected} bytes, have {got}")
             }
             StoreError::ChecksumMismatch => f.write_str("checksum mismatch (corrupt payload)"),
+            StoreError::MissingResumeState => {
+                f.write_str("policy file carries no resume state (not a checkpoint)")
+            }
+            StoreError::At { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::NoValidCheckpoint { dir, tried } => write!(
+                f,
+                "no valid checkpoint in {} ({tried} corrupt generation(s) skipped)",
+                dir.display()
+            ),
         }
     }
 }
@@ -44,6 +101,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Json(e) => Some(e),
+            StoreError::At { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -74,5 +132,35 @@ mod tests {
             got: 3,
         };
         assert!(t.to_string().contains("10") && t.to_string().contains('3'));
+    }
+
+    #[test]
+    fn at_context_names_the_path() {
+        let e = StoreError::at("/some/policy.qpol", StoreError::ChecksumMismatch);
+        let msg = e.to_string();
+        assert!(msg.contains("/some/policy.qpol"), "{msg}");
+        assert!(msg.contains("checksum"), "{msg}");
+        assert!(matches!(e.root_cause(), StoreError::ChecksumMismatch));
+        assert_eq!(e.path().unwrap(), Path::new("/some/policy.qpol"));
+    }
+
+    #[test]
+    fn nested_at_reports_innermost_path() {
+        let e = StoreError::at(
+            "/ckpt/dir",
+            StoreError::at("/ckpt/dir/gen-3.qpol", StoreError::BadMagic),
+        );
+        assert_eq!(e.path().unwrap(), Path::new("/ckpt/dir/gen-3.qpol"));
+        assert!(matches!(e.root_cause(), StoreError::BadMagic));
+    }
+
+    #[test]
+    fn no_valid_checkpoint_display() {
+        let e = StoreError::NoValidCheckpoint {
+            dir: PathBuf::from("/c"),
+            tried: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/c") && msg.contains('2'), "{msg}");
     }
 }

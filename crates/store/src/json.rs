@@ -1,27 +1,45 @@
 //! JSON snapshots for any serde-serializable artifact.
+//!
+//! Writes go through the atomic-rename protocol ([`crate::atomic`]) so
+//! a crash mid-save can never leave a torn snapshot, and every error is
+//! wrapped with the offending path.
 
 use crate::error::StoreError;
+use crate::vfs::{RealFs, Vfs};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use std::fs;
 use std::path::Path;
 
-/// Serializes `value` as pretty JSON at `path`, creating parent
-/// directories as needed.
+/// Serializes `value` as pretty JSON at `path`, atomically, creating
+/// parent directories as needed.
 pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), StoreError> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    let data = serde_json::to_vec_pretty(value)?;
-    fs::write(path, data)?;
-    Ok(())
+    save_json_with(&RealFs, path, value)
 }
 
-/// Loads a JSON snapshot from `path`.
+/// [`save_json`] over an explicit filesystem.
+pub fn save_json_with<T: Serialize>(
+    fs: &dyn Vfs,
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let data = serde_json::to_vec_pretty(value).map_err(|e| StoreError::at(path, e.into()))?;
+    crate::atomic::atomic_write(fs, path, &data)
+}
+
+/// Loads a JSON snapshot from `path`. Errors carry the offending path.
 pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, StoreError> {
-    let data = fs::read(path)?;
-    Ok(serde_json::from_slice(&data)?)
+    load_json_with(&RealFs, path)
+}
+
+/// [`load_json`] over an explicit filesystem.
+pub fn load_json_with<T: DeserializeOwned>(
+    fs: &dyn Vfs,
+    path: impl AsRef<Path>,
+) -> Result<T, StoreError> {
+    let path = path.as_ref();
+    let data = fs.read(path).map_err(|e| StoreError::at(path, e.into()))?;
+    serde_json::from_slice(&data).map_err(|e| StoreError::at(path, e.into()))
 }
 
 #[cfg(test)]
@@ -69,17 +87,21 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_io_error() {
+    fn missing_file_is_io_error_naming_the_path() {
         let r: Result<Plan, _> = load_json("/nonexistent/nope.json");
-        assert!(matches!(r, Err(StoreError::Io(_))));
+        let err = r.unwrap_err();
+        assert!(matches!(err.root_cause(), StoreError::Io(_)));
+        assert!(err.to_string().contains("/nonexistent/nope.json"));
     }
 
     #[test]
-    fn malformed_json_is_json_error() {
+    fn malformed_json_is_json_error_naming_the_path() {
         let path = tmp("bad.json");
         std::fs::write(&path, b"{not json").unwrap();
         let r: Result<Plan, _> = load_json(&path);
-        assert!(matches!(r, Err(StoreError::Json(_))));
+        let err = r.unwrap_err();
+        assert!(matches!(err.root_cause(), StoreError::Json(_)));
+        assert!(err.to_string().contains("bad.json"));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,23 +1,42 @@
 //! # tpp-store
 //!
-//! Persistence for datasets and learned policies:
+//! Crash-safe persistence for datasets and learned policies:
 //!
 //! * human-readable **JSON snapshots** (via serde) for catalogs and any
 //!   serializable experiment artifact;
 //! * a compact, hand-rolled, checksummed **binary format** (`QPOL`) for
-//!   Q-tables, so a policy trained once can be reloaded and reused for
-//!   interactive recommendation or transfer without retraining.
+//!   Q-tables (v1) and full training checkpoints with resume state
+//!   (v2), so a policy trained once can be reloaded and reused — or an
+//!   interrupted run resumed bit-for-bit;
+//! * an **atomic-rename write protocol** ([`AtomicFile`]) used by every
+//!   save path, so a crash mid-write can never tear an artifact;
+//! * a [`Vfs`] filesystem abstraction with a fault-injecting test
+//!   implementation ([`FaultFs`]) that simulates crashes, short writes,
+//!   and ENOSPC at exact operation counts;
+//! * a generational [`CheckpointSet`] (`ckpt-00001.qpol` …, keep-last-K,
+//!   advisory `LATEST` pointer) whose loader falls back past corrupt
+//!   generations to the newest valid one.
 //!
 //! The binary format is deliberately simple: magic, version, shape,
-//! little-endian `f64` payload, FNV-1a checksum. Corruption and
-//! truncation are detected, version skew is rejected.
+//! little-endian `f64` payload, optional resume section, FNV-1a
+//! checksum. Corruption and truncation are detected, version skew is
+//! rejected, and v1 files remain loadable forever.
 
 #![warn(missing_docs)]
 
+pub mod atomic;
+pub mod checkpoint;
 pub mod error;
 pub mod json;
 pub mod policy;
+pub mod vfs;
 
+pub use atomic::{atomic_write, AtomicFile};
+pub use checkpoint::CheckpointSet;
 pub use error::StoreError;
-pub use json::{load_json, save_json};
-pub use policy::{decode_qtable, encode_qtable, load_qtable, save_qtable};
+pub use json::{load_json, load_json_with, save_json, save_json_with};
+pub use policy::{
+    decode_checkpoint, decode_qtable, encode_checkpoint, encode_qtable, load_qtable,
+    load_qtable_with, save_qtable, save_qtable_with,
+};
+pub use vfs::{FaultFs, FaultKind, RealFs, Vfs};

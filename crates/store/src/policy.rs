@@ -1,27 +1,53 @@
-//! The `QPOL` binary format for learned policies.
+//! The `QPOL` binary format for learned policies and training
+//! checkpoints.
 //!
-//! Layout (all integers little-endian):
+//! Version 1 (plain policy — the stable interchange format):
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"QPOL"
-//! 4       2     version (currently 1)
+//! 4       2     version (1)
 //! 6       2     reserved (0)
 //! 8       4     n_states  (u32)
 //! 12      4     n_actions (u32)
 //! 16      8*n   Q values, row-major f64 LE, n = n_states * n_actions
 //! 16+8n   8     FNV-1a 64 checksum over bytes [0, 16+8n)
 //! ```
+//!
+//! Version 2 appends an optional resume-state section between the Q
+//! values and the checksum, so a checkpoint can restart training
+//! exactly where it stopped:
+//!
+//! ```text
+//! ...     1     has_resume (0 or 1)
+//! then, when has_resume = 1:
+//!         8     episode   (u64: episodes completed)
+//!         8     sched_pos (u64: exploration-schedule position)
+//!         32    rng state (4 × u64: xoshiro256** words)
+//!         4     visits_len (u32), then visits_len × u32 visit counts
+//!         4     returns_len (u32), then returns_len × f64 returns
+//! last    8     FNV-1a 64 checksum over everything before it
+//! ```
+//!
+//! [`encode_qtable`] keeps emitting v1 so previously written policies
+//! and external readers stay compatible; [`decode_qtable`] accepts both
+//! versions (ignoring v2 resume state). Checkpoints are written by
+//! [`encode_checkpoint`] and read back by [`decode_checkpoint`].
+//! Corruption and truncation are detected, version skew is rejected,
+//! and no input — however malformed — may panic the decoder (a property
+//! the fuzz suite asserts for both versions).
 
 use crate::error::StoreError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs;
+use crate::vfs::{RealFs, Vfs};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::path::Path;
-use tpp_rl::QTable;
+use tpp_rl::{QTable, TrainCheckpoint};
 
 const MAGIC: &[u8; 4] = b"QPOL";
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION_V2: u16 = 2;
 const HEADER_LEN: usize = 16;
+const CHECKSUM_LEN: usize = 8;
 
 fn fnv1a64(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -32,82 +58,253 @@ fn fnv1a64(data: &[u8]) -> u64 {
     hash
 }
 
-/// Encodes a Q-table into the `QPOL` wire format.
-pub fn encode_qtable(q: &QTable) -> Bytes {
-    let n = q.values().len();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + 8);
+/// A bounds-checked little-endian reader: every over-read maps to
+/// [`StoreError::Truncated`] instead of a panic.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    total: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8], total: usize) -> Self {
+        Reader {
+            data,
+            pos: 0,
+            total,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.data.len() - self.pos < n {
+            return Err(StoreError::Truncated {
+                expected: self.pos + n + CHECKSUM_LEN,
+                got: self.total,
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Rejects trailing garbage: a valid payload is consumed exactly.
+    fn finish(&self) -> Result<(), StoreError> {
+        if self.pos != self.data.len() {
+            return Err(StoreError::Truncated {
+                expected: self.pos + CHECKSUM_LEN,
+                got: self.total,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Verifies the trailing checksum and returns the covered body.
+fn checked_body(data: &[u8]) -> Result<&[u8], StoreError> {
+    if data.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN + CHECKSUM_LEN,
+            got: data.len(),
+        });
+    }
+    let (body, tail) = data.split_at(data.len() - CHECKSUM_LEN);
+    let stored = u64::from_le_bytes(tail.try_into().expect("slice is 8 bytes"));
+    if fnv1a64(body) != stored {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Parses the common header, returning `(version, n_states, n_actions)`.
+fn read_header(r: &mut Reader<'_>) -> Result<(u16, usize, usize), StoreError> {
+    if r.take(4)? != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let _reserved = r.u16()?;
+    let n_states = r.u32()? as usize;
+    let n_actions = r.u32()? as usize;
+    // Overflow in the shape product means a nonsense header.
+    n_states
+        .checked_mul(n_actions)
+        .ok_or(StoreError::BadMagic)?;
+    Ok((version, n_states, n_actions))
+}
+
+fn read_values(r: &mut Reader<'_>, n: usize) -> Result<Vec<f64>, StoreError> {
+    // Reserve against the bytes actually present, not the header's
+    // claim, so a hostile length cannot force a huge allocation.
+    let mut values = Vec::with_capacity(n.min(r.data.len() / 8 + 1));
+    for _ in 0..n {
+        values.push(r.f64()?);
+    }
+    Ok(values)
+}
+
+fn put_header(buf: &mut BytesMut, version: u16, q: &QTable) {
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(version);
     buf.put_u16_le(0);
     buf.put_u32_le(u32::try_from(q.n_states()).expect("state count fits u32"));
     buf.put_u32_le(u32::try_from(q.n_actions()).expect("action count fits u32"));
     for &v in q.values() {
         buf.put_f64_le(v);
     }
+}
+
+/// Encodes a Q-table into the v1 `QPOL` wire format (the stable
+/// interchange encoding; carries no resume state).
+pub fn encode_qtable(q: &QTable) -> Bytes {
+    let n = q.values().len();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + CHECKSUM_LEN);
+    put_header(&mut buf, VERSION_V1, q);
     let checksum = fnv1a64(&buf);
     buf.put_u64_le(checksum);
     buf.freeze()
 }
 
-/// Decodes a `QPOL` payload, verifying magic, version, shape and
-/// checksum.
-pub fn decode_qtable(mut data: &[u8]) -> Result<QTable, StoreError> {
-    if data.len() < HEADER_LEN + 8 {
-        return Err(StoreError::Truncated {
-            expected: HEADER_LEN + 8,
-            got: data.len(),
-        });
+/// Encodes a training checkpoint into the v2 `QPOL` wire format.
+pub fn encode_checkpoint(ckpt: &TrainCheckpoint) -> Bytes {
+    let n = ckpt.q.values().len();
+    let resume_len = 1 + 8 + 8 + 32 + 4 + 4 * ckpt.visits.len() + 4 + 8 * ckpt.returns.len();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + resume_len + CHECKSUM_LEN);
+    put_header(&mut buf, VERSION_V2, &ckpt.q);
+    buf.put_u8(1);
+    buf.put_u64_le(ckpt.episode);
+    buf.put_u64_le(ckpt.sched_pos);
+    for w in ckpt.rng_state {
+        buf.put_u64_le(w);
     }
-    let total = data.len();
-    let body = &data[..total - 8];
-    let stored_checksum =
-        u64::from_le_bytes(data[total - 8..].try_into().expect("slice is 8 bytes"));
-    if fnv1a64(body) != stored_checksum {
-        return Err(StoreError::ChecksumMismatch);
+    buf.put_u32_le(u32::try_from(ckpt.visits.len()).expect("visit count fits u32"));
+    for &v in &ckpt.visits {
+        buf.put_u32_le(v);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(StoreError::BadMagic);
+    buf.put_u32_le(u32::try_from(ckpt.returns.len()).expect("return count fits u32"));
+    for &r in &ckpt.returns {
+        buf.put_f64_le(r);
     }
-    let version = data.get_u16_le();
-    if version != VERSION {
-        return Err(StoreError::UnsupportedVersion(version));
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decodes a `QPOL` payload (v1 or v2) into a Q-table, verifying magic,
+/// version, shape and checksum. Any v2 resume state is validated and
+/// discarded; use [`decode_checkpoint`] to keep it.
+pub fn decode_qtable(data: &[u8]) -> Result<QTable, StoreError> {
+    let body = checked_body(data)?;
+    let mut r = Reader::new(body, data.len());
+    let (version, n_states, n_actions) = read_header(&mut r)?;
+    let values = read_values(&mut r, n_states * n_actions)?;
+    if version == VERSION_V2 {
+        read_resume(&mut r)?;
     }
-    let _reserved = data.get_u16_le();
-    let n_states = data.get_u32_le() as usize;
-    let n_actions = data.get_u32_le() as usize;
-    let n = n_states
-        .checked_mul(n_actions)
-        .ok_or(StoreError::BadMagic)?;
-    let expected = HEADER_LEN + 8 * n + 8;
-    if total != expected {
-        return Err(StoreError::Truncated {
-            expected,
-            got: total,
-        });
-    }
-    let mut values = Vec::with_capacity(n);
-    for _ in 0..n {
-        values.push(data.get_f64_le());
-    }
+    r.finish()?;
     Ok(QTable::from_raw(n_states, n_actions, values))
 }
 
-/// Writes a Q-table to `path` in `QPOL` format.
-pub fn save_qtable(path: impl AsRef<Path>, q: &QTable) -> Result<(), StoreError> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+/// Decodes a v2 `QPOL` checkpoint, verifying magic, version, shape,
+/// resume section and checksum.
+pub fn decode_checkpoint(data: &[u8]) -> Result<TrainCheckpoint, StoreError> {
+    let body = checked_body(data)?;
+    let mut r = Reader::new(body, data.len());
+    let (version, n_states, n_actions) = read_header(&mut r)?;
+    if version == VERSION_V1 {
+        return Err(StoreError::MissingResumeState);
     }
-    fs::write(path, encode_qtable(q))?;
-    Ok(())
+    let values = read_values(&mut r, n_states * n_actions)?;
+    let resume = read_resume(&mut r)?.ok_or(StoreError::MissingResumeState)?;
+    r.finish()?;
+    let (episode, sched_pos, rng_state, visits, returns) = resume;
+    Ok(TrainCheckpoint {
+        q: QTable::from_raw(n_states, n_actions, values),
+        episode,
+        sched_pos,
+        rng_state,
+        visits,
+        returns,
+    })
 }
 
-/// Reads a Q-table from a `QPOL` file.
+type ResumeFields = (u64, u64, [u64; 4], Vec<u32>, Vec<f64>);
+
+fn read_resume(r: &mut Reader<'_>) -> Result<Option<ResumeFields>, StoreError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let episode = r.u64()?;
+            let sched_pos = r.u64()?;
+            let mut rng_state = [0u64; 4];
+            for w in &mut rng_state {
+                *w = r.u64()?;
+            }
+            let n_visits = r.u32()? as usize;
+            let mut visits = Vec::with_capacity(n_visits.min(r.data.len() / 4 + 1));
+            for _ in 0..n_visits {
+                visits.push(r.u32()?);
+            }
+            let n_returns = r.u32()? as usize;
+            let mut returns = Vec::with_capacity(n_returns.min(r.data.len() / 8 + 1));
+            for _ in 0..n_returns {
+                returns.push(r.f64()?);
+            }
+            Ok(Some((episode, sched_pos, rng_state, visits, returns)))
+        }
+        // Any other flag byte is corruption the checksum failed to
+        // catch only in adversarial settings; reject it as bad framing.
+        _ => Err(StoreError::BadMagic),
+    }
+}
+
+/// Writes a Q-table to `path` in v1 `QPOL` format, atomically
+/// (tmp → fsync → rename → fsync dir).
+pub fn save_qtable(path: impl AsRef<Path>, q: &QTable) -> Result<(), StoreError> {
+    save_qtable_with(&RealFs, path, q)
+}
+
+/// [`save_qtable`] over an explicit filesystem.
+pub fn save_qtable_with(
+    fs: &dyn Vfs,
+    path: impl AsRef<Path>,
+    q: &QTable,
+) -> Result<(), StoreError> {
+    crate::atomic::atomic_write(fs, path, &encode_qtable(q))
+}
+
+/// Reads a Q-table from a `QPOL` file (v1 or v2). Errors carry the
+/// offending path.
 pub fn load_qtable(path: impl AsRef<Path>) -> Result<QTable, StoreError> {
-    let data = fs::read(path)?;
-    decode_qtable(&data)
+    load_qtable_with(&RealFs, path)
+}
+
+/// [`load_qtable`] over an explicit filesystem.
+pub fn load_qtable_with(fs: &dyn Vfs, path: impl AsRef<Path>) -> Result<QTable, StoreError> {
+    let path = path.as_ref();
+    let data = fs.read(path).map_err(|e| StoreError::at(path, e.into()))?;
+    decode_qtable(&data).map_err(|e| StoreError::at(path, e))
 }
 
 #[cfg(test)]
@@ -122,12 +319,66 @@ mod tests {
         q
     }
 
+    fn sample_ckpt() -> TrainCheckpoint {
+        TrainCheckpoint {
+            q: sample_q(),
+            episode: 120,
+            sched_pos: 120,
+            rng_state: [1, u64::MAX, 0xdead_beef, 42],
+            visits: vec![0, 3, 7, 1],
+            returns: vec![0.5, -1.25, 9.75],
+        }
+    }
+
+    fn refresh_checksum(bytes: &mut [u8]) {
+        let len = bytes.len();
+        let c = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+    }
+
     #[test]
     fn encode_decode_roundtrip() {
         let q = sample_q();
         let bytes = encode_qtable(&q);
         let back = decode_qtable(&bytes).unwrap();
         assert_eq!(q, back);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = sample_ckpt();
+        let bytes = encode_checkpoint(&ckpt);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn v2_payload_decodes_as_plain_qtable() {
+        let ckpt = sample_ckpt();
+        let q = decode_qtable(&encode_checkpoint(&ckpt)).unwrap();
+        assert_eq!(q, ckpt.q);
+    }
+
+    #[test]
+    fn v1_payload_is_not_a_checkpoint() {
+        let bytes = encode_qtable(&sample_q());
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(StoreError::MissingResumeState)
+        ));
+    }
+
+    #[test]
+    fn v1_files_still_decode() {
+        // Backward compatibility: the v1 layout is frozen. This byte
+        // string was produced by the original v1 encoder.
+        let mut q = QTable::square(2);
+        q.set(0, 0, 1.0);
+        q.set(1, 1, -2.0);
+        let bytes = encode_qtable(&q);
+        assert_eq!(&bytes[..4], b"QPOL");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+        assert_eq!(decode_qtable(&bytes).unwrap(), q);
     }
 
     #[test]
@@ -142,13 +393,18 @@ mod tests {
     }
 
     #[test]
+    fn load_errors_carry_the_path() {
+        let err = load_qtable("/nonexistent/nope.qpol").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/nope.qpol"));
+        assert!(matches!(err.root_cause(), StoreError::Io(_)));
+    }
+
+    #[test]
     fn detects_bad_magic() {
         let mut bytes = encode_qtable(&sample_q()).to_vec();
         bytes[0] = b'X';
         // Fix the checksum so the magic check (not the checksum) fires.
-        let len = bytes.len();
-        let c = fnv1a64(&bytes[..len - 8]);
-        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        refresh_checksum(&mut bytes);
         assert!(matches!(decode_qtable(&bytes), Err(StoreError::BadMagic)));
     }
 
@@ -156,9 +412,7 @@ mod tests {
     fn detects_version_skew() {
         let mut bytes = encode_qtable(&sample_q()).to_vec();
         bytes[4] = 99;
-        let len = bytes.len();
-        let c = fnv1a64(&bytes[..len - 8]);
-        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        refresh_checksum(&mut bytes);
         assert!(matches!(
             decode_qtable(&bytes),
             Err(StoreError::UnsupportedVersion(99))
@@ -194,9 +448,7 @@ mod tests {
         // Claim a bigger table than the payload carries.
         let mut bytes = encode_qtable(&sample_q()).to_vec();
         bytes[8] = 200; // n_states = 200
-        let len = bytes.len();
-        let c = fnv1a64(&bytes[..len - 8]);
-        bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+        refresh_checksum(&mut bytes);
         assert!(matches!(
             decode_qtable(&bytes),
             Err(StoreError::Truncated { .. })
@@ -204,10 +456,50 @@ mod tests {
     }
 
     #[test]
+    fn detects_trailing_garbage() {
+        let mut bytes = encode_qtable(&sample_q()).to_vec();
+        let split = bytes.len() - 8;
+        bytes.splice(split..split, [0u8; 4]);
+        refresh_checksum(&mut bytes);
+        assert!(decode_qtable(&bytes).is_err());
+    }
+
+    #[test]
+    fn detects_checkpoint_truncation_in_resume_section() {
+        let bytes = encode_checkpoint(&sample_ckpt());
+        // Cut inside the resume section (between Q values and checksum).
+        let cut = bytes.len() - 12;
+        assert!(decode_checkpoint(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_resume_flag() {
+        let mut bytes = encode_checkpoint(&sample_ckpt()).to_vec();
+        let flag_at = HEADER_LEN + 8 * sample_ckpt().q.values().len();
+        bytes[flag_at] = 7;
+        refresh_checksum(&mut bytes);
+        assert!(decode_checkpoint(&bytes).is_err());
+        assert!(decode_qtable(&bytes).is_err());
+    }
+
+    #[test]
     fn empty_table_roundtrips() {
         let q = QTable::square(0);
         let back = decode_qtable(&encode_qtable(&q)).unwrap();
         assert_eq!(q, back);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let ckpt = TrainCheckpoint {
+            q: QTable::square(0),
+            episode: 0,
+            sched_pos: 0,
+            rng_state: [0; 4],
+            visits: vec![],
+            returns: vec![],
+        };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap(), ckpt);
     }
 
     #[test]

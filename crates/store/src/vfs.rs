@@ -1,0 +1,344 @@
+//! A minimal virtual filesystem, so durability is *tested*, not
+//! asserted.
+//!
+//! Every write path in this crate goes through the [`Vfs`] trait. In
+//! production that is [`RealFs`] (plain `std::fs` plus explicit
+//! fsyncs). In tests it is [`FaultFs`], which wraps any inner `Vfs` and
+//! injects a fault — a short write, `ENOSPC`, or a simulated process
+//! crash — at a configurable mutating-operation count. The atomicity
+//! suite sweeps that count across the whole checkpoint write path and
+//! proves that no abort point can leave the store unreadable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Filesystem operations the store needs, in mockable form.
+///
+/// Mutating operations (`write`, `rename`, `sync_*`, `remove_file`,
+/// `create_dir_all`) are the fault-injection points; reads are assumed
+/// to either succeed or fail atomically.
+pub trait Vfs {
+    /// Reads an entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Writes an entire file (create or truncate).
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Creates a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes a file's data and metadata to stable storage.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Flushes a directory entry table to stable storage (makes a
+    /// preceding rename durable).
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Lists the entries of a directory (file paths, unsorted).
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production filesystem: `std::fs` with explicit fsyncs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Windows cannot open a directory handle this way; directory
+        // sync is a no-op there (rename durability is best-effort).
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// What [`FaultFs`] injects when the operation budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process dies at the fault point: the faulting operation does
+    /// not happen, and every later operation fails too. Models
+    /// `kill -9` / power loss.
+    Crash,
+    /// The faulting write persists only the first half of its payload,
+    /// then the process dies (all later operations fail). Models a torn
+    /// write interrupted by a crash. When the faulting operation is not
+    /// a write it degrades to [`FaultKind::Crash`].
+    ShortWrite,
+    /// The faulting write persists a partial payload and returns
+    /// `ENOSPC`; later operations proceed normally. Models a full disk
+    /// the caller can observe and handle. A non-write faulting
+    /// operation fails with `ENOSPC` without side effects.
+    Enospc,
+}
+
+/// A fault-injecting [`Vfs`] wrapper.
+///
+/// Counts mutating operations; the `fail_at`-th one (0-based) triggers
+/// the configured [`FaultKind`]. With `fail_at` = `u64::MAX` it is a
+/// pure pass-through counter, which is how the atomicity sweep measures
+/// the length of the write path it is about to perturb.
+pub struct FaultFs<F> {
+    inner: F,
+    fail_at: u64,
+    kind: FaultKind,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl<F: Vfs> FaultFs<F> {
+    /// Wraps `inner`, arming `kind` at mutating operation `fail_at`.
+    pub fn new(inner: F, fail_at: u64, kind: FaultKind) -> Self {
+        FaultFs {
+            inner,
+            fail_at,
+            kind,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// A pass-through counter: never faults, just counts mutating
+    /// operations.
+    pub fn counting(inner: F) -> Self {
+        Self::new(inner, u64::MAX, FaultKind::Crash)
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("simulated crash (fault injection)")
+    }
+
+    fn enospc_error() -> io::Error {
+        io::Error::other("no space left on device (fault injection)")
+    }
+
+    /// Charges one mutating operation. `Ok(true)` means "this is the
+    /// faulting operation" (only ever returned for `ShortWrite` /
+    /// `Enospc`, which need to run partially).
+    fn charge(&self) -> io::Result<bool> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(Self::crash_error());
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if op != self.fail_at {
+            return Ok(false);
+        }
+        match self.kind {
+            FaultKind::Crash => {
+                self.crashed.store(true, Ordering::Relaxed);
+                Err(Self::crash_error())
+            }
+            FaultKind::ShortWrite | FaultKind::Enospc => Ok(true),
+        }
+    }
+
+    /// [`charge`](Self::charge) for operations that have no partial
+    /// form: the fault point always errors. `ShortWrite` degrades to a
+    /// crash, `Enospc` to a transient failure.
+    fn charge_strict(&self) -> io::Result<()> {
+        if self.charge()? {
+            if self.kind == FaultKind::Enospc {
+                return Err(Self::enospc_error());
+            }
+            self.crashed.store(true, Ordering::Relaxed);
+            return Err(Self::crash_error());
+        }
+        Ok(())
+    }
+}
+
+impl<F: Vfs> Vfs for FaultFs<F> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(Self::crash_error());
+        }
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        if self.charge()? {
+            // Torn write: only the first half of the payload lands.
+            self.inner.write(path, &data[..data.len() / 2])?;
+            return match self.kind {
+                FaultKind::ShortWrite => {
+                    self.crashed.store(true, Ordering::Relaxed);
+                    Err(Self::crash_error())
+                }
+                _ => Err(Self::enospc_error()),
+            };
+        }
+        self.inner.write(path, data)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.charge_strict()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.charge_strict()?;
+        self.inner.rename(from, to)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.charge_strict()?;
+        self.inner.sync_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.charge_strict()?;
+        self.inner.sync_dir(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.charge_strict()?;
+        self.inner.remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(Self::crash_error());
+        }
+        self.inner.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.crashed.load(Ordering::Relaxed) && self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpp-vfs-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn realfs_roundtrip() {
+        let dir = tmp("real");
+        let file = dir.join("x.bin");
+        RealFs.write(&file, b"hello").unwrap();
+        RealFs.sync_file(&file).unwrap();
+        RealFs.sync_dir(&dir).unwrap();
+        assert_eq!(RealFs.read(&file).unwrap(), b"hello");
+        assert!(RealFs.exists(&file));
+        let listed = RealFs.read_dir(&dir).unwrap();
+        assert!(listed.contains(&file));
+        RealFs.remove_file(&file).unwrap();
+        assert!(!RealFs.exists(&file));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counting_passes_through_and_counts() {
+        let dir = tmp("count");
+        let fs = FaultFs::counting(RealFs);
+        let file = dir.join("y.bin");
+        fs.write(&file, b"abc").unwrap();
+        fs.sync_file(&file).unwrap();
+        fs.rename(&file, &dir.join("z.bin")).unwrap();
+        assert_eq!(fs.ops(), 3);
+        assert!(!fs.crashed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_fails_operation_and_everything_after() {
+        let dir = tmp("crash");
+        let fs = FaultFs::new(RealFs, 1, FaultKind::Crash);
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        fs.write(&a, b"first").unwrap(); // op 0: fine
+        assert!(fs.write(&b, b"second").is_err()); // op 1: crash
+        assert!(fs.crashed());
+        assert!(fs.read(&a).is_err(), "a dead process reads nothing");
+        assert!(fs.sync_file(&a).is_err());
+        // The pre-crash write actually landed (visible after "reboot").
+        assert_eq!(RealFs.read(&a).unwrap(), b"first");
+        assert!(!RealFs.exists(&b), "the crashed write must not land");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_tears_the_payload() {
+        let dir = tmp("torn");
+        let fs = FaultFs::new(RealFs, 0, FaultKind::ShortWrite);
+        let f = dir.join("t.bin");
+        assert!(fs.write(&f, b"0123456789").is_err());
+        assert!(fs.crashed());
+        assert_eq!(RealFs.read(&f).unwrap(), b"01234", "half the payload");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_is_transient() {
+        let dir = tmp("enospc");
+        let fs = FaultFs::new(RealFs, 0, FaultKind::Enospc);
+        let f = dir.join("e.bin");
+        let err = fs.write(&f, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("no space left"), "{err}");
+        assert!(!fs.crashed());
+        // The disk "recovers": the next write succeeds.
+        fs.write(&f, b"0123456789").unwrap();
+        assert_eq!(RealFs.read(&f).unwrap(), b"0123456789");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

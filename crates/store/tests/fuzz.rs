@@ -1,9 +1,39 @@
 //! Decoder robustness: arbitrary bytes must never panic the QPOL
-//! decoder — every malformed input maps to a typed error.
+//! decoders — every malformed input maps to a typed error. Covered for
+//! both the v1 policy format and the v2 checkpoint format.
+//!
+//! Two layers: `proptest` properties (shrinking, new inputs per run)
+//! and deterministic seeded sweeps driven by [`TrainRng`] that
+//! exercise the same properties with fixed, reproducible cases — so
+//! the guarantees are still executed in offline builds where the
+//! proptest dependency is stubbed out.
 
 use proptest::prelude::*;
-use tpp_rl::QTable;
-use tpp_store::{decode_qtable, encode_qtable};
+use tpp_rl::{QTable, TrainCheckpoint, TrainRng};
+use tpp_store::{decode_checkpoint, decode_qtable, encode_checkpoint, encode_qtable, StoreError};
+
+fn sample_checkpoint(rng: &mut TrainRng, n: usize) -> TrainCheckpoint {
+    let mut q = QTable::square(n);
+    for s in 0..n {
+        for a in 0..n {
+            q.set(s, a, rng.next_f64() * 100.0 - 50.0);
+        }
+    }
+    let episodes = rng.index(20) as u64;
+    TrainCheckpoint {
+        q,
+        episode: episodes,
+        sched_pos: episodes,
+        rng_state: [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ],
+        visits: (0..n * n).map(|_| rng.index(1000) as u32).collect(),
+        returns: (0..episodes).map(|_| rng.next_f64() * 10.0).collect(),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -12,6 +42,7 @@ proptest! {
     fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         // Any outcome is fine; panicking is not.
         let _ = decode_qtable(&bytes);
+        let _ = decode_checkpoint(&bytes);
     }
 
     #[test]
@@ -39,4 +70,100 @@ proptest! {
         // checksum, in the checksum field by the mismatch itself.
         prop_assert!(decode_qtable(&bytes).is_err());
     }
+}
+
+/// 4096 reproducible random byte strings through both decoders: no
+/// panic, ever. Catches out-of-bounds slicing and unchecked arithmetic
+/// in header parsing.
+#[test]
+fn seeded_random_bytes_never_panic_either_decoder() {
+    let mut rng = TrainRng::seed_from_u64(0xF00D);
+    for _ in 0..4096 {
+        let len = rng.index(512);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let _ = decode_qtable(&bytes);
+        let _ = decode_checkpoint(&bytes);
+    }
+}
+
+/// Adversarial prefixes: random bytes grafted onto a valid header make
+/// the decoder walk plausible shapes with garbage bodies.
+#[test]
+fn seeded_valid_header_garbage_body_never_panics() {
+    let mut rng = TrainRng::seed_from_u64(0xBEEF);
+    let v1 = encode_qtable(&QTable::square(3));
+    let v2 = encode_checkpoint(&sample_checkpoint(&mut rng, 3));
+    for template in [&v1[..], &v2[..]] {
+        for _ in 0..512 {
+            let keep = rng.index(template.len() + 1);
+            let tail = rng.index(128);
+            let mut bytes = template[..keep].to_vec();
+            bytes.extend((0..tail).map(|_| (rng.next_u64() & 0xFF) as u8));
+            let _ = decode_qtable(&bytes);
+            let _ = decode_checkpoint(&bytes);
+        }
+    }
+}
+
+/// Every possible truncation of valid v1 and v2 payloads errors
+/// cleanly — exhaustive, not sampled.
+#[test]
+fn every_truncation_errors_cleanly_v1_and_v2() {
+    let mut rng = TrainRng::seed_from_u64(7);
+    let v1 = encode_qtable(&QTable::from_raw(3, 3, (0..9).map(f64::from).collect()));
+    let v2 = encode_checkpoint(&sample_checkpoint(&mut rng, 3));
+    for bytes in [&v1, &v2] {
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_qtable(&bytes[..cut]).is_err(),
+                "v?: qtable decode accepted a {cut}-byte truncation"
+            );
+            assert!(
+                decode_checkpoint(&bytes[..cut]).is_err(),
+                "v?: checkpoint decode accepted a {cut}-byte truncation"
+            );
+        }
+    }
+}
+
+/// Every single-byte XOR corruption of a v2 checkpoint is rejected —
+/// exhaustive over positions, sampled over masks.
+#[test]
+fn every_position_corruption_detected_v2() {
+    let mut rng = TrainRng::seed_from_u64(99);
+    let bytes = encode_checkpoint(&sample_checkpoint(&mut rng, 2)).to_vec();
+    for pos in 0..bytes.len() {
+        let mask = (rng.next_u64() & 0xFF) as u8 | 1; // never zero
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= mask;
+        assert!(
+            decode_checkpoint(&corrupt).is_err(),
+            "corruption at byte {pos} (mask {mask:#04x}) went undetected"
+        );
+    }
+}
+
+/// Random v2 checkpoints roundtrip exactly, and decode as plain
+/// Q-tables too (forward compatibility for policy-only readers).
+#[test]
+fn seeded_checkpoint_roundtrips() {
+    let mut rng = TrainRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..64 {
+        let n = 1 + rng.index(8);
+        let ckpt = sample_checkpoint(&mut rng, n);
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
+        assert_eq!(decode_qtable(&bytes).unwrap(), ckpt.q);
+    }
+}
+
+/// A v1 policy refuses to masquerade as a checkpoint with a typed
+/// error, not a panic or a zeroed resume state.
+#[test]
+fn v1_payload_is_not_a_checkpoint() {
+    let bytes = encode_qtable(&QTable::square(4));
+    assert!(matches!(
+        decode_checkpoint(&bytes),
+        Err(StoreError::MissingResumeState)
+    ));
 }

@@ -15,6 +15,8 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
+run cargo test -q -p tpp-store --test atomicity
+run cargo test -q -p rl-planner-cli --test checkpoint_resume
 if [[ $quick -eq 0 ]]; then
   run cargo build --release -p rl-planner-cli
 fi

@@ -12,7 +12,10 @@
 //!   interleaving templates, plans, catalogs, validation;
 //! * [`text`] — topic-vocabulary extraction from item descriptions;
 //! * [`geo`] — haversine distances, city extents, grid index;
-//! * [`store`] — JSON snapshots and the `QPOL` binary policy format;
+//! * [`store`] — crash-safe persistence: atomic JSON snapshots, the
+//!   `QPOL` binary policy/checkpoint format, generational checkpoint
+//!   sets with corruption fallback, and a fault-injecting test
+//!   filesystem;
 //! * [`rl`] — tabular RL substrate (Q-tables, SARSA, Q-learning,
 //!   policies, transfer);
 //! * [`datagen`] — seeded datasets matching the paper's statistics
