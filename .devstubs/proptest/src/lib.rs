@@ -1,12 +1,70 @@
-//! Dev-only offline stand-in for `proptest`: enough surface for the
-//! workspace's property-test files to *compile*. The `proptest!` macro
-//! expands to nothing, so property tests are skipped (not run) under
-//! the stub.
+//! Dev-only offline stand-in for `proptest` — functional.
+//!
+//! Unlike a compile-only stub, this crate actually *runs* property
+//! bodies: `proptest!` expands each property into a `#[test]` that
+//! draws inputs from the strategies with a deterministic per-test RNG
+//! (seeded from the test name, so runs are reproducible) and executes
+//! the body for the configured number of cases. `prop_assert*` failures
+//! report the case number and the generated inputs.
+//!
+//! Compared to the real crate there is no shrinking, no persisted
+//! failure corpus, and no fresh entropy between runs — networked CI
+//! with real proptest remains the authority. Unsupported combinators
+//! are a `compile_error!`, never a silent skip.
 
+use std::fmt;
 use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------
+// Deterministic test RNG (splitmix64 over an FNV-1a seed of the name)
+// ---------------------------------------------------------------------
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive), `lo <= hi`.
+    pub fn u128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo) as u128 + 1;
+        if span == 0 {
+            // Full 128-bit span can't happen for the lexical ranges we
+            // support (they come from <= 64-bit types).
+            return lo.wrapping_add(self.next_u64() as i128);
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (wide % span) as i128
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
 
 pub trait Strategy {
     type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
@@ -17,98 +75,180 @@ pub trait Strategy {
 }
 
 pub struct Map<S, F> {
-    #[allow(dead_code)]
     inner: S,
-    #[allow(dead_code)]
     f: F,
 }
 
 impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-}
 
-pub struct AnyOf<T>(PhantomData<T>);
-
-impl<T> Strategy for AnyOf<T> {
-    type Value = T;
-}
-
-#[derive(Debug, Clone, Default)]
-pub struct ProptestConfig {
-    pub cases: u32,
-}
-
-impl ProptestConfig {
-    pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
     }
 }
 
-pub struct SizeRange;
+/// `any::<T>()`: arbitrary values of `T`, implemented per type.
+pub struct AnyOf<T>(pub PhantomData<T>);
 
-impl From<usize> for SizeRange {
-    fn from(_: usize) -> Self {
-        SizeRange
+pub fn any<T>() -> AnyOf<T>
+where
+    AnyOf<T>: Strategy,
+{
+    AnyOf(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
     }
 }
 
-impl From<std::ops::Range<usize>> for SizeRange {
-    fn from(_: std::ops::Range<usize>) -> Self {
-        SizeRange
+impl Strategy for AnyOf<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several magnitudes.
+        let mag = 10f64.powi(rng.u128_in(-6, 9) as i32);
+        (rng.unit_f64() * 2.0 - 1.0) * mag
     }
 }
 
-impl From<std::ops::RangeInclusive<usize>> for SizeRange {
-    fn from(_: std::ops::RangeInclusive<usize>) -> Self {
-        SizeRange
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.u128_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.u128_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+range_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
     }
 }
 
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
 }
 
 impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Length bounds for `prop::collection::vec` (inclusive).
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
 }
 
 pub mod prop {
     pub mod collection {
-        use crate::Strategy;
-        use std::marker::PhantomData;
+        use crate::{SizeRange, Strategy, TestRng};
 
-        pub struct VecStrategy<S: Strategy>(PhantomData<S>);
+        pub struct VecStrategy<S: Strategy> {
+            element: S,
+            size: SizeRange,
+        }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
             type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.u128_in(self.size.min as i128, self.size.max as i128) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
         }
 
-        pub fn vec<S: Strategy>(
-            _element: S,
-            _size: impl Into<crate::SizeRange>,
-        ) -> VecStrategy<S> {
-            VecStrategy(PhantomData)
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
         }
     }
 
     pub mod option {
-        use crate::Strategy;
-        use std::marker::PhantomData;
+        use crate::{Strategy, TestRng};
 
-        pub struct OptionStrategy<S: Strategy>(PhantomData<S>);
+        pub struct OptionStrategy<S: Strategy>(S);
 
         impl<S: Strategy> Strategy for OptionStrategy<S> {
             type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
         }
 
-        pub fn of<S: Strategy>(_inner: S) -> OptionStrategy<S> {
-            OptionStrategy(PhantomData)
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
         }
     }
 
@@ -126,47 +266,154 @@ pub mod prop {
     }
 }
 
-pub fn any<T>() -> AnyOf<T> {
-    AnyOf(PhantomData)
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
 }
 
-macro_rules! int_strategy {
-    ($($t:ty),*) => {$(
-        impl Strategy for std::ops::Range<$t> {
-            type Value = $t;
-        }
-        impl Strategy for std::ops::RangeInclusive<$t> {
-            type Value = $t;
-        }
-    )*};
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than real proptest's 256: the stub runs everywhere
+        // including debug builds; networked CI with the real crate does
+        // the heavy lifting.
+        ProptestConfig { cases: 64 }
+    }
 }
-int_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
 
-/// No-op expansion: property tests are skipped under the offline stub.
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed `prop_assert*` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn new(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_property<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rng = TestRng::from_name(name);
+    for i in 0..cfg.cases {
+        let (inputs, result) = case(&mut rng);
+        if let Err(e) = result {
+            panic!(
+                "property `{name}` failed at case {i}/{}:\n  {e}\n  inputs: {inputs}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Expands each property into a deterministic multi-case `#[test]`.
 #[macro_export]
 macro_rules! proptest {
-    ($($tt:tt)*) => {};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!({$crate::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr}
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_property(&__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __inputs = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let __result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__inputs, __result)
+            });
+        }
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
 }
 
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => {};
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(
+                ::std::format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
 }
 
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => {};
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(::std::format!(
+                "prop_assert_eq! failed: `{}` = {:?}, `{}` = {:?}",
+                stringify!($left), __l, stringify!($right), __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
 }
 
 #[macro_export]
 macro_rules! prop_oneof {
     ($($tt:tt)*) => {
-        compile_error!("prop_oneof unsupported by offline stub")
+        compile_error!("prop_oneof unsupported by the offline proptest stub")
     };
 }
 
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, proptest, AnyOf, Just, ProptestConfig, Strategy,
+        TestCaseError,
     };
 }

@@ -1,19 +1,77 @@
-//! Dev-only offline stand-in for `serde`: blanket-implemented marker
-//! traits so `#[derive(Serialize, Deserialize)]` and generic bounds
-//! typecheck. Actual (de)serialization is NOT available — the stub
-//! `serde_json` returns errors at runtime.
+//! Dev-only offline stand-in for `serde` — but a *functional* one.
+//!
+//! Unlike a marker-trait stub, this crate implements a real (if
+//! simplified) serialization framework: values are converted to and
+//! from an in-memory [`Content`] tree, and the sibling `serde_derive`
+//! stub generates genuine impls for `#[derive(Serialize, Deserialize)]`.
+//! The sibling `serde_json` stub then maps [`Content`] to and from JSON
+//! text, so persistence actually works in offline builds and the files
+//! it writes are interchangeable with ones written by the real crates
+//! (externally-tagged enums, transparent newtypes, skipped fields).
+//!
+//! Differences from real serde are confined to what this workspace does
+//! not use: no zero-copy borrowing, no custom `Serializer`/`Visitor`
+//! implementations, no non-string map keys.
 
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+use std::fmt;
 
-pub trait Deserialize<'de>: Sized {}
-impl<'de, T> Deserialize<'de> for T {}
+/// The simplified serde data model: a JSON-shaped value tree.
+///
+/// Maps preserve insertion order so struct fields serialize in
+/// declaration order, like real `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable message, like
+/// `serde::de::Error` rendered through `Display`.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "invalid type: expected X while deserializing Y" constructor.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError(format!("invalid type: expected {what} for {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from the [`Content`] data model.
+///
+/// The lifetime parameter mirrors real serde's signature so generic
+/// bounds written against the real crate compile unchanged; this stub
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
 
 pub mod de {
     pub use crate::Deserialize;
 
-    pub trait DeserializeOwned: Sized {}
-    impl<T> DeserializeOwned for T {}
+    /// Owned deserialization, as in real serde: a blanket alias for
+    /// `for<'de> Deserialize<'de>`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
 }
 
 pub mod ser {
@@ -21,3 +79,281 @@ pub mod ser {
 }
 
 pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Helpers used by `serde_derive`-generated code (public but not part of
+// the real serde API surface; generated code references them by path).
+// ---------------------------------------------------------------------
+
+/// Deserializes a value of inferred type from a content node.
+pub fn __from<T: for<'de> Deserialize<'de>>(c: &Content) -> Result<T, DeError> {
+    T::deserialize_content(c)
+}
+
+/// Looks up `key` in a struct map and deserializes it; errors name the
+/// struct and the missing field, like real serde.
+pub fn __field<T: for<'de> Deserialize<'de>>(
+    map: &[(String, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize_content(v)
+            .map_err(|e| DeError(format!("{} (in field `{ty}.{key}`)", e.0))),
+        None => Err(DeError(format!("missing field `{key}` in `{ty}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impls for primitives and std containers (the subset this workspace
+// serializes).
+// ---------------------------------------------------------------------
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) if *n <= i64::MAX as u64 => *n as i64,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    // Real serde_json writes non-finite floats as null.
+                    Content::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! impl_string_map {
+    ($($map:ident),*) => {$(
+        impl<V: Serialize> Serialize for std::collections::$map<String, V> {
+            fn serialize_content(&self) -> Content {
+                Content::Map(
+                    self.iter()
+                        .map(|(k, v)| (k.clone(), v.serialize_content()))
+                        .collect(),
+                )
+            }
+        }
+        impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::$map<String, V> {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Map(entries) => entries
+                        .iter()
+                        .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                        .collect(),
+                    _ => Err(DeError::expected("map", stringify!($map))),
+                }
+            }
+        }
+    )*};
+}
+impl_string_map!(HashMap, BTreeMap);
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                match c {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::deserialize_content(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple sequence", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", "unit")),
+        }
+    }
+}

@@ -1,15 +1,533 @@
-//! Dev-only no-op serde derives: the sibling stub `serde` crate blanket
-//! impls the traits, so the derives only need to exist (and accept the
-//! `#[serde(...)]` attribute).
+//! Dev-only offline stand-in for `serde_derive` — functional.
+//!
+//! Generates real `Serialize`/`Deserialize` impls against the sibling
+//! stub `serde`'s [`Content`] data model, by hand-parsing the item's
+//! token stream (no `syn`/`quote` available offline). Supports the
+//! shapes this workspace derives on: plain structs with named fields,
+//! tuple structs, and enums with unit / newtype / tuple / struct
+//! variants, plus the `#[serde(skip)]` and `#[serde(transparent)]`
+//! attributes. The wire format matches real serde_json conventions
+//! (externally-tagged enums, newtype structs as their inner value,
+//! skipped fields defaulted), so files interoperate with real-crate
+//! builds. Anything unsupported is a `compile_error!`, never a silent
+//! format divergence.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    body: Body,
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&TypeDef) -> String) -> TokenStream {
+    match parse_type(input) {
+        Ok(def) => {
+            let code = gen(&def);
+            code.parse().unwrap_or_else(|e| {
+                compile_error(&format!("serde_derive stub generated invalid code: {e}"))
+            })
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Flags extracted from `#[serde(...)]` attributes at one position.
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    transparent: bool,
+}
+
+/// Consumes attributes starting at `toks[i]`, returning the new index.
+/// Doc comments and non-serde attributes are ignored; unsupported serde
+/// arguments are an error so we never silently diverge from the real
+/// crate's wire format.
+fn eat_attrs(toks: &[TokenTree], mut i: usize, flags: &mut SerdeFlags) -> Result<usize, String> {
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let group = match toks.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    _ => return Err("expected [...] after #".into()),
+                };
+                scan_attr(group, flags)?;
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(i)
+}
+
+fn scan_attr(group: &Group, flags: &mut SerdeFlags) -> Result<(), String> {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comment, cfg, etc.
+    }
+    let args = match inner.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return Err("malformed #[serde(...)] attribute".into()),
+    };
+    for tok in args.stream() {
+        match &tok {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => flags.skip = true,
+                "transparent" => flags.transparent = true,
+                other => {
+                    return Err(format!(
+                        "serde_derive stub: unsupported serde attribute `{other}` \
+                         (only `skip` and `transparent` are implemented)"
+                    ))
+                }
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive stub: unsupported serde attribute syntax `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `toks[i]`.
+fn eat_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips type tokens until a top-level `,`, returning the index after
+/// the comma (or the end). Generic angle brackets are tracked; groups
+/// are atomic tokens so they need no tracking.
+fn eat_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_type(input: TokenStream) -> Result<TypeDef, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut flags = SerdeFlags::default();
+    // Outer attributes and visibility, in any interleaving rustc allows.
+    loop {
+        i = eat_attrs(&toks, i, &mut flags)?;
+        let after_vis = eat_vis(&toks, i);
+        if after_vis != i {
+            i = after_vis;
+            continue;
+        }
+        break;
+    }
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stub: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g)?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    // `transparent` only changes the format for multi-field shapes we
+    // don't support; newtype structs already serialize as their inner
+    // value, so the flag needs no special handling beyond acceptance.
+    let _ = flags.transparent;
+    Ok(TypeDef { name, body })
+}
+
+fn parse_named_fields(g: &Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut flags = SerdeFlags::default();
+        i = eat_attrs(&toks, i, &mut flags)?;
+        i = eat_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing attributes only — malformed, let rustc complain
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        i = eat_type(&toks, i);
+        out.push(Field {
+            name: name.trim_start_matches("r#").to_owned(),
+            skip: flags.skip,
+        });
+    }
+    Ok(out)
+}
+
+/// Counts fields of a tuple struct / tuple variant: the number of
+/// non-empty top-level comma-separated segments.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let next = eat_type(&toks, i);
+        // eat_type advances past at least the comma when a segment is
+        // non-empty; an immediate comma means an empty segment.
+        count += 1;
+        i = next.max(i + 1);
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut flags = SerdeFlags::default();
+        i = eat_attrs(&toks, i, &mut flags)?;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize::serialize_content";
+const C: &str = "::serde::Content";
+const OK: &str = "::std::result::Result::Ok";
+const ERR: &str = "::std::result::Result::Err";
+
+fn str_content(s: &str) -> String {
+    format!("{C}::Str(::std::string::String::from({s:?}))")
+}
+
+fn map_content(entries: &[String]) -> String {
+    if entries.is_empty() {
+        format!("{C}::Map(::std::vec::Vec::new())")
+    } else {
+        format!("{C}::Map(::std::vec::Vec::from([{}]))", entries.join(", "))
+    }
+}
+
+fn seq_content(items: &[String]) -> String {
+    if items.is_empty() {
+        format!("{C}::Seq(::std::vec::Vec::new())")
+    } else {
+        format!("{C}::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+    }
+}
+
+fn entry(key: &str, value: String) -> String {
+    format!("(::std::string::String::from({key:?}), {value})")
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| entry(&f.name, format!("{S}(&self.{})", f.name)))
+                .collect();
+            map_content(&entries)
+        }
+        Body::TupleStruct(1) => format!("{S}(&self.0)"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{S}(&self.{i})")).collect();
+            seq_content(&items)
+        }
+        Body::UnitStruct => format!("{C}::Null"),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vname} => {},", str_content(vname))
+                        }
+                        VariantKind::Tuple(1) => {
+                            let val = format!("{S}(__f0)");
+                            format!(
+                                "{name}::{vname}(__f0) => {},",
+                                map_content(&[entry(vname, val)])
+                            )
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{S}({b})")).collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                map_content(&[entry(vname, seq_content(&items))])
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| entry(&f.name, format!("{S}({})", f.name)))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                binds.join(", "),
+                                map_content(&[entry(vname, map_content(&entries))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, name)).collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(__m) => {OK}({name} {{ {} }}),\n\
+                     _ => {ERR}(::serde::DeError::expected(\"map\", {name:?})),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => format!("{OK}({name}(::serde::__from(__c)?))"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("::serde::__from(&__s[{i}])?")).collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => {OK}({name}({})),\n\
+                     _ => {ERR}(::serde::DeError::expected(\"sequence of {n}\", {name:?})),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("{OK}({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => {OK}({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let path = format!("{name}::{vname}");
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => {OK}({path}(::serde::__from(__v)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> =
+                                (0..*n).map(|i| format!("::serde::__from(&__s[{i}])?")).collect();
+                            Some(format!(
+                                "{vname:?} => match __v {{\n\
+                                     ::serde::Content::Seq(__s) if __s.len() == {n} => {OK}({path}({})),\n\
+                                     _ => {ERR}(::serde::DeError::expected(\"sequence of {n}\", {path:?})),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, &path)).collect();
+                            Some(format!(
+                                "{vname:?} => match __v {{\n\
+                                     ::serde::Content::Map(__fm) => {OK}({path} {{ {} }}),\n\
+                                     _ => {ERR}(::serde::DeError::expected(\"map\", {path:?})),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => {ERR}(::serde::DeError(::std::format!(\n\
+                             \"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => {ERR}(::serde::DeError(::std::format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => {ERR}(::serde::DeError::expected(\"variant string or single-key map\", {name:?})),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_content(__c: &::serde::Content)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// One `field: <expr>` initializer for a named-field body. The map
+/// binding is `__m` for structs and `__fm` for struct variants — pick
+/// via the context string (variant paths contain `::`).
+fn field_init(f: &Field, ty_path: &str) -> String {
+    if f.skip {
+        return format!("{}: ::std::default::Default::default()", f.name);
+    }
+    let map_bind = if ty_path.contains("::") { "__fm" } else { "__m" };
+    format!(
+        "{}: ::serde::__field({map_bind}, {:?}, {ty_path:?})?",
+        f.name, f.name
+    )
 }

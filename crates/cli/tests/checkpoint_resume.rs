@@ -3,7 +3,7 @@
 //! deterministic fault injector (`--fault-ops`), resume, and require the
 //! final policy to be byte-identical to an uninterrupted run's.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
@@ -18,7 +18,7 @@ fn tmp_dir(name: &str) -> PathBuf {
 }
 
 /// `train --checkpoint-dir` on the fast univ2 dataset (100 episodes).
-fn train(dir: &PathBuf, out: &str, extra: &[&str]) -> std::process::Output {
+fn train(dir: &Path, out: &str, extra: &[&str]) -> std::process::Output {
     let ckpt = dir.join("ckpt");
     bin()
         .args([

@@ -324,9 +324,12 @@ mod tests {
 
     #[test]
     fn returns_improve_with_training() {
-        let (_, stats) = trained_agent(400, 11);
-        let early = stats.mean_return_over(0..50);
-        let late = stats.mean_return_over(350..400);
+        // Exploration stays at ε = 0.2, so per-episode returns remain
+        // noisy after convergence; wide windows keep the comparison a
+        // statement about learning rather than residual noise.
+        let (_, stats) = trained_agent(800, 11);
+        let early = stats.mean_return_over(0..100);
+        let late = stats.mean_return_over(400..800);
         assert!(
             late >= early,
             "late mean {late} should be at least early mean {early}"
