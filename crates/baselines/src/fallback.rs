@@ -1,0 +1,94 @@
+//! Last-resort partial planning for the serving fallback chain.
+//!
+//! When both the learned policy and the EDA baseline fail (panic,
+//! corrupt checkpoint, expired deadline), the serving layer must still
+//! answer with *something* rather than an empty error. This module is
+//! that floor: a deliberately boring greedy walk with no RNG, no
+//! learned state, and no panicking operations, so it cannot itself
+//! become a failure mode. Plans it emits are tagged `degraded: true`
+//! by the caller — the contract is "always a valid prefix", not "a
+//! good plan".
+
+use tpp_core::{PlannerParams, TppEnv};
+use tpp_model::{ItemId, Plan, PlanningInstance};
+use tpp_rl::Environment;
+
+/// Produces a best-effort partial plan starting at `start`.
+///
+/// Fully deterministic (ties break toward the lowest action index) and
+/// allocation-bounded; every step is validated by the environment, so
+/// whatever prefix comes back satisfies the hard constraints it had
+/// room to satisfy. The walk stops as soon as no valid action remains
+/// or the environment reports `done`, and never exceeds `max_steps`
+/// actions past the start item.
+pub fn degraded_partial_plan(
+    instance: &PlanningInstance,
+    params: &PlannerParams,
+    start: ItemId,
+    max_steps: usize,
+) -> Plan {
+    let mut env = TppEnv::new(instance, params);
+    env.reset(start.index());
+    let mut actions = Vec::with_capacity(instance.catalog.len());
+    for _ in 0..max_steps {
+        env.valid_actions(&mut actions);
+        // Lowest-index valid action: no reward peeking (reward code
+        // could be the thing that is broken), no RNG, no float compare.
+        let Some(&a) = actions.first() else { break };
+        if env.step(a).done {
+            break;
+        }
+    }
+    env.plan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_datagen::defaults::{NYC_SEED, UNIV1_SEED};
+
+    #[test]
+    fn partial_plan_is_deterministic_and_valid_prefix() {
+        let inst = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+        let params = PlannerParams::univ1_defaults();
+        let start = inst.default_start.unwrap();
+        let a = degraded_partial_plan(&inst, &params, start, 64);
+        let b = degraded_partial_plan(&inst, &params, start, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.items()[0], start);
+        assert!(!a.is_empty());
+        // Every step was environment-validated, so no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for &id in a.items() {
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn max_steps_bounds_the_walk() {
+        let inst = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+        let params = PlannerParams::univ1_defaults();
+        let start = inst.default_start.unwrap();
+        let plan = degraded_partial_plan(&inst, &params, start, 2);
+        // start + at most 2 steps.
+        assert!(plan.len() <= 3, "got {}", plan.len());
+    }
+
+    #[test]
+    fn zero_steps_yields_just_the_start() {
+        let inst = tpp_datagen::univ1_ds_ct(UNIV1_SEED);
+        let params = PlannerParams::univ1_defaults();
+        let start = inst.default_start.unwrap();
+        let plan = degraded_partial_plan(&inst, &params, start, 0);
+        assert_eq!(plan.items(), &[start]);
+    }
+
+    #[test]
+    fn trip_partial_plan_respects_budgets() {
+        let d = tpp_datagen::nyc(NYC_SEED);
+        let params = PlannerParams::trip_defaults();
+        let start = d.instance.default_start.unwrap();
+        let plan = degraded_partial_plan(&d.instance, &params, start, 64);
+        assert!(plan.total_credits(&d.instance.catalog) <= d.instance.hard.credits + 1e-9);
+    }
+}

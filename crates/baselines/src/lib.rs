@@ -14,13 +14,19 @@
 //!   search standing in for the paper's human experts; it produces the
 //!   perfect-score plans (10 / 15 / popularity-5) the paper uses as its
 //!   ceiling.
+//!
+//! Plus one non-paper utility: [`fallback`], the serving layer's
+//! last-resort deterministic partial planner (always answers, never
+//! panics, tagged `degraded` by callers).
 
 #![warn(missing_docs)]
 
 pub mod eda;
+pub mod fallback;
 pub mod gold;
 pub mod omega;
 
 pub use eda::eda_plan;
+pub use fallback::degraded_partial_plan;
 pub use gold::gold_plan;
 pub use omega::{omega_plan, OmegaConfig};

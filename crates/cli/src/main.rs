@@ -9,6 +9,7 @@
 //! rl-planner train --dataset <name> --out policy.qpol [--seed N]
 //!   [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K] [--resume]
 //! rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR) [--start CODE]
+//! rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N] [...]
 //! rl-planner datagen --dataset <name> --out dataset.json
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! `--resume` continues from the newest valid one — bit-identical to a
 //! run that never stopped. `recommend --checkpoint-dir` serves the
 //! newest valid generation, falling back past corrupt ones.
+//!
+//! `serve` runs the long-lived planning daemon from `tpp-serve`:
+//! newline-delimited JSON requests on stdin (or a Unix socket), one
+//! guaranteed response per request, graceful degradation on faults.
+//!
+//! Exit codes: `0` success, `1` usage or runtime error, `2` the
+//! emitted plan violates a hard constraint (`plan` / `recommend`).
 //!
 //! Global observability flags, accepted anywhere on the command line:
 //! `--trace FILE` (structured JSONL event log), `--metrics FILE|-`
@@ -32,6 +40,20 @@ use tpp_core::{plan_violations, score_plan, PlannerParams, RlPlanner};
 use tpp_model::PlanningInstance;
 use tpp_obs::Level;
 
+/// How a successful command run ends, mapped to the exit-code table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Everything satisfied: exit 0.
+    Clean,
+    /// The emitted plan violates a hard constraint: exit 2, so scripts
+    /// can tell "planner ran but the plan is unusable" from "planner
+    /// failed" (exit 1) without scraping stdout.
+    HardViolation,
+}
+
+/// Exit code for plans that violate a hard constraint.
+const EXIT_HARD_VIOLATION: u8 = 2;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (obs, args) = match ObsOptions::extract(args) {
@@ -44,9 +66,10 @@ fn main() -> ExitCode {
     let result = run(&args, &obs);
     let finished = obs.finish();
     tpp_obs::flush();
-    match result.and(finished) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => usage_error(&msg),
+    match (result, finished) {
+        (Ok(Outcome::Clean), Ok(())) => ExitCode::SUCCESS,
+        (Ok(Outcome::HardViolation), Ok(())) => ExitCode::from(EXIT_HARD_VIOLATION),
+        (Err(msg), _) | (_, Err(msg)) => usage_error(&msg),
     }
 }
 
@@ -58,7 +81,7 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 /// Every dataset name `dataset()` accepts, for usage and error text.
-const DATASETS: &str = "ds-ct cyber cs univ2 nyc paris";
+const DATASETS: &str = tpp_serve::DATASET_NAMES;
 
 const USAGE: &str = "usage:
   rl-planner list
@@ -67,15 +90,33 @@ const USAGE: &str = "usage:
   rl-planner compare --dataset <name> [--runs N]
   rl-planner gold --dataset <name> [--start CODE]
   rl-planner train --dataset <name> --out policy.qpol [--seed N] [--episodes N]
-                   [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K] [--resume]
+                   [--max-seconds S] [--checkpoint-dir DIR] [--checkpoint-every N]
+                   [--keep K] [--resume]
   rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR)
                        [--start CODE]
+  rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N]
+                   [--max-episodes N] [--capacity N] [--workers N]
+                   [--max-requests N] [--chaos SPEC]
   rl-planner datagen --dataset <name> --out dataset.json
+exit codes:
+  0   success
+  1   usage or runtime error
+  2   the emitted plan violates a hard constraint (plan / recommend)
 checkpointing (train):
   --checkpoint-dir DIR    write crash-safe generational checkpoints to DIR
   --checkpoint-every N    snapshot every N episodes (default 100, 0 = off)
   --keep K                retain the newest K generations (default 3)
   --resume                continue from the newest valid checkpoint in DIR
+  --max-seconds S         wall-clock training budget (stops cleanly, saves what it has)
+serving (serve):
+  --checkpoint-dir DIR    serve `recommend` from the newest valid checkpoint in DIR
+  --socket PATH           listen on a Unix socket instead of stdin/stdout
+  --deadline-ms N         default per-request deadline budget
+  --max-episodes N        cap per-request training episodes (default 2000)
+  --capacity N            bounded request queue size; excess sheds `overloaded` (default 64)
+  --workers N             worker threads (default 2)
+  --max-requests N        exit after N requests (smoke tests)
+  --chaos SPEC            inject faults, e.g. 'panic@3,stall@5:200,corrupt@7'
 global flags (anywhere on the line):
   --trace FILE    write structured JSONL events to FILE
   --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
@@ -206,40 +247,10 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Dataset resolution lives in `tpp-serve` so the daemon and the CLI
+/// can never disagree about what a name means.
 fn dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
-    use tpp_datagen::defaults::*;
-    let (instance, params) = match name {
-        "ds-ct" => (
-            tpp_datagen::univ1_ds_ct(UNIV1_SEED),
-            PlannerParams::univ1_defaults(),
-        ),
-        "cyber" => (
-            tpp_datagen::univ1_cyber(UNIV1_SEED),
-            PlannerParams::univ1_defaults(),
-        ),
-        "cs" => (
-            tpp_datagen::univ1_cs(UNIV1_SEED),
-            PlannerParams::univ1_defaults(),
-        ),
-        "univ2" => (
-            tpp_datagen::univ2_ds(UNIV2_SEED),
-            PlannerParams::univ2_defaults(),
-        ),
-        "nyc" => (
-            tpp_datagen::nyc(NYC_SEED).instance,
-            PlannerParams::trip_defaults(),
-        ),
-        "paris" => (
-            tpp_datagen::paris(PARIS_SEED).instance,
-            PlannerParams::trip_defaults(),
-        ),
-        other => {
-            return Err(format!(
-                "unknown dataset {other:?}; valid datasets: {DATASETS}"
-            ))
-        }
-    };
-    Ok((instance, params))
+    tpp_serve::resolve_dataset(name)
 }
 
 /// Edit distance for near-miss suggestions on `--start` codes.
@@ -303,18 +314,22 @@ fn resolve_start(
     }
 }
 
-fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
+fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
     };
     match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(Outcome::Clean)
+        }
         "list" => {
             println!("experiments:");
             for e in tpp_eval::all_experiments() {
                 println!("  {}", e.as_str());
             }
-            println!("datasets: ds-ct cyber cs univ2 nyc paris");
-            Ok(())
+            println!("datasets: {DATASETS}");
+            Ok(Outcome::Clean)
         }
         "exp" => {
             let id = args.get(1).ok_or("exp needs an experiment id or 'all'")?;
@@ -353,7 +368,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
                 println!("(markdown bundle written to {path})");
             }
             obs.summary();
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "plan" => {
             let flags = Flags::parse(&args[1..])?;
@@ -376,20 +391,22 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
             println!("plan:  {}", plan.render(&instance.catalog));
             println!("score: {}", score_plan(&instance, &plan));
             let violations = plan_violations(&instance, &plan);
-            if violations.is_empty() {
+            let outcome = if violations.is_empty() {
                 println!("all hard constraints satisfied");
+                Outcome::Clean
             } else {
                 for v in violations {
                     println!("violation: {v}");
                 }
-            }
+                Outcome::HardViolation
+            };
             let s = stats.summary();
             println!(
                 "training: {} episodes, return mean {:.3} / p50 {:.3} / p95 {:.3}",
                 s.episodes, s.mean, s.p50, s.p95
             );
             obs.summary();
-            Ok(())
+            Ok(outcome)
         }
         "compare" => {
             let flags = Flags::parse(&args[1..])?;
@@ -431,7 +448,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
             println!("  EDA         {eda:.2}");
             println!("  OMEGA       {omega:.2}");
             println!("  Gold        {gold:.2}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "gold" => {
             let flags = Flags::parse(&args[1..])?;
@@ -443,7 +460,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
             let plan = tpp_baselines::gold_plan(&instance, start);
             println!("gold plan: {}", plan.render(&instance.catalog));
             println!("score:     {}", score_plan(&instance, &plan));
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "train" => {
             let flags = Flags::parse(&args[1..])?;
@@ -462,8 +479,26 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
             if flags.has("resume") && flags.get("checkpoint-dir").is_none() {
                 return Err("--resume requires --checkpoint-dir".into());
             }
+            // A wall-clock budget makes long runs interruptible by
+            // design: the loop stops cleanly at an episode boundary and
+            // saves whatever it has.
+            let budget = match flags.get("max-seconds") {
+                Some(s) => {
+                    let secs: f64 = s.parse().map_err(|_| "bad --max-seconds")?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err("bad --max-seconds".into());
+                    }
+                    tpp_core::Budget::unlimited()
+                        .with_deadline(std::time::Duration::from_secs_f64(secs))
+                }
+                None => tpp_core::Budget::unlimited(),
+            };
             let (policy, stats) = match flags.get("checkpoint-dir") {
-                None => RlPlanner::learn(&instance, &params, seed),
+                None => {
+                    RlPlanner::learn_budgeted(&instance, &params, seed, None, 0, &budget, |_| {
+                        Ok(())
+                    })?
+                }
                 Some(dir) => {
                     let every: usize = flags
                         .get("checkpoint-every")
@@ -511,12 +546,13 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
                     } else {
                         None
                     };
-                    RlPlanner::learn_checkpointed(
+                    RlPlanner::learn_budgeted(
                         &instance,
                         &params,
                         seed,
                         resume.as_ref(),
                         every,
+                        &budget,
                         |ckpt| {
                             set.save(ckpt)
                                 .map(|_| ())
@@ -526,13 +562,20 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
                 }
             };
             tpp_store::save_qtable(out, &policy.q).map_err(|e| e.to_string())?;
+            if budget.expired() {
+                eprintln!(
+                    "training budget expired after {} episodes (target {})",
+                    stats.episodes(),
+                    params.episodes
+                );
+            }
             println!(
                 "trained {} episodes on {}; policy saved to {out}",
                 stats.episodes(),
                 instance.catalog.name()
             );
             obs.summary();
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "recommend" => {
             let flags = Flags::parse(&args[1..])?;
@@ -569,7 +612,66 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
             let plan = RlPlanner::recommend_with_q(&q, &instance, &params.with_start(start), start);
             println!("plan:  {}", plan.render(&instance.catalog));
             println!("score: {}", score_plan(&instance, &plan));
-            Ok(())
+            let violations = plan_violations(&instance, &plan);
+            if violations.is_empty() {
+                println!("all hard constraints satisfied");
+                Ok(Outcome::Clean)
+            } else {
+                for v in violations {
+                    println!("violation: {v}");
+                }
+                Ok(Outcome::HardViolation)
+            }
+        }
+        "serve" => {
+            let flags = Flags::parse(&args[1..])?;
+            let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+                flags
+                    .get(key)
+                    .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key}")))
+                    .transpose()
+            };
+            let mut config = tpp_serve::ServeConfig {
+                checkpoint_dir: flags.get("checkpoint-dir").map(std::path::PathBuf::from),
+                default_deadline_ms: parse_u64("deadline-ms")?,
+                ..tpp_serve::ServeConfig::default()
+            };
+            if let Some(n) = parse_u64("max-episodes")? {
+                config.max_episodes = n;
+            }
+            if let Some(spec) = flags.get("chaos") {
+                config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
+            }
+            let server = tpp_serve::ServerConfig {
+                capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
+                workers: parse_u64("workers")?.unwrap_or(2) as usize,
+                max_requests: parse_u64("max-requests")?,
+            };
+            let engine = Arc::new(tpp_serve::ServeEngine::new(config));
+            match flags.get("socket") {
+                Some(path) => {
+                    tpp_serve::serve_unix(engine, std::path::Path::new(path), &server, None)
+                        .map_err(|e| format!("socket serve failed: {e}"))?;
+                }
+                None => {
+                    let summary = tpp_serve::serve_lines(
+                        Arc::clone(&engine),
+                        std::io::stdin().lock(),
+                        std::io::stdout(),
+                        &server,
+                    );
+                    let c = &engine.counters;
+                    eprintln!(
+                        "served {} request(s): {} shed, {} panic(s) isolated, {} degraded",
+                        summary.received,
+                        summary.overloaded,
+                        c.panics.load(std::sync::atomic::Ordering::Relaxed),
+                        c.degraded.load(std::sync::atomic::Ordering::Relaxed),
+                    );
+                }
+            }
+            obs.summary();
+            Ok(Outcome::Clean)
         }
         "datagen" => {
             let flags = Flags::parse(&args[1..])?;
@@ -582,7 +684,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<(), String> {
                 instance.catalog.len(),
                 instance.catalog.vocabulary().len()
             );
-            Ok(())
+            Ok(Outcome::Clean)
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }

@@ -39,3 +39,8 @@ pub use planner::{LearnedPolicy, RlPlanner};
 pub use reward::{InterleavingKernel, RewardModel};
 pub use score::{plan_violations, raw_score, score_plan};
 pub use transfer::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};
+// The cooperative compute budget threaded through the planner loop
+// (serving deadlines, `train --max-seconds`) lives in `tpp-rl` so the
+// RL substrate's rollouts can share it; re-exported here because the
+// planner API is where most callers meet it.
+pub use tpp_rl::{Budget, BudgetStop};

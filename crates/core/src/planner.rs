@@ -6,7 +6,7 @@ use crate::params::{PlannerParams, StartPolicy};
 use std::time::Instant;
 use tpp_model::{ItemId, Plan, PlanningInstance};
 use tpp_obs::{obs_event, Level};
-use tpp_rl::{Environment, QTable, TrainCheckpoint, TrainRng, TrainStats};
+use tpp_rl::{Budget, Environment, QTable, TrainCheckpoint, TrainRng, TrainStats};
 
 /// A learned policy: the Q-table plus the universe it indexes.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +101,38 @@ impl RlPlanner {
         seed: u64,
         resume: Option<&TrainCheckpoint>,
         checkpoint_every: usize,
+        on_checkpoint: C,
+    ) -> Result<(LearnedPolicy, TrainStats), String>
+    where
+        C: FnMut(&TrainCheckpoint) -> Result<(), String>,
+    {
+        Self::learn_budgeted(
+            instance,
+            params,
+            seed,
+            resume,
+            checkpoint_every,
+            &Budget::unlimited(),
+            on_checkpoint,
+        )
+    }
+
+    /// [`learn_checkpointed`](Self::learn_checkpointed) under a
+    /// cooperative [`Budget`]: the budget is evaluated at every episode
+    /// boundary (with per-step work charged toward any step limit), and
+    /// an exhausted budget stops training **cleanly between episodes** —
+    /// the returned policy and stats reflect exactly the episodes that
+    /// completed, so `stats.episodes() < params.episodes` is the
+    /// early-stop signal. Episode/step limits stop deterministically;
+    /// the wall-clock deadline is the serving layer's stall guard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn learn_budgeted<C>(
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        seed: u64,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_every: usize,
+        budget: &Budget,
         mut on_checkpoint: C,
     ) -> Result<(LearnedPolicy, TrainStats), String>
     where
@@ -194,6 +226,17 @@ impl RlPlanner {
             })
         };
         for episode in start_episode..params.episodes {
+            if let Some(stop) = budget.check_episode() {
+                obs_event!(
+                    Level::Warn,
+                    "train.budget_expired",
+                    episode = episode,
+                    target = params.episodes,
+                    reason = stop.as_str(),
+                );
+                span.record("budget_stop", stop.as_str());
+                break;
+            }
             let ep_started = tpp_obs::enabled(Level::Debug).then(Instant::now);
             let explore = params.exploration.at(episode);
             let start = match params.start {
@@ -234,6 +277,7 @@ impl RlPlanner {
             let mut trace: Vec<(usize, usize, f64)> = Vec::with_capacity(env.horizon());
             let mut max_td: f64 = 0.0;
             loop {
+                budget.note_step();
                 let out = env.step(a);
                 ep_return += out.reward;
                 visits[s * n + a] += 1;
@@ -521,6 +565,60 @@ mod tests {
 
         assert_eq!(full.q.values(), resumed.q.values());
         assert_eq!(full_stats.returns(), resumed_stats.returns());
+    }
+
+    #[test]
+    fn budget_stops_mid_training_deterministically() {
+        let inst = toy_instance();
+        let mut params = toy_params();
+        params.episodes = 200;
+        // An episode budget of 40 stops the loop after exactly 40
+        // completed episodes, every time.
+        for _ in 0..3 {
+            let budget = Budget::unlimited().with_episode_limit(40);
+            let (_, stats) =
+                RlPlanner::learn_budgeted(&inst, &params, 5, None, 0, &budget, |_| Ok(())).unwrap();
+            assert_eq!(stats.episodes(), 40);
+            assert!(budget.expired());
+        }
+        // The 40 budgeted episodes are bit-identical to the first 40 of
+        // an unbudgeted run (the budget only truncates, never perturbs).
+        let budget = Budget::unlimited().with_episode_limit(40);
+        let (_, budgeted) =
+            RlPlanner::learn_budgeted(&inst, &params, 5, None, 0, &budget, |_| Ok(())).unwrap();
+        let (_, full) = RlPlanner::learn(&inst, &params, 5);
+        assert_eq!(budgeted.returns(), &full.returns()[..40]);
+    }
+
+    #[test]
+    fn elapsed_deadline_trains_zero_episodes() {
+        let inst = toy_instance();
+        let params = toy_params();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let (policy, stats) =
+            RlPlanner::learn_budgeted(&inst, &params, 5, None, 0, &budget, |_| Ok(())).unwrap();
+        assert_eq!(stats.episodes(), 0);
+        assert!(budget.expired());
+        // The zeroed policy still recommends a terminal (if naive) plan.
+        let plan = RlPlanner::recommend(&policy, &inst, &params, ItemId(0));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn step_budget_counts_training_steps() {
+        let inst = toy_instance();
+        let mut params = toy_params();
+        params.episodes = 50;
+        // Each toy episode is 5 steps (horizon 6, start pre-seated). The
+        // stop check runs at episode boundaries: at 20 steps a 23-step
+        // limit still admits the 5th episode, and the loop stops before
+        // the 6th with 25 steps charged.
+        let budget = Budget::unlimited().with_step_limit(23);
+        let (_, stats) =
+            RlPlanner::learn_budgeted(&inst, &params, 5, None, 0, &budget, |_| Ok(())).unwrap();
+        assert_eq!(stats.episodes(), 5);
+        assert_eq!(budget.steps(), 25);
     }
 
     #[test]

@@ -22,15 +22,39 @@ impl<T: Clone> GridIndex<T> {
     /// cells over `bbox`.
     ///
     /// # Panics
-    /// Panics when `cells_per_axis == 0`.
+    /// Panics when `cells_per_axis == 0`. Use [`GridIndex::try_new`]
+    /// when the cell count comes from user input.
     pub fn new(bbox: BoundingBox, cells_per_axis: usize) -> Self {
-        assert!(cells_per_axis > 0, "grid needs at least one cell per axis");
-        GridIndex {
+        GridIndex::try_new(bbox, cells_per_axis).expect("grid needs at least one cell per axis")
+    }
+
+    /// Fallible constructor: `None` when `cells_per_axis == 0`, so a
+    /// degenerate configuration (e.g. derived from an empty POI set)
+    /// surfaces as a recoverable error rather than a panic.
+    pub fn try_new(bbox: BoundingBox, cells_per_axis: usize) -> Option<Self> {
+        if cells_per_axis == 0 {
+            return None;
+        }
+        Some(GridIndex {
             bbox,
             cells_per_axis,
             cells: vec![Vec::new(); cells_per_axis * cells_per_axis],
             len: 0,
+        })
+    }
+
+    /// Builds an index sized for the given points: bounding box from
+    /// [`BoundingBox::from_points`], one cell per axis per ~sqrt of the
+    /// point count (min 1). `None` on an empty point set.
+    pub fn from_points(points: impl IntoIterator<Item = (GeoPoint, T)>) -> Option<Self> {
+        let pts: Vec<(GeoPoint, T)> = points.into_iter().collect();
+        let bbox = BoundingBox::from_points(pts.iter().map(|(p, _)| *p))?;
+        let cells = ((pts.len() as f64).sqrt().ceil() as usize).max(1);
+        let mut grid = GridIndex::try_new(bbox, cells)?;
+        for (p, payload) in pts {
+            grid.insert(p, payload);
         }
+        Some(grid)
     }
 
     /// Number of indexed points.
@@ -82,7 +106,9 @@ impl<T: Clone> GridIndex<T> {
                 }
             }
         }
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        // total_cmp is panic-free even if a caller feeds NaN coordinates
+        // (NaN distances sort last instead of aborting the process).
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 
@@ -156,6 +182,42 @@ mod tests {
         assert!(g
             .within_radius(&GeoPoint::new(48.86, 2.33), 10.0)
             .is_empty());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_cells_without_panicking() {
+        assert!(GridIndex::<u8>::try_new(BoundingBox::paris(), 0).is_none());
+        assert!(GridIndex::<u8>::try_new(BoundingBox::paris(), 1).is_some());
+    }
+
+    #[test]
+    fn from_points_on_empty_set_is_none() {
+        let empty: Vec<(GeoPoint, u8)> = Vec::new();
+        assert!(GridIndex::from_points(empty).is_none());
+    }
+
+    #[test]
+    fn from_points_builds_a_queryable_index() {
+        let g = GridIndex::from_points([
+            (GeoPoint::new(48.8584, 2.2945), "eiffel"),
+            (GeoPoint::new(48.8606, 2.3376), "louvre"),
+            (GeoPoint::new(48.8530, 2.3499), "notre-dame"),
+        ])
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        let (_, who) = g.nearest(&GeoPoint::new(48.8605, 2.3375)).unwrap();
+        assert_eq!(*who, "louvre");
+    }
+
+    #[test]
+    fn nan_coordinates_do_not_panic_queries() {
+        let mut g = GridIndex::new(BoundingBox::paris(), 4);
+        g.insert(GeoPoint::new(48.8584, 2.2945), "eiffel");
+        g.insert(GeoPoint::new(f64::NAN, 2.33), "broken");
+        // NaN distances must not abort the sort; real hits still come
+        // back nearest-first.
+        let hits = g.within_radius(&GeoPoint::new(48.8584, 2.2945), 5.0);
+        assert_eq!(*hits[0].1, "eiffel");
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl BoundingBox {
         )
     }
 
+    /// The tightest box covering `points`, or `None` when the iterator
+    /// is empty or every coordinate is NaN. NaN coordinates are skipped
+    /// rather than poisoning the min/max fold.
+    pub fn from_points(points: impl IntoIterator<Item = GeoPoint>) -> Option<Self> {
+        let mut bbox: Option<BoundingBox> = None;
+        for p in points {
+            if p.lat.is_nan() || p.lon.is_nan() {
+                continue;
+            }
+            bbox = Some(match bbox {
+                None => BoundingBox::new(p.lat, p.lon, p.lat, p.lon),
+                Some(b) => BoundingBox {
+                    min_lat: b.min_lat.min(p.lat),
+                    min_lon: b.min_lon.min(p.lon),
+                    max_lat: b.max_lat.max(p.lat),
+                    max_lon: b.max_lon.max(p.lon),
+                },
+            });
+        }
+        bbox
+    }
+
     /// Central-Paris extent used by the Paris POI generator.
     pub fn paris() -> Self {
         BoundingBox::new(48.815, 2.25, 48.902, 2.42)
@@ -149,6 +171,36 @@ mod tests {
         assert_eq!(b.lerp(0.0, 0.0), GeoPoint::new(0.0, 0.0));
         assert_eq!(b.lerp(1.0, 1.0), GeoPoint::new(10.0, 20.0));
         assert_eq!(b.lerp(-1.0, 2.0), GeoPoint::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn from_points_covers_all_points() {
+        let b = BoundingBox::from_points([
+            GeoPoint::new(48.8584, 2.2945),
+            GeoPoint::new(48.8606, 2.3376),
+            GeoPoint::new(48.8530, 2.3499),
+        ])
+        .unwrap();
+        assert_eq!(b.min_lat, 48.8530);
+        assert_eq!(b.max_lat, 48.8606);
+        assert_eq!(b.min_lon, 2.2945);
+        assert_eq!(b.max_lon, 2.3499);
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn from_points_skips_nan_coordinates() {
+        // All-NaN input is as good as empty.
+        assert!(BoundingBox::from_points([GeoPoint::new(f64::NAN, 2.0)]).is_none());
+        // Mixed input ignores the NaN point instead of poisoning min/max.
+        let b =
+            BoundingBox::from_points([GeoPoint::new(f64::NAN, f64::NAN), GeoPoint::new(1.0, 2.0)])
+                .unwrap();
+        assert_eq!(b, BoundingBox::new(1.0, 2.0, 1.0, 2.0));
     }
 
     #[test]

@@ -46,6 +46,9 @@ struct PendingItem {
     category: Option<Category>,
     poi: Option<PoiAttrs>,
     prereqs: Vec<PendingPrereq>,
+    /// Created by a prerequisite declaration on an unknown code; build()
+    /// reports these as `UnknownItemCode` rather than building them.
+    placeholder: bool,
 }
 
 /// Builds a [`Catalog`] from code-addressed descriptions.
@@ -53,6 +56,10 @@ pub struct CatalogBuilder {
     name: String,
     topics: Vec<String>,
     items: Vec<PendingItem>,
+    /// First misuse recorded by a chained call that cannot itself
+    /// return an error (e.g. `category()` before any item); surfaced at
+    /// `build()` so malformed catalogs become errors, not panics.
+    deferred_error: Option<ModelError>,
 }
 
 impl CatalogBuilder {
@@ -62,6 +69,7 @@ impl CatalogBuilder {
             name: name.into(),
             topics: Vec::new(),
             items: Vec::new(),
+            deferred_error: None,
         }
     }
 
@@ -89,6 +97,7 @@ impl CatalogBuilder {
             category: None,
             poi: None,
             prereqs: Vec::new(),
+            placeholder: false,
         });
         self
     }
@@ -119,19 +128,22 @@ impl CatalogBuilder {
                 popularity,
             }),
             prereqs: Vec::new(),
+            placeholder: false,
         });
         self
     }
 
-    /// Tags the most recently added item with a category.
-    ///
-    /// # Panics
-    /// Panics if no item has been added yet.
+    /// Tags the most recently added item with a category. Calling it
+    /// before any item has been added is reported by `build()` as
+    /// [`ModelError::DanglingDeclaration`].
     pub fn category(mut self, category: Category) -> Self {
-        self.items
-            .last_mut()
-            .expect("category() must follow an item")
-            .category = Some(category);
+        match self.items.last_mut() {
+            Some(item) => item.category = Some(category),
+            None => {
+                self.deferred_error
+                    .get_or_insert(ModelError::DanglingDeclaration("category()"));
+            }
+        }
         self
     }
 
@@ -163,22 +175,37 @@ impl CatalogBuilder {
                 code: code.to_owned(),
                 name: String::new(),
                 kind: ItemKind::Secondary,
-                credits: f64::NAN,
+                credits: 0.0,
                 topics: Vec::new(),
                 category: None,
                 poi: None,
                 prereqs: vec![p],
+                placeholder: true,
             });
         }
     }
 
     /// Resolves codes, assigns dense ids, and validates.
     pub fn build(self) -> Result<Catalog, ModelError> {
+        if let Some(err) = self.deferred_error {
+            return Err(err);
+        }
         let vocabulary = TopicVocabulary::new(self.topics)?;
         // A placeholder created by a prereq declaration on an unknown
         // code surfaces as an unknown-code error.
-        if let Some(ph) = self.items.iter().find(|i| i.credits.is_nan()) {
+        if let Some(ph) = self.items.iter().find(|i| i.placeholder) {
             return Err(ModelError::UnknownItemCode(ph.code.clone()));
+        }
+        // Credits / visit-hours must be finite and non-negative; a NaN
+        // here would otherwise poison horizon arithmetic downstream.
+        if let Some(bad) = self
+            .items
+            .iter()
+            .find(|i| !i.credits.is_finite() || i.credits < 0.0)
+        {
+            return Err(ModelError::InvalidCredits {
+                code: bad.code.clone(),
+            });
         }
         let id_of = |code: &str| -> Result<ItemId, ModelError> {
             self.items
@@ -314,6 +341,55 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ModelError::PrerequisiteCycle(_)));
+    }
+
+    #[test]
+    fn category_before_any_item_is_an_error_not_a_panic() {
+        let err = CatalogBuilder::new("t")
+            .topics(["a"])
+            .category(Category(1))
+            .course("X", "X", ItemKind::Primary, 3.0, &["a"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DanglingDeclaration("category()")));
+        assert!(err.to_string().contains("category()"));
+    }
+
+    #[test]
+    fn nan_credits_are_reported_as_invalid_credits() {
+        // A user-supplied NaN must not be confused with the internal
+        // placeholder trick that used to reserve NaN for unknown codes.
+        let err = CatalogBuilder::new("t")
+            .topics(["a"])
+            .course("X", "X", ItemKind::Primary, f64::NAN, &["a"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCredits { code } if code == "X"));
+    }
+
+    #[test]
+    fn negative_and_infinite_credits_are_rejected() {
+        for bad in [-1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = CatalogBuilder::new("t")
+                .topics(["a"])
+                .course("X", "X", ItemKind::Primary, bad, &["a"])
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidCredits { ref code } if code == "X"),
+                "credits {bad} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_credits_are_allowed() {
+        let cat = CatalogBuilder::new("t")
+            .topics(["a"])
+            .course("X", "X", ItemKind::Primary, 0.0, &["a"])
+            .build()
+            .unwrap();
+        assert_eq!(cat.by_code("X").unwrap().credits, 0.0);
     }
 
     #[test]

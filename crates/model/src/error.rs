@@ -31,6 +31,15 @@ pub enum ModelError {
     PrerequisiteCycle(ItemId),
     /// A constraint set is internally inconsistent (message explains).
     InvalidConstraints(String),
+    /// A builder declaration (e.g. `category()`) appeared before any
+    /// item it could attach to.
+    DanglingDeclaration(&'static str),
+    /// An item was declared with non-finite or negative credits /
+    /// visit-hours.
+    InvalidCredits {
+        /// The offending item's code.
+        code: String,
+    },
     /// An interleaving template's slot counts disagree with the hard
     /// constraints it is meant to accompany.
     TemplateShapeMismatch {
@@ -68,6 +77,12 @@ impl fmt::Display for ModelError {
                 write!(f, "prerequisite cycle detected through item {id}")
             }
             ModelError::InvalidConstraints(msg) => write!(f, "invalid constraints: {msg}"),
+            ModelError::DanglingDeclaration(decl) => {
+                write!(f, "{decl} declared before any item it could attach to")
+            }
+            ModelError::InvalidCredits { code } => {
+                write!(f, "item {code:?} has non-finite or negative credits")
+            }
             ModelError::TemplateShapeMismatch {
                 primaries,
                 secondaries,

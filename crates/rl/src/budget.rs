@@ -1,0 +1,238 @@
+//! Cooperative compute budgets: deadlines and step/episode limits.
+//!
+//! A [`Budget`] bounds how much work a training loop or rollout may do
+//! before it must stop and hand back whatever it has. The check is
+//! *cooperative*: the loop calls [`Budget::check_episode`] /
+//! [`Budget::check_step`] at its natural boundaries, so a stop is always
+//! clean — no partially-applied update, no poisoned state. Episode and
+//! step limits are exact and therefore deterministic (the serving
+//! layer's chaos tests rely on this); the wall-clock deadline is the
+//! production guard against stalls and over-long requests.
+//!
+//! Budgets are `Sync` (all counters are atomic) so a single budget can
+//! be shared between a request handler and the compute it supervises.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a budget stopped the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetStop {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The episode limit was reached.
+    Episodes,
+    /// The step limit was reached.
+    Steps,
+}
+
+impl BudgetStop {
+    /// Stable lowercase name, used in obs events and serve responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetStop::Deadline => "deadline",
+            BudgetStop::Episodes => "episodes",
+            BudgetStop::Steps => "steps",
+        }
+    }
+}
+
+/// A cooperative compute budget (see module docs).
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    episode_limit: Option<u64>,
+    step_limit: Option<u64>,
+    episodes: AtomicU64,
+    steps: AtomicU64,
+    expired: AtomicBool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never stops anything.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            episode_limit: None,
+            step_limit: None,
+            episodes: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Adds an episode limit (deterministic).
+    pub fn with_episode_limit(mut self, episodes: u64) -> Self {
+        self.episode_limit = Some(episodes);
+        self
+    }
+
+    /// Adds a step limit (deterministic).
+    pub fn with_step_limit(mut self, steps: u64) -> Self {
+        self.step_limit = Some(steps);
+        self
+    }
+
+    /// Episodes charged so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes.load(Ordering::Relaxed)
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Whether any check has ever reported a stop.
+    pub fn expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time left before the deadline (`None` = no deadline).
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    fn limits_hit(&self) -> Option<BudgetStop> {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(BudgetStop::Deadline);
+            }
+        }
+        if let Some(limit) = self.episode_limit {
+            if self.episodes.load(Ordering::Relaxed) >= limit {
+                return Some(BudgetStop::Episodes);
+            }
+        }
+        if let Some(limit) = self.step_limit {
+            if self.steps.load(Ordering::Relaxed) >= limit {
+                return Some(BudgetStop::Steps);
+            }
+        }
+        None
+    }
+
+    fn record(&self, stop: Option<BudgetStop>) -> Option<BudgetStop> {
+        if stop.is_some() {
+            self.expired.store(true, Ordering::Relaxed);
+        }
+        stop
+    }
+
+    /// Checks the budget at an episode boundary. Returns `Some(stop)` if
+    /// the loop must stop **before** running the episode; otherwise
+    /// charges one episode and returns `None`.
+    pub fn check_episode(&self) -> Option<BudgetStop> {
+        if let Some(stop) = self.record(self.limits_hit()) {
+            return Some(stop);
+        }
+        self.episodes.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Checks the budget at a step boundary (same contract as
+    /// [`check_episode`](Self::check_episode), one step charged).
+    pub fn check_step(&self) -> Option<BudgetStop> {
+        if let Some(stop) = self.record(self.limits_hit()) {
+            return Some(stop);
+        }
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Charges a step without the stop check — used inside loops whose
+    /// stop decision happens at a coarser boundary, so the step tally
+    /// still feeds the limit evaluated there.
+    pub fn note_step(&self) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(b.check_episode(), None);
+            assert_eq!(b.check_step(), None);
+        }
+        assert!(!b.expired());
+        assert_eq!(b.episodes(), 1000);
+        assert_eq!(b.steps(), 1000);
+    }
+
+    #[test]
+    fn episode_limit_is_exact_and_deterministic() {
+        let b = Budget::unlimited().with_episode_limit(3);
+        assert_eq!(b.check_episode(), None);
+        assert_eq!(b.check_episode(), None);
+        assert_eq!(b.check_episode(), None);
+        assert_eq!(b.check_episode(), Some(BudgetStop::Episodes));
+        assert_eq!(b.check_episode(), Some(BudgetStop::Episodes));
+        assert!(b.expired());
+        assert_eq!(b.episodes(), 3);
+    }
+
+    #[test]
+    fn step_limit_stops_steps() {
+        let b = Budget::unlimited().with_step_limit(2);
+        assert_eq!(b.check_step(), None);
+        assert_eq!(b.check_step(), None);
+        assert_eq!(b.check_step(), Some(BudgetStop::Steps));
+    }
+
+    #[test]
+    fn noted_steps_count_toward_the_limit() {
+        let b = Budget::unlimited().with_step_limit(5);
+        for _ in 0..5 {
+            b.note_step();
+        }
+        // The coarser boundary sees the tally.
+        assert_eq!(b.check_episode(), Some(BudgetStop::Steps));
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(b.check_episode(), Some(BudgetStop::Deadline));
+        assert!(b.expired());
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_stop() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert_eq!(b.check_episode(), None);
+        assert!(b.remaining_time().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn stop_names_are_stable() {
+        assert_eq!(BudgetStop::Deadline.as_str(), "deadline");
+        assert_eq!(BudgetStop::Episodes.as_str(), "episodes");
+        assert_eq!(BudgetStop::Steps.as_str(), "steps");
+    }
+
+    #[test]
+    fn budget_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Budget>();
+    }
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod checkpoint;
 pub mod dp;
 pub mod env;
@@ -27,6 +28,7 @@ pub mod schedule;
 pub mod stats;
 pub mod transfer;
 
+pub use budget::{Budget, BudgetStop};
 pub use checkpoint::TrainCheckpoint;
 pub use dp::{policy_iteration, value_iteration, DpSolution, ExplicitMdp};
 pub use env::{Environment, StepOutcome};

@@ -4,6 +4,7 @@
 //! a given item and repeatedly walks to the unvisited item with the
 //! maximum Q value until the sequence reaches `H` items.
 
+use crate::budget::Budget;
 use crate::env::Environment;
 use crate::qtable::QTable;
 
@@ -13,11 +14,27 @@ use crate::qtable::QTable;
 /// (undiscounted) reward collected. Stops when the environment reports
 /// `done` or no valid action remains.
 pub fn greedy_rollout<E: Environment>(env: &mut E, q: &QTable, start: usize) -> (Vec<usize>, f64) {
+    greedy_rollout_budgeted(env, q, start, &Budget::unlimited())
+}
+
+/// [`greedy_rollout`] under a cooperative [`Budget`]: the walk also
+/// stops — cleanly, after a completed step — once the budget's deadline
+/// or step limit is hit, so a pathological environment can never stall
+/// a serving request forever.
+pub fn greedy_rollout_budgeted<E: Environment>(
+    env: &mut E,
+    q: &QTable,
+    start: usize,
+    budget: &Budget,
+) -> (Vec<usize>, f64) {
     env.reset(start);
     let mut seq = vec![env.state()];
     let mut total = 0.0;
     let mut actions = Vec::with_capacity(env.n_states());
     loop {
+        if budget.check_step().is_some() {
+            break;
+        }
         let s = env.state();
         env.valid_actions(&mut actions);
         let Some(a) = q.best_action(s, &actions) else {
@@ -58,6 +75,17 @@ mod tests {
         let (seq, total) = greedy_rollout(&mut env2, &agent.q, 0);
         assert_eq!(seq, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn budgeted_rollout_stops_at_step_limit() {
+        let mut env = ChainEnv::new(8, 7);
+        let q = QTable::square(8);
+        let budget = Budget::unlimited().with_step_limit(3);
+        let (seq, _) = greedy_rollout_budgeted(&mut env, &q, 0, &budget);
+        // start + 3 budgeted steps, then the clean stop.
+        assert_eq!(seq.len(), 4);
+        assert!(budget.expired());
     }
 
     #[test]

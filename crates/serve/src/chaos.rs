@@ -1,0 +1,170 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! PR 2's `FaultFs` proves the *storage* layer survives crashes by
+//! killing I/O at operation N. This module extends the same philosophy
+//! to the *compute* path: a [`ChaosPlan`] maps request ordinals
+//! (1-based, in arrival order) to faults the engine triggers while
+//! handling that request — a panic inside the handler, a stall that
+//! eats the request's deadline, or corruption of the newest checkpoint
+//! generation. Because faults key on ordinals, a chaos run is exactly
+//! reproducible, which is what lets the integration suite assert
+//! "N requests in, N responses out, correct tier on each" instead of
+//! "it usually survives".
+//!
+//! Plans parse from a compact spec (used by `tpp serve --chaos`):
+//!
+//! ```text
+//! panic@3,stall@5:200,corrupt@7
+//! ```
+//!
+//! meaning: panic while handling request 3, stall 200 ms inside
+//! request 5, corrupt the newest checkpoint before serving request 7.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Panic inside the request handler (must be isolated, not fatal).
+    Panic,
+    /// Sleep this long inside the handler (exercises deadline budgets
+    /// and queue back-pressure).
+    Stall(Duration),
+    /// Flip bytes in the newest checkpoint generation on disk before
+    /// handling (exercises the corruption-fallback chain).
+    CorruptCheckpoint,
+}
+
+/// A schedule of faults keyed by request ordinal.
+///
+/// Faults are consumed: each fires at most once, so a retry of the same
+/// request ordinal (there are none today) would see a clean world.
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    faults: Mutex<HashMap<u64, ChaosFault>>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults — the production configuration).
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Schedules `fault` for request `ordinal` (1-based).
+    pub fn schedule(&self, ordinal: u64, fault: ChaosFault) {
+        self.faults
+            .lock()
+            .expect("chaos plan lock poisoned")
+            .insert(ordinal, fault);
+    }
+
+    /// Removes and returns the fault for `ordinal`, if any.
+    pub fn take(&self, ordinal: u64) -> Option<ChaosFault> {
+        self.faults
+            .lock()
+            .expect("chaos plan lock poisoned")
+            .remove(&ordinal)
+    }
+
+    /// Number of faults still pending.
+    pub fn pending(&self) -> usize {
+        self.faults.lock().expect("chaos plan lock poisoned").len()
+    }
+}
+
+impl FromStr for ChaosPlan {
+    type Err = String;
+
+    /// Parses `panic@N`, `stall@N:MS`, `corrupt@N`, comma-separated.
+    fn from_str(spec: &str) -> Result<Self, String> {
+        let plan = ChaosPlan::none();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, at) = part
+                .split_once('@')
+                .ok_or_else(|| format!("chaos fault {part:?} needs an @ordinal"))?;
+            match kind {
+                "panic" => {
+                    let n = parse_ordinal(at)?;
+                    plan.schedule(n, ChaosFault::Panic);
+                }
+                "stall" => {
+                    let (n, ms) = at
+                        .split_once(':')
+                        .ok_or_else(|| format!("stall fault {part:?} needs @ordinal:millis"))?;
+                    let n = parse_ordinal(n)?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("bad stall millis in {part:?}"))?;
+                    plan.schedule(n, ChaosFault::Stall(Duration::from_millis(ms)));
+                }
+                "corrupt" => {
+                    let n = parse_ordinal(at)?;
+                    plan.schedule(n, ChaosFault::CorruptCheckpoint);
+                }
+                other => return Err(format!("unknown chaos fault kind {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_ordinal(s: &str) -> Result<u64, String> {
+    let n: u64 = s
+        .parse()
+        .map_err(|_| format!("bad chaos request ordinal {s:?}"))?;
+    if n == 0 {
+        return Err("chaos ordinals are 1-based".into());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_spec() {
+        let plan: ChaosPlan = "panic@3, stall@5:200 ,corrupt@7".parse().unwrap();
+        assert_eq!(plan.pending(), 3);
+        assert_eq!(plan.take(3), Some(ChaosFault::Panic));
+        assert_eq!(
+            plan.take(5),
+            Some(ChaosFault::Stall(Duration::from_millis(200)))
+        );
+        assert_eq!(plan.take(7), Some(ChaosFault::CorruptCheckpoint));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn faults_fire_once() {
+        let plan: ChaosPlan = "panic@1".parse().unwrap();
+        assert_eq!(plan.take(1), Some(ChaosFault::Panic));
+        assert_eq!(plan.take(1), None);
+    }
+
+    #[test]
+    fn unfaulted_ordinals_are_clean() {
+        let plan: ChaosPlan = "panic@2".parse().unwrap();
+        assert_eq!(plan.take(1), None);
+        assert_eq!(plan.pending(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!("explode@1".parse::<ChaosPlan>().is_err());
+        assert!("panic".parse::<ChaosPlan>().is_err());
+        assert!("panic@zero".parse::<ChaosPlan>().is_err());
+        assert!("panic@0".parse::<ChaosPlan>().is_err());
+        assert!("stall@3".parse::<ChaosPlan>().is_err());
+        assert!("stall@3:fast".parse::<ChaosPlan>().is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_a_clean_plan() {
+        let plan: ChaosPlan = "".parse().unwrap();
+        assert_eq!(plan.pending(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Dataset resolution shared by the daemon and the CLI.
+//!
+//! One name → `(PlanningInstance, PlannerParams)` mapping for the six
+//! built-in datasets, so `rl-planner plan --dataset nyc` and a daemon
+//! request `{"op":"plan","dataset":"nyc"}` are guaranteed to plan over
+//! the same universe. The CLI delegates here.
+
+use tpp_core::PlannerParams;
+use tpp_model::PlanningInstance;
+
+/// Every resolvable dataset name, for usage and error text.
+pub const DATASET_NAMES: &str = "ds-ct cyber cs univ2 nyc paris";
+
+/// Resolves a dataset name to its instance and default parameters.
+pub fn resolve_dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
+    use tpp_datagen::defaults::*;
+    let (instance, params) = match name {
+        "ds-ct" => (
+            tpp_datagen::univ1_ds_ct(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "cyber" => (
+            tpp_datagen::univ1_cyber(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "cs" => (
+            tpp_datagen::univ1_cs(UNIV1_SEED),
+            PlannerParams::univ1_defaults(),
+        ),
+        "univ2" => (
+            tpp_datagen::univ2_ds(UNIV2_SEED),
+            PlannerParams::univ2_defaults(),
+        ),
+        "nyc" => (
+            tpp_datagen::nyc(NYC_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        "paris" => (
+            tpp_datagen::paris(PARIS_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?}; valid datasets: {DATASET_NAMES}"
+            ))
+        }
+    };
+    Ok((instance, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_advertised_name() {
+        for name in DATASET_NAMES.split_whitespace() {
+            let (instance, _) = resolve_dataset(name).unwrap();
+            assert!(!instance.catalog.is_empty(), "{name} resolved empty");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_the_valid_ones() {
+        let err = resolve_dataset("atlantis").unwrap_err();
+        assert!(err.contains("atlantis") && err.contains("nyc"), "{err}");
+    }
+}

@@ -1,0 +1,752 @@
+//! The request engine: dispatch, panic isolation, fallback tiers.
+//!
+//! [`ServeEngine::handle_line`] is the daemon's whole contract in one
+//! function: it takes a raw input line and **always** returns exactly
+//! one response line, whatever happens in between. Parse failures
+//! become `bad_request` responses; panics anywhere in the planning
+//! stack are caught, counted, reported through `tpp-obs`, and answered
+//! by a degraded tier; an expired deadline returns the best plan the
+//! budget bought, tagged — never an error.
+//!
+//! Fallback chain for planning requests (first tier that yields a plan
+//! serves the response; `tier` names it, `degraded` is `true` whenever
+//! the primary tier did not):
+//!
+//! 1. **policy** — newest valid checkpoint generation, loaded with
+//!    exponential backoff on transient store errors (`recommend`).
+//!    For `plan` the primary tier is **train**: budgeted SARSA.
+//! 2. **eda** — the myopic greedy baseline; no learned state to
+//!    corrupt, no training to time out.
+//! 3. **partial** — [`tpp_baselines::degraded_partial_plan`]: no RNG,
+//!    no reward peeking, lowest-index walk. The floor.
+
+use crate::chaos::{ChaosFault, ChaosPlan};
+use crate::datasets::resolve_dataset;
+use crate::protocol::{parse_request, JsonObj, Op, Request};
+use crate::retry::{with_backoff, BackoffPolicy};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tpp_core::{plan_violations, score_plan, Budget, PlannerParams, RlPlanner};
+use tpp_model::{ItemId, Plan, PlanningInstance};
+use tpp_obs::{obs_event, Level};
+
+/// Engine configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Checkpoint directory the `policy` tier loads from.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Hard cap on per-request training episodes (`plan` op).
+    pub max_episodes: u64,
+    /// Retry policy for transient checkpoint-load failures.
+    pub backoff: BackoffPolicy,
+    /// Fault-injection schedule (empty in production).
+    pub chaos: ChaosPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            checkpoint_dir: None,
+            default_deadline_ms: None,
+            max_episodes: 2_000,
+            backoff: BackoffPolicy::serving_default(),
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+/// Monotonic counters exposed by `stats` and the exit summary.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Requests received (including malformed ones).
+    pub requests: AtomicU64,
+    /// Terminal responses produced.
+    pub answered: AtomicU64,
+    /// Panics caught and isolated.
+    pub panics: AtomicU64,
+    /// Responses served by a non-primary tier or after budget expiry.
+    pub degraded: AtomicU64,
+    /// Lines that failed to parse as requests.
+    pub bad_requests: AtomicU64,
+    /// Requests shed by the bounded queue (counted by the server).
+    pub overloaded: AtomicU64,
+    /// Responses served per tier.
+    pub tier_policy: AtomicU64,
+    /// Responses served by budgeted fresh training.
+    pub tier_train: AtomicU64,
+    /// Responses served by the EDA baseline tier.
+    pub tier_eda: AtomicU64,
+    /// Responses served by the last-resort partial planner.
+    pub tier_partial: AtomicU64,
+}
+
+/// The long-lived request engine (shared across worker threads).
+pub struct ServeEngine {
+    config: ServeConfig,
+    /// Datasets are immutable once generated; cache them warm.
+    datasets: Mutex<HashMap<String, Arc<(PlanningInstance, PlannerParams)>>>,
+    /// Counters for `stats` responses and the exit summary.
+    pub counters: EngineCounters,
+    started: Instant,
+    ordinal: AtomicU64,
+}
+
+/// What one fallback tier produced.
+struct TierResult {
+    plan: Plan,
+    tier: &'static str,
+    retries: u32,
+    episodes: Option<u64>,
+}
+
+impl ServeEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        ServeEngine {
+            config,
+            datasets: Mutex::new(HashMap::new()),
+            counters: EngineCounters::default(),
+            started: Instant::now(),
+            ordinal: AtomicU64::new(0),
+        }
+    }
+
+    /// Handles one raw input line; always returns one response line.
+    /// This function itself must never panic — the outer
+    /// `catch_unwind` covers every tier, including the floor.
+    pub fn handle_line(&self, line: &str) -> String {
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.requests").inc();
+        let started = Instant::now();
+
+        let response = match parse_request(line) {
+            Err(msg) => {
+                self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.bad_request").inc();
+                JsonObj::new()
+                    .bool("ok", false)
+                    .str("error", &format!("bad_request: {msg}"))
+                    .finish()
+            }
+            Ok(req) => {
+                let fault = self.config.chaos.take(ordinal);
+                let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, fault)));
+                match caught {
+                    Ok(resp) => resp,
+                    Err(payload) => self.answer_after_panic(&req, &payload),
+                }
+            }
+        };
+
+        tpp_obs::metrics()
+            .histogram("serve.latency_ms")
+            .record(started.elapsed().as_millis() as u64);
+        self.counters.answered.fetch_add(1, Ordering::Relaxed);
+        response
+    }
+
+    /// Builds the `overloaded` shed response for a raw line (called by
+    /// the server when the bounded queue is full; counts as answered).
+    pub fn overloaded_response(&self, line: &str) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        self.counters.answered.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.requests").inc();
+        tpp_obs::metrics().counter("serve.overloaded").inc();
+        // Best-effort id echo so shed requests are still correlatable.
+        let id = parse_request(line).ok().and_then(|r| r.id);
+        JsonObj::new()
+            .bool("ok", false)
+            .opt_str("id", id.as_deref())
+            .str("error", "overloaded")
+            .finish()
+    }
+
+    fn dispatch(&self, req: &Request, fault: Option<ChaosFault>) -> String {
+        match fault {
+            Some(ChaosFault::Panic) => {
+                panic!("chaos: injected panic while handling request");
+            }
+            Some(ChaosFault::CorruptCheckpoint) => self.corrupt_newest_checkpoint(),
+            // Stalls burn the request's own budget, so they are applied
+            // after it starts (inside answer_planning).
+            _ => {}
+        }
+        match req.op {
+            Op::Health => self.health_response(req),
+            Op::Stats => self.stats_response(req),
+            Op::Plan | Op::Recommend => self.answer_planning(req, fault),
+        }
+    }
+
+    /// The planning path: primary tier, then the degradation chain.
+    fn answer_planning(&self, req: &Request, fault: Option<ChaosFault>) -> String {
+        let Some(name) = req.dataset.as_deref() else {
+            return self.error_response(req, "missing \"dataset\"");
+        };
+        let ds = match self.dataset(name) {
+            Ok(ds) => ds,
+            Err(msg) => return self.error_response(req, &msg),
+        };
+        let (instance, params) = (&ds.0, &ds.1);
+        let start = match self.resolve_start(instance, req.start.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => return self.error_response(req, &msg),
+        };
+
+        // The budget starts before any chaos stall, so a stalled handler
+        // visibly eats its own deadline — exactly what a production
+        // stall would do.
+        let deadline_ms = req.deadline_ms.or(self.config.default_deadline_ms);
+        let budget = match deadline_ms {
+            Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        if let Some(ChaosFault::Stall(d)) = fault {
+            obs_event!(
+                Level::Warn,
+                "serve.chaos_stall",
+                millis = d.as_millis() as u64
+            );
+            std::thread::sleep(d);
+        }
+
+        let mut fell_back_because: Vec<String> = Vec::new();
+        let primary: &'static str = match req.op {
+            Op::Plan => "train",
+            _ => "policy",
+        };
+        let result = self
+            .try_primary_tier(
+                req,
+                instance,
+                params,
+                start,
+                &budget,
+                &mut fell_back_because,
+            )
+            .or_else(|| self.try_eda_tier(req, instance, params, start, &mut fell_back_because))
+            .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because));
+
+        let Some(result) = result else {
+            // Even the floor panicked — answer with an error, stay alive.
+            return self
+                .error_response(req, &format!("internal: {}", fell_back_because.join("; ")));
+        };
+
+        let degraded = result.tier != primary || budget.expired();
+        if degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.degraded").inc();
+        }
+        self.tier_counter(result.tier)
+            .fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics()
+            .counter(&format!("serve.tier.{}", result.tier))
+            .inc();
+        obs_event!(
+            Level::Info,
+            "serve.answered",
+            op = req.op.as_str(),
+            dataset = name,
+            tier = result.tier,
+            degraded = degraded,
+        );
+
+        let violations = plan_violations(instance, &result.plan);
+        let mut obj = JsonObj::new()
+            .bool("ok", true)
+            .opt_str("id", req.id.as_deref())
+            .str("op", req.op.as_str())
+            .str("dataset", name)
+            .str("tier", result.tier)
+            .bool("degraded", degraded)
+            .bool("deadline_expired", budget.expired())
+            .u64("retries", result.retries as u64);
+        if let Some(episodes) = result.episodes {
+            obj = obj.u64("episodes", episodes);
+        }
+        obj = obj
+            .str_arr(
+                "plan",
+                result
+                    .plan
+                    .items()
+                    .iter()
+                    .map(|&id| instance.catalog.item(id).code.as_str()),
+            )
+            .f64("score", score_plan(instance, &result.plan))
+            .u64("violations", violations.len() as u64);
+        if !fell_back_because.is_empty() {
+            obj = obj.str_arr("fallbacks", fell_back_because.iter().map(String::as_str));
+        }
+        obj.finish()
+    }
+
+    /// Tier 1: budgeted training (`plan`) or checkpoint policy with
+    /// retry (`recommend`). `None` → fall down the chain.
+    fn try_primary_tier(
+        &self,
+        req: &Request,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+        budget: &Budget,
+        reasons: &mut Vec<String>,
+    ) -> Option<TierResult> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match req.op {
+            Op::Plan => {
+                let mut params = params.clone().with_start(start);
+                params.episodes = req
+                    .episodes
+                    .unwrap_or(params.episodes as u64)
+                    .min(self.config.max_episodes) as usize;
+                let (policy, stats) =
+                    RlPlanner::learn_budgeted(instance, &params, req.seed, None, 0, budget, |_| {
+                        Ok(())
+                    })
+                    .map_err(|e| format!("training failed: {e}"))?;
+                let plan = RlPlanner::recommend(&policy, instance, &params, start);
+                Ok(TierResult {
+                    plan,
+                    tier: "train",
+                    retries: 0,
+                    episodes: Some(stats.episodes() as u64),
+                })
+            }
+            Op::Recommend => {
+                let dir = self
+                    .config
+                    .checkpoint_dir
+                    .as_ref()
+                    .ok_or_else(|| "no checkpoint directory configured".to_owned())?;
+                let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
+                let (loaded, retries) = with_backoff(&self.config.backoff, || set.load_latest());
+                let (generation, ckpt) = loaded
+                    .map_err(|e| format!("checkpoint load failed: {e}"))?
+                    .ok_or_else(|| format!("no checkpoints in {}", dir.display()))?;
+                if ckpt.q.n_states() != instance.catalog.len() {
+                    return Err(format!(
+                        "checkpoint has {} states, dataset has {} items",
+                        ckpt.q.n_states(),
+                        instance.catalog.len()
+                    ));
+                }
+                obs_event!(
+                    Level::Debug,
+                    "serve.policy_loaded",
+                    generation = generation,
+                    episode = ckpt.episode,
+                );
+                let plan = RlPlanner::recommend_with_q(
+                    &ckpt.q,
+                    instance,
+                    &params.clone().with_start(start),
+                    start,
+                );
+                Ok(TierResult {
+                    plan,
+                    tier: "policy",
+                    retries,
+                    episodes: None,
+                })
+            }
+            // Health/stats never reach the planning path.
+            _ => Err("not a planning op".to_owned()),
+        }));
+        self.settle_tier("primary", outcome, reasons)
+    }
+
+    /// Tier 2: the myopic EDA baseline.
+    fn try_eda_tier(
+        &self,
+        req: &Request,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+        reasons: &mut Vec<String>,
+    ) -> Option<TierResult> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let plan = tpp_baselines::eda_plan(
+                instance,
+                &params.clone().with_start(start),
+                start,
+                req.seed,
+            );
+            Ok(TierResult {
+                plan,
+                tier: "eda",
+                retries: 0,
+                episodes: None,
+            })
+        }));
+        self.settle_tier("eda", outcome, reasons)
+    }
+
+    /// Tier 3 (the floor): deterministic partial plan.
+    fn try_partial_tier(
+        &self,
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        start: ItemId,
+        reasons: &mut Vec<String>,
+    ) -> Option<TierResult> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let plan = tpp_baselines::degraded_partial_plan(
+                instance,
+                &params.clone().with_start(start),
+                start,
+                instance.catalog.len(),
+            );
+            Ok(TierResult {
+                plan,
+                tier: "partial",
+                retries: 0,
+                episodes: None,
+            })
+        }));
+        self.settle_tier("partial", outcome, reasons)
+    }
+
+    /// Unwraps one tier's `catch_unwind` outcome, recording why it did
+    /// not serve (panic or error) so the response can list it.
+    fn settle_tier(
+        &self,
+        tier: &str,
+        outcome: Result<Result<TierResult, String>, Box<dyn std::any::Any + Send>>,
+        reasons: &mut Vec<String>,
+    ) -> Option<TierResult> {
+        match outcome {
+            Ok(Ok(result)) => Some(result),
+            Ok(Err(msg)) => {
+                obs_event!(Level::Warn, "serve.tier_failed", tier = tier, error = &msg);
+                reasons.push(format!("{tier}: {msg}"));
+                None
+            }
+            Err(payload) => {
+                self.note_panic(&payload);
+                reasons.push(format!("{tier}: panicked ({})", panic_message(&payload)));
+                None
+            }
+        }
+    }
+
+    /// Counts and reports one isolated panic.
+    fn note_panic(&self, payload: &Box<dyn std::any::Any + Send>) {
+        self.counters.panics.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.panic").inc();
+        obs_event!(
+            Level::Error,
+            "serve.panic_isolated",
+            message = panic_message(payload),
+        );
+    }
+
+    /// Fallback after the whole dispatch panicked (e.g. an injected
+    /// chaos panic before tier selection): run the degradation chain
+    /// directly. This path must not be able to panic out.
+    fn answer_after_panic(&self, req: &Request, payload: &Box<dyn std::any::Any + Send>) -> String {
+        self.note_panic(payload);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if !matches!(req.op, Op::Plan | Op::Recommend) {
+                // Health/stats panicked (only chaos can do this) — the
+                // retry is fault-free because chaos fires once.
+                return self.dispatch(req, None);
+            }
+            let Some(name) = req.dataset.as_deref() else {
+                return self.error_response(req, "missing \"dataset\"");
+            };
+            let Ok(ds) = self.dataset(name) else {
+                return self.error_response(req, &format!("unknown dataset {name:?}"));
+            };
+            let (instance, params) = (&ds.0, &ds.1);
+            let Ok(start) = self.resolve_start(instance, req.start.as_deref()) else {
+                return self.error_response(req, "unknown start code");
+            };
+            let mut reasons = vec![format!("primary: panicked ({})", panic_message(payload))];
+            let result = self
+                .try_eda_tier(req, instance, params, start, &mut reasons)
+                .or_else(|| self.try_partial_tier(instance, params, start, &mut reasons));
+            match result {
+                Some(result) => {
+                    self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.degraded").inc();
+                    self.tier_counter(result.tier)
+                        .fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics()
+                        .counter(&format!("serve.tier.{}", result.tier))
+                        .inc();
+                    let violations = plan_violations(instance, &result.plan);
+                    JsonObj::new()
+                        .bool("ok", true)
+                        .opt_str("id", req.id.as_deref())
+                        .str("op", req.op.as_str())
+                        .str("dataset", name)
+                        .str("tier", result.tier)
+                        .bool("degraded", true)
+                        .bool("deadline_expired", false)
+                        .u64("retries", 0)
+                        .str_arr(
+                            "plan",
+                            result
+                                .plan
+                                .items()
+                                .iter()
+                                .map(|&id| instance.catalog.item(id).code.as_str()),
+                        )
+                        .f64("score", score_plan(instance, &result.plan))
+                        .u64("violations", violations.len() as u64)
+                        .str_arr("fallbacks", reasons.iter().map(String::as_str))
+                        .finish()
+                }
+                None => self.error_response(req, "internal: all tiers failed"),
+            }
+        }));
+        caught.unwrap_or_else(|_| {
+            JsonObj::new()
+                .bool("ok", false)
+                .opt_str("id", req.id.as_deref())
+                .str("error", "internal: panic recovery failed")
+                .finish()
+        })
+    }
+
+    fn tier_counter(&self, tier: &str) -> &AtomicU64 {
+        match tier {
+            "policy" => &self.counters.tier_policy,
+            "train" => &self.counters.tier_train,
+            "eda" => &self.counters.tier_eda,
+            _ => &self.counters.tier_partial,
+        }
+    }
+
+    fn health_response(&self, req: &Request) -> String {
+        JsonObj::new()
+            .bool("ok", true)
+            .opt_str("id", req.id.as_deref())
+            .str("op", "health")
+            .u64("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .u64("requests", self.counters.requests.load(Ordering::Relaxed))
+            .u64(
+                "panics_isolated",
+                self.counters.panics.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+
+    fn stats_response(&self, req: &Request) -> String {
+        let c = &self.counters;
+        JsonObj::new()
+            .bool("ok", true)
+            .opt_str("id", req.id.as_deref())
+            .str("op", "stats")
+            .u64("requests", c.requests.load(Ordering::Relaxed))
+            .u64("answered", c.answered.load(Ordering::Relaxed))
+            .u64("bad_requests", c.bad_requests.load(Ordering::Relaxed))
+            .u64("overloaded", c.overloaded.load(Ordering::Relaxed))
+            .u64("panics_isolated", c.panics.load(Ordering::Relaxed))
+            .u64("degraded", c.degraded.load(Ordering::Relaxed))
+            .u64("tier_policy", c.tier_policy.load(Ordering::Relaxed))
+            .u64("tier_train", c.tier_train.load(Ordering::Relaxed))
+            .u64("tier_eda", c.tier_eda.load(Ordering::Relaxed))
+            .u64("tier_partial", c.tier_partial.load(Ordering::Relaxed))
+            .finish()
+    }
+
+    fn error_response(&self, req: &Request, msg: &str) -> String {
+        JsonObj::new()
+            .bool("ok", false)
+            .opt_str("id", req.id.as_deref())
+            .str("op", req.op.as_str())
+            .str("error", msg)
+            .finish()
+    }
+
+    /// Dataset lookup with a warm cache (generation is deterministic,
+    /// so cached and fresh instances are identical).
+    fn dataset(&self, name: &str) -> Result<Arc<(PlanningInstance, PlannerParams)>, String> {
+        if let Some(ds) = self
+            .datasets
+            .lock()
+            .expect("dataset cache lock poisoned")
+            .get(name)
+        {
+            return Ok(Arc::clone(ds));
+        }
+        let ds = Arc::new(resolve_dataset(name)?);
+        self.datasets
+            .lock()
+            .expect("dataset cache lock poisoned")
+            .insert(name.to_owned(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    fn resolve_start(
+        &self,
+        instance: &PlanningInstance,
+        code: Option<&str>,
+    ) -> Result<ItemId, String> {
+        match code {
+            Some(code) => instance
+                .catalog
+                .by_code(code)
+                .map(|i| i.id)
+                .ok_or_else(|| format!("unknown item code {code:?}")),
+            None => instance
+                .default_start
+                .ok_or_else(|| "dataset has no default start; pass \"start\"".to_owned()),
+        }
+    }
+
+    /// Chaos: flip the payload bytes of the newest checkpoint
+    /// generation so its checksum fails on the next load.
+    fn corrupt_newest_checkpoint(&self) {
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return;
+        };
+        let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
+        let Ok(gens) = set.generations() else { return };
+        let Some(&newest) = gens.last() else { return };
+        let path = set.generation_path(newest);
+        if let Ok(mut bytes) = std::fs::read(&path) {
+            // Keep the magic intact; flip everything after it so the
+            // loader sees a checksum mismatch, not a foreign file.
+            for b in bytes.iter_mut().skip(8) {
+                *b ^= 0xFF;
+            }
+            let _ = std::fs::write(&path, &bytes);
+            obs_event!(
+                Level::Warn,
+                "serve.chaos_corrupt",
+                path = path.display().to_string(),
+                generation = newest,
+            );
+        }
+    }
+}
+
+/// Human-readable text of a panic payload.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_obs::json::{parse, Json};
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(ServeConfig::default())
+    }
+
+    fn get<'a>(v: &'a Json, k: &str) -> &'a Json {
+        v.get(k).unwrap_or_else(|| panic!("missing field {k:?}"))
+    }
+
+    #[test]
+    fn health_and_stats_answer() {
+        let e = engine();
+        let h = parse(&e.handle_line(r#"{"op":"health","id":"h1"}"#)).unwrap();
+        assert_eq!(get(&h, "ok"), &Json::Bool(true));
+        assert_eq!(get(&h, "id").as_str(), Some("h1"));
+        let s = parse(&e.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(get(&s, "requests").as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request() {
+        let e = engine();
+        let r = parse(&e.handle_line("this is not json")).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(false));
+        assert!(get(&r, "error")
+            .as_str()
+            .unwrap()
+            .starts_with("bad_request"));
+        assert_eq!(e.counters.bad_requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_dataset_is_a_terminal_error_response() {
+        let e = engine();
+        let r = parse(&e.handle_line(r#"{"op":"plan","dataset":"atlantis"}"#)).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(false));
+        assert!(get(&r, "error").as_str().unwrap().contains("atlantis"));
+    }
+
+    #[test]
+    fn plan_trains_and_answers_with_train_tier() {
+        let e = engine();
+        let r = parse(
+            &e.handle_line(r#"{"op":"plan","dataset":"ds-ct","episodes":40,"seed":1,"id":"p1"}"#),
+        )
+        .unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+        assert_eq!(get(&r, "tier").as_str(), Some("train"));
+        assert_eq!(get(&r, "degraded"), &Json::Bool(false));
+        assert_eq!(get(&r, "episodes").as_f64(), Some(40.0));
+        assert!(matches!(get(&r, "plan"), Json::Arr(items) if !items.is_empty()));
+    }
+
+    #[test]
+    fn recommend_without_checkpoints_degrades_to_eda() {
+        let e = engine();
+        let r = parse(&e.handle_line(r#"{"op":"recommend","dataset":"ds-ct"}"#)).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+        assert_eq!(get(&r, "tier").as_str(), Some("eda"));
+        assert_eq!(get(&r, "degraded"), &Json::Bool(true));
+        assert_eq!(e.counters.tier_eda.load(Ordering::Relaxed), 1);
+        assert_eq!(e.counters.degraded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_plan() {
+        let e = engine();
+        let r = parse(
+            &e.handle_line(r#"{"op":"plan","dataset":"ds-ct","deadline_ms":0,"episodes":500}"#),
+        )
+        .unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+        assert_eq!(get(&r, "deadline_expired"), &Json::Bool(true));
+        assert_eq!(get(&r, "degraded"), &Json::Bool(true));
+        assert_eq!(get(&r, "episodes").as_f64(), Some(0.0));
+        assert!(matches!(get(&r, "plan"), Json::Arr(items) if !items.is_empty()));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_answered_degraded() {
+        let config = ServeConfig {
+            chaos: "panic@1".parse().unwrap(),
+            ..ServeConfig::default()
+        };
+        let e = ServeEngine::new(config);
+        let r = parse(&e.handle_line(r#"{"op":"recommend","dataset":"ds-ct","id":"x"}"#)).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+        assert_eq!(get(&r, "id").as_str(), Some("x"));
+        assert_eq!(get(&r, "degraded"), &Json::Bool(true));
+        assert_eq!(e.counters.panics.load(Ordering::Relaxed), 1);
+        // The next request sees a clean world.
+        let r2 = parse(&e.handle_line(r#"{"op":"health"}"#)).unwrap();
+        assert_eq!(get(&r2, "ok"), &Json::Bool(true));
+    }
+
+    #[test]
+    fn trip_datasets_serve_too() {
+        let e = engine();
+        let r = parse(&e.handle_line(r#"{"op":"plan","dataset":"nyc","episodes":30}"#)).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+        assert_eq!(get(&r, "violations").as_f64(), Some(0.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # tpp-serve
+//!
+//! A long-lived planning daemon around the RL-Planner stack. The CLI's
+//! one-shot subcommands re-learn a policy per invocation; `tpp-serve`
+//! keeps datasets and checkpoints warm and answers a stream of
+//! newline-delimited JSON requests (`plan`, `recommend`, `health`,
+//! `stats`) over stdin/stdout or a Unix socket.
+//!
+//! The contract is availability, not perfection:
+//!
+//! * **Every request receives exactly one terminal response line** —
+//!   malformed JSON gets `bad_request`, a full queue gets `overloaded`,
+//!   and nothing makes the process exit.
+//! * **Deadlines are cooperative budgets** ([`tpp_core::Budget`]):
+//!   a `deadline_ms` on a `plan` request bounds training wall-clock;
+//!   an expired budget yields a usable (tagged) plan, not an error.
+//! * **Panics are isolated** per request via `catch_unwind`, reported
+//!   through `tpp-obs`, counted, and answered by a degraded tier.
+//! * **Degradation is explicit**: the fallback chain — trained
+//!   checkpoint policy → retry with exponential backoff on transient
+//!   store errors → greedy EDA baseline → deterministic partial plan —
+//!   records which tier served each response (`tier`, `degraded`).
+//!
+//! The [`chaos`] module injects panics, stalls and checkpoint
+//! corruption at chosen request ordinals so the integration suite (and
+//! `scripts/check.sh`) can prove those properties deterministically.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod datasets;
+pub mod engine;
+pub mod protocol;
+pub mod retry;
+pub mod server;
+
+pub use chaos::{ChaosFault, ChaosPlan};
+pub use datasets::{resolve_dataset, DATASET_NAMES};
+pub use engine::{ServeConfig, ServeEngine};
+pub use protocol::{parse_request, JsonObj, Op, Request};
+pub use retry::{with_backoff, BackoffPolicy};
+pub use server::{serve_lines, serve_unix, ServeSummary, ServerConfig};

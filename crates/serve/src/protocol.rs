@@ -1,0 +1,270 @@
+//! The NDJSON request/response protocol.
+//!
+//! One request per input line, one response per request, always. The
+//! wire format is deliberately flat JSON objects — parsed with the
+//! std-only validating parser from `tpp-obs` and rendered with a small
+//! object writer, so the daemon has no serialization dependencies that
+//! could differ between builds.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"recommend","dataset":"ds-ct","id":"r1"}
+//! {"op":"plan","dataset":"nyc","deadline_ms":250,"episodes":400,"seed":7}
+//! {"op":"health"}
+//! {"op":"stats"}
+//! ```
+//!
+//! Responses always carry `ok` and echo `id` when one was given;
+//! planning responses add `tier`, `degraded`, `plan`, `score`,
+//! `violations` and (when relevant) `deadline_expired` / `retries`.
+
+use tpp_obs::json::{escape_into, parse, Json};
+
+/// A request's operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Train a fresh policy under the request budget, then recommend.
+    Plan,
+    /// Serve from the warm checkpoint / fallback chain (no training).
+    Recommend,
+    /// Liveness probe: uptime and request counters.
+    Health,
+    /// Counter snapshot: tiers served, panics isolated, shed load.
+    Stats,
+}
+
+impl Op {
+    /// Wire name of the operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Plan => "plan",
+            Op::Recommend => "recommend",
+            Op::Health => "health",
+            Op::Stats => "stats",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: Op,
+    /// Dataset name (required for `plan` / `recommend`).
+    pub dataset: Option<String>,
+    /// Start item code (dataset default when absent).
+    pub start: Option<String>,
+    /// Training seed (`plan` only; default 0).
+    pub seed: u64,
+    /// Training episode cap (`plan` only).
+    pub episodes: Option<u64>,
+    /// Wall-clock budget in milliseconds for this request.
+    pub deadline_ms: Option<u64>,
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<Option<String>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+    }
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(v)) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+            Ok(Some(*v as u64))
+        }
+        Some(_) => Err(format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// Parses one request line. Errors are human-readable fragments the
+/// engine embeds in a `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line.trim()).map_err(|e| format!("invalid json: {e}"))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("request must be a json object".into());
+    }
+    let op = match str_field(&v, "op")? {
+        Some(op) => op,
+        None => return Err("missing \"op\"".into()),
+    };
+    let op = match op.as_str() {
+        "plan" => Op::Plan,
+        "recommend" => Op::Recommend,
+        "health" => Op::Health,
+        "stats" => Op::Stats,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request {
+        id: str_field(&v, "id")?,
+        op,
+        dataset: str_field(&v, "dataset")?,
+        start: str_field(&v, "start")?,
+        seed: u64_field(&v, "seed")?.unwrap_or(0),
+        episodes: u64_field(&v, "episodes")?,
+        deadline_ms: u64_field(&v, "deadline_ms")?,
+    })
+}
+
+/// A single-line JSON object writer (insertion-ordered, no trailing
+/// comma bookkeeping for callers).
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        escape_into(k, &mut self.buf);
+        self.buf.push(':');
+    }
+
+    /// Adds a string member.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        escape_into(v, &mut self.buf);
+        self
+    }
+
+    /// Adds a string member when `v` is `Some`.
+    pub fn opt_str(self, k: &str, v: Option<&str>) -> Self {
+        match v {
+            Some(v) => self.str(k, v),
+            None => self,
+        }
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an integer member.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float member (`null` when non-finite — valid JSON first).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an array-of-strings member.
+    pub fn str_arr<S: AsRef<str>>(mut self, k: &str, vs: impl IntoIterator<Item = S>) -> Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            escape_into(v.as_ref(), &mut self.buf);
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_plan_request() {
+        let r = parse_request(
+            r#"{"op":"plan","dataset":"ds-ct","id":"r1","start":"m1","seed":7,"episodes":50,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Plan);
+        assert_eq!(r.id.as_deref(), Some("r1"));
+        assert_eq!(r.dataset.as_deref(), Some("ds-ct"));
+        assert_eq!(r.start.as_deref(), Some("m1"));
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.episodes, Some(50));
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn minimal_health_request() {
+        let r = parse_request(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(r.op, Op::Health);
+        assert_eq!(r.id, None);
+        assert_eq!(r.seed, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"dataset":"ds-ct"}"#)
+            .unwrap_err()
+            .contains("op"));
+        assert!(parse_request(r#"{"op":"destroy"}"#)
+            .unwrap_err()
+            .contains("destroy"));
+        assert!(parse_request(r#"{"op":"plan","seed":-1}"#).is_err());
+        assert!(parse_request(r#"{"op":"plan","seed":1.5}"#).is_err());
+        assert!(parse_request(r#"{"op":"plan","dataset":7}"#).is_err());
+    }
+
+    #[test]
+    fn json_obj_renders_valid_json() {
+        let line = JsonObj::new()
+            .bool("ok", true)
+            .str("op", "plan")
+            .opt_str("id", Some("a\"b"))
+            .opt_str("skip", None)
+            .u64("n", 3)
+            .f64("score", 9.5)
+            .f64("nan", f64::NAN)
+            .str_arr("plan", ["m1", "m2"])
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("a\"b"));
+        assert!(v.get("skip").is_none());
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(9.5));
+        assert_eq!(v.get("nan"), Some(&Json::Null));
+        assert_eq!(
+            v.get("plan"),
+            Some(&Json::Arr(vec![
+                Json::Str("m1".into()),
+                Json::Str("m2".into())
+            ]))
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Exponential backoff for transient store failures.
+//!
+//! The second rung of the fallback chain: when loading a checkpoint
+//! fails with an error [`StoreError::is_retryable`] classifies as
+//! transient (interrupted I/O, a torn read racing a writer's rename),
+//! re-reading a moment later usually succeeds — whereas a checksum
+//! mismatch will fail identically forever. `with_backoff` retries only
+//! the former, with exponentially growing sleeps, and reports how many
+//! retries it spent so responses can surface `retries: N`.
+
+use std::time::Duration;
+use tpp_store::StoreError;
+
+/// Retry policy: attempt count and sleep schedule.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl BackoffPolicy {
+    /// Serving default: 3 attempts, 10 ms → 20 ms sleeps. Short because
+    /// the races it targets (mid-rotation torn reads) resolve in
+    /// milliseconds, and a request deadline is burning while we wait.
+    pub fn serving_default() -> Self {
+        BackoffPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// No retries at all (tests, or callers with their own loop).
+    pub fn none() -> Self {
+        BackoffPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based), doubling from
+    /// `base_delay` and capped at `max_delay`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .map_or(self.max_delay, |d| d.min(self.max_delay))
+    }
+}
+
+/// Runs `op`, retrying per `policy` while the error is transient.
+///
+/// Returns the final result plus the number of retries actually spent
+/// (0 when the first attempt settled it). Permanent errors return
+/// immediately — retrying a checksum mismatch just re-reads the same
+/// poison.
+pub fn with_backoff<T>(
+    policy: &BackoffPolicy,
+    mut op: impl FnMut() -> Result<T, StoreError>,
+) -> (Result<T, StoreError>, u32) {
+    let attempts = policy.max_attempts.max(1);
+    let mut retries = 0;
+    loop {
+        match op() {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) if e.is_retryable() && retries + 1 < attempts => {
+                tpp_obs::obs_event!(
+                    tpp_obs::Level::Warn,
+                    "serve.retry",
+                    retry = retries + 1,
+                    error = e.to_string(),
+                );
+                tpp_obs::metrics().counter("serve.retry").inc();
+                std::thread::sleep(policy.delay_for(retries));
+                retries += 1;
+            }
+            Err(e) => return (Err(e), retries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error, ErrorKind};
+
+    fn transient() -> StoreError {
+        StoreError::Io(Error::new(ErrorKind::Interrupted, "EINTR"))
+    }
+
+    #[test]
+    fn succeeds_first_try_without_retrying() {
+        let (r, retries) = with_backoff(&BackoffPolicy::serving_default(), || {
+            Ok::<_, StoreError>(42)
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let mut calls = 0;
+        let policy = BackoffPolicy {
+            max_attempts: 5,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let (r, retries) = with_backoff(&policy, || {
+            calls += 1;
+            if calls < 3 {
+                Err(transient())
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(retries, 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let mut calls = 0;
+        let (r, retries) = with_backoff(&BackoffPolicy::serving_default(), || {
+            calls += 1;
+            Err::<(), _>(StoreError::ChecksumMismatch)
+        });
+        assert!(matches!(r.unwrap_err(), StoreError::ChecksumMismatch));
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0;
+        let policy = BackoffPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let (r, retries) = with_backoff(&policy, || {
+            calls += 1;
+            Err::<(), _>(transient())
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn delays_double_and_cap() {
+        let p = BackoffPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(10));
+        assert_eq!(p.delay_for(1), Duration::from_millis(20));
+        assert_eq!(p.delay_for(2), Duration::from_millis(35)); // capped
+        assert_eq!(p.delay_for(31), Duration::from_millis(35));
+        // Shift overflow saturates instead of panicking.
+        assert_eq!(p.delay_for(40), Duration::from_millis(35));
+    }
+}

@@ -1,0 +1,307 @@
+//! Transport: bounded queue, worker pool, stdin/stdout and Unix socket.
+//!
+//! [`serve_lines`] is the core loop, generic over any `BufRead` input
+//! and `Write` output so the chaos tests can drive it with in-memory
+//! buffers and the CLI can hand it stdin/stdout. Requests enter a
+//! **bounded** queue ([`std::sync::mpsc::sync_channel`]); when it is
+//! full the reader thread sheds the request immediately with an
+//! `overloaded` response instead of buffering without limit — a slow
+//! planner must surface as explicit back-pressure, not as unbounded
+//! memory growth followed by an OOM kill.
+//!
+//! Responses from concurrent workers interleave in completion order;
+//! each response is written under one lock acquisition so lines never
+//! tear. Clients correlate via the echoed `id`.
+
+use crate::engine::ServeEngine;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use tpp_obs::{obs_event, Level};
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Queue capacity; requests beyond it are shed as `overloaded`.
+    pub capacity: usize,
+    /// Worker threads handling requests concurrently.
+    pub workers: usize,
+    /// Stop after this many input lines (`None` = until EOF). Used by
+    /// tests and bounded smoke runs.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 64,
+            workers: 2,
+            max_requests: None,
+        }
+    }
+}
+
+/// What a serving session did, for the exit summary and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Input lines read.
+    pub received: u64,
+    /// Responses written (sheds included) — must equal `received`.
+    pub answered: u64,
+    /// Requests shed by the bounded queue.
+    pub overloaded: u64,
+}
+
+/// Writes one response line under the output lock.
+fn write_response<W: Write>(out: &Mutex<W>, line: &str) {
+    let mut out = out.lock().expect("output lock poisoned");
+    // A dead output (client hung up) must not kill the daemon; drop the
+    // response and keep draining so the queue empties.
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Serves newline-delimited requests from `input` to `output` until EOF
+/// (or `max_requests`), answering every line exactly once.
+pub fn serve_lines<R, W>(
+    engine: Arc<ServeEngine>,
+    input: R,
+    output: W,
+    config: &ServerConfig,
+) -> ServeSummary
+where
+    R: std::io::Read,
+    W: Write + Send + 'static,
+{
+    let workers = config.workers.max(1);
+    let capacity = config.capacity.max(1);
+    let output = Arc::new(Mutex::new(output));
+    let (tx, rx): (SyncSender<String>, Receiver<String>) = std::sync::mpsc::sync_channel(capacity);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        let output = Arc::clone(&output);
+        handles.push(std::thread::spawn(move || loop {
+            // Hold the receiver lock only while dequeuing.
+            let line = match rx.lock().expect("queue lock poisoned").recv() {
+                Ok(line) => line,
+                Err(_) => break, // sender dropped and queue drained
+            };
+            let response = engine.handle_line(&line);
+            write_response(&output, &response);
+        }));
+    }
+
+    let mut received = 0u64;
+    let mut overloaded = 0u64;
+    for line in BufReader::new(input).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        received += 1;
+        match tx.try_send(line) {
+            Ok(()) => {}
+            Err(TrySendError::Full(line)) => {
+                overloaded += 1;
+                let response = engine.overloaded_response(&line);
+                write_response(&output, &response);
+            }
+            Err(TrySendError::Disconnected(_)) => break, // workers gone
+        }
+        if config.max_requests.is_some_and(|max| received >= max) {
+            break;
+        }
+    }
+
+    drop(tx);
+    for h in handles {
+        let _ = h.join();
+    }
+    obs_event!(
+        Level::Info,
+        "serve.session_done",
+        received = received,
+        overloaded = overloaded,
+    );
+    ServeSummary {
+        received,
+        answered: received,
+        overloaded,
+    }
+}
+
+/// Serves connections on a Unix domain socket at `path`, one session
+/// per connection (each with its own queue and workers).
+///
+/// `accept_limit` bounds how many connections are accepted before the
+/// listener stops (`None` = forever); tests use it to terminate.
+pub fn serve_unix(
+    engine: Arc<ServeEngine>,
+    path: &std::path::Path,
+    config: &ServerConfig,
+    accept_limit: Option<usize>,
+) -> std::io::Result<()> {
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    obs_event!(
+        Level::Info,
+        "serve.listening",
+        socket = path.display().to_string(),
+    );
+    let mut sessions = Vec::new();
+    for (accepted, stream) in listener.incoming().enumerate() {
+        let Ok(stream) = stream else { continue };
+        let reader = stream.try_clone()?;
+        let engine = Arc::clone(&engine);
+        let config = config.clone();
+        sessions.push(std::thread::spawn(move || {
+            serve_lines(engine, reader, stream, &config);
+        }));
+        if accept_limit.is_some_and(|limit| accepted + 1 >= limit) {
+            break;
+        }
+    }
+    for s in sessions {
+        let _ = s.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use tpp_obs::json::{parse, Json};
+
+    fn run(
+        input: &str,
+        server: &ServerConfig,
+        engine_config: ServeConfig,
+    ) -> (ServeSummary, Vec<Json>) {
+        let engine = Arc::new(ServeEngine::new(engine_config));
+        let out: Vec<u8> = Vec::new();
+        let out = Arc::new(Mutex::new(std::io::Cursor::new(out)));
+        // Wrap the shared cursor so we can read it back after the run.
+        struct SharedOut(Arc<Mutex<std::io::Cursor<Vec<u8>>>>);
+        impl Write for SharedOut {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let summary = serve_lines(
+            Arc::clone(&engine),
+            input.as_bytes(),
+            SharedOut(Arc::clone(&out)),
+            server,
+        );
+        let bytes = out.lock().unwrap().get_ref().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let responses = text
+            .lines()
+            .map(|l| parse(l).unwrap_or_else(|e| panic!("invalid response {l:?}: {e}")))
+            .collect();
+        (summary, responses)
+    }
+
+    #[test]
+    fn every_line_gets_a_response() {
+        let input = concat!(
+            "{\"op\":\"health\",\"id\":\"a\"}\n",
+            "garbage\n",
+            "{\"op\":\"stats\",\"id\":\"b\"}\n",
+        );
+        let (summary, responses) = run(input, &ServerConfig::default(), ServeConfig::default());
+        assert_eq!(summary.received, 3);
+        assert_eq!(responses.len(), 3);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_not_answered() {
+        let input = "\n{\"op\":\"health\"}\n   \n";
+        let (summary, responses) = run(input, &ServerConfig::default(), ServeConfig::default());
+        assert_eq!(summary.received, 1);
+        assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn max_requests_bounds_the_session() {
+        let input = "{\"op\":\"health\"}\n".repeat(10);
+        let config = ServerConfig {
+            max_requests: Some(4),
+            ..ServerConfig::default()
+        };
+        let (summary, responses) = run(&input, &config, ServeConfig::default());
+        assert_eq!(summary.received, 4);
+        assert_eq!(responses.len(), 4);
+    }
+
+    #[test]
+    fn overload_sheds_with_a_terminal_response() {
+        // One slow worker, capacity 1, and stalls on the first requests
+        // so the queue backs up while the reader races ahead.
+        let chaos: crate::ChaosPlan = "stall@1:150,stall@2:150".parse().unwrap();
+        let engine_config = ServeConfig {
+            chaos,
+            ..ServeConfig::default()
+        };
+        let server = ServerConfig {
+            capacity: 1,
+            workers: 1,
+            max_requests: None,
+        };
+        let input = "{\"op\":\"health\"}\n".repeat(30);
+        let (summary, responses) = run(&input, &server, engine_config);
+        assert_eq!(summary.received, 30);
+        assert_eq!(responses.len(), 30, "every request answered");
+        let shed = responses
+            .iter()
+            .filter(|r| r.get("error").and_then(|e| e.as_str()) == Some("overloaded"))
+            .count() as u64;
+        assert_eq!(shed, summary.overloaded);
+        assert!(shed > 0, "expected some load shedding");
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("tpp-serve-{}.sock", std::process::id()));
+        let engine = Arc::new(ServeEngine::new(ServeConfig::default()));
+        let server = ServerConfig::default();
+        let listener = {
+            let engine = Arc::clone(&engine);
+            let path = path.clone();
+            let server = server.clone();
+            std::thread::spawn(move || serve_unix(engine, &path, &server, Some(1)))
+        };
+        // Wait for the socket to appear.
+        let mut stream = None;
+        for _ in 0..100 {
+            if let Ok(s) = std::os::unix::net::UnixStream::connect(&path) {
+                stream = Some(s);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let mut stream = stream.expect("daemon socket never came up");
+        stream
+            .write_all(b"{\"op\":\"health\",\"id\":\"sock\"}\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        std::io::BufReader::new(&stream)
+            .read_line(&mut response)
+            .unwrap();
+        let v = parse(response.trim()).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("sock"));
+        listener.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -70,6 +70,41 @@ impl StoreError {
             _ => None,
         }
     }
+
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// **Transient** (retryable): resource-pressure and interruption
+    /// failures — `ENOSPC`, interrupted/timed-out I/O — and a truncated
+    /// payload, which is what a reader observes mid-rotation while a
+    /// writer is still streaming the file (the atomic-rename protocol
+    /// makes this a read-side race, not damage). **Permanent**: anything
+    /// that says the bytes themselves are wrong — bad magic, checksum
+    /// mismatch, version skew, JSON syntax, missing resume state, or a
+    /// checkpoint directory whose every generation is corrupt. Retrying
+    /// those re-reads the same poison; callers should fall back instead
+    /// (the serving layer's backoff loop is the canonical consumer).
+    pub fn is_retryable(&self) -> bool {
+        match self.root_cause() {
+            StoreError::Io(e) => {
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::StorageFull
+                ) || e.to_string().contains("no space left")
+            }
+            StoreError::Truncated { .. } => true,
+            StoreError::Json(_)
+            | StoreError::BadMagic
+            | StoreError::UnsupportedVersion(_)
+            | StoreError::ChecksumMismatch
+            | StoreError::MissingResumeState
+            | StoreError::NoValidCheckpoint { .. } => false,
+            // `root_cause` never returns `At`; treat it as its source.
+            StoreError::At { source, .. } => source.is_retryable(),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -152,6 +187,52 @@ mod tests {
         );
         assert_eq!(e.path().unwrap(), Path::new("/ckpt/dir/gen-3.qpol"));
         assert!(matches!(e.root_cause(), StoreError::BadMagic));
+    }
+
+    #[test]
+    fn transient_errors_are_retryable() {
+        use std::io::{Error, ErrorKind};
+        let enospc_kind = StoreError::Io(Error::new(ErrorKind::StorageFull, "disk full"));
+        assert!(enospc_kind.is_retryable());
+        // The fault injector reports ENOSPC as `Other` with a message.
+        let enospc_msg = StoreError::Io(Error::other("no space left on device (fault injection)"));
+        assert!(enospc_msg.is_retryable());
+        let interrupted = StoreError::Io(Error::new(ErrorKind::Interrupted, "EINTR"));
+        assert!(interrupted.is_retryable());
+        // Short write observed from the read side.
+        let torn = StoreError::Truncated {
+            expected: 100,
+            got: 50,
+        };
+        assert!(torn.is_retryable());
+        // `At` context does not change the classification.
+        assert!(StoreError::at(
+            "/ckpt/gen-1.qpol",
+            StoreError::Truncated {
+                expected: 8,
+                got: 4
+            }
+        )
+        .is_retryable());
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retryable() {
+        assert!(!StoreError::BadMagic.is_retryable());
+        assert!(!StoreError::ChecksumMismatch.is_retryable());
+        assert!(!StoreError::UnsupportedVersion(7).is_retryable());
+        assert!(!StoreError::MissingResumeState.is_retryable());
+        assert!(!StoreError::NoValidCheckpoint {
+            dir: PathBuf::from("/c"),
+            tried: 3
+        }
+        .is_retryable());
+        let missing = StoreError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "no such file",
+        ));
+        assert!(!missing.is_retryable());
+        assert!(!StoreError::at("/p", StoreError::ChecksumMismatch).is_retryable());
     }
 
     #[test]

@@ -17,6 +17,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 run cargo test -q -p tpp-store --test atomicity
 run cargo test -q -p rl-planner-cli --test checkpoint_resume
+run cargo test -q -p tpp-serve --test chaos
+# Chaos smoke: 200 NDJSON requests through the real daemon with panic,
+# stall and corruption injection — zero deaths, zero unanswered.
+run cargo test -q -p rl-planner-cli --test serve_daemon
 if [[ $quick -eq 0 ]]; then
   run cargo build --release -p rl-planner-cli
 fi

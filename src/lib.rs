@@ -25,6 +25,10 @@
 //! * [`baselines`] — OMEGA, EDA and the gold-standard oracle;
 //! * [`eval`] — the experiment harness reproducing every table and
 //!   figure;
+//! * [`serve`] — the resilient planning daemon: NDJSON request/response
+//!   protocol, cooperative deadline budgets, panic isolation, graceful
+//!   degradation (trained policy → EDA → partial plan), bounded-queue
+//!   load shedding, and a deterministic chaos-injection harness;
 //! * [`obs`] — std-only structured tracing (JSONL events, RAII spans)
 //!   and metrics (counters, gauges, log-bucketed histograms).
 //!
@@ -58,6 +62,7 @@ pub use tpp_geo as geo;
 pub use tpp_model as model;
 pub use tpp_obs as obs;
 pub use tpp_rl as rl;
+pub use tpp_serve as serve;
 pub use tpp_store as store;
 pub use tpp_text as text;
 
