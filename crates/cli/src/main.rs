@@ -11,7 +11,15 @@
 //! rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR) [--start CODE]
 //! rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N] [...]
 //! rl-planner datagen --dataset <name> --out dataset.json
+//! rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
 //! ```
+//!
+//! `bench` times full training runs (episodes/second) on each benchmark
+//! dataset twice — once with the incremental hot-path engine, once with
+//! the naive pre-incremental engine (`naive_hot_path`) — and writes the
+//! comparison as JSON. Both engines are bit-identical in their outputs
+//! (the golden equivalence suite pins this), so the speedup column is a
+//! pure like-for-like measurement.
 //!
 //! With `--checkpoint-dir` the trainer persists a crash-safe snapshot
 //! every N episodes (generational, keep-last-K, atomic writes) and
@@ -98,6 +106,7 @@ const USAGE: &str = "usage:
                    [--max-episodes N] [--capacity N] [--workers N]
                    [--max-requests N] [--chaos SPEC]
   rl-planner datagen --dataset <name> --out dataset.json
+  rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
 exit codes:
   0   success
   1   usage or runtime error
@@ -686,6 +695,101 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
             );
             Ok(Outcome::Clean)
         }
+        "bench" => {
+            let flags = Flags::parse(&args[1..])?;
+            let episodes: Option<usize> = flags
+                .get("episodes")
+                .map(|n| n.parse().map_err(|_| "bad --episodes"))
+                .transpose()?;
+            let seed: u64 = flags
+                .get("seed")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --seed")?;
+            let out = flags.get("out").unwrap_or("BENCH_train.json");
+            let names: Vec<&str> = match flags.get("dataset") {
+                Some(d) => vec![d],
+                None => vec!["ds-ct", "univ2", "nyc", "paris"],
+            };
+            let mut rows = Vec::with_capacity(names.len());
+            for name in names {
+                let (instance, mut params) = dataset(name)?;
+                if let Some(n) = episodes {
+                    params.episodes = n;
+                }
+                let start = resolve_start(&instance, flags.get("start"))?;
+                let params = params.with_start(start);
+                let run = |params: &PlannerParams| -> (f64, f64) {
+                    let t0 = std::time::Instant::now();
+                    let (policy, _) = RlPlanner::learn(&instance, params, seed);
+                    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                    let score = score_plan(
+                        &instance,
+                        &RlPlanner::recommend(&policy, &instance, params, start),
+                    );
+                    (params.episodes as f64 / secs, score)
+                };
+                // Warm up caches/allocator on the incremental engine so
+                // neither measured run pays first-touch costs.
+                let mut warm = params.clone();
+                warm.episodes = warm.episodes.min(5);
+                let _ = run(&warm);
+                let (incremental_eps, score) = run(&params);
+                let (naive_eps, naive_score) = run(&params.clone().with_naive_hot_path(true));
+                let row = BenchRow {
+                    dataset: name.to_owned(),
+                    items: instance.catalog.len(),
+                    episodes: params.episodes,
+                    incremental_episodes_per_sec: incremental_eps,
+                    naive_episodes_per_sec: naive_eps,
+                    speedup: incremental_eps / naive_eps,
+                    score,
+                    scores_match: score.to_bits() == naive_score.to_bits(),
+                };
+                println!(
+                    "{:8} {:4} items  {:5} episodes  incremental {:9.1} ep/s  naive {:9.1} ep/s  speedup {:.2}x",
+                    row.dataset,
+                    row.items,
+                    row.episodes,
+                    row.incremental_episodes_per_sec,
+                    row.naive_episodes_per_sec,
+                    row.speedup
+                );
+                if !row.scores_match {
+                    eprintln!(
+                        "warning: {name} scores diverge (incremental {score}, naive {naive_score})"
+                    );
+                }
+                rows.push(row);
+            }
+            let report = BenchReport { seed, rows };
+            tpp_store::save_json(out, &report).map_err(|e| e.to_string())?;
+            println!("(benchmark report written to {out})");
+            obs.summary();
+            Ok(Outcome::Clean)
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// One dataset's timing comparison in the `bench` report.
+#[derive(serde::Serialize)]
+struct BenchRow {
+    dataset: String,
+    items: usize,
+    episodes: usize,
+    incremental_episodes_per_sec: f64,
+    naive_episodes_per_sec: f64,
+    speedup: f64,
+    score: f64,
+    /// Sanity bit: the two engines produced bit-identical final scores
+    /// (they always should; the equivalence suite enforces it).
+    scores_match: bool,
+}
+
+/// The JSON document `rl-planner bench` writes (`BENCH_train.json`).
+#[derive(serde::Serialize)]
+struct BenchReport {
+    seed: u64,
+    rows: Vec<BenchRow>,
 }

@@ -9,11 +9,19 @@
 //! itineraries.
 
 use crate::params::PlannerParams;
-use crate::reward::RewardModel;
-use std::cell::Cell;
-use tpp_geo::haversine_km;
+use crate::reward::{RewardModel, SimTracker};
+use std::cell::{Cell, RefCell};
+use tpp_geo::{haversine_km, DistanceMatrix, GeoPoint};
 use tpp_model::{ItemId, ItemKind, Plan, PlanningInstance, TopicVector};
 use tpp_rl::{Environment, StepOutcome};
+
+/// Float tolerance on the `#cr` budget boundary, shared by the
+/// admission gate and the course termination check so the two can never
+/// disagree about the boundary: an item is admitted iff
+/// `elapsed + cr^m ≤ #cr + ε`, so `elapsed_hours` can never exceed
+/// `#cr` by more than accumulated float error, and a course episode is
+/// over once `elapsed ≥ #cr − ε`.
+const CREDIT_EPS: f64 = 1e-9;
 
 /// Why the constraint gate rejected a candidate action (§III-A's action
 /// validity: only feasible items are explorable).
@@ -69,6 +77,33 @@ impl GateCounts {
     }
 }
 
+/// Precomputed distance structure for trip instances (§III-A's
+/// distance gate probes one leg per unvisited candidate per step).
+#[derive(Debug, Clone)]
+enum DistCache {
+    /// No geometry: course instances, POI-less items (rejected by
+    /// [`PlanningInstance::validate`]), or the naive benchmark path.
+    Direct,
+    /// The full catalog matrix, built once in [`TppEnv::new`] for
+    /// catalogs under [`DistanceMatrix::DEFAULT_CAP`] items.
+    Matrix(DistanceMatrix),
+    /// Over-cap fallback: one on-demand row, rebuilt only when the
+    /// current item changes (once per step, not once per candidate).
+    /// `RefCell` because the gate runs under `&self`; the env is
+    /// single-threaded per experiment run.
+    Lazy {
+        points: Vec<GeoPoint>,
+        row: RefCell<LazyRow>,
+    },
+}
+
+/// The cached distance row of [`DistCache::Lazy`].
+#[derive(Debug, Clone)]
+struct LazyRow {
+    from: usize,
+    km: Vec<f64>,
+}
+
 /// The TPP environment over one planning instance.
 #[derive(Debug, Clone)]
 pub struct TppEnv<'a> {
@@ -78,11 +113,28 @@ pub struct TppEnv<'a> {
     // Interior mutability because `valid_actions` takes `&self`; the env
     // is single-threaded per experiment run.
     gates: Cell<GateCounts>,
+    /// Distance structure for `leg_km` (trips).
+    dist: DistCache,
+    /// `#cr + ε`, precomputed for the admission gate.
+    credits_admit_cap: f64,
+    /// `#cr − ε`, precomputed for the course termination check.
+    credits_done_floor: f64,
+    /// Benchmark/equivalence switch: recompute distances and template
+    /// similarity from scratch every probe (the pre-incremental hot
+    /// path) instead of using the caches. Semantics are identical; only
+    /// the work per step differs.
+    naive: bool,
     // --- episode state ---
     visited: Vec<bool>,
     positions: Vec<Option<usize>>,
     seq_kinds: Vec<ItemKind>,
+    /// Incremental Eq. 6/7 prefix counters, kept in lockstep with
+    /// `seq_kinds`.
+    sim: SimTracker,
     coverage: TopicVector,
+    /// Topics of the current item, cached so the theme gate doesn't
+    /// re-index the catalog per candidate.
+    cur_topics: TopicVector,
     items: Vec<ItemId>,
     current: usize,
     elapsed_hours: f64,
@@ -100,15 +152,51 @@ impl<'a> TppEnv<'a> {
             params,
             instance.is_trip(),
         );
+        let naive = params.naive_hot_path;
+        let dist = if instance.is_trip() && !naive {
+            let points: Option<Vec<GeoPoint>> = instance
+                .catalog
+                .items()
+                .iter()
+                .map(|i| i.poi.map(|p| GeoPoint::new(p.lat, p.lon)))
+                .collect();
+            match points {
+                // A POI-less item in a trip catalog is rejected by
+                // `PlanningInstance::validate`; an unvalidated instance
+                // keeps the direct path (and its original panic site).
+                None => DistCache::Direct,
+                Some(points) => {
+                    match DistanceMatrix::build_capped(&points, DistanceMatrix::DEFAULT_CAP) {
+                        Some(m) => DistCache::Matrix(m),
+                        None => DistCache::Lazy {
+                            points,
+                            row: RefCell::new(LazyRow {
+                                from: usize::MAX,
+                                km: Vec::new(),
+                            }),
+                        },
+                    }
+                }
+            }
+        } else {
+            DistCache::Direct
+        };
+        let sim = model.sim_tracker();
         TppEnv {
             instance,
             model,
             horizon: instance.horizon(),
             gates: Cell::new(GateCounts::default()),
+            dist,
+            credits_admit_cap: instance.hard.credits + CREDIT_EPS,
+            credits_done_floor: instance.hard.credits - CREDIT_EPS,
+            naive,
             visited: vec![false; n],
             positions: vec![None; n],
             seq_kinds: Vec::with_capacity(instance.horizon()),
+            sim,
             coverage: instance.catalog.vocabulary().zero_vector(),
+            cur_topics: instance.catalog.vocabulary().zero_vector(),
             items: Vec::with_capacity(instance.horizon()),
             current: 0,
             elapsed_hours: 0.0,
@@ -141,13 +229,26 @@ impl<'a> TppEnv<'a> {
     }
 
     fn leg_km(&self, from: usize, to: usize) -> f64 {
-        let a = self.instance.catalog.items()[from]
-            .poi
-            .expect("trip items carry POI attrs");
-        let b = self.instance.catalog.items()[to]
-            .poi
-            .expect("trip items carry POI attrs");
-        haversine_km(a.lat, a.lon, b.lat, b.lon)
+        match &self.dist {
+            DistCache::Matrix(m) => m.get(from, to),
+            DistCache::Lazy { points, row } => {
+                let mut r = row.borrow_mut();
+                if r.from != from {
+                    tpp_geo::distance_row(points, from, &mut r.km);
+                    r.from = from;
+                }
+                r.km[to]
+            }
+            DistCache::Direct => {
+                let a = self.instance.catalog.items()[from]
+                    .poi
+                    .expect("trip items carry POI attrs");
+                let b = self.instance.catalog.items()[to]
+                    .poi
+                    .expect("trip items carry POI attrs");
+                haversine_km(a.lat, a.lon, b.lat, b.lon)
+            }
+        }
     }
 
     /// Course episodes also end once the credit requirement `#cr` is
@@ -156,22 +257,30 @@ impl<'a> TppEnv<'a> {
     /// the `#primary + #secondary` horizon, but variable-credit catalogs
     /// terminate by accumulation).
     fn credits_exhausted(&self) -> bool {
-        !self.instance.is_trip() && self.elapsed_hours >= self.instance.hard.credits - 1e-9
+        !self.instance.is_trip() && self.elapsed_hours >= self.credits_done_floor
     }
 
     /// The action-validity gate: `None` if item `j` may follow the
     /// current state, otherwise the hard constraint that rejects it.
     fn gate(&self, j: usize) -> Option<GateReject> {
+        let item = &self.instance.catalog.items()[j];
+        // The `#cr` budget — course credits, or the trip visit-time
+        // limit. Both families gate admission, so a variable-credit
+        // catalog can never admit an item that pushes `elapsed_hours`
+        // past `#cr` (beyond the shared float tolerance); see
+        // [`CREDIT_EPS`] for the boundary convention.
+        if self.elapsed_hours + item.credits > self.credits_admit_cap {
+            return Some(GateReject::Credits);
+        }
         let Some(trip) = &self.instance.trip else {
             return None;
         };
-        let item = &self.instance.catalog.items()[j];
-        // Visit-time budget (#cr is the time threshold for trips).
-        if self.elapsed_hours + item.credits > self.instance.hard.credits + 1e-9 {
-            return Some(GateReject::Credits);
-        }
         if trip.no_consecutive_same_theme && !self.items.is_empty() {
-            let cur = &self.instance.catalog.items()[self.current].topics;
+            let cur = if self.naive {
+                &self.instance.catalog.items()[self.current].topics
+            } else {
+                &self.cur_topics
+            };
             if cur.intersection_count(&item.topics) > 0 {
                 return Some(GateReject::ThemeGap);
             }
@@ -208,6 +317,7 @@ impl Environment for TppEnv<'_> {
         self.visited.iter_mut().for_each(|v| *v = false);
         self.positions.iter_mut().for_each(|p| *p = None);
         self.seq_kinds.clear();
+        self.sim.reset();
         self.items.clear();
         self.coverage = self.instance.catalog.vocabulary().zero_vector();
         self.elapsed_hours = 0.0;
@@ -217,7 +327,9 @@ impl Environment for TppEnv<'_> {
         self.visited[start] = true;
         self.positions[start] = Some(0);
         self.seq_kinds.push(item.kind);
+        self.sim.push(item.kind);
         self.coverage.union_with(&item.topics);
+        self.cur_topics.clone_from(&item.topics);
         self.items.push(item.id);
         self.elapsed_hours += item.credits;
         self.current = start;
@@ -257,7 +369,9 @@ impl Environment for TppEnv<'_> {
         self.visited[action] = true;
         self.positions[action] = Some(pos);
         self.seq_kinds.push(item.kind);
+        self.sim.push(item.kind);
         self.coverage.union_with(&item.topics);
+        self.cur_topics.clone_from(&item.topics);
         self.items.push(item.id);
         self.elapsed_hours += item.credits;
         self.current = action;
@@ -272,10 +386,17 @@ impl Environment for TppEnv<'_> {
         let item = &self.instance.catalog.items()[action];
         let positions = &self.positions;
         let pos_of = |id: ItemId| positions[id.index()];
-        let prev = (!self.items.is_empty() && self.instance.is_trip())
-            .then(|| &self.instance.catalog.items()[self.current].topics);
-        self.model
-            .reward(item, &self.seq_kinds, &self.coverage, &pos_of, prev)
+        if self.naive {
+            let prev = (!self.items.is_empty() && self.instance.is_trip())
+                .then(|| &self.instance.catalog.items()[self.current].topics);
+            self.model
+                .reward(item, &self.seq_kinds, &self.coverage, &pos_of, prev)
+        } else {
+            let prev =
+                (!self.items.is_empty() && self.instance.is_trip()).then_some(&self.cur_topics);
+            self.model
+                .reward_incremental(item, &self.sim, &self.coverage, &pos_of, prev)
+        }
     }
 }
 
@@ -492,6 +613,155 @@ mod tests {
         let mut acts = Vec::new();
         env.valid_actions(&mut acts);
         assert!(acts.is_empty());
+    }
+
+    /// A course catalog with non-uniform credits: three 4-credit and
+    /// three 2-credit courses under `#cr = 10`.
+    fn mixed_credit_instance() -> PlanningInstance {
+        use tpp_model::CatalogBuilder;
+        let names = ["t0", "t1", "t2", "t3", "t4", "t5"];
+        let mut b = CatalogBuilder::new("mixed-credits").topics(names);
+        for (i, name) in names.iter().enumerate() {
+            let kind = if i < 3 {
+                tpp_model::ItemKind::Primary
+            } else {
+                tpp_model::ItemKind::Secondary
+            };
+            let credits = if i < 3 { 4.0 } else { 2.0 };
+            b = b.course(
+                format!("C{i}"),
+                format!("Course {i}"),
+                kind,
+                credits,
+                &[*name],
+            );
+        }
+        let hard = tpp_model::HardConstraints {
+            credits: 10.0,
+            n_primary: 3,
+            n_secondary: 3,
+            gap: 1,
+        };
+        let soft = tpp_model::SoftConstraints::new(
+            tpp_model::TopicVector::ones(6),
+            tpp_model::TemplateSet::from_strs(&["PSPSPS", "PPPSSS"]).unwrap(),
+            &hard,
+        )
+        .unwrap();
+        PlanningInstance {
+            catalog: b.build().unwrap(),
+            hard,
+            soft,
+            trip: None,
+            default_start: Some(ItemId(0)),
+        }
+    }
+
+    #[test]
+    fn course_gate_rejects_credit_overshoot() {
+        // Regression for the asymmetric-epsilon audit: pre-fix, course
+        // instances had no admission gate at all, so a 4-credit course
+        // could be seated at 8/10 credits and push `elapsed_hours` to 12.
+        let inst = mixed_credit_instance();
+        let mut params = PlannerParams::univ1_defaults();
+        params.epsilon = 0.0;
+        let mut env = TppEnv::new(&inst, &params);
+        env.reset(0); // C0: 4 credits
+        env.step(1); // C1: 8 of 10 credits
+        let mut acts = Vec::new();
+        env.valid_actions(&mut acts);
+        // C2 (4 credits) would overshoot to 12 > 10 → rejected; the
+        // 2-credit electives fit exactly.
+        assert!(!acts.contains(&2), "{acts:?}");
+        assert_eq!(acts, vec![3, 4, 5]);
+        assert!(env.gate_counts().credits > 0);
+        // Seat an exact-fit item: elapsed lands on #cr, never past it.
+        let out = env.step(3);
+        assert!(out.done, "10/10 credits must terminate the episode");
+        assert!(env.elapsed_hours <= inst.hard.credits + 1e-9);
+    }
+
+    #[test]
+    fn course_gate_admits_exact_credit_fit() {
+        // The boundary convention: `elapsed + cr^m ≤ #cr + ε` admits an
+        // exact fit (and tolerates accumulated float error), mirroring
+        // the trip gate's treatment of `Le Cinq` at exactly 6 h.
+        let inst = mixed_credit_instance();
+        let mut params = PlannerParams::univ1_defaults();
+        params.epsilon = 0.0;
+        let mut env = TppEnv::new(&inst, &params);
+        env.reset(0); // 4
+        env.step(1); // 8
+        let mut acts = Vec::new();
+        env.valid_actions(&mut acts);
+        assert!(acts.contains(&5), "2-credit exact fit must be admitted");
+    }
+
+    #[test]
+    fn trip_admission_never_pushes_elapsed_past_budget() {
+        // Walk every greedy-feasible trip trajectory prefix and check the
+        // invariant the gate promises: elapsed ≤ #cr + ε at all times.
+        let inst = trip_instance();
+        let params = PlannerParams::trip_defaults();
+        let mut env = TppEnv::new(&inst, &params);
+        for start in [0usize, 1, 5] {
+            env.reset(start);
+            let mut acts = Vec::new();
+            loop {
+                env.valid_actions(&mut acts);
+                let Some(&a) = acts.first() else { break };
+                assert!(env.elapsed_hours <= inst.hard.credits + 1e-9);
+                if env.step(a).done {
+                    break;
+                }
+            }
+            assert!(
+                env.elapsed_hours <= inst.hard.credits + 1e-9,
+                "start {start}: elapsed {} > budget {}",
+                env.elapsed_hours,
+                inst.hard.credits
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_incremental_paths_agree_on_toy_instances() {
+        // Lockstep walk of both engines over course and trip toys: same
+        // valid sets, bit-identical rewards at every step.
+        for inst in [course_instance(), trip_instance()] {
+            let params = if inst.is_trip() {
+                PlannerParams::trip_defaults()
+            } else {
+                course_params()
+            };
+            let naive_params = params.clone().with_naive_hot_path(true);
+            let mut fast = TppEnv::new(&inst, &params);
+            let mut naive = TppEnv::new(&inst, &naive_params);
+            fast.reset(0);
+            naive.reset(0);
+            let (mut fa, mut na) = (Vec::new(), Vec::new());
+            loop {
+                fast.valid_actions(&mut fa);
+                naive.valid_actions(&mut na);
+                assert_eq!(fa, na);
+                let Some(&a) = fa.first() else { break };
+                for &cand in &fa {
+                    assert_eq!(
+                        fast.peek_reward(cand).to_bits(),
+                        naive.peek_reward(cand).to_bits(),
+                        "candidate {cand} in {:?}",
+                        inst.catalog.name()
+                    );
+                }
+                let fo = fast.step(a);
+                let no = naive.step(a);
+                assert_eq!(fo.reward.to_bits(), no.reward.to_bits());
+                assert_eq!(fo.done, no.done);
+                if fo.done {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

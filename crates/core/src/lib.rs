@@ -36,7 +36,7 @@ pub use env::{GateCounts, GateReject, TppEnv};
 pub use feedback::{Feedback, FeedbackConfig, FeedbackLoop};
 pub use params::{PlannerParams, SimAggregate, StartPolicy, TypeWeights};
 pub use planner::{LearnedPolicy, RlPlanner};
-pub use reward::{InterleavingKernel, RewardModel};
+pub use reward::{InterleavingKernel, RewardModel, SimTracker};
 pub use score::{plan_violations, raw_score, score_plan};
 pub use transfer::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};
 // The cooperative compute budget threaded through the planner loop

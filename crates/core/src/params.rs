@@ -105,6 +105,13 @@ pub struct PlannerParams {
     /// one-step SARSA. Traces propagate a late core-course reward back to
     /// the early decision that scheduled its antecedent.
     pub lambda: f64,
+    /// Benchmark/equivalence switch (not a Table III parameter): run the
+    /// environment's pre-incremental hot path — full prefix rescans for
+    /// Eq. 6/7 and per-probe haversine legs — instead of the cached
+    /// engine. Plans, rewards, and scores are bit-identical either way
+    /// (the golden equivalence suite pins this); only the per-step work
+    /// differs. Used by `rl-planner bench` as the speedup baseline.
+    pub naive_hot_path: bool,
 }
 
 impl PlannerParams {
@@ -124,6 +131,7 @@ impl PlannerParams {
             start: StartPolicy::RandomPrimary,
             exploration: Self::default_exploration(),
             lambda: 0.9,
+            naive_hot_path: false,
         }
     }
 
@@ -143,6 +151,7 @@ impl PlannerParams {
             start: StartPolicy::RandomPrimary,
             exploration: Self::default_exploration(),
             lambda: 0.9,
+            naive_hot_path: false,
         }
     }
 
@@ -162,6 +171,7 @@ impl PlannerParams {
             start: StartPolicy::RandomPrimary,
             exploration: Self::default_exploration(),
             lambda: 0.9,
+            naive_hot_path: false,
         }
     }
 
@@ -191,6 +201,13 @@ impl PlannerParams {
     pub fn with_delta_beta(mut self, delta: f64, beta: f64) -> Self {
         self.delta = delta;
         self.beta = beta;
+        self
+    }
+
+    /// Selects the pre-incremental (naive) environment hot path
+    /// (builder style); see [`PlannerParams::naive_hot_path`].
+    pub fn with_naive_hot_path(mut self, naive: bool) -> Self {
+        self.naive_hot_path = naive;
         self
     }
 

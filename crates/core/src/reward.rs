@@ -75,6 +75,129 @@ impl InterleavingKernel {
     }
 }
 
+/// Incremental Eq. 6/7 state: per-template prefix-match counters.
+///
+/// [`InterleavingKernel::sim`] is a left-to-right fold over the episode
+/// prefix, so its loop state — matched slots, current run, best run ζ —
+/// can be carried across steps instead of recomputed: `push` advances
+/// the counters by one appended item in O(|IT|), and
+/// [`SimTracker::peek_aggregate`] evaluates the Eq. 7 aggregate for a
+/// *candidate* append in O(|IT|) without touching the prefix. This
+/// replaces the O(L · |IT|) per-candidate rescan in the training inner
+/// loop (O(L²) per episode) with O(1)-per-step bookkeeping; the golden
+/// equivalence suite pins it bit-identical to the naive kernel.
+#[derive(Debug, Clone)]
+pub struct SimTracker {
+    /// Template slot sequences, cloned from the owning set (templates
+    /// are immutable per instance and small).
+    slots: Vec<Vec<ItemKind>>,
+    state: Vec<TplCounters>,
+    prefix_len: usize,
+}
+
+/// The loop state of [`InterleavingKernel::sim`] for one template,
+/// frozen at the current prefix.
+#[derive(Debug, Clone, Copy, Default)]
+struct TplCounters {
+    matches: u32,
+    run: u32,
+    zeta: u32,
+}
+
+impl TplCounters {
+    /// The counters after appending an item matching (`hit`) or missing
+    /// the next template slot.
+    #[inline]
+    fn advanced(self, hit: bool) -> Self {
+        if hit {
+            let run = self.run + 1;
+            TplCounters {
+                matches: self.matches + 1,
+                run,
+                zeta: self.zeta.max(run),
+            }
+        } else {
+            TplCounters { run: 0, ..self }
+        }
+    }
+
+    /// `ζ · Σc / k` with the exact float expression of the naive kernel.
+    #[inline]
+    fn sim(self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        f64::from(self.zeta) * f64::from(self.matches) / k as f64
+    }
+}
+
+impl SimTracker {
+    /// A tracker over `templates` at the empty prefix.
+    pub fn new(templates: &TemplateSet) -> Self {
+        SimTracker {
+            slots: templates
+                .templates()
+                .iter()
+                .map(|t| t.slots().to_vec())
+                .collect(),
+            state: vec![TplCounters::default(); templates.len()],
+            prefix_len: 0,
+        }
+    }
+
+    /// Rewinds to the empty prefix (episode reset).
+    pub fn reset(&mut self) {
+        self.state.fill(TplCounters::default());
+        self.prefix_len = 0;
+    }
+
+    /// Length of the prefix consumed so far.
+    #[inline]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Appends one item kind to the tracked prefix.
+    pub fn push(&mut self, kind: ItemKind) {
+        let at = self.prefix_len;
+        for (slots, st) in self.slots.iter().zip(self.state.iter_mut()) {
+            // Beyond the template's length the naive kernel truncates the
+            // sequence, so the counters freeze.
+            if at < slots.len() {
+                *st = st.advanced(slots[at] == kind);
+            }
+        }
+        self.prefix_len = at + 1;
+    }
+
+    /// `Sim(prefix + [kind], I_i)` without mutating the tracker.
+    fn peek_template(&self, i: usize, kind: ItemKind) -> f64 {
+        let tlen = self.slots[i].len();
+        let at = self.prefix_len;
+        if at < tlen {
+            self.state[i]
+                .advanced(self.slots[i][at] == kind)
+                .sim(at + 1)
+        } else {
+            self.state[i].sim(tlen)
+        }
+    }
+
+    /// The Eq. 7 aggregate for appending `kind` to the tracked prefix —
+    /// the incremental equivalent of [`InterleavingKernel::aggregate`]
+    /// over `prefix + [kind]`.
+    pub fn peek_aggregate(&self, kind: ItemKind, mode: SimAggregate) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let sims = (0..self.slots.len()).map(|i| self.peek_template(i, kind));
+        match mode {
+            SimAggregate::Average => sims.sum::<f64>() / self.slots.len() as f64,
+            SimAggregate::Minimum => sims.fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
 /// Everything Eq. 2 needs, bound to one instance's soft constraints.
 ///
 /// The model is a pure function of the episode state supplied per call,
@@ -171,14 +294,7 @@ impl RewardModel {
         F: Fn(ItemId) -> Option<usize>,
     {
         let at = seq_before.len();
-        let r1 = self.coverage_gate(&item.topics, coverage);
-        let mut r2 = self.prereq_gate(&item.prereq, position_of, at);
-        if self.theme_gap {
-            if let Some(prev) = prev_topics {
-                r2 = r2 && prev.intersection_count(&item.topics) == 0;
-            }
-        }
-        if !(r1 && r2) {
+        if !self.theta(item, at, coverage, position_of, prev_topics) {
             return 0.0; // θ = r1 · r2 = 0
         }
         // Interleaving similarity of the sequence *including* the new
@@ -186,12 +302,76 @@ impl RewardModel {
         let mut seq_after = Vec::with_capacity(at + 1);
         seq_after.extend_from_slice(seq_before);
         seq_after.push(item.kind);
-        // Eq. 2 uses the *raw* aggregated similarity (not normalized by
-        // prefix length): a matched consecutive run makes AvgSim grow
-        // superlinearly through ζ, which is what commits the policy to
-        // one template — exactly the behaviour that lets a recommendation
-        // realize a single ideal composition and score ≈ H.
         let sim = InterleavingKernel::aggregate(&seq_after, &self.templates, self.sim);
+        self.shaped(item, sim)
+    }
+
+    /// [`RewardModel::reward`] over an incrementally-maintained prefix:
+    /// the [`SimTracker`] stands in for the kind sequence, turning the
+    /// per-candidate O(L) prefix rescan into O(|IT|) counter reads. The
+    /// two paths are bit-identical (same counters, same float
+    /// expressions); the naive one is retained for the golden
+    /// equivalence suite and as the benchmark baseline.
+    pub fn reward_incremental<F>(
+        &self,
+        item: &Item,
+        tracker: &SimTracker,
+        coverage: &TopicVector,
+        position_of: &F,
+        prev_topics: Option<&TopicVector>,
+    ) -> f64
+    where
+        F: Fn(ItemId) -> Option<usize>,
+    {
+        if !self.theta(
+            item,
+            tracker.prefix_len(),
+            coverage,
+            position_of,
+            prev_topics,
+        ) {
+            return 0.0; // θ = r1 · r2 = 0
+        }
+        self.shaped(item, tracker.peek_aggregate(item.kind, self.sim))
+    }
+
+    /// A [`SimTracker`] over this model's template set, at the empty
+    /// prefix.
+    pub fn sim_tracker(&self) -> SimTracker {
+        SimTracker::new(&self.templates)
+    }
+
+    /// The gate θ = r1 · r2 for appending `item` at position `at`.
+    fn theta<F>(
+        &self,
+        item: &Item,
+        at: usize,
+        coverage: &TopicVector,
+        position_of: &F,
+        prev_topics: Option<&TopicVector>,
+    ) -> bool
+    where
+        F: Fn(ItemId) -> Option<usize>,
+    {
+        if !self.coverage_gate(&item.topics, coverage) {
+            return false;
+        }
+        let mut r2 = self.prereq_gate(&item.prereq, position_of, at);
+        if self.theme_gap {
+            if let Some(prev) = prev_topics {
+                r2 = r2 && prev.intersection_count(&item.topics) == 0;
+            }
+        }
+        r2
+    }
+
+    /// Eq. 2's shaped value for a gate-passing action. Eq. 2 uses the
+    /// *raw* aggregated similarity (not normalized by prefix length): a
+    /// matched consecutive run makes AvgSim grow superlinearly through
+    /// ζ, which is what commits the policy to one template — exactly the
+    /// behaviour that lets a recommendation realize a single ideal
+    /// composition and score ≈ H.
+    fn shaped(&self, item: &Item, sim: f64) -> f64 {
         let mut weight = self
             .weights
             .weight_of(item.is_primary(), item.category.map(|c| c.index()));
@@ -381,6 +561,102 @@ mod tests {
         assert!((r_louvre - expect_louvre).abs() < 1e-12, "{r_louvre}");
         let expect_pantheon = 0.4 * (0.4 * 4.2 / 5.0);
         assert!((r_pantheon - expect_pantheon).abs() < 1e-12, "{r_pantheon}");
+    }
+
+    #[test]
+    fn sim_tracker_peek_is_bit_identical_to_naive_kernel() {
+        // Exhaustive over every P/S sequence up to length 8 against the
+        // paper template set: the incremental peek must reproduce the
+        // naive kernel's aggregate to the bit, for both aggregates.
+        let it = TemplateSet::paper_course_example();
+        for len in 0..8u32 {
+            for bits in 0..(1u32 << len) {
+                let seq: Vec<_> = (0..len)
+                    .map(|i| if bits >> i & 1 == 1 { P } else { S })
+                    .collect();
+                let mut tracker = SimTracker::new(&it);
+                for &k in &seq {
+                    tracker.push(k);
+                }
+                assert_eq!(tracker.prefix_len(), seq.len());
+                for cand in [P, S] {
+                    let mut after = seq.clone();
+                    after.push(cand);
+                    for mode in [SimAggregate::Average, SimAggregate::Minimum] {
+                        let naive = InterleavingKernel::aggregate(&after, &it, mode);
+                        let fast = tracker.peek_aggregate(cand, mode);
+                        assert_eq!(naive.to_bits(), fast.to_bits(), "{seq:?} + {cand:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_tracker_reset_rewinds_to_empty_prefix() {
+        let it = TemplateSet::paper_course_example();
+        let mut tracker = SimTracker::new(&it);
+        tracker.push(P);
+        tracker.push(S);
+        tracker.reset();
+        assert_eq!(tracker.prefix_len(), 0);
+        let fresh = SimTracker::new(&it);
+        for mode in [SimAggregate::Average, SimAggregate::Minimum] {
+            assert_eq!(
+                tracker.peek_aggregate(P, mode).to_bits(),
+                fresh.peek_aggregate(P, mode).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sim_tracker_freezes_past_template_length() {
+        // Prefixes longer than the template leave the similarity fixed,
+        // exactly like the naive kernel's truncation.
+        let it = TemplateSet::from_strs(&["PS"]).unwrap();
+        let mut tracker = SimTracker::new(&it);
+        for k in [P, S, P, P, S] {
+            tracker.push(k);
+        }
+        let seq = [P, S, P, P, S, P];
+        let naive = InterleavingKernel::aggregate(&seq, &it, SimAggregate::Average);
+        assert_eq!(
+            tracker.peek_aggregate(P, SimAggregate::Average).to_bits(),
+            naive.to_bits()
+        );
+    }
+
+    #[test]
+    fn sim_tracker_empty_template_set_is_zero() {
+        let it = TemplateSet::new(vec![]);
+        let tracker = SimTracker::new(&it);
+        assert_eq!(tracker.peek_aggregate(P, SimAggregate::Average), 0.0);
+        assert_eq!(tracker.peek_aggregate(S, SimAggregate::Minimum), 0.0);
+    }
+
+    #[test]
+    fn reward_incremental_matches_reward() {
+        let cat = toy::table2_catalog();
+        let model = toy_model(1.0);
+        let m2 = cat.by_code("m2").unwrap();
+        let m6 = cat.by_code("m6").unwrap();
+        let mut coverage = cat.vocabulary().zero_vector();
+        coverage.union_with(&m2.topics);
+        let pos = |id: ItemId| match id.0 {
+            1 | 3 => Some(0usize),
+            _ => None,
+        };
+        let mut tracker = model.sim_tracker();
+        let mut seq = Vec::new();
+        for kind in [S, P, S] {
+            for item in [m2, m6] {
+                let naive = model.reward(item, &seq, &coverage, &pos, None);
+                let fast = model.reward_incremental(item, &tracker, &coverage, &pos, None);
+                assert_eq!(naive.to_bits(), fast.to_bits());
+            }
+            seq.push(kind);
+            tracker.push(kind);
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Golden equivalence suite: the incremental hot-path engine (distance
+//! matrix, `SimTracker` prefix counters, cached gate state) must be
+//! **bit-identical** to the naive engine (full Eq. 6/7 prefix rescans,
+//! per-probe haversine) on every benchmark dataset.
+//!
+//! Two layers of pinning:
+//!
+//! 1. A lockstep environment walk: at every step the two engines must
+//!    agree on the valid-action set and on `peek_reward` for **every**
+//!    candidate (compared via `f64::to_bits`, not a tolerance).
+//! 2. Full `learn()` + `recommend()`: same seed → identical Q tables,
+//!    identical recommended plans, identical scores.
+//!
+//! If these ever diverge, the incremental engine has drifted from the
+//! paper's reward semantics — the naive path is the specification.
+
+use tpp_core::{score_plan, PlannerParams, RlPlanner, StartPolicy, TppEnv};
+use tpp_datagen::defaults::{NYC_SEED, PARIS_SEED, UNIV1_SEED, UNIV2_SEED};
+use tpp_model::PlanningInstance;
+use tpp_rl::Environment;
+
+/// The four benchmark datasets, with training budgets trimmed so the
+/// suite stays in CI-smoke territory (equivalence holds per step, so
+/// episode count only affects coverage, not the property).
+fn datasets() -> Vec<(&'static str, PlanningInstance, PlannerParams)> {
+    let mut univ1 = PlannerParams::univ1_defaults();
+    univ1.episodes = 40;
+    let mut univ2 = PlannerParams::univ2_defaults();
+    univ2.episodes = 20;
+    let mut trip = PlannerParams::trip_defaults();
+    trip.episodes = 15;
+    vec![
+        ("ds-ct", tpp_datagen::univ1_ds_ct(UNIV1_SEED), univ1),
+        ("univ2", tpp_datagen::univ2_ds(UNIV2_SEED), univ2),
+        ("nyc", tpp_datagen::nyc(NYC_SEED).instance, trip.clone()),
+        ("paris", tpp_datagen::paris(PARIS_SEED).instance, trip),
+    ]
+}
+
+fn start_of(instance: &PlanningInstance) -> usize {
+    instance.default_start.map(|id| id.0 as usize).unwrap_or(0)
+}
+
+/// Walks both engines in lockstep along the reward-greedy trajectory,
+/// asserting bit-identical gates and rewards at every step.
+#[test]
+fn lockstep_walk_is_bit_identical_on_all_datasets() {
+    for (name, instance, params) in datasets() {
+        let naive_params = params.clone().with_naive_hot_path(true);
+        let mut fast = TppEnv::new(&instance, &params);
+        let mut naive = TppEnv::new(&instance, &naive_params);
+        let start = start_of(&instance);
+        fast.reset(start);
+        naive.reset(start);
+        let (mut fa, mut na) = (Vec::new(), Vec::new());
+        let mut steps = 0usize;
+        loop {
+            fast.valid_actions(&mut fa);
+            naive.valid_actions(&mut na);
+            assert_eq!(fa, na, "{name}: valid sets diverge at step {steps}");
+            if fa.is_empty() {
+                break;
+            }
+            // Every candidate's peeked reward must match bit-for-bit,
+            // and the greedy argmax drives the walk.
+            let mut best = (fa[0], f64::NEG_INFINITY);
+            for &cand in &fa {
+                let rf = fast.peek_reward(cand);
+                let rn = naive.peek_reward(cand);
+                assert_eq!(
+                    rf.to_bits(),
+                    rn.to_bits(),
+                    "{name}: peek_reward({cand}) diverges at step {steps}: {rf} vs {rn}"
+                );
+                if rf > best.1 {
+                    best = (cand, rf);
+                }
+            }
+            let of = fast.step(best.0);
+            let on = naive.step(best.0);
+            assert_eq!(
+                of.reward.to_bits(),
+                on.reward.to_bits(),
+                "{name}: step reward diverges at step {steps}"
+            );
+            assert_eq!(of.done, on.done, "{name}: termination diverges");
+            steps += 1;
+            if of.done {
+                break;
+            }
+        }
+        assert!(steps > 0, "{name}: walk never advanced");
+        assert_eq!(
+            fast.plan().items(),
+            naive.plan().items(),
+            "{name}: plans diverge"
+        );
+    }
+}
+
+/// Full training runs: the learned Q table, recommended plan, and score
+/// must be identical for the naive and incremental engines under the
+/// same seed.
+#[test]
+fn training_is_bit_identical_on_all_datasets() {
+    for (name, instance, params) in datasets() {
+        let start = instance.default_start.unwrap_or(tpp_model::ItemId(0));
+        let params = params.with_start(start);
+        let naive_params = params.clone().with_naive_hot_path(true);
+        assert_eq!(params.start, StartPolicy::Fixed(start));
+        for seed in [0u64, 7] {
+            let (fast_policy, _) = RlPlanner::learn(&instance, &params, seed);
+            let (naive_policy, _) = RlPlanner::learn(&instance, &naive_params, seed);
+            let fast_q = fast_policy.q.values();
+            let naive_q = naive_policy.q.values();
+            assert_eq!(fast_q.len(), naive_q.len());
+            let diverged = fast_q
+                .iter()
+                .zip(naive_q)
+                .position(|(a, b)| a.to_bits() != b.to_bits());
+            assert_eq!(
+                diverged, None,
+                "{name} seed {seed}: Q tables diverge at flat index {diverged:?}"
+            );
+            let fast_plan = RlPlanner::recommend(&fast_policy, &instance, &params, start);
+            let naive_plan = RlPlanner::recommend(&naive_policy, &instance, &naive_params, start);
+            assert_eq!(
+                fast_plan.items(),
+                naive_plan.items(),
+                "{name} seed {seed}: recommended plans diverge"
+            );
+            let fast_score = score_plan(&instance, &fast_plan);
+            let naive_score = score_plan(&instance, &naive_plan);
+            assert_eq!(
+                fast_score.to_bits(),
+                naive_score.to_bits(),
+                "{name} seed {seed}: scores diverge"
+            );
+        }
+    }
+}

@@ -14,32 +14,123 @@ use tpp_obs::Level;
 /// Number of runs averaged, per the paper's protocol.
 pub const RUNS: u64 = 10;
 
-/// Maps `seeds` through `f` on scoped threads and returns the results in
-/// seed order. Used for the per-seed learn+recommend runs, which dominate
-/// experiment wall-clock.
+/// A worker panic captured by [`parallel_try_map`], tagged with the seed
+/// whose run raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedPanic {
+    /// The seed whose closure panicked.
+    pub seed: u64,
+    /// The panic payload, stringified (`&str` / `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for SeedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker for seed {} panicked: {}",
+            self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for SeedPanic {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Maps `seeds` through `f` on a bounded pool of scoped worker threads
+/// and returns per-seed results in seed order. A panic in one seed's
+/// closure is caught and reported as that seed's `Err(SeedPanic)`; the
+/// remaining seeds still run to completion.
+///
+/// The pool is capped at `available_parallelism` (experiments sweep far
+/// more seeds than there are cores; one thread per seed oversubscribes
+/// and, under the old spawn-per-seed scheme, a single panic aborted the
+/// whole process via the scope's implicit join).
+pub fn parallel_try_map<T, F>(seeds: std::ops::Range<u64>, f: F) -> Vec<Result<T, SeedPanic>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let seeds: Vec<u64> = seeds.collect();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<Result<T, SeedPanic>>>> =
+        (0..seeds.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (f, next, seeds, out) = (&f, &next, &seeds, &out);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let result = catch_unwind(AssertUnwindSafe(|| f(seed))).map_err(|p| SeedPanic {
+                    seed,
+                    message: payload_message(p),
+                });
+                *out[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+        .collect()
+}
+
+/// Maps `seeds` through `f` on a bounded worker pool and returns the
+/// results in seed order. If any seed's closure panicked, re-panics
+/// with the seed attached — but only after every other seed has
+/// finished, so one poisoned seed no longer tears down its siblings'
+/// in-flight work. Callers that want to keep the surviving results use
+/// [`parallel_try_map`].
 pub fn parallel_map<T, F>(seeds: std::ops::Range<u64>, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let seeds: Vec<u64> = seeds.collect();
-    let mut out: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(seeds.len());
-        for &seed in &seeds {
-            let f = &f;
-            handles.push(scope.spawn(move || f(seed)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("worker panicked"));
-        }
-    });
-    out.into_iter().map(|v| v.expect("filled")).collect()
+    parallel_try_map(seeds, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        })
+        .collect()
 }
 
 /// The start item an experiment uses for an instance.
+///
+/// Falls back to `ItemId(0)` when the instance pins no
+/// `default_start` — an arbitrary but deterministic choice, so the
+/// substitution is surfaced as a `Warn` event instead of happening
+/// silently.
 pub fn start_of(instance: &PlanningInstance) -> ItemId {
-    instance.default_start.unwrap_or(ItemId(0))
+    match instance.default_start {
+        Some(id) => id,
+        None => {
+            tpp_obs::obs_event!(
+                Level::Warn,
+                "eval.start_fallback",
+                catalog = instance.catalog.name(),
+                fallback_item = 0usize,
+            );
+            ItemId(0)
+        }
+    }
 }
 
 /// Pins the training/recommendation start to the instance default
@@ -139,6 +230,67 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map(0..8, |s| s * 2);
         assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn parallel_map_handles_more_seeds_than_workers() {
+        // 64 seeds on an `available_parallelism`-bounded pool: every
+        // seed still runs exactly once, in order.
+        let out = parallel_map(0..64, |s| s + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_poisoned_seed_keeps_the_other_nine() {
+        let out = parallel_try_map(0..RUNS, |seed| {
+            if seed == 3 {
+                panic!("poisoned seed");
+            }
+            seed * 10
+        });
+        assert_eq!(out.len() as u64, RUNS);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.seed, 3);
+                assert!(err.message.contains("poisoned seed"), "{err}");
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanics_with_seed_context() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(0..4, |seed| {
+                if seed == 2 {
+                    panic!("boom");
+                }
+                seed
+            })
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("seed 2"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn start_of_fallback_is_warned_not_silent() {
+        use std::sync::Arc;
+        let mut inst = course_instance(CourseDataset::DsCt).clone();
+        inst.default_start = None;
+        let collector = Arc::new(tpp_obs::CollectorSink::new());
+        tpp_obs::add_sink(collector.clone());
+        let got = start_of(&inst);
+        tpp_obs::clear_sinks();
+        assert_eq!(got, ItemId(0));
+        let lines = collector.lines();
+        assert!(
+            lines.iter().any(|l| l.contains("eval.start_fallback")),
+            "expected a warn event, got {lines:?}"
+        );
     }
 
     #[test]

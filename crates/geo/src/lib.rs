@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod matrix;
 pub mod point;
 
 pub use grid::GridIndex;
+pub use matrix::{distance_row, DistanceMatrix};
 pub use point::{haversine_km, BoundingBox, GeoPoint};

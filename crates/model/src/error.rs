@@ -40,6 +40,13 @@ pub enum ModelError {
         /// The offending item's code.
         code: String,
     },
+    /// A trip instance contains an item with no POI attributes
+    /// (lat/lon/popularity), which the trip environment's distance and
+    /// popularity terms require.
+    MissingPoiAttrs {
+        /// The offending item.
+        item: ItemId,
+    },
     /// An interleaving template's slot counts disagree with the hard
     /// constraints it is meant to accompany.
     TemplateShapeMismatch {
@@ -83,6 +90,10 @@ impl fmt::Display for ModelError {
             ModelError::InvalidCredits { code } => {
                 write!(f, "item {code:?} has non-finite or negative credits")
             }
+            ModelError::MissingPoiAttrs { item } => write!(
+                f,
+                "trip instance item {item} has no POI attributes (lat/lon/popularity)"
+            ),
             ModelError::TemplateShapeMismatch {
                 primaries,
                 secondaries,

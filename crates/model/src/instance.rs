@@ -49,6 +49,17 @@ impl PlanningInstance {
                 return Err(crate::ModelError::UnknownItem(start));
             }
         }
+        if self.is_trip() {
+            // The trip environment's distance legs and popularity
+            // shaping read `item.poi` for every item; a POI-less item
+            // used to surface as a panic deep inside `leg_km`. Reject
+            // the catalog up front instead.
+            for item in self.catalog.items() {
+                if item.poi.is_none() {
+                    return Err(crate::ModelError::MissingPoiAttrs { item: item.id });
+                }
+            }
+        }
         if self.hard.horizon() > self.catalog.len() {
             return Err(crate::ModelError::InvalidConstraints(format!(
                 "horizon {} exceeds catalog size {}",
@@ -97,6 +108,19 @@ mod tests {
         inst.hard.n_secondary = 10;
         inst.soft.templates = crate::TemplateSet::new(vec![]);
         assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn trip_instance_with_poiless_item_rejected() {
+        // A course catalog (no POI attrs anywhere) dressed up as a trip
+        // instance must fail validation instead of panicking later in
+        // the environment's distance code.
+        let mut inst = toy_instance();
+        inst.trip = Some(TripConstraints::default());
+        match inst.validate() {
+            Err(crate::ModelError::MissingPoiAttrs { item }) => assert_eq!(item, ItemId(0)),
+            other => panic!("expected MissingPoiAttrs, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! One name → `(PlanningInstance, PlannerParams)` mapping for the six
 //! built-in datasets, so `rl-planner plan --dataset nyc` and a daemon
 //! request `{"op":"plan","dataset":"nyc"}` are guaranteed to plan over
-//! the same universe. The CLI delegates here.
+//! the same universe. The CLI delegates here. A name ending in `.json`
+//! is instead loaded from disk as a serialized [`PlanningInstance`] and
+//! validated, so user-supplied catalogs go through the same model
+//! checks (template shape, POI attributes, start item) as the
+//! built-ins before a planner ever runs on them.
 
 use tpp_core::PlannerParams;
 use tpp_model::PlanningInstance;
@@ -11,9 +15,29 @@ use tpp_model::PlanningInstance;
 /// Every resolvable dataset name, for usage and error text.
 pub const DATASET_NAMES: &str = "ds-ct cyber cs univ2 nyc paris";
 
-/// Resolves a dataset name to its instance and default parameters.
+/// Loads and validates a user-supplied instance file; parameters default
+/// by instance kind (trip vs. course).
+fn load_instance_file(path: &str) -> Result<(PlanningInstance, PlannerParams), String> {
+    let instance: PlanningInstance =
+        tpp_store::load_json(path).map_err(|e| format!("loading {path:?}: {e}"))?;
+    instance
+        .validate()
+        .map_err(|e| format!("invalid instance in {path:?}: {e}"))?;
+    let params = if instance.is_trip() {
+        PlannerParams::trip_defaults()
+    } else {
+        PlannerParams::univ1_defaults()
+    };
+    Ok((instance, params))
+}
+
+/// Resolves a dataset name (or a `*.json` instance path) to its instance
+/// and default parameters.
 pub fn resolve_dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), String> {
     use tpp_datagen::defaults::*;
+    if name.ends_with(".json") {
+        return load_instance_file(name);
+    }
     let (instance, params) = match name {
         "ds-ct" => (
             tpp_datagen::univ1_ds_ct(UNIV1_SEED),
@@ -41,7 +65,8 @@ pub fn resolve_dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), 
         ),
         other => {
             return Err(format!(
-                "unknown dataset {other:?}; valid datasets: {DATASET_NAMES}"
+                "unknown dataset {other:?}; valid datasets: {DATASET_NAMES}, \
+                 or a path to a serialized instance ending in .json"
             ))
         }
     };
@@ -64,5 +89,41 @@ mod tests {
     fn unknown_name_lists_the_valid_ones() {
         let err = resolve_dataset("atlantis").unwrap_err();
         assert!(err.contains("atlantis") && err.contains("nyc"), "{err}");
+    }
+
+    #[test]
+    fn json_path_round_trips_a_valid_instance() {
+        let dir = std::env::temp_dir().join("tpp-serve-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nyc.json");
+        let (built_in, _) = resolve_dataset("nyc").unwrap();
+        tpp_store::save_json(&path, &built_in).unwrap();
+        let (loaded, params) = resolve_dataset(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.catalog.len(), built_in.catalog.len());
+        assert!(loaded.is_trip());
+        assert_eq!(params, PlannerParams::trip_defaults());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_path_rejects_poiless_trip_instance() {
+        // A trip-flagged instance whose items lack POI attributes must
+        // be caught at resolve time with the typed validation error —
+        // not panic later inside the environment's distance code.
+        let dir = std::env::temp_dir().join("tpp-serve-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poiless.json");
+        let (mut inst, _) = resolve_dataset("ds-ct").unwrap();
+        inst.trip = Some(tpp_model::TripConstraints::default());
+        tpp_store::save_json(&path, &inst).unwrap();
+        let err = resolve_dataset(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("POI attributes"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_json_file_is_an_error_not_a_panic() {
+        let err = resolve_dataset("/nonexistent/nowhere.json").unwrap_err();
+        assert!(err.contains("nowhere.json"), "{err}");
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Training-throughput benchmark: times full learn() runs on all four
+# benchmark datasets with the incremental hot-path engine and with the
+# naive pre-incremental engine, then writes the comparison to
+# BENCH_train.json (episodes/sec, speedup, bit-identical-score sanity
+# bit). The two engines produce identical plans and scores — the golden
+# equivalence suite (crates/core/tests/equivalence.rs) pins that — so
+# the speedup column is a pure like-for-like measurement.
+#
+# Usage: scripts/bench.sh [--episodes N] [--seed N] [--out FILE]
+# Defaults: 2000 episodes (sub-millisecond runs are too noisy), seed 0,
+# BENCH_train.json in the repo root. Extra flags pass through.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=("$@")
+[[ " $* " == *" --episodes "* ]] || args+=(--episodes 2000)
+[[ " $* " == *" --out "* ]] || args+=(--out BENCH_train.json)
+
+echo "==> cargo build --release -p rl-planner-cli"
+cargo build --release -p rl-planner-cli
+echo "==> rl-planner bench ${args[*]}"
+./target/release/rl-planner bench -q "${args[@]}"

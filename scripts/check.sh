@@ -16,6 +16,9 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 run cargo test -q -p tpp-store --test atomicity
+# Golden equivalence: the incremental hot-path engine must stay
+# bit-identical to the naive engine on all four benchmark datasets.
+run cargo test -q -p tpp-core --test equivalence
 run cargo test -q -p rl-planner-cli --test checkpoint_resume
 run cargo test -q -p tpp-serve --test chaos
 # Chaos smoke: 200 NDJSON requests through the real daemon with panic,
