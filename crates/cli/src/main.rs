@@ -105,8 +105,11 @@ const USAGE: &str = "usage:
   rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N]
                    [--max-episodes N] [--capacity N] [--workers N]
                    [--max-requests N] [--chaos SPEC]
+                   [--cache-entries N] [--cache-mb N] [--no-cache]
   rl-planner datagen --dataset <name> --out dataset.json
   rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
+  rl-planner bench --serve [--dataset <name>] [--requests N] [--episodes N]
+                   [--seed N] [--out BENCH_serve.json]
 exit codes:
   0   success
   1   usage or runtime error
@@ -125,7 +128,13 @@ serving (serve):
   --capacity N            bounded request queue size; excess sheds `overloaded` (default 64)
   --workers N             worker threads (default 2)
   --max-requests N        exit after N requests (smoke tests)
-  --chaos SPEC            inject faults, e.g. 'panic@3,stall@5:200,corrupt@7'
+  --chaos SPEC            inject faults, e.g. 'panic@3,stall@5:200,corrupt@7,flaky@9'
+  --cache-entries N       policy cache entry bound (default 32)
+  --cache-mb N            policy cache byte bound in MiB (default 64)
+  --no-cache              disable the policy cache and single-flight coalescing
+serve bench (bench --serve):
+  --requests N            requests per dataset, first one cold (default 50)
+  --episodes N            training episodes per plan request (default 300)
 global flags (anywhere on the line):
   --trace FILE    write structured JSONL events to FILE
   --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
@@ -226,7 +235,7 @@ impl<'a> Flags<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(key) = a.strip_prefix("--") {
-                if matches!(key, "min-sim" | "resume") {
+                if matches!(key, "min-sim" | "resume" | "serve" | "no-cache") {
                     switches.push(key);
                     i += 1;
                 } else {
@@ -651,6 +660,15 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
             if let Some(spec) = flags.get("chaos") {
                 config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
             }
+            if flags.has("no-cache") {
+                config.cache.enabled = false;
+            }
+            if let Some(n) = parse_u64("cache-entries")? {
+                config.cache.max_entries = n as usize;
+            }
+            if let Some(n) = parse_u64("cache-mb")? {
+                config.cache.max_bytes = (n as usize) << 20;
+            }
             let server = tpp_serve::ServerConfig {
                 capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
                 workers: parse_u64("workers")?.unwrap_or(2) as usize,
@@ -697,6 +715,9 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
         }
         "bench" => {
             let flags = Flags::parse(&args[1..])?;
+            if flags.has("serve") {
+                return bench_serve(&flags, obs);
+            }
             let episodes: Option<usize> = flags
                 .get("episodes")
                 .map(|n| n.parse().map_err(|_| "bad --episodes"))
@@ -772,6 +793,134 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
     }
 }
 
+/// `bench --serve`: daemon throughput with the policy cache — one cold
+/// request per dataset (trains and fills the cache), then identical
+/// warm requests that must hit. Verifies cached plans/scores are
+/// bit-identical to the cold (uncached) answer and writes the report
+/// (default `BENCH_serve.json`).
+fn bench_serve(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
+    use std::sync::atomic::Ordering::Relaxed;
+    use tpp_obs::json::{parse, Json};
+
+    let requests: usize = flags
+        .get("requests")
+        .unwrap_or("50")
+        .parse()
+        .map_err(|_| "bad --requests")?;
+    if requests < 2 {
+        return Err("--requests must be at least 2 (one cold + warm repeats)".into());
+    }
+    let episodes: u64 = flags
+        .get("episodes")
+        .unwrap_or("300")
+        .parse()
+        .map_err(|_| "bad --episodes")?;
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let out = flags.get("out").unwrap_or("BENCH_serve.json");
+    let names: Vec<&str> = match flags.get("dataset") {
+        Some(d) => vec![d],
+        None => vec!["ds-ct", "univ2", "nyc", "paris"],
+    };
+
+    // Pulls (plan, score bits, cached flag) out of a response line.
+    let plan_of = |resp: &str| -> Result<(Vec<String>, u64, bool), String> {
+        let v = parse(resp).map_err(|e| format!("unparsable response: {e}"))?;
+        if v.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("plan request failed: {resp}"));
+        }
+        let plan = match v.get("plan") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "non-string plan item".to_owned())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(format!("response without a plan: {resp}")),
+        };
+        let score = v
+            .get("score")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("response without a score: {resp}"))?;
+        let cached = v.get("cached") == Some(&Json::Bool(true));
+        Ok((plan, score.to_bits(), cached))
+    };
+
+    let mut rows = Vec::with_capacity(names.len());
+    for name in names {
+        let (instance, _) = tpp_serve::resolve_dataset(name)?;
+        let engine = tpp_serve::ServeEngine::new(tpp_serve::ServeConfig::default());
+        let line =
+            format!(r#"{{"op":"plan","dataset":"{name}","episodes":{episodes},"seed":{seed}}}"#);
+
+        let t0 = std::time::Instant::now();
+        let cold_resp = engine.handle_line(&line);
+        let cold_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let (cold_plan, cold_bits, _) = plan_of(&cold_resp)?;
+
+        let warm_n = requests - 1;
+        let mut warm_resps = Vec::with_capacity(warm_n);
+        let t1 = std::time::Instant::now();
+        for _ in 0..warm_n {
+            warm_resps.push(engine.handle_line(&line));
+        }
+        let warm_secs = t1.elapsed().as_secs_f64().max(1e-9);
+
+        let mut scores_match = true;
+        let mut warm_cached = 0usize;
+        for resp in &warm_resps {
+            let (plan, bits, cached) = plan_of(resp)?;
+            scores_match &= plan == cold_plan && bits == cold_bits;
+            warm_cached += cached as usize;
+        }
+
+        let c = &engine.cache.counters;
+        let row = ServeBenchRow {
+            dataset: name.to_owned(),
+            items: instance.catalog.len(),
+            episodes,
+            requests,
+            cold_requests_per_sec: 1.0 / cold_secs,
+            warm_requests_per_sec: warm_n as f64 / warm_secs,
+            speedup: (warm_n as f64 / warm_secs) * cold_secs,
+            scores_match,
+            warm_cached,
+            score: f64::from_bits(cold_bits),
+            cache_hits: c.hits.load(Relaxed),
+            cache_misses: c.misses.load(Relaxed),
+            cache_coalesced: c.coalesced.load(Relaxed),
+        };
+        println!(
+            "{:8} {:4} items  {:5} episodes  cold {:8.1} req/s  warm {:9.1} req/s  speedup {:.1}x  scores_match {}",
+            row.dataset,
+            row.items,
+            row.episodes,
+            row.cold_requests_per_sec,
+            row.warm_requests_per_sec,
+            row.speedup,
+            row.scores_match
+        );
+        if !row.scores_match {
+            eprintln!("warning: {name} cached responses diverge from the cold answer");
+        }
+        rows.push(row);
+    }
+    let report = ServeBenchReport {
+        seed,
+        requests,
+        rows,
+    };
+    tpp_store::save_json(out, &report).map_err(|e| e.to_string())?;
+    println!("(serve benchmark report written to {out})");
+    obs.summary();
+    Ok(Outcome::Clean)
+}
+
 /// One dataset's timing comparison in the `bench` report.
 #[derive(serde::Serialize)]
 struct BenchRow {
@@ -792,4 +941,34 @@ struct BenchRow {
 struct BenchReport {
     seed: u64,
     rows: Vec<BenchRow>,
+}
+
+/// One dataset's cold-vs-warm throughput in the `bench --serve` report.
+#[derive(serde::Serialize)]
+struct ServeBenchRow {
+    dataset: String,
+    items: usize,
+    episodes: u64,
+    requests: usize,
+    /// First request: trains a policy, fills the cache.
+    cold_requests_per_sec: f64,
+    /// Identical follow-ups, served from the policy cache.
+    warm_requests_per_sec: f64,
+    speedup: f64,
+    /// Every warm plan and score was bit-identical to the cold answer.
+    scores_match: bool,
+    /// Warm responses that reported `cached: true`.
+    warm_cached: usize,
+    score: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_coalesced: u64,
+}
+
+/// Root of `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct ServeBenchReport {
+    seed: u64,
+    requests: usize,
+    rows: Vec<ServeBenchRow>,
 }

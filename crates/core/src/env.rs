@@ -87,21 +87,15 @@ enum DistCache {
     /// The full catalog matrix, built once in [`TppEnv::new`] for
     /// catalogs under [`DistanceMatrix::DEFAULT_CAP`] items.
     Matrix(DistanceMatrix),
-    /// Over-cap fallback: one on-demand row, rebuilt only when the
-    /// current item changes (once per step, not once per candidate).
+    /// Over-cap fallback: one on-demand row ([`tpp_geo::LazyRowCache`]),
+    /// rebuilt only when the current item changes (once per step, not
+    /// once per candidate — the cache's rebuild counter proves it).
     /// `RefCell` because the gate runs under `&self`; the env is
     /// single-threaded per experiment run.
     Lazy {
         points: Vec<GeoPoint>,
-        row: RefCell<LazyRow>,
+        row: RefCell<tpp_geo::LazyRowCache>,
     },
-}
-
-/// The cached distance row of [`DistCache::Lazy`].
-#[derive(Debug, Clone)]
-struct LazyRow {
-    from: usize,
-    km: Vec<f64>,
 }
 
 /// The TPP environment over one planning instance.
@@ -170,10 +164,7 @@ impl<'a> TppEnv<'a> {
                         Some(m) => DistCache::Matrix(m),
                         None => DistCache::Lazy {
                             points,
-                            row: RefCell::new(LazyRow {
-                                from: usize::MAX,
-                                km: Vec::new(),
-                            }),
+                            row: RefCell::new(tpp_geo::LazyRowCache::new()),
                         },
                     }
                 }
@@ -231,14 +222,7 @@ impl<'a> TppEnv<'a> {
     fn leg_km(&self, from: usize, to: usize) -> f64 {
         match &self.dist {
             DistCache::Matrix(m) => m.get(from, to),
-            DistCache::Lazy { points, row } => {
-                let mut r = row.borrow_mut();
-                if r.from != from {
-                    tpp_geo::distance_row(points, from, &mut r.km);
-                    r.from = from;
-                }
-                r.km[to]
-            }
+            DistCache::Lazy { points, row } => row.borrow_mut().leg(points, from, to),
             DistCache::Direct => {
                 let a = self.instance.catalog.items()[from]
                     .poi

@@ -30,6 +30,7 @@ pub mod params;
 pub mod planner;
 pub mod reward;
 pub mod score;
+pub mod signature;
 pub mod transfer;
 
 pub use env::{GateCounts, GateReject, TppEnv};
@@ -38,6 +39,7 @@ pub use params::{PlannerParams, SimAggregate, StartPolicy, TypeWeights};
 pub use planner::{LearnedPolicy, RlPlanner};
 pub use reward::{InterleavingKernel, RewardModel, SimTracker};
 pub use score::{plan_violations, raw_score, score_plan};
+pub use signature::constraint_signature;
 pub use transfer::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy};
 // The cooperative compute budget threaded through the planner loop
 // (serving deadlines, `train --max-seconds`) lives in `tpp-rl` so the

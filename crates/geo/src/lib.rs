@@ -16,5 +16,5 @@ pub mod matrix;
 pub mod point;
 
 pub use grid::GridIndex;
-pub use matrix::{distance_row, DistanceMatrix};
+pub use matrix::{distance_row, DistanceMatrix, LazyRowCache};
 pub use point::{haversine_km, BoundingBox, GeoPoint};

@@ -96,6 +96,60 @@ pub fn distance_row(points: &[GeoPoint], from: usize, row: &mut Vec<f64>) {
     );
 }
 
+/// The over-cap fallback as a self-contained cache: the distances from
+/// one origin point, rebuilt (via [`distance_row`]) only when the
+/// origin changes. Probing every candidate from the current item costs
+/// one rebuild per origin switch — once per planning step, not once per
+/// probe — and [`LazyRowCache::rebuilds`] exposes the count so tests
+/// can assert exactly that instead of trusting a comment.
+#[derive(Debug, Clone)]
+pub struct LazyRowCache {
+    /// Origin of the cached row; `usize::MAX` = nothing cached yet.
+    from: usize,
+    km: Vec<f64>,
+    rebuilds: u64,
+}
+
+impl Default for LazyRowCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LazyRowCache {
+    /// An empty cache (first probe rebuilds).
+    pub fn new() -> Self {
+        LazyRowCache {
+            from: usize::MAX,
+            km: Vec::new(),
+            rebuilds: 0,
+        }
+    }
+
+    /// Distance in km from `points[from]` to `points[to]`, serving from
+    /// the cached row when `from` matches the cached origin. Produces
+    /// the same f64 bits as [`DistanceMatrix::get`] over the same
+    /// points (both delegate to [`haversine_km`]).
+    ///
+    /// # Panics
+    /// If `from` or `to` is out of range, or `from == usize::MAX`
+    /// (reserved as the empty sentinel).
+    pub fn leg(&mut self, points: &[GeoPoint], from: usize, to: usize) -> f64 {
+        assert!(from < points.len(), "from {from} out of {}", points.len());
+        if self.from != from {
+            distance_row(points, from, &mut self.km);
+            self.from = from;
+            self.rebuilds += 1;
+        }
+        self.km[to]
+    }
+
+    /// Number of row rebuilds since construction.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +216,26 @@ mod tests {
             distance_row(&pts, i, &mut row);
             assert_eq!(row.as_slice(), m.row(i));
         }
+    }
+
+    #[test]
+    fn lazy_row_cache_matches_matrix_and_counts_rebuilds() {
+        let pts = paris_points();
+        let m = DistanceMatrix::build(&pts);
+        let mut cache = LazyRowCache::new();
+        assert_eq!(cache.rebuilds(), 0);
+        // Probing every destination from one origin costs one rebuild.
+        for j in 0..pts.len() {
+            assert_eq!(cache.leg(&pts, 0, j).to_bits(), m.get(0, j).to_bits());
+        }
+        assert_eq!(cache.rebuilds(), 1);
+        // Switching origins rebuilds; returning to a prior origin does
+        // too (single-row cache), but repeats never do.
+        let _ = cache.leg(&pts, 1, 0);
+        let _ = cache.leg(&pts, 1, 2);
+        assert_eq!(cache.rebuilds(), 2);
+        let _ = cache.leg(&pts, 0, 2);
+        assert_eq!(cache.rebuilds(), 3);
     }
 
     #[test]

@@ -107,6 +107,13 @@ impl QTable {
         &self.values
     }
 
+    /// Approximate resident size in bytes (payload + header). Used by
+    /// the serving layer's byte-bounded policy cache; an estimate is
+    /// fine there, so this intentionally ignores allocator slack.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.values.len() * std::mem::size_of::<f64>()
+    }
+
     /// Rebuilds a table from raw parts.
     ///
     /// # Panics

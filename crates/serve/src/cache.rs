@@ -1,0 +1,658 @@
+//! The policy cache: LRU + single-flight coalescing for decoded
+//! Q-policies.
+//!
+//! The paper's core economic argument (§III) is that a trained Q-policy
+//! amortizes across every user planning over the same constrained
+//! universe. PR 3's daemon ignored that: each `plan` retrained and each
+//! `recommend` re-read and re-decoded a checkpoint from disk. This
+//! module makes the policy a cached, shared artifact:
+//!
+//! * **Keying.** Entries key on `(dataset, constraint signature,
+//!   source)`. The signature is [`tpp_core::constraint_signature`] —
+//!   the canonical hash of the hard + soft (+ trip) constraint bundle —
+//!   so two datasets that happen to share a name but differ in
+//!   constraints can never alias. The source pins *which* policy:
+//!   [`PolicySource::Trained`] carries `(seed, episodes, start)` so
+//!   deterministic training is reproducible from the key alone;
+//!   [`PolicySource::Checkpoint`] carries the generation-stamp token
+//!   (see [`tpp_store::GenerationStamp::token`]), so a new generation —
+//!   or in-place corruption of the newest file — *is a different key*
+//!   and stale entries become unreachable, then reaped by
+//!   [`PolicyCache::invalidate_checkpoints`].
+//! * **Single-flight.** The first thread to miss on a key becomes the
+//!   **leader** and receives a [`LeaderGuard`]; concurrent requests for
+//!   the same key become **followers** that block on the flight's
+//!   condvar and share the leader's `Arc<CachedPolicy>`. A burst of N
+//!   identical requests costs one training run / checkpoint decode.
+//! * **Panic safety.** Dropping a `LeaderGuard` without settling it
+//!   (the unwind path of a panicking leader) fails the flight, so
+//!   followers wake immediately and re-run their own fallback chain —
+//!   a poisoned leader can never wedge the daemon.
+//! * **Bounds.** Entry-count and approximate-byte LRU, so a parade of
+//!   large instances evicts cold policies instead of growing without
+//!   bound. Every hit/miss/coalesce/evict/invalidate bumps a local
+//!   counter (for `stats`) and a `tpp-obs` counter (for sinks).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tpp_obs::{obs_event, Level};
+use tpp_rl::QTable;
+
+/// Which computation produced (or would produce) a cached policy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PolicySource {
+    /// Deterministic in-process training: the triple reproduces the
+    /// exact Q-table, so equal keys imply bit-identical policies.
+    Trained {
+        /// Training seed.
+        seed: u64,
+        /// Episode cap actually applied.
+        episodes: u64,
+        /// Start item index (training trajectories depend on it).
+        start: usize,
+    },
+    /// A decoded checkpoint generation, pinned by its stamp token; any
+    /// rotation or in-place rewrite of the newest file changes the
+    /// token and therefore the key.
+    Checkpoint {
+        /// [`tpp_store::GenerationStamp::token`] of the observed newest
+        /// generation.
+        token: u64,
+    },
+}
+
+/// Cache key: dataset identity × constraint signature × policy source.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PolicyKey {
+    /// Dataset name or instance path, as given in the request.
+    pub dataset: String,
+    /// [`tpp_core::constraint_signature`] of the instance.
+    pub signature: u64,
+    /// Which policy over that universe.
+    pub source: PolicySource,
+}
+
+/// A decoded, shareable policy. Held behind `Arc` so every worker
+/// thread reads the same table — the read path (`recommend_with_q`)
+/// takes `&QTable` and never clones the values.
+#[derive(Debug)]
+pub struct CachedPolicy {
+    /// The decoded action-value table.
+    pub q: QTable,
+    /// Episodes trained (for `Trained` entries; echoed in responses).
+    pub episodes: Option<u64>,
+    /// Checkpoint generation number (for `Checkpoint` entries).
+    pub generation: Option<u64>,
+}
+
+impl CachedPolicy {
+    /// Approximate resident bytes, used for the byte bound.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.q.approx_bytes()
+    }
+}
+
+/// Cache sizing and enablement.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Whether the cache (and single-flight) is consulted at all.
+    pub enabled: bool,
+    /// Maximum resident entries.
+    pub max_entries: usize,
+    /// Maximum approximate resident bytes across all entries.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            max_entries: 32,
+            // A Q-table is ~8·n² bytes, so 64 MiB holds several
+            // thousand-item policies alongside the benchmark sets.
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Monotonic cache counters, surfaced in `stats` responses.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups served from a resident entry.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing and became the leader.
+    pub misses: AtomicU64,
+    /// Lookups that joined an in-flight leader.
+    pub coalesced: AtomicU64,
+    /// Entries evicted by the entry/byte LRU bounds.
+    pub evictions: AtomicU64,
+    /// Stale checkpoint entries reaped by generation invalidation.
+    pub invalidations: AtomicU64,
+}
+
+/// State of one in-flight computation.
+#[derive(Debug)]
+enum FlightState {
+    /// Leader is still working.
+    Running,
+    /// Leader finished; followers share the value.
+    Done(Arc<CachedPolicy>),
+    /// Leader failed (error, budget expiry, or panic via guard drop);
+    /// followers must compute solo.
+    Failed(String),
+}
+
+/// One single-flight slot: followers wait on `cond` until the leader
+/// settles `state`.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<CachedPolicy>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<PolicyKey, Entry>,
+    inflight: HashMap<PolicyKey, Arc<Flight>>,
+    /// Logical LRU clock (bumped per touch; cheaper than Instant).
+    tick: u64,
+    /// Approximate resident bytes across `entries`.
+    bytes: usize,
+}
+
+/// The shared policy cache (one per engine, shared by worker threads).
+#[derive(Debug)]
+pub struct PolicyCache {
+    inner: Mutex<CacheInner>,
+    /// Counters for `stats` and the exit summary.
+    pub counters: CacheCounters,
+    config: CacheConfig,
+}
+
+/// Outcome of a [`PolicyCache::lookup`].
+pub enum Lookup<'c> {
+    /// Resident entry: use it directly.
+    Hit(Arc<CachedPolicy>),
+    /// A concurrent leader computed it while we waited.
+    Coalesced(Arc<CachedPolicy>),
+    /// We are the leader: compute, then settle the guard.
+    Lead(LeaderGuard<'c>),
+    /// The leader failed or the wait timed out: compute solo, uncached.
+    LeaderFailed(String),
+}
+
+impl PolicyCache {
+    /// Creates an empty cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        PolicyCache {
+            inner: Mutex::new(CacheInner::default()),
+            counters: CacheCounters::default(),
+            config,
+        }
+    }
+
+    /// Whether the cache is consulted at all.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// `(resident entries, approximate resident bytes)`.
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("policy cache lock poisoned");
+        (inner.entries.len(), inner.bytes)
+    }
+
+    /// Looks up `key`. A resident entry is a [`Lookup::Hit`]; an
+    /// in-flight computation for the same key blocks up to
+    /// `follower_wait` and yields [`Lookup::Coalesced`] (or
+    /// [`Lookup::LeaderFailed`] on leader failure/timeout); a cold key
+    /// makes this caller the [`Lookup::Lead`]er.
+    pub fn lookup(&self, key: PolicyKey, follower_wait: Duration) -> Lookup<'_> {
+        let flight = {
+            let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let value = Arc::clone(&entry.value);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.cache.hit").inc();
+                return Lookup::Hit(value);
+            }
+            if let Some(flight) = inner.inflight.get(&key) {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.cache.coalesced").inc();
+                Arc::clone(flight)
+            } else {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.cache.miss").inc();
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState::Running),
+                    cond: Condvar::new(),
+                });
+                inner.inflight.insert(key.clone(), Arc::clone(&flight));
+                return Lookup::Lead(LeaderGuard {
+                    cache: self,
+                    key,
+                    flight,
+                    settled: false,
+                });
+            }
+        };
+        self.wait_on(&flight, follower_wait)
+    }
+
+    /// Blocks on a flight until the leader settles it or `timeout`
+    /// elapses. A timeout is reported as a leader failure so the caller
+    /// falls back to solo computation — it never re-queues.
+    fn wait_on(&self, flight: &Flight, timeout: Duration) -> Lookup<'_> {
+        let deadline = Instant::now() + timeout;
+        let mut state = flight.state.lock().expect("flight lock poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(v) => return Lookup::Coalesced(Arc::clone(v)),
+                FlightState::Failed(reason) => return Lookup::LeaderFailed(reason.clone()),
+                FlightState::Running => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Lookup::LeaderFailed(
+                            "timed out waiting for the in-flight leader".to_owned(),
+                        );
+                    }
+                    let (next, _) = flight
+                        .cond
+                        .wait_timeout(state, deadline - now)
+                        .expect("flight lock poisoned");
+                    state = next;
+                }
+            }
+        }
+    }
+
+    /// Inserts a finished value, evicting LRU entries (never the one
+    /// just inserted) while over the entry or byte bound. A value that
+    /// alone exceeds the byte bound is not cached at all.
+    fn insert(&self, key: &PolicyKey, value: Arc<CachedPolicy>) {
+        let bytes = value.approx_bytes();
+        if bytes > self.config.max_bytes {
+            obs_event!(
+                Level::Warn,
+                "serve.cache.oversized",
+                dataset = &key.dataset,
+                bytes = bytes as u64,
+                max_bytes = self.config.max_bytes as u64,
+            );
+            return;
+        }
+        let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.insert(
+            key.clone(),
+            Entry {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.entries.len() > self.config.max_entries || inner.bytes > self.config.max_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.bytes -= evicted.bytes;
+            }
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.cache.evicted").inc();
+        }
+        Self::publish_gauges(&inner);
+    }
+
+    /// Drops every checkpoint-sourced entry for `dataset` whose token
+    /// differs from `current_token` (a newer generation landed, or the
+    /// newest file was modified in place). Returns how many were
+    /// reaped. Trained entries are untouched — training does not read
+    /// the checkpoint directory.
+    pub fn invalidate_checkpoints(&self, dataset: &str, current_token: u64) -> usize {
+        let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+        let stale: Vec<PolicyKey> = inner
+            .entries
+            .keys()
+            .filter(|k| {
+                k.dataset == dataset
+                    && matches!(k.source, PolicySource::Checkpoint { token } if token != current_token)
+            })
+            .cloned()
+            .collect();
+        for key in &stale {
+            if let Some(entry) = inner.entries.remove(key) {
+                inner.bytes -= entry.bytes;
+            }
+        }
+        if !stale.is_empty() {
+            self.counters
+                .invalidations
+                .fetch_add(stale.len() as u64, Ordering::Relaxed);
+            tpp_obs::metrics()
+                .counter("serve.cache.invalidated")
+                .add(stale.len() as u64);
+            obs_event!(
+                Level::Info,
+                "serve.cache.invalidated",
+                dataset = dataset,
+                dropped = stale.len() as u64,
+            );
+            Self::publish_gauges(&inner);
+        }
+        stale.len()
+    }
+
+    fn publish_gauges(inner: &CacheInner) {
+        tpp_obs::metrics()
+            .gauge("serve.cache.entries")
+            .set(inner.entries.len() as f64);
+        tpp_obs::metrics()
+            .gauge("serve.cache.bytes")
+            .set(inner.bytes as f64);
+    }
+}
+
+/// Held by the one thread computing a cold key. Must be settled with
+/// [`fulfill`](LeaderGuard::fulfill) (cache + wake followers),
+/// [`fulfill_uncached`](LeaderGuard::fulfill_uncached) (wake followers
+/// but keep the value out of the cache — e.g. a partial policy from an
+/// expired budget), or [`fail`](LeaderGuard::fail). Dropping it
+/// unsettled — the unwind path of a panicking leader — fails the
+/// flight, so followers can never block on a dead leader.
+pub struct LeaderGuard<'c> {
+    cache: &'c PolicyCache,
+    key: PolicyKey,
+    flight: Arc<Flight>,
+    settled: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// The key this flight is computing.
+    pub fn key(&self) -> &PolicyKey {
+        &self.key
+    }
+
+    /// Caches `value` and hands it to every waiting follower.
+    pub fn fulfill(mut self, value: Arc<CachedPolicy>) {
+        self.cache.insert(&self.key, Arc::clone(&value));
+        self.settle(FlightState::Done(value));
+    }
+
+    /// Hands `value` to followers without caching it (the result is
+    /// usable for in-flight requests but not representative — e.g.
+    /// training stopped early on budget expiry).
+    pub fn fulfill_uncached(mut self, value: Arc<CachedPolicy>) {
+        self.settle(FlightState::Done(value));
+    }
+
+    /// Fails the flight; followers fall back to solo computation.
+    pub fn fail(mut self, reason: &str) {
+        self.settle(FlightState::Failed(reason.to_owned()));
+    }
+
+    fn settle(&mut self, state: FlightState) {
+        if self.settled {
+            return;
+        }
+        self.settled = true;
+        self.cache
+            .inner
+            .lock()
+            .expect("policy cache lock poisoned")
+            .inflight
+            .remove(&self.key);
+        *self.flight.state.lock().expect("flight lock poisoned") = state;
+        self.flight.cond.notify_all();
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            tpp_obs::metrics()
+                .counter("serve.cache.leader_failed")
+                .inc();
+            self.settle(FlightState::Failed(
+                "leader dropped without settling (panicked?)".to_owned(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(n: usize) -> Arc<CachedPolicy> {
+        Arc::new(CachedPolicy {
+            q: QTable::square(n),
+            episodes: Some(n as u64),
+            generation: None,
+        })
+    }
+
+    fn trained_key(dataset: &str, seed: u64) -> PolicyKey {
+        PolicyKey {
+            dataset: dataset.to_owned(),
+            signature: 0xABCD,
+            source: PolicySource::Trained {
+                seed,
+                episodes: 100,
+                start: 0,
+            },
+        }
+    }
+
+    fn ckpt_key(dataset: &str, token: u64) -> PolicyKey {
+        PolicyKey {
+            dataset: dataset.to_owned(),
+            signature: 0xABCD,
+            source: PolicySource::Checkpoint { token },
+        }
+    }
+
+    fn cache(max_entries: usize, max_bytes: usize) -> PolicyCache {
+        PolicyCache::new(CacheConfig {
+            enabled: true,
+            max_entries,
+            max_bytes,
+        })
+    }
+
+    #[test]
+    fn miss_lead_fulfill_then_hit() {
+        let c = cache(4, usize::MAX);
+        let key = trained_key("ds", 1);
+        let Lookup::Lead(guard) = c.lookup(key.clone(), Duration::ZERO) else {
+            panic!("cold key must lead");
+        };
+        guard.fulfill(policy(3));
+        match c.lookup(key, Duration::ZERO) {
+            Lookup::Hit(p) => assert_eq!(p.episodes, Some(3)),
+            _ => panic!("second lookup must hit"),
+        }
+        assert_eq!(c.counters.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(c.counters.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn followers_coalesce_onto_one_leader() {
+        let c = Arc::new(cache(4, usize::MAX));
+        let key = trained_key("ds", 7);
+        let Lookup::Lead(guard) = c.lookup(key.clone(), Duration::ZERO) else {
+            panic!("cold key must lead");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let key = key.clone();
+                std::thread::spawn(move || match c.lookup(key, Duration::from_secs(5)) {
+                    Lookup::Coalesced(p) => p.episodes,
+                    other => panic!(
+                        "follower must coalesce, got {}",
+                        match other {
+                            Lookup::Hit(_) => "hit",
+                            Lookup::Lead(_) => "lead",
+                            Lookup::LeaderFailed(_) => "leader-failed",
+                            Lookup::Coalesced(_) => unreachable!(),
+                        }
+                    ),
+                })
+            })
+            .collect();
+        // Give followers time to queue on the flight, then settle it.
+        std::thread::sleep(Duration::from_millis(30));
+        guard.fulfill(policy(5));
+        for f in followers {
+            assert_eq!(f.join().unwrap(), Some(5));
+        }
+        assert_eq!(c.counters.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(c.counters.coalesced.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn dropped_leader_fails_followers_instead_of_wedging_them() {
+        let c = Arc::new(cache(4, usize::MAX));
+        let key = trained_key("ds", 9);
+        let Lookup::Lead(guard) = c.lookup(key.clone(), Duration::ZERO) else {
+            panic!("cold key must lead");
+        };
+        let follower = {
+            let c = Arc::clone(&c);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                matches!(
+                    c.lookup(key, Duration::from_secs(5)),
+                    Lookup::LeaderFailed(_)
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(guard); // the panic path: no fulfill, no fail
+        assert!(follower.join().unwrap(), "follower must see LeaderFailed");
+        // The slot is free again: the next lookup leads a fresh flight.
+        assert!(matches!(c.lookup(key, Duration::ZERO), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn entry_bound_evicts_lru() {
+        let c = cache(2, usize::MAX);
+        for seed in 0..3u64 {
+            let Lookup::Lead(g) = c.lookup(trained_key("ds", seed), Duration::ZERO) else {
+                panic!("lead");
+            };
+            g.fulfill(policy(2));
+            // Touch seed 0 so seed 1 is the LRU victim when 2 lands.
+            if seed == 1 {
+                assert!(matches!(
+                    c.lookup(trained_key("ds", 0), Duration::ZERO),
+                    Lookup::Hit(_)
+                ));
+            }
+        }
+        assert_eq!(c.counters.evictions.load(Ordering::Relaxed), 1);
+        assert!(matches!(
+            c.lookup(trained_key("ds", 0), Duration::ZERO),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            c.lookup(trained_key("ds", 1), Duration::ZERO),
+            Lookup::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversized_values_are_not_cached() {
+        let one = policy(8).approx_bytes();
+        let c = cache(100, 2 * one + one / 2);
+        for seed in 0..3u64 {
+            let Lookup::Lead(g) = c.lookup(trained_key("ds", seed), Duration::ZERO) else {
+                panic!("lead");
+            };
+            g.fulfill(policy(8));
+        }
+        let (entries, bytes) = c.usage();
+        assert_eq!(entries, 2, "byte bound must hold the cache to 2 entries");
+        assert!(bytes <= 2 * one + one / 2);
+        assert_eq!(c.counters.evictions.load(Ordering::Relaxed), 1);
+
+        // A value that alone busts the bound is served but never cached.
+        let tiny = cache(100, 64);
+        let key = trained_key("ds", 99);
+        let Lookup::Lead(g) = tiny.lookup(key.clone(), Duration::ZERO) else {
+            panic!("lead");
+        };
+        g.fulfill(policy(64));
+        assert_eq!(tiny.usage().0, 0);
+        assert!(matches!(tiny.lookup(key, Duration::ZERO), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn stale_checkpoint_tokens_are_invalidated_per_dataset() {
+        let c = cache(8, usize::MAX);
+        for (ds, token) in [("a", 1), ("a", 2), ("b", 1)] {
+            let Lookup::Lead(g) = c.lookup(ckpt_key(ds, token), Duration::ZERO) else {
+                panic!("lead");
+            };
+            g.fulfill(policy(2));
+        }
+        // Trained entries for the same dataset must survive.
+        let Lookup::Lead(g) = c.lookup(trained_key("a", 0), Duration::ZERO) else {
+            panic!("lead");
+        };
+        g.fulfill(policy(2));
+
+        assert_eq!(c.invalidate_checkpoints("a", 2), 1);
+        assert_eq!(c.counters.invalidations.load(Ordering::Relaxed), 1);
+        assert!(matches!(
+            c.lookup(ckpt_key("a", 2), Duration::ZERO),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            c.lookup(ckpt_key("a", 1), Duration::ZERO),
+            Lookup::Lead(_)
+        ));
+        assert!(matches!(
+            c.lookup(ckpt_key("b", 1), Duration::ZERO),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            c.lookup(trained_key("a", 0), Duration::ZERO),
+            Lookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn follower_timeout_reports_leader_failure() {
+        let c = cache(4, usize::MAX);
+        let key = trained_key("ds", 3);
+        let Lookup::Lead(_guard) = c.lookup(key.clone(), Duration::ZERO) else {
+            panic!("lead");
+        };
+        match c.lookup(key, Duration::from_millis(10)) {
+            Lookup::LeaderFailed(reason) => assert!(reason.contains("timed out")),
+            _ => panic!("waiting on a stuck leader must time out"),
+        };
+    }
+}

@@ -14,11 +14,13 @@
 //! Plans parse from a compact spec (used by `tpp serve --chaos`):
 //!
 //! ```text
-//! panic@3,stall@5:200,corrupt@7
+//! panic@3,stall@5:200,corrupt@7,flaky@9
 //! ```
 //!
 //! meaning: panic while handling request 3, stall 200 ms inside
-//! request 5, corrupt the newest checkpoint before serving request 7.
+//! request 5, corrupt the newest checkpoint before serving request 7,
+//! and fail every checkpoint-load attempt of request 9 with a
+//! transient I/O error.
 
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -36,15 +38,24 @@ pub enum ChaosFault {
     /// Flip bytes in the newest checkpoint generation on disk before
     /// handling (exercises the corruption-fallback chain).
     CorruptCheckpoint,
+    /// Every checkpoint-load attempt during this request fails with a
+    /// transient I/O error (exercises the budget-capped retry loop:
+    /// the request must still fall back and answer inside its
+    /// deadline instead of sleeping it away).
+    FlakyLoad,
 }
 
 /// A schedule of faults keyed by request ordinal.
 ///
-/// Faults are consumed: each fires at most once, so a retry of the same
-/// request ordinal (there are none today) would see a clean world.
+/// An ordinal may carry several faults (`stall@9:50,flaky@9` stalls
+/// request 9 *and* makes its checkpoint loads flaky) — that compound is
+/// how the suite proves the retry loop respects what's left of a
+/// deadline after a stall already ate part of it. Faults are consumed:
+/// each fires at most once, so a retry of the same request ordinal
+/// (there are none today) would see a clean world.
 #[derive(Debug, Default)]
 pub struct ChaosPlan {
-    faults: Mutex<HashMap<u64, ChaosFault>>,
+    faults: Mutex<HashMap<u64, Vec<ChaosFault>>>,
 }
 
 impl ChaosPlan {
@@ -53,25 +64,34 @@ impl ChaosPlan {
         ChaosPlan::default()
     }
 
-    /// Schedules `fault` for request `ordinal` (1-based).
+    /// Schedules `fault` for request `ordinal` (1-based), in addition
+    /// to any faults already scheduled there.
     pub fn schedule(&self, ordinal: u64, fault: ChaosFault) {
         self.faults
             .lock()
             .expect("chaos plan lock poisoned")
-            .insert(ordinal, fault);
+            .entry(ordinal)
+            .or_default()
+            .push(fault);
     }
 
-    /// Removes and returns the fault for `ordinal`, if any.
-    pub fn take(&self, ordinal: u64) -> Option<ChaosFault> {
+    /// Removes and returns all faults for `ordinal` (empty when clean).
+    pub fn take(&self, ordinal: u64) -> Vec<ChaosFault> {
         self.faults
             .lock()
             .expect("chaos plan lock poisoned")
             .remove(&ordinal)
+            .unwrap_or_default()
     }
 
     /// Number of faults still pending.
     pub fn pending(&self) -> usize {
-        self.faults.lock().expect("chaos plan lock poisoned").len()
+        self.faults
+            .lock()
+            .expect("chaos plan lock poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 }
 
@@ -104,6 +124,10 @@ impl FromStr for ChaosPlan {
                     let n = parse_ordinal(at)?;
                     plan.schedule(n, ChaosFault::CorruptCheckpoint);
                 }
+                "flaky" => {
+                    let n = parse_ordinal(at)?;
+                    plan.schedule(n, ChaosFault::FlakyLoad);
+                }
                 other => return Err(format!("unknown chaos fault kind {other:?}")),
             }
         }
@@ -127,28 +151,43 @@ mod tests {
 
     #[test]
     fn parses_a_mixed_spec() {
-        let plan: ChaosPlan = "panic@3, stall@5:200 ,corrupt@7".parse().unwrap();
-        assert_eq!(plan.pending(), 3);
-        assert_eq!(plan.take(3), Some(ChaosFault::Panic));
+        let plan: ChaosPlan = "panic@3, stall@5:200 ,corrupt@7,flaky@9".parse().unwrap();
+        assert_eq!(plan.pending(), 4);
+        assert_eq!(plan.take(3), vec![ChaosFault::Panic]);
         assert_eq!(
             plan.take(5),
-            Some(ChaosFault::Stall(Duration::from_millis(200)))
+            vec![ChaosFault::Stall(Duration::from_millis(200))]
         );
-        assert_eq!(plan.take(7), Some(ChaosFault::CorruptCheckpoint));
+        assert_eq!(plan.take(7), vec![ChaosFault::CorruptCheckpoint]);
+        assert_eq!(plan.take(9), vec![ChaosFault::FlakyLoad]);
         assert_eq!(plan.pending(), 0);
     }
 
     #[test]
     fn faults_fire_once() {
         let plan: ChaosPlan = "panic@1".parse().unwrap();
-        assert_eq!(plan.take(1), Some(ChaosFault::Panic));
-        assert_eq!(plan.take(1), None);
+        assert_eq!(plan.take(1), vec![ChaosFault::Panic]);
+        assert_eq!(plan.take(1), vec![]);
+    }
+
+    #[test]
+    fn an_ordinal_can_carry_several_faults() {
+        let plan: ChaosPlan = "stall@2:50,flaky@2".parse().unwrap();
+        assert_eq!(plan.pending(), 2);
+        assert_eq!(
+            plan.take(2),
+            vec![
+                ChaosFault::Stall(Duration::from_millis(50)),
+                ChaosFault::FlakyLoad
+            ]
+        );
+        assert_eq!(plan.pending(), 0);
     }
 
     #[test]
     fn unfaulted_ordinals_are_clean() {
         let plan: ChaosPlan = "panic@2".parse().unwrap();
-        assert_eq!(plan.take(1), None);
+        assert_eq!(plan.take(1), vec![]);
         assert_eq!(plan.pending(), 1);
     }
 

@@ -20,19 +20,24 @@
 //! 3. **partial** — [`tpp_baselines::degraded_partial_plan`]: no RNG,
 //!    no reward peeking, lowest-index walk. The floor.
 
+use crate::cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
 use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::datasets::resolve_dataset;
-use crate::protocol::{parse_request, JsonObj, Op, Request};
-use crate::retry::{with_backoff, BackoffPolicy};
+use crate::protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
+use crate::retry::{with_backoff_budgeted, BackoffPolicy};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tpp_core::{plan_violations, score_plan, Budget, PlannerParams, RlPlanner};
+use tpp_core::{
+    constraint_signature, plan_violations, score_plan, Budget, PlannerParams, RlPlanner,
+};
 use tpp_model::{ItemId, Plan, PlanningInstance};
 use tpp_obs::{obs_event, Level};
+use tpp_rl::QTable;
+use tpp_store::StoreError;
 
 /// Engine configuration.
 #[derive(Debug)]
@@ -45,6 +50,8 @@ pub struct ServeConfig {
     pub max_episodes: u64,
     /// Retry policy for transient checkpoint-load failures.
     pub backoff: BackoffPolicy,
+    /// Policy cache bounds (and whether the cache is on at all).
+    pub cache: CacheConfig,
     /// Fault-injection schedule (empty in production).
     pub chaos: ChaosPlan,
 }
@@ -56,6 +63,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             max_episodes: 2_000,
             backoff: BackoffPolicy::serving_default(),
+            cache: CacheConfig::default(),
             chaos: ChaosPlan::none(),
         }
     }
@@ -86,11 +94,22 @@ pub struct EngineCounters {
     pub tier_partial: AtomicU64,
 }
 
+/// A resolved dataset plus its precomputed constraint signature (the
+/// signature is pure in the instance, so computing it once at resolve
+/// time keeps it off the per-request path).
+struct DatasetEntry {
+    instance: PlanningInstance,
+    params: PlannerParams,
+    signature: u64,
+}
+
 /// The long-lived request engine (shared across worker threads).
 pub struct ServeEngine {
     config: ServeConfig,
     /// Datasets are immutable once generated; cache them warm.
-    datasets: Mutex<HashMap<String, Arc<(PlanningInstance, PlannerParams)>>>,
+    datasets: Mutex<HashMap<String, Arc<DatasetEntry>>>,
+    /// The policy cache + single-flight table.
+    pub cache: PolicyCache,
     /// Counters for `stats` responses and the exit summary.
     pub counters: EngineCounters,
     started: Instant,
@@ -103,14 +122,20 @@ struct TierResult {
     tier: &'static str,
     retries: u32,
     episodes: Option<u64>,
+    /// Served from (or coalesced onto) a cached policy.
+    cached: bool,
+    /// Checkpoint generation the policy came from (`policy` tier only).
+    generation: Option<u64>,
 }
 
 impl ServeEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: ServeConfig) -> Self {
+        let cache = PolicyCache::new(config.cache.clone());
         ServeEngine {
             config,
             datasets: Mutex::new(HashMap::new()),
+            cache,
             counters: EngineCounters::default(),
             started: Instant::now(),
             ordinal: AtomicU64::new(0),
@@ -130,14 +155,17 @@ impl ServeEngine {
             Err(msg) => {
                 self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
                 tpp_obs::metrics().counter("serve.bad_request").inc();
+                // Even unparsable requests stay correlatable when the
+                // raw line carried a recoverable string id.
                 JsonObj::new()
                     .bool("ok", false)
+                    .nullable_str("id", extract_raw_id(line).as_deref())
                     .str("error", &format!("bad_request: {msg}"))
                     .finish()
             }
             Ok(req) => {
-                let fault = self.config.chaos.take(ordinal);
-                let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, fault)));
+                let faults = self.config.chaos.take(ordinal);
+                let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, &faults)));
                 match caught {
                     Ok(resp) => resp,
                     Err(payload) => self.answer_after_panic(&req, &payload),
@@ -160,34 +188,36 @@ impl ServeEngine {
         self.counters.answered.fetch_add(1, Ordering::Relaxed);
         tpp_obs::metrics().counter("serve.requests").inc();
         tpp_obs::metrics().counter("serve.overloaded").inc();
-        // Best-effort id echo so shed requests are still correlatable.
-        let id = parse_request(line).ok().and_then(|r| r.id);
+        // Shed requests must stay correlatable: echo the id whenever
+        // the raw line is a JSON object carrying one — even if the
+        // request would not have parsed — and emit an explicit
+        // `"id": null` otherwise so clients can rely on the key.
+        let id = extract_raw_id(line);
         JsonObj::new()
             .bool("ok", false)
-            .opt_str("id", id.as_deref())
+            .nullable_str("id", id.as_deref())
             .str("error", "overloaded")
             .finish()
     }
 
-    fn dispatch(&self, req: &Request, fault: Option<ChaosFault>) -> String {
-        match fault {
-            Some(ChaosFault::Panic) => {
-                panic!("chaos: injected panic while handling request");
-            }
-            Some(ChaosFault::CorruptCheckpoint) => self.corrupt_newest_checkpoint(),
-            // Stalls burn the request's own budget, so they are applied
-            // after it starts (inside answer_planning).
-            _ => {}
+    fn dispatch(&self, req: &Request, faults: &[ChaosFault]) -> String {
+        if faults.contains(&ChaosFault::Panic) {
+            panic!("chaos: injected panic while handling request");
         }
+        if faults.contains(&ChaosFault::CorruptCheckpoint) {
+            self.corrupt_newest_checkpoint();
+        }
+        // Stalls burn the request's own budget, so they are applied
+        // after it starts (inside answer_planning).
         match req.op {
             Op::Health => self.health_response(req),
             Op::Stats => self.stats_response(req),
-            Op::Plan | Op::Recommend => self.answer_planning(req, fault),
+            Op::Plan | Op::Recommend => self.answer_planning(req, faults),
         }
     }
 
     /// The planning path: primary tier, then the degradation chain.
-    fn answer_planning(&self, req: &Request, fault: Option<ChaosFault>) -> String {
+    fn answer_planning(&self, req: &Request, faults: &[ChaosFault]) -> String {
         let Some(name) = req.dataset.as_deref() else {
             return self.error_response(req, "missing \"dataset\"");
         };
@@ -195,7 +225,7 @@ impl ServeEngine {
             Ok(ds) => ds,
             Err(msg) => return self.error_response(req, &msg),
         };
-        let (instance, params) = (&ds.0, &ds.1);
+        let (instance, params) = (&ds.instance, &ds.params);
         let start = match self.resolve_start(instance, req.start.as_deref()) {
             Ok(s) => s,
             Err(msg) => return self.error_response(req, &msg),
@@ -209,14 +239,17 @@ impl ServeEngine {
             Some(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
             None => Budget::unlimited(),
         };
-        if let Some(ChaosFault::Stall(d)) = fault {
-            obs_event!(
-                Level::Warn,
-                "serve.chaos_stall",
-                millis = d.as_millis() as u64
-            );
-            std::thread::sleep(d);
+        for f in faults {
+            if let ChaosFault::Stall(d) = f {
+                obs_event!(
+                    Level::Warn,
+                    "serve.chaos_stall",
+                    millis = d.as_millis() as u64
+                );
+                std::thread::sleep(*d);
+            }
         }
+        let flaky_load = faults.contains(&ChaosFault::FlakyLoad);
 
         let mut fell_back_because: Vec<String> = Vec::new();
         let primary: &'static str = match req.op {
@@ -226,10 +259,11 @@ impl ServeEngine {
         let result = self
             .try_primary_tier(
                 req,
-                instance,
-                params,
+                name,
+                &ds,
                 start,
                 &budget,
+                flaky_load,
                 &mut fell_back_because,
             )
             .or_else(|| self.try_eda_tier(req, instance, params, start, &mut fell_back_because))
@@ -258,6 +292,7 @@ impl ServeEngine {
             dataset = name,
             tier = result.tier,
             degraded = degraded,
+            cached = result.cached,
         );
 
         let violations = plan_violations(instance, &result.plan);
@@ -268,10 +303,14 @@ impl ServeEngine {
             .str("dataset", name)
             .str("tier", result.tier)
             .bool("degraded", degraded)
+            .bool("cached", result.cached)
             .bool("deadline_expired", budget.expired())
             .u64("retries", result.retries as u64);
         if let Some(episodes) = result.episodes {
             obj = obj.u64("episodes", episodes);
+        }
+        if let Some(generation) = result.generation {
+            obj = obj.u64("generation", generation);
         }
         obj = obj
             .str_arr(
@@ -291,77 +330,287 @@ impl ServeEngine {
     }
 
     /// Tier 1: budgeted training (`plan`) or checkpoint policy with
-    /// retry (`recommend`). `None` → fall down the chain.
+    /// budget-capped retry (`recommend`), both fronted by the policy
+    /// cache. `None` → fall down the chain.
+    #[allow(clippy::too_many_arguments)]
     fn try_primary_tier(
         &self,
         req: &Request,
-        instance: &PlanningInstance,
-        params: &PlannerParams,
+        name: &str,
+        ds: &DatasetEntry,
         start: ItemId,
         budget: &Budget,
+        flaky_load: bool,
         reasons: &mut Vec<String>,
     ) -> Option<TierResult> {
         let outcome = catch_unwind(AssertUnwindSafe(|| match req.op {
-            Op::Plan => {
-                let mut params = params.clone().with_start(start);
-                params.episodes = req
-                    .episodes
-                    .unwrap_or(params.episodes as u64)
-                    .min(self.config.max_episodes) as usize;
-                let (policy, stats) =
-                    RlPlanner::learn_budgeted(instance, &params, req.seed, None, 0, budget, |_| {
-                        Ok(())
-                    })
-                    .map_err(|e| format!("training failed: {e}"))?;
-                let plan = RlPlanner::recommend(&policy, instance, &params, start);
+            Op::Plan => self.plan_tier(req, name, ds, start, budget),
+            Op::Recommend => self.recommend_tier(req, name, ds, start, budget, flaky_load),
+            // Health/stats never reach the planning path.
+            _ => Err("not a planning op".to_owned()),
+        }));
+        self.settle_tier("primary", outcome, reasons)
+    }
+
+    /// Budgeted SARSA training behind the cache: a burst of identical
+    /// `plan` requests (same dataset, seed, episodes, start) costs one
+    /// training run — the leader trains, followers coalesce, later
+    /// requests hit the cached `Arc<CachedPolicy>`.
+    fn plan_tier(
+        &self,
+        req: &Request,
+        name: &str,
+        ds: &DatasetEntry,
+        start: ItemId,
+        budget: &Budget,
+    ) -> Result<TierResult, String> {
+        let instance = &ds.instance;
+        let mut params = ds.params.clone().with_start(start);
+        params.episodes = req
+            .episodes
+            .unwrap_or(params.episodes as u64)
+            .min(self.config.max_episodes) as usize;
+
+        if !self.cache.is_enabled() {
+            let (q, episodes) = Self::train_policy(instance, &params, req.seed, budget)?;
+            let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+            return Ok(TierResult {
+                plan,
+                tier: "train",
+                retries: 0,
+                episodes: Some(episodes),
+                cached: false,
+                generation: None,
+            });
+        }
+
+        let key = PolicyKey {
+            dataset: name.to_owned(),
+            signature: ds.signature,
+            source: PolicySource::Trained {
+                seed: req.seed,
+                episodes: params.episodes as u64,
+                start: start.0 as usize,
+            },
+        };
+        let mut span = tpp_obs::span(Level::Debug, "serve.cache").with("op", "plan");
+        match self.cache.lookup(key, follower_wait(budget)) {
+            Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
+                span.record("outcome", "shared");
+                let plan = RlPlanner::recommend_with_q(&policy.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "train",
                     retries: 0,
-                    episodes: Some(stats.episodes() as u64),
+                    episodes: policy.episodes,
+                    cached: true,
+                    generation: None,
                 })
             }
-            Op::Recommend => {
-                let dir = self
-                    .config
-                    .checkpoint_dir
-                    .as_ref()
-                    .ok_or_else(|| "no checkpoint directory configured".to_owned())?;
-                let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
-                let (loaded, retries) = with_backoff(&self.config.backoff, || set.load_latest());
-                let (generation, ckpt) = loaded
-                    .map_err(|e| format!("checkpoint load failed: {e}"))?
-                    .ok_or_else(|| format!("no checkpoints in {}", dir.display()))?;
-                if ckpt.q.n_states() != instance.catalog.len() {
-                    return Err(format!(
-                        "checkpoint has {} states, dataset has {} items",
-                        ckpt.q.n_states(),
-                        instance.catalog.len()
-                    ));
+            Lookup::Lead(guard) => {
+                span.record("outcome", "lead");
+                // The guard's Drop fails the flight if training panics,
+                // so followers wake and fall back instead of wedging.
+                let (q, episodes) = match Self::train_policy(instance, &params, req.seed, budget) {
+                    Ok(trained) => trained,
+                    Err(e) => {
+                        guard.fail(&e);
+                        return Err(e);
+                    }
+                };
+                let value = Arc::new(CachedPolicy {
+                    q,
+                    episodes: Some(episodes),
+                    generation: None,
+                });
+                if budget.expired() {
+                    // A partial policy answers this request (and any
+                    // coalesced followers, who share its deadline fate)
+                    // but is not representative — keep it out of the
+                    // cache so the next cold request trains fully.
+                    guard.fulfill_uncached(Arc::clone(&value));
+                } else {
+                    guard.fulfill(Arc::clone(&value));
                 }
-                obs_event!(
-                    Level::Debug,
-                    "serve.policy_loaded",
-                    generation = generation,
-                    episode = ckpt.episode,
-                );
-                let plan = RlPlanner::recommend_with_q(
-                    &ckpt.q,
-                    instance,
-                    &params.clone().with_start(start),
-                    start,
-                );
+                let plan = RlPlanner::recommend_with_q(&value.q, instance, &params, start);
+                Ok(TierResult {
+                    plan,
+                    tier: "train",
+                    retries: 0,
+                    episodes: Some(episodes),
+                    cached: false,
+                    generation: None,
+                })
+            }
+            Lookup::LeaderFailed(reason) => {
+                span.record("outcome", "leader_failed");
+                obs_event!(Level::Warn, "serve.cache.leader_failed", reason = &reason);
+                // Compute solo and uncached — the leader's failure may
+                // have been its own deadline, not a property of the key.
+                let (q, episodes) = Self::train_policy(instance, &params, req.seed, budget)?;
+                let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+                Ok(TierResult {
+                    plan,
+                    tier: "train",
+                    retries: 0,
+                    episodes: Some(episodes),
+                    cached: false,
+                    generation: None,
+                })
+            }
+        }
+    }
+
+    /// Checkpoint policy behind the cache. The key carries the newest
+    /// generation's stamp token, so rotation *and* in-place rewrites
+    /// change the key — a corrupt-then-fallback load is cached under
+    /// the new token, never served as a stale hit of the old one.
+    fn recommend_tier(
+        &self,
+        _req: &Request,
+        name: &str,
+        ds: &DatasetEntry,
+        start: ItemId,
+        budget: &Budget,
+        flaky_load: bool,
+    ) -> Result<TierResult, String> {
+        let instance = &ds.instance;
+        let params = ds.params.clone().with_start(start);
+        let dir = self
+            .config
+            .checkpoint_dir
+            .as_ref()
+            .ok_or_else(|| "no checkpoint directory configured".to_owned())?;
+        let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
+        let load = || {
+            if flaky_load {
+                return Err(StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "chaos: flaky checkpoint load",
+                )));
+            }
+            set.load_latest()
+        };
+        let load_with_retry = |retries_out: &mut u32| -> Result<(u64, QTable), String> {
+            let (loaded, retries) = with_backoff_budgeted(&self.config.backoff, Some(budget), load);
+            *retries_out = retries;
+            let (generation, ckpt) = loaded
+                .map_err(|e| format!("checkpoint load failed: {e}"))?
+                .ok_or_else(|| format!("no checkpoints in {}", dir.display()))?;
+            if ckpt.q.n_states() != instance.catalog.len() {
+                return Err(format!(
+                    "checkpoint has {} states, dataset has {} items",
+                    ckpt.q.n_states(),
+                    instance.catalog.len()
+                ));
+            }
+            obs_event!(
+                Level::Debug,
+                "serve.policy_loaded",
+                generation = generation,
+                episode = ckpt.episode,
+            );
+            Ok((generation, ckpt.q))
+        };
+
+        if !self.cache.is_enabled() {
+            let mut retries = 0;
+            let (generation, q) = load_with_retry(&mut retries)?;
+            let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+            return Ok(TierResult {
+                plan,
+                tier: "policy",
+                retries,
+                episodes: None,
+                cached: false,
+                generation: Some(generation),
+            });
+        }
+
+        // Cheap probe (read_dir + stat, no payload I/O): the stamp
+        // token keys the cache entry, and any token change reaps the
+        // previous generation's entries.
+        let stamp = set
+            .observe_newest()
+            .map_err(|e| format!("checkpoint observe failed: {e}"))?
+            .ok_or_else(|| format!("no checkpoints in {}", dir.display()))?;
+        let token = stamp.token();
+        self.cache.invalidate_checkpoints(name, token);
+        let key = PolicyKey {
+            dataset: name.to_owned(),
+            signature: ds.signature,
+            source: PolicySource::Checkpoint { token },
+        };
+        let mut span = tpp_obs::span(Level::Debug, "serve.cache").with("op", "recommend");
+        match self.cache.lookup(key, follower_wait(budget)) {
+            Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
+                span.record("outcome", "shared");
+                let plan = RlPlanner::recommend_with_q(&policy.q, instance, &params, start);
+                Ok(TierResult {
+                    plan,
+                    tier: "policy",
+                    retries: 0,
+                    episodes: None,
+                    cached: true,
+                    generation: policy.generation,
+                })
+            }
+            Lookup::Lead(guard) => {
+                span.record("outcome", "lead");
+                let mut retries = 0;
+                let (generation, q) = match load_with_retry(&mut retries) {
+                    Ok(loaded) => loaded,
+                    Err(e) => {
+                        guard.fail(&e);
+                        return Err(e);
+                    }
+                };
+                let value = Arc::new(CachedPolicy {
+                    q,
+                    episodes: None,
+                    generation: Some(generation),
+                });
+                guard.fulfill(Arc::clone(&value));
+                let plan = RlPlanner::recommend_with_q(&value.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "policy",
                     retries,
                     episodes: None,
+                    cached: false,
+                    generation: Some(generation),
                 })
             }
-            // Health/stats never reach the planning path.
-            _ => Err("not a planning op".to_owned()),
-        }));
-        self.settle_tier("primary", outcome, reasons)
+            Lookup::LeaderFailed(reason) => {
+                span.record("outcome", "leader_failed");
+                obs_event!(Level::Warn, "serve.cache.leader_failed", reason = &reason);
+                let mut retries = 0;
+                let (generation, q) = load_with_retry(&mut retries)?;
+                let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+                Ok(TierResult {
+                    plan,
+                    tier: "policy",
+                    retries,
+                    episodes: None,
+                    cached: false,
+                    generation: Some(generation),
+                })
+            }
+        }
+    }
+
+    /// Runs budgeted SARSA and returns the raw Q-table plus episodes
+    /// actually completed.
+    fn train_policy(
+        instance: &PlanningInstance,
+        params: &PlannerParams,
+        seed: u64,
+        budget: &Budget,
+    ) -> Result<(QTable, u64), String> {
+        let (policy, stats) =
+            RlPlanner::learn_budgeted(instance, params, seed, None, 0, budget, |_| Ok(()))
+                .map_err(|e| format!("training failed: {e}"))?;
+        Ok((policy.q, stats.episodes() as u64))
     }
 
     /// Tier 2: the myopic EDA baseline.
@@ -385,6 +634,8 @@ impl ServeEngine {
                 tier: "eda",
                 retries: 0,
                 episodes: None,
+                cached: false,
+                generation: None,
             })
         }));
         self.settle_tier("eda", outcome, reasons)
@@ -410,6 +661,8 @@ impl ServeEngine {
                 tier: "partial",
                 retries: 0,
                 episodes: None,
+                cached: false,
+                generation: None,
             })
         }));
         self.settle_tier("partial", outcome, reasons)
@@ -458,7 +711,7 @@ impl ServeEngine {
             if !matches!(req.op, Op::Plan | Op::Recommend) {
                 // Health/stats panicked (only chaos can do this) — the
                 // retry is fault-free because chaos fires once.
-                return self.dispatch(req, None);
+                return self.dispatch(req, &[]);
             }
             let Some(name) = req.dataset.as_deref() else {
                 return self.error_response(req, "missing \"dataset\"");
@@ -466,7 +719,7 @@ impl ServeEngine {
             let Ok(ds) = self.dataset(name) else {
                 return self.error_response(req, &format!("unknown dataset {name:?}"));
             };
-            let (instance, params) = (&ds.0, &ds.1);
+            let (instance, params) = (&ds.instance, &ds.params);
             let Ok(start) = self.resolve_start(instance, req.start.as_deref()) else {
                 return self.error_response(req, "unknown start code");
             };
@@ -486,11 +739,12 @@ impl ServeEngine {
                     let violations = plan_violations(instance, &result.plan);
                     JsonObj::new()
                         .bool("ok", true)
-                        .opt_str("id", req.id.as_deref())
+                        .nullable_str("id", req.id.as_deref())
                         .str("op", req.op.as_str())
                         .str("dataset", name)
                         .str("tier", result.tier)
                         .bool("degraded", true)
+                        .bool("cached", false)
                         .bool("deadline_expired", false)
                         .u64("retries", 0)
                         .str_arr(
@@ -512,7 +766,7 @@ impl ServeEngine {
         caught.unwrap_or_else(|_| {
             JsonObj::new()
                 .bool("ok", false)
-                .opt_str("id", req.id.as_deref())
+                .nullable_str("id", req.id.as_deref())
                 .str("error", "internal: panic recovery failed")
                 .finish()
         })
@@ -543,6 +797,8 @@ impl ServeEngine {
 
     fn stats_response(&self, req: &Request) -> String {
         let c = &self.counters;
+        let cc = &self.cache.counters;
+        let (cache_entries, cache_bytes) = self.cache.usage();
         JsonObj::new()
             .bool("ok", true)
             .opt_str("id", req.id.as_deref())
@@ -557,6 +813,17 @@ impl ServeEngine {
             .u64("tier_train", c.tier_train.load(Ordering::Relaxed))
             .u64("tier_eda", c.tier_eda.load(Ordering::Relaxed))
             .u64("tier_partial", c.tier_partial.load(Ordering::Relaxed))
+            .bool("cache_enabled", self.cache.is_enabled())
+            .u64("cache_hits", cc.hits.load(Ordering::Relaxed))
+            .u64("cache_misses", cc.misses.load(Ordering::Relaxed))
+            .u64("cache_coalesced", cc.coalesced.load(Ordering::Relaxed))
+            .u64("cache_evictions", cc.evictions.load(Ordering::Relaxed))
+            .u64(
+                "cache_invalidations",
+                cc.invalidations.load(Ordering::Relaxed),
+            )
+            .u64("cache_entries", cache_entries as u64)
+            .u64("cache_bytes", cache_bytes as u64)
             .finish()
     }
 
@@ -571,7 +838,7 @@ impl ServeEngine {
 
     /// Dataset lookup with a warm cache (generation is deterministic,
     /// so cached and fresh instances are identical).
-    fn dataset(&self, name: &str) -> Result<Arc<(PlanningInstance, PlannerParams)>, String> {
+    fn dataset(&self, name: &str) -> Result<Arc<DatasetEntry>, String> {
         if let Some(ds) = self
             .datasets
             .lock()
@@ -580,7 +847,13 @@ impl ServeEngine {
         {
             return Ok(Arc::clone(ds));
         }
-        let ds = Arc::new(resolve_dataset(name)?);
+        let (instance, params) = resolve_dataset(name)?;
+        let signature = constraint_signature(&instance);
+        let ds = Arc::new(DatasetEntry {
+            instance,
+            params,
+            signature,
+        });
         self.datasets
             .lock()
             .expect("dataset cache lock poisoned")
@@ -630,6 +903,14 @@ impl ServeEngine {
             );
         }
     }
+}
+
+/// How long a follower blocks on an in-flight leader before giving up
+/// and computing solo: the request's own remaining deadline when it has
+/// one (waiting longer than that is pointless — the answer would arrive
+/// expired), else a generous default that still cannot wedge forever.
+fn follower_wait(budget: &Budget) -> Duration {
+    budget.remaining_time().unwrap_or(Duration::from_secs(30))
 }
 
 /// Human-readable text of a panic payload.

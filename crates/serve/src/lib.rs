@@ -18,8 +18,15 @@
 //!   through `tpp-obs`, counted, and answered by a degraded tier.
 //! * **Degradation is explicit**: the fallback chain — trained
 //!   checkpoint policy → retry with exponential backoff on transient
-//!   store errors → greedy EDA baseline → deterministic partial plan —
-//!   records which tier served each response (`tier`, `degraded`).
+//!   store errors (capped by the request's remaining deadline) → greedy
+//!   EDA baseline → deterministic partial plan — records which tier
+//!   served each response (`tier`, `degraded`).
+//! * **Policies are cached and shared** ([`cache`]): an LRU keyed by
+//!   `(dataset, constraint signature, policy source)` holds decoded
+//!   Q-tables behind `Arc`, and identical in-flight requests coalesce
+//!   onto one leader (single-flight), so a burst of duplicates costs
+//!   one training run. Invalidation is generation-aware; a panicking
+//!   leader fails its flight instead of wedging followers.
 //!
 //! The [`chaos`] module injects panics, stalls and checkpoint
 //! corruption at chosen request ordinals so the integration suite (and
@@ -27,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chaos;
 pub mod datasets;
 pub mod engine;
@@ -34,9 +42,10 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 
+pub use cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use datasets::{resolve_dataset, DATASET_NAMES};
 pub use engine::{ServeConfig, ServeEngine};
-pub use protocol::{parse_request, JsonObj, Op, Request};
-pub use retry::{with_backoff, BackoffPolicy};
+pub use protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
+pub use retry::{with_backoff, with_backoff_budgeted, BackoffPolicy};
 pub use server::{serve_lines, serve_unix, ServeSummary, ServerConfig};

@@ -112,6 +112,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
+/// Best-effort `id` extraction from a **raw** input line, for response
+/// paths that run before (or without) full request validation — shed
+/// responses and panic recovery. Any line that parses as a JSON object
+/// with a string `id` yields that id, even when the request as a whole
+/// is invalid (bad op, wrong field types, …); everything else yields
+/// `None`, which those paths render as a well-formed `"id": null`.
+pub fn extract_raw_id(line: &str) -> Option<String> {
+    let v = parse(line.trim()).ok()?;
+    match v.get("id") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
 /// A single-line JSON object writer (insertion-ordered, no trailing
 /// comma bookkeeping for callers).
 #[derive(Debug, Default)]
@@ -150,6 +164,21 @@ impl JsonObj {
         match v {
             Some(v) => self.str(k, v),
             None => self,
+        }
+    }
+
+    /// Adds a string member, writing an explicit `null` when `v` is
+    /// `None` (unlike [`opt_str`](Self::opt_str), which omits the key).
+    /// Used where the protocol promises the key is always present —
+    /// e.g. `id` on shed and panic responses.
+    pub fn nullable_str(mut self, k: &str, v: Option<&str>) -> Self {
+        match v {
+            Some(v) => self.str(k, v),
+            None => {
+                self.key(k);
+                self.buf.push_str("null");
+                self
+            }
         }
     }
 
@@ -239,6 +268,36 @@ mod tests {
         assert!(parse_request(r#"{"op":"plan","seed":-1}"#).is_err());
         assert!(parse_request(r#"{"op":"plan","seed":1.5}"#).is_err());
         assert!(parse_request(r#"{"op":"plan","dataset":7}"#).is_err());
+    }
+
+    #[test]
+    fn raw_id_survives_invalid_requests() {
+        // Valid object, invalid request: the id is still recoverable.
+        assert_eq!(
+            extract_raw_id(r#"{"op":"destroy","id":"x1"}"#).as_deref(),
+            Some("x1")
+        );
+        assert_eq!(
+            extract_raw_id(r#"{"id":"only-an-id","dataset":7}"#).as_deref(),
+            Some("only-an-id")
+        );
+        // Non-string ids and non-object lines yield None.
+        assert_eq!(extract_raw_id(r#"{"id":42}"#), None);
+        assert_eq!(extract_raw_id(r#"{"id":null}"#), None);
+        assert_eq!(extract_raw_id("[1,2]"), None);
+        assert_eq!(extract_raw_id("not json at all"), None);
+        assert_eq!(extract_raw_id(""), None);
+    }
+
+    #[test]
+    fn nullable_str_always_emits_the_key() {
+        let line = JsonObj::new()
+            .nullable_str("id", None)
+            .nullable_str("other", Some("v"))
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("id"), Some(&Json::Null));
+        assert_eq!(v.get("other").unwrap().as_str(), Some("v"));
     }
 
     #[test]

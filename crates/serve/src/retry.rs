@@ -9,6 +9,7 @@
 //! retries it spent so responses can surface `retries: N`.
 
 use std::time::Duration;
+use tpp_core::Budget;
 use tpp_store::StoreError;
 
 /// Retry policy: attempt count and sleep schedule.
@@ -61,6 +62,24 @@ impl BackoffPolicy {
 /// poison.
 pub fn with_backoff<T>(
     policy: &BackoffPolicy,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> (Result<T, StoreError>, u32) {
+    with_backoff_budgeted(policy, None, op)
+}
+
+/// [`with_backoff`], capped by the request's remaining deadline.
+///
+/// A retry sleep the budget cannot afford is pure loss: the request
+/// would wake already expired, and the EDA/partial fallback tiers —
+/// which could still have answered in time — never get their turn. So
+/// before each sleep this checks the budget and **abandons the retry
+/// loop** (returning the transient error as final) when the budget is
+/// already expired or the pending delay would not fit in the remaining
+/// wall-clock. `budget: None` (or a budget without a deadline) behaves
+/// exactly like [`with_backoff`].
+pub fn with_backoff_budgeted<T>(
+    policy: &BackoffPolicy,
+    budget: Option<&Budget>,
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> (Result<T, StoreError>, u32) {
     let attempts = policy.max_attempts.max(1);
@@ -69,6 +88,22 @@ pub fn with_backoff<T>(
         match op() {
             Ok(v) => return (Ok(v), retries),
             Err(e) if e.is_retryable() && retries + 1 < attempts => {
+                let delay = policy.delay_for(retries);
+                if let Some(budget) = budget {
+                    let affordable = !budget.expired()
+                        && budget.remaining_time().map_or(true, |rem| rem > delay);
+                    if !affordable {
+                        tpp_obs::obs_event!(
+                            tpp_obs::Level::Warn,
+                            "serve.retry_abandoned",
+                            retry = retries + 1,
+                            delay_ms = delay.as_millis() as u64,
+                            error = e.to_string(),
+                        );
+                        tpp_obs::metrics().counter("serve.retry_abandoned").inc();
+                        return (Err(e), retries);
+                    }
+                }
                 tpp_obs::obs_event!(
                     tpp_obs::Level::Warn,
                     "serve.retry",
@@ -76,7 +111,7 @@ pub fn with_backoff<T>(
                     error = e.to_string(),
                 );
                 tpp_obs::metrics().counter("serve.retry").inc();
-                std::thread::sleep(policy.delay_for(retries));
+                std::thread::sleep(delay);
                 retries += 1;
             }
             Err(e) => return (Err(e), retries),
@@ -150,6 +185,47 @@ mod tests {
         assert!(r.is_err());
         assert_eq!(calls, 3);
         assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn budget_cap_abandons_unaffordable_sleeps() {
+        let policy = BackoffPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(50),
+        };
+        // 10 ms of deadline cannot afford a 50 ms sleep: the transient
+        // error comes back immediately, leaving the deadline for the
+        // fallback tiers.
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(10));
+        let mut calls = 0;
+        let started = std::time::Instant::now();
+        let (r, retries) = with_backoff_budgeted(&policy, Some(&budget), || {
+            calls += 1;
+            Err::<(), _>(transient())
+        });
+        assert!(r.is_err());
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+        assert!(started.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn deadline_free_budget_retries_like_the_plain_loop() {
+        let policy = BackoffPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let budget = Budget::unlimited();
+        let mut calls = 0;
+        let (r, retries) = with_backoff_budgeted(&policy, Some(&budget), || {
+            calls += 1;
+            Err::<(), _>(transient())
+        });
+        assert!(r.is_err());
+        assert_eq!(retries, 2);
+        assert_eq!(calls, 3);
     }
 
     #[test]

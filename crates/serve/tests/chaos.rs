@@ -232,6 +232,58 @@ fn mixed_fault_storm_answers_every_request() {
 }
 
 #[test]
+fn stall_plus_flaky_load_still_answers_inside_the_deadline() {
+    // Regression: the retry backoff used to sleep without consulting
+    // the request budget, so a stall that had already eaten most of the
+    // deadline left the retry loop sleeping through the rest — the
+    // EDA/partial tiers never got their turn in time. Here the stall
+    // burns ~80 ms of a 150 ms deadline and every checkpoint-load
+    // attempt fails transiently under a backoff whose *first* sleep
+    // (200 ms) no longer fits: the loop must abandon immediately
+    // (retries: 0) and fall back to EDA with time to spare.
+    let dir = temp_dir("stall-flaky");
+    seed_checkpoints(&dir, 1);
+    let config = ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        backoff: tpp_serve::BackoffPolicy {
+            max_attempts: 6,
+            base_delay: std::time::Duration::from_millis(200),
+            max_delay: std::time::Duration::from_millis(2_000),
+        },
+        chaos: "stall@1:80,flaky@1".parse().unwrap(),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::new(config);
+    let started = std::time::Instant::now();
+    let r = handle(
+        &engine,
+        r#"{"op":"recommend","dataset":"ds-ct","deadline_ms":150,"id":"sf1"}"#,
+    );
+    let elapsed = started.elapsed();
+    assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+    assert_eq!(str_of(&r, "id"), "sf1");
+    assert_eq!(str_of(&r, "tier"), "eda");
+    assert_eq!(get(&r, "degraded"), &Json::Bool(true));
+    assert_eq!(
+        get(&r, "retries").as_f64(),
+        Some(0.0),
+        "no retry sleep fits in the remaining budget: {r:?}"
+    );
+    assert!(
+        matches!(get(&r, "fallbacks"), Json::Arr(f) if f.iter().any(
+            |x| x.as_str().is_some_and(|s| s.contains("flaky")))),
+        "the fallback reason names the transient load failure: {r:?}"
+    );
+    // An uncapped loop would sleep 200+400+800+1600+2000 ms on top of
+    // the stall; the capped one answers in stall + fallback time.
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "answered in {elapsed:?}, so the backoff did not sleep past the deadline"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn transient_store_errors_are_retried_into_success() {
     // A FaultFs that injects a transient error on the first read makes
     // load_latest fail once; the backoff loop must absorb it. Driven at

@@ -28,6 +28,41 @@ const EXT: &str = "qpol";
 /// Name of the advisory newest-generation pointer file.
 const LATEST: &str = "LATEST";
 
+/// A cheap observation of the newest on-disk generation: its number
+/// plus the file's length and mtime. The serving layer's policy cache
+/// folds these into a token ([`GenerationStamp::token`]) and treats any
+/// token change — a new generation landing, or the newest file being
+/// modified in place (bit-rot, chaos corruption) — as an invalidation
+/// event, without ever reading the payload on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationStamp {
+    /// The newest generation number present.
+    pub generation: u64,
+    /// Length of that generation's file in bytes.
+    pub len: u64,
+    /// Its mtime in nanoseconds since the Unix epoch.
+    pub mtime_nanos: u128,
+}
+
+impl GenerationStamp {
+    /// A 64-bit fingerprint of the observation (FNV-1a over the three
+    /// fields). Equal stamps yield equal tokens; any field change moves
+    /// the token with overwhelming probability.
+    pub fn token(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.generation.to_le_bytes());
+        eat(&self.len.to_le_bytes());
+        eat(&self.mtime_nanos.to_le_bytes());
+        h
+    }
+}
+
 /// A keep-last-K generational checkpoint directory.
 pub struct CheckpointSet<'f> {
     fs: &'f dyn Vfs,
@@ -87,6 +122,27 @@ impl<'f> CheckpointSet<'f> {
         gens.sort_unstable();
         gens.dedup();
         Ok(gens)
+    }
+
+    /// Observes the newest generation without reading it: number, file
+    /// length, mtime. `Ok(None)` for an empty or absent set. This is
+    /// the cache-invalidation probe — one `read_dir` plus one `stat`,
+    /// no payload I/O, no checksum work.
+    pub fn observe_newest(&self) -> Result<Option<GenerationStamp>, StoreError> {
+        let gens = self.generations()?;
+        let Some(&generation) = gens.last() else {
+            return Ok(None);
+        };
+        let path = self.generation_path(generation);
+        let (len, mtime_nanos) = self
+            .fs
+            .stat(&path)
+            .map_err(|e| StoreError::at(&path, e.into()))?;
+        Ok(Some(GenerationStamp {
+            generation,
+            len,
+            mtime_nanos,
+        }))
     }
 
     /// Writes `ckpt` as the next generation, updates `LATEST`, and
@@ -276,6 +332,40 @@ mod tests {
         assert_eq!(set.generations().unwrap(), vec![1]);
         let (generation, _) = set.load_latest().unwrap().unwrap();
         assert_eq!(generation, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_newest_tracks_rotation_and_in_place_rewrite() {
+        let dir = tmp_dir("observe");
+        let set = CheckpointSet::new(&RealFs, &dir, 3);
+        assert_eq!(set.observe_newest().unwrap(), None);
+
+        set.save(&ckpt(10)).unwrap();
+        let first = set.observe_newest().unwrap().unwrap();
+        assert_eq!(first.generation, 1);
+        // Stable while nothing changes.
+        assert_eq!(
+            set.observe_newest().unwrap().unwrap().token(),
+            first.token()
+        );
+
+        // A new generation moves the stamp (and the token).
+        set.save(&ckpt(20)).unwrap();
+        let second = set.observe_newest().unwrap().unwrap();
+        assert_eq!(second.generation, 2);
+        assert_ne!(second.token(), first.token());
+
+        // An in-place rewrite of the newest file keeps the generation
+        // number but still moves the token (len and/or mtime change).
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let path = set.generation_path(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        let rewritten = set.observe_newest().unwrap().unwrap();
+        assert_eq!(rewritten.generation, 2);
+        assert_ne!(rewritten.token(), second.token());
         std::fs::remove_dir_all(&dir).ok();
     }
 

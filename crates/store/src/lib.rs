@@ -32,7 +32,7 @@ pub mod policy;
 pub mod vfs;
 
 pub use atomic::{atomic_write, AtomicFile};
-pub use checkpoint::CheckpointSet;
+pub use checkpoint::{CheckpointSet, GenerationStamp};
 pub use error::StoreError;
 pub use json::{load_json, load_json_with, save_json, save_json_with};
 pub use policy::{

@@ -39,6 +39,20 @@ pub trait Vfs {
     fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
     /// Whether a path exists.
     fn exists(&self, path: &Path) -> bool;
+    /// Cheap file observation: `(length, mtime in nanos since the Unix
+    /// epoch)`. Used by the serving layer's checkpoint watch to notice
+    /// rotation or in-place modification without reading the payload.
+    /// Like reads, this is not a fault-injection point, so the default
+    /// goes straight to `std::fs` for every implementation.
+    fn stat(&self, path: &Path) -> io::Result<(u64, u128)> {
+        let meta = fs::metadata(path)?;
+        let mtime = meta
+            .modified()?
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        Ok((meta.len(), mtime))
+    }
 }
 
 /// The production filesystem: `std::fs` with explicit fsyncs.

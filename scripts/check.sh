@@ -21,6 +21,11 @@ run cargo test -q -p tpp-store --test atomicity
 run cargo test -q -p tpp-core --test equivalence
 run cargo test -q -p rl-planner-cli --test checkpoint_resume
 run cargo test -q -p tpp-serve --test chaos
+# Policy cache: duplicate bursts coalesce onto one training run,
+# eviction honours the byte bound, checkpoint rotation invalidates.
+run cargo test -q -p tpp-serve --test cache
+# NDJSON framing fuzz: every line in, one well-formed response out.
+run cargo test -q -p tpp-serve --test fuzz_framing
 # Chaos smoke: 200 NDJSON requests through the real daemon with panic,
 # stall and corruption injection — zero deaths, zero unanswered.
 run cargo test -q -p rl-planner-cli --test serve_daemon
