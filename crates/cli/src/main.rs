@@ -106,6 +106,9 @@ const USAGE: &str = "usage:
                    [--max-episodes N] [--capacity N] [--workers N]
                    [--max-requests N] [--chaos SPEC]
                    [--cache-entries N] [--cache-mb N] [--no-cache]
+                   [--flight-dir DIR] [--flight-events N] [--slow-ms N]
+  rl-planner obs metrics SNAPSHOT.json [--format prom|text|json]
+  rl-planner obs trace TRACE.jsonl [--trace-id HEX]
   rl-planner datagen --dataset <name> --out dataset.json
   rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
   rl-planner bench --serve [--dataset <name>] [--requests N] [--episodes N]
@@ -132,6 +135,14 @@ serving (serve):
   --cache-entries N       policy cache entry bound (default 32)
   --cache-mb N            policy cache byte bound in MiB (default 64)
   --no-cache              disable the policy cache and single-flight coalescing
+  --flight-dir DIR        dump the flight-recorder ring to DIR on panic/shed/
+                          deadline-overrun/slow incidents (JSONL post-mortems)
+  --flight-events N       flight-recorder ring capacity in events (default 256)
+  --slow-ms N             requests slower than N ms also trigger a flight dump
+observability (obs):
+  obs metrics FILE        re-render a --metrics JSON snapshot (prom, text or json)
+  obs trace FILE          reconstruct span trees from a --trace JSONL file
+  --trace-id HEX          show only the trace with this 16-hex id
 serve bench (bench --serve):
   --requests N            requests per dataset, first one cold (default 50)
   --episodes N            training episodes per plan request (default 300)
@@ -669,6 +680,11 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
             if let Some(n) = parse_u64("cache-mb")? {
                 config.cache.max_bytes = (n as usize) << 20;
             }
+            config.flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+            if let Some(n) = parse_u64("flight-events")? {
+                config.flight_capacity = n as usize;
+            }
+            config.slow_request_ms = parse_u64("slow-ms")?;
             let server = tpp_serve::ServerConfig {
                 capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
                 workers: parse_u64("workers")?.unwrap_or(2) as usize,
@@ -699,6 +715,65 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
             }
             obs.summary();
             Ok(Outcome::Clean)
+        }
+        "obs" => {
+            // Positional layout (`obs <mode> <file> [flags]`) is parsed
+            // by hand before the flag parser sees the remainder.
+            let mode = args.get(1).ok_or("obs needs a mode: metrics|trace")?;
+            match mode.as_str() {
+                "metrics" => {
+                    let path = args
+                        .get(2)
+                        .ok_or("obs metrics needs a snapshot file (written by --metrics FILE)")?;
+                    let flags = Flags::parse(&args[3..])?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                    let v = tpp_obs::json::parse(text.trim())
+                        .map_err(|e| format!("{path}: invalid json: {e}"))?;
+                    let m = tpp_obs::Metrics::from_snapshot(&v)
+                        .map_err(|e| format!("{path}: not a metrics snapshot: {e}"))?;
+                    match flags.get("format").unwrap_or("prom") {
+                        "prom" | "prometheus" => print!("{}", m.render_prometheus()),
+                        "text" => print!("{}", m.render_text()),
+                        "json" => println!("{}", m.render_json()),
+                        other => {
+                            return Err(format!("unknown --format {other:?} (prom|text|json)"))
+                        }
+                    }
+                    Ok(Outcome::Clean)
+                }
+                "trace" => {
+                    let path = args
+                        .get(2)
+                        .ok_or("obs trace needs a JSONL file (written by --trace FILE)")?;
+                    let flags = Flags::parse(&args[3..])?;
+                    let filter = flags
+                        .get("trace-id")
+                        .map(|s| {
+                            tpp_obs::trace::parse_hex(s)
+                                .ok_or_else(|| format!("bad --trace-id {s:?} (want 16 hex digits)"))
+                        })
+                        .transpose()?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                    let trees = tpp_obs::trace::reconstruct_jsonl(text.lines());
+                    let total = trees.len();
+                    let mut shown = 0usize;
+                    for tree in &trees {
+                        if filter.is_some_and(|id| tree.trace_id != id) {
+                            continue;
+                        }
+                        print!("{}", tree.render_ascii());
+                        shown += 1;
+                    }
+                    if filter.is_some() && shown == 0 {
+                        return Err(format!("no trace with that id among {total} trace(s)"));
+                    }
+                    eprintln!("({shown} of {total} trace(s) shown from {path})");
+                    Ok(Outcome::Clean)
+                }
+                other => Err(format!("unknown obs mode {other:?} (metrics|trace)")),
+            }
         }
         "datagen" => {
             let flags = Flags::parse(&args[1..])?;
@@ -910,10 +985,32 @@ fn bench_serve(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         }
         rows.push(row);
     }
+    // End-to-end plan latency percentiles come from the same
+    // `serve.op.plan_us` histogram the daemon's `metrics` op exposes —
+    // the bench is just another reader of the registry.
+    let s = tpp_obs::metrics().histogram("serve.op.plan_us").summary();
+    let plan_latency_us = LatencySummary {
+        count: s.count,
+        mean: s.mean,
+        p50: s.p50,
+        p95: s.p95,
+        p99: s.p99,
+        p999: s.p999,
+        max: s.max,
+    };
+    println!(
+        "plan latency (all datasets): p50 {} us  p95 {} us  p99 {} us  p999 {} us  max {} us",
+        plan_latency_us.p50,
+        plan_latency_us.p95,
+        plan_latency_us.p99,
+        plan_latency_us.p999,
+        plan_latency_us.max
+    );
     let report = ServeBenchReport {
         seed,
         requests,
         rows,
+        plan_latency_us,
     };
     tpp_store::save_json(out, &report).map_err(|e| e.to_string())?;
     println!("(serve benchmark report written to {out})");
@@ -965,10 +1062,24 @@ struct ServeBenchRow {
     cache_coalesced: u64,
 }
 
+/// Latency percentiles lifted from one registry histogram.
+#[derive(serde::Serialize)]
+struct LatencySummary {
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+}
+
 /// Root of `BENCH_serve.json`.
 #[derive(serde::Serialize)]
 struct ServeBenchReport {
     seed: u64,
     requests: usize,
     rows: Vec<ServeBenchRow>,
+    /// `serve.op.plan_us` percentiles across every request in the run.
+    plan_latency_us: LatencySummary,
 }

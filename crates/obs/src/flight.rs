@@ -1,0 +1,208 @@
+//! Flight recorder: a constant-memory ring buffer of the last N
+//! events, dumped on demand for post-mortems.
+//!
+//! The serving daemon cannot afford to log every event of every request
+//! to disk, but when something goes wrong — a panic is caught, a
+//! request is shed, a deadline blows — the events *leading up to* the
+//! incident are exactly what a post-mortem needs. The
+//! [`FlightRecorder`] is a [`Sink`] that keeps the most recent
+//! `capacity` events as rendered JSONL lines in a lock-protected ring;
+//! memory use is bounded by the line sizes of the last N events and
+//! nothing is written anywhere until [`dump_jsonl`](FlightRecorder::dump_jsonl)
+//! or [`dump_to_file`](FlightRecorder::dump_to_file) is called.
+//!
+//! Install it alongside the normal sinks:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpp_obs as obs;
+//!
+//! let recorder = Arc::new(obs::FlightRecorder::new(128, obs::Level::Debug));
+//! obs::add_sink(recorder.clone());
+//! obs::obs_event!(obs::Level::Info, "request.start", id = 7);
+//! let dump = recorder.dump_jsonl();
+//! assert!(dump.contains("request.start"));
+//! obs::clear_sinks();
+//! ```
+
+use crate::level::Level;
+use crate::sink::{render_jsonl, Sink};
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A ring-buffer sink holding the last N events (see module docs).
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<String>>,
+    capacity: usize,
+    level: Level,
+    recorded: AtomicU64,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events at or below
+    /// `level`. A zero capacity is clamped to 1.
+    pub fn new(capacity: usize, level: Level) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            level,
+            recorded: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including those already evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// How many times the ring has been dumped.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// The ring's contents, oldest first, as one JSONL document
+    /// (newline-terminated lines). The ring is left intact so
+    /// overlapping incidents each get full context.
+    pub fn dump_jsonl(&self) -> String {
+        self.dumps.fetch_add(1, Ordering::Relaxed);
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        let mut out = String::with_capacity(ring.iter().map(|l| l.len() + 1).sum());
+        for line in ring.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`dump_jsonl`](Self::dump_jsonl) to `path` (created or
+    /// truncated), fsync-free best effort.
+    pub fn dump_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let body = self.dump_jsonl();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(body.as_bytes())?;
+        f.flush()
+    }
+
+    /// Drops every held event (counters are preserved).
+    pub fn clear(&self) {
+        self.ring.lock().expect("flight ring poisoned").clear();
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, t_us: u64, level: Level, name: &str, fields: &[(&'static str, Value)]) {
+        let line = render_jsonl(t_us, level, name, fields);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_n(rec: &FlightRecorder, n: u64) {
+        for i in 0..n {
+            rec.record(i, Level::Info, "tick", &[("i", Value::U64(i))]);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let rec = FlightRecorder::new(4, Level::Debug);
+        record_n(&rec, 10);
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.total_recorded(), 10);
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Oldest-first, and only the last four survive.
+        for (idx, expect_i) in (6..10).enumerate() {
+            let v = crate::json::parse(lines[idx]).unwrap();
+            assert_eq!(
+                v.get("fields")
+                    .and_then(|f| f.get("i"))
+                    .and_then(|x| x.as_f64()),
+                Some(expect_i as f64),
+            );
+        }
+    }
+
+    #[test]
+    fn dump_preserves_the_ring_and_counts() {
+        let rec = FlightRecorder::new(8, Level::Debug);
+        record_n(&rec, 3);
+        let a = rec.dump_jsonl();
+        let b = rec.dump_jsonl();
+        assert_eq!(a, b, "dumping is non-destructive");
+        assert_eq!(rec.dump_count(), 2);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.total_recorded(), 3);
+    }
+
+    #[test]
+    fn dump_to_file_writes_parseable_jsonl() {
+        let rec = FlightRecorder::new(8, Level::Debug);
+        record_n(&rec, 5);
+        let path = std::env::temp_dir().join(format!("tpp-flight-{}.jsonl", std::process::id()));
+        rec.dump_to_file(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 5);
+        for line in body.lines() {
+            crate::json::parse(line).expect("valid JSONL");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn level_gate_is_respected_via_registry() {
+        let _guard = crate::testutil::GLOBAL.lock().unwrap();
+        crate::clear_sinks();
+        let rec = std::sync::Arc::new(FlightRecorder::new(8, Level::Info));
+        crate::add_sink(rec.clone());
+        crate::obs_event!(Level::Info, "kept");
+        crate::obs_event!(Level::Debug, "filtered");
+        crate::clear_sinks();
+        let dump = rec.dump_jsonl();
+        assert!(dump.contains("kept"));
+        assert!(!dump.contains("filtered"));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let rec = FlightRecorder::new(0, Level::Debug);
+        record_n(&rec, 3);
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -25,6 +25,9 @@
 //! Every line is one object: `{"t_us": <u64 microseconds since the
 //! first obs call>, "level": "error|warn|info|debug|trace", "event":
 //! <string>, "fields": {<string>: <number|string|bool|null>, …}}`.
+//! While a request-scoped [`trace::TraceCtx`] is installed on the
+//! emitting thread, `fields` additionally carries `trace_id`/`span_id`
+//! (and `parent_id` on non-root spans) as 16-char hex strings.
 //!
 //! ## Example
 //!
@@ -53,19 +56,23 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 mod level;
 mod metrics;
 mod sink;
 mod span;
+pub mod trace;
 mod value;
 
+pub use flight::FlightRecorder;
 pub use level::Level;
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSummary, Metrics, N_BUCKETS,
 };
 pub use sink::{render_jsonl, CollectorSink, JsonlSink, PrettySink, Sink};
 pub use span::Span;
+pub use trace::{TraceCtx, TraceGuard};
 pub use value::Value;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -128,12 +135,32 @@ pub fn flush() {
 
 /// Emits one event to every sink whose level admits it.
 ///
+/// When a [`trace::TraceCtx`] is installed on the current thread (via
+/// [`trace::enter`] or an enclosing [`Span`]), the event automatically
+/// gains `trace_id`/`span_id` (and `parent_id` for non-root spans) as
+/// fixed-width hex strings.
+///
 /// Prefer [`obs_event!`], which skips field construction entirely when
 /// the level is disabled.
 pub fn emit(level: Level, name: &str, fields: &[(&'static str, Value)]) {
     if !enabled(level) {
         return;
     }
+    let traced;
+    let fields = match trace::current() {
+        Some(ctx) => {
+            let mut v: Vec<(&'static str, Value)> = Vec::with_capacity(fields.len() + 3);
+            v.extend_from_slice(fields);
+            v.push(("trace_id", Value::Str(trace::hex(ctx.trace_id))));
+            v.push(("span_id", Value::Str(trace::hex(ctx.span_id))));
+            if let Some(parent) = ctx.parent_id {
+                v.push(("parent_id", Value::Str(trace::hex(parent))));
+            }
+            traced = v;
+            traced.as_slice()
+        }
+        None => fields,
+    };
     let t_us = now_us();
     for sink in SINKS.read().expect("sink registry poisoned").iter() {
         if level <= sink.max_level() {

@@ -155,8 +155,11 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) estimated from bucket
-    /// midpoints; exact for values below 4. Returns 0 when empty.
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), linearly interpolated within
+    /// the log bucket the rank falls in (assuming samples spread
+    /// uniformly across the bucket); exact for values below 4 and for
+    /// piecewise-uniform data, and never worse than one bucket width
+    /// (12.5% relative) otherwise. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -168,14 +171,50 @@ impl Histogram {
         }
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= rank {
-                let (lo, hi) = bucket_bounds(i);
-                // Midpoint, clamped by the exact observed maximum.
-                return (lo + (hi - lo) / 2).min(self.max());
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
             }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                // Stay inside the bucket and below the exact observed
+                // maximum (the bucket's top may overshoot reality).
+                let est = est.clamp(lo as f64, (hi - 1) as f64) as u64;
+                return est.min(self.max());
+            }
+            cum += c;
         }
         self.max()
+    }
+
+    /// Occupied buckets as `(bucket index, sample count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+
+    /// Merges externally-recorded bucket occupancy into this histogram
+    /// (snapshot import — the inverse of [`Self::nonzero_buckets`]).
+    /// Out-of-range bucket indices are ignored.
+    pub fn absorb_parts(&self, buckets: &[(usize, u64)], sum: u64, max: u64) {
+        let mut n = 0u64;
+        for &(i, c) in buckets {
+            if i < N_BUCKETS && c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+                n += c;
+            }
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        self.max.fetch_max(max, Ordering::Relaxed);
     }
 
     /// A point-in-time summary of the histogram.
@@ -186,6 +225,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             max: self.max(),
         }
     }
@@ -204,6 +244,8 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
     /// Exact maximum.
     pub max: u64,
 }
@@ -298,8 +340,8 @@ impl Metrics {
                 let s = h.summary();
                 let _ = writeln!(
                     out,
-                    "  {name:<40} count={} mean={:.1} p50={} p95={} p99={} max={}",
-                    s.count, s.mean, s.p50, s.p95, s.p99, s.max
+                    "  {name:<40} count={} mean={:.1} p50={} p95={} p99={} p999={} max={}",
+                    s.count, s.mean, s.p50, s.p95, s.p99, s.p999, s.max
                 );
             }
         }
@@ -343,13 +385,124 @@ impl Metrics {
             let mean = if s.mean.is_finite() { s.mean } else { 0.0 };
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"mean\":{mean},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
-                s.count, s.p50, s.p95, s.p99, s.max
+                ":{{\"count\":{},\"sum\":{},\"mean\":{mean},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{},\"buckets\":[",
+                s.count,
+                h.sum(),
+                s.p50,
+                s.p95,
+                s.p99,
+                s.p999,
+                s.max
             );
+            for (j, (bi, c)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bi},{c}]");
+            }
+            out.push_str("]}");
         }
         out.push_str("}}");
         out
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (metric names sanitized to `[a-zA-Z0-9_:]`; histogram buckets
+    /// cumulative with an explicit `+Inf`).
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {}", c.get());
+        }
+        for (name, g) in &inner.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let v = g.get();
+            if v.is_finite() {
+                let _ = writeln!(out, "{n} {v}");
+            } else {
+                let _ = writeln!(out, "{n} NaN");
+            }
+        }
+        for (name, h) in &inner.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (bi, c) in h.nonzero_buckets() {
+                cum += c;
+                let (_, hi) = bucket_bounds(bi);
+                let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{n}_sum {}", h.sum());
+            let _ = writeln!(out, "{n}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Rebuilds a registry from a parsed [`Self::render_json`] document,
+    /// so offline tooling (`rl-planner obs`) can re-render a snapshot
+    /// in any format. Histogram entries without a `buckets` array (older
+    /// snapshots) keep only their counters' worth of information and are
+    /// skipped. Errors when `snapshot` is not an object.
+    pub fn from_snapshot(snapshot: &crate::json::Json) -> Result<Metrics, String> {
+        use crate::json::Json;
+        if !matches!(snapshot, Json::Obj(_)) {
+            return Err("metrics snapshot must be a JSON object".into());
+        }
+        let m = Metrics::new();
+        if let Some(Json::Obj(map)) = snapshot.get("counters") {
+            for (name, v) in map {
+                if let Some(n) = v.as_f64() {
+                    m.counter(name).add(n as u64);
+                }
+            }
+        }
+        if let Some(Json::Obj(map)) = snapshot.get("gauges") {
+            for (name, v) in map {
+                m.gauge(name).set(v.as_f64().unwrap_or(f64::NAN));
+            }
+        }
+        if let Some(Json::Obj(map)) = snapshot.get("histograms") {
+            for (name, v) in map {
+                let Some(Json::Arr(buckets)) = v.get("buckets") else {
+                    continue;
+                };
+                let parts: Vec<(usize, u64)> = buckets
+                    .iter()
+                    .filter_map(|pair| match pair {
+                        Json::Arr(p) if p.len() == 2 => {
+                            let bi = p[0].as_f64()? as usize;
+                            let c = p[1].as_f64()? as u64;
+                            Some((bi, c))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let sum = v.get("sum").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let max = v.get("max").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                m.histogram(name).absorb_parts(&parts, sum, max);
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Sanitizes a registry name into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); every invalid char becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -456,6 +609,121 @@ mod tests {
             .and_then(|h| h.get("h.lat"))
             .unwrap();
         assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn interpolated_quantiles_pin_known_distributions() {
+        // Uniform over 1..=1024: every octave's sub-buckets are fully
+        // and evenly populated, so linear interpolation is exact to ±1
+        // (the rank-to-value map is off-by-one at bucket edges).
+        let h = Histogram::default();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 512i64), (0.99, 1014), (0.999, 1023)] {
+            let got = h.quantile(q) as i64;
+            assert!((got - exact).abs() <= 1, "q={q}: got {got}, exact {exact}");
+        }
+        // At p999 a midpoint estimate would sit mid-bucket ([896,1024) →
+        // 960, 6% low); interpolation must do strictly better than half
+        // a bucket.
+        assert!(h.quantile(0.999) >= 1020);
+
+        // Uniform 1..=1000 (top bucket only partially filled): the
+        // observed-max clamp keeps estimates inside the data.
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!((h.quantile(0.5) as i64 - 500).abs() <= 1);
+        assert!(h.quantile(0.99) <= 1000);
+        assert!(h.quantile(0.999) <= 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+
+        // A spike: every sample identical → every quantile is that
+        // value's bucket floor at worst, clamped by max to the exact
+        // value.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn summary_includes_p999() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p999 >= s.p99);
+        assert!(s.p999 <= s.max);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let m = Metrics::new();
+        m.counter("serve.requests").add(7);
+        m.gauge("serve.queue_depth").set(3.0);
+        let h = m.histogram("serve.queue_wait_us");
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter"));
+        assert!(text.contains("serve_requests 7"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 3"));
+        assert!(text.contains("# TYPE serve_queue_wait_us histogram"));
+        // Cumulative buckets: the 5s (bucket [5,6) → le="6") then the
+        // 100 (bucket [96,112) → le="112"), then +Inf == count.
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"6\"} 2"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"112\"} 3"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_queue_wait_us_sum 110"));
+        assert!(text.contains("serve_queue_wait_us_count 3"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unsanitized name {bare:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_through_from_snapshot() {
+        let m = Metrics::new();
+        m.counter("hits").add(41);
+        m.gauge("depth").set(2.5);
+        let h = m.histogram("lat.us");
+        for v in [3u64, 90, 90, 1500] {
+            h.record(v);
+        }
+        let snapshot = crate::json::parse(&m.render_json()).unwrap();
+        let back = Metrics::from_snapshot(&snapshot).unwrap();
+        assert_eq!(back.counter("hits").get(), 41);
+        assert_eq!(back.gauge("depth").get(), 2.5);
+        let hb = back.histogram("lat.us");
+        assert_eq!(hb.count(), 4);
+        assert_eq!(hb.sum(), h.sum());
+        assert_eq!(hb.max(), 1500);
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(hb.quantile(q), h.quantile(q), "q={q}");
+        }
+        // Re-rendering the reconstruction matches the original exactly.
+        assert_eq!(back.render_json(), m.render_json());
+        assert_eq!(back.render_prometheus(), m.render_prometheus());
+
+        assert!(Metrics::from_snapshot(&crate::json::Json::Null).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::value::Value;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// A destination for structured events.
@@ -55,9 +55,27 @@ pub fn render_jsonl(
 }
 
 /// Machine-readable sink: one JSON object per line.
+///
+/// File-backed sinks can rotate: when [`JsonlSink::create_rotating`]
+/// sets a size cap, the file is renamed to `<path>.1` (replacing any
+/// previous `.1`) once the cap is crossed and a fresh file takes its
+/// place, bounding disk use at roughly twice the cap for arbitrarily
+/// long daemon runs. Warn/error events flush through immediately, and
+/// the buffer is flushed on drop, so a crashing process keeps its tail.
 pub struct JsonlSink {
-    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    out: Mutex<SinkOut>,
     level: Level,
+}
+
+struct SinkOut {
+    writer: BufWriter<Box<dyn Write + Send>>,
+    rotation: Option<Rotation>,
+}
+
+struct Rotation {
+    path: PathBuf,
+    max_bytes: u64,
+    written: u64,
 }
 
 impl JsonlSink {
@@ -68,12 +86,60 @@ impl JsonlSink {
         Ok(Self::to_writer(Box::new(file), level))
     }
 
-    /// Wraps an arbitrary writer (tests, pipes).
+    /// Like [`Self::create`], but rotates `path` to `<path>.1` whenever
+    /// it grows past `max_bytes` (one generation is kept; a zero cap is
+    /// treated as 1 byte, i.e. rotate after every line).
+    pub fn create_rotating(
+        path: impl AsRef<Path>,
+        level: Level,
+        max_bytes: u64,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(SinkOut {
+                writer: BufWriter::new(Box::new(file)),
+                rotation: Some(Rotation {
+                    path,
+                    max_bytes: max_bytes.max(1),
+                    written: 0,
+                }),
+            }),
+            level,
+        })
+    }
+
+    /// Wraps an arbitrary writer (tests, pipes). Never rotates.
     pub fn to_writer(writer: Box<dyn Write + Send>, level: Level) -> Self {
         JsonlSink {
-            out: Mutex::new(BufWriter::new(writer)),
+            out: Mutex::new(SinkOut {
+                writer: BufWriter::new(writer),
+                rotation: None,
+            }),
             level,
         }
+    }
+}
+
+impl SinkOut {
+    fn rotate_if_due(&mut self) {
+        let Some(rot) = &mut self.rotation else {
+            return;
+        };
+        if rot.written < rot.max_bytes {
+            return;
+        }
+        let _ = self.writer.flush();
+        let mut rotated = rot.path.clone().into_os_string();
+        rotated.push(".1");
+        // Best effort: if the rename or reopen fails we keep appending
+        // to the current file and retry at the next threshold.
+        if std::fs::rename(&rot.path, &rotated).is_ok() {
+            if let Ok(file) = File::create(&rot.path) {
+                self.writer = BufWriter::new(Box::new(file));
+            }
+        }
+        rot.written = 0;
     }
 }
 
@@ -86,18 +152,25 @@ impl Sink for JsonlSink {
         let mut line = render_jsonl(t_us, level, name, fields);
         line.push('\n');
         let mut out = self.out.lock().expect("jsonl sink poisoned");
-        let _ = out.write_all(line.as_bytes());
+        let _ = out.writer.write_all(line.as_bytes());
+        if let Some(rot) = &mut out.rotation {
+            rot.written += line.len() as u64;
+        }
+        if level <= Level::Warn {
+            let _ = out.writer.flush();
+        }
+        out.rotate_if_due();
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let _ = self.out.lock().expect("jsonl sink poisoned").writer.flush();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
+            let _ = out.writer.flush();
         }
     }
 }
@@ -212,6 +285,81 @@ mod tests {
         assert!(line.contains("WARN"));
         assert!(line.contains("gate.reject kind=credits"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn rotating_sink_caps_file_size_and_keeps_one_generation() {
+        let dir = std::env::temp_dir().join(format!("tpp-obs-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let rotated = dir.join("trace.jsonl.1");
+        {
+            let sink = JsonlSink::create_rotating(&path, Level::Trace, 256).unwrap();
+            for i in 0..64u64 {
+                sink.record(i, Level::Info, "tick", &[("i", Value::U64(i))]);
+            }
+            sink.flush();
+            // Live file never holds more than cap + one line.
+            let live = std::fs::metadata(&path).unwrap().len();
+            assert!(live <= 256 + 128, "live file too big: {live}");
+        }
+        assert!(rotated.exists(), "rotation must produce a .1 file");
+        // Every line in both generations parses, and together they hold
+        // all 64 events exactly once, in order.
+        let mut all = String::new();
+        all.push_str(&std::fs::read_to_string(&rotated).unwrap());
+        all.push_str(&std::fs::read_to_string(&path).unwrap());
+        // `.1` keeps only the most recent rotated generation, so early
+        // lines may be gone, but the tail must be complete and ordered.
+        let is: Vec<u64> = all
+            .lines()
+            .map(|l| {
+                let v = crate::json::parse(l).expect("valid line");
+                v.get("fields")
+                    .and_then(|f| f.get("i"))
+                    .and_then(|x| x.as_f64())
+                    .unwrap() as u64
+            })
+            .collect();
+        assert!(!is.is_empty());
+        assert_eq!(*is.last().unwrap(), 63, "tail must survive rotation");
+        for w in is.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "lines out of order: {is:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warn_events_flush_through_immediately() {
+        let dir = std::env::temp_dir().join(format!("tpp-obs-warnflush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warn.jsonl");
+        let sink = JsonlSink::create(&path, Level::Trace).unwrap();
+        sink.record(1, Level::Info, "buffered", &[]);
+        sink.record(2, Level::Warn, "flushed", &[]);
+        // No explicit flush, sink still alive: the warn (and everything
+        // before it) must already be on disk.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("buffered"));
+        assert!(body.contains("flushed"));
+        drop(sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropping_the_sink_flushes_buffered_lines() {
+        let dir = std::env::temp_dir().join(format!("tpp-obs-dropflush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.jsonl");
+        {
+            let sink = JsonlSink::create(&path, Level::Trace).unwrap();
+            sink.record(1, Level::Info, "only.on.drop", &[]);
+            // BufWriter default capacity far exceeds one short line, so
+            // nothing reaches disk until the drop below.
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("only.on.drop"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! RAII spans: monotonic timings around a scope, emitted as events.
 
 use crate::level::Level;
+use crate::trace::{self, TraceCtx};
 use crate::value::Value;
 use std::time::Instant;
 
 /// A timed scope. Created via [`crate::span`]; on drop it emits an
 /// event carrying every attached field plus `duration_us`, and records
 /// the duration into the histogram `span.<name>.us`.
+///
+/// When a [`TraceCtx`] is installed on the creating thread, a live span
+/// pushes a **child** context for its scope: events emitted inside it
+/// attach to the span's id, and the span-close event itself carries the
+/// child id with `parent_id` pointing at the enclosing span. The
+/// previous context is restored on drop.
 ///
 /// When the span's level is disabled at creation time the guard is
 /// inert: no clock read, no allocation, no event on drop.
@@ -22,6 +29,9 @@ struct SpanInner {
     level: Level,
     start: Instant,
     fields: Vec<(&'static str, Value)>,
+    /// The child context this span installed (None when no context was
+    /// current at creation), plus the context to restore on drop.
+    trace: Option<(TraceCtx, Option<TraceCtx>)>,
 }
 
 impl Span {
@@ -29,14 +39,30 @@ impl Span {
         if !crate::enabled(level) {
             return Span { inner: None };
         }
+        let trace = trace::current().map(|prev| {
+            let child = prev.child();
+            trace::set_current(Some(child));
+            (child, Some(prev))
+        });
         Span {
             inner: Some(SpanInner {
                 name,
                 level,
                 start: Instant::now(),
                 fields: Vec::new(),
+                trace,
             }),
         }
+    }
+
+    /// The trace context this span installed, if any. Capture this to
+    /// carry the trace across a thread boundary (then [`trace::enter`]
+    /// it on the other side).
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.trace.as_ref())
+            .map(|(child, _)| *child)
     }
 
     /// Attaches a field (builder style). No-op on an inert span.
@@ -73,7 +99,16 @@ impl Drop for Span {
         };
         let duration_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
         inner.fields.push(("duration_us", Value::U64(duration_us)));
+        // Emit while the span's own context is still current, so the
+        // close event carries the span's id; then restore the enclosing
+        // context. If the span was moved to another thread, the current
+        // context there is not ours — leave it alone.
         crate::emit(inner.level, inner.name, &inner.fields);
+        if let Some((child, prev)) = inner.trace {
+            if trace::current() == Some(child) {
+                trace::set_current(prev);
+            }
+        }
         crate::metrics()
             .histogram(&format!("span.{}.us", inner.name))
             .record(duration_us);

@@ -1,0 +1,449 @@
+//! Request-scoped trace context: correlation ids threaded through
+//! events and spans.
+//!
+//! A [`TraceCtx`] is a `(trace_id, span_id, parent_id)` triple. One
+//! trace id identifies everything a single logical request caused —
+//! across the serving queue, worker threads, cache lookups, retries,
+//! fallback tiers, and panic recovery — while span ids give the events
+//! a tree shape that [`reconstruct_jsonl`] can rebuild from a JSONL
+//! sink after the fact.
+//!
+//! The context is **thread-local**: [`enter`] installs a context for
+//! the current thread and returns an RAII guard that restores the
+//! previous one on drop. While a context is installed, every emitted
+//! event (and every [`crate::span`]) automatically carries `trace_id`,
+//! `span_id` and (when non-root) `parent_id` fields; spans additionally
+//! push a child context for their scope, so events inside a span
+//! attach to that span's id.
+//!
+//! Crossing a thread boundary (e.g. a bounded request queue feeding a
+//! worker pool) is explicit: capture the [`TraceCtx`] by value on the
+//! producing side, ship it with the work item, and [`enter`] it on the
+//! consuming side.
+//!
+//! Ids are generated from a process-wide counter mixed through
+//! SplitMix64, so they are unique within the process and — after
+//! [`seed_ids`] — exactly reproducible, which is what lets integration
+//! tests pin "these twelve events share one trace id" instead of
+//! regex-matching randomness.
+//!
+//! ## Wire format
+//!
+//! Ids render as fixed-width lowercase hex strings (16 chars), not JSON
+//! numbers: a u64 does not survive a round-trip through an f64-based
+//! JSON parser, and hex is what every tracing UI expects anyway.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A request-scoped trace context (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Identifies the whole request: shared by every event it causes.
+    pub trace_id: u64,
+    /// Identifies the innermost active span.
+    pub span_id: u64,
+    /// The enclosing span's id (`None` for the root span).
+    pub parent_id: Option<u64>,
+}
+
+impl TraceCtx {
+    /// A fresh root context: new trace id, new root span id, no parent.
+    pub fn root() -> TraceCtx {
+        TraceCtx {
+            trace_id: next_id(),
+            span_id: next_id(),
+            parent_id: None,
+        }
+    }
+
+    /// A child context inside this one: same trace, fresh span id,
+    /// parented to this context's span.
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+            parent_id: Some(self.span_id),
+        }
+    }
+}
+
+/// Fixed-width lowercase hex rendering of a trace/span id.
+pub fn hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses an id previously rendered by [`hex`].
+pub fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+// Id generation: a seeded counter mixed through SplitMix64. The
+// counter, not the mix output, is the state, so reseeding is exact and
+// concurrent callers never produce duplicates.
+static ID_SEED: AtomicU64 = AtomicU64::new(0);
+static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the id generator to a deterministic state. Tests call this so
+/// trace/span ids are exactly reproducible run to run.
+pub fn seed_ids(seed: u64) {
+    ID_SEED.store(seed, Ordering::Relaxed);
+    ID_COUNTER.store(0, Ordering::Relaxed);
+}
+
+fn next_id() -> u64 {
+    let n = ID_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut z = ID_SEED
+        .load(Ordering::Relaxed)
+        .wrapping_add((n.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Zero is reserved as "no id" in human eyes; nudge past it.
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The thread's current trace context, if one is installed.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+pub(crate) fn set_current(ctx: Option<TraceCtx>) {
+    CURRENT.with(|c| c.set(ctx));
+}
+
+/// Installs `ctx` as the thread's current context; the returned guard
+/// restores the previous context when dropped. Guards nest.
+pub fn enter(ctx: TraceCtx) -> TraceGuard {
+    let prev = current();
+    set_current(Some(ctx));
+    TraceGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard from [`enter`]; restores the previous context on drop.
+/// Deliberately `!Send` — the context it manages is thread-local.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: Option<TraceCtx>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        set_current(self.prev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Offline reconstruction: JSONL lines back into span trees.
+// ---------------------------------------------------------------------
+
+/// One span recovered from a JSONL stream, with its point events and
+/// child spans.
+#[derive(Debug, Default)]
+pub struct SpanNode {
+    /// The span's id.
+    pub span_id: u64,
+    /// The enclosing span's id (`None` for roots).
+    pub parent_id: Option<u64>,
+    /// Event name of the span-close event (empty if never closed —
+    /// e.g. the process died mid-span).
+    pub name: String,
+    /// `duration_us` from the span-close event.
+    pub duration_us: Option<u64>,
+    /// Point events attached to this span, as `(t_us, event name)`.
+    pub events: Vec<(u64, String)>,
+    /// Child spans, ordered by close time.
+    pub children: Vec<SpanNode>,
+}
+
+/// All spans of one trace id, as a forest (normally a single root).
+#[derive(Debug)]
+pub struct TraceTree {
+    /// The shared trace id.
+    pub trace_id: u64,
+    /// Root spans (parentless, or parented to a span outside the
+    /// captured window).
+    pub roots: Vec<SpanNode>,
+    /// Events that carried the trace id but no parseable span id.
+    pub orphan_events: usize,
+}
+
+impl TraceTree {
+    /// Total spans in the tree.
+    pub fn span_count(&self) -> usize {
+        fn walk(n: &SpanNode) -> usize {
+            1 + n.children.iter().map(walk).sum::<usize>()
+        }
+        self.roots.iter().map(walk).sum()
+    }
+
+    /// Renders the tree as an indented ASCII outline.
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "trace {}", hex(self.trace_id));
+        fn walk(n: &SpanNode, depth: usize, out: &mut String) {
+            use std::fmt::Write as _;
+            let pad = "  ".repeat(depth + 1);
+            let name = if n.name.is_empty() { "(open)" } else { &n.name };
+            match n.duration_us {
+                Some(us) => {
+                    let _ = writeln!(out, "{pad}{name} [{}] {us}us", hex(n.span_id));
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{name} [{}]", hex(n.span_id));
+                }
+            }
+            for (t_us, ev) in &n.events {
+                let _ = writeln!(out, "{pad}  · {ev} @{t_us}us");
+            }
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        if self.orphan_events > 0 {
+            let _ = writeln!(out, "  ({} orphan event(s))", self.orphan_events);
+        }
+        out
+    }
+}
+
+/// Rebuilds per-trace span trees from JSONL lines (the [`crate::JsonlSink`] /
+/// [`crate::CollectorSink`] schema). Lines that fail to parse or carry
+/// no `trace_id` are skipped — a trace file legitimately mixes traced
+/// serve events with untraced background events.
+///
+/// An event whose fields include `duration_us` is a span-close and
+/// becomes a node named after it; other events attach to the node whose
+/// `span_id` they carry. Spans that never closed (process death) still
+/// appear, unnamed, so their point events are not lost.
+pub fn reconstruct_jsonl<'a>(lines: impl IntoIterator<Item = &'a str>) -> Vec<TraceTree> {
+    use crate::json::{parse, Json};
+
+    struct Raw {
+        parent_id: Option<u64>,
+        name: String,
+        duration_us: Option<u64>,
+        close_t: u64,
+        events: Vec<(u64, String)>,
+    }
+    // trace_id -> span_id -> raw node (BTreeMaps for deterministic output)
+    let mut traces: BTreeMap<u64, BTreeMap<u64, Raw>> = BTreeMap::new();
+    let mut orphans: BTreeMap<u64, usize> = BTreeMap::new();
+
+    let id_field = |fields: &Json, key: &str| -> Option<u64> {
+        fields.get(key).and_then(Json::as_str).and_then(parse_hex)
+    };
+    for line in lines {
+        let Ok(v) = parse(line) else { continue };
+        let Some(fields) = v.get("fields") else {
+            continue;
+        };
+        let Some(trace_id) = id_field(fields, "trace_id") else {
+            continue;
+        };
+        let Some(span_id) = id_field(fields, "span_id") else {
+            *orphans.entry(trace_id).or_default() += 1;
+            continue;
+        };
+        let parent_id = id_field(fields, "parent_id");
+        let name = v
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let t_us = v.get("t_us").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let duration_us = fields
+            .get("duration_us")
+            .and_then(Json::as_f64)
+            .map(|d| d as u64);
+        let spans = traces.entry(trace_id).or_default();
+        let raw = spans.entry(span_id).or_insert_with(|| Raw {
+            parent_id,
+            name: String::new(),
+            duration_us: None,
+            close_t: u64::MAX,
+            events: Vec::new(),
+        });
+        match duration_us {
+            Some(d) => {
+                // The span-close line names the span and fixes its parent.
+                raw.name = name;
+                raw.duration_us = Some(d);
+                raw.close_t = t_us;
+                raw.parent_id = parent_id;
+            }
+            None => raw.events.push((t_us, name)),
+        }
+    }
+
+    traces
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            // Children lists, then assemble leaves-first.
+            let ids: Vec<u64> = spans.keys().copied().collect();
+            let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            let mut roots_ids = Vec::new();
+            for &id in &ids {
+                match spans[&id].parent_id.filter(|p| spans.contains_key(p)) {
+                    Some(p) => children.entry(p).or_default().push(id),
+                    None => roots_ids.push(id),
+                }
+            }
+            fn build(
+                id: u64,
+                spans: &mut BTreeMap<u64, Raw>,
+                children: &BTreeMap<u64, Vec<u64>>,
+            ) -> SpanNode {
+                let raw = spans.remove(&id).expect("span visited once");
+                let mut kids: Vec<SpanNode> = children
+                    .get(&id)
+                    .into_iter()
+                    .flatten()
+                    .map(|&c| build(c, spans, children))
+                    .collect();
+                kids.sort_by_key(|k| k.duration_us.unwrap_or(u64::MAX));
+                SpanNode {
+                    span_id: id,
+                    parent_id: raw.parent_id,
+                    name: raw.name,
+                    duration_us: raw.duration_us,
+                    events: raw.events,
+                    children: kids,
+                }
+            }
+            let roots = roots_ids
+                .into_iter()
+                .map(|id| build(id, &mut spans, &children))
+                .collect();
+            TraceTree {
+                trace_id,
+                roots,
+                orphan_events: orphans.get(&trace_id).copied().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{obs_event, CollectorSink, Level};
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_are_deterministic_after_seeding_and_unique() {
+        seed_ids(42);
+        let a: Vec<u64> = (0..64).map(|_| next_id()).collect();
+        seed_ids(42);
+        let b: Vec<u64> = (0..64).map(|_| next_id()).collect();
+        assert_eq!(a, b, "same seed, same id stream");
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "no duplicate ids");
+        seed_ids(43);
+        assert_ne!(next_id(), b[0], "different seed, different stream");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_hex(&hex(id)), Some(id));
+        }
+        assert_eq!(hex(0xff).len(), 16);
+        assert_eq!(parse_hex("not hex"), None);
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        assert_eq!(current(), None);
+        let root = TraceCtx::root();
+        {
+            let _g = enter(root);
+            assert_eq!(current(), Some(root));
+            let child = root.child();
+            assert_eq!(child.trace_id, root.trace_id);
+            assert_eq!(child.parent_id, Some(root.span_id));
+            {
+                let _g2 = enter(child);
+                assert_eq!(current(), Some(child));
+            }
+            assert_eq!(current(), Some(root));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn emitted_events_carry_the_context_and_reconstruct() {
+        let _guard = crate::testutil::GLOBAL.lock().unwrap();
+        crate::clear_sinks();
+        seed_ids(7);
+        let collector = Arc::new(CollectorSink::new());
+        crate::add_sink(collector.clone());
+
+        let root = TraceCtx::root();
+        {
+            let _t = enter(root);
+            obs_event!(Level::Info, "point.at.root", n = 1);
+            {
+                let mut sp = crate::span(Level::Info, "inner.work");
+                sp.record("k", 2u64);
+                obs_event!(Level::Info, "point.in.span", n = 2);
+            }
+        }
+        obs_event!(Level::Info, "untraced.event", n = 3);
+        crate::clear_sinks();
+
+        let lines = collector.lines();
+        assert_eq!(lines.len(), 4);
+        // Every traced line carries the ids; the untraced one does not.
+        for line in &lines[..3] {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(
+                v.get("fields")
+                    .and_then(|f| f.get("trace_id"))
+                    .and_then(|t| t.as_str()),
+                Some(hex(root.trace_id).as_str()),
+                "line: {line}"
+            );
+        }
+        let last = crate::json::parse(&lines[3]).unwrap();
+        assert!(last.get("fields").unwrap().get("trace_id").is_none());
+
+        let trees = reconstruct_jsonl(lines.iter().map(String::as_str));
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.trace_id, root.trace_id);
+        assert_eq!(tree.roots.len(), 1, "{:?}", tree.roots);
+        let r = &tree.roots[0];
+        assert_eq!(r.span_id, root.span_id);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].1, "point.at.root");
+        assert_eq!(r.children.len(), 1);
+        let inner = &r.children[0];
+        assert_eq!(inner.name, "inner.work");
+        assert!(inner.duration_us.is_some());
+        assert_eq!(inner.parent_id, Some(root.span_id));
+        assert_eq!(inner.events[0].1, "point.in.span");
+        assert!(tree.render_ascii().contains("inner.work"));
+        assert_eq!(tree.span_count(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Concurrency contracts of the sink layer: `CollectorSink` loses
+//! nothing under parallel emission, preserves per-thread order, and the
+//! thread-local trace context keeps concurrent traces from bleeding
+//! into each other.
+//!
+//! Lives in its own integration-test binary so the process-wide sink
+//! registry is not shared with unrelated unit tests.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tpp_obs as obs;
+use tpp_obs::json::Json;
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: u64 = 200;
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let v = obs::json::parse(line).ok()?;
+    Some(v.get("fields")?.get(key)?.as_f64()? as u64)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let v = obs::json::parse(line).ok()?;
+    Some(v.get("fields")?.get(key)?.as_str()?.to_owned())
+}
+
+#[test]
+fn collector_sink_is_lossless_ordered_and_trace_isolated_under_threads() {
+    obs::trace::seed_ids(2024);
+    let collector = Arc::new(obs::CollectorSink::new());
+    obs::add_sink(collector.clone());
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                // Each thread runs under its own root trace.
+                let ctx = obs::TraceCtx::root();
+                let _guard = obs::trace::enter(ctx);
+                for i in 0..EVENTS_PER_THREAD {
+                    obs::obs_event!(obs::Level::Info, "conc.tick", thread = t as u64, seq = i,);
+                }
+                ctx.trace_id
+            })
+        })
+        .collect();
+    let trace_ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    obs::clear_sinks();
+
+    let lines = collector.lines();
+    assert_eq!(
+        lines.len(),
+        THREADS * EVENTS_PER_THREAD as usize,
+        "no event may be lost or duplicated"
+    );
+
+    // Per-thread sequence numbers must appear in emission order, and
+    // every event of a thread must carry that thread's trace id.
+    let mut next_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seen_trace: BTreeMap<u64, String> = BTreeMap::new();
+    for line in &lines {
+        let v = obs::json::parse(line).expect("every line parses");
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("conc.tick"));
+        let t = field_u64(line, "thread").expect("thread field");
+        let seq = field_u64(line, "seq").expect("seq field");
+        let expect = next_seq.entry(t).or_insert(0);
+        assert_eq!(seq, *expect, "thread {t} emitted out of order");
+        *expect += 1;
+
+        let trace = field_str(line, "trace_id").expect("trace_id field");
+        let prior = seen_trace.entry(t).or_insert_with(|| trace.clone());
+        assert_eq!(*prior, trace, "thread {t} changed trace id mid-run");
+    }
+    assert_eq!(next_seq.len(), THREADS);
+    for (t, n) in next_seq {
+        assert_eq!(n, EVENTS_PER_THREAD, "thread {t} incomplete");
+    }
+
+    // The eight traces are pairwise distinct and match what the threads
+    // reported.
+    let mut uniq: Vec<String> = seen_trace.values().cloned().collect();
+    uniq.sort();
+    uniq.dedup();
+    assert_eq!(uniq.len(), THREADS, "trace ids must not collide");
+    let mut expected: Vec<String> = trace_ids.iter().map(|&id| obs::trace::hex(id)).collect();
+    expected.sort();
+    assert_eq!(uniq, expected);
+}
+
+#[test]
+fn flight_recorder_tolerates_concurrent_writers_and_dumps() {
+    let recorder = Arc::new(obs::FlightRecorder::new(64, obs::Level::Debug));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let rec = Arc::clone(&recorder);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    use obs::Sink as _;
+                    rec.record(
+                        i,
+                        obs::Level::Info,
+                        "flight.tick",
+                        &[("thread", obs::Value::U64(t)), ("i", obs::Value::U64(i))],
+                    );
+                    if i % 100 == 0 {
+                        let dump = rec.dump_jsonl();
+                        for line in dump.lines() {
+                            obs::json::parse(line).expect("dump stays parseable mid-write");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(recorder.total_recorded(), 4 * 500);
+    assert_eq!(recorder.len(), 64, "ring stays at capacity");
+}

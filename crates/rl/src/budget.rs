@@ -126,8 +126,22 @@ impl Budget {
     }
 
     fn record(&self, stop: Option<BudgetStop>) -> Option<BudgetStop> {
-        if stop.is_some() {
-            self.expired.store(true, Ordering::Relaxed);
+        if let Some(stop) = stop {
+            // One-shot: only the first check to trip the budget emits,
+            // so a loop that keeps (cooperatively) polling an expired
+            // budget doesn't flood the sinks.
+            if !self.expired.swap(true, Ordering::Relaxed) {
+                tpp_obs::obs_event!(
+                    tpp_obs::Level::Debug,
+                    "budget.expired",
+                    reason = stop.as_str(),
+                    episodes = self.episodes.load(Ordering::Relaxed),
+                    steps = self.steps.load(Ordering::Relaxed),
+                );
+                tpp_obs::metrics()
+                    .counter(&format!("budget.expired.{}", stop.as_str()))
+                    .inc();
+            }
         }
         stop
     }
@@ -234,5 +248,27 @@ mod tests {
     fn budget_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<Budget>();
+    }
+
+    #[test]
+    fn expiry_counts_once_per_budget_and_names_the_reason() {
+        let counter = tpp_obs::metrics().counter("budget.expired.episodes");
+        let before = counter.get();
+        let b = Budget::unlimited().with_episode_limit(1);
+        assert_eq!(b.check_episode(), None);
+        // Repeated checks keep reporting the stop but count it once.
+        for _ in 0..5 {
+            assert_eq!(b.check_episode(), Some(BudgetStop::Episodes));
+        }
+        assert_eq!(counter.get(), before + 1);
+
+        let deadline_counter = tpp_obs::metrics().counter("budget.expired.deadline");
+        let before_deadline = deadline_counter.get();
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        for _ in 0..3 {
+            assert_eq!(b.check_step(), Some(BudgetStop::Deadline));
+        }
+        assert_eq!(deadline_counter.get(), before_deadline + 1);
     }
 }

@@ -54,6 +54,15 @@ pub struct ServeConfig {
     pub cache: CacheConfig,
     /// Fault-injection schedule (empty in production).
     pub chaos: ChaosPlan,
+    /// Directory for flight-recorder post-mortem dumps. `Some` installs
+    /// a [`tpp_obs::FlightRecorder`] as a **global** sink (raising the
+    /// global level to at least `Debug`) and dumps its ring here on
+    /// panic recovery, shed, deadline overrun and slow requests.
+    pub flight_dir: Option<PathBuf>,
+    /// Ring capacity (events) of the flight recorder.
+    pub flight_capacity: usize,
+    /// Requests slower than this (wall-clock) trigger a flight dump.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +74,9 @@ impl Default for ServeConfig {
             backoff: BackoffPolicy::serving_default(),
             cache: CacheConfig::default(),
             chaos: ChaosPlan::none(),
+            flight_dir: None,
+            flight_capacity: 256,
+            slow_request_ms: None,
         }
     }
 }
@@ -114,6 +126,10 @@ pub struct ServeEngine {
     pub counters: EngineCounters,
     started: Instant,
     ordinal: AtomicU64,
+    /// Ring buffer of recent events, dumped on incidents (see
+    /// [`ServeConfig::flight_dir`]).
+    flight: Option<Arc<tpp_obs::FlightRecorder>>,
+    flight_seq: AtomicU64,
 }
 
 /// What one fallback tier produced.
@@ -129,9 +145,21 @@ struct TierResult {
 }
 
 impl ServeEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration. When
+    /// [`ServeConfig::flight_dir`] is set this installs the flight
+    /// recorder as a process-wide sink (the caller owns sink teardown
+    /// via [`tpp_obs::clear_sinks`] at session end).
     pub fn new(config: ServeConfig) -> Self {
         let cache = PolicyCache::new(config.cache.clone());
+        let flight = config.flight_dir.as_ref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            let recorder = Arc::new(tpp_obs::FlightRecorder::new(
+                config.flight_capacity.max(1),
+                Level::Debug,
+            ));
+            tpp_obs::add_sink(recorder.clone() as Arc<dyn tpp_obs::Sink>);
+            recorder
+        });
         ServeEngine {
             config,
             datasets: Mutex::new(HashMap::new()),
@@ -139,43 +167,112 @@ impl ServeEngine {
             counters: EngineCounters::default(),
             started: Instant::now(),
             ordinal: AtomicU64::new(0),
+            flight,
+            flight_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes the flight-recorder ring to a post-mortem JSONL file in
+    /// the configured directory. `reason` ∈ {panic, shed, deadline,
+    /// slow}; the filename carries a sequence number, the reason and
+    /// the current trace id so incidents map back to requests.
+    fn dump_flight(&self, reason: &str) {
+        let (Some(recorder), Some(dir)) = (&self.flight, &self.config.flight_dir) else {
+            return;
+        };
+        let seq = self.flight_seq.fetch_add(1, Ordering::Relaxed);
+        let trace = tpp_obs::trace::current()
+            .map(|c| tpp_obs::trace::hex(c.trace_id))
+            .unwrap_or_else(|| "untraced".to_owned());
+        let path = dir.join(format!("flight-{seq:05}-{reason}-{trace}.jsonl"));
+        match recorder.dump_to_file(&path) {
+            Ok(()) => {
+                tpp_obs::metrics()
+                    .counter(&format!("serve.flight.{reason}"))
+                    .inc();
+                obs_event!(
+                    Level::Warn,
+                    "serve.flight_dumped",
+                    reason = reason,
+                    path = path.display().to_string(),
+                );
+            }
+            Err(e) => {
+                obs_event!(
+                    Level::Warn,
+                    "serve.flight_dump_failed",
+                    reason = reason,
+                    error = e.to_string(),
+                );
+            }
         }
     }
 
     /// Handles one raw input line; always returns one response line.
     /// This function itself must never panic — the outer
     /// `catch_unwind` covers every tier, including the floor.
+    ///
+    /// Every request runs under a trace context: the server's workers
+    /// install the context minted at ingestion before calling this, and
+    /// direct callers (tests, one-shot tools) get a fresh root here, so
+    /// all events the request causes — including those inside
+    /// `catch_unwind` recovery — share one `trace_id`.
     pub fn handle_line(&self, line: &str) -> String {
         let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         tpp_obs::metrics().counter("serve.requests").inc();
+        let ctx = tpp_obs::trace::current().unwrap_or_else(tpp_obs::TraceCtx::root);
+        let _trace = tpp_obs::trace::enter(ctx);
         let started = Instant::now();
 
-        let response = match parse_request(line) {
+        let (op_name, response) = match parse_request(line) {
             Err(msg) => {
                 self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
                 tpp_obs::metrics().counter("serve.bad_request").inc();
                 // Even unparsable requests stay correlatable when the
                 // raw line carried a recoverable string id.
-                JsonObj::new()
+                let resp = JsonObj::new()
                     .bool("ok", false)
                     .nullable_str("id", extract_raw_id(line).as_deref())
                     .str("error", &format!("bad_request: {msg}"))
-                    .finish()
+                    .finish();
+                ("bad_request", resp)
             }
             Ok(req) => {
+                let op_name = req.op.as_str();
+                let _span = tpp_obs::span(Level::Debug, "serve.request")
+                    .with("op", op_name)
+                    .with("ordinal", ordinal);
                 let faults = self.config.chaos.take(ordinal);
                 let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, &faults)));
-                match caught {
+                let resp = match caught {
                     Ok(resp) => resp,
                     Err(payload) => self.answer_after_panic(&req, &payload),
-                }
+                };
+                (op_name, resp)
             }
         };
 
+        let elapsed = started.elapsed();
         tpp_obs::metrics()
             .histogram("serve.latency_ms")
-            .record(started.elapsed().as_millis() as u64);
+            .record(elapsed.as_millis() as u64);
+        tpp_obs::metrics()
+            .histogram(&format!("serve.op.{op_name}_us"))
+            .record_duration(elapsed);
+        if self
+            .config
+            .slow_request_ms
+            .is_some_and(|ms| elapsed.as_millis() as u64 > ms)
+        {
+            obs_event!(
+                Level::Warn,
+                "serve.slow_request",
+                op = op_name,
+                elapsed_ms = elapsed.as_millis() as u64,
+            );
+            self.dump_flight("slow");
+        }
         self.counters.answered.fetch_add(1, Ordering::Relaxed);
         response
     }
@@ -188,6 +285,8 @@ impl ServeEngine {
         self.counters.answered.fetch_add(1, Ordering::Relaxed);
         tpp_obs::metrics().counter("serve.requests").inc();
         tpp_obs::metrics().counter("serve.overloaded").inc();
+        obs_event!(Level::Warn, "serve.shed", reason = "queue_full");
+        self.dump_flight("shed");
         // Shed requests must stay correlatable: echo the id whenever
         // the raw line is a JSON object carrying one — even if the
         // request would not have parsed — and emit an explicit
@@ -212,6 +311,7 @@ impl ServeEngine {
         match req.op {
             Op::Health => self.health_response(req),
             Op::Stats => self.stats_response(req),
+            Op::Metrics => self.metrics_response(req),
             Op::Plan | Op::Recommend => self.answer_planning(req, faults),
         }
     }
@@ -295,38 +395,44 @@ impl ServeEngine {
             cached = result.cached,
         );
 
-        let violations = plan_violations(instance, &result.plan);
-        let mut obj = JsonObj::new()
-            .bool("ok", true)
-            .opt_str("id", req.id.as_deref())
-            .str("op", req.op.as_str())
-            .str("dataset", name)
-            .str("tier", result.tier)
-            .bool("degraded", degraded)
-            .bool("cached", result.cached)
-            .bool("deadline_expired", budget.expired())
-            .u64("retries", result.retries as u64);
-        if let Some(episodes) = result.episodes {
-            obj = obj.u64("episodes", episodes);
+        let response = phase_timed("serialize", || {
+            let violations = plan_violations(instance, &result.plan);
+            let mut obj = JsonObj::new()
+                .bool("ok", true)
+                .opt_str("id", req.id.as_deref())
+                .str("op", req.op.as_str())
+                .str("dataset", name)
+                .str("tier", result.tier)
+                .bool("degraded", degraded)
+                .bool("cached", result.cached)
+                .bool("deadline_expired", budget.expired())
+                .u64("retries", result.retries as u64);
+            if let Some(episodes) = result.episodes {
+                obj = obj.u64("episodes", episodes);
+            }
+            if let Some(generation) = result.generation {
+                obj = obj.u64("generation", generation);
+            }
+            obj = obj
+                .str_arr(
+                    "plan",
+                    result
+                        .plan
+                        .items()
+                        .iter()
+                        .map(|&id| instance.catalog.item(id).code.as_str()),
+                )
+                .f64("score", score_plan(instance, &result.plan))
+                .u64("violations", violations.len() as u64);
+            if !fell_back_because.is_empty() {
+                obj = obj.str_arr("fallbacks", fell_back_because.iter().map(String::as_str));
+            }
+            obj.finish()
+        });
+        if budget.expired() {
+            self.dump_flight("deadline");
         }
-        if let Some(generation) = result.generation {
-            obj = obj.u64("generation", generation);
-        }
-        obj = obj
-            .str_arr(
-                "plan",
-                result
-                    .plan
-                    .items()
-                    .iter()
-                    .map(|&id| instance.catalog.item(id).code.as_str()),
-            )
-            .f64("score", score_plan(instance, &result.plan))
-            .u64("violations", violations.len() as u64);
-        if !fell_back_because.is_empty() {
-            obj = obj.str_arr("fallbacks", fell_back_because.iter().map(String::as_str));
-        }
-        obj.finish()
+        response
     }
 
     /// Tier 1: budgeted training (`plan`) or checkpoint policy with
@@ -372,8 +478,10 @@ impl ServeEngine {
             .min(self.config.max_episodes) as usize;
 
         if !self.cache.is_enabled() {
-            let (q, episodes) = Self::train_policy(instance, &params, req.seed, budget)?;
-            let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+            let (q, episodes) = phase_timed("train", || {
+                Self::train_policy(instance, &params, req.seed, budget)
+            })?;
+            let plan = recommend_timed(&q, instance, &params, start);
             return Ok(TierResult {
                 plan,
                 tier: "train",
@@ -394,10 +502,12 @@ impl ServeEngine {
             },
         };
         let mut span = tpp_obs::span(Level::Debug, "serve.cache").with("op", "plan");
-        match self.cache.lookup(key, follower_wait(budget)) {
+        match phase_timed("cache_lookup", || {
+            self.cache.lookup(key, follower_wait(budget))
+        }) {
             Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
                 span.record("outcome", "shared");
-                let plan = RlPlanner::recommend_with_q(&policy.q, instance, &params, start);
+                let plan = recommend_timed(&policy.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "train",
@@ -411,7 +521,9 @@ impl ServeEngine {
                 span.record("outcome", "lead");
                 // The guard's Drop fails the flight if training panics,
                 // so followers wake and fall back instead of wedging.
-                let (q, episodes) = match Self::train_policy(instance, &params, req.seed, budget) {
+                let (q, episodes) = match phase_timed("train", || {
+                    Self::train_policy(instance, &params, req.seed, budget)
+                }) {
                     Ok(trained) => trained,
                     Err(e) => {
                         guard.fail(&e);
@@ -432,7 +544,7 @@ impl ServeEngine {
                 } else {
                     guard.fulfill(Arc::clone(&value));
                 }
-                let plan = RlPlanner::recommend_with_q(&value.q, instance, &params, start);
+                let plan = recommend_timed(&value.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "train",
@@ -447,8 +559,10 @@ impl ServeEngine {
                 obs_event!(Level::Warn, "serve.cache.leader_failed", reason = &reason);
                 // Compute solo and uncached — the leader's failure may
                 // have been its own deadline, not a property of the key.
-                let (q, episodes) = Self::train_policy(instance, &params, req.seed, budget)?;
-                let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+                let (q, episodes) = phase_timed("train", || {
+                    Self::train_policy(instance, &params, req.seed, budget)
+                })?;
+                let plan = recommend_timed(&q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "train",
@@ -515,8 +629,8 @@ impl ServeEngine {
 
         if !self.cache.is_enabled() {
             let mut retries = 0;
-            let (generation, q) = load_with_retry(&mut retries)?;
-            let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+            let (generation, q) = phase_timed("checkpoint_load", || load_with_retry(&mut retries))?;
+            let plan = recommend_timed(&q, instance, &params, start);
             return Ok(TierResult {
                 plan,
                 tier: "policy",
@@ -542,10 +656,12 @@ impl ServeEngine {
             source: PolicySource::Checkpoint { token },
         };
         let mut span = tpp_obs::span(Level::Debug, "serve.cache").with("op", "recommend");
-        match self.cache.lookup(key, follower_wait(budget)) {
+        match phase_timed("cache_lookup", || {
+            self.cache.lookup(key, follower_wait(budget))
+        }) {
             Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
                 span.record("outcome", "shared");
-                let plan = RlPlanner::recommend_with_q(&policy.q, instance, &params, start);
+                let plan = recommend_timed(&policy.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "policy",
@@ -558,20 +674,21 @@ impl ServeEngine {
             Lookup::Lead(guard) => {
                 span.record("outcome", "lead");
                 let mut retries = 0;
-                let (generation, q) = match load_with_retry(&mut retries) {
-                    Ok(loaded) => loaded,
-                    Err(e) => {
-                        guard.fail(&e);
-                        return Err(e);
-                    }
-                };
+                let (generation, q) =
+                    match phase_timed("checkpoint_load", || load_with_retry(&mut retries)) {
+                        Ok(loaded) => loaded,
+                        Err(e) => {
+                            guard.fail(&e);
+                            return Err(e);
+                        }
+                    };
                 let value = Arc::new(CachedPolicy {
                     q,
                     episodes: None,
                     generation: Some(generation),
                 });
                 guard.fulfill(Arc::clone(&value));
-                let plan = RlPlanner::recommend_with_q(&value.q, instance, &params, start);
+                let plan = recommend_timed(&value.q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "policy",
@@ -585,8 +702,9 @@ impl ServeEngine {
                 span.record("outcome", "leader_failed");
                 obs_event!(Level::Warn, "serve.cache.leader_failed", reason = &reason);
                 let mut retries = 0;
-                let (generation, q) = load_with_retry(&mut retries)?;
-                let plan = RlPlanner::recommend_with_q(&q, instance, &params, start);
+                let (generation, q) =
+                    phase_timed("checkpoint_load", || load_with_retry(&mut retries))?;
+                let plan = recommend_timed(&q, instance, &params, start);
                 Ok(TierResult {
                     plan,
                     tier: "policy",
@@ -691,7 +809,9 @@ impl ServeEngine {
         }
     }
 
-    /// Counts and reports one isolated panic.
+    /// Counts and reports one isolated panic, then dumps the flight
+    /// recorder — the ring holds the events leading up to the panic,
+    /// which is exactly the post-mortem a crash log cannot give.
     fn note_panic(&self, payload: &Box<dyn std::any::Any + Send>) {
         self.counters.panics.fetch_add(1, Ordering::Relaxed);
         tpp_obs::metrics().counter("serve.panic").inc();
@@ -700,6 +820,7 @@ impl ServeEngine {
             "serve.panic_isolated",
             message = panic_message(payload),
         );
+        self.dump_flight("panic");
     }
 
     /// Fallback after the whole dispatch panicked (e.g. an injected
@@ -799,6 +920,7 @@ impl ServeEngine {
         let c = &self.counters;
         let cc = &self.cache.counters;
         let (cache_entries, cache_bytes) = self.cache.usage();
+        let m = tpp_obs::metrics();
         JsonObj::new()
             .bool("ok", true)
             .opt_str("id", req.id.as_deref())
@@ -824,6 +946,29 @@ impl ServeEngine {
             )
             .u64("cache_entries", cache_entries as u64)
             .u64("cache_bytes", cache_bytes as u64)
+            .u64(
+                "queue_depth",
+                m.gauge("serve.queue_depth").get().max(0.0) as u64,
+            )
+            .raw(
+                "queue_wait_us",
+                &histogram_summary_json(&m.histogram("serve.queue_wait_us").summary()),
+            )
+            .raw("latency_us", &per_op_latency_json())
+            .finish()
+    }
+
+    /// `metrics` op: the full registry, both as Prometheus-style text
+    /// (for scrapers and humans) and as the JSON snapshot with raw
+    /// histogram buckets (for `Metrics::from_snapshot` round-trips).
+    fn metrics_response(&self, req: &Request) -> String {
+        let m = tpp_obs::metrics();
+        JsonObj::new()
+            .bool("ok", true)
+            .opt_str("id", req.id.as_deref())
+            .str("op", "metrics")
+            .str("prometheus", &m.render_prometheus())
+            .raw("registry", &m.render_json())
             .finish()
     }
 
@@ -911,6 +1056,66 @@ impl ServeEngine {
 /// expired), else a generous default that still cannot wedge forever.
 fn follower_wait(budget: &Budget) -> Duration {
     budget.remaining_time().unwrap_or(Duration::from_secs(30))
+}
+
+/// Times `f` into the fixed-purpose `serve.phase.<name>_us` histogram.
+/// Phase names: `queue_wait` lives in its own histogram (measured by
+/// the server), the rest are `cache_lookup`, `checkpoint_load`,
+/// `train`, `plan`, `serialize`.
+fn phase_timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let out = f();
+    tpp_obs::metrics()
+        .histogram(&format!("serve.phase.{name}_us"))
+        .record_duration(started.elapsed());
+    out
+}
+
+/// Greedy rollout from a Q-table, timed as the `plan` phase.
+fn recommend_timed(
+    q: &QTable,
+    instance: &PlanningInstance,
+    params: &PlannerParams,
+    start: ItemId,
+) -> Plan {
+    phase_timed("plan", || {
+        RlPlanner::recommend_with_q(q, instance, params, start)
+    })
+}
+
+/// Renders a histogram summary as a flat JSON object (embedded via
+/// [`JsonObj::raw`] in `stats` responses).
+fn histogram_summary_json(s: &tpp_obs::HistogramSummary) -> String {
+    JsonObj::new()
+        .u64("count", s.count)
+        .f64("mean", s.mean)
+        .u64("p50", s.p50)
+        .u64("p95", s.p95)
+        .u64("p99", s.p99)
+        .u64("p999", s.p999)
+        .u64("max", s.max)
+        .finish()
+}
+
+/// Per-op latency summaries from the `serve.op.<op>_us` histograms,
+/// including only ops that have actually served at least one request.
+fn per_op_latency_json() -> String {
+    let m = tpp_obs::metrics();
+    let mut obj = JsonObj::new();
+    for op in [
+        "plan",
+        "recommend",
+        "health",
+        "stats",
+        "metrics",
+        "bad_request",
+    ] {
+        let s = m.histogram(&format!("serve.op.{op}_us")).summary();
+        if s.count > 0 {
+            obj = obj.raw(op, &histogram_summary_json(&s));
+        }
+    }
+    obj.finish()
 }
 
 /// Human-readable text of a panic payload.
@@ -1029,5 +1234,82 @@ mod tests {
         let r = parse(&e.handle_line(r#"{"op":"plan","dataset":"nyc","episodes":30}"#)).unwrap();
         assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
         assert_eq!(get(&r, "violations").as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn metrics_op_exposes_prometheus_text_and_registry_snapshot() {
+        let e = engine();
+        // Serve something first so the registry has serve.* series.
+        e.handle_line(r#"{"op":"plan","dataset":"ds-ct","episodes":10}"#);
+        let r = parse(&e.handle_line(r#"{"op":"metrics","id":"m1"}"#)).unwrap();
+        assert_eq!(get(&r, "ok"), &Json::Bool(true));
+        assert_eq!(get(&r, "id").as_str(), Some("m1"));
+        let prom = get(&r, "prometheus").as_str().unwrap();
+        assert!(prom.contains("serve_requests"), "{prom}");
+        assert!(prom.contains("serve_phase_plan_us_bucket"), "{prom}");
+        // The embedded registry snapshot is machine-readable and
+        // reconstructible.
+        let registry = get(&r, "registry");
+        assert!(registry.get("histograms").is_some());
+        let rendered = {
+            let mut s = String::new();
+            // Round-trip through from_snapshot to prove the embedded
+            // snapshot is complete.
+            let m = tpp_obs::Metrics::from_snapshot(registry).unwrap();
+            s.push_str(&m.render_json());
+            s
+        };
+        assert!(rendered.contains("serve.requests"));
+    }
+
+    #[test]
+    fn stats_carries_queue_and_latency_summaries() {
+        let e = engine();
+        e.handle_line(r#"{"op":"health"}"#);
+        let s = parse(&e.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert!(get(&s, "queue_depth").as_f64().is_some());
+        assert!(get(&s, "queue_wait_us").get("count").is_some());
+        // health ran at least once in this process, so its per-op
+        // summary is present with all percentile fields.
+        let health = get(&s, "latency_us").get("health").cloned().unwrap();
+        for field in ["count", "p50", "p95", "p99", "p999", "max"] {
+            assert!(health.get(field).is_some(), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn panics_and_deadline_overruns_dump_the_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!("tpp-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            chaos: "panic@1".parse().unwrap(),
+            flight_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let e = ServeEngine::new(config);
+        e.handle_line(r#"{"op":"recommend","dataset":"ds-ct"}"#);
+        e.handle_line(r#"{"op":"plan","dataset":"ds-ct","deadline_ms":0,"episodes":500}"#);
+        tpp_obs::clear_sinks();
+        let mut dumps: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        dumps.sort();
+        assert!(
+            dumps.iter().any(|f| f.contains("-panic-")),
+            "no panic dump in {dumps:?}"
+        );
+        assert!(
+            dumps.iter().any(|f| f.contains("-deadline-")),
+            "no deadline dump in {dumps:?}"
+        );
+        // Every dumped line is valid JSONL.
+        for f in &dumps {
+            let text = std::fs::read_to_string(dir.join(f)).unwrap();
+            for line in text.lines() {
+                parse(line).unwrap_or_else(|e| panic!("bad line in {f}: {e}"));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

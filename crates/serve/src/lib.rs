@@ -4,7 +4,7 @@
 //! one-shot subcommands re-learn a policy per invocation; `tpp-serve`
 //! keeps datasets and checkpoints warm and answers a stream of
 //! newline-delimited JSON requests (`plan`, `recommend`, `health`,
-//! `stats`) over stdin/stdout or a Unix socket.
+//! `stats`, `metrics`) over stdin/stdout or a Unix socket.
 //!
 //! The contract is availability, not perfection:
 //!
@@ -27,6 +27,19 @@
 //!   onto one leader (single-flight), so a burst of duplicates costs
 //!   one training run. Invalidation is generation-aware; a panicking
 //!   leader fails its flight instead of wedging followers.
+//!
+//! * **Every request is traced end to end**: the server mints a root
+//!   [`tpp_obs::TraceCtx`] at ingestion and the worker re-enters it, so
+//!   every event a request causes — queue wait, cache outcome, retries,
+//!   budget expiry, even panic recovery — carries one `trace_id`.
+//!   Per-phase latencies land in fixed-purpose histograms
+//!   (`serve.queue_wait_us`, `serve.phase.{cache_lookup,checkpoint_load,
+//!   train,plan,serialize}_us`, `serve.op.<op>_us`), exposed by the
+//!   `metrics` op (Prometheus text + JSON snapshot) and summarized with
+//!   p50/p95/p99/p999 in `stats`.
+//! * **Incidents leave a post-mortem**: a [`tpp_obs::FlightRecorder`]
+//!   ring (enabled via [`ServeConfig::flight_dir`]) is dumped as JSONL
+//!   on panic recovery, shed, deadline overrun and slow requests.
 //!
 //! The [`chaos`] module injects panics, stalls and checkpoint
 //! corruption at chosen request ordinals so the integration suite (and

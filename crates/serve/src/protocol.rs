@@ -30,8 +30,12 @@ pub enum Op {
     Recommend,
     /// Liveness probe: uptime and request counters.
     Health,
-    /// Counter snapshot: tiers served, panics isolated, shed load.
+    /// Counter snapshot: tiers served, panics isolated, shed load,
+    /// queue wait and per-op latency percentiles.
     Stats,
+    /// Full metrics-registry exposition: Prometheus-style text plus the
+    /// JSON snapshot (with histogram buckets).
+    Metrics,
 }
 
 impl Op {
@@ -42,6 +46,7 @@ impl Op {
             Op::Recommend => "recommend",
             Op::Health => "health",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
         }
     }
 }
@@ -99,6 +104,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "recommend" => Op::Recommend,
         "health" => Op::Health,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok(Request {
@@ -207,6 +213,16 @@ impl JsonObj {
         self
     }
 
+    /// Adds a member whose value is **pre-rendered JSON text** — used to
+    /// embed nested documents (metrics snapshots, latency summaries)
+    /// that other components already render. The caller guarantees
+    /// `json` is a valid JSON value; nothing is escaped.
+    pub fn raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
     /// Adds an array-of-strings member.
     pub fn str_arr<S: AsRef<str>>(mut self, k: &str, vs: impl IntoIterator<Item = S>) -> Self {
         self.key(k);
@@ -253,6 +269,28 @@ mod tests {
         assert_eq!(r.op, Op::Health);
         assert_eq!(r.id, None);
         assert_eq!(r.seed, 0);
+    }
+
+    #[test]
+    fn metrics_op_parses() {
+        let r = parse_request(r#"{"op":"metrics","id":"m1"}"#).unwrap();
+        assert_eq!(r.op, Op::Metrics);
+        assert_eq!(r.op.as_str(), "metrics");
+    }
+
+    #[test]
+    fn raw_members_embed_prerendered_json() {
+        let line = JsonObj::new()
+            .bool("ok", true)
+            .raw("nested", r#"{"p50":3,"arr":[1,2]}"#)
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("p50"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -12,12 +12,28 @@
 //! Responses from concurrent workers interleave in completion order;
 //! each response is written under one lock acquisition so lines never
 //! tear. Clients correlate via the echoed `id`.
+//!
+//! Every accepted line is stamped with a fresh root [`tpp_obs::TraceCtx`]
+//! **at ingestion** and with its enqueue time. The worker that dequeues
+//! it re-enters that context, so queue wait (`serve.queue_wait_us`
+//! histogram, `serve.queue_depth` gauge), the whole engine path, and
+//! even shed responses all share the request's `trace_id`.
 
 use crate::engine::ServeEngine;
 use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use tpp_obs::{obs_event, Level};
+use std::time::Instant;
+use tpp_obs::{obs_event, Level, TraceCtx};
+
+/// One queued request: the raw line plus the trace context minted at
+/// ingestion and the enqueue timestamp for queue-wait accounting.
+struct Job {
+    line: String,
+    trace: TraceCtx,
+    enqueued: Instant,
+}
 
 /// Transport configuration.
 #[derive(Debug, Clone)]
@@ -76,22 +92,44 @@ where
     let workers = config.workers.max(1);
     let capacity = config.capacity.max(1);
     let output = Arc::new(Mutex::new(output));
-    let (tx, rx): (SyncSender<String>, Receiver<String>) = std::sync::mpsc::sync_channel(capacity);
+    let (tx, rx): (SyncSender<Job>, Receiver<Job>) = std::sync::mpsc::sync_channel(capacity);
     let rx = Arc::new(Mutex::new(rx));
+    // Shared with the reader (inc on enqueue) and the workers (dec on
+    // dequeue); mirrored into the `serve.queue_depth` gauge.
+    let depth = Arc::new(AtomicI64::new(0));
 
     let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
         let rx = Arc::clone(&rx);
         let engine = Arc::clone(&engine);
         let output = Arc::clone(&output);
+        let depth = Arc::clone(&depth);
         handles.push(std::thread::spawn(move || loop {
             // Hold the receiver lock only while dequeuing.
-            let line = match rx.lock().expect("queue lock poisoned").recv() {
-                Ok(line) => line,
+            let job = match rx.lock().expect("queue lock poisoned").recv() {
+                Ok(job) => job,
                 Err(_) => break, // sender dropped and queue drained
             };
-            let response = engine.handle_line(&line);
+            let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
+            let wait_us = job.enqueued.elapsed().as_micros() as u64;
+            tpp_obs::metrics()
+                .histogram("serve.queue_wait_us")
+                .record(wait_us);
+            // The request's trace context spans the whole worker turn;
+            // the closing `serve.job` event names the root span and
+            // carries the end-to-end duration so reconstruction can
+            // close it.
+            let _trace = tpp_obs::trace::enter(job.trace);
+            obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
+            let response = engine.handle_line(&job.line);
             write_response(&output, &response);
+            obs_event!(
+                Level::Debug,
+                "serve.job",
+                duration_us = job.enqueued.elapsed().as_micros() as u64,
+                queue_wait_us = wait_us,
+            );
         }));
     }
 
@@ -103,11 +141,22 @@ where
             continue;
         }
         received += 1;
-        match tx.try_send(line) {
-            Ok(()) => {}
-            Err(TrySendError::Full(line)) => {
+        let job = Job {
+            line,
+            trace: TraceCtx::root(),
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
+            }
+            Err(TrySendError::Full(job)) => {
                 overloaded += 1;
-                let response = engine.overloaded_response(&line);
+                // Shed under the request's own trace so the `serve.shed`
+                // event and flight dump correlate with this line.
+                let _trace = tpp_obs::trace::enter(job.trace);
+                let response = engine.overloaded_response(&job.line);
                 write_response(&output, &response);
             }
             Err(TrySendError::Disconnected(_)) => break, // workers gone

@@ -1,0 +1,307 @@
+//! End-to-end observability contract: a mixed chaos storm through the
+//! full transport must leave (a) a flight-recorder post-mortem for every
+//! incident class, (b) a `metrics` response whose Prometheus text parses
+//! and carries the queue-wait and per-phase histograms, and (c) enough
+//! trace context to reconstruct a complete span tree for any sampled
+//! request.
+//!
+//! Runs in its own integration-test binary because it installs global
+//! sinks; the two tests share one `#[test]` body via sequential phases
+//! so they cannot race on the process-wide sink registry.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tpp_obs::json::{parse, Json};
+use tpp_serve::{serve_lines, ServeConfig, ServeEngine, ServerConfig};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpp-serve-trace-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct SharedOut(Arc<std::sync::Mutex<Vec<u8>>>);
+impl std::io::Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drives `input` through the full bounded-queue transport.
+fn run_session(engine: &Arc<ServeEngine>, input: &str, server: &ServerConfig) -> Vec<String> {
+    let out: Arc<std::sync::Mutex<Vec<u8>>> = Arc::default();
+    serve_lines(
+        Arc::clone(engine),
+        input.as_bytes(),
+        SharedOut(Arc::clone(&out)),
+        server,
+    );
+    let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    text.lines().map(str::to_owned).collect()
+}
+
+/// Minimal Prometheus text-format validation: every non-comment line is
+/// `name{labels} value` or `name value`, every `# TYPE` names a metric
+/// that then appears, and histogram bucket counts are cumulative.
+fn assert_prometheus_parses(text: &str) {
+    let mut typed: BTreeSet<&str> = BTreeSet::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line names a metric");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind in {line:?}"
+            );
+            typed.insert(name);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line:?}");
+        });
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name {name:?}"
+        );
+        seen.insert(name.to_owned());
+        // Cumulative bucket check within one histogram's bucket run.
+        if let Some(le_start) = series.find("_bucket{le=") {
+            let base = &series[..le_start];
+            let count = value.parse::<f64>().unwrap() as u64;
+            if let Some((prev_base, prev_count)) = &last_bucket {
+                if prev_base == base {
+                    assert!(
+                        count >= *prev_count,
+                        "non-cumulative buckets for {base}: {prev_count} then {count}"
+                    );
+                }
+            }
+            last_bucket = Some((base.to_owned(), count));
+        } else {
+            last_bucket = None;
+        }
+    }
+    for name in typed {
+        assert!(
+            seen.iter().any(|s| s == name || s.starts_with(name)),
+            "TYPE {name} has no samples"
+        );
+    }
+}
+
+#[test]
+fn chaos_storm_leaves_flight_dumps_metrics_and_reconstructable_traces() {
+    tpp_obs::trace::seed_ids(42);
+    let collector = Arc::new(tpp_obs::CollectorSink::new());
+    tpp_obs::add_sink(collector.clone());
+
+    // ---- Phase 1: 40-request mixed storm (panics + stalls + corrupt +
+    // deadline overruns) through the wide transport. No shedding here;
+    // that is phase 2's job.
+    let storm_flights = temp_dir("storm-flights");
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        default_deadline_ms: Some(2_000),
+        chaos: "panic@3,stall@7:60,corrupt@11,panic@13,stall@17:60,panic@23"
+            .parse()
+            .unwrap(),
+        flight_dir: Some(storm_flights.clone()),
+        flight_capacity: 128,
+        ..ServeConfig::default()
+    }));
+    let mut input = String::new();
+    for i in 1..=40u32 {
+        let line = match i % 5 {
+            0 => r#"{"op":"health","id":"ID"}"#.to_owned(),
+            1 => r#"{"op":"recommend","dataset":"ds-ct","id":"ID"}"#.to_owned(),
+            2 => r#"{"op":"plan","dataset":"ds-ct","episodes":20,"id":"ID"}"#.to_owned(),
+            // Zero-deadline plans force deadline-overrun flight dumps.
+            3 => r#"{"op":"plan","dataset":"ds-ct","episodes":400,"deadline_ms":0,"id":"ID"}"#
+                .to_owned(),
+            _ => r#"{"op":"stats","id":"ID"}"#.to_owned(),
+        };
+        input.push_str(&line.replace("ID", &format!("q{i}")));
+        input.push('\n');
+    }
+    let responses = run_session(
+        &engine,
+        &input,
+        &ServerConfig {
+            capacity: 64,
+            workers: 4,
+            max_requests: None,
+        },
+    );
+    assert_eq!(responses.len(), 40, "every storm request answered");
+    for line in &responses {
+        parse(line).unwrap_or_else(|e| panic!("invalid response {line:?}: {e}"));
+    }
+
+    // (a) Incident post-mortems: panic and deadline dumps from the storm.
+    let storm_dumps: Vec<String> = std::fs::read_dir(&storm_flights)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        storm_dumps.iter().any(|f| f.contains("-panic-")),
+        "no panic flight dump in {storm_dumps:?}"
+    );
+    assert!(
+        storm_dumps.iter().any(|f| f.contains("-deadline-")),
+        "no deadline flight dump in {storm_dumps:?}"
+    );
+    for f in &storm_dumps {
+        let text = std::fs::read_to_string(storm_flights.join(f)).unwrap();
+        assert!(!text.is_empty(), "{f} is empty");
+        for line in text.lines() {
+            parse(line).unwrap_or_else(|e| panic!("bad JSONL in {f}: {e}"));
+        }
+    }
+
+    // (b) The `metrics` op through the same engine: Prometheus text
+    // parses and carries the queue-wait plus per-phase histograms.
+    let metrics_line = engine.handle_line(r#"{"op":"metrics","id":"m1"}"#);
+    let metrics = parse(&metrics_line).unwrap();
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    let prom = metrics
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("metrics response carries prometheus text");
+    assert_prometheus_parses(prom);
+    for series in [
+        "serve_queue_wait_us_bucket",
+        "serve_phase_plan_us_bucket",
+        "serve_phase_train_us_bucket",
+        "serve_phase_serialize_us_bucket",
+        "serve_op_plan_us_bucket",
+        "serve_latency_ms",
+        "serve_queue_depth",
+    ] {
+        assert!(prom.contains(series), "prometheus text lacks {series}");
+    }
+    // The JSON snapshot round-trips through from_snapshot.
+    let registry = metrics.get("registry").expect("registry snapshot");
+    let reconstructed = tpp_obs::Metrics::from_snapshot(registry).unwrap();
+    assert!(reconstructed.render_json().contains("serve.queue_wait_us"));
+
+    // The stats op summarizes the same histograms with percentiles.
+    let stats = parse(&engine.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    let queue_wait = stats.get("queue_wait_us").expect("queue_wait_us in stats");
+    assert!(
+        queue_wait.get("count").and_then(Json::as_f64).unwrap() >= 40.0,
+        "queue-wait histogram counted every transported request"
+    );
+    for field in ["p50", "p95", "p99", "p999"] {
+        assert!(queue_wait.get(field).is_some(), "stats lacks {field}");
+    }
+    assert!(stats
+        .get("latency_us")
+        .and_then(|l| l.get("plan"))
+        .is_some());
+
+    // ---- Phase 2: force shedding through a tiny queue so the shed
+    // incident class also leaves a post-mortem.
+    let shed_flights = temp_dir("shed-flights");
+    let shed_engine = Arc::new(ServeEngine::new(ServeConfig {
+        chaos: "stall@1:150,stall@2:150".parse().unwrap(),
+        flight_dir: Some(shed_flights.clone()),
+        ..ServeConfig::default()
+    }));
+    let shed_input = "{\"op\":\"health\"}\n".repeat(30);
+    let shed_responses = run_session(
+        &shed_engine,
+        &shed_input,
+        &ServerConfig {
+            capacity: 1,
+            workers: 1,
+            max_requests: None,
+        },
+    );
+    assert_eq!(shed_responses.len(), 30);
+    let shed = shed_responses
+        .iter()
+        .filter(|l| l.contains("\"overloaded\""))
+        .count();
+    assert!(shed > 0, "tiny queue under stalls must shed");
+    let shed_dumps: Vec<String> = std::fs::read_dir(&shed_flights)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        shed_dumps.iter().any(|f| f.contains("-shed-")),
+        "no shed flight dump in {shed_dumps:?}"
+    );
+
+    tpp_obs::clear_sinks();
+
+    // (c) Reconstruct span trees from everything the collector saw and
+    // sample a storm `plan` request: its tree must be complete — the
+    // transport root (`serve.job`), the engine span (`serve.request`)
+    // beneath it, and the queue-wait event stitched to the same trace.
+    let lines = collector.lines();
+    let trees = tpp_obs::trace::reconstruct_jsonl(lines.iter().map(String::as_str));
+    assert!(
+        trees.len() >= 70,
+        "one trace per request, got {}",
+        trees.len()
+    );
+    let sampled = trees
+        .iter()
+        .find(|t| {
+            t.roots.iter().any(|root| {
+                root.name == "serve.job"
+                    && root.children.iter().any(|c| {
+                        c.name == "serve.request"
+                            && c.events.iter().any(|(_, e)| e == "serve.answered")
+                            && !c.children.is_empty()
+                    })
+            })
+        })
+        .unwrap_or_else(|| panic!("no complete plan/recommend span tree reconstructed"));
+    let root = sampled
+        .roots
+        .iter()
+        .find(|r| r.name == "serve.job")
+        .unwrap();
+    assert!(
+        root.events.iter().any(|(_, e)| e == "serve.dequeued"),
+        "root span carries the queue-wait event: {root:?}"
+    );
+    assert!(sampled.span_count() >= 2, "{}", sampled.render_ascii());
+    assert_eq!(
+        sampled.orphan_events, 0,
+        "every event of the sampled trace attaches to a span"
+    );
+    // Span ids are unique within the tree (parent/child links are real).
+    fn collect_ids(n: &tpp_obs::trace::SpanNode, out: &mut Vec<u64>) {
+        out.push(n.span_id);
+        for c in &n.children {
+            collect_ids(c, out);
+        }
+    }
+    let mut ids = Vec::new();
+    for r in &sampled.roots {
+        collect_ids(r, &mut ids);
+    }
+    let unique: BTreeSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "span ids must not collide");
+
+    let _ = std::fs::remove_dir_all(&storm_flights);
+    let _ = std::fs::remove_dir_all(&shed_flights);
+}

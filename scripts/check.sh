@@ -26,9 +26,20 @@ run cargo test -q -p tpp-serve --test chaos
 run cargo test -q -p tpp-serve --test cache
 # NDJSON framing fuzz: every line in, one well-formed response out.
 run cargo test -q -p tpp-serve --test fuzz_framing
+# Observability: chaos storm leaves flight-recorder post-mortems, the
+# `metrics` op's Prometheus text parses (queue-wait + per-phase
+# histograms), and a sampled request reconstructs a full span tree.
+run cargo test -q -p tpp-serve --test tracing
+# Sink-layer concurrency: lossless ordered collection and per-thread
+# trace isolation under parallel emission.
+run cargo test -q -p tpp-obs --test concurrency
 # Chaos smoke: 200 NDJSON requests through the real daemon with panic,
 # stall and corruption injection — zero deaths, zero unanswered.
 run cargo test -q -p rl-planner-cli --test serve_daemon
+# Metrics-schema smoke: the real daemon under --trace emits JSONL where
+# every line parses, every serve event carries trace ids, and the
+# --metrics snapshot re-renders as Prometheus text via `obs`.
+run cargo test -q -p rl-planner-cli --test obs_schema
 if [[ $quick -eq 0 ]]; then
   run cargo build --release -p rl-planner-cli
 fi
