@@ -1,0 +1,115 @@
+//! Micro-benches on the serving front end's per-byte hot path: the
+//! capped line framer (`tpp_serve::LineReader`) that every TCP and
+//! stdio request flows through, against `BufRead::lines` as the
+//! uncapped reference, plus the shed path's raw-id scan.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::BufRead;
+use tpp_serve::{extract_raw_id, FramedLine, LineReader};
+
+/// A realistic NDJSON request stream: short ops, medium plan requests,
+/// a CRLF line and one near-cap line per repetition.
+fn corpus(repetitions: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for i in 0..repetitions {
+        bytes.extend_from_slice(format!("{{\"op\":\"health\",\"id\":\"h{i}\"}}\n").as_bytes());
+        bytes.extend_from_slice(
+            format!(
+                "{{\"op\":\"plan\",\"dataset\":\"ds-ct\",\"episodes\":300,\"seed\":{i},\"deadline_ms\":250,\"id\":\"p{i}\"}}\r\n"
+            )
+            .as_bytes(),
+        );
+        bytes.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let filler = "y".repeat(900);
+        bytes.extend_from_slice(format!("{{\"op\":\"plan\",\"note\":\"{filler}\"}}\n").as_bytes());
+    }
+    bytes
+}
+
+fn bench_line_reader(c: &mut Criterion) {
+    let bytes = corpus(64);
+    let mut group = c.benchmark_group("framing");
+
+    group.bench_function("line_reader_capped", |b| {
+        b.iter(|| {
+            let mut reader = LineReader::new(black_box(&bytes[..]), 4096);
+            let mut lines = 0u64;
+            loop {
+                match reader.next_line() {
+                    FramedLine::Line(l) => {
+                        black_box(l.len());
+                        lines += 1;
+                    }
+                    FramedLine::Eof => break,
+                    _ => lines += 1,
+                }
+            }
+            lines
+        })
+    });
+
+    group.bench_function("bufread_lines_reference", |b| {
+        b.iter(|| {
+            let mut lines = 0u64;
+            for line in std::io::BufReader::new(black_box(&bytes[..])).lines() {
+                black_box(line.unwrap().len());
+                lines += 1;
+            }
+            lines
+        })
+    });
+    group.finish();
+}
+
+fn bench_overlong_discard(c: &mut Criterion) {
+    // One 64 KiB hostile line followed by a normal request: the framer
+    // must discard cheaply without buffering the whole line.
+    let mut bytes = vec![b'x'; 64 * 1024];
+    bytes.push(b'\n');
+    bytes.extend_from_slice(b"{\"op\":\"health\",\"id\":\"after\"}\n");
+    let mut group = c.benchmark_group("framing");
+    group.bench_function("overlong_discard_64k", |b| {
+        b.iter(|| {
+            let mut reader = LineReader::new(black_box(&bytes[..]), 1024);
+            let mut outcomes = 0u64;
+            loop {
+                match reader.next_line() {
+                    FramedLine::Eof => break,
+                    other => {
+                        black_box(&other);
+                        outcomes += 1;
+                    }
+                }
+            }
+            outcomes
+        })
+    });
+    group.finish();
+}
+
+fn bench_raw_id_scan(c: &mut Criterion) {
+    // The shed path runs this on every overloaded request to echo ids
+    // out of lines that may not even parse.
+    let lines = [
+        r#"{"op":"plan","dataset":"ds-ct","episodes":300,"id":"stormy-42"}"#,
+        r#"{"id":"m7","op":<<<not json"#,
+        r#"{"op":"stats"}"#,
+    ];
+    c.bench_function("framing/extract_raw_id", |b| {
+        b.iter(|| {
+            let mut found = 0u64;
+            for line in &lines {
+                found += extract_raw_id(black_box(line)).is_some() as u64;
+            }
+            found
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_line_reader,
+    bench_overlong_discard,
+    bench_raw_id_scan
+);
+criterion_main!(benches);

@@ -9,9 +9,10 @@
 //! rl-planner train --dataset <name> --out policy.qpol [--seed N]
 //!   [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K] [--resume]
 //! rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR) [--start CODE]
-//! rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N] [...]
+//! rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--tcp HOST:PORT] [...]
 //! rl-planner datagen --dataset <name> --out dataset.json
 //! rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
+//! rl-planner bench --load [--rate N] [--duration-s S] [--chaos SPEC] [...]
 //! ```
 //!
 //! `bench` times full training runs (episodes/second) on each benchmark
@@ -28,8 +29,12 @@
 //! newest valid generation, falling back past corrupt ones.
 //!
 //! `serve` runs the long-lived planning daemon from `tpp-serve`:
-//! newline-delimited JSON requests on stdin (or a Unix socket), one
-//! guaranteed response per request, graceful degradation on faults.
+//! newline-delimited JSON requests on stdin, a Unix socket, or TCP
+//! (`--tcp`, with admission control, per-connection timeouts and
+//! graceful drain on a `shutdown` request), one guaranteed response per
+//! request, graceful degradation on faults. `bench --load` storms a
+//! daemon open-loop with mixed hot/cold/malformed/slow-client traffic
+//! and verifies nothing closes without a terminal response.
 //!
 //! Exit codes: `0` success, `1` usage or runtime error, `2` the
 //! emitted plan violates a hard constraint (`plan` / `recommend`).
@@ -102,9 +107,11 @@ const USAGE: &str = "usage:
                    [--keep K] [--resume]
   rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR)
                        [--start CODE]
-  rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--deadline-ms N]
-                   [--max-episodes N] [--capacity N] [--workers N]
+  rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--tcp HOST:PORT]
+                   [--deadline-ms N] [--max-episodes N] [--capacity N] [--workers N]
                    [--max-requests N] [--chaos SPEC]
+                   [--max-conns N] [--read-timeout-ms N] [--idle-timeout-ms N]
+                   [--max-line-bytes N] [--accept-limit N]
                    [--cache-entries N] [--cache-mb N] [--no-cache]
                    [--flight-dir DIR] [--flight-events N] [--slow-ms N]
   rl-planner obs metrics SNAPSHOT.json [--format prom|text|json]
@@ -113,6 +120,11 @@ const USAGE: &str = "usage:
   rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
   rl-planner bench --serve [--dataset <name>] [--requests N] [--episodes N]
                    [--seed N] [--out BENCH_serve.json]
+  rl-planner bench --load [--addr HOST:PORT] [--rate N] [--duration-s S]
+                   [--profile hot=80,cold=10,malformed=5,slow=5] [--chaos SPEC]
+                   [--dataset <name>] [--episodes N] [--deadline-ms N] [--seed N]
+                   [--capacity N] [--workers N] [--max-conns N]
+                   [--out BENCH_load.json]
 exit codes:
   0   success
   1   usage or runtime error
@@ -143,9 +155,27 @@ observability (obs):
   obs metrics FILE        re-render a --metrics JSON snapshot (prom, text or json)
   obs trace FILE          reconstruct span trees from a --trace JSONL file
   --trace-id HEX          show only the trace with this 16-hex id
+serving over TCP (serve --tcp):
+  --tcp HOST:PORT         listen on TCP (use 127.0.0.1:0 for an ephemeral port)
+  --max-conns N           admitted-connection limit; excess is shed (default 256)
+  --read-timeout-ms N     per-read socket timeout / drain poll period (default 100)
+  --idle-timeout-ms N     close connections that complete no line in N ms (default 10000)
+  --max-line-bytes N      per-line byte cap; longer lines get bad_request (default 262144)
+  --accept-limit N        stop after accepting N connections (smoke tests)
+  a `shutdown` request begins a graceful drain: stop accepting, answer
+  every in-flight request, then exit
 serve bench (bench --serve):
   --requests N            requests per dataset, first one cold (default 50)
   --episodes N            training episodes per plan request (default 300)
+load bench (bench --load):
+  --addr HOST:PORT        storm a running daemon (default: host one in-process)
+  --rate N                arrivals per second, open loop (default 200)
+  --duration-s S          arrival window in seconds (default 3)
+  --profile SPEC          traffic mix weights hot/cold/malformed/slow
+  --chaos SPEC            fault plan for the in-process daemon
+  --deadline-ms N         plan-request deadline budget (default 250)
+  fails unless zero connections closed without a terminal response and
+  the daemon still answers health with accepting:true after the storm
 global flags (anywhere on the line):
   --trace FILE    write structured JSONL events to FILE
   --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
@@ -246,7 +276,7 @@ impl<'a> Flags<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(key) = a.strip_prefix("--") {
-                if matches!(key, "min-sim" | "resume" | "serve" | "no-cache") {
+                if matches!(key, "min-sim" | "resume" | "serve" | "no-cache" | "load") {
                     switches.push(key);
                     i += 1;
                 } else {
@@ -689,14 +719,43 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                 capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
                 workers: parse_u64("workers")?.unwrap_or(2) as usize,
                 max_requests: parse_u64("max-requests")?,
+                max_line_bytes: parse_u64("max-line-bytes")?.unwrap_or(256 * 1024) as usize,
             };
             let engine = Arc::new(tpp_serve::ServeEngine::new(config));
-            match flags.get("socket") {
-                Some(path) => {
+            match (flags.get("tcp"), flags.get("socket")) {
+                (Some(addr), _) => {
+                    let tcp = tpp_serve::TcpConfig {
+                        max_connections: parse_u64("max-conns")?.unwrap_or(256) as usize,
+                        max_line_bytes: server.max_line_bytes,
+                        read_timeout: std::time::Duration::from_millis(
+                            parse_u64("read-timeout-ms")?.unwrap_or(100),
+                        ),
+                        idle_timeout: std::time::Duration::from_millis(
+                            parse_u64("idle-timeout-ms")?.unwrap_or(10_000),
+                        ),
+                        capacity: server.capacity,
+                        workers: server.workers,
+                        accept_limit: parse_u64("accept-limit")?,
+                    };
+                    let srv = tpp_serve::TcpServer::bind(Arc::clone(&engine), addr, tcp)
+                        .map_err(|e| format!("tcp bind {addr} failed: {e}"))?;
+                    eprintln!("listening on tcp {}", srv.local_addr());
+                    let summary = srv.run();
+                    eprintln!(
+                        "tcp serve done: {} accepted, {} admitted, {} shed, {} idle timeout(s), {} undeliverable, drained {}",
+                        summary.accepted,
+                        summary.admitted,
+                        summary.shed,
+                        summary.timeouts,
+                        summary.undeliverable_responses,
+                        summary.drained,
+                    );
+                }
+                (None, Some(path)) => {
                     tpp_serve::serve_unix(engine, std::path::Path::new(path), &server, None)
                         .map_err(|e| format!("socket serve failed: {e}"))?;
                 }
-                None => {
+                (None, None) => {
                     let summary = tpp_serve::serve_lines(
                         Arc::clone(&engine),
                         std::io::stdin().lock(),
@@ -790,6 +849,9 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
         }
         "bench" => {
             let flags = Flags::parse(&args[1..])?;
+            if flags.has("load") {
+                return bench_load(&flags, obs);
+            }
             if flags.has("serve") {
                 return bench_serve(&flags, obs);
             }
@@ -1018,6 +1080,182 @@ fn bench_serve(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     Ok(Outcome::Clean)
 }
 
+/// `bench --load`: open-loop TCP load/chaos harness. Starts an
+/// in-process [`tpp_serve::TcpServer`] (or targets `--addr`), drives a
+/// fixed-arrival-rate storm of mixed hot/cold/malformed/slow-client
+/// connections, and writes exact p50/p99/p999 latency, shed rate,
+/// timeout counts and the closed-without-response invariant (must be
+/// zero) to the report (default `BENCH_load.json`).
+fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let rate: f64 = flags
+        .get("rate")
+        .unwrap_or("200")
+        .parse()
+        .map_err(|_| "bad --rate")?;
+    let duration_s: f64 = flags
+        .get("duration-s")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|_| "bad --duration-s")?;
+    let out = flags.get("out").unwrap_or("BENCH_load.json");
+    let profile: tpp_serve::LoadProfile = flags
+        .get("profile")
+        .unwrap_or("hot=80,cold=10,malformed=5,slow=5")
+        .parse()
+        .map_err(|e| format!("bad --profile: {e}"))?;
+    let load = tpp_serve::LoadConfig {
+        rate,
+        duration: std::time::Duration::from_secs_f64(duration_s),
+        dataset: flags.get("dataset").unwrap_or("ds-ct").to_string(),
+        episodes: parse_u64("episodes", 60)?,
+        deadline_ms: parse_u64("deadline-ms", 250)?,
+        seed: parse_u64("seed", 0)?,
+        profile,
+        response_timeout: std::time::Duration::from_millis(parse_u64(
+            "response-timeout-ms",
+            10_000,
+        )?),
+    };
+    tpp_serve::resolve_dataset(&load.dataset)?; // fail fast on a typo
+
+    // Either storm an already-running daemon (--addr) or host one
+    // in-process and drain it afterwards.
+    let (addr, server_thread) = match flags.get("addr") {
+        Some(addr) => (
+            addr.parse()
+                .map_err(|_| format!("bad --addr {addr:?} (want HOST:PORT)"))?,
+            None,
+        ),
+        None => {
+            let mut config = tpp_serve::ServeConfig::default();
+            if let Some(spec) = flags.get("chaos") {
+                config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
+            }
+            let engine = Arc::new(tpp_serve::ServeEngine::new(config));
+            let tcp = tpp_serve::TcpConfig {
+                max_connections: parse_u64("max-conns", 512)? as usize,
+                capacity: parse_u64("capacity", 128)? as usize,
+                workers: parse_u64("workers", 4)? as usize,
+                read_timeout: std::time::Duration::from_millis(50),
+                idle_timeout: std::time::Duration::from_millis(parse_u64("idle-timeout-ms", 500)?),
+                ..tpp_serve::TcpConfig::default()
+            };
+            let server = tpp_serve::TcpServer::bind(engine, "127.0.0.1:0", tcp)
+                .map_err(|e| format!("tcp bind failed: {e}"))?;
+            let addr = server.local_addr();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+    println!(
+        "storming {addr}: {rate:.0} conn/s for {duration_s:.1}s (profile {})",
+        flags
+            .get("profile")
+            .unwrap_or("hot=80,cold=10,malformed=5,slow=5")
+    );
+    let r = tpp_serve::run_load(addr, &load);
+
+    // The in-process daemon is drained with the same `shutdown` op an
+    // operator would use, proving the drain path after the storm.
+    let server_summary = server_thread.map(|handle| {
+        let mut stream = std::net::TcpStream::connect(addr).expect("drain connect");
+        use std::io::Write as _;
+        stream
+            .write_all(b"{\"op\":\"shutdown\",\"id\":\"drain\"}\n")
+            .expect("drain write");
+        let summary = handle.join().expect("server thread");
+        LoadServerSummary {
+            accepted: summary.accepted,
+            admitted: summary.admitted,
+            shed_connections: summary.shed,
+            idle_timeouts: summary.timeouts,
+            undeliverable_responses: summary.undeliverable_responses,
+            drained: summary.drained,
+        }
+    });
+
+    let lat = |p: tpp_serve::Percentiles| LoadLatency {
+        p50_ms: p.p50_ms,
+        p99_ms: p.p99_ms,
+        p999_ms: p.p999_ms,
+        max_ms: p.max_ms,
+    };
+    let report = LoadBenchReport {
+        rate,
+        duration_s: r.duration_s,
+        achieved_rate: r.achieved_rate,
+        dataset: load.dataset.clone(),
+        episodes: load.episodes,
+        deadline_ms: load.deadline_ms,
+        seed: load.seed,
+        profile: flags
+            .get("profile")
+            .unwrap_or("hot=80,cold=10,malformed=5,slow=5")
+            .to_string(),
+        chaos: flags.get("chaos").unwrap_or("").to_string(),
+        arrivals: r.arrivals,
+        sent: r.sent,
+        answered: r.answered,
+        ok: r.ok,
+        overloaded: r.overloaded,
+        bad_request: r.bad_request,
+        other_errors: r.other_errors,
+        client_timeouts: r.client_timeouts,
+        closed_without_response: r.closed_without_response,
+        connect_failures: r.connect_failures,
+        slow_conns: r.slow_conns,
+        slow_closed_by_server: r.slow_closed_by_server,
+        shed_rate: r.shed_rate,
+        latency_ms: lat(r.latency),
+        latency_ok_ms: lat(r.latency_ok),
+        post_health_accepting: r.post_health_accepting,
+        server: server_summary,
+    };
+    println!(
+        "answered {}/{} (ok {}, overloaded {}, bad_request {})  shed_rate {:.3}",
+        report.answered,
+        report.sent,
+        report.ok,
+        report.overloaded,
+        report.bad_request,
+        report.shed_rate
+    );
+    println!(
+        "latency p50 {:.1} ms  p99 {:.1} ms  p999 {:.1} ms  max {:.1} ms",
+        report.latency_ms.p50_ms,
+        report.latency_ms.p99_ms,
+        report.latency_ms.p999_ms,
+        report.latency_ms.max_ms
+    );
+    println!(
+        "slow conns {} ({} closed by server)  client timeouts {}  closed_without_response {}  post-storm accepting {}",
+        report.slow_conns,
+        report.slow_closed_by_server,
+        report.client_timeouts,
+        report.closed_without_response,
+        report.post_health_accepting
+    );
+    tpp_store::save_json(out, &report).map_err(|e| e.to_string())?;
+    println!("(load report written to {out})");
+    obs.summary();
+    if report.closed_without_response > 0 {
+        return Err(format!(
+            "{} connection(s) closed without a terminal response",
+            report.closed_without_response
+        ));
+    }
+    if !report.post_health_accepting {
+        return Err("daemon not accepting after the storm".into());
+    }
+    Ok(Outcome::Clean)
+}
+
 /// One dataset's timing comparison in the `bench` report.
 #[derive(serde::Serialize)]
 struct BenchRow {
@@ -1060,6 +1298,67 @@ struct ServeBenchRow {
     cache_hits: u64,
     cache_misses: u64,
     cache_coalesced: u64,
+}
+
+/// Exact client-observed latency percentiles in the `bench --load`
+/// report.
+#[derive(serde::Serialize)]
+struct LoadLatency {
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    max_ms: f64,
+}
+
+/// The daemon's own exit summary when `bench --load` hosted it
+/// in-process and drained it after the storm.
+#[derive(serde::Serialize)]
+struct LoadServerSummary {
+    accepted: u64,
+    admitted: u64,
+    shed_connections: u64,
+    idle_timeouts: u64,
+    /// Responses the daemon could not write because the peer was
+    /// already gone — hostile storm clients can make this nonzero
+    /// without violating the client-observed invariant above.
+    undeliverable_responses: u64,
+    drained: bool,
+}
+
+/// The `bench --load` report (default `BENCH_load.json`): an open-loop
+/// TCP storm's client-side outcome census plus the serving invariants.
+#[derive(serde::Serialize)]
+struct LoadBenchReport {
+    rate: f64,
+    duration_s: f64,
+    achieved_rate: f64,
+    dataset: String,
+    episodes: u64,
+    deadline_ms: u64,
+    seed: u64,
+    profile: String,
+    chaos: String,
+    arrivals: u64,
+    sent: u64,
+    answered: u64,
+    ok: u64,
+    overloaded: u64,
+    bad_request: u64,
+    other_errors: u64,
+    client_timeouts: u64,
+    /// Complete requests whose connection died with no terminal
+    /// response — the invariant that must be zero.
+    closed_without_response: u64,
+    connect_failures: u64,
+    slow_conns: u64,
+    slow_closed_by_server: u64,
+    shed_rate: f64,
+    latency_ms: LoadLatency,
+    latency_ok_ms: LoadLatency,
+    /// The daemon still answered `health` with `accepting: true` after
+    /// the storm.
+    post_health_accepting: bool,
+    server: Option<LoadServerSummary>,
 }
 
 /// Latency percentiles lifted from one registry histogram.

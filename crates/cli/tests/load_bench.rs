@@ -1,0 +1,87 @@
+//! End-to-end smoke for `rl-planner bench --load`: the real binary
+//! hosts a TCP daemon in-process, storms it open-loop with mixed
+//! traffic under chaos, and must exit 0 with a report proving the
+//! serving invariants (zero connections closed without a terminal
+//! response; daemon still accepting after the storm).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rl-planner"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rl-planner-load-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn load_bench_under_chaos_holds_the_serving_invariants() {
+    let dir = temp_dir("chaos");
+    let out = dir.join("BENCH_load.json");
+    let output = bin()
+        .args([
+            "bench",
+            "--load",
+            "--rate",
+            "80",
+            "--duration-s",
+            "2",
+            "--episodes",
+            "30",
+            "--deadline-ms",
+            "250",
+            "--workers",
+            "4",
+            "--capacity",
+            "64",
+            "--chaos",
+            "panic@5,stall@9:80,flaky@13,corrupt@17",
+            "--profile",
+            "hot=70,cold=15,malformed=10,slow=5",
+            "--seed",
+            "7",
+            "-q",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run bench --load");
+    assert!(
+        output.status.success(),
+        "bench --load failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let report = std::fs::read_to_string(&out).expect("report written");
+    let v = tpp_obs::json::parse(report.trim()).expect("report parses");
+    let num = |key: &str| -> f64 {
+        v.get(key)
+            .and_then(tpp_obs::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("closed_without_response"), 0.0, "report: {report}");
+    assert_eq!(
+        v.get("post_health_accepting"),
+        Some(&tpp_obs::json::Json::Bool(true)),
+        "report: {report}"
+    );
+    assert!(num("sent") > 0.0, "report: {report}");
+    assert_eq!(num("answered") + num("client_timeouts"), num("sent"));
+    assert!(
+        num("bad_request") > 0.0,
+        "malformed traffic must be rejected"
+    );
+    assert!(
+        v.get("latency_ms").is_some() && v.get("server").is_some(),
+        "report: {report}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,6 +25,7 @@ use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::datasets::resolve_dataset;
 use crate::protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
 use crate::retry::{with_backoff_budgeted, BackoffPolicy};
+use crate::transport::TransportState;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -124,6 +125,10 @@ pub struct ServeEngine {
     pub cache: PolicyCache,
     /// Counters for `stats` responses and the exit summary.
     pub counters: EngineCounters,
+    /// Transport readiness, drain flag and connection accounting —
+    /// updated by whichever transport fronts this engine, reported by
+    /// the `health` / `stats` ops.
+    pub transport: TransportState,
     started: Instant,
     ordinal: AtomicU64,
     /// Ring buffer of recent events, dumped on incidents (see
@@ -165,6 +170,7 @@ impl ServeEngine {
             datasets: Mutex::new(HashMap::new()),
             cache,
             counters: EngineCounters::default(),
+            transport: TransportState::default(),
             started: Instant::now(),
             ordinal: AtomicU64::new(0),
             flight,
@@ -299,6 +305,25 @@ impl ServeEngine {
             .finish()
     }
 
+    /// Builds the terminal `bad_request` response for a line the
+    /// framing layer rejected before it could become a request —
+    /// over-cap length or invalid UTF-8. The raw bytes are gone (or
+    /// unparsable by construction), so the id is an explicit `null`.
+    /// The session stays alive; only this line is answered and dropped.
+    pub fn framing_error_response(&self, why: &str) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.answered.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.requests").inc();
+        tpp_obs::metrics().counter("serve.bad_request").inc();
+        obs_event!(Level::Warn, "serve.framing_rejected", reason = why);
+        JsonObj::new()
+            .bool("ok", false)
+            .nullable_str("id", None)
+            .str("error", &format!("bad_request: {why}"))
+            .finish()
+    }
+
     fn dispatch(&self, req: &Request, faults: &[ChaosFault]) -> String {
         if faults.contains(&ChaosFault::Panic) {
             panic!("chaos: injected panic while handling request");
@@ -312,8 +337,29 @@ impl ServeEngine {
             Op::Health => self.health_response(req),
             Op::Stats => self.stats_response(req),
             Op::Metrics => self.metrics_response(req),
+            Op::Shutdown => self.shutdown_response(req),
             Op::Plan | Op::Recommend => self.answer_planning(req, faults),
         }
+    }
+
+    /// `shutdown` op: flips the drain flag (idempotently) and
+    /// acknowledges. The transport notices the flag at its next poll
+    /// tick: the listener stops accepting, readers stop reading, and
+    /// everything already in flight is answered before exit.
+    fn shutdown_response(&self, req: &Request) -> String {
+        let initiated = self.transport.begin_drain();
+        obs_event!(
+            Level::Info,
+            "serve.shutdown_requested",
+            initiated = initiated
+        );
+        JsonObj::new()
+            .bool("ok", true)
+            .opt_str("id", req.id.as_deref())
+            .str("op", "shutdown")
+            .bool("draining", true)
+            .bool("initiated", initiated)
+            .finish()
     }
 
     /// The planning path: primary tier, then the degradation chain.
@@ -902,11 +948,27 @@ impl ServeEngine {
         }
     }
 
+    /// `health` carries readiness semantics for load-balancer probes:
+    /// `accepting` is `false` while draining or while the admission
+    /// gate is saturated (connection limit reached or queue full), so
+    /// a balancer can stop routing here *before* its next request is
+    /// shed.
     fn health_response(&self, req: &Request) -> String {
+        let t = &self.transport;
         JsonObj::new()
             .bool("ok", true)
             .opt_str("id", req.id.as_deref())
             .str("op", "health")
+            .bool("accepting", t.accepting())
+            .bool("draining", t.draining())
+            .u64(
+                "connections",
+                t.connections.load(Ordering::Relaxed).max(0) as u64,
+            )
+            .u64(
+                "queue_depth",
+                t.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            )
             .u64("uptime_ms", self.started.elapsed().as_millis() as u64)
             .u64("requests", self.counters.requests.load(Ordering::Relaxed))
             .u64(
@@ -946,6 +1008,34 @@ impl ServeEngine {
             )
             .u64("cache_entries", cache_entries as u64)
             .u64("cache_bytes", cache_bytes as u64)
+            .bool("accepting", self.transport.accepting())
+            .bool("draining", self.transport.draining())
+            .u64(
+                "connections",
+                self.transport.connections.load(Ordering::Relaxed).max(0) as u64,
+            )
+            .u64(
+                "conns_accepted",
+                self.transport.conns_accepted.load(Ordering::Relaxed),
+            )
+            .u64(
+                "conns_shed",
+                self.transport.conns_shed.load(Ordering::Relaxed),
+            )
+            .u64(
+                "conn_timeouts",
+                self.transport.conn_timeouts.load(Ordering::Relaxed),
+            )
+            .u64(
+                "overlong_lines",
+                self.transport.overlong_lines.load(Ordering::Relaxed),
+            )
+            .u64(
+                "undeliverable_responses",
+                self.transport
+                    .undeliverable_responses
+                    .load(Ordering::Relaxed),
+            )
             .u64(
                 "queue_depth",
                 m.gauge("serve.queue_depth").get().max(0.0) as u64,
@@ -1108,6 +1198,7 @@ fn per_op_latency_json() -> String {
         "health",
         "stats",
         "metrics",
+        "shutdown",
         "bad_request",
     ] {
         let s = m.histogram(&format!("serve.op.{op}_us")).summary();

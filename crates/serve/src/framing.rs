@@ -1,0 +1,327 @@
+//! Byte-level NDJSON framing with a per-line length cap.
+//!
+//! The stdio transport used to lean on [`std::io::BufRead::lines`],
+//! which has two failure modes a hostile client can exploit: a line
+//! with no newline grows the buffer without bound (one client balloons
+//! the daemon's memory), and a single invalid-UTF-8 byte errors the
+//! iterator and tore down the whole session. [`LineReader`] replaces it
+//! with an explicit state machine:
+//!
+//! * lines may arrive split across **arbitrary read boundaries** — the
+//!   reader buffers partial lines between reads;
+//! * `\r\n` endings are accepted (the `\r` is stripped);
+//! * a line longer than the cap is **discarded to its newline** and
+//!   reported as [`FramedLine::Overlong`] — the connection survives and
+//!   the discard loop itself never buffers more than one chunk;
+//! * invalid UTF-8 is reported per line ([`FramedLine::InvalidUtf8`]),
+//!   not per session;
+//! * read timeouts (`WouldBlock`/`TimedOut` from a socket with a read
+//!   timeout) surface as [`FramedLine::TimedOut`] so the caller can
+//!   enforce idle deadlines and poll drain flags without dedicating a
+//!   thread to every blocked read.
+
+use std::io::Read;
+
+/// One framing outcome from [`LineReader::next_line`].
+#[derive(Debug)]
+pub enum FramedLine {
+    /// A complete line (newline stripped, trailing `\r` stripped).
+    Line(String),
+    /// A line exceeded the length cap; its bytes were discarded up to
+    /// (and including) the terminating newline.
+    Overlong,
+    /// A complete line arrived but its bytes are not valid UTF-8.
+    InvalidUtf8,
+    /// The underlying read timed out with no complete line buffered.
+    TimedOut,
+    /// Clean end of stream (any final unterminated line is returned as
+    /// [`FramedLine::Line`] first, like `BufRead::lines`).
+    Eof,
+    /// A non-timeout I/O error; the connection is unusable.
+    Err(std::io::Error),
+}
+
+/// A capped line reader over any [`Read`].
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    /// Bytes of the current (incomplete) line, plus any read-ahead past
+    /// the newline of the line last returned.
+    buf: Vec<u8>,
+    max_line_bytes: usize,
+    /// In discard mode: the current line already blew the cap; bytes
+    /// are dropped until its newline.
+    discarding: bool,
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `inner` with a `max_line_bytes` cap (clamped to ≥ 1).
+    pub fn new(inner: R, max_line_bytes: usize) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            max_line_bytes: max_line_bytes.max(1),
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    /// Consumes buffered bytes up to the next newline, if one is there.
+    fn take_buffered_line(&mut self) -> Option<FramedLine> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let rest = self.buf.split_off(nl + 1);
+        self.buf.pop(); // the newline
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        let line = std::mem::replace(&mut self.buf, rest);
+        if self.discarding {
+            self.discarding = false;
+            return Some(FramedLine::Overlong);
+        }
+        // A whole overlong line can arrive inside one chunk, never
+        // having tripped the incremental cap.
+        if line.len() > self.max_line_bytes {
+            return Some(FramedLine::Overlong);
+        }
+        match String::from_utf8(line) {
+            Ok(s) => Some(FramedLine::Line(s)),
+            Err(_) => Some(FramedLine::InvalidUtf8),
+        }
+    }
+
+    /// Enforces the cap on the (still incomplete) current line. Only
+    /// called when the buffer holds no newline — `take_buffered_line`
+    /// runs first each iteration — so clearing cannot drop a line
+    /// terminator, and the buffer never grows past cap + one chunk.
+    fn enforce_cap(&mut self) {
+        if self.buf.len() > self.max_line_bytes || (self.discarding && !self.buf.is_empty()) {
+            self.buf.clear();
+            self.discarding = true;
+        }
+    }
+
+    /// Returns the next framed line (blocking up to the underlying
+    /// reader's timeout, when it has one).
+    pub fn next_line(&mut self) -> FramedLine {
+        self.next_line_by(None)
+    }
+
+    /// Like [`next_line`](Self::next_line), but also returns
+    /// [`FramedLine::TimedOut`] once `deadline` passes even while bytes
+    /// keep arriving — a slow-loris client trickling one byte per read
+    /// timeout would otherwise keep this loop alive forever without a
+    /// complete line. The partial line stays buffered; the caller
+    /// decides whether the deadline is fatal.
+    pub fn next_line_by(&mut self, deadline: Option<std::time::Instant>) -> FramedLine {
+        loop {
+            if let Some(out) = self.take_buffered_line() {
+                return out;
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return FramedLine::TimedOut;
+            }
+            self.enforce_cap();
+            if self.eof {
+                if self.discarding {
+                    self.discarding = false;
+                    self.buf.clear();
+                    return FramedLine::Overlong;
+                }
+                if self.buf.is_empty() {
+                    return FramedLine::Eof;
+                }
+                // Final unterminated line.
+                let line = std::mem::take(&mut self.buf);
+                if line.len() > self.max_line_bytes {
+                    return FramedLine::Overlong;
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => FramedLine::Line(s),
+                    Err(_) => FramedLine::InvalidUtf8,
+                };
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                // No cap enforcement here: the chunk may contain the
+                // newline that ends a discarded line, and the loop's
+                // next take_buffered_line must see it.
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return FramedLine::TimedOut;
+                }
+                Err(e) => return FramedLine::Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// A reader that yields its scripted chunks one at a time — the
+    /// deterministic stand-in for arbitrary TCP read boundaries.
+    struct Chunked {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let Some(chunk) = self.chunks.get(self.next) else {
+                return Ok(0);
+            };
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.next += 1;
+            } else {
+                self.chunks[self.next] = chunk[n..].to_vec();
+            }
+            Ok(n)
+        }
+    }
+
+    fn chunked(chunks: &[&[u8]]) -> Chunked {
+        Chunked {
+            chunks: chunks.iter().map(|c| c.to_vec()).collect(),
+            next: 0,
+        }
+    }
+
+    fn expect_line(r: &mut LineReader<Chunked>, want: &str) {
+        match r.next_line() {
+            FramedLine::Line(s) => assert_eq!(s, want),
+            other => panic!("expected line {want:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lines_split_across_read_boundaries_reassemble() {
+        let mut r = LineReader::new(
+            chunked(&[b"{\"op\":", b"\"health\"", b"}\nnext", b"\n"]),
+            256,
+        );
+        expect_line(&mut r, "{\"op\":\"health\"}");
+        expect_line(&mut r, "next");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn crlf_endings_are_stripped() {
+        let mut r = LineReader::new(chunked(&[b"a\r\nb\nc\r\n"]), 256);
+        expect_line(&mut r, "a");
+        expect_line(&mut r, "b");
+        expect_line(&mut r, "c");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn one_chunk_with_many_lines_yields_them_all() {
+        let mut r = LineReader::new(chunked(&[b"1\n2\n3\n"]), 256);
+        expect_line(&mut r, "1");
+        expect_line(&mut r, "2");
+        expect_line(&mut r, "3");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn overlong_lines_are_discarded_and_the_stream_survives() {
+        let long = vec![b'x'; 100];
+        let mut input = long.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let mut r = LineReader::new(chunked(&[&input]), 16);
+        assert!(matches!(r.next_line(), FramedLine::Overlong));
+        expect_line(&mut r, "ok");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn overlong_discard_spans_read_boundaries_without_buffering() {
+        let mut r = LineReader::new(chunked(&[&[b'x'; 4096], &[b'x'; 4096], b"tail\nok\n"]), 64);
+        assert!(matches!(r.next_line(), FramedLine::Overlong));
+        expect_line(&mut r, "ok");
+    }
+
+    #[test]
+    fn unterminated_final_line_is_returned_then_eof() {
+        let mut r = LineReader::new(chunked(&[b"a\nlast"]), 256);
+        expect_line(&mut r, "a");
+        expect_line(&mut r, "last");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn unterminated_overlong_tail_reports_overlong_then_eof() {
+        let mut r = LineReader::new(chunked(&[&[b'x'; 100]]), 16);
+        assert!(matches!(r.next_line(), FramedLine::Overlong));
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn invalid_utf8_is_per_line_not_per_session() {
+        let mut r = LineReader::new(chunked(&[b"\xff\xfe\n{\"op\":\"health\"}\n"]), 256);
+        assert!(matches!(r.next_line(), FramedLine::InvalidUtf8));
+        expect_line(&mut r, "{\"op\":\"health\"}");
+        assert!(matches!(r.next_line(), FramedLine::Eof));
+    }
+
+    #[test]
+    fn timeouts_surface_without_losing_the_partial_line() {
+        struct TimesOutOnce {
+            fired: bool,
+            then: Chunked,
+        }
+        impl Read for TimesOutOnce {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.fired {
+                    self.fired = true;
+                    return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow"));
+                }
+                self.then.read(buf)
+            }
+        }
+        let mut r = LineReader::new(
+            TimesOutOnce {
+                fired: false,
+                then: chunked(&[b"late\n"]),
+            },
+            256,
+        );
+        assert!(matches!(r.next_line(), FramedLine::TimedOut));
+        match r.next_line() {
+            FramedLine::Line(s) => assert_eq!(s, "late"),
+            other => panic!("expected the late line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_trickling_reader_cannot_outlive_the_deadline() {
+        /// Always returns one byte and never completes a line — the
+        /// slow-loris shape that defeats per-read timeouts.
+        struct Trickle;
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                buf[0] = b'x';
+                Ok(1)
+            }
+        }
+        let mut r = LineReader::new(Trickle, 1 << 20);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(20);
+        assert!(matches!(
+            r.next_line_by(Some(deadline)),
+            FramedLine::TimedOut
+        ));
+    }
+}

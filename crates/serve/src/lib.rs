@@ -4,7 +4,8 @@
 //! one-shot subcommands re-learn a policy per invocation; `tpp-serve`
 //! keeps datasets and checkpoints warm and answers a stream of
 //! newline-delimited JSON requests (`plan`, `recommend`, `health`,
-//! `stats`, `metrics`) over stdin/stdout or a Unix socket.
+//! `stats`, `metrics`, `shutdown`) over stdin/stdout, a Unix socket, or
+//! TCP ([`tcp`]).
 //!
 //! The contract is availability, not perfection:
 //!
@@ -41,6 +42,20 @@
 //!   ring (enabled via [`ServeConfig::flight_dir`]) is dumped as JSONL
 //!   on panic recovery, shed, deadline overrun and slow requests.
 //!
+//! * **The TCP front end never wedges**: a connection supervisor
+//!   enforces `max_connections`, admission control sheds *before*
+//!   session admission when the bounded queue saturates (immediate
+//!   `overloaded` with the request's echoed `id`, then close),
+//!   per-connection read/idle timeouts defeat slow-loris clients, a
+//!   per-line byte cap ([`framing`]) bounds memory, and a `shutdown`
+//!   request begins a graceful drain — stop accepting, answer every
+//!   in-flight request, then exit. `health` doubles as a readiness
+//!   probe (`accepting` flips false while draining or saturated). The
+//!   open-loop load harness ([`load`]) drives hundreds of concurrent
+//!   connections with mixed hot/cold/malformed/slow traffic and
+//!   asserts the core invariant from the outside: zero connections
+//!   closed without a terminal response.
+//!
 //! The [`chaos`] module injects panics, stalls and checkpoint
 //! corruption at chosen request ordinals so the integration suite (and
 //! `scripts/check.sh`) can prove those properties deterministically.
@@ -51,14 +66,22 @@ pub mod cache;
 pub mod chaos;
 pub mod datasets;
 pub mod engine;
+pub mod framing;
+pub mod load;
 pub mod protocol;
 pub mod retry;
 pub mod server;
+pub mod tcp;
+pub mod transport;
 
 pub use cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use datasets::{resolve_dataset, DATASET_NAMES};
 pub use engine::{ServeConfig, ServeEngine};
+pub use framing::{FramedLine, LineReader};
+pub use load::{probe_health, run_load, LoadConfig, LoadProfile, LoadReport, Percentiles};
 pub use protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
 pub use retry::{with_backoff, with_backoff_budgeted, BackoffPolicy};
 pub use server::{serve_lines, serve_unix, ServeSummary, ServerConfig};
+pub use tcp::{TcpConfig, TcpServer, TcpSummary};
+pub use transport::{ConnTrack, Job, SharedWriter, TransportState};

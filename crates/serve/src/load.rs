@@ -1,0 +1,516 @@
+//! Open-loop load generation against a TCP daemon.
+//!
+//! [`run_load`] drives a fixed **arrival schedule** — connection `i`
+//! opens at `start + i/rate`, regardless of how fast earlier requests
+//! complete — which is the schedule that actually finds capacity
+//! cliffs: a closed-loop client slows down with the server and hides
+//! them. Each arrival is one TCP connection carrying one request from
+//! a seeded traffic mix ([`LoadProfile`]):
+//!
+//! * **hot** — a plan request with a fixed seed: after the first, every
+//!   one hits the policy cache;
+//! * **cold** — a plan request with a per-arrival seed, forcing a train
+//!   under the request's `deadline_ms` budget;
+//! * **malformed** — deliberately broken JSON (with a scannable `id`),
+//!   which must come back as `bad_request` echoing that id;
+//! * **slow** — a slow-loris client: sends a partial line and stalls,
+//!   expecting the server's idle timeout to close it.
+//!
+//! The harness classifies every outcome from the **client's** side of
+//! the wire and asserts the serving invariant externally: a connection
+//! that sent a complete request and saw EOF before any response line is
+//! a `closed_without_response` — the number that must be zero.
+//! Latencies are exact (sorted, not histogram-bucketed) p50/p99/p999.
+//! After the storm the harness probes `health` on a fresh connection:
+//! a daemon that survived must still answer with `accepting: true`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+/// Relative weights of the four traffic kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// Cache-hot plan requests (fixed seed).
+    pub hot: u32,
+    /// Cache-cold plan requests (per-arrival seed; forces training).
+    pub cold: u32,
+    /// Broken-JSON requests that must get `bad_request`.
+    pub malformed: u32,
+    /// Slow-loris connections that never complete a line.
+    pub slow: u32,
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        LoadProfile {
+            hot: 80,
+            cold: 10,
+            malformed: 5,
+            slow: 5,
+        }
+    }
+}
+
+impl LoadProfile {
+    fn total(&self) -> u64 {
+        (self.hot + self.cold + self.malformed + self.slow) as u64
+    }
+
+    /// Maps a uniform draw onto a traffic kind.
+    fn pick(&self, draw: u64) -> Kind {
+        let total = self.total().max(1);
+        let mut r = draw % total;
+        for (weight, kind) in [
+            (self.hot as u64, Kind::Hot),
+            (self.cold as u64, Kind::Cold),
+            (self.malformed as u64, Kind::Malformed),
+            (self.slow as u64, Kind::Slow),
+        ] {
+            if r < weight {
+                return kind;
+            }
+            r -= weight;
+        }
+        Kind::Hot
+    }
+}
+
+impl FromStr for LoadProfile {
+    type Err = String;
+
+    /// Parses `hot=80,cold=10,malformed=5,slow=5` (missing keys keep 0;
+    /// at least one weight must be positive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = LoadProfile {
+            hot: 0,
+            cold: 0,
+            malformed: 0,
+            slow: 0,
+        };
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad profile part {part:?} (want key=weight)"))?;
+            let w: u32 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad weight in {part:?}"))?;
+            match key.trim() {
+                "hot" => p.hot = w,
+                "cold" => p.cold = w,
+                "malformed" => p.malformed = w,
+                "slow" => p.slow = w,
+                other => return Err(format!("unknown traffic kind {other:?}")),
+            }
+        }
+        if p.total() == 0 {
+            return Err("profile needs at least one positive weight".into());
+        }
+        Ok(p)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Hot,
+    Cold,
+    Malformed,
+    Slow,
+}
+
+/// Open-loop load run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Arrivals per second (open loop: the schedule does not slow down
+    /// when the server does).
+    pub rate: f64,
+    /// How long to keep scheduling arrivals.
+    pub duration: Duration,
+    /// Dataset name for plan requests.
+    pub dataset: String,
+    /// Training episodes per cold plan request.
+    pub episodes: u64,
+    /// Cooperative deadline for plan requests.
+    pub deadline_ms: u64,
+    /// Base seed: hot requests reuse it, cold requests derive from it.
+    pub seed: u64,
+    /// Traffic mix.
+    pub profile: LoadProfile,
+    /// Client-side wait for a response before giving up.
+    pub response_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            rate: 100.0,
+            duration: Duration::from_secs(2),
+            dataset: "ds-ct".into(),
+            episodes: 60,
+            deadline_ms: 250,
+            seed: 0,
+            profile: LoadProfile::default(),
+            response_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Exact latency percentiles in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl Percentiles {
+    /// Exact percentiles over `samples` (sorted in place; all zeros
+    /// when empty).
+    pub fn compute(samples: &mut [f64]) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles {
+                p50_ms: 0.0,
+                p99_ms: 0.0,
+                p999_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let at = |q: f64| {
+            let idx = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+            samples[idx.min(samples.len() - 1)]
+        };
+        Percentiles {
+            p50_ms: at(0.50),
+            p99_ms: at(0.99),
+            p999_ms: at(0.999),
+            max_ms: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// What an open-loop run observed, entirely from the client side.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Arrivals scheduled (connections attempted).
+    pub arrivals: u64,
+    /// Connections that sent a complete request line.
+    pub sent: u64,
+    /// Terminal response lines received.
+    pub answered: u64,
+    /// `ok: true` responses.
+    pub ok: u64,
+    /// `overloaded` sheds (queue or admission).
+    pub overloaded: u64,
+    /// `bad_request` responses (the malformed traffic's expected fate).
+    pub bad_request: u64,
+    /// Other `ok: false` responses (degraded-tier errors etc.).
+    pub other_errors: u64,
+    /// Complete requests with no response within the client timeout.
+    pub client_timeouts: u64,
+    /// Complete requests whose connection saw EOF before any response —
+    /// the invariant breaker that must stay zero.
+    pub closed_without_response: u64,
+    /// TCP connects that failed outright.
+    pub connect_failures: u64,
+    /// Slow-loris connections opened.
+    pub slow_conns: u64,
+    /// Slow-loris connections the server closed (idle timeout working).
+    pub slow_closed_by_server: u64,
+    /// Latency over all answered requests.
+    pub latency: Percentiles,
+    /// Latency over `ok: true` responses only.
+    pub latency_ok: Percentiles,
+    /// `overloaded / sent`.
+    pub shed_rate: f64,
+    /// Arrivals per second actually achieved.
+    pub achieved_rate: f64,
+    /// Wall-clock of the whole run (schedule + stragglers).
+    pub duration_s: f64,
+    /// The post-storm `health` probe reported `accepting: true`.
+    pub post_health_accepting: bool,
+    /// Raw post-storm `health` response line.
+    pub post_health: String,
+}
+
+enum ConnResult {
+    Answered { ms: f64, class: Class },
+    ClientTimeout,
+    ClosedWithoutResponse,
+    ConnectFailed,
+    SlowClosed,
+    SlowHung,
+}
+
+enum Class {
+    Ok,
+    Overloaded,
+    BadRequest,
+    OtherError,
+}
+
+/// splitmix64: per-arrival deterministic draws from the base seed.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(i.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn one_connection(addr: SocketAddr, kind: Kind, i: u64, config: &LoadConfig) -> ConnResult {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, config.response_timeout) else {
+        return ConnResult::ConnectFailed;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.response_timeout));
+
+    if kind == Kind::Slow {
+        // Send a partial line and stall; a healthy server closes us at
+        // its idle timeout without ever seeing a complete request.
+        let _ = stream.write_all(b"{\"op\":\"hea");
+        let _ = stream.flush();
+        let mut byte = [0u8; 1];
+        return match std::io::Read::read(&mut stream, &mut byte) {
+            Ok(0) => ConnResult::SlowClosed,
+            Ok(_) => ConnResult::SlowClosed, // server answered something; still closed next
+            Err(_) => ConnResult::SlowHung,  // our own read timeout fired first
+        };
+    }
+
+    let line = match kind {
+        Kind::Hot => format!(
+            r#"{{"op":"plan","dataset":"{}","episodes":{},"seed":{},"deadline_ms":{},"id":"h{}"}}"#,
+            config.dataset, config.episodes, config.seed, config.deadline_ms, i
+        ),
+        Kind::Cold => format!(
+            r#"{{"op":"plan","dataset":"{}","episodes":{},"seed":{},"deadline_ms":{},"id":"c{}"}}"#,
+            config.dataset,
+            config.episodes,
+            config.seed.wrapping_add(1 + i),
+            config.deadline_ms,
+            i
+        ),
+        // Scannable id, hopeless JSON: the response must be a
+        // bad_request that still echoes the id.
+        Kind::Malformed => format!(r#"{{"id":"m{i}","op":<<<not json"#),
+        Kind::Slow => unreachable!(),
+    };
+
+    let t0 = Instant::now();
+    if writeln!(stream, "{line}")
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        return ConnResult::ClosedWithoutResponse;
+    }
+    let mut response = String::new();
+    match BufReader::new(stream).read_line(&mut response) {
+        Ok(0) => ConnResult::ClosedWithoutResponse,
+        Ok(_) => {
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let class = if response.contains("\"ok\":true") {
+                Class::Ok
+            } else if response.contains("overloaded") {
+                Class::Overloaded
+            } else if response.contains("bad_request") {
+                Class::BadRequest
+            } else {
+                Class::OtherError
+            };
+            ConnResult::Answered { ms, class }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            ConnResult::ClientTimeout
+        }
+        Err(_) => ConnResult::ClosedWithoutResponse,
+    }
+}
+
+/// Probes `health` on a fresh connection; returns the raw response and
+/// whether it advertises `accepting: true`.
+pub fn probe_health(addr: SocketAddr, timeout: Duration) -> (String, bool) {
+    let probe = || -> std::io::Result<String> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.write_all(b"{\"op\":\"health\",\"id\":\"post-storm\"}\n")?;
+        stream.flush()?;
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response)?;
+        Ok(response.trim().to_string())
+    };
+    match probe() {
+        Ok(response) => {
+            let accepting = response.contains("\"accepting\":true");
+            (response, accepting)
+        }
+        Err(e) => (format!("health probe failed: {e}"), false),
+    }
+}
+
+/// Runs the open-loop storm against `addr` and classifies every
+/// connection's fate. Blocks until all stragglers resolve, then probes
+/// `health` once for the post-storm readiness verdict.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let total = ((config.rate * config.duration.as_secs_f64()).round() as u64).max(1);
+    let start = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<(Kind, ConnResult)>();
+    let mut handles = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        // Open loop: arrival i fires at start + i/rate no matter how
+        // the server is doing.
+        let due = start + Duration::from_secs_f64(i as f64 / config.rate.max(1e-9));
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let kind = config.profile.pick(mix(config.seed, i));
+        let tx = tx.clone();
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let result = one_connection(addr, kind, i, &config);
+            let _ = tx.send((kind, result));
+        }));
+    }
+    drop(tx);
+
+    let mut report = LoadReport {
+        arrivals: total,
+        sent: 0,
+        answered: 0,
+        ok: 0,
+        overloaded: 0,
+        bad_request: 0,
+        other_errors: 0,
+        client_timeouts: 0,
+        closed_without_response: 0,
+        connect_failures: 0,
+        slow_conns: 0,
+        slow_closed_by_server: 0,
+        latency: Percentiles::compute(&mut []),
+        latency_ok: Percentiles::compute(&mut []),
+        shed_rate: 0.0,
+        achieved_rate: 0.0,
+        duration_s: 0.0,
+        post_health_accepting: false,
+        post_health: String::new(),
+    };
+    let mut all_ms = Vec::new();
+    let mut ok_ms = Vec::new();
+    for (kind, result) in rx {
+        if kind == Kind::Slow {
+            report.slow_conns += 1;
+            match result {
+                ConnResult::SlowClosed => report.slow_closed_by_server += 1,
+                ConnResult::ConnectFailed => report.connect_failures += 1,
+                _ => {}
+            }
+            continue;
+        }
+        match result {
+            ConnResult::Answered { ms, class } => {
+                report.sent += 1;
+                report.answered += 1;
+                all_ms.push(ms);
+                match class {
+                    Class::Ok => {
+                        report.ok += 1;
+                        ok_ms.push(ms);
+                    }
+                    Class::Overloaded => report.overloaded += 1,
+                    Class::BadRequest => report.bad_request += 1,
+                    Class::OtherError => report.other_errors += 1,
+                }
+            }
+            ConnResult::ClientTimeout => {
+                report.sent += 1;
+                report.client_timeouts += 1;
+            }
+            ConnResult::ClosedWithoutResponse => {
+                report.sent += 1;
+                report.closed_without_response += 1;
+            }
+            ConnResult::ConnectFailed => report.connect_failures += 1,
+            ConnResult::SlowClosed | ConnResult::SlowHung => {}
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    report.duration_s = start.elapsed().as_secs_f64();
+    report.achieved_rate = total as f64 / report.duration_s.max(1e-9);
+    report.latency = Percentiles::compute(&mut all_ms);
+    report.latency_ok = Percentiles::compute(&mut ok_ms);
+    report.shed_rate = if report.sent > 0 {
+        report.overloaded as f64 / report.sent as f64
+    } else {
+        0.0
+    };
+    let (health, accepting) = probe_health(addr, config.response_timeout);
+    report.post_health = health;
+    report.post_health_accepting = accepting;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parses_and_rejects() {
+        let p: LoadProfile = "hot=70,cold=20,malformed=5,slow=5".parse().unwrap();
+        assert_eq!(
+            p,
+            LoadProfile {
+                hot: 70,
+                cold: 20,
+                malformed: 5,
+                slow: 5
+            }
+        );
+        assert!("hot=0,cold=0".parse::<LoadProfile>().is_err());
+        assert!("warm=3".parse::<LoadProfile>().is_err());
+        assert!("hot".parse::<LoadProfile>().is_err());
+    }
+
+    #[test]
+    fn profile_pick_is_deterministic_and_weighted() {
+        let p = LoadProfile {
+            hot: 1,
+            cold: 0,
+            malformed: 0,
+            slow: 1,
+        };
+        let kinds: Vec<Kind> = (0..100).map(|i| p.pick(mix(7, i))).collect();
+        assert!(kinds.contains(&Kind::Hot));
+        assert!(kinds.contains(&Kind::Slow));
+        assert!(!kinds.contains(&Kind::Cold));
+        let again: Vec<Kind> = (0..100).map(|i| p.pick(mix(7, i))).collect();
+        assert_eq!(kinds, again);
+    }
+
+    #[test]
+    fn percentiles_are_exact() {
+        let mut samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let p = Percentiles::compute(&mut samples);
+        assert_eq!(p.p50_ms, 500.0);
+        assert_eq!(p.p99_ms, 990.0);
+        assert_eq!(p.p999_ms, 999.0);
+        assert_eq!(p.max_ms, 1000.0);
+        assert_eq!(Percentiles::compute(&mut []).max_ms, 0.0);
+    }
+}

@@ -36,6 +36,10 @@ pub enum Op {
     /// Full metrics-registry exposition: Prometheus-style text plus the
     /// JSON snapshot (with histogram buckets).
     Metrics,
+    /// Begin a graceful drain: stop accepting new connections, answer
+    /// every in-flight request, then exit. The response acknowledges
+    /// the drain (`draining: true`) before the transport winds down.
+    Shutdown,
 }
 
 impl Op {
@@ -47,6 +51,7 @@ impl Op {
             Op::Health => "health",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
         }
     }
 }
@@ -105,6 +110,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "health" => Op::Health,
         "stats" => Op::Stats,
         "metrics" => Op::Metrics,
+        "shutdown" => Op::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok(Request {

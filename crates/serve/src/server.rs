@@ -1,13 +1,19 @@
 //! Transport: bounded queue, worker pool, stdin/stdout and Unix socket.
 //!
-//! [`serve_lines`] is the core loop, generic over any `BufRead` input
-//! and `Write` output so the chaos tests can drive it with in-memory
-//! buffers and the CLI can hand it stdin/stdout. Requests enter a
-//! **bounded** queue ([`std::sync::mpsc::sync_channel`]); when it is
-//! full the reader thread sheds the request immediately with an
-//! `overloaded` response instead of buffering without limit — a slow
-//! planner must surface as explicit back-pressure, not as unbounded
-//! memory growth followed by an OOM kill.
+//! [`serve_lines`] is the core session loop, generic over any `Read`
+//! input and `Write` output so the chaos tests can drive it with
+//! in-memory buffers and the CLI can hand it stdin/stdout. Requests
+//! enter the **bounded** queue of a [`WorkerPool`]; when it is full the
+//! reader sheds the request immediately with an `overloaded` response
+//! instead of buffering without limit — a slow planner must surface as
+//! explicit back-pressure, not as unbounded memory growth followed by
+//! an OOM kill.
+//!
+//! Framing is byte-level ([`crate::framing::LineReader`]): lines may
+//! split across arbitrary read boundaries, `\r\n` is accepted, an
+//! over-cap or invalid-UTF-8 line gets a terminal `bad_request`
+//! (`"id": null`) and the **session survives** — one hostile line no
+//! longer tears down a shared connection.
 //!
 //! Responses from concurrent workers interleave in completion order;
 //! each response is written under one lock acquisition so lines never
@@ -18,22 +24,26 @@
 //! it re-enters that context, so queue wait (`serve.queue_wait_us`
 //! histogram, `serve.queue_depth` gauge), the whole engine path, and
 //! even shed responses all share the request's `trace_id`.
+//!
+//! A `shutdown` request begins a graceful drain: the session stops
+//! reading new lines at the next line boundary, the pool answers
+//! everything already queued, and the transport emits a traced
+//! `serve.shutdown` event with drain counts. When the queue is
+//! saturated, a `shutdown` line that would have been shed is handled
+//! inline instead — an overloaded daemon must still be drainable.
+//!
+//! The TCP transport ([`crate::tcp`]) reuses the same pool, framing and
+//! drain machinery with one shared pool across all connections.
 
 use crate::engine::ServeEngine;
-use std::io::{BufRead, BufReader, Write};
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use crate::framing::{FramedLine, LineReader};
+use crate::protocol::{parse_request, Op};
+use crate::transport::{write_response, Job, SharedWriter, WorkerPool};
+use std::io::Write;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tpp_obs::{obs_event, Level, TraceCtx};
-
-/// One queued request: the raw line plus the trace context minted at
-/// ingestion and the enqueue timestamp for queue-wait accounting.
-struct Job {
-    line: String,
-    trace: TraceCtx,
-    enqueued: Instant,
-}
 
 /// Transport configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +55,9 @@ pub struct ServerConfig {
     /// Stop after this many input lines (`None` = until EOF). Used by
     /// tests and bounded smoke runs.
     pub max_requests: Option<u64>,
+    /// Per-line byte cap; longer lines are discarded and answered with
+    /// a terminal `bad_request` while the session stays alive.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +66,7 @@ impl Default for ServerConfig {
             capacity: 64,
             workers: 2,
             max_requests: None,
+            max_line_bytes: 256 * 1024,
         }
     }
 }
@@ -60,25 +74,47 @@ impl Default for ServerConfig {
 /// What a serving session did, for the exit summary and assertions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Input lines read.
+    /// Input lines read (framing rejects included).
     pub received: u64,
-    /// Responses written (sheds included) — must equal `received`.
+    /// Responses written (sheds and framing rejects included) — must
+    /// equal `received`.
     pub answered: u64,
     /// Requests shed by the bounded queue.
     pub overloaded: u64,
+    /// Lines rejected by framing (over-cap or invalid UTF-8).
+    pub bad_lines: u64,
+    /// The session ended because a drain was requested.
+    pub drained: bool,
 }
 
-/// Writes one response line under the output lock.
-fn write_response<W: Write>(out: &Mutex<W>, line: &str) {
-    let mut out = out.lock().expect("output lock poisoned");
-    // A dead output (client hung up) must not kill the daemon; drop the
-    // response and keep draining so the queue empties.
-    let _ = writeln!(out, "{line}");
-    let _ = out.flush();
+/// `true` when `line` parses as a `shutdown` request — the one op that
+/// must bypass a saturated queue, or an overloaded daemon could never
+/// be drained.
+pub(crate) fn is_shutdown_line(line: &str) -> bool {
+    matches!(parse_request(line), Ok(r) if r.op == Op::Shutdown)
+}
+
+/// Emits the traced `serve.shutdown` event every transport ends with.
+pub(crate) fn emit_shutdown(engine: &ServeEngine, transport: &str, received: u64, answered: u64) {
+    let t = &engine.transport;
+    obs_event!(
+        Level::Info,
+        "serve.shutdown",
+        transport = transport,
+        drained = t.draining(),
+        received = received,
+        answered = answered,
+        drained_in_flight = t.drained_in_flight.load(Ordering::Relaxed),
+        conns_accepted = t.conns_accepted.load(Ordering::Relaxed),
+        conns_shed = t.conns_shed.load(Ordering::Relaxed),
+        conn_timeouts = t.conn_timeouts.load(Ordering::Relaxed),
+        undeliverable_responses = t.undeliverable_responses.load(Ordering::Relaxed),
+    );
 }
 
 /// Serves newline-delimited requests from `input` to `output` until EOF
-/// (or `max_requests`), answering every line exactly once.
+/// (or `max_requests`, or a `shutdown`-initiated drain), answering
+/// every line exactly once.
 pub fn serve_lines<R, W>(
     engine: Arc<ServeEngine>,
     input: R,
@@ -89,135 +125,169 @@ where
     R: std::io::Read,
     W: Write + Send + 'static,
 {
-    let workers = config.workers.max(1);
     let capacity = config.capacity.max(1);
-    let output = Arc::new(Mutex::new(output));
-    let (tx, rx): (SyncSender<Job>, Receiver<Job>) = std::sync::mpsc::sync_channel(capacity);
-    let rx = Arc::new(Mutex::new(rx));
-    // Shared with the reader (inc on enqueue) and the workers (dec on
-    // dequeue); mirrored into the `serve.queue_depth` gauge.
-    let depth = Arc::new(AtomicI64::new(0));
-
-    let mut handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let rx = Arc::clone(&rx);
-        let engine = Arc::clone(&engine);
-        let output = Arc::clone(&output);
-        let depth = Arc::clone(&depth);
-        handles.push(std::thread::spawn(move || loop {
-            // Hold the receiver lock only while dequeuing.
-            let job = match rx.lock().expect("queue lock poisoned").recv() {
-                Ok(job) => job,
-                Err(_) => break, // sender dropped and queue drained
-            };
-            let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
-            tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
-            let wait_us = job.enqueued.elapsed().as_micros() as u64;
-            tpp_obs::metrics()
-                .histogram("serve.queue_wait_us")
-                .record(wait_us);
-            // The request's trace context spans the whole worker turn;
-            // the closing `serve.job` event names the root span and
-            // carries the end-to-end duration so reconstruction can
-            // close it.
-            let _trace = tpp_obs::trace::enter(job.trace);
-            obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
-            let response = engine.handle_line(&job.line);
-            write_response(&output, &response);
-            obs_event!(
-                Level::Debug,
-                "serve.job",
-                duration_us = job.enqueued.elapsed().as_micros() as u64,
-                queue_wait_us = wait_us,
-            );
-        }));
-    }
+    engine.transport.set_limits(0, capacity as u64);
+    let output: SharedWriter = Arc::new(Mutex::new(output));
+    let pool = WorkerPool::spawn(Arc::clone(&engine), config.workers, capacity);
 
     let mut received = 0u64;
     let mut overloaded = 0u64;
-    for line in BufReader::new(input).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut bad_lines = 0u64;
+    let mut reader = LineReader::new(input, config.max_line_bytes);
+    loop {
+        if engine.transport.draining() {
+            break;
         }
-        received += 1;
-        let job = Job {
-            line,
-            trace: TraceCtx::root(),
-            enqueued: Instant::now(),
-        };
-        match tx.try_send(job) {
-            Ok(()) => {
-                let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
-                tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
+        match reader.next_line() {
+            FramedLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                received += 1;
+                let job = Job {
+                    line,
+                    trace: TraceCtx::root(),
+                    enqueued: Instant::now(),
+                    out: Arc::clone(&output),
+                    track: None,
+                };
+                if let Err(job) = pool.try_submit(&engine, job) {
+                    // Shed under the request's own trace so the
+                    // `serve.shed` event and flight dump correlate
+                    // with this line.
+                    let _trace = tpp_obs::trace::enter(job.trace);
+                    let response = if is_shutdown_line(&job.line) {
+                        engine.handle_line(&job.line)
+                    } else {
+                        overloaded += 1;
+                        engine.overloaded_response(&job.line)
+                    };
+                    write_response(&output, &response);
+                }
             }
-            Err(TrySendError::Full(job)) => {
-                overloaded += 1;
-                // Shed under the request's own trace so the `serve.shed`
-                // event and flight dump correlate with this line.
-                let _trace = tpp_obs::trace::enter(job.trace);
-                let response = engine.overloaded_response(&job.line);
+            FramedLine::Overlong => {
+                received += 1;
+                bad_lines += 1;
+                engine
+                    .transport
+                    .overlong_lines
+                    .fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.overlong_line").inc();
+                let response = engine.framing_error_response(&format!(
+                    "line exceeds {} byte cap",
+                    config.max_line_bytes
+                ));
                 write_response(&output, &response);
             }
-            Err(TrySendError::Disconnected(_)) => break, // workers gone
+            FramedLine::InvalidUtf8 => {
+                received += 1;
+                bad_lines += 1;
+                let response = engine.framing_error_response("line is not valid utf-8");
+                write_response(&output, &response);
+            }
+            // A generic reader with a timeout just polls the drain flag.
+            FramedLine::TimedOut => continue,
+            FramedLine::Eof => break,
+            FramedLine::Err(e) => {
+                obs_event!(Level::Warn, "serve.read_error", error = e.to_string());
+                break;
+            }
         }
         if config.max_requests.is_some_and(|max| received >= max) {
             break;
         }
     }
 
-    drop(tx);
-    for h in handles {
-        let _ = h.join();
-    }
+    pool.shutdown();
+    // Read after the pool drains: a shutdown job answered during the
+    // drain still counts as a drained session.
+    let drained = engine.transport.draining();
     obs_event!(
         Level::Info,
         "serve.session_done",
         received = received,
         overloaded = overloaded,
+        bad_lines = bad_lines,
+        drained = drained,
     );
     ServeSummary {
         received,
         answered: received,
         overloaded,
+        bad_lines,
+        drained,
     }
 }
+
+/// Poll interval for nonblocking accept loops — the latency bound on
+/// noticing a drain request.
+pub(crate) const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(5);
 
 /// Serves connections on a Unix domain socket at `path`, one session
 /// per connection (each with its own queue and workers).
 ///
 /// `accept_limit` bounds how many connections are accepted before the
-/// listener stops (`None` = forever); tests use it to terminate.
+/// listener stops (`None` = forever); tests use it to terminate. A
+/// `shutdown` request on any session also ends the listener: the
+/// accept loop polls the drain flag. On clean exit the socket file is
+/// **unlinked** — a stale socket no longer lingers until the next bind
+/// — and a traced `serve.shutdown` event reports the drain counts.
 pub fn serve_unix(
     engine: Arc<ServeEngine>,
     path: &std::path::Path,
     config: &ServerConfig,
     accept_limit: Option<usize>,
 ) -> std::io::Result<()> {
-    // A stale socket file from a previous run would fail the bind.
+    // A stale socket file from a previous unclean run would fail the
+    // bind (clean runs now unlink it on exit; crashes still leave one).
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
     obs_event!(
         Level::Info,
         "serve.listening",
         socket = path.display().to_string(),
     );
     let mut sessions = Vec::new();
-    for (accepted, stream) in listener.incoming().enumerate() {
-        let Ok(stream) = stream else { continue };
-        let reader = stream.try_clone()?;
-        let engine = Arc::clone(&engine);
-        let config = config.clone();
-        sessions.push(std::thread::spawn(move || {
-            serve_lines(engine, reader, stream, &config);
-        }));
-        if accept_limit.is_some_and(|limit| accepted + 1 >= limit) {
+    let mut accepted = 0usize;
+    loop {
+        if engine.transport.draining() {
             break;
         }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted += 1;
+                engine
+                    .transport
+                    .conns_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                let engine = Arc::clone(&engine);
+                let config = config.clone();
+                sessions.push(std::thread::spawn(move || {
+                    serve_lines(engine, reader, stream, &config);
+                }));
+                if accept_limit.is_some_and(|limit| accepted >= limit) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                obs_event!(Level::Warn, "serve.accept_error", error = e.to_string());
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
     }
+    drop(listener);
     for s in sessions {
         let _ = s.join();
     }
+    // Clean shutdown leaves no socket artifact behind.
+    let _ = std::fs::remove_file(path);
+    emit_shutdown(&engine, "unix", accepted as u64, accepted as u64);
     Ok(())
 }
 
@@ -225,10 +295,19 @@ pub fn serve_unix(
 mod tests {
     use super::*;
     use crate::engine::ServeConfig;
+    use std::io::BufRead;
     use tpp_obs::json::{parse, Json};
 
     fn run(
         input: &str,
+        server: &ServerConfig,
+        engine_config: ServeConfig,
+    ) -> (ServeSummary, Vec<Json>) {
+        run_bytes(input.as_bytes(), server, engine_config)
+    }
+
+    fn run_bytes(
+        input: &[u8],
         server: &ServerConfig,
         engine_config: ServeConfig,
     ) -> (ServeSummary, Vec<Json>) {
@@ -247,7 +326,7 @@ mod tests {
         }
         let summary = serve_lines(
             Arc::clone(&engine),
-            input.as_bytes(),
+            input,
             SharedOut(Arc::clone(&out)),
             server,
         );
@@ -304,7 +383,7 @@ mod tests {
         let server = ServerConfig {
             capacity: 1,
             workers: 1,
-            max_requests: None,
+            ..ServerConfig::default()
         };
         let input = "{\"op\":\"health\"}\n".repeat(30);
         let (summary, responses) = run(&input, &server, engine_config);
@@ -319,7 +398,82 @@ mod tests {
     }
 
     #[test]
-    fn unix_socket_round_trip() {
+    fn overlong_line_gets_bad_request_and_session_survives() {
+        let mut input = String::new();
+        input.push_str(&"x".repeat(300));
+        input.push('\n');
+        input.push_str("{\"op\":\"health\",\"id\":\"after\"}\n");
+        let server = ServerConfig {
+            max_line_bytes: 128,
+            ..ServerConfig::default()
+        };
+        let (summary, responses) = run(&input, &server, ServeConfig::default());
+        assert_eq!(summary.received, 2);
+        assert_eq!(summary.bad_lines, 1);
+        assert_eq!(responses.len(), 2);
+        let bad = responses
+            .iter()
+            .find(|r| r.get("ok") == Some(&Json::Bool(false)))
+            .expect("a bad_request response");
+        assert_eq!(bad.get("id"), Some(&Json::Null));
+        assert!(bad
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("byte cap"));
+        let after = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("after"))
+            .expect("the follow-up request answered on the same session");
+        assert_eq!(after.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_rejected_without_killing_the_session() {
+        let mut input: Vec<u8> = vec![0xff, 0xfe, 0xfd, b'\n'];
+        input.extend_from_slice(b"{\"op\":\"health\",\"id\":\"ok\"}\n");
+        let (summary, responses) =
+            run_bytes(&input, &ServerConfig::default(), ServeConfig::default());
+        assert_eq!(summary.received, 2);
+        assert_eq!(summary.bad_lines, 1);
+        assert_eq!(responses.len(), 2, "both lines answered");
+        assert!(responses
+            .iter()
+            .any(|r| r.get("id").and_then(Json::as_str) == Some("ok")));
+    }
+
+    #[test]
+    fn crlf_terminated_requests_parse() {
+        let input = "{\"op\":\"health\",\"id\":\"crlf\"}\r\n";
+        let (summary, responses) = run(input, &ServerConfig::default(), ServeConfig::default());
+        assert_eq!(summary.received, 1);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("crlf"));
+    }
+
+    #[test]
+    fn shutdown_op_drains_the_session() {
+        let input = concat!(
+            "{\"op\":\"health\",\"id\":\"h\"}\n",
+            "{\"op\":\"shutdown\",\"id\":\"s\"}\n",
+            "{\"op\":\"health\",\"id\":\"late\"}\n",
+        );
+        let (summary, responses) = run(input, &ServerConfig::default(), ServeConfig::default());
+        // The pre-drain requests are answered; once the drain flag is
+        // observed the session stops reading (the `late` line may or
+        // may not have been read before the worker flipped the flag —
+        // but everything read is answered).
+        assert!(summary.drained, "session must end drained");
+        assert_eq!(summary.received, responses.len() as u64);
+        let shutdown = responses
+            .iter()
+            .find(|r| r.get("op").and_then(Json::as_str) == Some("shutdown"))
+            .expect("shutdown acknowledged");
+        assert_eq!(shutdown.get("draining"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn unix_socket_round_trip_and_cleanup() {
         let path = std::env::temp_dir().join(format!("tpp-serve-{}.sock", std::process::id()));
         let engine = Arc::new(ServeEngine::new(ServeConfig::default()));
         let server = ServerConfig::default();
@@ -351,6 +505,10 @@ mod tests {
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(v.get("id").unwrap().as_str(), Some("sock"));
         listener.join().unwrap().unwrap();
-        let _ = std::fs::remove_file(&path);
+        // Clean shutdown removes the socket artifact.
+        assert!(
+            !path.exists(),
+            "socket file must be unlinked on clean shutdown"
+        );
     }
 }

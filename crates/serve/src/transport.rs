@@ -1,0 +1,230 @@
+//! Transport-level shared state: readiness, drain, connection
+//! accounting, and the bounded worker pool every transport feeds.
+//!
+//! [`TransportState`] lives on the [`ServeEngine`](crate::ServeEngine)
+//! so the `health` and `stats` ops can report transport truth (is the
+//! daemon accepting? how many connections? how deep is the queue?)
+//! without the engine holding a reference to any particular listener.
+//! The stdio session, the Unix-socket listener and the TCP supervisor
+//! all update the same state; a load balancer probing `health` sees
+//! `accepting: false` the moment a drain begins or the admission gate
+//! saturates, *before* its next request would be shed.
+//!
+//! [`WorkerPool`] is the bounded queue + worker threads behind every
+//! transport. Each [`Job`] carries its own reply writer, so one pool
+//! can serve many connections concurrently: responses route back to
+//! the connection that asked, written whole under that connection's
+//! lock so lines never tear.
+
+use crate::engine::ServeEngine;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tpp_obs::{obs_event, Level, TraceCtx};
+
+/// A per-connection reply sink, shared between the reader that sheds
+/// and the workers that answer. Jobs hold a clone, so a response can
+/// still be delivered after the connection's reader has exited — the
+/// socket only closes when the last clone drops.
+pub type SharedWriter = Arc<Mutex<dyn Write + Send>>;
+
+/// Per-connection request/response accounting, for `serve.conn_closed`
+/// events and the closed-without-response invariant.
+#[derive(Debug, Default)]
+pub struct ConnTrack {
+    /// Complete request lines read on this connection.
+    pub requests: AtomicU64,
+    /// Terminal responses written for this connection.
+    pub responses: AtomicU64,
+}
+
+/// One queued request: the raw line, the trace context minted at
+/// ingestion, the enqueue timestamp, and where the response goes.
+pub struct Job {
+    /// The raw request line.
+    pub line: String,
+    /// Trace context minted at ingestion.
+    pub trace: TraceCtx,
+    /// Enqueue time, for queue-wait accounting.
+    pub enqueued: Instant,
+    /// The connection's reply sink.
+    pub out: SharedWriter,
+    /// The connection's accounting (absent on the stdio transport).
+    pub track: Option<Arc<ConnTrack>>,
+}
+
+/// Live transport state, updated by listeners/readers and reported by
+/// the engine's `health` / `stats` ops.
+#[derive(Debug, Default)]
+pub struct TransportState {
+    draining: AtomicBool,
+    /// Open admitted connections (TCP transport).
+    pub connections: AtomicI64,
+    /// Jobs sitting in the bounded queue right now.
+    pub queue_depth: AtomicI64,
+    /// Connection limit (0 = no TCP transport attached).
+    pub max_connections: AtomicU64,
+    /// Bounded-queue capacity (0 = unknown).
+    pub queue_capacity: AtomicU64,
+    /// Connections accepted by the listener (admitted or shed).
+    pub conns_accepted: AtomicU64,
+    /// Connections shed at admission, before a session started.
+    pub conns_shed: AtomicU64,
+    /// Connections closed by the idle/read timeout (slow loris).
+    pub conn_timeouts: AtomicU64,
+    /// Lines discarded for exceeding the per-line byte cap.
+    pub overlong_lines: AtomicU64,
+    /// Terminal responses that could not be written because the peer
+    /// was already gone (e.g. a shed client that reset mid-storm).
+    /// Zero under well-behaved clients; the load harness asserts the
+    /// client-observed invariant — no *complete* request left without a
+    /// terminal response — from the outside, where it must be zero.
+    pub undeliverable_responses: AtomicU64,
+    /// Requests answered after a drain began (the in-flight tail).
+    pub drained_in_flight: AtomicU64,
+}
+
+impl TransportState {
+    /// Records the transport's limits so saturation is computable.
+    pub fn set_limits(&self, max_connections: u64, queue_capacity: u64) {
+        self.max_connections
+            .store(max_connections, Ordering::Relaxed);
+        self.queue_capacity.store(queue_capacity, Ordering::Relaxed);
+    }
+
+    /// Begins a graceful drain; returns `true` for the call that
+    /// actually flipped the flag (later calls are idempotent no-ops).
+    pub fn begin_drain(&self) -> bool {
+        let first = !self.draining.swap(true, Ordering::SeqCst);
+        if first {
+            obs_event!(Level::Info, "serve.drain_begin");
+            tpp_obs::metrics().counter("serve.drain").inc();
+        }
+        first
+    }
+
+    /// A drain has begun: stop reading new requests, answer in-flight.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The admission gate is saturated: at the connection limit, or the
+    /// bounded queue is full. Limits of 0 mean "not enforced".
+    pub fn saturated(&self) -> bool {
+        let max_conns = self.max_connections.load(Ordering::Relaxed);
+        if max_conns > 0 && self.connections.load(Ordering::Relaxed) >= max_conns as i64 {
+            return true;
+        }
+        let cap = self.queue_capacity.load(Ordering::Relaxed);
+        cap > 0 && self.queue_depth.load(Ordering::Relaxed) >= cap as i64
+    }
+
+    /// Readiness for load-balancer probes: accepting new work (not
+    /// draining, not saturated).
+    pub fn accepting(&self) -> bool {
+        !self.draining() && !self.saturated()
+    }
+
+    fn queue_inc(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
+    }
+
+    fn queue_dec(&self) {
+        let d = self.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
+    }
+}
+
+/// Writes one response line under the connection's output lock.
+/// Returns whether the write (and flush) reached the peer — a dead
+/// client must not kill the daemon, but the failure is counted.
+pub(crate) fn write_response(out: &SharedWriter, line: &str) -> bool {
+    let mut out = out.lock().expect("output lock poisoned");
+    writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+}
+
+/// The bounded queue + worker threads shared by every connection of a
+/// transport. Dropping the sender (via [`WorkerPool::shutdown`]) lets
+/// workers drain everything already queued, then exit — that is the
+/// "answer every in-flight request" half of graceful drain.
+pub(crate) struct WorkerPool {
+    tx: SyncSender<Job>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads over a queue of `capacity` jobs.
+    pub(crate) fn spawn(engine: Arc<ServeEngine>, workers: usize, capacity: usize) -> WorkerPool {
+        let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
+            std::sync::mpsc::sync_channel(capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only while dequeuing.
+                let job = match rx.lock().expect("queue lock poisoned").recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // sender dropped and queue drained
+                };
+                let t = &engine.transport;
+                t.queue_dec();
+                if t.draining() {
+                    t.drained_in_flight.fetch_add(1, Ordering::Relaxed);
+                }
+                let wait_us = job.enqueued.elapsed().as_micros() as u64;
+                tpp_obs::metrics()
+                    .histogram("serve.queue_wait_us")
+                    .record(wait_us);
+                // The request's trace context spans the whole worker
+                // turn; the closing `serve.job` event names the root
+                // span and carries the end-to-end duration so
+                // reconstruction can close it.
+                let _trace = tpp_obs::trace::enter(job.trace);
+                obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
+                let response = engine.handle_line(&job.line);
+                let delivered = write_response(&job.out, &response);
+                if let Some(track) = &job.track {
+                    track.responses.fetch_add(1, Ordering::Relaxed);
+                }
+                if !delivered {
+                    t.undeliverable_responses.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.write_failed").inc();
+                    obs_event!(Level::Warn, "serve.response_undeliverable", path = "worker");
+                }
+                obs_event!(
+                    Level::Debug,
+                    "serve.job",
+                    duration_us = job.enqueued.elapsed().as_micros() as u64,
+                    queue_wait_us = wait_us,
+                );
+            }));
+        }
+        WorkerPool { tx, handles }
+    }
+
+    /// Enqueues a job, or hands it back when the bounded queue is full
+    /// (the caller sheds with an `overloaded` response).
+    pub(crate) fn try_submit(&self, engine: &ServeEngine, job: Job) -> Result<(), Job> {
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                engine.transport.queue_inc();
+                Ok(())
+            }
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    /// Stops accepting new jobs, answers everything queued, and joins
+    /// the workers.
+    pub(crate) fn shutdown(self) {
+        drop(self.tx);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}

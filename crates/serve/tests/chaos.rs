@@ -208,6 +208,7 @@ fn mixed_fault_storm_answers_every_request() {
             capacity: 64,
             workers: 4,
             max_requests: None,
+            ..ServerConfig::default()
         },
     );
     assert_eq!(summary.received, 40);

@@ -193,3 +193,149 @@ fn panic_answers_echo_the_request_id() {
     assert_eq!(v.get("id"), Some(&Json::Null), "{response:?}");
     assert_eq!(v.get("degraded"), Some(&Json::Bool(true)), "{response:?}");
 }
+
+/// One TCP client's scripted traffic: the request lines, the raw byte
+/// stream (mixed `\n`/`\r\n` endings), and the ids it planted.
+fn gen_tcp_script(seed: u64, tag: u64) -> (Vec<String>, Vec<u8>) {
+    let mut rng = Rng(seed);
+    let mut lines = Vec::new();
+    for i in 0..20u64 {
+        let line = match rng.below(6) {
+            0 => format!(r#"{{"op":"health","id":"h{tag}-{i}"}}"#),
+            1 => r#"{"op":"stats"}"#.to_owned(),
+            // Truncated JSON with a recoverable id: bad_request must
+            // still echo it.
+            2 => format!(r#"{{"id":"t{tag}-{i}","op":"pl"#),
+            // Printable garbage.
+            3 => {
+                let len = rng.below(40) as usize;
+                (0..len)
+                    .map(|_| (b' ' + (rng.below(94) as u8)) as char)
+                    .collect()
+            }
+            // Over the 512-byte cap: discarded, answered bad_request.
+            4 => "x".repeat(560 + rng.below(600) as usize),
+            _ => format!(r#"{{"op":"plan","dataset":"ds-ct","episodes":3,"id":"p{tag}-{i}"}}"#),
+        };
+        lines.push(line);
+    }
+    let mut bytes = Vec::new();
+    for line in &lines {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.extend_from_slice(if rng.below(3) == 0 { b"\r\n" } else { b"\n" });
+    }
+    (lines, bytes)
+}
+
+/// The tentpole framing contract, proven over real sockets: concurrent
+/// connections write a seeded corpus in arbitrary-sized partial chunks
+/// (so lines split across read boundaries and connections interleave on
+/// the shared pool), with CRLF endings and over-cap lines mixed in —
+/// and every complete request gets exactly one terminal response, on
+/// its own connection, echoing its id.
+#[test]
+fn tcp_corpus_one_terminal_response_per_request() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use tpp_serve::{TcpConfig, TcpServer};
+
+    let engine = Arc::new(ServeEngine::new(ServeConfig::default()));
+    let server = TcpServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        TcpConfig {
+            max_line_bytes: 512,
+            read_timeout: std::time::Duration::from_millis(20),
+            idle_timeout: std::time::Duration::from_secs(10),
+            workers: 4,
+            capacity: 256,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server = std::thread::spawn(move || server.run());
+
+    let mut clients = Vec::new();
+    for c in 0..6u64 {
+        clients.push(std::thread::spawn(move || {
+            let (lines, bytes) = gen_tcp_script(0x7C9_0000 + c, c);
+            let expected = lines.iter().filter(|l| !l.trim().is_empty()).count();
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            let mut write_half = stream.try_clone().expect("clone");
+            let writer = std::thread::spawn(move || {
+                let mut rng = Rng(0xABC0_0000 + c);
+                let mut off = 0;
+                while off < bytes.len() {
+                    let n = (1 + rng.below(37) as usize).min(bytes.len() - off);
+                    write_half.write_all(&bytes[off..off + n]).unwrap();
+                    write_half.flush().unwrap();
+                    off += n;
+                    if rng.below(4) == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                write_half
+                    .shutdown(std::net::Shutdown::Write)
+                    .expect("half-close");
+            });
+            let mut responses = Vec::new();
+            let mut reader = BufReader::new(stream);
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => responses.push(line.trim().to_string()),
+                    Err(e) => panic!("client {c}: read failed: {e}"),
+                }
+            }
+            writer.join().unwrap();
+            (lines, responses, expected)
+        }));
+    }
+
+    for (c, client) in clients.into_iter().enumerate() {
+        let (lines, responses, expected) = client.join().expect("client thread");
+        assert_eq!(
+            responses.len(),
+            expected,
+            "client {c}: every complete request needs exactly one terminal response"
+        );
+        let planted: std::collections::HashSet<String> =
+            lines.iter().filter_map(|l| extract_raw_id(l)).collect();
+        let mut seen = std::collections::HashSet::new();
+        for response in &responses {
+            let v = parse(response).unwrap_or_else(|e| {
+                panic!("client {c}: invalid response JSON ({e}): {response:?}")
+            });
+            assert!(
+                matches!(v.get("ok"), Some(Json::Bool(_))),
+                "client {c}: response lacks boolean ok: {response:?}"
+            );
+            if let Some(id) = v.get("id").and_then(Json::as_str) {
+                assert!(
+                    planted.contains(id),
+                    "client {c}: response carries an id from another connection: {response:?}"
+                );
+                assert!(
+                    seen.insert(id.to_string()),
+                    "client {c}: id {id:?} answered twice"
+                );
+            }
+        }
+    }
+
+    // Drain the daemon and check the server-side invariant.
+    let mut stream = TcpStream::connect(addr).expect("drain connect");
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let summary = server.join().expect("server thread");
+    assert!(summary.drained);
+    assert_eq!(
+        summary.undeliverable_responses, 0,
+        "no connection may die without a terminal response"
+    );
+}

@@ -146,6 +146,7 @@ fn chaos_storm_leaves_flight_dumps_metrics_and_reconstructable_traces() {
             capacity: 64,
             workers: 4,
             max_requests: None,
+            ..ServerConfig::default()
         },
     );
     assert_eq!(responses.len(), 40, "every storm request answered");
@@ -231,6 +232,7 @@ fn chaos_storm_leaves_flight_dumps_metrics_and_reconstructable_traces() {
             capacity: 1,
             workers: 1,
             max_requests: None,
+            ..ServerConfig::default()
         },
     );
     assert_eq!(shed_responses.len(), 30);

@@ -24,8 +24,13 @@ run cargo test -q -p tpp-serve --test chaos
 # Policy cache: duplicate bursts coalesce onto one training run,
 # eviction honours the byte bound, checkpoint rotation invalidates.
 run cargo test -q -p tpp-serve --test cache
-# NDJSON framing fuzz: every line in, one well-formed response out.
+# NDJSON framing fuzz: every line in, one well-formed response out —
+# including the seeded TCP corpus over real sockets with partial writes.
 run cargo test -q -p tpp-serve --test fuzz_framing
+# TCP front end: admission shed with echoed ids, slow-loris timeouts,
+# framing rejects keeping connections alive, graceful drain answering
+# in-flight requests while refusing new connects.
+run cargo test -q -p tpp-serve --test tcp
 # Observability: chaos storm leaves flight-recorder post-mortems, the
 # `metrics` op's Prometheus text parses (queue-wait + per-phase
 # histograms), and a sampled request reconstructs a full span tree.
@@ -40,7 +45,15 @@ run cargo test -q -p rl-planner-cli --test serve_daemon
 # every line parses, every serve event carries trace ids, and the
 # --metrics snapshot re-renders as Prometheus text via `obs`.
 run cargo test -q -p rl-planner-cli --test obs_schema
+# Load harness smoke: open-loop TCP storm under chaos through the real
+# binary; fails on any connection closed without a terminal response or
+# a daemon that stops accepting after the storm.
+run cargo test -q -p rl-planner-cli --test load_bench
 if [[ $quick -eq 0 ]]; then
   run cargo build --release -p rl-planner-cli
+  run ./target/release/rl-planner bench --load --rate 200 --duration-s 2 \
+    --episodes 40 --deadline-ms 250 --workers 4 --capacity 128 \
+    --chaos 'panic@10,stall@25:100,flaky@40' --seed 7 -q \
+    --out /tmp/BENCH_load_check.json
 fi
 echo "All checks passed."
