@@ -114,6 +114,9 @@ const USAGE: &str = "usage:
                    [--max-line-bytes N] [--accept-limit N]
                    [--cache-entries N] [--cache-mb N] [--no-cache]
                    [--flight-dir DIR] [--flight-events N] [--slow-ms N]
+                   [--no-supervise] [--wedge-ms N] [--max-restarts N]
+                   [--breaker-threshold N] [--breaker-cooldown-ms N]
+                   [--quarantine-after N] [--quarantine-ttl-ms N]
   rl-planner obs metrics SNAPSHOT.json [--format prom|text|json]
   rl-planner obs trace TRACE.jsonl [--trace-id HEX]
   rl-planner datagen --dataset <name> --out dataset.json
@@ -121,9 +124,11 @@ const USAGE: &str = "usage:
   rl-planner bench --serve [--dataset <name>] [--requests N] [--episodes N]
                    [--seed N] [--out BENCH_serve.json]
   rl-planner bench --load [--addr HOST:PORT] [--rate N] [--duration-s S]
-                   [--profile hot=80,cold=10,malformed=5,slow=5] [--chaos SPEC]
+                   [--profile hot=80,cold=10,recommend=0,malformed=5,slow=5]
+                   [--chaos SPEC] [--flight-dir DIR]
                    [--dataset <name>] [--episodes N] [--deadline-ms N] [--seed N]
                    [--capacity N] [--workers N] [--max-conns N]
+                   [--require-restarts] [--require-breaker-recovered]
                    [--out BENCH_load.json]
 exit codes:
   0   success
@@ -151,6 +156,19 @@ serving (serve):
                           deadline-overrun/slow incidents (JSONL post-mortems)
   --flight-events N       flight-recorder ring capacity in events (default 256)
   --slow-ms N             requests slower than N ms also trigger a flight dump
+self-healing (serve):
+  --no-supervise          disable the worker supervisor (a dead worker stays dead)
+  --wedge-ms N            replace workers stuck on one request > N ms (0 = off,
+                          default 30000)
+  --max-restarts N        total worker respawns the supervisor may spend (default 16)
+  --breaker-threshold N   consecutive transient checkpoint-load failures that trip
+                          the store circuit breaker open (default 3)
+  --breaker-cooldown-ms N breaker open-state cooldown before a half-open probe
+                          (default 1000)
+  --quarantine-after N    panics on one request key before it is quarantined
+                          (default 3)
+  --quarantine-ttl-ms N   quarantine cooldown; identical requests get a degraded
+                          answer until it expires (default 10000)
 observability (obs):
   obs metrics FILE        re-render a --metrics JSON snapshot (prom, text or json)
   obs trace FILE          reconstruct span trees from a --trace JSONL file
@@ -171,9 +189,18 @@ load bench (bench --load):
   --addr HOST:PORT        storm a running daemon (default: host one in-process)
   --rate N                arrivals per second, open loop (default 200)
   --duration-s S          arrival window in seconds (default 3)
-  --profile SPEC          traffic mix weights hot/cold/malformed/slow
-  --chaos SPEC            fault plan for the in-process daemon
+  --profile SPEC          traffic mix weights hot/cold/recommend/malformed/slow
+  --chaos SPEC            fault plan for the in-process daemon (kill@N and
+                          wedge@N:MS exercise the worker supervisor;
+                          flaky@N:K bursts trip the store breaker)
+  --flight-dir DIR        in-process daemon dumps flight-recorder post-mortems here
   --deadline-ms N         plan-request deadline budget (default 250)
+  --require-restarts      fail unless the supervisor respawned >= 1 worker
+                          (in-process daemon only)
+  --require-breaker-recovered
+                          disable the policy cache so recommend traffic hits the
+                          store, then fail unless the breaker tripped open and
+                          closed again before the drain (in-process daemon only)
   fails unless zero connections closed without a terminal response and
   the daemon still answers health with accepting:true after the storm
 global flags (anywhere on the line):
@@ -276,7 +303,17 @@ impl<'a> Flags<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(key) = a.strip_prefix("--") {
-                if matches!(key, "min-sim" | "resume" | "serve" | "no-cache" | "load") {
+                if matches!(
+                    key,
+                    "min-sim"
+                        | "resume"
+                        | "serve"
+                        | "no-cache"
+                        | "load"
+                        | "no-supervise"
+                        | "require-restarts"
+                        | "require-breaker-recovered"
+                ) {
                     switches.push(key);
                     i += 1;
                 } else {
@@ -715,11 +752,34 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                 config.flight_capacity = n as usize;
             }
             config.slow_request_ms = parse_u64("slow-ms")?;
+            if let Some(n) = parse_u64("breaker-threshold")? {
+                config.breaker.failure_threshold = n as u32;
+            }
+            if let Some(n) = parse_u64("breaker-cooldown-ms")? {
+                config.breaker.cooldown = std::time::Duration::from_millis(n);
+            }
+            if let Some(n) = parse_u64("quarantine-after")? {
+                config.quarantine.strikes = n as u32;
+            }
+            if let Some(n) = parse_u64("quarantine-ttl-ms")? {
+                config.quarantine.cooldown = std::time::Duration::from_millis(n);
+            }
+            let mut supervisor = tpp_serve::SupervisorConfig::default();
+            if flags.has("no-supervise") {
+                supervisor.enabled = false;
+            }
+            if let Some(n) = parse_u64("wedge-ms")? {
+                supervisor.wedge_budget = (n > 0).then(|| std::time::Duration::from_millis(n));
+            }
+            if let Some(n) = parse_u64("max-restarts")? {
+                supervisor.max_restarts = n as u32;
+            }
             let server = tpp_serve::ServerConfig {
                 capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
                 workers: parse_u64("workers")?.unwrap_or(2) as usize,
                 max_requests: parse_u64("max-requests")?,
                 max_line_bytes: parse_u64("max-line-bytes")?.unwrap_or(256 * 1024) as usize,
+                supervisor: supervisor.clone(),
             };
             let engine = Arc::new(tpp_serve::ServeEngine::new(config));
             match (flags.get("tcp"), flags.get("socket")) {
@@ -736,6 +796,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                         capacity: server.capacity,
                         workers: server.workers,
                         accept_limit: parse_u64("accept-limit")?,
+                        supervisor,
                     };
                     let srv = tpp_serve::TcpServer::bind(Arc::clone(&engine), addr, tcp)
                         .map_err(|e| format!("tcp bind {addr} failed: {e}"))?;
@@ -1110,6 +1171,21 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         .unwrap_or("hot=80,cold=10,malformed=5,slow=5")
         .parse()
         .map_err(|e| format!("bad --profile: {e}"))?;
+    let require_restarts = flags.has("require-restarts");
+    let require_breaker = flags.has("require-breaker-recovered");
+    if (require_restarts || require_breaker) && flags.get("addr").is_some() {
+        return Err(
+            "--require-restarts / --require-breaker-recovered need the in-process daemon \
+             (drop --addr)"
+                .into(),
+        );
+    }
+    if require_breaker && profile.recommend == 0 {
+        return Err(
+            "--require-breaker-recovered needs recommend traffic: add recommend=N to --profile"
+                .into(),
+        );
+    }
     let load = tpp_serve::LoadConfig {
         rate,
         duration: std::time::Duration::from_secs_f64(duration_s),
@@ -1126,7 +1202,10 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     tpp_serve::resolve_dataset(&load.dataset)?; // fail fast on a typo
 
     // Either storm an already-running daemon (--addr) or host one
-    // in-process and drain it afterwards.
+    // in-process and drain it afterwards. The in-process engine handle
+    // stays out here so the self-healing verdicts (restarts, breaker
+    // state, quarantine) can be read after the storm.
+    let mut engine_handle: Option<Arc<tpp_serve::ServeEngine>> = None;
     let (addr, server_thread) = match flags.get("addr") {
         Some(addr) => (
             addr.parse()
@@ -1138,7 +1217,35 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
             if let Some(spec) = flags.get("chaos") {
                 config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
             }
+            config.flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+            if require_breaker {
+                // Cache hits bypass checkpoint loads entirely; proving
+                // the breaker needs every recommend to touch the store.
+                config.cache.enabled = false;
+            }
+            if profile.recommend > 0 {
+                // Recommend traffic needs a checkpoint to load: train a
+                // small policy into a scratch dir the daemon serves from.
+                let dir = std::env::temp_dir().join(format!(
+                    "tpp-load-ckpt-{}-{}",
+                    std::process::id(),
+                    load.seed
+                ));
+                std::fs::create_dir_all(&dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+                let dir_s = dir.to_string_lossy().into_owned();
+                let (instance, mut params) = dataset(&load.dataset)?;
+                params.episodes = 40;
+                let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir_s, 2);
+                let budget = tpp_core::Budget::unlimited();
+                RlPlanner::learn_budgeted(&instance, &params, load.seed, None, 20, &budget, |c| {
+                    set.save(c)
+                        .map(|_| ())
+                        .map_err(|e| format!("seed checkpoint failed: {e}"))
+                })?;
+                config.checkpoint_dir = Some(dir);
+            }
             let engine = Arc::new(tpp_serve::ServeEngine::new(config));
+            engine_handle = Some(Arc::clone(&engine));
             let tcp = tpp_serve::TcpConfig {
                 max_connections: parse_u64("max-conns", 512)? as usize,
                 capacity: parse_u64("capacity", 128)? as usize,
@@ -1161,6 +1268,33 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     );
     let r = tpp_serve::run_load(addr, &load);
 
+    // Post-storm recovery: with the flaky burst over, drive recommend
+    // probes until the breaker's half-open probe succeeds and it closes
+    // again — recovery must be observable *before* the drain, on the
+    // same daemon the storm hit.
+    if require_breaker {
+        let engine = engine_handle.as_ref().expect("in-process daemon");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.breaker.state_name() != "closed" && std::time::Instant::now() < deadline {
+            let probe = format!(
+                r#"{{"op":"recommend","dataset":"{}","id":"breaker-probe"}}"#,
+                load.dataset
+            );
+            if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+                use std::io::{BufRead as _, Write as _};
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                if writeln!(stream, "{probe}")
+                    .and_then(|()| stream.flush())
+                    .is_ok()
+                {
+                    let mut line = String::new();
+                    let _ = std::io::BufReader::new(stream).read_line(&mut line);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
     // The in-process daemon is drained with the same `shutdown` op an
     // operator would use, proving the drain path after the storm.
     let server_summary = server_thread.map(|handle| {
@@ -1177,6 +1311,22 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
             idle_timeouts: summary.timeouts,
             undeliverable_responses: summary.undeliverable_responses,
             drained: summary.drained,
+        }
+    });
+
+    // Self-healing verdicts, read off the drained in-process engine.
+    let self_healing = engine_handle.as_ref().map(|engine| {
+        use std::sync::atomic::Ordering;
+        let t = &engine.transport;
+        SelfHealingSummary {
+            worker_restarts: t.worker_restarts.load(Ordering::Relaxed),
+            worker_deaths: t.worker_deaths.load(Ordering::Relaxed),
+            worker_wedged: t.worker_wedged.load(Ordering::Relaxed),
+            worker_rescued: t.worker_rescued.load(Ordering::Relaxed),
+            breaker_opens: engine.breaker.opens(),
+            breaker_closes: engine.breaker.closes(),
+            breaker_state: engine.breaker.state_name().to_string(),
+            quarantine_size: engine.quarantine.len(),
         }
     });
 
@@ -1216,6 +1366,7 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         latency_ok_ms: lat(r.latency_ok),
         post_health_accepting: r.post_health_accepting,
         server: server_summary,
+        self_healing,
     };
     println!(
         "answered {}/{} (ok {}, overloaded {}, bad_request {})  shed_rate {:.3}",
@@ -1241,6 +1392,19 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         report.closed_without_response,
         report.post_health_accepting
     );
+    if let Some(sh) = &report.self_healing {
+        println!(
+            "self-healing: {} restart(s) ({} death(s), {} wedged, {} rescued)  breaker {} ({} open(s), {} close(s))  quarantine {}",
+            sh.worker_restarts,
+            sh.worker_deaths,
+            sh.worker_wedged,
+            sh.worker_rescued,
+            sh.breaker_state,
+            sh.breaker_opens,
+            sh.breaker_closes,
+            sh.quarantine_size
+        );
+    }
     tpp_store::save_json(out, &report).map_err(|e| e.to_string())?;
     println!("(load report written to {out})");
     obs.summary();
@@ -1252,6 +1416,30 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     }
     if !report.post_health_accepting {
         return Err("daemon not accepting after the storm".into());
+    }
+    if require_restarts {
+        let restarts = report
+            .self_healing
+            .as_ref()
+            .map_or(0, |sh| sh.worker_restarts);
+        if restarts == 0 {
+            return Err("--require-restarts: the supervisor respawned no workers".into());
+        }
+    }
+    if require_breaker {
+        let sh = report
+            .self_healing
+            .as_ref()
+            .expect("in-process daemon has self-healing stats");
+        if sh.breaker_opens == 0 {
+            return Err("--require-breaker-recovered: the breaker never tripped open".into());
+        }
+        if sh.breaker_state != "closed" {
+            return Err(format!(
+                "--require-breaker-recovered: breaker still {} after recovery probes",
+                sh.breaker_state
+            ));
+        }
     }
     Ok(Outcome::Clean)
 }
@@ -1310,6 +1498,22 @@ struct LoadLatency {
     max_ms: f64,
 }
 
+/// Self-healing outcome of an in-process `bench --load` storm: what the
+/// worker supervisor and store breaker actually did under the faults.
+#[derive(serde::Serialize)]
+struct SelfHealingSummary {
+    worker_restarts: u64,
+    worker_deaths: u64,
+    worker_wedged: u64,
+    worker_rescued: u64,
+    breaker_opens: u64,
+    breaker_closes: u64,
+    /// Final breaker state after the post-storm recovery probes
+    /// (`closed` proves trip *and* recovery).
+    breaker_state: String,
+    quarantine_size: usize,
+}
+
 /// The daemon's own exit summary when `bench --load` hosted it
 /// in-process and drained it after the storm.
 #[derive(serde::Serialize)]
@@ -1359,6 +1563,8 @@ struct LoadBenchReport {
     /// the storm.
     post_health_accepting: bool,
     server: Option<LoadServerSummary>,
+    /// Present when the daemon ran in-process (absent with `--addr`).
+    self_healing: Option<SelfHealingSummary>,
 }
 
 /// Latency percentiles lifted from one registry histogram.

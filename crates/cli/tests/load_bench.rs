@@ -85,3 +85,91 @@ fn load_bench_under_chaos_holds_the_serving_invariants() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn worker_killing_storm_respawns_recovers_the_breaker_and_stays_available() {
+    let dir = temp_dir("self-heal");
+    let out = dir.join("BENCH_load.json");
+    let flights = dir.join("flights");
+    // kill@5/kill@25 take workers down mid-storm (the supervisor must
+    // respawn them); flaky@40:25 is a consecutive transient-failure
+    // burst long enough to trip the store breaker through the mixed
+    // traffic. The --require flags make the binary itself fail unless
+    // the pool respawned and the breaker tripped open *and* closed
+    // again before the drain.
+    let output = bin()
+        .args([
+            "bench",
+            "--load",
+            "--rate",
+            "60",
+            "--duration-s",
+            "2",
+            "--episodes",
+            "10",
+            "--deadline-ms",
+            "100",
+            "--workers",
+            "4",
+            "--capacity",
+            "64",
+            "--chaos",
+            "kill@5,kill@25,wedge@15:300,flaky@40:25",
+            "--profile",
+            "hot=30,cold=10,recommend=40,malformed=10,slow=10",
+            "--seed",
+            "11",
+            "--require-restarts",
+            "--require-breaker-recovered",
+            "-q",
+        ])
+        .arg("--flight-dir")
+        .arg(&flights)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run bench --load");
+    assert!(
+        output.status.success(),
+        "self-healing bench --load failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let report = std::fs::read_to_string(&out).expect("report written");
+    let v = tpp_obs::json::parse(report.trim()).expect("report parses");
+    let num = |key: &str| -> f64 {
+        v.get(key)
+            .and_then(tpp_obs::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("closed_without_response"), 0.0, "report: {report}");
+    assert_eq!(
+        v.get("post_health_accepting"),
+        Some(&tpp_obs::json::Json::Bool(true)),
+        "a daemon that lost workers mid-storm must still be accepting: {report}"
+    );
+    let sh = v.get("self_healing").expect("self_healing in report");
+    let shn = |key: &str| -> f64 {
+        sh.get(key)
+            .and_then(tpp_obs::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert!(shn("worker_restarts") >= 1.0, "report: {report}");
+    assert!(shn("worker_deaths") >= 1.0, "report: {report}");
+    assert!(shn("breaker_opens") >= 1.0, "report: {report}");
+    assert_eq!(
+        sh.get("breaker_state")
+            .and_then(tpp_obs::json::Json::as_str),
+        Some("closed"),
+        "the breaker must have recovered before the drain: {report}"
+    );
+    // Worker deaths dump the flight recorder: the post-mortems the
+    // chaos-supervision CI job uploads as artifacts must exist.
+    let dumps = std::fs::read_dir(&flights).map(|d| d.count()).unwrap_or(0);
+    assert!(
+        dumps >= 1,
+        "worker deaths must leave flight-recorder post-mortems in {flights:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -200,3 +200,117 @@ fn traced_daemon_run_emits_parseable_fully_traced_jsonl() {
     let _ = std::fs::remove_file(&trace_path);
     let _ = std::fs::remove_file(&metrics_path);
 }
+
+#[test]
+fn self_healing_fields_appear_in_stats_health_and_prometheus() {
+    let metrics_path = temp("heal-metrics.json");
+    let _ = std::fs::remove_file(&metrics_path);
+
+    let mut child = bin()
+        .args([
+            "serve",
+            "--workers",
+            "2",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--quiet",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"{\"op\":\"health\",\"id\":\"h\"}\n{\"op\":\"stats\",\"id\":\"s\"}\n")
+        .expect("write requests");
+    let out = child.wait_with_output().expect("daemon did not exit");
+    assert!(
+        out.status.success(),
+        "daemon died: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let responses: BTreeMap<&str, Json> = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let v = parse(l).unwrap_or_else(|e| panic!("invalid response {l:?}: {e}"));
+            let id = v.get("id").and_then(Json::as_str).unwrap().to_owned();
+            (
+                match id.as_str() {
+                    "h" => "health",
+                    _ => "stats",
+                },
+                v,
+            )
+        })
+        .collect();
+
+    // `health` reports pool liveness and breaker state alongside the
+    // readiness bit.
+    let health = &responses["health"];
+    assert_eq!(health.get("accepting"), Some(&Json::Bool(true)));
+    assert_eq!(
+        health.get("workers_alive").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(health.get("breaker").and_then(Json::as_str), Some("closed"));
+    assert_eq!(
+        health.get("quarantine_size").and_then(Json::as_f64),
+        Some(0.0)
+    );
+
+    // `stats` carries the full supervisor/breaker/quarantine census.
+    let stats = &responses["stats"];
+    for (key, want) in [
+        ("workers_configured", 2.0),
+        ("workers_alive", 2.0),
+        ("worker_restarts", 0.0),
+        ("worker_deaths", 0.0),
+        ("worker_wedged", 0.0),
+        ("worker_rescued", 0.0),
+        ("lock_recovered", 0.0),
+        ("breaker_opens", 0.0),
+        ("breaker_closes", 0.0),
+        ("breaker_fast_fails", 0.0),
+        ("quarantine_size", 0.0),
+        ("quarantine_added", 0.0),
+        ("quarantine_served", 0.0),
+    ] {
+        assert_eq!(
+            stats.get(key).and_then(Json::as_f64),
+            Some(want),
+            "stats field {key:?} in {stats:?}"
+        );
+    }
+    assert_eq!(
+        stats.get("breaker_state").and_then(Json::as_str),
+        Some("closed"),
+        "{stats:?}"
+    );
+
+    // The gauges exist in the Prometheus exposition even before any
+    // incident, so dashboards can alert on them from the first scrape.
+    let obs = bin()
+        .args(["obs", "metrics", metrics_path.to_str().unwrap()])
+        .output()
+        .expect("run obs metrics");
+    assert!(obs.status.success());
+    let prom = String::from_utf8(obs.stdout).unwrap();
+    for series in [
+        "serve_workers_alive",
+        "serve_breaker_state",
+        "serve_quarantine_size",
+    ] {
+        assert!(
+            prom.contains(series),
+            "obs metrics output lacks {series}: {prom}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&metrics_path);
+}

@@ -1,0 +1,356 @@
+//! Checkpoint-store circuit breaker: closed / open / half-open.
+//!
+//! The budget-capped retry loop ([`crate::with_backoff_budgeted`])
+//! protects one request from one transient failure — but when the
+//! store is *down*, every request independently burns its deadline
+//! rediscovering that fact before degrading. The breaker shares that
+//! discovery across requests: consecutive transient load failures trip
+//! it open, and while open every load fast-fails immediately so the
+//! request spends its whole deadline on the EDA/partial tiers that can
+//! actually answer. After a cooldown one probe request is let through
+//! half-open; success closes the breaker, failure re-opens it for
+//! another cooldown.
+//!
+//! Only errors [`tpp_store::StoreError::is_retryable`] classifies as
+//! transient count as failures — a checksum mismatch means the store
+//! is *reachable* and serving poison, which the generation-fallback
+//! chain handles; tripping the breaker on it would mask a healthy
+//! store. Successes and permanent errors both close the breaker for
+//! the same reason: the store answered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tpp_obs::{obs_event, Level};
+
+/// Breaker tuning. `failure_threshold` consecutive transient failures
+/// trip the breaker open for `cooldown`.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Disabled breakers admit everything and record nothing.
+    pub enabled: bool,
+    /// Consecutive transient failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing half-open.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open {
+        since: Instant,
+    },
+    /// One probe is in flight; `since` guards against a probe that
+    /// never reports back (its worker died) wedging the breaker.
+    HalfOpen {
+        since: Instant,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: State,
+    consecutive_failures: u32,
+}
+
+/// Admission decision for one load attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed with the load.
+    Allowed {
+        /// `true` marks the single half-open probe; its outcome decides
+        /// the breaker's next state.
+        probe: bool,
+    },
+    /// The breaker is open: skip the store entirely and degrade now.
+    FastFail {
+        /// How long until the cooldown elapses and a probe is allowed.
+        retry_in: Duration,
+    },
+}
+
+/// A closed/open/half-open circuit breaker over the checkpoint store.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+    opens: AtomicU64,
+    closes: AtomicU64,
+    fast_fails: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A breaker starting closed with zero recorded failures.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: State::Closed,
+                consecutive_failures: 0,
+            }),
+            opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            fast_fails: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Plain-data critical section: a poisoned lock is still valid.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Decides whether a checkpoint load may hit the store right now.
+    pub fn admit(&self) -> Admission {
+        if !self.config.enabled {
+            return Admission::Allowed { probe: false };
+        }
+        let mut inner = self.lock();
+        match inner.state {
+            State::Closed => Admission::Allowed { probe: false },
+            State::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.config.cooldown {
+                    inner.state = State::HalfOpen {
+                        since: Instant::now(),
+                    };
+                    drop(inner);
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.breaker.probes").inc();
+                    self.publish_state(2);
+                    obs_event!(Level::Info, "serve.breaker_half_open");
+                    Admission::Allowed { probe: true }
+                } else {
+                    drop(inner);
+                    self.count_fast_fail();
+                    Admission::FastFail {
+                        retry_in: self.config.cooldown - elapsed,
+                    }
+                }
+            }
+            State::HalfOpen { since } => {
+                // A probe that never reported back (its worker died
+                // mid-load) must not wedge the breaker half-open
+                // forever: after a full cooldown, assume it lost and
+                // let a new probe through.
+                if since.elapsed() >= self.config.cooldown {
+                    inner.state = State::HalfOpen {
+                        since: Instant::now(),
+                    };
+                    drop(inner);
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.breaker.probes").inc();
+                    Admission::Allowed { probe: true }
+                } else {
+                    drop(inner);
+                    self.count_fast_fail();
+                    Admission::FastFail {
+                        retry_in: self.config.cooldown,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The store answered (a load succeeded, or failed permanently —
+    /// either way it is reachable): reset the failure streak and close.
+    pub fn record_success(&self) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        if !matches!(inner.state, State::Closed) {
+            inner.state = State::Closed;
+            drop(inner);
+            self.closes.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.breaker.closes").inc();
+            self.publish_state(0);
+            obs_event!(Level::Info, "serve.breaker_closed");
+        }
+    }
+
+    /// A load attempt settled on a transient error. Trips the breaker
+    /// at the threshold; a failed half-open probe re-opens immediately.
+    pub fn record_failure(&self) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = match inner.state {
+            State::Closed => inner.consecutive_failures >= self.config.failure_threshold.max(1),
+            // A failed probe re-opens for another cooldown.
+            State::HalfOpen { .. } => true,
+            State::Open { .. } => false,
+        };
+        if trip {
+            let failures = inner.consecutive_failures;
+            inner.state = State::Open {
+                since: Instant::now(),
+            };
+            drop(inner);
+            self.opens.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.breaker.opens").inc();
+            self.publish_state(1);
+            obs_event!(
+                Level::Warn,
+                "serve.breaker_open",
+                consecutive_failures = failures as u64,
+                cooldown_ms = self.config.cooldown.as_millis() as u64,
+            );
+        }
+    }
+
+    fn count_fast_fail(&self) {
+        self.fast_fails.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.breaker.fast_fail").inc();
+    }
+
+    fn publish_state(&self, code: u8) {
+        tpp_obs::metrics()
+            .gauge("serve.breaker.state")
+            .set(code as f64);
+    }
+
+    /// `"closed"`, `"open"` or `"half_open"` for `stats`/`health`.
+    pub fn state_name(&self) -> &'static str {
+        match self.lock().state {
+            State::Closed => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half_open",
+        }
+    }
+
+    /// Times the breaker tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Times the breaker recovered to closed.
+    pub fn closes(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+
+    /// Loads skipped while open.
+    pub fn fast_fails(&self) -> u64 {
+        self.fast_fails.load(Ordering::Relaxed)
+    }
+
+    /// Half-open probes admitted.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_the_threshold() {
+        let b = breaker(3, 1_000);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(), Admission::Allowed { probe: false });
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = breaker(3, 1_000);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn trips_open_and_fast_fails() {
+        let b = breaker(3, 60_000);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 1);
+        assert!(matches!(b.admit(), Admission::FastFail { .. }));
+        assert_eq!(b.fast_fails(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admission::Allowed { probe: true });
+        assert_eq!(b.state_name(), "half_open");
+        // A second request during the probe still fast-fails.
+        assert!(matches!(b.admit(), Admission::FastFail { .. }));
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.closes(), 1);
+        assert_eq!(b.probes(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admission::Allowed { probe: true });
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 2);
+        assert!(matches!(b.admit(), Admission::FastFail { .. }));
+    }
+
+    #[test]
+    fn a_lost_probe_does_not_wedge_half_open() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admission::Allowed { probe: true });
+        // The probe never reports back; after another cooldown a new
+        // probe is admitted.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admission::Allowed { probe: true });
+        assert_eq!(b.probes(), 2);
+    }
+
+    #[test]
+    fn disabled_breaker_is_transparent() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            enabled: false,
+            ..BreakerConfig::default()
+        });
+        for _ in 0..100 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admission::Allowed { probe: false });
+        assert_eq!(b.opens(), 0);
+    }
+}

@@ -14,13 +14,16 @@
 //! Plans parse from a compact spec (used by `tpp serve --chaos`):
 //!
 //! ```text
-//! panic@3,stall@5:200,corrupt@7,flaky@9
+//! panic@3,stall@5:200,corrupt@7,flaky@9,kill@11,wedge@13:500,flaky@20:4
 //! ```
 //!
 //! meaning: panic while handling request 3, stall 200 ms inside
 //! request 5, corrupt the newest checkpoint before serving request 7,
-//! and fail every checkpoint-load attempt of request 9 with a
-//! transient I/O error.
+//! fail every checkpoint-load attempt of request 9 with a transient
+//! I/O error, kill the worker handling request 11 (a panic that
+//! escapes per-request isolation — supervision territory), wedge the
+//! worker handling request 13 for 500 ms, and make requests 20–23 a
+//! consecutive flaky burst (what trips the store circuit breaker).
 
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -43,7 +46,26 @@ pub enum ChaosFault {
     /// the request must still fall back and answer inside its
     /// deadline instead of sleeping it away).
     FlakyLoad,
+    /// Panic with a marker the engine deliberately re-raises *past*
+    /// its `catch_unwind`, killing the worker thread that was handling
+    /// the request (exercises supervision: respawn, job rescue, and
+    /// the quarantine strike on the request's key).
+    KillWorker,
+    /// Sleep this long inside the handler *without* consuming the
+    /// request budget's attention — long enough to trip the
+    /// supervisor's wedge detector (the worker is retired and
+    /// replaced; the wedged request still answers when the sleep
+    /// ends).
+    Wedge(Duration),
 }
+
+/// The panic payload [`ChaosFault::KillWorker`] raises. The engine's
+/// `catch_unwind` recognizes this exact type and resumes the unwind
+/// instead of answering degraded — it is the only panic allowed to
+/// escape per-request isolation, existing precisely to prove the
+/// supervision layer above it.
+#[derive(Debug)]
+pub(crate) struct WorkerKill;
 
 /// A schedule of faults keyed by request ordinal.
 ///
@@ -98,7 +120,8 @@ impl ChaosPlan {
 impl FromStr for ChaosPlan {
     type Err = String;
 
-    /// Parses `panic@N`, `stall@N:MS`, `corrupt@N`, comma-separated.
+    /// Parses `panic@N`, `stall@N:MS`, `corrupt@N`, `flaky@N`,
+    /// `flaky@N:K`, `kill@N`, `wedge@N:MS`, comma-separated.
     fn from_str(spec: &str) -> Result<Self, String> {
         let plan = ChaosPlan::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -124,9 +147,41 @@ impl FromStr for ChaosPlan {
                     let n = parse_ordinal(at)?;
                     plan.schedule(n, ChaosFault::CorruptCheckpoint);
                 }
-                "flaky" => {
+                // `flaky@N` — one flaky request; `flaky@N:K` — a burst
+                // of K consecutive flaky requests starting at N (how a
+                // storm trips the store circuit breaker, whose
+                // threshold is *consecutive* failures).
+                "flaky" => match at.split_once(':') {
+                    Some((n, k)) => {
+                        let n = parse_ordinal(n)?;
+                        let k: u64 = k
+                            .parse()
+                            .map_err(|_| format!("bad flaky burst length in {part:?}"))?;
+                        if k == 0 {
+                            return Err(format!("flaky burst length must be ≥ 1 in {part:?}"));
+                        }
+                        for ordinal in n..n.saturating_add(k) {
+                            plan.schedule(ordinal, ChaosFault::FlakyLoad);
+                        }
+                    }
+                    None => {
+                        let n = parse_ordinal(at)?;
+                        plan.schedule(n, ChaosFault::FlakyLoad);
+                    }
+                },
+                "kill" => {
                     let n = parse_ordinal(at)?;
-                    plan.schedule(n, ChaosFault::FlakyLoad);
+                    plan.schedule(n, ChaosFault::KillWorker);
+                }
+                "wedge" => {
+                    let (n, ms) = at
+                        .split_once(':')
+                        .ok_or_else(|| format!("wedge fault {part:?} needs @ordinal:millis"))?;
+                    let n = parse_ordinal(n)?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("bad wedge millis in {part:?}"))?;
+                    plan.schedule(n, ChaosFault::Wedge(Duration::from_millis(ms)));
                 }
                 other => return Err(format!("unknown chaos fault kind {other:?}")),
             }
@@ -192,6 +247,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_supervision_faults() {
+        let plan: ChaosPlan = "kill@4,wedge@6:500".parse().unwrap();
+        assert_eq!(plan.take(4), vec![ChaosFault::KillWorker]);
+        assert_eq!(
+            plan.take(6),
+            vec![ChaosFault::Wedge(Duration::from_millis(500))]
+        );
+    }
+
+    #[test]
+    fn flaky_bursts_expand_to_consecutive_ordinals() {
+        let plan: ChaosPlan = "flaky@10:3".parse().unwrap();
+        assert_eq!(plan.pending(), 3);
+        for ordinal in 10..=12 {
+            assert_eq!(plan.take(ordinal), vec![ChaosFault::FlakyLoad]);
+        }
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         assert!("explode@1".parse::<ChaosPlan>().is_err());
         assert!("panic".parse::<ChaosPlan>().is_err());
@@ -199,6 +274,10 @@ mod tests {
         assert!("panic@0".parse::<ChaosPlan>().is_err());
         assert!("stall@3".parse::<ChaosPlan>().is_err());
         assert!("stall@3:fast".parse::<ChaosPlan>().is_err());
+        assert!("wedge@3".parse::<ChaosPlan>().is_err());
+        assert!("wedge@3:slow".parse::<ChaosPlan>().is_err());
+        assert!("flaky@3:0".parse::<ChaosPlan>().is_err());
+        assert!("kill@0".parse::<ChaosPlan>().is_err());
     }
 
     #[test]

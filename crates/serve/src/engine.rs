@@ -20,10 +20,12 @@
 //! 3. **partial** — [`tpp_baselines::degraded_partial_plan`]: no RNG,
 //!    no reward peeking, lowest-index walk. The floor.
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
-use crate::chaos::{ChaosFault, ChaosPlan};
+use crate::chaos::{ChaosFault, ChaosPlan, WorkerKill};
 use crate::datasets::resolve_dataset;
 use crate::protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
+use crate::quarantine::{Quarantine, QuarantineConfig};
 use crate::retry::{with_backoff_budgeted, BackoffPolicy};
 use crate::transport::TransportState;
 use std::collections::HashMap;
@@ -64,6 +66,10 @@ pub struct ServeConfig {
     pub flight_capacity: usize,
     /// Requests slower than this (wall-clock) trigger a flight dump.
     pub slow_request_ms: Option<u64>,
+    /// Circuit breaker over the checkpoint-store load path.
+    pub breaker: BreakerConfig,
+    /// Poison-pill quarantine over repeatedly-panicking request keys.
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +84,8 @@ impl Default for ServeConfig {
             flight_dir: None,
             flight_capacity: 256,
             slow_request_ms: None,
+            breaker: BreakerConfig::default(),
+            quarantine: QuarantineConfig::default(),
         }
     }
 }
@@ -129,6 +137,10 @@ pub struct ServeEngine {
     /// updated by whichever transport fronts this engine, reported by
     /// the `health` / `stats` ops.
     pub transport: TransportState,
+    /// Circuit breaker shared by every checkpoint load.
+    pub breaker: CircuitBreaker,
+    /// Poison-pill quarantine keyed on the cache's policy identity.
+    pub quarantine: Quarantine,
     started: Instant,
     ordinal: AtomicU64,
     /// Ring buffer of recent events, dumped on incidents (see
@@ -165,12 +177,23 @@ impl ServeEngine {
             tpp_obs::add_sink(recorder.clone() as Arc<dyn tpp_obs::Sink>);
             recorder
         });
+        let breaker = CircuitBreaker::new(config.breaker.clone());
+        let quarantine = Quarantine::new(config.quarantine.clone());
+        // Publish the self-healing gauges at construction so the
+        // Prometheus exposition carries the series before any incident
+        // moves them.
+        let m = tpp_obs::metrics();
+        m.gauge("serve.breaker.state").set(0.0);
+        m.gauge("serve.quarantine.size").set(0.0);
+        m.gauge("serve.workers_alive").set(0.0);
         ServeEngine {
             config,
             datasets: Mutex::new(HashMap::new()),
             cache,
             counters: EngineCounters::default(),
             transport: TransportState::default(),
+            breaker,
+            quarantine,
             started: Instant::now(),
             ordinal: AtomicU64::new(0),
             flight,
@@ -180,9 +203,11 @@ impl ServeEngine {
 
     /// Writes the flight-recorder ring to a post-mortem JSONL file in
     /// the configured directory. `reason` ∈ {panic, shed, deadline,
-    /// slow}; the filename carries a sequence number, the reason and
-    /// the current trace id so incidents map back to requests.
-    fn dump_flight(&self, reason: &str) {
+    /// slow, worker, wedged, pool}; the filename carries a sequence
+    /// number, the reason and the current trace id so incidents map
+    /// back to requests. `pub(crate)` so the worker-pool supervisor
+    /// can dump on worker deaths.
+    pub(crate) fn dump_flight(&self, reason: &str) {
         let (Some(recorder), Some(dir)) = (&self.flight, &self.config.flight_dir) else {
             return;
         };
@@ -253,7 +278,23 @@ impl ServeEngine {
                 let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, &faults)));
                 let resp = match caught {
                     Ok(resp) => resp,
-                    Err(payload) => self.answer_after_panic(&req, &payload),
+                    Err(payload) if payload.is::<WorkerKill>() => {
+                        // The one panic allowed past per-request
+                        // isolation: a chaos worker-kill. Strike the
+                        // request's quarantine key (this shape just
+                        // killed a worker) and resume the unwind so
+                        // the death reaches the supervisor — the
+                        // worker's rescue guard still answers the
+                        // client.
+                        self.strike_quarantine(&req);
+                        tpp_obs::metrics().counter("serve.chaos_kill").inc();
+                        obs_event!(Level::Error, "serve.chaos_kill", op = op_name);
+                        std::panic::resume_unwind(payload);
+                    }
+                    Err(payload) => {
+                        self.strike_quarantine(&req);
+                        self.answer_after_panic(&req, &payload)
+                    }
                 };
                 (op_name, resp)
             }
@@ -325,6 +366,11 @@ impl ServeEngine {
     }
 
     fn dispatch(&self, req: &Request, faults: &[ChaosFault]) -> String {
+        if faults.contains(&ChaosFault::KillWorker) {
+            // Raised as a typed marker so `handle_line` can recognize
+            // it and deliberately let it escape (killing the worker).
+            std::panic::panic_any(WorkerKill);
+        }
         if faults.contains(&ChaosFault::Panic) {
             panic!("chaos: injected panic while handling request");
         }
@@ -386,13 +432,28 @@ impl ServeEngine {
             None => Budget::unlimited(),
         };
         for f in faults {
-            if let ChaosFault::Stall(d) = f {
-                obs_event!(
-                    Level::Warn,
-                    "serve.chaos_stall",
-                    millis = d.as_millis() as u64
-                );
-                std::thread::sleep(*d);
+            match f {
+                ChaosFault::Stall(d) => {
+                    obs_event!(
+                        Level::Warn,
+                        "serve.chaos_stall",
+                        millis = d.as_millis() as u64
+                    );
+                    std::thread::sleep(*d);
+                }
+                // A wedge is a stall long enough to trip the
+                // supervisor's progress budget: the worker sleeps here
+                // while the supervisor retires and replaces it. The
+                // request still answers when the sleep ends.
+                ChaosFault::Wedge(d) => {
+                    obs_event!(
+                        Level::Warn,
+                        "serve.chaos_wedge",
+                        millis = d.as_millis() as u64
+                    );
+                    std::thread::sleep(*d);
+                }
+                _ => {}
             }
         }
         let flaky_load = faults.contains(&ChaosFault::FlakyLoad);
@@ -402,8 +463,30 @@ impl ServeEngine {
             Op::Plan => "train",
             _ => "policy",
         };
-        let result = self
-            .try_primary_tier(
+        // Poison-pill gate: a key that has repeatedly panicked the
+        // engine skips the primary tier entirely for its cooldown —
+        // the EDA/partial chain answers immediately instead of feeding
+        // the poison to another worker.
+        let quarantined_for = self
+            .quarantine_key(req)
+            .and_then(|key| self.quarantine.active(&key));
+        if let Some(remaining) = quarantined_for {
+            fell_back_because.push(format!(
+                "quarantined: key panicked repeatedly; cooling down for {}ms",
+                remaining.as_millis()
+            ));
+            obs_event!(
+                Level::Warn,
+                "serve.quarantine_hit",
+                dataset = name,
+                remaining_ms = remaining.as_millis() as u64,
+            );
+        }
+        let result = if quarantined_for.is_some() {
+            self.try_eda_tier(req, instance, params, start, &mut fell_back_because)
+                .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because))
+        } else {
+            self.try_primary_tier(
                 req,
                 name,
                 &ds,
@@ -413,7 +496,8 @@ impl ServeEngine {
                 &mut fell_back_because,
             )
             .or_else(|| self.try_eda_tier(req, instance, params, start, &mut fell_back_because))
-            .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because));
+            .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because))
+        };
 
         let Some(result) = result else {
             // Even the floor panicked — answer with an error, stay alive.
@@ -453,6 +537,9 @@ impl ServeEngine {
                 .bool("cached", result.cached)
                 .bool("deadline_expired", budget.expired())
                 .u64("retries", result.retries as u64);
+            if quarantined_for.is_some() {
+                obj = obj.bool("quarantined", true);
+            }
             if let Some(episodes) = result.episodes {
                 obj = obj.u64("episodes", episodes);
             }
@@ -501,6 +588,12 @@ impl ServeEngine {
             // Health/stats never reach the planning path.
             _ => Err("not a planning op".to_owned()),
         }));
+        if outcome.is_err() {
+            // The primary tier panicked on this key: one quarantine
+            // strike (K of these and the key is served degraded
+            // without touching the planning stack at all).
+            self.strike_quarantine(req);
+        }
         self.settle_tier("primary", outcome, reasons)
     }
 
@@ -652,8 +745,25 @@ impl ServeEngine {
             set.load_latest()
         };
         let load_with_retry = |retries_out: &mut u32| -> Result<(u64, QTable), String> {
+            // Circuit breaker: while open, skip the store entirely and
+            // degrade now — the whole deadline goes to tiers that can
+            // answer, instead of rediscovering per-request that the
+            // store is down.
+            if let Admission::FastFail { retry_in } = self.breaker.admit() {
+                return Err(format!(
+                    "breaker open: checkpoint store cooling down for {}ms",
+                    retry_in.as_millis()
+                ));
+            }
             let (loaded, retries) = with_backoff_budgeted(&self.config.backoff, Some(budget), load);
             *retries_out = retries;
+            // Transient final errors feed the breaker; successes and
+            // permanent errors both mean the store answered, which
+            // closes it.
+            match &loaded {
+                Err(e) if e.is_retryable() => self.breaker.record_failure(),
+                _ => self.breaker.record_success(),
+            }
             let (generation, ckpt) = loaded
                 .map_err(|e| format!("checkpoint load failed: {e}"))?
                 .ok_or_else(|| format!("no checkpoints in {}", dir.display()))?;
@@ -939,6 +1049,62 @@ impl ServeEngine {
         })
     }
 
+    /// The quarantine identity of a planning request: the same
+    /// (dataset, constraint signature, source) triple the policy cache
+    /// keys on — except `recommend` keys are generation-agnostic
+    /// (token 0), because a request shape that kills workers does so
+    /// regardless of which checkpoint generation is newest.
+    fn quarantine_key(&self, req: &Request) -> Option<PolicyKey> {
+        if !matches!(req.op, Op::Plan | Op::Recommend) {
+            return None;
+        }
+        let name = req.dataset.as_deref()?;
+        let ds = self.dataset(name).ok()?;
+        let start = self
+            .resolve_start(&ds.instance, req.start.as_deref())
+            .ok()?;
+        let source = match req.op {
+            Op::Plan => PolicySource::Trained {
+                seed: req.seed,
+                episodes: req
+                    .episodes
+                    .unwrap_or(ds.params.episodes as u64)
+                    .min(self.config.max_episodes),
+                start: start.0 as usize,
+            },
+            _ => PolicySource::Checkpoint { token: 0 },
+        };
+        Some(PolicyKey {
+            dataset: name.to_owned(),
+            signature: ds.signature,
+            source,
+        })
+    }
+
+    /// Records one panic strike against the request's quarantine key
+    /// (no-op for non-planning ops or unresolvable requests).
+    fn strike_quarantine(&self, req: &Request) {
+        if let Some(key) = self.quarantine_key(req) {
+            self.quarantine.strike(&key);
+        }
+    }
+
+    /// The terminal response a worker's rescue guard (or the pool's
+    /// post-mortem drain) writes for a job whose handler died. Plain
+    /// code only — this runs during an unwind.
+    pub(crate) fn worker_crash_response(&self, line: &str) -> String {
+        self.counters.answered.fetch_add(1, Ordering::Relaxed);
+        JsonObj::new()
+            .bool("ok", false)
+            .nullable_str("id", extract_raw_id(line).as_deref())
+            .str(
+                "error",
+                "internal: worker crashed while handling this request",
+            )
+            .bool("rescued", true)
+            .finish()
+    }
+
     fn tier_counter(&self, tier: &str) -> &AtomicU64 {
         match tier {
             "policy" => &self.counters.tier_policy,
@@ -969,6 +1135,12 @@ impl ServeEngine {
                 "queue_depth",
                 t.queue_depth.load(Ordering::Relaxed).max(0) as u64,
             )
+            .u64(
+                "workers_alive",
+                t.workers_alive.load(Ordering::SeqCst).max(0) as u64,
+            )
+            .str("breaker", self.breaker.state_name())
+            .u64("quarantine_size", self.quarantine.len() as u64)
             .u64("uptime_ms", self.started.elapsed().as_millis() as u64)
             .u64("requests", self.counters.requests.load(Ordering::Relaxed))
             .u64(
@@ -1036,6 +1208,39 @@ impl ServeEngine {
                     .undeliverable_responses
                     .load(Ordering::Relaxed),
             )
+            .u64(
+                "workers_configured",
+                self.transport.workers_configured.load(Ordering::Relaxed),
+            )
+            .u64(
+                "workers_alive",
+                self.transport.workers_alive.load(Ordering::SeqCst).max(0) as u64,
+            )
+            .u64(
+                "worker_restarts",
+                self.transport.worker_restarts.load(Ordering::Relaxed),
+            )
+            .u64(
+                "worker_deaths",
+                self.transport.worker_deaths.load(Ordering::Relaxed),
+            )
+            .u64(
+                "worker_wedged",
+                self.transport.worker_wedged.load(Ordering::Relaxed),
+            )
+            .u64(
+                "worker_rescued",
+                self.transport.worker_rescued.load(Ordering::Relaxed),
+            )
+            .u64("lock_recovered", m.counter("serve.lock_recovered").get())
+            .str("breaker_state", self.breaker.state_name())
+            .u64("breaker_opens", self.breaker.opens())
+            .u64("breaker_closes", self.breaker.closes())
+            .u64("breaker_fast_fails", self.breaker.fast_fails())
+            .u64("breaker_probes", self.breaker.probes())
+            .u64("quarantine_size", self.quarantine.len() as u64)
+            .u64("quarantine_added", self.quarantine.added())
+            .u64("quarantine_served", self.quarantine.served())
             .u64(
                 "queue_depth",
                 m.gauge("serve.queue_depth").get().max(0.0) as u64,

@@ -56,12 +56,27 @@
 //!   asserts the core invariant from the outside: zero connections
 //!   closed without a terminal response.
 //!
-//! The [`chaos`] module injects panics, stalls and checkpoint
-//! corruption at chosen request ordinals so the integration suite (and
-//! `scripts/check.sh`) can prove those properties deterministically.
+//! * **The daemon self-heals** ([`transport`], [`breaker`],
+//!   [`quarantine`]): the worker pool is supervised — workers stamp a
+//!   heartbeat per dequeue, and a supervisor thread respawns workers
+//!   that die (a panic escaping per-request isolation) and replaces
+//!   workers wedged past a progress budget, within a restart budget,
+//!   dumping the flight recorder on each incident. A dying worker's
+//!   in-flight job is rescued with a terminal response during the
+//!   unwind. A request key that repeatedly panics the engine is
+//!   quarantined (served degraded for a cooldown instead of fed to
+//!   another worker), and the checkpoint-store load path sits behind a
+//!   closed/open/half-open circuit breaker so a down store costs one
+//!   discovery, not every request's deadline.
+//!
+//! The [`chaos`] module injects panics, stalls, checkpoint corruption,
+//! worker kills, wedges and flaky-load bursts at chosen request
+//! ordinals so the integration suite (and `scripts/check.sh`) can
+//! prove those properties deterministically.
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod datasets;
@@ -69,11 +84,13 @@ pub mod engine;
 pub mod framing;
 pub mod load;
 pub mod protocol;
+pub mod quarantine;
 pub mod retry;
 pub mod server;
 pub mod tcp;
 pub mod transport;
 
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use datasets::{resolve_dataset, DATASET_NAMES};
@@ -81,7 +98,8 @@ pub use engine::{ServeConfig, ServeEngine};
 pub use framing::{FramedLine, LineReader};
 pub use load::{probe_health, run_load, LoadConfig, LoadProfile, LoadReport, Percentiles};
 pub use protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
+pub use quarantine::{Quarantine, QuarantineConfig};
 pub use retry::{with_backoff, with_backoff_budgeted, BackoffPolicy};
 pub use server::{serve_lines, serve_unix, ServeSummary, ServerConfig};
 pub use tcp::{TcpConfig, TcpServer, TcpSummary};
-pub use transport::{ConnTrack, Job, SharedWriter, TransportState};
+pub use transport::{ConnTrack, Job, SharedWriter, SupervisorConfig, TransportState};

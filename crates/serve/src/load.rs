@@ -29,13 +29,16 @@ use std::net::{SocketAddr, TcpStream};
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
-/// Relative weights of the four traffic kinds.
+/// Relative weights of the five traffic kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadProfile {
     /// Cache-hot plan requests (fixed seed).
     pub hot: u32,
     /// Cache-cold plan requests (per-arrival seed; forces training).
     pub cold: u32,
+    /// `recommend` requests — drive the checkpoint-*load* path (and so
+    /// the store circuit breaker) instead of training.
+    pub recommend: u32,
     /// Broken-JSON requests that must get `bad_request`.
     pub malformed: u32,
     /// Slow-loris connections that never complete a line.
@@ -47,6 +50,7 @@ impl Default for LoadProfile {
         LoadProfile {
             hot: 80,
             cold: 10,
+            recommend: 0,
             malformed: 5,
             slow: 5,
         }
@@ -55,7 +59,7 @@ impl Default for LoadProfile {
 
 impl LoadProfile {
     fn total(&self) -> u64 {
-        (self.hot + self.cold + self.malformed + self.slow) as u64
+        (self.hot + self.cold + self.recommend + self.malformed + self.slow) as u64
     }
 
     /// Maps a uniform draw onto a traffic kind.
@@ -65,6 +69,7 @@ impl LoadProfile {
         for (weight, kind) in [
             (self.hot as u64, Kind::Hot),
             (self.cold as u64, Kind::Cold),
+            (self.recommend as u64, Kind::Recommend),
             (self.malformed as u64, Kind::Malformed),
             (self.slow as u64, Kind::Slow),
         ] {
@@ -80,12 +85,13 @@ impl LoadProfile {
 impl FromStr for LoadProfile {
     type Err = String;
 
-    /// Parses `hot=80,cold=10,malformed=5,slow=5` (missing keys keep 0;
-    /// at least one weight must be positive).
+    /// Parses `hot=80,cold=10,recommend=0,malformed=5,slow=5` (missing
+    /// keys keep 0; at least one weight must be positive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut p = LoadProfile {
             hot: 0,
             cold: 0,
+            recommend: 0,
             malformed: 0,
             slow: 0,
         };
@@ -100,6 +106,7 @@ impl FromStr for LoadProfile {
             match key.trim() {
                 "hot" => p.hot = w,
                 "cold" => p.cold = w,
+                "recommend" => p.recommend = w,
                 "malformed" => p.malformed = w,
                 "slow" => p.slow = w,
                 other => return Err(format!("unknown traffic kind {other:?}")),
@@ -116,6 +123,7 @@ impl FromStr for LoadProfile {
 enum Kind {
     Hot,
     Cold,
+    Recommend,
     Malformed,
     Slow,
 }
@@ -299,6 +307,10 @@ fn one_connection(addr: SocketAddr, kind: Kind, i: u64, config: &LoadConfig) -> 
             config.deadline_ms,
             i
         ),
+        Kind::Recommend => format!(
+            r#"{{"op":"recommend","dataset":"{}","deadline_ms":{},"id":"r{}"}}"#,
+            config.dataset, config.deadline_ms, i
+        ),
         // Scannable id, hopeless JSON: the response must be a
         // bad_request that still echoes the id.
         Kind::Malformed => format!(r#"{{"id":"m{i}","op":<<<not json"#),
@@ -472,12 +484,15 @@ mod tests {
 
     #[test]
     fn profile_parses_and_rejects() {
-        let p: LoadProfile = "hot=70,cold=20,malformed=5,slow=5".parse().unwrap();
+        let p: LoadProfile = "hot=65,cold=20,recommend=5,malformed=5,slow=5"
+            .parse()
+            .unwrap();
         assert_eq!(
             p,
             LoadProfile {
-                hot: 70,
+                hot: 65,
                 cold: 20,
+                recommend: 5,
                 malformed: 5,
                 slow: 5
             }
@@ -492,6 +507,7 @@ mod tests {
         let p = LoadProfile {
             hot: 1,
             cold: 0,
+            recommend: 0,
             malformed: 0,
             slow: 1,
         };

@@ -1,0 +1,295 @@
+//! Poison-pill quarantine: stop feeding workers a request shape that
+//! keeps killing them.
+//!
+//! `catch_unwind` isolates one panic; the supervisor respawns a worker
+//! a panic escapes through. Neither helps when the *same request*
+//! comes back and panics the engine again — a hot retry loop against a
+//! poison input burns the whole restart budget on one key. Following
+//! CARL's observation that constraint-space identity is reusable, the
+//! quarantine keys strikes on the same (dataset, constraint signature,
+//! policy source) identity the policy cache already computes: K panics
+//! on one key quarantine that key for a cooldown TTL, during which
+//! identical requests get an immediate terminal `quarantined` response
+//! (degraded tier, id echoed) without touching a worker.
+//!
+//! Strikes are counted per key, reset by the TTL, and the table is
+//! bounded: at capacity, the oldest entry is evicted — an attacker
+//! cycling keys degrades the quarantine to a no-op, never the daemon
+//! to an OOM.
+
+use crate::cache::PolicyKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tpp_obs::{obs_event, Level};
+
+/// Quarantine tuning.
+#[derive(Debug, Clone)]
+pub struct QuarantineConfig {
+    /// Disabled quarantines record nothing and block nothing.
+    pub enabled: bool,
+    /// Panics on one key before it is quarantined.
+    pub strikes: u32,
+    /// How long a quarantined key stays blocked; also the idle TTL
+    /// after which a key's strike count resets.
+    pub cooldown: Duration,
+    /// Bound on tracked keys (strike counters + quarantined entries).
+    pub max_entries: usize,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            enabled: true,
+            strikes: 3,
+            cooldown: Duration::from_secs(10),
+            max_entries: 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    strikes: u32,
+    last_strike: Instant,
+    /// Set when the key crossed the strike threshold.
+    quarantined_at: Option<Instant>,
+}
+
+/// Strike table + quarantine set, keyed on [`PolicyKey`].
+#[derive(Debug)]
+pub struct Quarantine {
+    config: QuarantineConfig,
+    entries: Mutex<HashMap<PolicyKey, Entry>>,
+    added: AtomicU64,
+    served: AtomicU64,
+}
+
+impl Quarantine {
+    /// An empty quarantine table.
+    pub fn new(config: QuarantineConfig) -> Self {
+        Quarantine {
+            config,
+            entries: Mutex::new(HashMap::new()),
+            added: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PolicyKey, Entry>> {
+        // Plain-data critical section: a poisoned lock is still valid.
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a panic attributed to `key`. Returns `true` when this
+    /// strike crossed the threshold and quarantined the key.
+    pub fn strike(&self, key: &PolicyKey) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        let now = Instant::now();
+        let mut entries = self.lock();
+        // Expired strike streaks restart from zero — two panics a day
+        // apart are flakiness, not a poison pill.
+        let entry = entries.entry(key.clone()).or_insert(Entry {
+            strikes: 0,
+            last_strike: now,
+            quarantined_at: None,
+        });
+        if entry.quarantined_at.is_none()
+            && now.duration_since(entry.last_strike) >= self.config.cooldown
+        {
+            entry.strikes = 0;
+        }
+        entry.strikes = entry.strikes.saturating_add(1);
+        entry.last_strike = now;
+        let crossed = entry.quarantined_at.is_none() && entry.strikes >= self.config.strikes.max(1);
+        if crossed {
+            entry.quarantined_at = Some(now);
+        }
+        let strikes = entry.strikes;
+        if entries.len() > self.config.max_entries.max(1) {
+            evict_oldest(&mut entries);
+        }
+        drop(entries);
+        if crossed {
+            self.added.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.quarantine.added").inc();
+            self.publish_size();
+            obs_event!(
+                Level::Warn,
+                "serve.quarantined",
+                dataset = key.dataset.clone(),
+                signature = key.signature,
+                strikes = strikes as u64,
+                cooldown_ms = self.config.cooldown.as_millis() as u64,
+            );
+        }
+        crossed
+    }
+
+    /// Is `key` quarantined right now? Returns the remaining cooldown;
+    /// an expired quarantine is removed (strikes start over).
+    pub fn active(&self, key: &PolicyKey) -> Option<Duration> {
+        if !self.config.enabled {
+            return None;
+        }
+        let mut entries = self.lock();
+        let entry = entries.get(key)?;
+        let since = entry.quarantined_at?;
+        let elapsed = since.elapsed();
+        if elapsed >= self.config.cooldown {
+            entries.remove(key);
+            drop(entries);
+            self.publish_size();
+            obs_event!(
+                Level::Info,
+                "serve.quarantine_released",
+                dataset = key.dataset.clone(),
+                signature = key.signature,
+            );
+            return None;
+        }
+        drop(entries);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.quarantine.served").inc();
+        Some(self.config.cooldown - elapsed)
+    }
+
+    /// Keys currently quarantined (strike-only entries excluded).
+    pub fn len(&self) -> usize {
+        self.lock()
+            .values()
+            .filter(|e| e.quarantined_at.is_some())
+            .count()
+    }
+
+    /// True when no key is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys quarantined since startup.
+    pub fn added(&self) -> u64 {
+        self.added.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered straight from quarantine.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    fn publish_size(&self) {
+        tpp_obs::metrics()
+            .gauge("serve.quarantine.size")
+            .set(self.len() as f64);
+    }
+}
+
+fn evict_oldest(entries: &mut HashMap<PolicyKey, Entry>) {
+    if let Some(key) = entries
+        .iter()
+        .min_by_key(|(_, e)| e.last_strike)
+        .map(|(k, _)| k.clone())
+    {
+        entries.remove(&key);
+        tpp_obs::metrics().counter("serve.quarantine.evicted").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PolicySource;
+
+    fn key(dataset: &str, signature: u64) -> PolicyKey {
+        PolicyKey {
+            dataset: dataset.to_owned(),
+            signature,
+            source: PolicySource::Trained {
+                seed: 7,
+                episodes: 100,
+                start: 0,
+            },
+        }
+    }
+
+    fn quarantine(strikes: u32, cooldown_ms: u64) -> Quarantine {
+        Quarantine::new(QuarantineConfig {
+            enabled: true,
+            strikes,
+            cooldown: Duration::from_millis(cooldown_ms),
+            max_entries: 8,
+        })
+    }
+
+    #[test]
+    fn quarantines_at_the_strike_threshold() {
+        let q = quarantine(3, 60_000);
+        let k = key("ds-ct", 42);
+        assert!(!q.strike(&k));
+        assert!(!q.strike(&k));
+        assert!(q.active(&k).is_none());
+        assert!(q.strike(&k), "third strike quarantines");
+        assert!(q.active(&k).is_some());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.added(), 1);
+        assert_eq!(q.served(), 1);
+    }
+
+    #[test]
+    fn different_keys_do_not_share_strikes() {
+        let q = quarantine(2, 60_000);
+        assert!(!q.strike(&key("ds-ct", 1)));
+        assert!(!q.strike(&key("ds-ct", 2)));
+        assert!(!q.strike(&key("nyc", 1)));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn quarantine_expires_after_the_cooldown() {
+        let q = quarantine(1, 20);
+        let k = key("ds-ct", 42);
+        assert!(q.strike(&k));
+        assert!(q.active(&k).is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(q.active(&k).is_none(), "cooldown elapsed");
+        assert_eq!(q.len(), 0);
+        // The slate is clean: strikes start over.
+        assert!(q.strike(&k));
+    }
+
+    #[test]
+    fn stale_strike_streaks_reset() {
+        let q = quarantine(2, 20);
+        let k = key("ds-ct", 42);
+        assert!(!q.strike(&k));
+        std::thread::sleep(Duration::from_millis(30));
+        // The earlier strike aged out; this one starts a new streak.
+        assert!(!q.strike(&k));
+        assert!(q.strike(&k));
+    }
+
+    #[test]
+    fn the_table_is_bounded() {
+        let q = quarantine(1, 60_000);
+        for i in 0..64 {
+            q.strike(&key("ds-ct", i));
+        }
+        assert!(q.lock().len() <= 8 + 1);
+    }
+
+    #[test]
+    fn disabled_quarantine_is_transparent() {
+        let q = Quarantine::new(QuarantineConfig {
+            enabled: false,
+            strikes: 1,
+            ..QuarantineConfig::default()
+        });
+        let k = key("ds-ct", 42);
+        assert!(!q.strike(&k));
+        assert!(q.active(&k).is_none());
+        assert_eq!(q.len(), 0);
+    }
+}

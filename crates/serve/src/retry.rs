@@ -46,11 +46,20 @@ impl BackoffPolicy {
 
     /// The sleep before retry number `retry` (0-based), doubling from
     /// `base_delay` and capped at `max_delay`.
+    ///
+    /// Saturates rather than overflows: `checked_shl` returns `None`
+    /// (not a saturated value) for shifts ≥ 32, and `Duration::mul`
+    /// would panic long before that for large bases, so both steps pin
+    /// to their maxima explicitly and the cap is applied last.
     pub fn delay_for(&self, retry: u32) -> Duration {
-        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        let factor = match 1u32.checked_shl(retry) {
+            Some(f) => f,
+            None => return self.max_delay,
+        };
         self.base_delay
             .checked_mul(factor)
-            .map_or(self.max_delay, |d| d.min(self.max_delay))
+            .unwrap_or(Duration::MAX)
+            .min(self.max_delay)
     }
 }
 
@@ -241,5 +250,27 @@ mod tests {
         assert_eq!(p.delay_for(31), Duration::from_millis(35));
         // Shift overflow saturates instead of panicking.
         assert_eq!(p.delay_for(40), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn extreme_delays_saturate_instead_of_panicking() {
+        // A pathological base delay whose doubling overflows Duration
+        // itself: the multiply saturates and the cap still wins.
+        let p = BackoffPolicy {
+            max_attempts: 64,
+            base_delay: Duration::from_secs(u64::MAX / 2),
+            max_delay: Duration::from_secs(30),
+        };
+        for retry in [0, 1, 2, 20, 31, 32, 63, u32::MAX] {
+            assert!(p.delay_for(retry) <= Duration::from_secs(30));
+        }
+        // An uncapped policy (max_delay = MAX) must still not panic on
+        // multiply overflow — it pins to Duration::MAX.
+        let unbounded = BackoffPolicy {
+            max_attempts: 64,
+            base_delay: Duration::from_secs(u64::MAX / 2),
+            max_delay: Duration::MAX,
+        };
+        assert_eq!(unbounded.delay_for(3), Duration::MAX);
     }
 }

@@ -38,7 +38,7 @@
 use crate::engine::ServeEngine;
 use crate::framing::{FramedLine, LineReader};
 use crate::protocol::{parse_request, Op};
-use crate::transport::{write_response, Job, SharedWriter, WorkerPool};
+use crate::transport::{write_response, Job, SharedWriter, SupervisorConfig, WorkerPool};
 use std::io::Write;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -58,6 +58,8 @@ pub struct ServerConfig {
     /// Per-line byte cap; longer lines are discarded and answered with
     /// a terminal `bad_request` while the session stays alive.
     pub max_line_bytes: usize,
+    /// Worker-pool supervision (respawn budget, wedge detection).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +69,7 @@ impl Default for ServerConfig {
             workers: 2,
             max_requests: None,
             max_line_bytes: 256 * 1024,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -128,7 +131,12 @@ where
     let capacity = config.capacity.max(1);
     engine.transport.set_limits(0, capacity as u64);
     let output: SharedWriter = Arc::new(Mutex::new(output));
-    let pool = WorkerPool::spawn(Arc::clone(&engine), config.workers, capacity);
+    let pool = WorkerPool::spawn_with(
+        Arc::clone(&engine),
+        config.workers,
+        capacity,
+        config.supervisor.clone(),
+    );
 
     let mut received = 0u64;
     let mut overloaded = 0u64;
@@ -158,6 +166,21 @@ where
                     let _trace = tpp_obs::trace::enter(job.trace);
                     let response = if is_shutdown_line(&job.line) {
                         engine.handle_line(&job.line)
+                    } else if engine.transport.workers_dead() {
+                        // A dead pool must never accept-and-starve:
+                        // probes (`health`, `stats`) are answered inline
+                        // so the caller sees `accepting: false`, and
+                        // work requests get a terminal `overloaded`
+                        // instead of queueing into a void.
+                        match parse_request(&job.line) {
+                            Ok(r) if matches!(r.op, Op::Health | Op::Stats | Op::Metrics) => {
+                                engine.handle_line(&job.line)
+                            }
+                            _ => {
+                                overloaded += 1;
+                                engine.overloaded_response(&job.line)
+                            }
+                        }
                     } else {
                         overloaded += 1;
                         engine.overloaded_response(&job.line)

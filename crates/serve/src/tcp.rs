@@ -41,8 +41,11 @@
 
 use crate::engine::ServeEngine;
 use crate::framing::{FramedLine, LineReader};
+use crate::protocol::{parse_request, Op};
 use crate::server::{emit_shutdown, is_shutdown_line, ACCEPT_POLL};
-use crate::transport::{write_response, ConnTrack, Job, SharedWriter, WorkerPool};
+use crate::transport::{
+    write_response, ConnTrack, Job, SharedWriter, SupervisorConfig, WorkerPool,
+};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -72,6 +75,8 @@ pub struct TcpConfig {
     /// Stop after accepting this many connections (tests and bounded
     /// smoke runs; `None` = until drained).
     pub accept_limit: Option<u64>,
+    /// Worker-pool supervision (respawn budget, wedge detection).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for TcpConfig {
@@ -84,6 +89,7 @@ impl Default for TcpConfig {
             capacity: 64,
             workers: 2,
             accept_limit: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -159,10 +165,11 @@ impl TcpServer {
             addr: _,
             config,
         } = self;
-        let pool = Arc::new(WorkerPool::spawn(
+        let pool = Arc::new(WorkerPool::spawn_with(
             Arc::clone(&engine),
             config.workers,
             config.capacity.max(1),
+            config.supervisor.clone(),
         ));
         // Bounds concurrent shed handlers: past it, connections get an
         // unread `overloaded` (null id) so even a shed stampede cannot
@@ -309,7 +316,13 @@ fn conn_session(
                     let _trace = tpp_obs::trace::enter(job.trace);
                     // A saturated daemon must still be drainable, so a
                     // shutdown that would have been shed runs inline.
-                    let response = if is_shutdown_line(&job.line) {
+                    // A *dead-pool* daemon must never accept-and-starve:
+                    // probes run inline (so `health` reports
+                    // `accepting: false`) and work gets a terminal
+                    // `overloaded` instead of queueing into a void.
+                    let answer_inline = is_shutdown_line(&job.line)
+                        || (engine.transport.workers_dead() && is_probe_line(&job.line));
+                    let response = if answer_inline {
                         engine.handle_line(&job.line)
                     } else {
                         engine.overloaded_response(&job.line)
@@ -374,6 +387,17 @@ fn conn_session(
     tpp_obs::metrics().counter("serve.conn_closed").inc();
 }
 
+/// `true` when `line` is a read-only probe (`health`, `stats`,
+/// `metrics`) — the ops a dead-pool daemon still answers inline so an
+/// operator or load balancer can see `accepting: false` instead of an
+/// opaque `overloaded`.
+fn is_probe_line(line: &str) -> bool {
+    matches!(
+        parse_request(line),
+        Ok(r) if matches!(r.op, Op::Health | Op::Stats | Op::Metrics)
+    )
+}
+
 /// Writes a reader-side (shed or framing) response and keeps the
 /// per-connection and delivery-failure accounting identical to the
 /// worker path.
@@ -418,6 +442,9 @@ fn shed_connection(
             FramedLine::Line(line) if is_shutdown_line(&line) => {
                 // Even a shed connection can drain the daemon — an
                 // operator must not be locked out by saturation.
+                engine.handle_line(&line)
+            }
+            FramedLine::Line(line) if engine.transport.workers_dead() && is_probe_line(&line) => {
                 engine.handle_line(&line)
             }
             FramedLine::Line(line) => engine.overloaded_response(&line),

@@ -1,27 +1,36 @@
 //! Transport-level shared state: readiness, drain, connection
-//! accounting, and the bounded worker pool every transport feeds.
+//! accounting, and the supervised bounded worker pool every transport
+//! feeds.
 //!
 //! [`TransportState`] lives on the [`ServeEngine`](crate::ServeEngine)
 //! so the `health` and `stats` ops can report transport truth (is the
-//! daemon accepting? how many connections? how deep is the queue?)
-//! without the engine holding a reference to any particular listener.
-//! The stdio session, the Unix-socket listener and the TCP supervisor
-//! all update the same state; a load balancer probing `health` sees
-//! `accepting: false` the moment a drain begins or the admission gate
-//! saturates, *before* its next request would be shed.
+//! daemon accepting? how many connections? how deep is the queue? how
+//! many workers are actually alive?) without the engine holding a
+//! reference to any particular listener. The stdio session, the
+//! Unix-socket listener and the TCP supervisor all update the same
+//! state; a load balancer probing `health` sees `accepting: false` the
+//! moment a drain begins, the admission gate saturates, or the worker
+//! pool dies past recovery — *before* its next request would starve.
 //!
 //! [`WorkerPool`] is the bounded queue + worker threads behind every
-//! transport. Each [`Job`] carries its own reply writer, so one pool
-//! can serve many connections concurrently: responses route back to
-//! the connection that asked, written whole under that connection's
-//! lock so lines never tear.
+//! transport, plus a supervisor thread that keeps the pool alive:
+//! each worker stamps a heartbeat word when it picks up a job, and the
+//! supervisor respawns workers that panicked out (a panic escaping the
+//! per-request `catch_unwind`) and replaces workers wedged past a
+//! progress budget — up to a restart budget, with backoff, dumping the
+//! flight recorder on each death so the post-mortem survives the
+//! thread. A dying worker's in-flight job is rescued by a drop guard
+//! that writes a terminal response during the unwind, so even a
+//! worker-killing fault never breaks the one-response-per-request
+//! contract.
 
 use crate::engine::ServeEngine;
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tpp_obs::{obs_event, Level, TraceCtx};
 
 /// A per-connection reply sink, shared between the reader that sheds
@@ -55,8 +64,39 @@ pub struct Job {
     pub track: Option<Arc<ConnTrack>>,
 }
 
-/// Live transport state, updated by listeners/readers and reported by
-/// the engine's `health` / `stats` ops.
+/// Supervision policy for the worker pool.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Disabled supervision never respawns: a worker that panics out
+    /// stays dead (the pool still flips `accepting` off when the last
+    /// one dies, so the failure is loud, not silent).
+    pub enabled: bool,
+    /// Supervisor tick interval.
+    pub poll_interval: Duration,
+    /// A worker busy on one job longer than this is wedged: it is
+    /// retired (it finishes or not on its own time) and replaced.
+    /// `None` disables wedge detection.
+    pub wedge_budget: Option<Duration>,
+    /// Total respawns the supervisor may spend over the pool's life.
+    pub max_restarts: u32,
+    /// Delay between noting a death and respawning the slot.
+    pub restart_backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            poll_interval: Duration::from_millis(20),
+            wedge_budget: Some(Duration::from_secs(30)),
+            max_restarts: 16,
+            restart_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Live transport state, updated by listeners/readers/workers and
+/// reported by the engine's `health` / `stats` ops.
 #[derive(Debug, Default)]
 pub struct TransportState {
     draining: AtomicBool,
@@ -84,6 +124,26 @@ pub struct TransportState {
     pub undeliverable_responses: AtomicU64,
     /// Requests answered after a drain began (the in-flight tail).
     pub drained_in_flight: AtomicU64,
+    /// Worker threads the pool was configured with (0 = no pool yet).
+    pub workers_configured: AtomicU64,
+    /// Worker threads currently running (wedged-but-retired workers
+    /// still count until they actually finish).
+    pub workers_alive: AtomicI64,
+    /// Workers respawned by the supervisor (deaths and wedge
+    /// replacements both spend the restart budget).
+    pub worker_restarts: AtomicU64,
+    /// Workers that died (a panic escaped the per-request isolation).
+    pub worker_deaths: AtomicU64,
+    /// Workers retired for being wedged past the progress budget.
+    pub worker_wedged: AtomicU64,
+    /// In-flight jobs rescued with a terminal response while their
+    /// worker was dying.
+    pub worker_rescued: AtomicU64,
+    /// The pool is supervised (deaths are transient, not terminal).
+    supervised: AtomicBool,
+    /// Set by the supervisor when every worker is gone and the restart
+    /// budget is spent: the pool can never answer again.
+    pool_dead: AtomicBool,
 }
 
 impl TransportState {
@@ -121,10 +181,23 @@ impl TransportState {
         cap > 0 && self.queue_depth.load(Ordering::Relaxed) >= cap as i64
     }
 
+    /// The pool can never answer another queued request: every worker
+    /// is gone and no respawn is coming (restart budget spent, or
+    /// supervision disabled). Queuing into a dead pool is the
+    /// accept-and-starve failure mode — callers must shed instead.
+    pub fn workers_dead(&self) -> bool {
+        if self.pool_dead.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.workers_configured.load(Ordering::Relaxed) > 0
+            && !self.supervised.load(Ordering::Relaxed)
+            && self.workers_alive.load(Ordering::SeqCst) <= 0
+    }
+
     /// Readiness for load-balancer probes: accepting new work (not
-    /// draining, not saturated).
+    /// draining, not saturated, workers able to answer).
     pub fn accepting(&self) -> bool {
-        !self.draining() && !self.saturated()
+        !self.draining() && !self.saturated() && !self.workers_dead()
     }
 
     fn queue_inc(&self) {
@@ -136,80 +209,304 @@ impl TransportState {
         let d = self.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
         tpp_obs::metrics().gauge("serve.queue_depth").set(d as f64);
     }
+
+    fn worker_started(&self) {
+        let n = self.workers_alive.fetch_add(1, Ordering::SeqCst) + 1;
+        tpp_obs::metrics()
+            .gauge("serve.workers_alive")
+            .set(n.max(0) as f64);
+    }
+
+    fn worker_exited(&self) {
+        let n = self.workers_alive.fetch_sub(1, Ordering::SeqCst) - 1;
+        tpp_obs::metrics()
+            .gauge("serve.workers_alive")
+            .set(n.max(0) as f64);
+    }
+}
+
+/// Counts a recovered lock poisoning: the panic that poisoned the lock
+/// is already being handled elsewhere; the plain data under these locks
+/// (an output byte stream, a queue receiver) is never left in a torn
+/// state, so the right response is to keep serving, loudly.
+fn count_lock_recovered(which: &'static str) {
+    tpp_obs::metrics().counter("serve.lock_recovered").inc();
+    obs_event!(Level::Warn, "serve.lock_recovered", lock = which);
 }
 
 /// Writes one response line under the connection's output lock.
 /// Returns whether the write (and flush) reached the peer — a dead
 /// client must not kill the daemon, but the failure is counted.
+///
+/// A poisoned lock is recovered, not propagated: the writer is a plain
+/// byte sink (the worst a mid-`writeln!` panic leaves behind is a torn
+/// line the client's framing already tolerates), and propagating would
+/// cascade one worker's death into every worker that shares the sink.
 pub(crate) fn write_response(out: &SharedWriter, line: &str) -> bool {
-    let mut out = out.lock().expect("output lock poisoned");
+    let mut out = out.lock().unwrap_or_else(|poisoned| {
+        count_lock_recovered("output");
+        poisoned.into_inner()
+    });
     writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
 }
 
-/// The bounded queue + worker threads shared by every connection of a
-/// transport. Dropping the sender (via [`WorkerPool::shutdown`]) lets
-/// workers drain everything already queued, then exit — that is the
-/// "answer every in-flight request" half of graceful drain.
+/// Per-worker heartbeat/progress word, shared with the supervisor.
+#[derive(Debug, Default)]
+struct WorkerCtl {
+    /// 0 = idle; otherwise (ms since pool epoch when the current job
+    /// was dequeued) + 1. The supervisor compares this against the
+    /// wedge budget.
+    busy_since_ms: AtomicU64,
+    /// Jobs completed by this worker (progress, for stats/debugging).
+    jobs_done: AtomicU64,
+    /// Set by the supervisor when it has retired this worker (wedged):
+    /// the worker exits after finishing its current job instead of
+    /// dequeuing another.
+    replaced: AtomicBool,
+    /// Set by the worker on a normal exit (queue closed or retired) —
+    /// a finished thread without this flag died of a panic.
+    exited_clean: AtomicBool,
+}
+
+/// Rescues a dying worker's in-flight job: if this guard drops while
+/// still armed, `handle_line` is unwinding, and the client would never
+/// get a response — so the guard writes a terminal error response
+/// (echoing the id) during the unwind. Everything it calls is
+/// panic-free plain code, so the unwind cannot double-panic.
+struct JobRescue<'a> {
+    engine: &'a ServeEngine,
+    job: &'a Job,
+    armed: bool,
+}
+
+impl Drop for JobRescue<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let t = &self.engine.transport;
+        t.worker_rescued.fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.worker_rescued").inc();
+        obs_event!(Level::Error, "serve.job_rescued");
+        let response = self.engine.worker_crash_response(&self.job.line);
+        let delivered = write_response(&self.job.out, &response);
+        if let Some(track) = &self.job.track {
+            track.responses.fetch_add(1, Ordering::Relaxed);
+        }
+        if !delivered {
+            t.undeliverable_responses.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.write_failed").inc();
+        }
+    }
+}
+
+/// Decrements `workers_alive` however the worker thread exits —
+/// normal return or panic unwind.
+struct AliveGuard<'a>(&'a TransportState);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.worker_exited();
+    }
+}
+
+/// The body of one worker thread: dequeue, stamp the heartbeat, answer,
+/// stamp progress. Exits when the queue closes or the supervisor has
+/// retired it.
+fn worker_loop(
+    engine: Arc<ServeEngine>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+    ctl: Arc<WorkerCtl>,
+    epoch: Instant,
+) {
+    let _alive = AliveGuard(&engine.transport);
+    loop {
+        if ctl.replaced.load(Ordering::SeqCst) {
+            break; // retired by the supervisor; a replacement is running
+        }
+        // Hold the receiver lock only while dequeuing. A poisoned lock
+        // is recovered: the channel itself is not corruptible by an
+        // unwinding holder, and giving up here would kill every worker
+        // in turn.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| {
+                count_lock_recovered("queue");
+                poisoned.into_inner()
+            });
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => break, // sender dropped and queue drained
+            }
+        };
+        ctl.busy_since_ms
+            .store(epoch.elapsed().as_millis() as u64 + 1, Ordering::SeqCst);
+        let t = &engine.transport;
+        t.queue_dec();
+        if t.draining() {
+            t.drained_in_flight.fetch_add(1, Ordering::Relaxed);
+        }
+        let wait_us = job.enqueued.elapsed().as_micros() as u64;
+        tpp_obs::metrics()
+            .histogram("serve.queue_wait_us")
+            .record(wait_us);
+        // The request's trace context spans the whole worker turn; the
+        // closing `serve.job` event names the root span and carries the
+        // end-to-end duration so reconstruction can close it.
+        let _trace = tpp_obs::trace::enter(job.trace);
+        obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
+        let mut rescue = JobRescue {
+            engine: &engine,
+            job: &job,
+            armed: true,
+        };
+        let response = engine.handle_line(&job.line);
+        rescue.armed = false;
+        drop(rescue);
+        let delivered = write_response(&job.out, &response);
+        if let Some(track) = &job.track {
+            track.responses.fetch_add(1, Ordering::Relaxed);
+        }
+        if !delivered {
+            t.undeliverable_responses.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.write_failed").inc();
+            obs_event!(Level::Warn, "serve.response_undeliverable", path = "worker");
+        }
+        obs_event!(
+            Level::Debug,
+            "serve.job",
+            duration_us = job.enqueued.elapsed().as_micros() as u64,
+            queue_wait_us = wait_us,
+        );
+        ctl.jobs_done.fetch_add(1, Ordering::Relaxed);
+        ctl.busy_since_ms.store(0, Ordering::SeqCst);
+    }
+    ctl.exited_clean.store(true, Ordering::SeqCst);
+}
+
+/// One supervised worker slot.
+struct WorkerSlot {
+    handle: Option<std::thread::JoinHandle<()>>,
+    ctl: Arc<WorkerCtl>,
+    /// Death already counted/dumped (avoid re-noting every tick while
+    /// waiting out the restart backoff).
+    death_noted: bool,
+    /// Respawn no earlier than this.
+    respawn_after: Option<Instant>,
+}
+
+struct PoolState {
+    slots: Vec<WorkerSlot>,
+    /// Wedged workers retired from their slot: they finish (or not) on
+    /// their own time and are joined at shutdown.
+    retired: Vec<std::thread::JoinHandle<()>>,
+    restarts_used: u32,
+}
+
+/// The bounded queue + supervised worker threads shared by every
+/// connection of a transport. Dropping the sender (via
+/// [`WorkerPool::shutdown`]) lets workers drain everything already
+/// queued, then exit — that is the "answer every in-flight request"
+/// half of graceful drain.
 pub(crate) struct WorkerPool {
     tx: SyncSender<Job>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+    engine: Arc<ServeEngine>,
+    state: Arc<Mutex<PoolState>>,
+    stop: Arc<AtomicBool>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+fn lock_pool(state: &Mutex<PoolState>) -> std::sync::MutexGuard<'_, PoolState> {
+    // Plain-data critical section: a poisoned lock is still valid.
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spawn_worker(
+    engine: &Arc<ServeEngine>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    epoch: Instant,
+) -> (std::thread::JoinHandle<()>, Arc<WorkerCtl>) {
+    let ctl = Arc::new(WorkerCtl::default());
+    // Count the worker alive before its thread runs, so a supervisor
+    // tick between spawn and first instruction never sees a dead pool.
+    engine.transport.worker_started();
+    let handle = {
+        let engine = Arc::clone(engine);
+        let rx = Arc::clone(rx);
+        let ctl = Arc::clone(&ctl);
+        std::thread::spawn(move || worker_loop(engine, rx, ctl, epoch))
+    };
+    (handle, ctl)
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads over a queue of `capacity` jobs.
-    pub(crate) fn spawn(engine: Arc<ServeEngine>, workers: usize, capacity: usize) -> WorkerPool {
+    /// Spawns `workers` threads over a queue of `capacity` jobs,
+    /// supervised per `config`.
+    pub(crate) fn spawn_with(
+        engine: Arc<ServeEngine>,
+        workers: usize,
+        capacity: usize,
+        config: SupervisorConfig,
+    ) -> WorkerPool {
         let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
             std::sync::mpsc::sync_channel(capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let mut handles = Vec::with_capacity(workers.max(1));
-        for _ in 0..workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let engine = Arc::clone(&engine);
-            handles.push(std::thread::spawn(move || loop {
-                // Hold the receiver lock only while dequeuing.
-                let job = match rx.lock().expect("queue lock poisoned").recv() {
-                    Ok(job) => job,
-                    Err(_) => break, // sender dropped and queue drained
-                };
-                let t = &engine.transport;
-                t.queue_dec();
-                if t.draining() {
-                    t.drained_in_flight.fetch_add(1, Ordering::Relaxed);
-                }
-                let wait_us = job.enqueued.elapsed().as_micros() as u64;
-                tpp_obs::metrics()
-                    .histogram("serve.queue_wait_us")
-                    .record(wait_us);
-                // The request's trace context spans the whole worker
-                // turn; the closing `serve.job` event names the root
-                // span and carries the end-to-end duration so
-                // reconstruction can close it.
-                let _trace = tpp_obs::trace::enter(job.trace);
-                obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
-                let response = engine.handle_line(&job.line);
-                let delivered = write_response(&job.out, &response);
-                if let Some(track) = &job.track {
-                    track.responses.fetch_add(1, Ordering::Relaxed);
-                }
-                if !delivered {
-                    t.undeliverable_responses.fetch_add(1, Ordering::Relaxed);
-                    tpp_obs::metrics().counter("serve.write_failed").inc();
-                    obs_event!(Level::Warn, "serve.response_undeliverable", path = "worker");
-                }
-                obs_event!(
-                    Level::Debug,
-                    "serve.job",
-                    duration_us = job.enqueued.elapsed().as_micros() as u64,
-                    queue_wait_us = wait_us,
-                );
-            }));
+        let epoch = Instant::now();
+        let workers = workers.max(1);
+        engine
+            .transport
+            .workers_configured
+            .store(workers as u64, Ordering::Relaxed);
+        engine
+            .transport
+            .supervised
+            .store(config.enabled, Ordering::Relaxed);
+        let mut slots = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (handle, ctl) = spawn_worker(&engine, &rx, epoch);
+            slots.push(WorkerSlot {
+                handle: Some(handle),
+                ctl,
+                death_noted: false,
+                respawn_after: None,
+            });
         }
-        WorkerPool { tx, handles }
+        let state = Arc::new(Mutex::new(PoolState {
+            slots,
+            retired: Vec::new(),
+            restarts_used: 0,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = config.enabled.then(|| {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(config.poll_interval);
+                    supervise_tick(&engine, &rx, &state, &config, epoch);
+                }
+            })
+        });
+        WorkerPool {
+            tx,
+            rx,
+            engine,
+            state,
+            stop,
+            supervisor,
+        }
     }
 
     /// Enqueues a job, or hands it back when the bounded queue is full
-    /// (the caller sheds with an `overloaded` response).
+    /// or the pool can never answer it (the caller sheds with a
+    /// terminal response).
     pub(crate) fn try_submit(&self, engine: &ServeEngine, job: Job) -> Result<(), Job> {
+        if engine.transport.workers_dead() {
+            return Err(job);
+        }
         match self.tx.try_send(job) {
             Ok(()) => {
                 engine.transport.queue_inc();
@@ -219,12 +516,164 @@ impl WorkerPool {
         }
     }
 
-    /// Stops accepting new jobs, answers everything queued, and joins
-    /// the workers.
+    /// Stops the supervisor, stops accepting new jobs, answers
+    /// everything queued, and joins the workers. Jobs a dead pool left
+    /// in the queue are answered inline here — shutdown is the last
+    /// chance to keep the one-response-per-request contract.
     pub(crate) fn shutdown(self) {
-        drop(self.tx);
-        for h in self.handles {
-            let _ = h.join();
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(sup) = self.supervisor {
+            let _ = sup.join();
         }
+        drop(self.tx);
+        {
+            let mut state = lock_pool(&self.state);
+            for slot in &mut state.slots {
+                if let Some(handle) = slot.handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            for handle in state.retired.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        // Post-mortem drain: a pool whose workers all died before the
+        // sender dropped leaves jobs in the channel. Answer them inline
+        // (with panic isolation — one of them may be the poison that
+        // killed the pool).
+        let rx = self.rx.lock().unwrap_or_else(|poisoned| {
+            count_lock_recovered("queue");
+            poisoned.into_inner()
+        });
+        while let Ok(job) = rx.try_recv() {
+            self.engine.transport.queue_dec();
+            let response = catch_unwind(AssertUnwindSafe(|| self.engine.handle_line(&job.line)))
+                .unwrap_or_else(|_| self.engine.worker_crash_response(&job.line));
+            let delivered = write_response(&job.out, &response);
+            if let Some(track) = &job.track {
+                track.responses.fetch_add(1, Ordering::Relaxed);
+            }
+            if !delivered {
+                self.engine
+                    .transport
+                    .undeliverable_responses
+                    .fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.write_failed").inc();
+            }
+            obs_event!(Level::Warn, "serve.postmortem_answered");
+        }
+    }
+}
+
+/// One supervisor pass over the slots: note deaths, respawn within
+/// budget, retire wedged workers, and declare the pool dead when
+/// nothing can ever answer again.
+fn supervise_tick(
+    engine: &Arc<ServeEngine>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    state: &Mutex<PoolState>,
+    config: &SupervisorConfig,
+    epoch: Instant,
+) {
+    let t = &engine.transport;
+    let now = Instant::now();
+    let now_ms = epoch.elapsed().as_millis() as u64;
+    let mut state = lock_pool(state);
+    let PoolState {
+        slots,
+        retired,
+        restarts_used,
+    } = &mut *state;
+    for slot in slots.iter_mut() {
+        let finished = slot.handle.as_ref().map_or(true, |h| h.is_finished());
+        if finished {
+            if slot.ctl.exited_clean.load(Ordering::SeqCst) {
+                continue; // normal drain exit, not a death
+            }
+            if !slot.death_noted {
+                slot.death_noted = true;
+                slot.respawn_after = Some(now + config.restart_backoff);
+                t.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.worker_deaths").inc();
+                obs_event!(
+                    Level::Error,
+                    "serve.worker_died",
+                    jobs_done = slot.ctl.jobs_done.load(Ordering::Relaxed),
+                );
+                engine.dump_flight("worker");
+            }
+            let due = slot.respawn_after.map_or(true, |at| now >= at);
+            if due && *restarts_used < config.max_restarts {
+                if let Some(handle) = slot.handle.take() {
+                    let _ = handle.join(); // finished; reclaim promptly
+                }
+                let (handle, ctl) = spawn_worker(engine, rx, epoch);
+                slot.handle = Some(handle);
+                slot.ctl = ctl;
+                slot.death_noted = false;
+                slot.respawn_after = None;
+                *restarts_used += 1;
+                t.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.worker_restarts").inc();
+                obs_event!(
+                    Level::Warn,
+                    "serve.worker_respawned",
+                    restarts_used = *restarts_used as u64,
+                    max_restarts = config.max_restarts as u64,
+                );
+            }
+            continue;
+        }
+        // Wedge detection: busy on one job past the progress budget.
+        if let Some(budget) = config.wedge_budget {
+            let busy = slot.ctl.busy_since_ms.load(Ordering::SeqCst);
+            let wedged = busy != 0
+                && now_ms.saturating_sub(busy - 1) > budget.as_millis() as u64
+                && !slot.ctl.replaced.load(Ordering::SeqCst);
+            if wedged {
+                slot.ctl.replaced.store(true, Ordering::SeqCst);
+                t.worker_wedged.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.worker_wedged").inc();
+                obs_event!(
+                    Level::Error,
+                    "serve.worker_wedged",
+                    busy_ms = now_ms.saturating_sub(busy - 1),
+                    budget_ms = budget.as_millis() as u64,
+                );
+                engine.dump_flight("wedged");
+                if let Some(handle) = slot.handle.take() {
+                    retired.push(handle);
+                }
+                if *restarts_used < config.max_restarts {
+                    let (handle, ctl) = spawn_worker(engine, rx, epoch);
+                    slot.handle = Some(handle);
+                    slot.ctl = ctl;
+                    slot.death_noted = false;
+                    slot.respawn_after = None;
+                    *restarts_used += 1;
+                    t.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.worker_restarts").inc();
+                } else {
+                    // Budget spent: the slot stays empty; the retired
+                    // worker may still finish its job eventually.
+                    slot.ctl.exited_clean.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+    // The pool is dead when no worker is alive and no respawn can ever
+    // happen. (While the backoff window is open or budget remains,
+    // alive == 0 is a transient state, not death.)
+    if t.workers_alive.load(Ordering::SeqCst) <= 0
+        && *restarts_used >= config.max_restarts
+        && !t.pool_dead.swap(true, Ordering::SeqCst)
+    {
+        tpp_obs::metrics().counter("serve.pool_dead").inc();
+        obs_event!(
+            Level::Error,
+            "serve.pool_dead",
+            restarts_used = *restarts_used as u64,
+        );
+        engine.dump_flight("pool");
     }
 }

@@ -1,0 +1,455 @@
+//! Self-healing integration suite: worker supervision, the poison-pill
+//! quarantine, and the checkpoint-store circuit breaker.
+//!
+//! The invariants under test extend the chaos suite's availability
+//! contract to faults that used to be fatal:
+//!
+//! 1. **A panic escaping per-request isolation kills one worker, not
+//!    the daemon** — the in-flight request is rescued with a terminal
+//!    response and the supervisor respawns the slot.
+//! 2. **A daemon whose whole pool died never accepts-and-starves** —
+//!    with no restart budget, `health` flips to `accepting: false`.
+//! 3. **A wedged worker is replaced** — the stuck request still
+//!    answers when it unsticks, but new requests stop waiting for it.
+//! 4. **The store breaker trips on consecutive transient failures and
+//!    recovers through a half-open probe.**
+//! 5. **A request key that repeatedly panics is quarantined** — served
+//!    degraded for a cooldown instead of being fed to more workers.
+
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tpp_obs::json::{parse, Json};
+use tpp_rl::{QTable, TrainCheckpoint};
+use tpp_serve::{
+    serve_lines, BackoffPolicy, BreakerConfig, QuarantineConfig, ServeConfig, ServeEngine,
+    ServerConfig, SupervisorConfig,
+};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tpp-serve-supervise-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn get<'a>(v: &'a Json, k: &str) -> &'a Json {
+    v.get(k)
+        .unwrap_or_else(|| panic!("missing field {k:?} in {v:?}"))
+}
+
+/// Writes one valid checkpoint generation for ds-ct to `dir`.
+fn seed_checkpoint(dir: &std::path::Path) {
+    let (instance, _) = tpp_serve::resolve_dataset("ds-ct").unwrap();
+    let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, dir, 1);
+    set.save(&TrainCheckpoint {
+        q: QTable::square(instance.catalog.len()),
+        episode: 1,
+        sched_pos: 1,
+        rng_state: [1, 2, 3, 4],
+        visits: vec![],
+        returns: vec![0.0],
+    })
+    .unwrap();
+}
+
+fn handle(engine: &ServeEngine, line: &str) -> Json {
+    let response = engine.handle_line(line);
+    parse(&response).unwrap_or_else(|e| panic!("invalid response json {response:?}: {e}"))
+}
+
+/// A blocking reader fed line-by-line from the test thread, so a test
+/// can interleave "send a request" with "wait for the supervisor to
+/// act" instead of racing a pre-baked byte buffer against it.
+struct ChannelReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ChannelReader {
+    fn pair() -> (Sender<Vec<u8>>, ChannelReader) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            tx,
+            ChannelReader {
+                rx,
+                buf: Vec::new(),
+                pos: 0,
+            },
+        )
+    }
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // sender dropped: EOF
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+struct SharedOut(Arc<Mutex<Vec<u8>>>);
+impl std::io::Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn responses_of(out: &Arc<Mutex<Vec<u8>>>) -> Vec<Json> {
+    let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    text.lines().map(|l| parse(l).unwrap()).collect()
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn killed_worker_is_respawned_and_its_request_rescued() {
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        chaos: "kill@3".parse().unwrap(),
+        ..ServeConfig::default()
+    }));
+    let (tx, reader) = ChannelReader::pair();
+    let out: Arc<Mutex<Vec<u8>>> = Arc::default();
+    let session = {
+        let engine = Arc::clone(&engine);
+        let out = SharedOut(Arc::clone(&out));
+        std::thread::spawn(move || {
+            serve_lines(
+                engine,
+                reader,
+                out,
+                &ServerConfig {
+                    workers: 2,
+                    supervisor: SupervisorConfig {
+                        poll_interval: Duration::from_millis(5),
+                        restart_backoff: Duration::from_millis(10),
+                        ..SupervisorConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+        })
+    };
+    for i in 1..=8 {
+        tx.send(format!("{{\"op\":\"health\",\"id\":\"h{i}\"}}\n").into_bytes())
+            .unwrap();
+    }
+    // One of those eight dequeues hits kill@3 and takes its worker
+    // down; the supervisor must notice the death and respawn the slot.
+    wait_until("a worker respawn", Duration::from_secs(5), || {
+        engine.transport.worker_restarts.load(Ordering::Relaxed) >= 1
+    });
+    tx.send(b"{\"op\":\"health\",\"id\":\"after\"}\n".to_vec())
+        .unwrap();
+    drop(tx);
+    let summary = session.join().unwrap();
+
+    assert_eq!(summary.received, 9);
+    let responses = responses_of(&out);
+    assert_eq!(responses.len(), 9, "every request answered exactly once");
+    let rescued: Vec<&Json> = responses
+        .iter()
+        .filter(|r| r.get("rescued") == Some(&Json::Bool(true)))
+        .collect();
+    assert_eq!(
+        rescued.len(),
+        1,
+        "the killed worker's in-flight request got a terminal rescue response"
+    );
+    assert_eq!(get(rescued[0], "ok"), &Json::Bool(false));
+    // The post-respawn request was served by a live worker, not rescued.
+    let after = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("after"))
+        .expect("post-respawn request answered");
+    assert_eq!(get(after, "ok"), &Json::Bool(true));
+    assert_eq!(
+        engine.transport.worker_deaths.load(Ordering::Relaxed),
+        1,
+        "exactly one worker died"
+    );
+    assert!(engine.transport.worker_restarts.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn dead_pool_without_restart_budget_stops_accepting_instead_of_starving() {
+    // One worker, zero restart budget: after kill@1 the pool is dead
+    // for good. The regression this guards: the daemon used to keep
+    // queueing requests nobody would ever dequeue.
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        chaos: "kill@1".parse().unwrap(),
+        ..ServeConfig::default()
+    }));
+    let (tx, reader) = ChannelReader::pair();
+    let out: Arc<Mutex<Vec<u8>>> = Arc::default();
+    let session = {
+        let engine = Arc::clone(&engine);
+        let out = SharedOut(Arc::clone(&out));
+        std::thread::spawn(move || {
+            serve_lines(
+                engine,
+                reader,
+                out,
+                &ServerConfig {
+                    workers: 1,
+                    supervisor: SupervisorConfig {
+                        poll_interval: Duration::from_millis(5),
+                        max_restarts: 0,
+                        ..SupervisorConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+        })
+    };
+    tx.send(b"{\"op\":\"plan\",\"dataset\":\"ds-ct\",\"episodes\":5,\"id\":\"kill\"}\n".to_vec())
+        .unwrap();
+    // The supervisor notices the death, has no budget, and declares the
+    // pool dead — which must flip readiness off.
+    wait_until(
+        "the pool to be declared dead",
+        Duration::from_secs(5),
+        || engine.transport.workers_dead(),
+    );
+    assert!(
+        !engine.transport.accepting(),
+        "a dead pool must not advertise readiness"
+    );
+    // A probe on the live session is answered inline (not queued into
+    // the void) and tells the truth.
+    tx.send(b"{\"op\":\"health\",\"id\":\"probe\"}\n".to_vec())
+        .unwrap();
+    wait_until("the inline health response", Duration::from_secs(5), || {
+        responses_of(&out)
+            .iter()
+            .any(|r| r.get("id").and_then(Json::as_str) == Some("probe"))
+    });
+    drop(tx);
+    let summary = session.join().unwrap();
+
+    assert_eq!(summary.received, 2);
+    let responses = responses_of(&out);
+    assert_eq!(responses.len(), 2, "no request starved");
+    let probe = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("probe"))
+        .unwrap();
+    assert_eq!(
+        get(probe, "accepting"),
+        &Json::Bool(false),
+        "health on a dead pool reports not-accepting: {probe:?}"
+    );
+    assert_eq!(get(probe, "workers_alive").as_f64(), Some(0.0), "{probe:?}");
+    // The killed request itself was rescued during the unwind.
+    let killed = responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("kill"))
+        .unwrap();
+    assert_eq!(get(killed, "rescued"), &Json::Bool(true));
+}
+
+#[test]
+fn wedged_worker_is_replaced_and_the_stuck_request_still_answers() {
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        chaos: "wedge@1:400".parse().unwrap(),
+        ..ServeConfig::default()
+    }));
+    let (tx, reader) = ChannelReader::pair();
+    let out: Arc<Mutex<Vec<u8>>> = Arc::default();
+    let session = {
+        let engine = Arc::clone(&engine);
+        let out = SharedOut(Arc::clone(&out));
+        std::thread::spawn(move || {
+            serve_lines(
+                engine,
+                reader,
+                out,
+                &ServerConfig {
+                    workers: 1,
+                    supervisor: SupervisorConfig {
+                        poll_interval: Duration::from_millis(5),
+                        wedge_budget: Some(Duration::from_millis(50)),
+                        restart_backoff: Duration::from_millis(5),
+                        ..SupervisorConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+        })
+    };
+    tx.send(b"{\"op\":\"recommend\",\"dataset\":\"ds-ct\",\"id\":\"stuck\"}\n".to_vec())
+        .unwrap();
+    // The lone worker wedges on request 1 for 400 ms, far past the
+    // 50 ms budget: the supervisor must retire it and spawn a
+    // replacement that picks up new work immediately.
+    wait_until("the wedge replacement", Duration::from_secs(5), || {
+        engine.transport.worker_wedged.load(Ordering::Relaxed) >= 1
+            && engine.transport.worker_restarts.load(Ordering::Relaxed) >= 1
+    });
+    let replaced_at = Instant::now();
+    tx.send(b"{\"op\":\"health\",\"id\":\"fresh\"}\n".to_vec())
+        .unwrap();
+    wait_until("the replacement to answer", Duration::from_secs(5), || {
+        responses_of(&out)
+            .iter()
+            .any(|r| r.get("id").and_then(Json::as_str) == Some("fresh"))
+    });
+    // The fresh request must not have waited out the 400 ms wedge.
+    assert!(
+        replaced_at.elapsed() < Duration::from_millis(350),
+        "the replacement worker answered while the wedged one was still stuck"
+    );
+    drop(tx);
+    let summary = session.join().unwrap();
+
+    assert_eq!(summary.received, 2);
+    let responses = responses_of(&out);
+    assert_eq!(responses.len(), 2, "the wedged request still answered");
+    for id in ["stuck", "fresh"] {
+        let r = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("missing response for {id}"));
+        assert_eq!(get(r, "ok"), &Json::Bool(true), "{r:?}");
+    }
+    assert_eq!(engine.transport.worker_wedged.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        engine.transport.worker_deaths.load(Ordering::Relaxed),
+        0,
+        "a wedge is a replacement, not a death"
+    );
+}
+
+#[test]
+fn breaker_trips_on_consecutive_failures_and_recovers_via_probe() {
+    let dir = temp_dir("breaker");
+    seed_checkpoint(&dir);
+    let mut config = ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        // Flaky loads must fail fast so each request costs one breaker
+        // failure, not a retry loop's worth of sleeps.
+        backoff: BackoffPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        },
+        breaker: BreakerConfig {
+            enabled: true,
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(60),
+        },
+        chaos: "flaky@1:2".parse().unwrap(),
+        ..ServeConfig::default()
+    };
+    // Cache hits bypass the store entirely; the breaker only sees
+    // traffic when every recommend actually loads.
+    config.cache.enabled = false;
+    let engine = ServeEngine::new(config);
+    let line = r#"{"op":"recommend","dataset":"ds-ct","id":"rq"}"#;
+
+    // Two consecutive transient failures: threshold reached, trips open.
+    for i in 1..=2 {
+        let r = handle(&engine, line);
+        assert_eq!(get(&r, "tier").as_str(), Some("eda"), "request {i}: {r:?}");
+    }
+    assert_eq!(engine.breaker.state_name(), "open");
+    assert_eq!(engine.breaker.opens(), 1);
+
+    // While open, requests fast-fail to EDA without touching the store.
+    let r = handle(&engine, line);
+    assert_eq!(get(&r, "tier").as_str(), Some("eda"), "{r:?}");
+    assert!(
+        matches!(get(&r, "fallbacks"), Json::Arr(f) if f.iter().any(
+            |x| x.as_str().is_some_and(|s| s.contains("breaker open")))),
+        "the fast-fail names the breaker: {r:?}"
+    );
+    assert!(engine.breaker.fast_fails() >= 1);
+
+    // After the cooldown the half-open probe runs a real load (the
+    // flaky burst is spent), succeeds, and closes the breaker.
+    std::thread::sleep(Duration::from_millis(80));
+    let r = handle(&engine, line);
+    assert_eq!(
+        get(&r, "tier").as_str(),
+        Some("policy"),
+        "the probe's successful load serves the policy tier: {r:?}"
+    );
+    assert_eq!(engine.breaker.state_name(), "closed");
+    assert_eq!(engine.breaker.closes(), 1);
+    assert!(engine.breaker.probes() >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_panics_quarantine_the_key_until_the_ttl_expires() {
+    let engine = ServeEngine::new(ServeConfig {
+        quarantine: QuarantineConfig {
+            enabled: true,
+            strikes: 2,
+            cooldown: Duration::from_millis(200),
+            max_entries: 16,
+        },
+        chaos: "panic@1,panic@2".parse().unwrap(),
+        ..ServeConfig::default()
+    });
+    let line = r#"{"op":"recommend","dataset":"ds-ct","id":"pq"}"#;
+
+    // Two panics on the identical key: both answered degraded, and the
+    // second strike crosses the threshold.
+    for i in 1..=2 {
+        let r = handle(&engine, line);
+        assert_eq!(get(&r, "ok"), &Json::Bool(true), "request {i}: {r:?}");
+        assert_eq!(get(&r, "degraded"), &Json::Bool(true), "request {i}");
+    }
+    assert_eq!(engine.quarantine.len(), 1);
+
+    // The identical request is now served from quarantine: degraded,
+    // marked, and *without* running the primary tier again.
+    let r = handle(&engine, line);
+    assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+    assert_eq!(get(&r, "quarantined"), &Json::Bool(true), "{r:?}");
+    assert!(
+        matches!(get(&r, "fallbacks"), Json::Arr(f) if f.iter().any(
+            |x| x.as_str().is_some_and(|s| s.contains("quarantined")))),
+        "{r:?}"
+    );
+
+    // A *different* key is unaffected.
+    let other = handle(
+        &engine,
+        r#"{"op":"plan","dataset":"ds-ct","episodes":5,"seed":9,"id":"other"}"#,
+    );
+    assert_eq!(get(&other, "ok"), &Json::Bool(true));
+    assert!(other.get("quarantined").is_none(), "{other:?}");
+
+    // After the TTL the key is released and served normally again.
+    std::thread::sleep(Duration::from_millis(250));
+    let r = handle(&engine, line);
+    assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+    assert!(r.get("quarantined").is_none(), "the TTL expired: {r:?}");
+    assert_eq!(engine.quarantine.len(), 0);
+}

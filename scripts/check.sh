@@ -45,9 +45,15 @@ run cargo test -q -p rl-planner-cli --test serve_daemon
 # every line parses, every serve event carries trace ids, and the
 # --metrics snapshot re-renders as Prometheus text via `obs`.
 run cargo test -q -p rl-planner-cli --test obs_schema
+# Self-healing suite: killed workers respawn with their requests
+# rescued, a dead pool stops accepting instead of starving, wedged
+# workers are replaced, the checkpoint-store breaker trips and
+# recovers, and repeat-panicking keys are quarantined.
+run cargo test -q -p tpp-serve --test supervise
 # Load harness smoke: open-loop TCP storm under chaos through the real
 # binary; fails on any connection closed without a terminal response or
-# a daemon that stops accepting after the storm.
+# a daemon that stops accepting after the storm — including the
+# worker-killing storm gated on restarts and breaker recovery.
 run cargo test -q -p rl-planner-cli --test load_bench
 if [[ $quick -eq 0 ]]; then
   run cargo build --release -p rl-planner-cli
@@ -55,5 +61,14 @@ if [[ $quick -eq 0 ]]; then
     --episodes 40 --deadline-ms 250 --workers 4 --capacity 128 \
     --chaos 'panic@10,stall@25:100,flaky@40' --seed 7 -q \
     --out /tmp/BENCH_load_check.json
+  # Worker-killing storm: must report >=1 supervisor respawn and a
+  # breaker that tripped open and closed again, or exit 1.
+  run ./target/release/rl-planner bench --load --rate 120 --duration-s 3 \
+    --episodes 20 --deadline-ms 150 --workers 4 --capacity 128 \
+    --chaos 'kill@10,kill@40,wedge@25:300,flaky@70:40' \
+    --profile 'hot=30,cold=10,recommend=40,malformed=10,slow=10' \
+    --require-restarts --require-breaker-recovered --seed 11 -q \
+    --flight-dir /tmp/tpp-flight-check \
+    --out /tmp/BENCH_selfheal_check.json
 fi
 echo "All checks passed."
