@@ -117,6 +117,7 @@ const USAGE: &str = "usage:
                    [--no-supervise] [--wedge-ms N] [--max-restarts N]
                    [--breaker-threshold N] [--breaker-cooldown-ms N]
                    [--quarantine-after N] [--quarantine-ttl-ms N]
+                   [--batch-max N] [--batch-wait-us N]
   rl-planner obs metrics SNAPSHOT.json [--format prom|text|json]
   rl-planner obs trace TRACE.jsonl [--trace-id HEX]
   rl-planner datagen --dataset <name> --out dataset.json
@@ -129,6 +130,8 @@ const USAGE: &str = "usage:
                    [--dataset <name>] [--episodes N] [--deadline-ms N] [--seed N]
                    [--capacity N] [--workers N] [--max-conns N]
                    [--require-restarts] [--require-breaker-recovered]
+                   [--batch-max N] [--batch-wait-us N]
+                   [--compare-batching] [--require-batching]
                    [--out BENCH_load.json]
 exit codes:
   0   success
@@ -169,6 +172,11 @@ self-healing (serve):
                           (default 3)
   --quarantine-ttl-ms N   quarantine cooldown; identical requests get a degraded
                           answer until it expires (default 10000)
+batching (serve, bench --load):
+  --batch-max N           max same-key jobs answered per dequeue from one policy
+                          resolution (default 16; 1 disables batching)
+  --batch-wait-us N       linger this long for more same-key jobs when below the
+                          cap (default 0: batch only from existing backlog)
 observability (obs):
   obs metrics FILE        re-render a --metrics JSON snapshot (prom, text or json)
   obs trace FILE          reconstruct span trees from a --trace JSONL file
@@ -201,6 +209,12 @@ load bench (bench --load):
                           disable the policy cache so recommend traffic hits the
                           store, then fail unless the breaker tripped open and
                           closed again before the drain (in-process daemon only)
+  --profile hot-heavy     named preset (hot=92,cold=6,malformed=1,slow=1): a
+                          near-pure same-key storm built to form batches
+  --compare-batching      run an unbatched (--batch-max 1) baseline storm first
+                          and record both p99s in the report's batching object
+  --require-batching      fail unless the storm formed >= 1 batch and amortized
+                          >= 1 policy resolution (in-process daemon only)
   fails unless zero connections closed without a terminal response and
   the daemon still answers health with accepting:true after the storm
 global flags (anywhere on the line):
@@ -313,6 +327,8 @@ impl<'a> Flags<'a> {
                         | "no-supervise"
                         | "require-restarts"
                         | "require-breaker-recovered"
+                        | "require-batching"
+                        | "compare-batching"
                 ) {
                     switches.push(key);
                     i += 1;
@@ -774,12 +790,17 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
             if let Some(n) = parse_u64("max-restarts")? {
                 supervisor.max_restarts = n as u32;
             }
+            let batch = tpp_serve::BatchConfig {
+                max: parse_u64("batch-max")?.unwrap_or(16).max(1) as usize,
+                linger: std::time::Duration::from_micros(parse_u64("batch-wait-us")?.unwrap_or(0)),
+            };
             let server = tpp_serve::ServerConfig {
                 capacity: parse_u64("capacity")?.unwrap_or(64) as usize,
                 workers: parse_u64("workers")?.unwrap_or(2) as usize,
                 max_requests: parse_u64("max-requests")?,
                 max_line_bytes: parse_u64("max-line-bytes")?.unwrap_or(256 * 1024) as usize,
                 supervisor: supervisor.clone(),
+                batch: batch.clone(),
             };
             let engine = Arc::new(tpp_serve::ServeEngine::new(config));
             match (flags.get("tcp"), flags.get("socket")) {
@@ -797,6 +818,7 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                         workers: server.workers,
                         accept_limit: parse_u64("accept-limit")?,
                         supervisor,
+                        batch,
                     };
                     let srv = tpp_serve::TcpServer::bind(Arc::clone(&engine), addr, tcp)
                         .map_err(|e| format!("tcp bind {addr} failed: {e}"))?;
@@ -1173,13 +1195,23 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         .map_err(|e| format!("bad --profile: {e}"))?;
     let require_restarts = flags.has("require-restarts");
     let require_breaker = flags.has("require-breaker-recovered");
-    if (require_restarts || require_breaker) && flags.get("addr").is_some() {
+    let require_batching = flags.has("require-batching");
+    let compare_batching = flags.has("compare-batching");
+    if (require_restarts || require_breaker || require_batching || compare_batching)
+        && flags.get("addr").is_some()
+    {
         return Err(
-            "--require-restarts / --require-breaker-recovered need the in-process daemon \
-             (drop --addr)"
+            "--require-restarts / --require-breaker-recovered / --require-batching / \
+             --compare-batching need the in-process daemon (drop --addr)"
                 .into(),
         );
     }
+    let batch_max = parse_u64("batch-max", 16)?.max(1);
+    let batch_wait_us = parse_u64("batch-wait-us", 0)?;
+    let batch = tpp_serve::BatchConfig {
+        max: batch_max as usize,
+        linger: std::time::Duration::from_micros(batch_wait_us),
+    };
     if require_breaker && profile.recommend == 0 {
         return Err(
             "--require-breaker-recovered needs recommend traffic: add recommend=N to --profile"
@@ -1201,6 +1233,95 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     };
     tpp_serve::resolve_dataset(&load.dataset)?; // fail fast on a typo
 
+    // Recommend traffic needs a checkpoint to load: train a small
+    // policy into a scratch dir every in-process daemon (the baseline
+    // and the main one) serves from.
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        if flags.get("addr").is_none() && profile.recommend > 0 {
+            let dir = std::env::temp_dir().join(format!(
+                "tpp-load-ckpt-{}-{}",
+                std::process::id(),
+                load.seed
+            ));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+            let dir_s = dir.to_string_lossy().into_owned();
+            let (instance, mut params) = dataset(&load.dataset)?;
+            params.episodes = 40;
+            let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir_s, 2);
+            let budget = tpp_core::Budget::unlimited();
+            RlPlanner::learn_budgeted(&instance, &params, load.seed, None, 20, &budget, |c| {
+                set.save(c)
+                    .map(|_| ())
+                    .map_err(|e| format!("seed checkpoint failed: {e}"))
+            })?;
+            Some(dir)
+        } else {
+            None
+        };
+    // Engine/transport configs are rebuilt per storm so the baseline
+    // and the main run start from identical cold state.
+    let build_config = |with_flight_dir: bool| -> Result<tpp_serve::ServeConfig, String> {
+        let mut config = tpp_serve::ServeConfig::default();
+        if let Some(spec) = flags.get("chaos") {
+            config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
+        }
+        if with_flight_dir {
+            config.flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
+        }
+        if require_breaker {
+            // Cache hits bypass checkpoint loads entirely; proving
+            // the breaker needs every recommend to touch the store.
+            config.cache.enabled = false;
+        }
+        config.checkpoint_dir = checkpoint_dir.clone();
+        Ok(config)
+    };
+    let build_tcp = |batch: tpp_serve::BatchConfig| -> Result<tpp_serve::TcpConfig, String> {
+        Ok(tpp_serve::TcpConfig {
+            max_connections: parse_u64("max-conns", 512)? as usize,
+            capacity: parse_u64("capacity", 128)? as usize,
+            workers: parse_u64("workers", 4)? as usize,
+            read_timeout: std::time::Duration::from_millis(50),
+            idle_timeout: std::time::Duration::from_millis(parse_u64("idle-timeout-ms", 500)?),
+            batch,
+            ..tpp_serve::TcpConfig::default()
+        })
+    };
+
+    // `--compare-batching`: storm a fresh unbatched daemon first under
+    // the identical load, so the report carries both p99s. The baseline
+    // keeps its flight dumps to itself (no flight dir) so the main
+    // storm's post-mortems stay attributable.
+    let unbatched_p99_ms = if compare_batching {
+        let engine = Arc::new(tpp_serve::ServeEngine::new(build_config(false)?));
+        let tcp = build_tcp(tpp_serve::BatchConfig {
+            max: 1,
+            linger: std::time::Duration::ZERO,
+        })?;
+        let server = tpp_serve::TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0", tcp)
+            .map_err(|e| format!("baseline tcp bind failed: {e}"))?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        println!("baseline storm (unbatched, batch-max 1) at {addr} for --compare-batching");
+        let base = tpp_serve::run_load(addr, &load);
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("baseline drain connect: {e}"))?;
+        stream
+            .write_all(b"{\"op\":\"shutdown\",\"id\":\"drain\"}\n")
+            .map_err(|e| format!("baseline drain write: {e}"))?;
+        handle
+            .join()
+            .map_err(|_| "baseline server thread panicked".to_string())?;
+        println!(
+            "baseline (unbatched) p99 {:.1} ms  ok-only p99 {:.1} ms",
+            base.latency.p99_ms, base.latency_ok.p99_ms
+        );
+        Some(base.latency_ok.p99_ms)
+    } else {
+        None
+    };
+
     // Either storm an already-running daemon (--addr) or host one
     // in-process and drain it afterwards. The in-process engine handle
     // stays out here so the self-healing verdicts (restarts, breaker
@@ -1213,47 +1334,9 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
             None,
         ),
         None => {
-            let mut config = tpp_serve::ServeConfig::default();
-            if let Some(spec) = flags.get("chaos") {
-                config.chaos = spec.parse().map_err(|e| format!("bad --chaos: {e}"))?;
-            }
-            config.flight_dir = flags.get("flight-dir").map(std::path::PathBuf::from);
-            if require_breaker {
-                // Cache hits bypass checkpoint loads entirely; proving
-                // the breaker needs every recommend to touch the store.
-                config.cache.enabled = false;
-            }
-            if profile.recommend > 0 {
-                // Recommend traffic needs a checkpoint to load: train a
-                // small policy into a scratch dir the daemon serves from.
-                let dir = std::env::temp_dir().join(format!(
-                    "tpp-load-ckpt-{}-{}",
-                    std::process::id(),
-                    load.seed
-                ));
-                std::fs::create_dir_all(&dir).map_err(|e| format!("checkpoint dir: {e}"))?;
-                let dir_s = dir.to_string_lossy().into_owned();
-                let (instance, mut params) = dataset(&load.dataset)?;
-                params.episodes = 40;
-                let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir_s, 2);
-                let budget = tpp_core::Budget::unlimited();
-                RlPlanner::learn_budgeted(&instance, &params, load.seed, None, 20, &budget, |c| {
-                    set.save(c)
-                        .map(|_| ())
-                        .map_err(|e| format!("seed checkpoint failed: {e}"))
-                })?;
-                config.checkpoint_dir = Some(dir);
-            }
-            let engine = Arc::new(tpp_serve::ServeEngine::new(config));
+            let engine = Arc::new(tpp_serve::ServeEngine::new(build_config(true)?));
             engine_handle = Some(Arc::clone(&engine));
-            let tcp = tpp_serve::TcpConfig {
-                max_connections: parse_u64("max-conns", 512)? as usize,
-                capacity: parse_u64("capacity", 128)? as usize,
-                workers: parse_u64("workers", 4)? as usize,
-                read_timeout: std::time::Duration::from_millis(50),
-                idle_timeout: std::time::Duration::from_millis(parse_u64("idle-timeout-ms", 500)?),
-                ..tpp_serve::TcpConfig::default()
-            };
+            let tcp = build_tcp(batch.clone())?;
             let server = tpp_serve::TcpServer::bind(engine, "127.0.0.1:0", tcp)
                 .map_err(|e| format!("tcp bind failed: {e}"))?;
             let addr = server.local_addr();
@@ -1330,6 +1413,23 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         }
     });
 
+    // Turn-level batching outcome, read off the drained engine; the
+    // batched p99 is this storm's ok-only p99 so the comparison against
+    // the baseline is like-for-like.
+    let batching = engine_handle.as_ref().map(|engine| {
+        use std::sync::atomic::Ordering;
+        let t = &engine.transport;
+        BatchingSummary {
+            batch_max,
+            batch_wait_us,
+            batches_formed: t.batches_formed.load(Ordering::Relaxed),
+            batch_members: t.batch_members.load(Ordering::Relaxed),
+            amortized_loads: t.amortized_loads.load(Ordering::Relaxed),
+            batched_p99_ms: r.latency_ok.p99_ms,
+            unbatched_p99_ms,
+        }
+    });
+
     let lat = |p: tpp_serve::Percentiles| LoadLatency {
         p50_ms: p.p50_ms,
         p99_ms: p.p99_ms,
@@ -1367,6 +1467,7 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         post_health_accepting: r.post_health_accepting,
         server: server_summary,
         self_healing,
+        batching,
     };
     println!(
         "answered {}/{} (ok {}, overloaded {}, bad_request {})  shed_rate {:.3}",
@@ -1392,6 +1493,18 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
         report.closed_without_response,
         report.post_health_accepting
     );
+    if let Some(b) = &report.batching {
+        match b.unbatched_p99_ms {
+            Some(base) => println!(
+                "batching: {} batch(es), {} member(s), {} amortized load(s)  p99 {:.1} ms batched vs {:.1} ms unbatched",
+                b.batches_formed, b.batch_members, b.amortized_loads, b.batched_p99_ms, base
+            ),
+            None => println!(
+                "batching: {} batch(es), {} member(s), {} amortized load(s)",
+                b.batches_formed, b.batch_members, b.amortized_loads
+            ),
+        }
+    }
     if let Some(sh) = &report.self_healing {
         println!(
             "self-healing: {} restart(s) ({} death(s), {} wedged, {} rescued)  breaker {} ({} open(s), {} close(s))  quarantine {}",
@@ -1439,6 +1552,18 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
                 "--require-breaker-recovered: breaker still {} after recovery probes",
                 sh.breaker_state
             ));
+        }
+    }
+    if require_batching {
+        let b = report
+            .batching
+            .as_ref()
+            .expect("in-process daemon has batching stats");
+        if b.batches_formed == 0 {
+            return Err("--require-batching: the storm formed no batches".into());
+        }
+        if b.amortized_loads == 0 {
+            return Err("--require-batching: no policy resolutions were amortized".into());
         }
     }
     Ok(Outcome::Clean)
@@ -1514,6 +1639,24 @@ struct SelfHealingSummary {
     quarantine_size: usize,
 }
 
+/// Turn-level batching outcome of an in-process `bench --load` storm:
+/// how many same-key batches the workers formed, how many policy
+/// resolutions that amortized away, and the p99 comparison against an
+/// unbatched baseline when `--compare-batching` ran one.
+#[derive(serde::Serialize)]
+struct BatchingSummary {
+    batch_max: u64,
+    batch_wait_us: u64,
+    batches_formed: u64,
+    batch_members: u64,
+    amortized_loads: u64,
+    /// This storm's ok-only p99 (same metric as `unbatched_p99_ms`).
+    batched_p99_ms: f64,
+    /// Ok-only p99 of the `--compare-batching` baseline storm
+    /// (`--batch-max 1`), absent when no baseline ran.
+    unbatched_p99_ms: Option<f64>,
+}
+
 /// The daemon's own exit summary when `bench --load` hosted it
 /// in-process and drained it after the storm.
 #[derive(serde::Serialize)]
@@ -1565,6 +1708,8 @@ struct LoadBenchReport {
     server: Option<LoadServerSummary>,
     /// Present when the daemon ran in-process (absent with `--addr`).
     self_healing: Option<SelfHealingSummary>,
+    /// Present when the daemon ran in-process (absent with `--addr`).
+    batching: Option<BatchingSummary>,
 }
 
 /// Latency percentiles lifted from one registry histogram.

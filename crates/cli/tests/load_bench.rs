@@ -87,6 +87,79 @@ fn load_bench_under_chaos_holds_the_serving_invariants() {
 }
 
 #[test]
+fn hot_heavy_storm_forms_batches_and_amortizes_policy_resolutions() {
+    let dir = temp_dir("batching");
+    let out = dir.join("BENCH_load.json");
+    // 92% of the traffic shares one policy key (the hot-heavy preset),
+    // so with two workers and a short linger the dequeue path must form
+    // real batches. --require-batching makes the binary itself exit 1
+    // unless batches formed AND resolutions were actually amortized.
+    let output = bin()
+        .args([
+            "bench",
+            "--load",
+            "--rate",
+            "150",
+            "--duration-s",
+            "2",
+            "--episodes",
+            "100",
+            "--deadline-ms",
+            "500",
+            "--workers",
+            "2",
+            "--capacity",
+            "128",
+            "--profile",
+            "hot-heavy",
+            "--batch-wait-us",
+            "2000",
+            "--seed",
+            "7",
+            "--require-batching",
+            "-q",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run bench --load");
+    assert!(
+        output.status.success(),
+        "batching bench --load failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let report = std::fs::read_to_string(&out).expect("report written");
+    let v = tpp_obs::json::parse(report.trim()).expect("report parses");
+    let num = |key: &str| -> f64 {
+        v.get(key)
+            .and_then(tpp_obs::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("closed_without_response"), 0.0, "report: {report}");
+    assert_eq!(
+        v.get("post_health_accepting"),
+        Some(&tpp_obs::json::Json::Bool(true)),
+        "report: {report}"
+    );
+    let b = v.get("batching").expect("batching object in report");
+    let bn = |key: &str| -> f64 {
+        b.get(key)
+            .and_then(tpp_obs::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert!(bn("batches_formed") >= 1.0, "report: {report}");
+    assert!(bn("amortized_loads") >= 1.0, "report: {report}");
+    assert!(
+        bn("batch_members") > bn("batches_formed"),
+        "a batch has at least two members: {report}"
+    );
+    assert!(bn("batched_p99_ms") > 0.0, "report: {report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn worker_killing_storm_respawns_recovers_the_breaker_and_stays_available() {
     let dir = temp_dir("self-heal");
     let out = dir.join("BENCH_load.json");

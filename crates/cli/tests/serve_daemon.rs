@@ -44,6 +44,12 @@ fn two_hundred_requests_with_fault_injection_all_answered() {
             // All three panic ordinals hit planning requests (i%5 in
             // {2,3}), so each recovery is visible as a `fallbacks` tag.
             "panic@3,panic@77,panic@152,stall@10:50,stall@120:50,corrupt@55",
+            // Chaos ordinals are keyed to dequeue order; batching pulls
+            // same-key requests ahead of earlier arrivals, which would
+            // re-map which request each fault hits. Run unbatched so
+            // the panic ordinals stay pinned to the lines above.
+            "--batch-max",
+            "1",
             "--quiet",
         ])
         .stdin(Stdio::piped())

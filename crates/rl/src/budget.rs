@@ -173,6 +173,15 @@ impl Budget {
     pub fn note_step(&self) {
         self.steps.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Checks the limits without charging any work: latches (and
+    /// reports) expiry exactly like a check. For callers whose compute
+    /// ran under a *different* budget — e.g. a batch member answered
+    /// from a shared policy resolution — this is how the member's own
+    /// deadline still gets consulted before it shapes the response.
+    pub fn poll(&self) -> Option<BudgetStop> {
+        self.record(self.limits_hit())
+    }
 }
 
 #[cfg(test)]

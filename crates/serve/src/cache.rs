@@ -33,12 +33,27 @@
 //!   bound. Every hit/miss/coalesce/evict/invalidate bumps a local
 //!   counter (for `stats`) and a `tpp-obs` counter (for sinks).
 
+use crate::transport::count_lock_recovered;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use tpp_obs::{obs_event, Level};
 use tpp_rl::QTable;
+
+/// Locks a cache-layer mutex, recovering from poisoning instead of
+/// propagating it. Both maps under these locks (`entries`, `inflight`)
+/// and the flight state are plain data that every mutation leaves
+/// consistent, so a panic in some other holder never tears them — and
+/// propagating here would turn one panicking leader into a panic in
+/// every follower that touches the same flight (a worker-pool-wide
+/// cascade the supervisor would then have to mop up).
+fn lock_recovering<'a, T>(mutex: &'a Mutex<T>, which: &'static str) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        count_lock_recovered(which);
+        poisoned.into_inner()
+    })
+}
 
 /// Which computation produced (or would produce) a cached policy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -207,7 +222,7 @@ impl PolicyCache {
 
     /// `(resident entries, approximate resident bytes)`.
     pub fn usage(&self) -> (usize, usize) {
-        let inner = self.inner.lock().expect("policy cache lock poisoned");
+        let inner = lock_recovering(&self.inner, "policy_cache");
         (inner.entries.len(), inner.bytes)
     }
 
@@ -218,7 +233,7 @@ impl PolicyCache {
     /// makes this caller the [`Lookup::Lead`]er.
     pub fn lookup(&self, key: PolicyKey, follower_wait: Duration) -> Lookup<'_> {
         let flight = {
-            let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+            let mut inner = lock_recovering(&self.inner, "policy_cache");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(&key) {
@@ -256,7 +271,7 @@ impl PolicyCache {
     /// falls back to solo computation — it never re-queues.
     fn wait_on(&self, flight: &Flight, timeout: Duration) -> Lookup<'_> {
         let deadline = Instant::now() + timeout;
-        let mut state = flight.state.lock().expect("flight lock poisoned");
+        let mut state = lock_recovering(&flight.state, "flight");
         loop {
             match &*state {
                 FlightState::Done(v) => return Lookup::Coalesced(Arc::clone(v)),
@@ -271,7 +286,10 @@ impl PolicyCache {
                     let (next, _) = flight
                         .cond
                         .wait_timeout(state, deadline - now)
-                        .expect("flight lock poisoned");
+                        .unwrap_or_else(|poisoned| {
+                            count_lock_recovered("flight");
+                            poisoned.into_inner()
+                        });
                     state = next;
                 }
             }
@@ -293,7 +311,7 @@ impl PolicyCache {
             );
             return;
         }
-        let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+        let mut inner = lock_recovering(&self.inner, "policy_cache");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.entries.insert(
@@ -330,7 +348,7 @@ impl PolicyCache {
     /// reaped. Trained entries are untouched — training does not read
     /// the checkpoint directory.
     pub fn invalidate_checkpoints(&self, dataset: &str, current_token: u64) -> usize {
-        let mut inner = self.inner.lock().expect("policy cache lock poisoned");
+        let mut inner = lock_recovering(&self.inner, "policy_cache");
         let stale: Vec<PolicyKey> = inner
             .entries
             .keys()
@@ -411,18 +429,22 @@ impl LeaderGuard<'_> {
         self.settle(FlightState::Failed(reason.to_owned()));
     }
 
+    /// Settles the flight. This runs on the leader's unwind path (via
+    /// `Drop`), so it must be panic-proof: both locks recover from
+    /// poisoning, because panicking here during an unwind would be a
+    /// double panic (abort) — and a settle that gives up early would
+    /// leave followers blocked until their deadlines on a flight nobody
+    /// will ever finish. Followers are always woken with a terminal
+    /// state.
     fn settle(&mut self, state: FlightState) {
         if self.settled {
             return;
         }
         self.settled = true;
-        self.cache
-            .inner
-            .lock()
-            .expect("policy cache lock poisoned")
+        lock_recovering(&self.cache.inner, "policy_cache")
             .inflight
             .remove(&self.key);
-        *self.flight.state.lock().expect("flight lock poisoned") = state;
+        *lock_recovering(&self.flight.state, "flight") = state;
         self.flight.cond.notify_all();
     }
 }
@@ -553,6 +575,64 @@ mod tests {
         assert!(follower.join().unwrap(), "follower must see LeaderFailed");
         // The slot is free again: the next lookup leads a fresh flight.
         assert!(matches!(c.lookup(key, Duration::ZERO), Lookup::Lead(_)));
+    }
+
+    /// Regression: the leader panics *while holding the flight lock*.
+    /// Before `PoisonError::into_inner` recovery, the poisoned mutex
+    /// made every follower (and the leader's own unwind-path settle)
+    /// panic too — one bad request killed the whole worker pool. Now
+    /// every follower must get a terminal `LeaderFailed`, no thread may
+    /// die, and the recovery must be counted.
+    #[test]
+    fn leader_panicking_while_holding_the_flight_lock_still_fails_followers() {
+        let c = Arc::new(cache(4, usize::MAX));
+        let key = trained_key("ds", 11);
+        let Lookup::Lead(guard) = c.lookup(key.clone(), Duration::ZERO) else {
+            panic!("cold key must lead");
+        };
+        let recovered_before = tpp_obs::metrics().counter("serve.lock_recovered").get();
+
+        // Poison the flight mutex: a helper panics while holding it —
+        // the worst-case moment for a leader crash.
+        let flight = Arc::clone(&guard.flight);
+        let poisoner = std::thread::spawn(move || {
+            let _held = flight.state.lock().unwrap();
+            panic!("poison the flight lock");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+
+        // Followers queue on the (now poisoned) flight.
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    matches!(
+                        c.lookup(key, Duration::from_secs(5)),
+                        Lookup::LeaderFailed(_)
+                    )
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+
+        // The leader unwinds without settling. With a poisoned flight
+        // lock this used to panic inside Drop (a double panic → abort
+        // on a real unwind); now it recovers and wakes every follower
+        // with a terminal Failed.
+        drop(guard);
+        for f in followers {
+            assert!(
+                f.join().expect("follower thread must not die"),
+                "follower must see LeaderFailed"
+            );
+        }
+        // The slot is free again and the recovery was counted.
+        assert!(matches!(c.lookup(key, Duration::ZERO), Lookup::Lead(_)));
+        assert!(
+            tpp_obs::metrics().counter("serve.lock_recovered").get() > recovered_before,
+            "poison recovery must increment serve.lock_recovered"
+        );
     }
 
     #[test]

@@ -161,6 +161,36 @@ struct TierResult {
     generation: Option<u64>,
 }
 
+/// One member of a worker batch (see [`ServeEngine::handle_batch`]):
+/// the raw request line plus the trace context minted at ingestion.
+pub struct BatchItem<'a> {
+    /// The raw request line.
+    pub line: &'a str,
+    /// Trace context minted at ingestion.
+    pub trace: tpp_obs::TraceCtx,
+}
+
+/// The policy resolution a whole batch shares: one cache lookup, one
+/// checkpoint deserialize, one training run if cold — whatever the
+/// primary tier would have done per request.
+struct SharedResolution {
+    policy: Arc<CachedPolicy>,
+    tier: &'static str,
+    retries: u32,
+    episodes: Option<u64>,
+    cached: bool,
+    generation: Option<u64>,
+}
+
+/// A batch member's view of the shared resolution.
+struct BatchShare<'a> {
+    resolution: &'a Result<SharedResolution, String>,
+    size: usize,
+    /// The member that led the resolution reports its true cache
+    /// outcome; every other member was answered from the shared `Arc`.
+    leader: bool,
+}
+
 impl ServeEngine {
     /// Creates an engine with the given configuration. When
     /// [`ServeConfig::flight_dir`] is set this installs the flight
@@ -324,6 +354,237 @@ impl ServeEngine {
         response
     }
 
+    /// Handles a whole same-key batch formed at dequeue: per-member
+    /// bookkeeping mirrors [`handle_line`](Self::handle_line) exactly —
+    /// each member takes its own ordinal (chaos faults stay keyed to
+    /// arrival order), runs under its own trace context, gets its own
+    /// `plan`-phase rollout timing and latency metrics, and is panic-
+    /// isolated individually — but the policy is resolved **once** and
+    /// every member is answered from the shared `Arc<CachedPolicy>`.
+    /// `deliver` is called with `(member index, response)` as each
+    /// response is produced, so early members reach their connections
+    /// while later ones serialize.
+    pub fn handle_batch(&self, members: &[BatchItem<'_>], deliver: &mut dyn FnMut(usize, String)) {
+        if members.is_empty() {
+            return;
+        }
+        if members.len() == 1 {
+            let _trace = tpp_obs::trace::enter(members[0].trace);
+            let response = self.handle_line(members[0].line);
+            deliver(0, response);
+            return;
+        }
+        struct Member {
+            parsed: Result<Request, String>,
+            faults: Vec<ChaosFault>,
+            ordinal: u64,
+            started: Instant,
+        }
+        // Intake in arrival order, before any work, so chaos schedules
+        // and the request counter see the same sequence a sequential
+        // worker would have produced.
+        let intake: Vec<Member> = members
+            .iter()
+            .map(|m| {
+                let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                tpp_obs::metrics().counter("serve.requests").inc();
+                Member {
+                    parsed: parse_request(m.line),
+                    faults: self.config.chaos.take(ordinal),
+                    ordinal,
+                    started: Instant::now(),
+                }
+            })
+            .collect();
+
+        let n = members.len() as u64;
+        let t = &self.transport;
+        t.batches_formed.fetch_add(1, Ordering::Relaxed);
+        t.batch_members.fetch_add(n, Ordering::Relaxed);
+        t.amortized_loads.fetch_add(n - 1, Ordering::Relaxed);
+        let m = tpp_obs::metrics();
+        m.counter("serve.batch.formed").inc();
+        m.counter("serve.batch.amortized_loads").add(n - 1);
+        m.histogram("serve.batch.size").record(n);
+        obs_event!(Level::Info, "serve.batch", size = n);
+
+        // One shared policy resolution, led by the first member that
+        // parses as a planning request, under that member's trace. The
+        // resolution budget is the most generous member deadline — the
+        // value serves everyone, so it may use the longest runway any
+        // member paid for; each member's own deadline still gates its
+        // rollout and serialization below.
+        let leader = intake
+            .iter()
+            .position(|m| matches!(&m.parsed, Ok(r) if matches!(r.op, Op::Plan | Op::Recommend)));
+        let resolution: Result<SharedResolution, String> = match leader {
+            None => Err("no planning request in batch".to_owned()),
+            Some(li) => {
+                let mut unlimited = false;
+                let mut max_ms = 0u64;
+                for member in &intake {
+                    if let Ok(req) = &member.parsed {
+                        match req.deadline_ms.or(self.config.default_deadline_ms) {
+                            None => unlimited = true,
+                            Some(ms) => max_ms = max_ms.max(ms),
+                        }
+                    }
+                }
+                let budget = if unlimited {
+                    Budget::unlimited()
+                } else {
+                    Budget::unlimited().with_deadline(Duration::from_millis(max_ms))
+                };
+                let flaky_load = intake[li].faults.contains(&ChaosFault::FlakyLoad);
+                let _trace = tpp_obs::trace::enter(members[li].trace);
+                match &intake[li].parsed {
+                    Ok(req) => self.resolve_for_batch(req, &budget, flaky_load),
+                    Err(_) => unreachable!("leader position requires Ok"),
+                }
+            }
+        };
+
+        for (i, (item, member)) in members.iter().zip(&intake).enumerate() {
+            let _trace = tpp_obs::trace::enter(item.trace);
+            let (op_name, response) = match &member.parsed {
+                Err(msg) => {
+                    self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    tpp_obs::metrics().counter("serve.bad_request").inc();
+                    let resp = JsonObj::new()
+                        .bool("ok", false)
+                        .nullable_str("id", extract_raw_id(item.line).as_deref())
+                        .str("error", &format!("bad_request: {msg}"))
+                        .finish();
+                    ("bad_request", resp)
+                }
+                Ok(req) => {
+                    let op_name = req.op.as_str();
+                    let _span = tpp_obs::span(Level::Debug, "serve.request")
+                        .with("op", op_name)
+                        .with("ordinal", member.ordinal)
+                        .with("batched", true);
+                    let share = BatchShare {
+                        resolution: &resolution,
+                        size: members.len(),
+                        leader: Some(i) == leader,
+                    };
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        self.dispatch_batched(req, &member.faults, &share)
+                    }));
+                    let resp = match caught {
+                        Ok(resp) => resp,
+                        Err(payload) if payload.is::<WorkerKill>() => {
+                            // Same contract as `handle_line`: let the
+                            // kill escape to the supervisor — the batch
+                            // rescue guard answers this member and
+                            // every later one during the unwind.
+                            self.strike_quarantine(req);
+                            tpp_obs::metrics().counter("serve.chaos_kill").inc();
+                            obs_event!(Level::Error, "serve.chaos_kill", op = op_name);
+                            std::panic::resume_unwind(payload);
+                        }
+                        Err(payload) => {
+                            self.strike_quarantine(req);
+                            self.answer_after_panic(req, &payload)
+                        }
+                    };
+                    (op_name, resp)
+                }
+            };
+            let elapsed = member.started.elapsed();
+            tpp_obs::metrics()
+                .histogram("serve.latency_ms")
+                .record(elapsed.as_millis() as u64);
+            tpp_obs::metrics()
+                .histogram(&format!("serve.op.{op_name}_us"))
+                .record_duration(elapsed);
+            if self
+                .config
+                .slow_request_ms
+                .is_some_and(|ms| elapsed.as_millis() as u64 > ms)
+            {
+                obs_event!(
+                    Level::Warn,
+                    "serve.slow_request",
+                    op = op_name,
+                    elapsed_ms = elapsed.as_millis() as u64,
+                );
+                self.dump_flight("slow");
+            }
+            self.counters.answered.fetch_add(1, Ordering::Relaxed);
+            deliver(i, response);
+        }
+    }
+
+    /// Resolves the one policy a batch shares, with the same quarantine
+    /// gate and panic accounting the per-request path applies. An error
+    /// here sends every member down its own degradation chain.
+    fn resolve_for_batch(
+        &self,
+        req: &Request,
+        budget: &Budget,
+        flaky_load: bool,
+    ) -> Result<SharedResolution, String> {
+        let name = req
+            .dataset
+            .as_deref()
+            .ok_or_else(|| "missing \"dataset\"".to_owned())?;
+        let ds = self.dataset(name)?;
+        let start = self.resolve_start(&ds.instance, req.start.as_deref())?;
+        if let Some(remaining) = self
+            .quarantine_key(req)
+            .and_then(|key| self.quarantine.active(&key))
+        {
+            // Every member's own quarantine gate will serve the
+            // degraded chain; skip feeding the poison to a resolution.
+            return Err(format!(
+                "quarantined: cooling down for {}ms",
+                remaining.as_millis()
+            ));
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| match req.op {
+            Op::Plan => {
+                let mut params = ds.params.clone().with_start(start);
+                params.episodes = req
+                    .episodes
+                    .unwrap_or(params.episodes as u64)
+                    .min(self.config.max_episodes) as usize;
+                self.resolve_trained(req, name, &ds, &params, start, budget)
+            }
+            Op::Recommend => self.resolve_checkpoint(name, &ds, budget, flaky_load),
+            _ => Err("not a planning op".to_owned()),
+        }));
+        match outcome {
+            Ok(resolved) => resolved,
+            Err(payload) => {
+                self.strike_quarantine(req);
+                self.note_panic(&payload);
+                Err(format!("resolution panicked ({})", panic_message(&payload)))
+            }
+        }
+    }
+
+    /// Batched dispatch: chaos faults apply per member exactly as in
+    /// [`dispatch`](Self::dispatch); planning ops answer from the
+    /// shared resolution; anything else (unreachable through batch
+    /// formation, which only keys planning ops) serves normally.
+    fn dispatch_batched(&self, req: &Request, faults: &[ChaosFault], share: &BatchShare) -> String {
+        if faults.contains(&ChaosFault::KillWorker) {
+            std::panic::panic_any(WorkerKill);
+        }
+        if faults.contains(&ChaosFault::Panic) {
+            panic!("chaos: injected panic while handling request");
+        }
+        if faults.contains(&ChaosFault::CorruptCheckpoint) {
+            self.corrupt_newest_checkpoint();
+        }
+        match req.op {
+            Op::Plan | Op::Recommend => self.answer_planning_shared(req, faults, Some(share)),
+            _ => self.dispatch(req, &[]),
+        }
+    }
+
     /// Builds the `overloaded` shed response for a raw line (called by
     /// the server when the bounded queue is full; counts as answered).
     pub fn overloaded_response(&self, line: &str) -> String {
@@ -410,6 +671,18 @@ impl ServeEngine {
 
     /// The planning path: primary tier, then the degradation chain.
     fn answer_planning(&self, req: &Request, faults: &[ChaosFault]) -> String {
+        self.answer_planning_shared(req, faults, None)
+    }
+
+    /// The planning path, optionally answering from a batch's shared
+    /// policy resolution instead of resolving per request. With
+    /// `shared: None` this is byte-identical to the unbatched path.
+    fn answer_planning_shared(
+        &self,
+        req: &Request,
+        faults: &[ChaosFault],
+        shared: Option<&BatchShare>,
+    ) -> String {
         let Some(name) = req.dataset.as_deref() else {
             return self.error_response(req, "missing \"dataset\"");
         };
@@ -486,15 +759,20 @@ impl ServeEngine {
             self.try_eda_tier(req, instance, params, start, &mut fell_back_because)
                 .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because))
         } else {
-            self.try_primary_tier(
-                req,
-                name,
-                &ds,
-                start,
-                &budget,
-                flaky_load,
-                &mut fell_back_because,
-            )
+            match shared {
+                Some(share) => {
+                    self.try_shared_primary(req, &ds, start, share, &mut fell_back_because)
+                }
+                None => self.try_primary_tier(
+                    req,
+                    name,
+                    &ds,
+                    start,
+                    &budget,
+                    flaky_load,
+                    &mut fell_back_because,
+                ),
+            }
             .or_else(|| self.try_eda_tier(req, instance, params, start, &mut fell_back_because))
             .or_else(|| self.try_partial_tier(instance, params, start, &mut fell_back_because))
         };
@@ -505,6 +783,13 @@ impl ServeEngine {
                 .error_response(req, &format!("internal: {}", fell_back_because.join("; ")));
         };
 
+        if shared.is_some() {
+            // Shared resolution ran under the *batch* budget, so this
+            // member's own deadline was never consulted by compute —
+            // latch it here so `degraded`/`deadline_expired` (and the
+            // overrun flight dump below) stay faithful per member.
+            budget.poll();
+        }
         let degraded = result.tier != primary || budget.expired();
         if degraded {
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
@@ -539,6 +824,11 @@ impl ServeEngine {
                 .u64("retries", result.retries as u64);
             if quarantined_for.is_some() {
                 obj = obj.bool("quarantined", true);
+            }
+            if let Some(share) = shared {
+                obj = obj
+                    .bool("batched", true)
+                    .u64("batch_size", share.size as u64);
             }
             if let Some(episodes) = result.episodes {
                 obj = obj.u64("episodes", episodes);
@@ -597,6 +887,61 @@ impl ServeEngine {
         self.settle_tier("primary", outcome, reasons)
     }
 
+    /// Answers one batch member from the batch's shared resolution:
+    /// its own rollout (own `plan`-phase timing, own panic isolation),
+    /// no second cache lookup or training run. A failed resolution
+    /// sends the member down the degradation chain with the reason.
+    fn try_shared_primary(
+        &self,
+        req: &Request,
+        ds: &DatasetEntry,
+        start: ItemId,
+        share: &BatchShare,
+        reasons: &mut Vec<String>,
+    ) -> Option<TierResult> {
+        match share.resolution {
+            Err(e) => {
+                obs_event!(
+                    Level::Warn,
+                    "serve.tier_failed",
+                    tier = "primary",
+                    error = e
+                );
+                reasons.push(format!("primary: {e}"));
+                None
+            }
+            Ok(resolved) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let instance = &ds.instance;
+                    // Params mirror the unbatched tier exactly (batch
+                    // keys pin op/seed/episodes/start, so every member
+                    // computes the same ones) — the rollout is
+                    // bit-identical to a sequential serve.
+                    let mut params = ds.params.clone().with_start(start);
+                    if matches!(req.op, Op::Plan) {
+                        params.episodes =
+                            req.episodes
+                                .unwrap_or(params.episodes as u64)
+                                .min(self.config.max_episodes) as usize;
+                    }
+                    let plan = recommend_timed(&resolved.policy.q, instance, &params, start);
+                    Ok(TierResult {
+                        plan,
+                        tier: resolved.tier,
+                        retries: resolved.retries,
+                        episodes: resolved.episodes,
+                        cached: if share.leader { resolved.cached } else { true },
+                        generation: resolved.generation,
+                    })
+                }));
+                if outcome.is_err() {
+                    self.strike_quarantine(req);
+                }
+                self.settle_tier("primary", outcome, reasons)
+            }
+        }
+    }
+
     /// Budgeted SARSA training behind the cache: a burst of identical
     /// `plan` requests (same dataset, seed, episodes, start) costs one
     /// training run — the leader trains, followers coalesce, later
@@ -615,14 +960,41 @@ impl ServeEngine {
             .episodes
             .unwrap_or(params.episodes as u64)
             .min(self.config.max_episodes) as usize;
+        let resolved = self.resolve_trained(req, name, ds, &params, start, budget)?;
+        let plan = recommend_timed(&resolved.policy.q, instance, &params, start);
+        Ok(TierResult {
+            plan,
+            tier: resolved.tier,
+            retries: resolved.retries,
+            episodes: resolved.episodes,
+            cached: resolved.cached,
+            generation: resolved.generation,
+        })
+    }
 
+    /// Resolves the trained policy for a `plan` request — cache hit,
+    /// coalesce onto an in-flight leader, lead a training run, or train
+    /// solo — without performing the rollout.
+    fn resolve_trained(
+        &self,
+        req: &Request,
+        name: &str,
+        ds: &DatasetEntry,
+        params: &PlannerParams,
+        start: ItemId,
+        budget: &Budget,
+    ) -> Result<SharedResolution, String> {
+        let instance = &ds.instance;
         if !self.cache.is_enabled() {
             let (q, episodes) = phase_timed("train", || {
-                Self::train_policy(instance, &params, req.seed, budget)
+                Self::train_policy(instance, params, req.seed, budget)
             })?;
-            let plan = recommend_timed(&q, instance, &params, start);
-            return Ok(TierResult {
-                plan,
+            return Ok(SharedResolution {
+                policy: Arc::new(CachedPolicy {
+                    q,
+                    episodes: Some(episodes),
+                    generation: None,
+                }),
                 tier: "train",
                 retries: 0,
                 episodes: Some(episodes),
@@ -646,12 +1018,12 @@ impl ServeEngine {
         }) {
             Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
                 span.record("outcome", "shared");
-                let plan = recommend_timed(&policy.q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                let episodes = policy.episodes;
+                Ok(SharedResolution {
+                    policy,
                     tier: "train",
                     retries: 0,
-                    episodes: policy.episodes,
+                    episodes,
                     cached: true,
                     generation: None,
                 })
@@ -661,7 +1033,7 @@ impl ServeEngine {
                 // The guard's Drop fails the flight if training panics,
                 // so followers wake and fall back instead of wedging.
                 let (q, episodes) = match phase_timed("train", || {
-                    Self::train_policy(instance, &params, req.seed, budget)
+                    Self::train_policy(instance, params, req.seed, budget)
                 }) {
                     Ok(trained) => trained,
                     Err(e) => {
@@ -683,9 +1055,8 @@ impl ServeEngine {
                 } else {
                     guard.fulfill(Arc::clone(&value));
                 }
-                let plan = recommend_timed(&value.q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                Ok(SharedResolution {
+                    policy: value,
                     tier: "train",
                     retries: 0,
                     episodes: Some(episodes),
@@ -699,11 +1070,14 @@ impl ServeEngine {
                 // Compute solo and uncached — the leader's failure may
                 // have been its own deadline, not a property of the key.
                 let (q, episodes) = phase_timed("train", || {
-                    Self::train_policy(instance, &params, req.seed, budget)
+                    Self::train_policy(instance, params, req.seed, budget)
                 })?;
-                let plan = recommend_timed(&q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                Ok(SharedResolution {
+                    policy: Arc::new(CachedPolicy {
+                        q,
+                        episodes: Some(episodes),
+                        generation: None,
+                    }),
                     tier: "train",
                     retries: 0,
                     episodes: Some(episodes),
@@ -729,6 +1103,28 @@ impl ServeEngine {
     ) -> Result<TierResult, String> {
         let instance = &ds.instance;
         let params = ds.params.clone().with_start(start);
+        let resolved = self.resolve_checkpoint(name, ds, budget, flaky_load)?;
+        let plan = recommend_timed(&resolved.policy.q, instance, &params, start);
+        Ok(TierResult {
+            plan,
+            tier: resolved.tier,
+            retries: resolved.retries,
+            episodes: resolved.episodes,
+            cached: resolved.cached,
+            generation: resolved.generation,
+        })
+    }
+
+    /// Resolves the checkpoint policy for a `recommend` request — cache
+    /// hit, coalesce, lead a load, or load solo — without the rollout.
+    fn resolve_checkpoint(
+        &self,
+        name: &str,
+        ds: &DatasetEntry,
+        budget: &Budget,
+        flaky_load: bool,
+    ) -> Result<SharedResolution, String> {
+        let instance = &ds.instance;
         let dir = self
             .config
             .checkpoint_dir
@@ -786,9 +1182,12 @@ impl ServeEngine {
         if !self.cache.is_enabled() {
             let mut retries = 0;
             let (generation, q) = phase_timed("checkpoint_load", || load_with_retry(&mut retries))?;
-            let plan = recommend_timed(&q, instance, &params, start);
-            return Ok(TierResult {
-                plan,
+            return Ok(SharedResolution {
+                policy: Arc::new(CachedPolicy {
+                    q,
+                    episodes: None,
+                    generation: Some(generation),
+                }),
                 tier: "policy",
                 retries,
                 episodes: None,
@@ -817,14 +1216,14 @@ impl ServeEngine {
         }) {
             Lookup::Hit(policy) | Lookup::Coalesced(policy) => {
                 span.record("outcome", "shared");
-                let plan = recommend_timed(&policy.q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                let generation = policy.generation;
+                Ok(SharedResolution {
+                    policy,
                     tier: "policy",
                     retries: 0,
                     episodes: None,
                     cached: true,
-                    generation: policy.generation,
+                    generation,
                 })
             }
             Lookup::Lead(guard) => {
@@ -844,9 +1243,8 @@ impl ServeEngine {
                     generation: Some(generation),
                 });
                 guard.fulfill(Arc::clone(&value));
-                let plan = recommend_timed(&value.q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                Ok(SharedResolution {
+                    policy: value,
                     tier: "policy",
                     retries,
                     episodes: None,
@@ -860,9 +1258,12 @@ impl ServeEngine {
                 let mut retries = 0;
                 let (generation, q) =
                     phase_timed("checkpoint_load", || load_with_retry(&mut retries))?;
-                let plan = recommend_timed(&q, instance, &params, start);
-                Ok(TierResult {
-                    plan,
+                Ok(SharedResolution {
+                    policy: Arc::new(CachedPolicy {
+                        q,
+                        episodes: None,
+                        generation: Some(generation),
+                    }),
                     tier: "policy",
                     retries,
                     episodes: None,
@@ -1233,6 +1634,18 @@ impl ServeEngine {
                 self.transport.worker_rescued.load(Ordering::Relaxed),
             )
             .u64("lock_recovered", m.counter("serve.lock_recovered").get())
+            .u64(
+                "batches_formed",
+                self.transport.batches_formed.load(Ordering::Relaxed),
+            )
+            .u64(
+                "batch_members",
+                self.transport.batch_members.load(Ordering::Relaxed),
+            )
+            .u64(
+                "amortized_loads",
+                self.transport.amortized_loads.load(Ordering::Relaxed),
+            )
             .str("breaker_state", self.breaker.state_name())
             .u64("breaker_opens", self.breaker.opens())
             .u64("breaker_closes", self.breaker.closes())
@@ -1277,14 +1690,18 @@ impl ServeEngine {
     }
 
     /// Dataset lookup with a warm cache (generation is deterministic,
-    /// so cached and fresh instances are identical).
+    /// so cached and fresh instances are identical). A poisoned lock is
+    /// recovered, not propagated: the map's entries are immutable
+    /// `Arc`s, so an unwinding holder cannot leave them torn, and
+    /// propagating would fail every later request for every dataset.
     fn dataset(&self, name: &str) -> Result<Arc<DatasetEntry>, String> {
-        if let Some(ds) = self
-            .datasets
-            .lock()
-            .expect("dataset cache lock poisoned")
-            .get(name)
-        {
+        let lock_datasets = || {
+            self.datasets.lock().unwrap_or_else(|poisoned| {
+                crate::transport::count_lock_recovered("datasets");
+                poisoned.into_inner()
+            })
+        };
+        if let Some(ds) = lock_datasets().get(name) {
             return Ok(Arc::clone(ds));
         }
         let (instance, params) = resolve_dataset(name)?;
@@ -1294,10 +1711,7 @@ impl ServeEngine {
             params,
             signature,
         });
-        self.datasets
-            .lock()
-            .expect("dataset cache lock poisoned")
-            .insert(name.to_owned(), Arc::clone(&ds));
+        lock_datasets().insert(name.to_owned(), Arc::clone(&ds));
         Ok(ds)
     }
 
@@ -1480,6 +1894,69 @@ mod tests {
         assert_eq!(get(&r, "degraded"), &Json::Bool(false));
         assert_eq!(get(&r, "episodes").as_f64(), Some(40.0));
         assert!(matches!(get(&r, "plan"), Json::Arr(items) if !items.is_empty()));
+    }
+
+    /// Golden equivalence: a batch of identical plan requests must be
+    /// answered bit-identically (plan, score, tier, cached, episodes)
+    /// to the same requests served one at a time — batching may only
+    /// amortize work, never change answers.
+    #[test]
+    fn batched_responses_are_bit_identical_to_sequential() {
+        let line = r#"{"op":"plan","dataset":"ds-ct","episodes":40,"seed":3}"#;
+        let seq_engine = engine();
+        let sequential: Vec<Json> = (0..3)
+            .map(|_| parse(&seq_engine.handle_line(line)).unwrap())
+            .collect();
+
+        let batch_engine = engine();
+        let items: Vec<BatchItem> = (0..3)
+            .map(|_| BatchItem {
+                line,
+                trace: tpp_obs::TraceCtx::root(),
+            })
+            .collect();
+        let mut batched: Vec<Option<Json>> = vec![None, None, None];
+        batch_engine.handle_batch(&items, &mut |i, resp| {
+            batched[i] = Some(parse(&resp).unwrap());
+        });
+
+        for (i, (seq, bat)) in sequential.iter().zip(&batched).enumerate() {
+            let bat = bat
+                .as_ref()
+                .unwrap_or_else(|| panic!("member {i} answered"));
+            assert_eq!(get(bat, "batched"), &Json::Bool(true));
+            assert_eq!(get(bat, "batch_size").as_f64(), Some(3.0));
+            for field in ["ok", "tier", "degraded", "cached", "episodes", "violations"] {
+                assert_eq!(get(seq, field), get(bat, field), "member {i} field {field}");
+            }
+            assert_eq!(
+                get(seq, "plan"),
+                get(bat, "plan"),
+                "member {i} plan must be bit-identical"
+            );
+            let s = get(seq, "score").as_f64().unwrap();
+            let b = get(bat, "score").as_f64().unwrap();
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "member {i} score must be bit-identical"
+            );
+        }
+        assert_eq!(
+            batch_engine
+                .transport
+                .batches_formed
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            batch_engine
+                .transport
+                .amortized_loads
+                .load(Ordering::Relaxed),
+            2,
+            "three members share one resolution"
+        );
     }
 
     #[test]

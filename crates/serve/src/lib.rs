@@ -28,6 +28,15 @@
 //!   onto one leader (single-flight), so a burst of duplicates costs
 //!   one training run. Invalidation is generation-aware; a panicking
 //!   leader fails its flight instead of wedging followers.
+//! * **Same-key requests batch at dequeue** ([`transport`],
+//!   [`engine::ServeEngine::handle_batch`]): a worker that pops a
+//!   planning job drains further queued jobs with the same batch key
+//!   (op, dataset, start, seed, episodes) up to `--batch-max` (plus an
+//!   optional `--batch-wait-us` linger), resolves the policy **once**,
+//!   and answers every member from the shared `Arc` — each with its own
+//!   trace, its own `plan`-phase timing, and `batched`/`batch_size`
+//!   fields in the response. A mid-batch panic rescues every unanswered
+//!   member with a terminal response.
 //!
 //! * **Every request is traced end to end**: the server mints a root
 //!   [`tpp_obs::TraceCtx`] at ingestion and the worker re-enters it, so
@@ -94,7 +103,7 @@ pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{CacheConfig, CachedPolicy, Lookup, PolicyCache, PolicyKey, PolicySource};
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use datasets::{resolve_dataset, DATASET_NAMES};
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{BatchItem, ServeConfig, ServeEngine};
 pub use framing::{FramedLine, LineReader};
 pub use load::{probe_health, run_load, LoadConfig, LoadProfile, LoadReport, Percentiles};
 pub use protocol::{extract_raw_id, parse_request, JsonObj, Op, Request};
@@ -102,4 +111,4 @@ pub use quarantine::{Quarantine, QuarantineConfig};
 pub use retry::{with_backoff, with_backoff_budgeted, BackoffPolicy};
 pub use server::{serve_lines, serve_unix, ServeSummary, ServerConfig};
 pub use tcp::{TcpConfig, TcpServer, TcpSummary};
-pub use transport::{ConnTrack, Job, SharedWriter, SupervisorConfig, TransportState};
+pub use transport::{BatchConfig, ConnTrack, Job, SharedWriter, SupervisorConfig, TransportState};

@@ -86,8 +86,19 @@ impl FromStr for LoadProfile {
     type Err = String;
 
     /// Parses `hot=80,cold=10,recommend=0,malformed=5,slow=5` (missing
-    /// keys keep 0; at least one weight must be positive).
+    /// keys keep 0; at least one weight must be positive), or the named
+    /// preset `hot-heavy` — a near-pure same-key storm (92% hot plans
+    /// with one shared batch key) built to exercise turn-level batching.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim() == "hot-heavy" {
+            return Ok(LoadProfile {
+                hot: 92,
+                cold: 6,
+                recommend: 0,
+                malformed: 1,
+                slow: 1,
+            });
+        }
         let mut p = LoadProfile {
             hot: 0,
             cold: 0,
@@ -500,6 +511,14 @@ mod tests {
         assert!("hot=0,cold=0".parse::<LoadProfile>().is_err());
         assert!("warm=3".parse::<LoadProfile>().is_err());
         assert!("hot".parse::<LoadProfile>().is_err());
+    }
+
+    #[test]
+    fn hot_heavy_preset_parses() {
+        let p: LoadProfile = "hot-heavy".parse().unwrap();
+        assert_eq!(p.hot, 92);
+        assert!(p.hot > p.cold + p.recommend + p.malformed + p.slow);
+        assert_eq!(p.recommend, 0, "hot-heavy keeps one batchable key hot");
     }
 
     #[test]

@@ -38,7 +38,9 @@
 use crate::engine::ServeEngine;
 use crate::framing::{FramedLine, LineReader};
 use crate::protocol::{parse_request, Op};
-use crate::transport::{write_response, Job, SharedWriter, SupervisorConfig, WorkerPool};
+use crate::transport::{
+    write_response, BatchConfig, Job, SharedWriter, SupervisorConfig, WorkerPool,
+};
 use std::io::Write;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -60,6 +62,9 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Worker-pool supervision (respawn budget, wedge detection).
     pub supervisor: SupervisorConfig,
+    /// Turn-level plan batching (same-key dequeue-many, shared policy
+    /// resolution).
+    pub batch: BatchConfig,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +75,7 @@ impl Default for ServerConfig {
             max_requests: None,
             max_line_bytes: 256 * 1024,
             supervisor: SupervisorConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -136,6 +142,7 @@ where
         config.workers,
         capacity,
         config.supervisor.clone(),
+        config.batch.clone(),
     );
 
     let mut received = 0u64;
@@ -493,6 +500,67 @@ mod tests {
             .find(|r| r.get("op").and_then(Json::as_str) == Some("shutdown"))
             .expect("shutdown acknowledged");
         assert_eq!(shutdown.get("draining"), Some(&Json::Bool(true)));
+    }
+
+    /// A backed-up queue of same-key plan requests is dequeued as one
+    /// batch: the single worker stalls on the leading request (chaos)
+    /// while the reader enqueues four identical plans, then answers all
+    /// four from one shared policy resolution.
+    #[test]
+    fn same_key_backlog_is_answered_as_one_batch() {
+        let chaos: crate::ChaosPlan = "stall@1:200".parse().unwrap();
+        let engine = Arc::new(ServeEngine::new(ServeConfig {
+            chaos,
+            ..ServeConfig::default()
+        }));
+        let server = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let mut input = String::from("{\"op\":\"health\",\"id\":\"stalled\"}\n");
+        for i in 0..4 {
+            input.push_str(&format!(
+                "{{\"op\":\"plan\",\"dataset\":\"ds-ct\",\"episodes\":40,\"seed\":7,\"id\":\"b{i}\"}}\n"
+            ));
+        }
+        let out = Arc::new(Mutex::new(std::io::Cursor::new(Vec::new())));
+        struct SharedOut(Arc<Mutex<std::io::Cursor<Vec<u8>>>>);
+        impl Write for SharedOut {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let summary = serve_lines(
+            Arc::clone(&engine),
+            input.as_bytes(),
+            SharedOut(Arc::clone(&out)),
+            &server,
+        );
+        assert_eq!(summary.received, 5);
+        let bytes = out.lock().unwrap().get_ref().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let responses: Vec<Json> = text.lines().map(|l| parse(l).unwrap()).collect();
+        assert_eq!(responses.len(), 5, "every request answered");
+        let batched: Vec<&Json> = responses
+            .iter()
+            .filter(|r| r.get("batched") == Some(&Json::Bool(true)))
+            .collect();
+        assert_eq!(batched.len(), 4, "all four plans answered from one batch");
+        for r in &batched {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(r.get("batch_size").and_then(Json::as_f64), Some(4.0));
+        }
+        let t = &engine.transport;
+        assert_eq!(t.batches_formed.load(Ordering::Relaxed), 1);
+        assert_eq!(t.batch_members.load(Ordering::Relaxed), 4);
+        assert_eq!(
+            t.amortized_loads.load(Ordering::Relaxed),
+            3,
+            "four members share one policy resolution"
+        );
     }
 
     #[test]

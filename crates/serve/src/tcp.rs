@@ -44,7 +44,7 @@ use crate::framing::{FramedLine, LineReader};
 use crate::protocol::{parse_request, Op};
 use crate::server::{emit_shutdown, is_shutdown_line, ACCEPT_POLL};
 use crate::transport::{
-    write_response, ConnTrack, Job, SharedWriter, SupervisorConfig, WorkerPool,
+    write_response, BatchConfig, ConnTrack, Job, SharedWriter, SupervisorConfig, WorkerPool,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -77,6 +77,9 @@ pub struct TcpConfig {
     pub accept_limit: Option<u64>,
     /// Worker-pool supervision (respawn budget, wedge detection).
     pub supervisor: SupervisorConfig,
+    /// Turn-level plan batching (same-key dequeue-many, shared policy
+    /// resolution).
+    pub batch: BatchConfig,
 }
 
 impl Default for TcpConfig {
@@ -90,6 +93,7 @@ impl Default for TcpConfig {
             workers: 2,
             accept_limit: None,
             supervisor: SupervisorConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -170,6 +174,7 @@ impl TcpServer {
             config.workers,
             config.capacity.max(1),
             config.supervisor.clone(),
+            config.batch.clone(),
         ));
         // Bounds concurrent shed handlers: past it, connections get an
         // unread `overloaded` (null id) so even a shed stampede cannot

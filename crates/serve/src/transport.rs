@@ -24,12 +24,13 @@
 //! worker-killing fault never breaks the one-response-per-request
 //! contract.
 
-use crate::engine::ServeEngine;
+use crate::engine::{BatchItem, ServeEngine};
+use crate::protocol::{parse_request, Op};
+use std::collections::VecDeque;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tpp_obs::{obs_event, Level, TraceCtx};
 
@@ -62,6 +63,72 @@ pub struct Job {
     pub out: SharedWriter,
     /// The connection's accounting (absent on the stdio transport).
     pub track: Option<Arc<ConnTrack>>,
+}
+
+/// The policy identity of a queued request line, at the protocol level:
+/// two lines with equal keys resolve the same `PolicyKey` (dataset,
+/// constraint signature, source), because the constraint signature is
+/// pure in the resolved dataset — same dataset name, same signature.
+/// Computed by [`batch_key`] without resolving the dataset, so the
+/// dequeue path can match queued jobs with a parse instead of a load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BatchKey {
+    op: Op,
+    dataset: String,
+    start: Option<String>,
+    seed: u64,
+    episodes: Option<u64>,
+}
+
+/// The batch key of a raw request line, or `None` for anything that
+/// must not batch: non-planning ops, lines that do not parse, or
+/// requests without a dataset. `plan` keys carry the training triple
+/// (seed, episodes, start); `recommend` keys only the dataset + start —
+/// every recommend against a dataset reads the same newest checkpoint
+/// generation.
+pub(crate) fn batch_key(line: &str) -> Option<BatchKey> {
+    let req = parse_request(line).ok()?;
+    let dataset = req.dataset?;
+    match req.op {
+        Op::Plan => Some(BatchKey {
+            op: req.op,
+            dataset,
+            start: req.start,
+            seed: req.seed,
+            episodes: req.episodes,
+        }),
+        Op::Recommend => Some(BatchKey {
+            op: req.op,
+            dataset,
+            start: req.start,
+            seed: 0,
+            episodes: None,
+        }),
+        _ => None,
+    }
+}
+
+/// Turn-level batching policy: when a worker dequeues a job with a
+/// batchable key, it also drains every queued job sharing that key —
+/// up to `max` members per turn, lingering up to `linger` for more to
+/// arrive — and answers the whole batch from one policy resolution.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum members per batch; `1` disables batching entirely.
+    pub max: usize,
+    /// How long the worker waits for more same-key jobs after draining
+    /// the queue. Zero (the default) never adds latency: batches form
+    /// only from backlog that already exists.
+    pub linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max: 16,
+            linger: Duration::ZERO,
+        }
+    }
 }
 
 /// Supervision policy for the worker pool.
@@ -139,6 +206,14 @@ pub struct TransportState {
     /// In-flight jobs rescued with a terminal response while their
     /// worker was dying.
     pub worker_rescued: AtomicU64,
+    /// Multi-member batches formed at dequeue (size ≥ 2).
+    pub batches_formed: AtomicU64,
+    /// Total members across all formed batches.
+    pub batch_members: AtomicU64,
+    /// Policy resolutions skipped by batching: every batch member past
+    /// the first shares the leader's single cache lookup / checkpoint
+    /// deserialize / training run.
+    pub amortized_loads: AtomicU64,
     /// The pool is supervised (deaths are transient, not terminal).
     supervised: AtomicBool,
     /// Set by the supervisor when every worker is gone and the restart
@@ -227,9 +302,11 @@ impl TransportState {
 
 /// Counts a recovered lock poisoning: the panic that poisoned the lock
 /// is already being handled elsewhere; the plain data under these locks
-/// (an output byte stream, a queue receiver) is never left in a torn
-/// state, so the right response is to keep serving, loudly.
-fn count_lock_recovered(which: &'static str) {
+/// (an output byte stream, a job queue, a cache map) is never left in a
+/// torn state, so the right response is to keep serving, loudly.
+/// `pub(crate)` so the cache and engine layers recover with the same
+/// counter and discipline.
+pub(crate) fn count_lock_recovered(which: &'static str) {
     tpp_obs::metrics().counter("serve.lock_recovered").inc();
     obs_event!(Level::Warn, "serve.lock_recovered", lock = which);
 }
@@ -248,6 +325,131 @@ pub(crate) fn write_response(out: &SharedWriter, line: &str) -> bool {
         poisoned.into_inner()
     });
     writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+}
+
+#[derive(Default)]
+struct JobQueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded job queue behind the worker pool. Replaces a plain
+/// `sync_channel` so the dequeue path can *drain* — pull every queued
+/// job matching a batch key in one critical section — which a channel
+/// cannot express. Semantics otherwise match the channel it replaced:
+/// `try_push` fails on full or closed, `pop` blocks until a job or
+/// close-and-empty, and closing lets workers drain the backlog before
+/// exiting.
+pub(crate) struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(JobQueueInner::default()),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// A poisoned queue lock is recovered: the `VecDeque` under it is
+    /// never left torn by an unwinding holder, and giving up here would
+    /// kill every worker in turn.
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobQueueInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            count_lock_recovered("queue");
+            poisoned.into_inner()
+        })
+    }
+
+    /// Enqueues a job, or hands it back when the queue is full or
+    /// closed (the caller sheds).
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.lock();
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        // Wake everyone: a lingering batch drainer may be waiting on
+        // the same condvar as idle workers.
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (FIFO) or the queue is closed
+    /// *and* empty — the backlog is always drained before `None`.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap_or_else(|poisoned| {
+                count_lock_recovered("queue");
+                poisoned.into_inner()
+            });
+        }
+    }
+
+    /// Non-blocking pop, for the shutdown post-mortem drain.
+    fn try_pop(&self) -> Option<Job> {
+        self.lock().jobs.pop_front()
+    }
+
+    /// Extracts up to `max_more` queued jobs whose line matches `key`,
+    /// from anywhere in the queue; non-matching jobs keep their FIFO
+    /// order. With a non-zero `linger` the worker then waits for more
+    /// same-key arrivals until the cap or the linger deadline — never
+    /// past a close.
+    fn drain_matching(&self, key: &BatchKey, max_more: usize, linger: Duration) -> Vec<Job> {
+        let mut out = Vec::new();
+        if max_more == 0 {
+            return out;
+        }
+        let deadline = (!linger.is_zero()).then(|| Instant::now() + linger);
+        let mut inner = self.lock();
+        loop {
+            let mut i = 0;
+            while i < inner.jobs.len() && out.len() < max_more {
+                if batch_key(&inner.jobs[i].line).as_ref() == Some(key) {
+                    out.extend(inner.jobs.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if out.len() >= max_more || inner.closed {
+                break;
+            }
+            let Some(deadline) = deadline else { break };
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|poisoned| {
+                    count_lock_recovered("queue");
+                    poisoned.into_inner()
+                });
+            inner = next;
+        }
+        out
+    }
+
+    /// Closes the queue: pushes fail from now on, and workers exit once
+    /// the backlog is drained.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
 }
 
 /// Per-worker heartbeat/progress word, shared with the supervisor.
@@ -300,6 +502,55 @@ impl Drop for JobRescue<'_> {
     }
 }
 
+/// Rescues a dying worker's in-flight *batch*: if this guard drops
+/// while still armed, `handle_batch` is unwinding mid-batch — every
+/// member not yet delivered gets a terminal crash response during the
+/// unwind, so a poison pill in one batch slot never swallows its
+/// neighbours' responses. Everything here is panic-free plain code.
+struct BatchRescue<'a> {
+    engine: &'a ServeEngine,
+    jobs: &'a [Job],
+    answered: &'a [AtomicBool],
+    armed: bool,
+}
+
+impl Drop for BatchRescue<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let t = &self.engine.transport;
+        for (job, done) in self.jobs.iter().zip(self.answered) {
+            if done.load(Ordering::SeqCst) {
+                continue;
+            }
+            let _trace = tpp_obs::trace::enter(job.trace);
+            t.worker_rescued.fetch_add(1, Ordering::Relaxed);
+            tpp_obs::metrics().counter("serve.worker_rescued").inc();
+            obs_event!(Level::Error, "serve.job_rescued", batched = true);
+            let response = self.engine.worker_crash_response(&job.line);
+            deliver_to_job(self.engine, job, &response);
+        }
+    }
+}
+
+/// Writes one response to a job's connection and settles its
+/// accounting (response count, undeliverable tally).
+fn deliver_to_job(engine: &ServeEngine, job: &Job, response: &str) {
+    let delivered = write_response(&job.out, response);
+    if let Some(track) = &job.track {
+        track.responses.fetch_add(1, Ordering::Relaxed);
+    }
+    if !delivered {
+        engine
+            .transport
+            .undeliverable_responses
+            .fetch_add(1, Ordering::Relaxed);
+        tpp_obs::metrics().counter("serve.write_failed").inc();
+        obs_event!(Level::Warn, "serve.response_undeliverable", path = "worker");
+    }
+}
+
 /// Decrements `workers_alive` however the worker thread exits —
 /// normal return or panic unwind.
 struct AliveGuard<'a>(&'a TransportState);
@@ -310,74 +561,107 @@ impl Drop for AliveGuard<'_> {
     }
 }
 
-/// The body of one worker thread: dequeue, stamp the heartbeat, answer,
-/// stamp progress. Exits when the queue closes or the supervisor has
-/// retired it.
+/// The body of one worker thread: dequeue, stamp the heartbeat, gather
+/// a same-key batch from the backlog, answer, stamp progress. Exits
+/// when the queue closes or the supervisor has retired it.
 fn worker_loop(
     engine: Arc<ServeEngine>,
-    rx: Arc<Mutex<Receiver<Job>>>,
+    queue: Arc<JobQueue>,
     ctl: Arc<WorkerCtl>,
     epoch: Instant,
+    batch: BatchConfig,
 ) {
     let _alive = AliveGuard(&engine.transport);
     loop {
         if ctl.replaced.load(Ordering::SeqCst) {
             break; // retired by the supervisor; a replacement is running
         }
-        // Hold the receiver lock only while dequeuing. A poisoned lock
-        // is recovered: the channel itself is not corruptible by an
-        // unwinding holder, and giving up here would kill every worker
-        // in turn.
-        let job = {
-            let guard = rx.lock().unwrap_or_else(|poisoned| {
-                count_lock_recovered("queue");
-                poisoned.into_inner()
-            });
-            match guard.recv() {
-                Ok(job) => job,
-                Err(_) => break, // sender dropped and queue drained
-            }
+        let Some(job) = queue.pop() else {
+            break; // queue closed and drained
         };
         ctl.busy_since_ms
             .store(epoch.elapsed().as_millis() as u64 + 1, Ordering::SeqCst);
-        let t = &engine.transport;
-        t.queue_dec();
-        if t.draining() {
-            t.drained_in_flight.fetch_add(1, Ordering::Relaxed);
-        }
-        let wait_us = job.enqueued.elapsed().as_micros() as u64;
-        tpp_obs::metrics()
-            .histogram("serve.queue_wait_us")
-            .record(wait_us);
-        // The request's trace context spans the whole worker turn; the
-        // closing `serve.job` event names the root span and carries the
-        // end-to-end duration so reconstruction can close it.
-        let _trace = tpp_obs::trace::enter(job.trace);
-        obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
-        let mut rescue = JobRescue {
-            engine: &engine,
-            job: &job,
-            armed: true,
+        // Batch formation: drain every queued job sharing this job's
+        // policy key (matched jobs jump ahead of non-matching earlier
+        // arrivals; non-members keep their FIFO order among
+        // themselves). Linger is bounded and zero by default, so an
+        // empty queue costs nothing.
+        let followers = if batch.max > 1 {
+            match batch_key(&job.line) {
+                Some(key) => queue.drain_matching(&key, batch.max - 1, batch.linger),
+                None => Vec::new(),
+            }
+        } else {
+            Vec::new()
         };
-        let response = engine.handle_line(&job.line);
-        rescue.armed = false;
-        drop(rescue);
-        let delivered = write_response(&job.out, &response);
-        if let Some(track) = &job.track {
-            track.responses.fetch_add(1, Ordering::Relaxed);
+        let t = &engine.transport;
+        let members: Vec<Job> = std::iter::once(job).chain(followers).collect();
+        for member in &members {
+            t.queue_dec();
+            if t.draining() {
+                t.drained_in_flight.fetch_add(1, Ordering::Relaxed);
+            }
+            let wait_us = member.enqueued.elapsed().as_micros() as u64;
+            tpp_obs::metrics()
+                .histogram("serve.queue_wait_us")
+                .record(wait_us);
+            // Each member's trace context spans its whole worker turn;
+            // the closing `serve.job` event names the root span and
+            // carries the end-to-end duration so reconstruction can
+            // close it.
+            let _trace = tpp_obs::trace::enter(member.trace);
+            obs_event!(Level::Debug, "serve.dequeued", queue_wait_us = wait_us);
         }
-        if !delivered {
-            t.undeliverable_responses.fetch_add(1, Ordering::Relaxed);
-            tpp_obs::metrics().counter("serve.write_failed").inc();
-            obs_event!(Level::Warn, "serve.response_undeliverable", path = "worker");
+        if members.len() == 1 {
+            let job = &members[0];
+            let _trace = tpp_obs::trace::enter(job.trace);
+            let mut rescue = JobRescue {
+                engine: &engine,
+                job,
+                armed: true,
+            };
+            let response = engine.handle_line(&job.line);
+            rescue.armed = false;
+            drop(rescue);
+            deliver_to_job(&engine, job, &response);
+        } else {
+            // Batch turn: one policy resolution answers every member;
+            // responses fan back out to each member's own connection
+            // writer as they are produced. The rescue guard answers
+            // every member a mid-batch panic leaves behind.
+            let answered: Vec<AtomicBool> =
+                members.iter().map(|_| AtomicBool::new(false)).collect();
+            let mut rescue = BatchRescue {
+                engine: &engine,
+                jobs: &members,
+                answered: &answered,
+                armed: true,
+            };
+            let items: Vec<BatchItem<'_>> = members
+                .iter()
+                .map(|j| BatchItem {
+                    line: &j.line,
+                    trace: j.trace,
+                })
+                .collect();
+            engine.handle_batch(&items, &mut |idx, response| {
+                answered[idx].store(true, Ordering::SeqCst);
+                deliver_to_job(&engine, &members[idx], &response);
+            });
+            rescue.armed = false;
+            drop(rescue);
         }
-        obs_event!(
-            Level::Debug,
-            "serve.job",
-            duration_us = job.enqueued.elapsed().as_micros() as u64,
-            queue_wait_us = wait_us,
-        );
-        ctl.jobs_done.fetch_add(1, Ordering::Relaxed);
+        for member in &members {
+            let _trace = tpp_obs::trace::enter(member.trace);
+            obs_event!(
+                Level::Debug,
+                "serve.job",
+                duration_us = member.enqueued.elapsed().as_micros() as u64,
+                batch_size = members.len() as u64,
+            );
+        }
+        ctl.jobs_done
+            .fetch_add(members.len() as u64, Ordering::Relaxed);
         ctl.busy_since_ms.store(0, Ordering::SeqCst);
     }
     ctl.exited_clean.store(true, Ordering::SeqCst);
@@ -408,8 +692,7 @@ struct PoolState {
 /// queued, then exit — that is the "answer every in-flight request"
 /// half of graceful drain.
 pub(crate) struct WorkerPool {
-    tx: SyncSender<Job>,
-    rx: Arc<Mutex<Receiver<Job>>>,
+    queue: Arc<JobQueue>,
     engine: Arc<ServeEngine>,
     state: Arc<Mutex<PoolState>>,
     stop: Arc<AtomicBool>,
@@ -423,8 +706,9 @@ fn lock_pool(state: &Mutex<PoolState>) -> std::sync::MutexGuard<'_, PoolState> {
 
 fn spawn_worker(
     engine: &Arc<ServeEngine>,
-    rx: &Arc<Mutex<Receiver<Job>>>,
+    queue: &Arc<JobQueue>,
     epoch: Instant,
+    batch: &BatchConfig,
 ) -> (std::thread::JoinHandle<()>, Arc<WorkerCtl>) {
     let ctl = Arc::new(WorkerCtl::default());
     // Count the worker alive before its thread runs, so a supervisor
@@ -432,25 +716,25 @@ fn spawn_worker(
     engine.transport.worker_started();
     let handle = {
         let engine = Arc::clone(engine);
-        let rx = Arc::clone(rx);
+        let queue = Arc::clone(queue);
         let ctl = Arc::clone(&ctl);
-        std::thread::spawn(move || worker_loop(engine, rx, ctl, epoch))
+        let batch = batch.clone();
+        std::thread::spawn(move || worker_loop(engine, queue, ctl, epoch, batch))
     };
     (handle, ctl)
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads over a queue of `capacity` jobs,
-    /// supervised per `config`.
+    /// supervised per `config`, batching per `batch`.
     pub(crate) fn spawn_with(
         engine: Arc<ServeEngine>,
         workers: usize,
         capacity: usize,
         config: SupervisorConfig,
+        batch: BatchConfig,
     ) -> WorkerPool {
-        let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
-            std::sync::mpsc::sync_channel(capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(JobQueue::new(capacity.max(1)));
         let epoch = Instant::now();
         let workers = workers.max(1);
         engine
@@ -463,7 +747,7 @@ impl WorkerPool {
             .store(config.enabled, Ordering::Relaxed);
         let mut slots = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (handle, ctl) = spawn_worker(&engine, &rx, epoch);
+            let (handle, ctl) = spawn_worker(&engine, &queue, epoch, &batch);
             slots.push(WorkerSlot {
                 handle: Some(handle),
                 ctl,
@@ -479,20 +763,20 @@ impl WorkerPool {
         let stop = Arc::new(AtomicBool::new(false));
         let supervisor = config.enabled.then(|| {
             let engine = Arc::clone(&engine);
-            let rx = Arc::clone(&rx);
+            let queue = Arc::clone(&queue);
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let config = config.clone();
+            let batch = batch.clone();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(config.poll_interval);
-                    supervise_tick(&engine, &rx, &state, &config, epoch);
+                    supervise_tick(&engine, &queue, &state, &config, epoch, &batch);
                 }
             })
         });
         WorkerPool {
-            tx,
-            rx,
+            queue,
             engine,
             state,
             stop,
@@ -507,12 +791,12 @@ impl WorkerPool {
         if engine.transport.workers_dead() {
             return Err(job);
         }
-        match self.tx.try_send(job) {
+        match self.queue.try_push(job) {
             Ok(()) => {
                 engine.transport.queue_inc();
                 Ok(())
             }
-            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+            Err(job) => Err(job),
         }
     }
 
@@ -525,7 +809,7 @@ impl WorkerPool {
         if let Some(sup) = self.supervisor {
             let _ = sup.join();
         }
-        drop(self.tx);
+        self.queue.close();
         {
             let mut state = lock_pool(&self.state);
             for slot in &mut state.slots {
@@ -538,14 +822,10 @@ impl WorkerPool {
             }
         }
         // Post-mortem drain: a pool whose workers all died before the
-        // sender dropped leaves jobs in the channel. Answer them inline
-        // (with panic isolation — one of them may be the poison that
-        // killed the pool).
-        let rx = self.rx.lock().unwrap_or_else(|poisoned| {
-            count_lock_recovered("queue");
-            poisoned.into_inner()
-        });
-        while let Ok(job) = rx.try_recv() {
+        // queue closed leaves jobs behind. Answer them inline (with
+        // panic isolation — one of them may be the poison that killed
+        // the pool).
+        while let Some(job) = self.queue.try_pop() {
             self.engine.transport.queue_dec();
             let response = catch_unwind(AssertUnwindSafe(|| self.engine.handle_line(&job.line)))
                 .unwrap_or_else(|_| self.engine.worker_crash_response(&job.line));
@@ -570,10 +850,11 @@ impl WorkerPool {
 /// nothing can ever answer again.
 fn supervise_tick(
     engine: &Arc<ServeEngine>,
-    rx: &Arc<Mutex<Receiver<Job>>>,
+    queue: &Arc<JobQueue>,
     state: &Mutex<PoolState>,
     config: &SupervisorConfig,
     epoch: Instant,
+    batch: &BatchConfig,
 ) {
     let t = &engine.transport;
     let now = Instant::now();
@@ -607,7 +888,7 @@ fn supervise_tick(
                 if let Some(handle) = slot.handle.take() {
                     let _ = handle.join(); // finished; reclaim promptly
                 }
-                let (handle, ctl) = spawn_worker(engine, rx, epoch);
+                let (handle, ctl) = spawn_worker(engine, queue, epoch, batch);
                 slot.handle = Some(handle);
                 slot.ctl = ctl;
                 slot.death_noted = false;
@@ -645,7 +926,7 @@ fn supervise_tick(
                     retired.push(handle);
                 }
                 if *restarts_used < config.max_restarts {
-                    let (handle, ctl) = spawn_worker(engine, rx, epoch);
+                    let (handle, ctl) = spawn_worker(engine, queue, epoch, batch);
                     slot.handle = Some(handle);
                     slot.ctl = ctl;
                     slot.death_noted = false;

@@ -70,5 +70,13 @@ if [[ $quick -eq 0 ]]; then
     --require-restarts --require-breaker-recovered --seed 11 -q \
     --flight-dir /tmp/tpp-flight-check \
     --out /tmp/BENCH_selfheal_check.json
+  # Hot-heavy batching storm, run unbatched then batched: must form
+  # real batches and amortize policy resolutions, or exit 1; the
+  # report carries before/after p99 under a `batching` object.
+  run ./target/release/rl-planner bench --load --rate 600 --duration-s 2 \
+    --episodes 400 --deadline-ms 500 --workers 2 --capacity 128 \
+    --profile hot-heavy --seed 7 -q \
+    --require-batching --compare-batching \
+    --out /tmp/BENCH_batching_check.json
 fi
 echo "All checks passed."
