@@ -249,7 +249,9 @@ fn gold_trip(instance: &PlanningInstance, start: Option<ItemId>) -> Plan {
         next.sort_by(|a, b| {
             let ka = a.pop_sum / a.items.len() as f64 + 0.05 * a.items.len() as f64;
             let kb = b.pop_sum / b.items.len() as f64 + 0.05 * b.items.len() as f64;
-            kb.partial_cmp(&ka).expect("finite")
+            // total_cmp: a NaN score (degenerate candidate) must not
+            // panic the beam search, just sort deterministically.
+            kb.total_cmp(&ka)
         });
         next.truncate(WIDTH);
         beam = next;

@@ -11,7 +11,8 @@
 //! rl-planner recommend --dataset <name> (--policy policy.qpol | --checkpoint-dir DIR) [--start CODE]
 //! rl-planner serve [--checkpoint-dir DIR] [--socket PATH] [--tcp HOST:PORT] [...]
 //! rl-planner datagen --dataset <name> --out dataset.json
-//! rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
+//! rl-planner bench [--dataset <name>] [--episodes N] [--seed N]
+//!   [--max-q-bytes N] [--out BENCH_train.json]
 //! rl-planner bench --load [--rate N] [--duration-s S] [--chaos SPEC] [...]
 //! ```
 //!
@@ -121,7 +122,8 @@ const USAGE: &str = "usage:
   rl-planner obs metrics SNAPSHOT.json [--format prom|text|json]
   rl-planner obs trace TRACE.jsonl [--trace-id HEX]
   rl-planner datagen --dataset <name> --out dataset.json
-  rl-planner bench [--dataset <name>] [--episodes N] [--seed N] [--out BENCH_train.json]
+  rl-planner bench [--dataset <name>] [--episodes N] [--seed N]
+                   [--max-q-bytes N] [--out BENCH_train.json]
   rl-planner bench --serve [--dataset <name>] [--requests N] [--episodes N]
                    [--seed N] [--out BENCH_serve.json]
   rl-planner bench --load [--addr HOST:PORT] [--rate N] [--duration-s S]
@@ -222,7 +224,7 @@ global flags (anywhere on the line):
   --metrics OUT   write the metrics registry to OUT as JSON ('-' = text on stdout)
   -v, --verbose   pretty-print events on stderr (per-episode detail)
   -q, --quiet     suppress the post-command metrics summary
-datasets: ds-ct cyber cs univ2 nyc paris";
+datasets: ds-ct cyber cs univ2 nyc paris city-1k city-10k city-100k";
 
 /// Global observability options, extracted before subcommand dispatch.
 struct ObsOptions {
@@ -947,20 +949,31 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                 .unwrap_or("0")
                 .parse()
                 .map_err(|_| "bad --seed")?;
+            let max_q_bytes: Option<usize> = flags
+                .get("max-q-bytes")
+                .map(|n| n.parse().map_err(|_| "bad --max-q-bytes"))
+                .transpose()?;
             let out = flags.get("out").unwrap_or("BENCH_train.json");
             let names: Vec<&str> = match flags.get("dataset") {
                 Some(d) => vec![d],
-                None => vec!["ds-ct", "univ2", "nyc", "paris"],
+                None => vec!["ds-ct", "univ2", "nyc", "paris", "city-1k", "city-10k"],
             };
             let mut rows = Vec::with_capacity(names.len());
             for name in names {
                 let (instance, mut params) = dataset(name)?;
-                if let Some(n) = episodes {
-                    params.episodes = n;
-                }
+                // City-scale catalogs: the naive engine's full prefix
+                // rescans are quadratic in |I| and would dominate the
+                // whole bench, so large rows measure the incremental
+                // engine only, with a bounded default episode budget.
+                let large = instance.catalog.len() > tpp_core::DENSE_AUTO_MAX;
+                params.episodes = match episodes {
+                    Some(n) => n,
+                    None if large => 300,
+                    None => params.episodes,
+                };
                 let start = resolve_start(&instance, flags.get("start"))?;
                 let params = params.with_start(start);
-                let run = |params: &PlannerParams| -> (f64, f64) {
+                let run = |params: &PlannerParams| -> (f64, f64, usize, bool) {
                     let t0 = std::time::Instant::now();
                     let (policy, _) = RlPlanner::learn(&instance, params, seed);
                     let secs = t0.elapsed().as_secs_f64().max(1e-9);
@@ -968,38 +981,73 @@ fn run(args: &[String], obs: &ObsOptions) -> Result<Outcome, String> {
                         &instance,
                         &RlPlanner::recommend(&policy, &instance, params, start),
                     );
-                    (params.episodes as f64 / secs, score)
+                    (
+                        params.episodes as f64 / secs,
+                        score,
+                        policy.q.approx_bytes(),
+                        policy.q.is_sparse(),
+                    )
                 };
                 // Warm up caches/allocator on the incremental engine so
                 // neither measured run pays first-touch costs.
                 let mut warm = params.clone();
                 warm.episodes = warm.episodes.min(5);
                 let _ = run(&warm);
-                let (incremental_eps, score) = run(&params);
-                let (naive_eps, naive_score) = run(&params.clone().with_naive_hot_path(true));
+                let (incremental_eps, score, q_approx_bytes, sparse) = run(&params);
+                let (naive_eps, naive_score) = if large {
+                    (None, None)
+                } else {
+                    let (eps, s, _, _) = run(&params.clone().with_naive_hot_path(true));
+                    (Some(eps), Some(s))
+                };
                 let row = BenchRow {
                     dataset: name.to_owned(),
                     items: instance.catalog.len(),
                     episodes: params.episodes,
                     incremental_episodes_per_sec: incremental_eps,
                     naive_episodes_per_sec: naive_eps,
-                    speedup: incremental_eps / naive_eps,
+                    speedup: naive_eps.map(|n| incremental_eps / n),
                     score,
-                    scores_match: score.to_bits() == naive_score.to_bits(),
+                    scores_match: naive_score
+                        .map(|n| score.to_bits() == n.to_bits())
+                        .unwrap_or(true),
+                    q_approx_bytes,
+                    sparse,
                 };
-                println!(
-                    "{:8} {:4} items  {:5} episodes  incremental {:9.1} ep/s  naive {:9.1} ep/s  speedup {:.2}x",
-                    row.dataset,
-                    row.items,
-                    row.episodes,
-                    row.incremental_episodes_per_sec,
-                    row.naive_episodes_per_sec,
-                    row.speedup
-                );
+                match (row.naive_episodes_per_sec, row.speedup) {
+                    (Some(naive), Some(speedup)) => println!(
+                        "{:8} {:6} items  {:5} episodes  incremental {:9.1} ep/s  naive {:9.1} ep/s  speedup {:.2}x  q {} bytes",
+                        row.dataset,
+                        row.items,
+                        row.episodes,
+                        row.incremental_episodes_per_sec,
+                        naive,
+                        speedup,
+                        row.q_approx_bytes
+                    ),
+                    _ => println!(
+                        "{:8} {:6} items  {:5} episodes  incremental {:9.1} ep/s  (naive skipped at this scale)  q {} bytes ({})",
+                        row.dataset,
+                        row.items,
+                        row.episodes,
+                        row.incremental_episodes_per_sec,
+                        row.q_approx_bytes,
+                        if row.sparse { "sparse" } else { "dense" }
+                    ),
+                }
                 if !row.scores_match {
                     eprintln!(
-                        "warning: {name} scores diverge (incremental {score}, naive {naive_score})"
+                        "warning: {name} scores diverge (incremental {score}, naive {naive_score:?})"
                     );
+                }
+                if let Some(cap) = max_q_bytes {
+                    if row.q_approx_bytes > cap {
+                        return Err(format!(
+                            "{name}: resident Q-table is {} bytes, over the --max-q-bytes cap of {cap} \
+                             (a dense allocation leaked into the sparse path?)",
+                            row.q_approx_bytes
+                        ));
+                    }
                 }
                 rows.push(row);
             }
@@ -1569,19 +1617,29 @@ fn bench_load(flags: &Flags, obs: &ObsOptions) -> Result<Outcome, String> {
     Ok(Outcome::Clean)
 }
 
-/// One dataset's timing comparison in the `bench` report.
+/// One dataset's timing comparison in the `bench` report. City-scale
+/// rows skip the naive engine (quadratic rescans don't finish at that
+/// scale), so the naive/speedup columns are `null` there.
 #[derive(serde::Serialize)]
 struct BenchRow {
     dataset: String,
     items: usize,
     episodes: usize,
     incremental_episodes_per_sec: f64,
-    naive_episodes_per_sec: f64,
-    speedup: f64,
+    /// `null` on city-scale rows (naive engine skipped).
+    naive_episodes_per_sec: Option<f64>,
+    /// `null` on city-scale rows (naive engine skipped).
+    speedup: Option<f64>,
     score: f64,
     /// Sanity bit: the two engines produced bit-identical final scores
     /// (they always should; the equivalence suite enforces it).
+    /// Vacuously true when the naive engine was skipped.
     scores_match: bool,
+    /// Resident bytes of the learned Q-table — the no-dense-allocation
+    /// gate for city-scale rows (`--max-q-bytes`).
+    q_approx_bytes: usize,
+    /// Whether the learned table used the sparse representation.
+    sparse: bool,
 }
 
 /// The JSON document `rl-planner bench` writes (`BENCH_train.json`).

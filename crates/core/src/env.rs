@@ -8,12 +8,12 @@
 //! as *action validity*, so the learner only ever explores feasible
 //! itineraries.
 
-use crate::params::PlannerParams;
+use crate::params::{PlannerParams, ShortlistMode};
 use crate::reward::{RewardModel, SimTracker};
 use std::cell::{Cell, RefCell};
-use tpp_geo::{haversine_km, DistanceMatrix, GeoPoint};
+use tpp_geo::{haversine_km, DistanceMatrix, GeoPoint, GridIndex};
 use tpp_model::{ItemId, ItemKind, Plan, PlanningInstance, TopicVector};
-use tpp_rl::{Environment, StepOutcome};
+use tpp_rl::{Environment, StepOutcome, DENSE_AUTO_MAX};
 
 /// Float tolerance on the `#cr` budget boundary, shared by the
 /// admission gate and the course termination check so the two can never
@@ -98,6 +98,23 @@ enum DistCache {
     },
 }
 
+/// Grid-pruned candidate shortlisting for city-scale trip catalogs:
+/// `valid_actions` queries the spatial index for unvisited POIs within
+/// `radius_km` of the current item and keeps the first `top_k` that
+/// pass the constraint gate (nearest-first), instead of gating all `n`
+/// items. A **documented approximation**: exploration is restricted to
+/// the geographic neighbourhood of the current item, and an empty
+/// shortlist ends the episode early even if a feasible far-away item
+/// exists. The full scan stays available as the measured baseline
+/// (`ShortlistMode::Off`).
+#[derive(Debug, Clone)]
+struct Shortlist {
+    grid: GridIndex<usize>,
+    points: Vec<GeoPoint>,
+    radius_km: f64,
+    top_k: usize,
+}
+
 /// The TPP environment over one planning instance.
 #[derive(Debug, Clone)]
 pub struct TppEnv<'a> {
@@ -109,6 +126,8 @@ pub struct TppEnv<'a> {
     gates: Cell<GateCounts>,
     /// Distance structure for `leg_km` (trips).
     dist: DistCache,
+    /// Grid-pruned action shortlisting (`None` = full scan).
+    shortlist: Option<Shortlist>,
     /// `#cr + ε`, precomputed for the admission gate.
     credits_admit_cap: f64,
     /// `#cr − ε`, precomputed for the course termination check.
@@ -147,14 +166,36 @@ impl<'a> TppEnv<'a> {
             instance.is_trip(),
         );
         let naive = params.naive_hot_path;
-        let dist = if instance.is_trip() && !naive {
-            let points: Option<Vec<GeoPoint>> = instance
+        let geo_points = || -> Option<Vec<GeoPoint>> {
+            instance
                 .catalog
                 .items()
                 .iter()
                 .map(|i| i.poi.map(|p| GeoPoint::new(p.lat, p.lon)))
-                .collect();
-            match points {
+                .collect()
+        };
+        let shortlist_wanted = match params.shortlist {
+            ShortlistMode::Off => false,
+            ShortlistMode::On => true,
+            ShortlistMode::Auto => instance.is_trip() && n > DENSE_AUTO_MAX,
+        };
+        // The shortlist needs full POI geometry; course catalogs (or
+        // unvalidated trip catalogs with POI-less items) fall back to
+        // the full scan.
+        let shortlist = (shortlist_wanted && instance.is_trip())
+            .then(geo_points)
+            .flatten()
+            .and_then(|points| {
+                let grid = GridIndex::from_points(points.iter().copied().zip(0..))?;
+                Some(Shortlist {
+                    grid,
+                    points,
+                    radius_km: params.shortlist_radius_km,
+                    top_k: params.shortlist_top_k.max(1),
+                })
+            });
+        let dist = if instance.is_trip() && !naive {
+            match geo_points() {
                 // A POI-less item in a trip catalog is rejected by
                 // `PlanningInstance::validate`; an unvalidated instance
                 // keeps the direct path (and its original panic site).
@@ -162,6 +203,13 @@ impl<'a> TppEnv<'a> {
                 Some(points) => {
                     match DistanceMatrix::build_capped(&points, DistanceMatrix::DEFAULT_CAP) {
                         Some(m) => DistCache::Matrix(m),
+                        // Over the matrix cap the per-step choice is a
+                        // full O(n) lazy-row rebuild vs one haversine
+                        // per probe. With a shortlist only ~top_k legs
+                        // are probed per step, so direct evaluation
+                        // wins (all three paths delegate to
+                        // `haversine_km` and are bit-identical).
+                        None if shortlist.is_some() => DistCache::Direct,
                         None => DistCache::Lazy {
                             points,
                             row: RefCell::new(tpp_geo::LazyRowCache::new()),
@@ -179,6 +227,7 @@ impl<'a> TppEnv<'a> {
             horizon: instance.horizon(),
             gates: Cell::new(GateCounts::default()),
             dist,
+            shortlist,
             credits_admit_cap: instance.hard.credits + CREDIT_EPS,
             credits_done_floor: instance.hard.credits - CREDIT_EPS,
             naive,
@@ -329,14 +378,38 @@ impl Environment for TppEnv<'_> {
             return;
         }
         let mut g = self.gates.get();
-        for j in 0..self.visited.len() {
-            if self.visited[j] {
-                continue;
+        if let Some(sl) = &self.shortlist {
+            // Grid-pruned shortlist: gate candidates nearest-first and
+            // stop once `top_k` pass, then restore ascending index
+            // order so downstream tie-breaking ("lower index wins")
+            // keeps its meaning.
+            let here = &sl.points[self.current];
+            for (_, &j) in sl.grid.within_radius(here, sl.radius_km) {
+                if self.visited[j] {
+                    continue;
+                }
+                g.checked += 1;
+                match self.gate(j) {
+                    None => {
+                        buf.push(j);
+                        if buf.len() >= sl.top_k {
+                            break;
+                        }
+                    }
+                    Some(reason) => g.bump(reason),
+                }
             }
-            g.checked += 1;
-            match self.gate(j) {
-                None => buf.push(j),
-                Some(reason) => g.bump(reason),
+            buf.sort_unstable();
+        } else {
+            for j in 0..self.visited.len() {
+                if self.visited[j] {
+                    continue;
+                }
+                g.checked += 1;
+                match self.gate(j) {
+                    None => buf.push(j),
+                    Some(reason) => g.bump(reason),
+                }
             }
         }
         self.gates.set(g);

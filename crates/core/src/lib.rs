@@ -35,7 +35,7 @@ pub mod transfer;
 
 pub use env::{GateCounts, GateReject, TppEnv};
 pub use feedback::{Feedback, FeedbackConfig, FeedbackLoop};
-pub use params::{PlannerParams, SimAggregate, StartPolicy, TypeWeights};
+pub use params::{PlannerParams, QReprMode, ShortlistMode, SimAggregate, StartPolicy, TypeWeights};
 pub use planner::{LearnedPolicy, RlPlanner};
 pub use reward::{InterleavingKernel, RewardModel, SimTracker};
 pub use score::{plan_violations, raw_score, score_plan};
@@ -45,4 +45,4 @@ pub use transfer::{course_mapping_by_code, poi_mapping_by_theme, transfer_policy
 // (serving deadlines, `train --max-seconds`) lives in `tpp-rl` so the
 // RL substrate's rollouts can share it; re-exported here because the
 // planner API is where most callers meet it.
-pub use tpp_rl::{Budget, BudgetStop};
+pub use tpp_rl::{Budget, BudgetStop, DENSE_AUTO_MAX};

@@ -62,6 +62,34 @@ impl TypeWeights {
     }
 }
 
+/// Which Q-table representation training allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QReprMode {
+    /// Dense up to `tpp_rl::DENSE_AUTO_MAX` items, sparse above — the
+    /// default, mirroring `DistanceMatrix::DEFAULT_CAP`'s auto cutover.
+    Auto,
+    /// Always dense (fails on catalogs past the dense element ceiling
+    /// instead of allocating `n²` doubles).
+    Dense,
+    /// Always sparse (useful for equivalence testing on small catalogs).
+    Sparse,
+}
+
+/// Whether `TppEnv::valid_actions` scans the whole catalog or a
+/// grid-pruned, top-k shortlist around the current item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShortlistMode {
+    /// Shortlist on trip catalogs above `tpp_rl::DENSE_AUTO_MAX` items,
+    /// full scan below — the default.
+    Auto,
+    /// Always the full O(n) scan (the measured baseline, mirroring
+    /// `naive_hot_path`).
+    Off,
+    /// Always shortlist (requires POI geometry; course catalogs fall
+    /// back to the full scan).
+    On,
+}
+
 /// Where learning episodes (and recommendations) start.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StartPolicy {
@@ -112,6 +140,22 @@ pub struct PlannerParams {
     /// (the golden equivalence suite pins this); only the per-step work
     /// differs. Used by `rl-planner bench` as the speedup baseline.
     pub naive_hot_path: bool,
+    /// Q-table representation policy (not a Table III parameter): see
+    /// [`QReprMode`]. `Auto` keeps every seed dataset dense and
+    /// bit-identical to the pre-sparse engine.
+    pub q_repr: QReprMode,
+    /// Action-shortlist policy for city-scale catalogs (not a Table III
+    /// parameter): see [`ShortlistMode`]. Shortlisting is a documented
+    /// approximation — it restricts exploration to the geographic
+    /// neighbourhood of the current item — so `Auto` only engages it
+    /// where the full scan is intractable.
+    pub shortlist: ShortlistMode,
+    /// Geo radius (km) of the shortlist candidate query around the
+    /// current item.
+    pub shortlist_radius_km: f64,
+    /// Maximum number of gated candidates a shortlist returns
+    /// (nearest-first before the cap, ascending item index after it).
+    pub shortlist_top_k: usize,
 }
 
 impl PlannerParams {
@@ -132,6 +176,10 @@ impl PlannerParams {
             exploration: Self::default_exploration(),
             lambda: 0.9,
             naive_hot_path: false,
+            q_repr: QReprMode::Auto,
+            shortlist: ShortlistMode::Auto,
+            shortlist_radius_km: 3.0,
+            shortlist_top_k: 64,
         }
     }
 
@@ -152,6 +200,10 @@ impl PlannerParams {
             exploration: Self::default_exploration(),
             lambda: 0.9,
             naive_hot_path: false,
+            q_repr: QReprMode::Auto,
+            shortlist: ShortlistMode::Auto,
+            shortlist_radius_km: 3.0,
+            shortlist_top_k: 64,
         }
     }
 
@@ -172,6 +224,10 @@ impl PlannerParams {
             exploration: Self::default_exploration(),
             lambda: 0.9,
             naive_hot_path: false,
+            q_repr: QReprMode::Auto,
+            shortlist: ShortlistMode::Auto,
+            shortlist_radius_km: 3.0,
+            shortlist_top_k: 64,
         }
     }
 
@@ -208,6 +264,26 @@ impl PlannerParams {
     /// (builder style); see [`PlannerParams::naive_hot_path`].
     pub fn with_naive_hot_path(mut self, naive: bool) -> Self {
         self.naive_hot_path = naive;
+        self
+    }
+
+    /// Sets the Q-table representation policy (builder style).
+    pub fn with_q_repr(mut self, mode: QReprMode) -> Self {
+        self.q_repr = mode;
+        self
+    }
+
+    /// Sets the action-shortlist policy (builder style).
+    pub fn with_shortlist(mut self, mode: ShortlistMode) -> Self {
+        self.shortlist = mode;
+        self
+    }
+
+    /// Sets the shortlist geometry (builder style): candidate radius in
+    /// km and the top-k cap.
+    pub fn with_shortlist_geometry(mut self, radius_km: f64, top_k: usize) -> Self {
+        self.shortlist_radius_km = radius_km;
+        self.shortlist_top_k = top_k;
         self
     }
 
@@ -249,6 +325,15 @@ impl PlannerParams {
         }
         if !(0.0..=1.0).contains(&self.lambda) {
             return Err(format!("lambda must be in [0,1], got {}", self.lambda));
+        }
+        if !self.shortlist_radius_km.is_finite() || self.shortlist_radius_km <= 0.0 {
+            return Err(format!(
+                "shortlist radius must be positive and finite, got {}",
+                self.shortlist_radius_km
+            ));
+        }
+        if self.shortlist_top_k == 0 {
+            return Err("shortlist top-k must be at least 1".into());
         }
         Ok(())
     }

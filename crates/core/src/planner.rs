@@ -2,11 +2,11 @@
 //! by greedy Q-table traversal.
 
 use crate::env::TppEnv;
-use crate::params::{PlannerParams, StartPolicy};
+use crate::params::{PlannerParams, QReprMode, StartPolicy};
 use std::time::Instant;
 use tpp_model::{ItemId, Plan, PlanningInstance};
 use tpp_obs::{obs_event, Level};
-use tpp_rl::{Budget, Environment, QTable, TrainCheckpoint, TrainRng, TrainStats};
+use tpp_rl::{Budget, Environment, QTable, TrainCheckpoint, TrainRng, TrainStats, VisitTable};
 
 /// A learned policy: the Q-table plus the universe it indexes.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +30,7 @@ pub struct RlPlanner;
 fn select_action(
     env: &TppEnv<'_>,
     q: &QTable,
-    visits: &[u32],
-    n: usize,
+    visits: &VisitTable,
     allowed: &[usize],
     explore: f64,
     rng: &mut TrainRng,
@@ -60,13 +59,13 @@ fn select_action(
     // ensuring "extensive training" actually covers every tie member.
     let min_visits = best
         .iter()
-        .map(|&a| visits[s * n + a])
+        .map(|&a| visits.get(s, a))
         .min()
         .expect("non-empty");
     let least: Vec<usize> = best
         .iter()
         .copied()
-        .filter(|&a| visits[s * n + a] == min_visits)
+        .filter(|&a| visits.get(s, a) == min_visits)
         .collect();
     least[rng.index(least.len())]
 }
@@ -156,15 +155,23 @@ impl RlPlanner {
                         ckpt.episode, params.episodes,
                     ));
                 }
-                if !ckpt.visits.is_empty() && ckpt.visits.len() != n * n {
+                if !ckpt.visits.is_empty()
+                    && (ckpt.visits.n_states() != n || ckpt.visits.n_actions() != n)
+                {
                     return Err(format!(
-                        "checkpoint visit table has {} entries, expected {}",
-                        ckpt.visits.len(),
-                        n * n,
+                        "checkpoint visit table is {}x{}, expected {n}x{n}",
+                        ckpt.visits.n_states(),
+                        ckpt.visits.n_actions(),
                     ));
                 }
                 let visits = if ckpt.visits.is_empty() {
-                    vec![0u32; n * n]
+                    // Mirror the checkpoint Q-table's representation so
+                    // a resumed sparse run stays allocation-free.
+                    if ckpt.q.is_sparse() {
+                        VisitTable::sparse(n, n)
+                    } else {
+                        VisitTable::dense(n, n)
+                    }
                 } else {
                     ckpt.visits.clone()
                 };
@@ -176,13 +183,28 @@ impl RlPlanner {
                     ckpt.stats(),
                 )
             }
-            None => (
-                QTable::square(n),
-                TrainRng::seed_from_u64(seed),
-                0,
-                vec![0u32; n * n],
-                TrainStats::with_capacity(params.episodes),
-            ),
+            None => {
+                // The representation knob: Auto keeps seed-sized
+                // catalogs dense (bit-identical to the pre-sparse
+                // engine) and goes sparse at city scale; an explicit
+                // Dense request on an oversized catalog is a typed
+                // error, not an `n²` allocation.
+                let (q, visits) = match params.q_repr {
+                    QReprMode::Auto => (QTable::for_catalog(n), VisitTable::for_catalog(n)),
+                    QReprMode::Sparse => (QTable::sparse(n, n), VisitTable::sparse(n, n)),
+                    QReprMode::Dense => {
+                        let q = QTable::try_zeros(n, n).map_err(|e| e.to_string())?;
+                        (q, VisitTable::dense(n, n))
+                    }
+                };
+                (
+                    q,
+                    TrainRng::seed_from_u64(seed),
+                    0,
+                    visits,
+                    TrainStats::with_capacity(params.episodes),
+                )
+            }
         };
         let mut span = tpp_obs::span(Level::Info, "train.session")
             .with("catalog", instance.catalog.name())
@@ -209,7 +231,7 @@ impl RlPlanner {
         let mut maybe_checkpoint = |episode: usize,
                                     q: &QTable,
                                     rng: &TrainRng,
-                                    visits: &[u32],
+                                    visits: &VisitTable,
                                     stats: &TrainStats|
          -> Result<(), String> {
             let done = episode + 1;
@@ -221,7 +243,7 @@ impl RlPlanner {
                 episode: done as u64,
                 sched_pos: done as u64,
                 rng_state: rng.state(),
-                visits: visits.to_vec(),
+                visits: visits.clone(),
                 returns: stats.returns().to_vec(),
             })
         };
@@ -268,7 +290,7 @@ impl RlPlanner {
                 maybe_checkpoint(episode, &q, &rng, &visits, &stats)?;
                 continue;
             }
-            let mut a = select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
+            let mut a = select_action(&env, &q, &visits, &actions, explore, &mut rng);
             // Eligibility traces (SARSA(λ)): a TPP episode never repeats
             // a state-action pair, so the trace is simply the visited
             // pairs with geometrically decaying weights. Traces are what
@@ -280,7 +302,7 @@ impl RlPlanner {
                 budget.note_step();
                 let out = env.step(a);
                 ep_return += out.reward;
-                visits[s * n + a] += 1;
+                visits.bump(s, a);
                 trace.push((s, a, 1.0));
                 let (done, td_error) = if out.done {
                     (true, out.reward - q.get(s, a))
@@ -290,8 +312,7 @@ impl RlPlanner {
                     if actions.is_empty() {
                         (true, out.reward - q.get(s, a))
                     } else {
-                        let a_next =
-                            select_action(&env, &q, &visits, n, &actions, explore, &mut rng);
+                        let a_next = select_action(&env, &q, &visits, &actions, explore, &mut rng);
                         let delta =
                             out.reward + params.gamma * q.get(out.next_state, a_next) - q.get(s, a);
                         s = out.next_state;
@@ -417,13 +438,16 @@ impl RlPlanner {
             // (keep prerequisite chains schedulable; don't strand the
             // itinerary away from high-value continuations). Lower index
             // breaks exact (reward, Q) ties for determinism.
+            // total_cmp keeps the argmax panic-free when a corrupt or
+            // adversarial checkpoint smuggles a NaN into Q: the pick
+            // degrades deterministically instead of killing the worker.
             let best = actions
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
-                    (env.peek_reward(a), q.get(s, a))
-                        .partial_cmp(&(env.peek_reward(b), q.get(s, b)))
-                        .expect("values are finite")
+                    env.peek_reward(a)
+                        .total_cmp(&env.peek_reward(b))
+                        .then_with(|| q.get(s, a).total_cmp(&q.get(s, b)))
                         .then(b.cmp(&a))
                 })
                 .expect("actions is non-empty");
@@ -532,7 +556,7 @@ mod tests {
         let mut seen: Vec<u64> = Vec::new();
         let (_, stats) = RlPlanner::learn_checkpointed(&inst, &params, 3, None, 25, |ckpt| {
             assert_eq!(ckpt.returns.len() as u64, ckpt.episode);
-            assert_eq!(ckpt.visits.len(), 36);
+            assert_eq!((ckpt.visits.n_states(), ckpt.visits.n_actions()), (6, 6));
             seen.push(ckpt.episode);
             Ok(())
         })
@@ -641,7 +665,7 @@ mod tests {
             episode: 10,
             sched_pos: 10,
             rng_state: [1, 2, 3, 4],
-            visits: vec![],
+            visits: tpp_rl::VisitTable::empty(),
             returns: vec![0.0; 10],
         };
         let err = RlPlanner::learn_checkpointed(&inst, &params, 1, Some(&ckpt), 0, |_| Ok(()))

@@ -14,8 +14,10 @@
 //! If these ever diverge, the incremental engine has drifted from the
 //! paper's reward semantics — the naive path is the specification.
 
-use tpp_core::{score_plan, PlannerParams, RlPlanner, StartPolicy, TppEnv};
-use tpp_datagen::defaults::{NYC_SEED, PARIS_SEED, UNIV1_SEED, UNIV2_SEED};
+use tpp_core::{
+    score_plan, PlannerParams, QReprMode, RlPlanner, ShortlistMode, StartPolicy, TppEnv,
+};
+use tpp_datagen::defaults::{CITY_SEED, NYC_SEED, PARIS_SEED, UNIV1_SEED, UNIV2_SEED};
 use tpp_model::PlanningInstance;
 use tpp_rl::Environment;
 
@@ -95,6 +97,146 @@ fn lockstep_walk_is_bit_identical_on_all_datasets() {
             naive.plan().items(),
             "{name}: plans diverge"
         );
+    }
+}
+
+/// The dense-vs-sparse battery: the four benchmark datasets plus a
+/// seeded 1k-POI city catalog. The city instance is the one the sparse
+/// representation exists for; at 1 000 items it still fits a dense
+/// table, which is exactly what makes the bit-identity provable.
+fn repr_datasets() -> Vec<(&'static str, PlanningInstance, PlannerParams)> {
+    let mut out = datasets();
+    let city = tpp_datagen::city_1k(CITY_SEED);
+    // The generator promises a known-feasible gold plan; pin that here
+    // so a scoring regression can't hide behind representation noise.
+    assert!(
+        score_plan(&city.instance, &city.gold) > 0.0,
+        "city-1k gold plan must score positive"
+    );
+    let mut trip = PlannerParams::trip_defaults();
+    trip.episodes = 8;
+    out.push(("city-1k", city.instance, trip));
+    out
+}
+
+/// Walks a dense-Q-configured environment and a sparse-Q-configured one
+/// in lockstep. The representation knob must be invisible to the
+/// environment: valid sets and peeked rewards bit-identical at every
+/// step. Shortlisting is pinned off on both sides — it is a documented
+/// approximation, not an equivalence.
+#[test]
+fn lockstep_walk_is_repr_independent() {
+    for (name, instance, params) in repr_datasets() {
+        let dense_params = params
+            .clone()
+            .with_q_repr(QReprMode::Dense)
+            .with_shortlist(ShortlistMode::Off);
+        let sparse_params = params
+            .with_q_repr(QReprMode::Sparse)
+            .with_shortlist(ShortlistMode::Off);
+        let mut dense = TppEnv::new(&instance, &dense_params);
+        let mut sparse = TppEnv::new(&instance, &sparse_params);
+        let start = start_of(&instance);
+        dense.reset(start);
+        sparse.reset(start);
+        let (mut da, mut sa) = (Vec::new(), Vec::new());
+        let mut steps = 0usize;
+        loop {
+            dense.valid_actions(&mut da);
+            sparse.valid_actions(&mut sa);
+            assert_eq!(da, sa, "{name}: valid sets diverge at step {steps}");
+            if da.is_empty() {
+                break;
+            }
+            let mut best = (da[0], f64::NEG_INFINITY);
+            for &cand in &da {
+                let rd = dense.peek_reward(cand);
+                let rs = sparse.peek_reward(cand);
+                assert_eq!(
+                    rd.to_bits(),
+                    rs.to_bits(),
+                    "{name}: peek_reward({cand}) diverges at step {steps}"
+                );
+                if rd > best.1 {
+                    best = (cand, rd);
+                }
+            }
+            let od = dense.step(best.0);
+            let os = sparse.step(best.0);
+            assert_eq!(
+                od.reward.to_bits(),
+                os.reward.to_bits(),
+                "{name}: step reward diverges at step {steps}"
+            );
+            assert_eq!(od.done, os.done, "{name}: termination diverges");
+            steps += 1;
+            if od.done {
+                break;
+            }
+        }
+        assert!(steps > 0, "{name}: walk never advanced");
+        assert_eq!(
+            dense.plan().items(),
+            sparse.plan().items(),
+            "{name}: plans diverge"
+        );
+    }
+}
+
+/// Full training runs under `QReprMode::Dense` vs `QReprMode::Sparse`:
+/// every Q lookup, the recommended plan, and its score must be
+/// bit-identical — the sparse table is a storage change, not a policy
+/// change.
+#[test]
+fn training_is_bit_identical_dense_vs_sparse() {
+    for (name, instance, params) in repr_datasets() {
+        let start = instance.default_start.unwrap_or(tpp_model::ItemId(0));
+        let base = params.with_start(start).with_shortlist(ShortlistMode::Off);
+        let dense_params = base.clone().with_q_repr(QReprMode::Dense);
+        let sparse_params = base.with_q_repr(QReprMode::Sparse);
+        for seed in [0u64, 7] {
+            let (dense_policy, _) = RlPlanner::learn(&instance, &dense_params, seed);
+            let (sparse_policy, _) = RlPlanner::learn(&instance, &sparse_params, seed);
+            assert!(!dense_policy.q.is_sparse(), "{name}: Dense mode not dense");
+            assert!(
+                sparse_policy.q.is_sparse(),
+                "{name}: Sparse mode not sparse"
+            );
+            // Every materialized sparse entry matches the dense cell
+            // bit-for-bit...
+            for (s, a, v) in sparse_policy.q.iter_set() {
+                assert_eq!(
+                    v.to_bits(),
+                    dense_policy.q.get(s, a).to_bits(),
+                    "{name} seed {seed}: Q({s},{a}) diverges"
+                );
+            }
+            // ...and every dense non-zero cell is materialized, so the
+            // two tables agree on *all* n² lookups, not just the
+            // sparse support.
+            for (s, a, v) in dense_policy.q.iter_set() {
+                if v != 0.0 {
+                    assert_eq!(
+                        v.to_bits(),
+                        sparse_policy.q.get(s, a).to_bits(),
+                        "{name} seed {seed}: dense Q({s},{a}) missing from sparse"
+                    );
+                }
+            }
+            let dense_plan = RlPlanner::recommend(&dense_policy, &instance, &dense_params, start);
+            let sparse_plan =
+                RlPlanner::recommend(&sparse_policy, &instance, &sparse_params, start);
+            assert_eq!(
+                dense_plan.items(),
+                sparse_plan.items(),
+                "{name} seed {seed}: recommended plans diverge"
+            );
+            assert_eq!(
+                score_plan(&instance, &dense_plan).to_bits(),
+                score_plan(&instance, &sparse_plan).to_bits(),
+                "{name} seed {seed}: scores diverge"
+            );
+        }
     }
 }
 

@@ -1,0 +1,524 @@
+//! City-scale synthetic catalogs: 1k–100k POIs for stress-testing the
+//! planner's sparse Q representation and grid-pruned action shortlists.
+//!
+//! The paper's NYC/Paris universes stop at ~100 POIs; a metro-area POI
+//! dump is two to three orders of magnitude larger. This generator
+//! produces such catalogs with the spatial statistics that make the
+//! large-n fast paths meaningful:
+//!
+//! * **Clustered geography** — POIs concentrate in neighbourhood
+//!   clusters (center + gaussian offset), so a radius query prunes most
+//!   of the catalog instead of degenerating to a full scan.
+//! * **Zipfian theme popularity** — a few themes dominate, the tail is
+//!   thin, mirroring real place-category distributions.
+//! * **Half-star popularity ratings** skewed low, quantized like real
+//!   review data, with a small flagship set promoted to `Primary`.
+//! * **Cluster-local restaurant antecedents** — restaurants require a
+//!   museum/gallery from the *same* cluster (§II-B2's "museum before
+//!   restaurant", kept local so prerequisite chains never force a
+//!   cross-town leg that the distance threshold would reject).
+//!
+//! Every instance embeds one **known-feasible gold plan**: five
+//! hand-placed items walking cluster 0 in template order (`PSPSS`),
+//! 1 h each, a few hundred metres apart, pairwise theme-distinct and
+//! antecedent-free. The generator re-checks the plan against the hard
+//! constraints with a self-contained walk (this crate deliberately does
+//! not depend on the planner), so "the dataset is solvable" is a
+//! construction invariant, not a hope — and end-to-end tests can assert
+//! a positive score for it without searching.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_geo::BoundingBox;
+use tpp_model::{
+    Catalog, HardConstraints, Item, ItemId, ItemKind, Plan, PlanningInstance, PoiAttrs, PrereqExpr,
+    SoftConstraints, TemplateSet, TopicVector, TopicVocabulary, TripConstraints,
+};
+
+/// The 24-theme city vocabulary. Museum/gallery/restaurant are
+/// load-bearing (antecedent logic); the rest shape the zipfian tail.
+pub const CITY_THEMES: [&str; 24] = [
+    "restaurant",
+    "museum",
+    "park",
+    "cafe",
+    "shopping",
+    "monument",
+    "gallery",
+    "church",
+    "theater",
+    "market",
+    "bridge",
+    "viewpoint",
+    "zoo",
+    "aquarium",
+    "library",
+    "stadium",
+    "garden",
+    "palace",
+    "cinema",
+    "nightlife",
+    "spa",
+    "waterfront",
+    "castle",
+    "observatory",
+];
+
+/// A city-scale dataset: the instance plus its known-feasible gold plan.
+#[derive(Debug, Clone)]
+pub struct CityDataset {
+    /// The POI planning instance.
+    pub instance: PlanningInstance,
+    /// A constructively feasible plan (template `PSPSS`, cluster 0).
+    pub gold: Plan,
+}
+
+/// Zipfian sampler over `0..n` with exponent `s` (index 0 most likely).
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
+/// One standard gaussian draw (Box–Muller; the workspace carries no
+/// rand_distr and may not grow one).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The five gold items: (kind, theme, lat-step index). Themes are
+/// pairwise distinct and none is "restaurant", so the walk carries no
+/// antecedents and never repeats a theme consecutively.
+const GOLD_SPEC: [(ItemKind, &str); 5] = [
+    (ItemKind::Primary, "monument"),
+    (ItemKind::Secondary, "park"),
+    (ItemKind::Primary, "palace"),
+    (ItemKind::Secondary, "garden"),
+    (ItemKind::Secondary, "viewpoint"),
+];
+
+/// Spacing of the gold chain, in degrees latitude (~0.33 km per leg —
+/// far inside the 5 km distance threshold and any shortlist radius).
+const GOLD_STEP_DEG: f64 = 0.003;
+
+/// Generates a seeded city catalog with `n_pois` items (minimum 32).
+///
+/// Runs in O(n): cluster assignment, theme draws and prerequisite
+/// wiring all work per cluster, never across the whole catalog.
+pub fn city(n_pois: usize, seed: u64) -> CityDataset {
+    assert!(n_pois >= 32, "city catalogs start at 32 POIs, got {n_pois}");
+    let vocabulary =
+        TopicVocabulary::new(CITY_THEMES.iter().copied()).expect("city themes have no duplicates");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // A ~110 × 110 km synthetic metro area.
+    let bbox = BoundingBox::new(47.0, 1.0, 48.0, 2.5);
+    let n_clusters = (n_pois / 200).clamp(8, 256);
+    let cluster_zipf = Zipf::new(n_clusters, 1.0);
+    let theme_zipf = Zipf::new(CITY_THEMES.len(), 1.0);
+    let centers: Vec<(f64, f64)> = (0..n_clusters)
+        .map(|_| {
+            let p = bbox.lerp(
+                0.05 + 0.9 * rng.random::<f64>(),
+                0.05 + 0.9 * rng.random::<f64>(),
+            );
+            (p.lat, p.lon)
+        })
+        .collect();
+
+    struct Draft {
+        cluster: usize,
+        themes: Vec<usize>,
+        attrs: PoiAttrs,
+        kind: ItemKind,
+        hours: f64,
+    }
+
+    let theme_index = |name: &str| {
+        CITY_THEMES
+            .iter()
+            .position(|t| *t == name)
+            .expect("gold themes are in the vocabulary")
+    };
+
+    let mut drafts: Vec<Draft> = Vec::with_capacity(n_pois);
+    // Items 0..5 are the gold chain, walking north from cluster 0's
+    // center in template order.
+    for (i, (kind, theme)) in GOLD_SPEC.iter().enumerate() {
+        drafts.push(Draft {
+            cluster: 0,
+            themes: vec![theme_index(theme)],
+            attrs: PoiAttrs {
+                lat: centers[0].0 + GOLD_STEP_DEG * i as f64,
+                lon: centers[0].1,
+                popularity: if *kind == ItemKind::Primary { 5.0 } else { 3.0 },
+            },
+            kind: *kind,
+            hours: 1.0,
+        });
+    }
+
+    // Flagships: a small popular Primary set spread across the busiest
+    // clusters (the gold chain already contributed two).
+    let n_flagships = (n_pois / 250).clamp(6, 64);
+    for f in 0..n_flagships {
+        let cluster = f % n_clusters;
+        let (clat, clon) = centers[cluster];
+        drafts.push(Draft {
+            cluster,
+            themes: vec![theme_zipf.sample(&mut rng)],
+            attrs: PoiAttrs {
+                lat: clat + 0.004 * gauss(&mut rng),
+                lon: clon + 0.006 * gauss(&mut rng),
+                popularity: (2.0 * (4.5 + 0.5 * rng.random::<f64>())).round() / 2.0,
+            },
+            kind: ItemKind::Primary,
+            hours: 1.5,
+        });
+    }
+
+    // The long tail.
+    while drafts.len() < n_pois {
+        let cluster = cluster_zipf.sample(&mut rng);
+        let (clat, clon) = centers[cluster];
+        let mut themes = vec![theme_zipf.sample(&mut rng)];
+        if rng.random::<f64>() < 0.3 {
+            let extra = theme_zipf.sample(&mut rng);
+            if extra != themes[0] {
+                themes.push(extra);
+            }
+        }
+        let popularity = (2.0 * (1.0 + 4.0 * rng.random::<f64>().powi(2))).round() / 2.0;
+        drafts.push(Draft {
+            cluster,
+            themes,
+            attrs: PoiAttrs {
+                lat: clat + 0.008 * gauss(&mut rng),
+                lon: clon + 0.012 * gauss(&mut rng),
+                popularity,
+            },
+            kind: ItemKind::Secondary,
+            hours: (0.25_f64 * (popularity * 1.5).round()).clamp(0.5, 2.0),
+        });
+    }
+
+    // Cluster-local museum/gallery lists for restaurant antecedents.
+    let museum_theme = theme_index("museum");
+    let gallery_theme = theme_index("gallery");
+    let restaurant_theme = theme_index("restaurant");
+    let mut cluster_museums: Vec<Vec<usize>> = vec![Vec::new(); n_clusters];
+    for (i, d) in drafts.iter().enumerate() {
+        // Dual-themed museum-restaurants are excluded from the pool:
+        // only restaurants carry antecedents, so keeping every
+        // antecedent non-restaurant makes the prerequisite graph
+        // bipartite and therefore acyclic.
+        if (d.themes.contains(&museum_theme) || d.themes.contains(&gallery_theme))
+            && !d.themes.contains(&restaurant_theme)
+        {
+            cluster_museums[d.cluster].push(i);
+        }
+    }
+
+    let items: Vec<Item> = drafts
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let prereq = if d.themes.contains(&restaurant_theme) {
+                let mut nearby: Vec<(f64, usize)> = cluster_museums[d.cluster]
+                    .iter()
+                    .filter(|&&m| m != i)
+                    .map(|&m| {
+                        let md = &drafts[m].attrs;
+                        let dist = tpp_geo::haversine_km(d.attrs.lat, d.attrs.lon, md.lat, md.lon);
+                        (dist, m)
+                    })
+                    .collect();
+                nearby.sort_by(|a, b| a.0.total_cmp(&b.0));
+                PrereqExpr::any_of(nearby.into_iter().take(3).map(|(_, m)| ItemId::from(m)))
+            } else {
+                PrereqExpr::None
+            };
+            Item::poi(
+                ItemId::from(i),
+                format!("poi-{i:06}"),
+                format!("POI {i} (cluster {})", d.cluster),
+                d.kind,
+                d.hours,
+                prereq,
+                TopicVector::from_topics(
+                    CITY_THEMES.len(),
+                    d.themes.iter().map(|&t| tpp_model::TopicId::from(t)),
+                ),
+                d.attrs,
+            )
+        })
+        .collect();
+
+    let name = format!("city/{n_pois}");
+    let catalog = Catalog::new(name, vocabulary, items).expect("generated catalog is valid");
+    let hard = HardConstraints {
+        credits: 6.0,
+        n_primary: 2,
+        n_secondary: 3,
+        gap: 1,
+    };
+    let ideal = TopicVector::ones(catalog.vocabulary().len());
+    let soft = SoftConstraints::new(ideal, TemplateSet::paper_trip_example(), &hard)
+        .expect("paper trip templates are 2P/3S");
+    let gold = Plan::from_items((0..GOLD_SPEC.len()).map(ItemId::from).collect());
+    let instance = PlanningInstance {
+        catalog,
+        hard,
+        soft,
+        trip: Some(TripConstraints {
+            max_distance_km: Some(5.0),
+            no_consecutive_same_theme: true,
+        }),
+        default_start: Some(ItemId::from(0usize)),
+    };
+    instance
+        .validate()
+        .expect("generated instance is consistent");
+    assert_gold_feasible(&instance, &gold);
+    CityDataset { instance, gold }
+}
+
+/// Re-derives the gold plan's feasibility from the hard constraints —
+/// a self-contained walk, not a planner call, so the generator proves
+/// its own invariant without depending on `tpp-core`.
+fn assert_gold_feasible(instance: &PlanningInstance, gold: &Plan) {
+    let catalog = &instance.catalog;
+    let hard = &instance.hard;
+    let trip = instance.trip.as_ref().expect("city instances are trips");
+    assert_eq!(gold.len(), hard.horizon(), "gold plan fills the horizon");
+    let mut hours = 0.0;
+    let mut travelled_km = 0.0;
+    let mut primaries = 0;
+    let mut secondaries = 0;
+    for (pos, &id) in gold.items().iter().enumerate() {
+        let item = catalog.item(id);
+        assert!(
+            item.prereq.is_none(),
+            "gold item {} carries an antecedent",
+            item.code
+        );
+        assert!(
+            !gold.items()[..pos].contains(&id),
+            "gold plan repeats {}",
+            item.code
+        );
+        hours += item.credits;
+        match item.kind {
+            ItemKind::Primary => primaries += 1,
+            ItemKind::Secondary => secondaries += 1,
+        }
+        if pos > 0 {
+            let prev = catalog.item(gold.items()[pos - 1]);
+            let (a, b) = (prev.poi.expect("POI"), item.poi.expect("POI"));
+            travelled_km += tpp_geo::haversine_km(a.lat, a.lon, b.lat, b.lon);
+            // The trip environment budgets *cumulative* distance.
+            if let Some(max_km) = trip.max_distance_km {
+                assert!(
+                    travelled_km <= max_km,
+                    "gold walk {travelled_km:.2} km exceeds {max_km} km"
+                );
+            }
+            if trip.no_consecutive_same_theme {
+                assert!(
+                    prev.topics.intersection_count(&item.topics) == 0,
+                    "gold items {} and {} share a theme",
+                    prev.code,
+                    item.code
+                );
+            }
+        }
+    }
+    assert!(hours <= hard.credits, "gold hours {hours} over budget");
+    assert_eq!(primaries, hard.n_primary, "gold primary count");
+    assert_eq!(secondaries, hard.n_secondary, "gold secondary count");
+    let kinds = gold.kind_sequence(catalog);
+    assert!(
+        instance
+            .soft
+            .templates
+            .templates()
+            .iter()
+            .any(|t| t.slots() == kinds.as_slice()),
+        "gold kind sequence matches no template"
+    );
+}
+
+/// A 1 000-POI city (stays on the dense Q / full-scan fast paths).
+pub fn city_1k(seed: u64) -> CityDataset {
+    city(1_000, seed)
+}
+
+/// A 10 000-POI city (sparse Q + grid-pruned shortlists by default).
+pub fn city_10k(seed: u64) -> CityDataset {
+    city(10_000, seed)
+}
+
+/// A 100 000-POI city — the stress tier.
+pub fn city_100k(seed: u64) -> CityDataset {
+    city(100_000, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::CITY_SEED;
+
+    #[test]
+    fn small_city_has_the_advertised_shape() {
+        let d = city_1k(CITY_SEED);
+        assert_eq!(d.instance.catalog.len(), 1_000);
+        assert_eq!(d.instance.catalog.vocabulary().len(), 24);
+        assert!(d.instance.is_trip());
+        assert_eq!(d.gold.len(), 5);
+        assert_eq!(d.instance.default_start, Some(ItemId::from(0usize)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = city(2_000, 7);
+        let b = city(2_000, 7);
+        assert_eq!(a.gold, b.gold);
+        for (x, y) in a
+            .instance
+            .catalog
+            .items()
+            .iter()
+            .zip(b.instance.catalog.items())
+        {
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.topics, y.topics);
+            let (xa, ya) = (x.poi.unwrap(), y.poi.unwrap());
+            assert_eq!(xa.lat.to_bits(), ya.lat.to_bits());
+            assert_eq!(xa.lon.to_bits(), ya.lon.to_bits());
+        }
+        let c = city(2_000, 8);
+        assert_ne!(
+            a.instance.catalog.items()[100].poi.unwrap().lat,
+            c.instance.catalog.items()[100].poi.unwrap().lat,
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn themes_are_zipfian_not_uniform() {
+        let d = city(5_000, CITY_SEED);
+        let mut counts = vec![0usize; CITY_THEMES.len()];
+        for item in d.instance.catalog.items() {
+            for (t, count) in counts.iter_mut().enumerate() {
+                if item.topics.get(tpp_model::TopicId::from(t)) {
+                    *count += 1;
+                }
+            }
+        }
+        let head = counts[0];
+        let tail = counts[CITY_THEMES.len() - 1];
+        assert!(
+            head > 4 * tail.max(1),
+            "head theme {head} should dwarf tail theme {tail}"
+        );
+    }
+
+    #[test]
+    fn geography_is_clustered() {
+        // Mean nearest-neighbour distance in a clustered layout is far
+        // below the uniform-draw expectation over the same box. Sample
+        // a few hundred POIs and compare against a crude uniform bound.
+        let d = city(5_000, CITY_SEED);
+        let items = d.instance.catalog.items();
+        let sample: Vec<_> = items.iter().step_by(17).take(200).collect();
+        let mut total = 0.0;
+        for a in &sample {
+            let pa = a.poi.unwrap();
+            let mut best = f64::INFINITY;
+            for b in items.iter().take(2_000) {
+                if a.id == b.id {
+                    continue;
+                }
+                let pb = b.poi.unwrap();
+                let dkm = tpp_geo::haversine_km(pa.lat, pa.lon, pb.lat, pb.lon);
+                if dkm < best {
+                    best = dkm;
+                }
+            }
+            total += best;
+        }
+        let mean_nn = total / sample.len() as f64;
+        // Uniform 2k points over ~110×110 km ≈ 1.4 km mean NN distance;
+        // clustering should pull it well under half that.
+        assert!(
+            mean_nn < 0.7,
+            "mean NN distance {mean_nn:.3} km not clustered"
+        );
+    }
+
+    #[test]
+    fn restaurant_prereqs_are_cluster_local_museums() {
+        let d = city(3_000, CITY_SEED);
+        let voc = d.instance.catalog.vocabulary();
+        let restaurant = voc.id_of("restaurant").unwrap();
+        let museum = voc.id_of("museum").unwrap();
+        let gallery = voc.id_of("gallery").unwrap();
+        let mut checked = 0;
+        for item in d.instance.catalog.items() {
+            if item.topics.get(restaurant) && !item.prereq.is_none() {
+                let attrs = item.poi.unwrap();
+                for dep in item.prereq.referenced_items() {
+                    let dep_item = d.instance.catalog.item(dep);
+                    assert!(
+                        dep_item.topics.get(museum) || dep_item.topics.get(gallery),
+                        "{} antecedent {} is not museum-like",
+                        item.code,
+                        dep_item.code
+                    );
+                    // Cluster-local: antecedents stay within a short leg.
+                    let da = dep_item.poi.unwrap();
+                    let dist = tpp_geo::haversine_km(attrs.lat, attrs.lon, da.lat, da.lon);
+                    assert!(dist < 20.0, "{}: antecedent {dist:.1} km away", item.code);
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "too few restaurants with antecedents");
+    }
+
+    #[test]
+    fn gold_plan_is_feasible_by_construction() {
+        // The generator itself asserts this; re-run the walk here so a
+        // regression fails a named test, not a deep expect().
+        for n in [1_000, 10_000] {
+            let d = city(n, CITY_SEED);
+            assert_gold_feasible(&d.instance, &d.gold);
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_catalogs() {
+        let r = std::panic::catch_unwind(|| city(8, 1));
+        assert!(r.is_err());
+    }
+}

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod city;
 pub mod itineraries;
 pub mod names;
 pub mod synthetic;
@@ -21,6 +22,7 @@ pub mod trips;
 pub mod univ1;
 pub mod univ2;
 
+pub use city::{city, city_100k, city_10k, city_1k, CityDataset};
 pub use itineraries::generate_itineraries;
 pub use synthetic::{synthetic_course_instance, SyntheticConfig};
 pub use trips::{nyc, paris, TripDataset};
@@ -37,4 +39,6 @@ pub mod defaults {
     pub const NYC_SEED: u64 = 0x5eed_0003;
     /// Seed pinning the Paris trip dataset.
     pub const PARIS_SEED: u64 = 0x5eed_0004;
+    /// Seed pinning the city-scale catalogs (1k/10k/100k POIs).
+    pub const CITY_SEED: u64 = 0x5eed_0005;
 }

@@ -167,7 +167,7 @@ fn build_city(spec: &CitySpec, seed: u64) -> TripDataset {
                         (dist, m)
                     })
                     .collect();
-                nearby.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                nearby.sort_by(|a, b| a.0.total_cmp(&b.0));
                 PrereqExpr::any_of(nearby.into_iter().take(3).map(|(_, m)| m))
             } else {
                 PrereqExpr::None

@@ -7,6 +7,30 @@
 
 use crate::point::{BoundingBox, GeoPoint};
 
+/// Kilometres per degree of latitude — and of longitude at the equator
+/// (scale by `cos(lat)` elsewhere). Deliberately *below* the true
+/// minima (≈110.57 and ≈111.19 km/deg) so radius→degree conversions
+/// that divide by it always over-cover: the pruned query window can
+/// include extra cells but never miss one holding an in-radius point.
+const CONSERVATIVE_KM_PER_DEG: f64 = 110.0;
+
+/// Typed rejection for points the grid cannot place meaningfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// A coordinate is NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::NonFinite => write!(f, "point has a non-finite coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A uniform grid over a bounding box storing `(point, payload)` pairs.
 #[derive(Debug, Clone)]
 pub struct GridIndex<T> {
@@ -67,39 +91,68 @@ impl<T: Clone> GridIndex<T> {
         self.len == 0
     }
 
+    /// The cell index along one axis for coordinate `v` on `[min, max]`.
+    ///
+    /// Out-of-box coordinates **clamp** to the edge cells (documented
+    /// behaviour: the generators jitter POIs slightly past city
+    /// extents, and clamping is monotone, which is what the pruned
+    /// radius query relies on). NaN maps to cell 0 — explicitly, not as
+    /// a side effect of `as usize` saturation; callers that must reject
+    /// NaN use [`GridIndex::try_insert`].
+    fn axis_cell(v: f64, min: f64, max: f64, n: usize) -> usize {
+        if v.is_nan() {
+            return 0;
+        }
+        let u = if max > min {
+            (v - min) / (max - min)
+        } else {
+            0.0
+        };
+        // `as usize` saturates negatives to 0 and +inf to usize::MAX;
+        // the min() caps the high side.
+        ((u * n as f64) as usize).min(n - 1)
+    }
+
     fn cell_of(&self, p: &GeoPoint) -> usize {
         let n = self.cells_per_axis;
-        let u = if self.bbox.max_lat > self.bbox.min_lat {
-            (p.lat - self.bbox.min_lat) / (self.bbox.max_lat - self.bbox.min_lat)
-        } else {
-            0.0
-        };
-        let v = if self.bbox.max_lon > self.bbox.min_lon {
-            (p.lon - self.bbox.min_lon) / (self.bbox.max_lon - self.bbox.min_lon)
-        } else {
-            0.0
-        };
-        let row = ((u * n as f64) as usize).min(n - 1);
-        let col = ((v * n as f64) as usize).min(n - 1);
+        let row = Self::axis_cell(p.lat, self.bbox.min_lat, self.bbox.max_lat, n);
+        let col = Self::axis_cell(p.lon, self.bbox.min_lon, self.bbox.max_lon, n);
         row * n + col
     }
 
-    /// Inserts a point (clamped into the box if slightly outside).
+    /// Inserts a point. Finite out-of-box coordinates clamp into the
+    /// edge cells; NaN coordinates land in cell 0 (and can never match
+    /// a radius query, since their distances are NaN). Use
+    /// [`GridIndex::try_insert`] to reject non-finite points instead.
     pub fn insert(&mut self, p: GeoPoint, payload: T) {
         let idx = self.cell_of(&p);
         self.cells[idx].push((p, payload));
         self.len += 1;
     }
 
+    /// [`insert`](Self::insert) that rejects non-finite coordinates
+    /// with a typed error instead of silently filing them in cell 0.
+    pub fn try_insert(&mut self, p: GeoPoint, payload: T) -> Result<(), GridError> {
+        if !p.lat.is_finite() || !p.lon.is_finite() {
+            return Err(GridError::NonFinite);
+        }
+        self.insert(p, payload);
+        Ok(())
+    }
+
     /// All payloads within `radius_km` of `p`, with their distances,
     /// sorted nearest-first.
+    ///
+    /// Only the cell sub-rectangle covering `radius_km` around `p` is
+    /// scanned (a conservative lat/lon degree window), so the query is
+    /// sublinear on city-scale indexes instead of a full-catalog sweep.
+    /// A non-finite query point or radius falls back to the full scan,
+    /// which is still panic-free (NaN distances simply never match).
     pub fn within_radius(&self, p: &GeoPoint, radius_km: f64) -> Vec<(f64, &T)> {
         let mut out: Vec<(f64, &T)> = Vec::new();
-        // Candidate cells: expand outward from p's cell far enough to
-        // cover radius_km (conservatively scan all cells when the radius
-        // spans the box — the datasets are tiny).
-        for cell in &self.cells {
-            for (q, payload) in cell {
+        let cells = self.candidate_cells(p, radius_km);
+        for &idx in &cells {
+            for (q, payload) in &self.cells[idx] {
                 let d = p.distance_km(q);
                 if d <= radius_km {
                     out.push((d, payload));
@@ -110,6 +163,40 @@ impl<T: Clone> GridIndex<T> {
         // (NaN distances sort last instead of aborting the process).
         out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
+    }
+
+    /// Indices of the cells that can contain a point within `radius_km`
+    /// of `p`: the rows/cols spanned by a degree window that provably
+    /// covers the radius. Monotone clamping in [`Self::axis_cell`] makes
+    /// this correct for points clamped in from outside the box too.
+    fn candidate_cells(&self, p: &GeoPoint, radius_km: f64) -> Vec<usize> {
+        let n = self.cells_per_axis;
+        if !p.lat.is_finite() || !p.lon.is_finite() || !radius_km.is_finite() {
+            return (0..n * n).collect();
+        }
+        let dlat = radius_km / CONSERVATIVE_KM_PER_DEG;
+        // Longitude degrees shrink with cos(lat); evaluate at the
+        // largest absolute latitude the box or the search band reaches
+        // so the window only ever over-covers.
+        let band_lat = self
+            .bbox
+            .min_lat
+            .abs()
+            .max(self.bbox.max_lat.abs())
+            .max(p.lat.abs() + dlat)
+            .min(89.9);
+        let dlon = radius_km / (CONSERVATIVE_KM_PER_DEG * band_lat.to_radians().cos().max(1e-6));
+        let row_lo = Self::axis_cell(p.lat - dlat, self.bbox.min_lat, self.bbox.max_lat, n);
+        let row_hi = Self::axis_cell(p.lat + dlat, self.bbox.min_lat, self.bbox.max_lat, n);
+        let col_lo = Self::axis_cell(p.lon - dlon, self.bbox.min_lon, self.bbox.max_lon, n);
+        let col_hi = Self::axis_cell(p.lon + dlon, self.bbox.min_lon, self.bbox.max_lon, n);
+        let mut cells = Vec::with_capacity((row_hi - row_lo + 1) * (col_hi - col_lo + 1));
+        for row in row_lo..=row_hi {
+            for col in col_lo..=col_hi {
+                cells.push(row * n + col);
+            }
+        }
+        cells
     }
 
     /// The nearest payload to `p`, if any.
@@ -226,5 +313,60 @@ mod tests {
         g.insert(GeoPoint::new(5.0, 5.0), "out");
         assert_eq!(g.len(), 1);
         assert!(g.nearest(&GeoPoint::new(1.0, 1.0)).is_some());
+        // A clamped-in point is still found by a pruned radius query
+        // from a nearby in-box corner.
+        let hits = g.within_radius(&GeoPoint::new(1.0, 1.0), 700.0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn try_insert_rejects_non_finite() {
+        let mut g = GridIndex::new(BoundingBox::paris(), 4);
+        assert_eq!(
+            g.try_insert(GeoPoint::new(f64::NAN, 2.33), "a"),
+            Err(GridError::NonFinite)
+        );
+        assert_eq!(
+            g.try_insert(GeoPoint::new(48.85, f64::INFINITY), "b"),
+            Err(GridError::NonFinite)
+        );
+        assert!(g.try_insert(GeoPoint::new(48.85, 2.33), "c").is_ok());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn nan_query_point_falls_back_to_full_scan_without_matches() {
+        let g = paris_grid();
+        // NaN distances never satisfy `d <= radius`, so the result is
+        // empty — but the call must not panic or miss the fallback.
+        assert!(g
+            .within_radius(&GeoPoint::new(f64::NAN, f64::NAN), 100.0)
+            .is_empty());
+        assert!(g
+            .within_radius(&GeoPoint::new(48.86, 2.33), f64::NAN)
+            .is_empty());
+    }
+
+    #[test]
+    fn pruned_query_matches_full_scan_on_dense_grid() {
+        // A deterministic lattice of points over a 32x32 grid: the
+        // pruned window must return exactly what a full scan returns,
+        // at radii spanning sub-cell to whole-box.
+        let bbox = BoundingBox::new(40.0, -74.5, 41.0, -73.5);
+        let mut g = GridIndex::new(bbox, 32);
+        let mut pts = Vec::new();
+        for i in 0..40u32 {
+            for j in 0..40u32 {
+                let p = bbox.lerp(f64::from(i) / 39.0, f64::from(j) / 39.0);
+                g.insert(p, (i, j));
+                pts.push(p);
+            }
+        }
+        for radius in [0.3, 1.0, 5.0, 20.0, 500.0] {
+            let q = bbox.lerp(0.37, 0.61);
+            let hits = g.within_radius(&q, radius);
+            let expected = pts.iter().filter(|p| q.distance_km(p) <= radius).count();
+            assert_eq!(hits.len(), expected, "radius {radius}");
+        }
     }
 }

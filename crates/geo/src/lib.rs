@@ -15,6 +15,6 @@ pub mod grid;
 pub mod matrix;
 pub mod point;
 
-pub use grid::GridIndex;
+pub use grid::{GridError, GridIndex};
 pub use matrix::{distance_row, DistanceMatrix, LazyRowCache};
 pub use point::{haversine_km, BoundingBox, GeoPoint};

@@ -87,3 +87,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Pruned radius queries agree with a linear scan even when points
+    /// sit exactly on cell boundaries, outside the box (clamped in), or
+    /// the query point itself is out of the box.
+    #[test]
+    fn grid_pruning_safe_on_boundaries_and_outliers(
+        points in prop::collection::vec((-0.3f64..1.3, -0.3f64..1.3), 1..50),
+        qu in -0.5f64..1.5,
+        qv in -0.5f64..1.5,
+        radius in 0.1f64..150.0,
+        cells in 1usize..12,
+    ) {
+        let bbox = BoundingBox::new(48.0, 2.0, 49.0, 3.0);
+        let mut grid = GridIndex::new(bbox, cells);
+        let pts: Vec<GeoPoint> = points
+            .iter()
+            .map(|&(u, v)| bbox.lerp(u, v)) // lerp extrapolates past the box for u,v outside [0,1]
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let q = bbox.lerp(qu, qv);
+        let mut hits: Vec<usize> =
+            grid.within_radius(&q, radius).iter().map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        let expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_km(p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(hits, expected);
+    }
+
+    /// NaN coordinates never panic a query and never produce hits;
+    /// finite points in the same index are still found.
+    #[test]
+    fn grid_nan_inputs_never_panic_or_match(
+        u in 0.0f64..1.0,
+        v in 0.0f64..1.0,
+        radius in 0.1f64..100.0,
+        poison_sel in 0u8..2,
+    ) {
+        let bbox = BoundingBox::new(48.0, 2.0, 49.0, 3.0);
+        let mut grid = GridIndex::new(bbox, 5);
+        let good = bbox.lerp(u, v);
+        grid.insert(good, 0usize);
+        let bad = if poison_sel == 0 {
+            GeoPoint::new(f64::NAN, 2.5)
+        } else {
+            GeoPoint::new(48.5, f64::NAN)
+        };
+        grid.insert(bad, 1usize);
+        prop_assert!(grid.try_insert(bad, 2usize).is_err());
+        let hits = grid.within_radius(&good, radius);
+        prop_assert!(hits.iter().all(|(_, &i)| i == 0));
+        prop_assert_eq!(hits.len(), 1); // the good point itself
+        prop_assert!(grid.within_radius(&bad, radius).is_empty());
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::qtable::QTable;
 use crate::stats::TrainStats;
+use crate::visits::VisitTable;
 
 /// A resumable snapshot of a training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,8 +28,9 @@ pub struct TrainCheckpoint {
     pub sched_pos: u64,
     /// The four xoshiro256** state words of the training RNG.
     pub rng_state: [u64; 4],
-    /// State-action visit counts (empty when the learner keeps none).
-    pub visits: Vec<u32>,
+    /// State-action visit counts ([`VisitTable::empty`] when the
+    /// learner keeps none). Sparse at city scale, mirroring the Q-table.
+    pub visits: VisitTable,
     /// Per-episode returns accumulated so far.
     pub returns: Vec<f64>,
 }
@@ -55,7 +57,7 @@ mod tests {
             episode: 3,
             sched_pos: 3,
             rng_state: [1, 2, 3, 4],
-            visits: vec![],
+            visits: VisitTable::empty(),
             returns: vec![1.0, 2.0, 3.0],
         };
         let stats = ckpt.stats();

@@ -152,7 +152,7 @@ fn extract_policy(mdp: &ExplicitMdp, values: &[f64]) -> Vec<Option<usize>> {
                 .iter()
                 .enumerate()
                 .filter_map(|(a, t)| t.map(|(sn, r)| (a, r + mdp.gamma * values[sn])))
-                .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite").then(y.0.cmp(&x.0)))
+                .max_by(|x, y| x.1.total_cmp(&y.1).then(y.0.cmp(&x.0)))
                 .map(|(a, _)| a)
         })
         .collect()

@@ -27,6 +27,7 @@ pub mod sarsa;
 pub mod schedule;
 pub mod stats;
 pub mod transfer;
+pub mod visits;
 
 pub use budget::{Budget, BudgetStop};
 pub use checkpoint::TrainCheckpoint;
@@ -36,10 +37,11 @@ pub use expected_sarsa::ExpectedSarsaAgent;
 pub use mc::MonteCarloAgent;
 pub use policy::{ActionSelector, EpsilonGreedy, GreedySelector};
 pub use qlearning::QLearningAgent;
-pub use qtable::QTable;
+pub use qtable::{QTable, QTableError, DENSE_AUTO_MAX};
 pub use rng::TrainRng;
 pub use rollout::greedy_rollout;
 pub use sarsa::{SarsaAgent, SarsaConfig};
 pub use schedule::Schedule;
 pub use stats::{ReturnSummary, TrainStats};
 pub use transfer::{transfer_q, StateMapping};
+pub use visits::VisitTable;

@@ -1,33 +1,185 @@
-//! Dense Q-tables.
+//! Action-value tables: dense for seed-sized catalogs, per-state sparse
+//! rows for city-scale ones.
 
 use serde::{Deserialize, Serialize};
 
-/// A dense `n_states × n_actions` action-value table.
+/// Largest catalog side for which [`QTable::for_catalog`] picks the
+/// dense representation. Aligned with `DistanceMatrix::DEFAULT_CAP`:
+/// below it a dense `n × n` table is ~8 MB and row sweeps are fastest;
+/// above it the table goes sparse (a 10k-item catalog would otherwise
+/// allocate 800 MB of mostly-zero `f64`s).
+pub const DENSE_AUTO_MAX: usize = 1024;
+
+/// Hard ceiling on dense element count (32M entries = 256 MiB). An
+/// explicit dense request above it is a configuration error, not an
+/// OOM-by-multiplication.
+const MAX_DENSE_ELEMS: usize = 1 << 25;
+
+/// Typed error for table construction that would overflow or exceed the
+/// dense ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QTableError {
+    /// `n_states * n_actions` overflows `usize` or exceeds
+    /// [`MAX_DENSE_ELEMS`] for a dense table.
+    TooLarge {
+        /// Requested state rows.
+        n_states: usize,
+        /// Requested action columns.
+        n_actions: usize,
+    },
+}
+
+impl std::fmt::Display for QTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QTableError::TooLarge {
+                n_states,
+                n_actions,
+            } => write!(
+                f,
+                "dense Q-table {n_states}x{n_actions} exceeds the \
+                 {MAX_DENSE_ELEMS}-element ceiling (use a sparse table)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QTableError {}
+
+/// Per-state sparse rows: `rows[s]` holds the visited `(action, value)`
+/// pairs of state `s`, sorted by action for binary-search lookup.
+/// `Vec::new()` does not allocate, so an untouched state costs only the
+/// 24-byte `Vec` header — the whole point at 10k–100k items, where the
+/// training trajectory touches a vanishing fraction of `n²` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SparseRows {
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Total `(action, value)` entries across all rows, maintained on
+    /// insert so `approx_bytes`/`entry_count` are O(1).
+    entries: usize,
+}
+
+impl SparseRows {
+    fn new(n_states: usize) -> Self {
+        SparseRows {
+            rows: vec![Vec::new(); n_states],
+            entries: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, s: usize, a: usize) -> f64 {
+        let row = &self.rows[s];
+        match row.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+            Ok(i) => row[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, s: usize, a: usize, v: f64) {
+        let row = &mut self.rows[s];
+        match row.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+            Ok(i) => row[i].1 = v,
+            Err(i) => {
+                row.insert(i, (a as u32, v));
+                self.entries += 1;
+            }
+        }
+    }
+}
+
+/// Storage behind a [`QTable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Repr {
+    /// Row-major contiguous values (the seed representation).
+    Dense(Vec<f64>),
+    /// Per-state visited rows (city scale).
+    Sparse(SparseRows),
+}
+
+/// An `n_states × n_actions` action-value table.
 ///
 /// For TPP both axes are items, so the table is `|I| × |I|` exactly as
-/// §III-C describes. Stored row-major in one contiguous allocation for
-/// cache-friendly row scans (the recommender's `argmax_j Q(s, j)` is a
-/// single row sweep).
+/// §III-C describes. Seed-sized catalogs store it dense — row-major in
+/// one contiguous allocation for cache-friendly row sweeps — while
+/// city-scale catalogs store only the visited `(state, action)` pairs
+/// in per-state sorted rows ([`QTable::for_catalog`] picks automatically
+/// at [`DENSE_AUTO_MAX`]).
+///
+/// Note the derived `PartialEq` is *representational*: a dense and a
+/// sparse table holding the same values compare unequal. Equivalence of
+/// behaviour is asserted via lookups (see the golden equivalence suite),
+/// not via `==` across representations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QTable {
     n_states: usize,
     n_actions: usize,
-    values: Vec<f64>,
+    repr: Repr,
 }
 
 impl QTable {
-    /// A zero-initialized table.
+    /// A zero-initialized dense table.
+    ///
+    /// # Panics
+    /// Panics when `n_states * n_actions` overflows or exceeds the
+    /// dense element ceiling. Use [`QTable::try_zeros`] when the shape
+    /// comes from untrusted input (checkpoints, request parameters).
     pub fn zeros(n_states: usize, n_actions: usize) -> Self {
+        Self::try_zeros(n_states, n_actions).expect("dense Q-table shape within ceiling")
+    }
+
+    /// Fallible dense constructor: `checked_mul` on the element count
+    /// and a hard ceiling instead of an abort/OOM on oversized catalogs.
+    pub fn try_zeros(n_states: usize, n_actions: usize) -> Result<Self, QTableError> {
+        let elems = n_states
+            .checked_mul(n_actions)
+            .filter(|&e| e <= MAX_DENSE_ELEMS)
+            .ok_or(QTableError::TooLarge {
+                n_states,
+                n_actions,
+            })?;
+        Ok(QTable {
+            n_states,
+            n_actions,
+            repr: Repr::Dense(vec![0.0; elems]),
+        })
+    }
+
+    /// A square dense `n × n` zero table (the TPP shape).
+    ///
+    /// # Panics
+    /// Panics when `n * n` exceeds the dense ceiling; see
+    /// [`QTable::zeros`].
+    pub fn square(n: usize) -> Self {
+        Self::zeros(n, n)
+    }
+
+    /// An empty sparse table: all values read as `0.0`, storage grows
+    /// with the visited `(state, action)` pairs.
+    pub fn sparse(n_states: usize, n_actions: usize) -> Self {
         QTable {
             n_states,
             n_actions,
-            values: vec![0.0; n_states * n_actions],
+            repr: Repr::Sparse(SparseRows::new(n_states)),
         }
     }
 
-    /// A square `n × n` zero table (the TPP shape).
-    pub fn square(n: usize) -> Self {
-        Self::zeros(n, n)
+    /// The representation [`for_catalog`](Self::for_catalog)-style auto
+    /// selection uses for an `n`-item catalog: dense up to
+    /// [`DENSE_AUTO_MAX`], sparse above.
+    pub fn auto_is_dense(n: usize) -> bool {
+        n <= DENSE_AUTO_MAX
+    }
+
+    /// A zero table for an `n`-item catalog (`n × n`), dense for
+    /// seed-sized catalogs and sparse above [`DENSE_AUTO_MAX`].
+    pub fn for_catalog(n: usize) -> Self {
+        if Self::auto_is_dense(n) {
+            Self::square(n)
+        } else {
+            Self::sparse(n, n)
+        }
     }
 
     /// Number of state rows.
@@ -42,18 +194,38 @@ impl QTable {
         self.n_actions
     }
 
+    /// `true` when the table stores per-state sparse rows.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Number of materialized entries: `n_states * n_actions` for a
+    /// dense table, the visited-pair count for a sparse one.
+    pub fn entry_count(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(v) => v.len(),
+            Repr::Sparse(s) => s.entries,
+        }
+    }
+
     /// `Q(s, a)`.
     #[inline]
     pub fn get(&self, s: usize, a: usize) -> f64 {
         debug_assert!(s < self.n_states && a < self.n_actions);
-        self.values[s * self.n_actions + a]
+        match &self.repr {
+            Repr::Dense(v) => v[s * self.n_actions + a],
+            Repr::Sparse(rows) => rows.get(s, a),
+        }
     }
 
     /// Sets `Q(s, a)`.
     #[inline]
     pub fn set(&mut self, s: usize, a: usize, v: f64) {
         debug_assert!(s < self.n_states && a < self.n_actions);
-        self.values[s * self.n_actions + a] = v;
+        match &mut self.repr {
+            Repr::Dense(vals) => vals[s * self.n_actions + a] = v,
+            Repr::Sparse(rows) => rows.set(s, a, v),
+        }
     }
 
     /// The SARSA/Q-learning temporal-difference update (Eq. 9):
@@ -64,24 +236,42 @@ impl QTable {
         self.set(s, a, q + alpha * (target - q));
     }
 
-    /// Row `s` as a slice.
+    /// Row `s` as a slice (dense tables only — a sparse row is not
+    /// materialized anywhere).
+    ///
+    /// # Panics
+    /// Panics on a sparse table; row-sweep callers are dense-path-only
+    /// by construction.
     #[inline]
     pub fn row(&self, s: usize) -> &[f64] {
-        &self.values[s * self.n_actions..(s + 1) * self.n_actions]
+        match &self.repr {
+            Repr::Dense(v) => &v[s * self.n_actions..(s + 1) * self.n_actions],
+            Repr::Sparse(_) => panic!("QTable::row on a sparse table"),
+        }
     }
 
-    /// `argmax` of `Q(s, ·)` restricted to `allowed` (first maximum
-    /// wins). `None` when `allowed` is empty.
+    /// `argmax` of `Q(s, ·)` restricted to `allowed`. Ties break toward
+    /// the lower action index so recommendation is deterministic, and
+    /// the comparison is `total_cmp` — a NaN smuggled in by a corrupt
+    /// checkpoint yields a (deterministic) degraded pick instead of a
+    /// process abort. `None` when `allowed` is empty.
+    ///
+    /// On a sparse table this is per-candidate lookups over `allowed`
+    /// (the shortlist); no row is ever materialized.
     pub fn best_action(&self, s: usize, allowed: &[usize]) -> Option<usize> {
-        let row = self.row(s);
-        allowed.iter().copied().max_by(|&a, &b| {
-            row[a]
-                .partial_cmp(&row[b])
-                .expect("Q values are finite")
-                // Stabilize ties toward the lower action index so
-                // recommendation is deterministic.
-                .then(b.cmp(&a))
-        })
+        match &self.repr {
+            Repr::Dense(v) => {
+                let row = &v[s * self.n_actions..(s + 1) * self.n_actions];
+                allowed
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]).then(b.cmp(&a)))
+            }
+            Repr::Sparse(rows) => allowed
+                .iter()
+                .copied()
+                .max_by(|&a, &b| rows.get(s, a).total_cmp(&rows.get(s, b)).then(b.cmp(&a))),
+        }
     }
 
     /// `max` of `Q(s, ·)` restricted to `allowed`; `0.0` when empty
@@ -90,41 +280,130 @@ impl QTable {
         if allowed.is_empty() {
             return 0.0;
         }
-        let row = self.row(s);
         allowed
             .iter()
-            .map(|&a| row[a])
+            .map(|&a| self.get(s, a))
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Maximum absolute entry (`‖Q‖∞`), useful for convergence checks.
     pub fn max_abs(&self) -> f64 {
-        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+        match &self.repr {
+            Repr::Dense(v) => v.iter().fold(0.0, |m, x| m.max(x.abs())),
+            // Unvisited pairs are an implicit 0.0, so the fold's 0.0
+            // seed already accounts for them.
+            Repr::Sparse(s) => s
+                .rows
+                .iter()
+                .flat_map(|r| r.iter())
+                .fold(0.0, |m, (_, x)| m.max(x.abs())),
+        }
     }
 
-    /// Raw values, row-major (for persistence).
+    /// `true` when any entry is non-finite (NaN or ±∞) — the checkpoint
+    /// decoder's admission gate.
+    pub fn has_non_finite(&self) -> bool {
+        match &self.repr {
+            Repr::Dense(v) => v.iter().any(|x| !x.is_finite()),
+            Repr::Sparse(s) => s.rows.iter().flatten().any(|(_, x)| !x.is_finite()),
+        }
+    }
+
+    /// Raw values, row-major (dense persistence/equivalence contexts).
+    ///
+    /// # Panics
+    /// Panics on a sparse table; use [`QTable::dense_values`] or
+    /// [`QTable::iter_set`] when the representation is not known.
     pub fn values(&self) -> &[f64] {
-        &self.values
+        self.dense_values()
+            .expect("QTable::values on a sparse table")
     }
 
-    /// Approximate resident size in bytes (payload + header). Used by
-    /// the serving layer's byte-bounded policy cache; an estimate is
-    /// fine there, so this intentionally ignores allocator slack.
+    /// Raw row-major values when dense, `None` when sparse.
+    pub fn dense_values(&self) -> Option<&[f64]> {
+        match &self.repr {
+            Repr::Dense(v) => Some(v),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// The materialized `(state, action, value)` entries in ascending
+    /// `(state, action)` order — the deterministic encode order for
+    /// sparse persistence. Dense tables yield every cell.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let dense = match &self.repr {
+            Repr::Dense(v) => Some(
+                v.iter()
+                    .enumerate()
+                    .map(|(i, &x)| (i / self.n_actions.max(1), i % self.n_actions.max(1), x)),
+            ),
+            Repr::Sparse(_) => None,
+        };
+        let sparse = match &self.repr {
+            Repr::Sparse(s) => Some(
+                s.rows
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(st, row)| row.iter().map(move |&(a, x)| (st, a as usize, x))),
+            ),
+            Repr::Dense(_) => None,
+        };
+        dense
+            .into_iter()
+            .flatten()
+            .chain(sparse.into_iter().flatten())
+    }
+
+    /// Approximate resident size in bytes (payload + headers). Used by
+    /// the serving layer's byte-bounded policy cache and the bench
+    /// smoke's no-dense-allocation assertion; an estimate is fine there,
+    /// so this intentionally ignores allocator slack.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.values.len() * std::mem::size_of::<f64>()
+        std::mem::size_of::<Self>()
+            + match &self.repr {
+                Repr::Dense(v) => v.len() * std::mem::size_of::<f64>(),
+                Repr::Sparse(s) => {
+                    s.rows.len() * std::mem::size_of::<Vec<(u32, f64)>>()
+                        + s.entries * std::mem::size_of::<(u32, f64)>()
+                }
+            }
     }
 
-    /// Rebuilds a table from raw parts.
+    /// Rebuilds a dense table from raw parts.
     ///
     /// # Panics
     /// Panics when `values.len() != n_states * n_actions`.
     pub fn from_raw(n_states: usize, n_actions: usize, values: Vec<f64>) -> Self {
-        assert_eq!(values.len(), n_states * n_actions, "shape mismatch");
+        assert_eq!(
+            values.len(),
+            n_states.checked_mul(n_actions).expect("shape mismatch"),
+            "shape mismatch"
+        );
         QTable {
             n_states,
             n_actions,
-            values,
+            repr: Repr::Dense(values),
         }
+    }
+
+    /// Rebuilds a sparse table from `(state, action, value)` entries
+    /// (the persistence decode path). Entries may arrive in any order;
+    /// out-of-range entries are an error.
+    pub fn from_sparse_entries(
+        n_states: usize,
+        n_actions: usize,
+        entries: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self, String> {
+        let mut q = Self::sparse(n_states, n_actions);
+        for (s, a, v) in entries {
+            if s >= n_states || a >= n_actions {
+                return Err(format!(
+                    "sparse entry ({s}, {a}) out of range {n_states}x{n_actions}"
+                ));
+            }
+            q.set(s, a, v);
+        }
+        Ok(q)
     }
 }
 
@@ -143,39 +422,72 @@ mod tests {
     }
 
     #[test]
+    fn sparse_get_set_roundtrip() {
+        let mut q = QTable::sparse(100_000, 100_000);
+        assert!(q.is_sparse());
+        assert_eq!(q.get(99_999, 12_345), 0.0);
+        q.set(99_999, 12_345, 3.5);
+        q.set(99_999, 7, -1.0);
+        q.set(0, 0, 2.0);
+        assert_eq!(q.get(99_999, 12_345), 3.5);
+        assert_eq!(q.get(99_999, 7), -1.0);
+        assert_eq!(q.get(0, 0), 2.0);
+        assert_eq!(q.get(50_000, 50_000), 0.0);
+        assert_eq!(q.entry_count(), 3);
+    }
+
+    #[test]
     fn td_update_moves_toward_target() {
-        let mut q = QTable::square(2);
-        q.td_update(0, 1, 0.5, 10.0);
-        assert_eq!(q.get(0, 1), 5.0);
-        q.td_update(0, 1, 0.5, 10.0);
-        assert_eq!(q.get(0, 1), 7.5);
+        for mut q in [QTable::square(2), QTable::sparse(2, 2)] {
+            q.td_update(0, 1, 0.5, 10.0);
+            assert_eq!(q.get(0, 1), 5.0);
+            q.td_update(0, 1, 0.5, 10.0);
+            assert_eq!(q.get(0, 1), 7.5);
+        }
     }
 
     #[test]
     fn best_action_respects_mask() {
-        let mut q = QTable::square(4);
-        q.set(0, 3, 9.0);
-        q.set(0, 1, 5.0);
-        // 3 is best overall but masked out.
-        assert_eq!(q.best_action(0, &[1, 2]), Some(1));
-        assert_eq!(q.best_action(0, &[1, 2, 3]), Some(3));
-        assert_eq!(q.best_action(0, &[]), None);
+        for mut q in [QTable::square(4), QTable::sparse(4, 4)] {
+            q.set(0, 3, 9.0);
+            q.set(0, 1, 5.0);
+            // 3 is best overall but masked out.
+            assert_eq!(q.best_action(0, &[1, 2]), Some(1));
+            assert_eq!(q.best_action(0, &[1, 2, 3]), Some(3));
+            assert_eq!(q.best_action(0, &[]), None);
+        }
     }
 
     #[test]
     fn best_action_tie_breaks_low_index() {
-        let q = QTable::square(4);
-        // All zeros: lowest index among allowed wins.
-        assert_eq!(q.best_action(0, &[2, 1, 3]), Some(1));
+        for q in [QTable::square(4), QTable::sparse(4, 4)] {
+            // All zeros: lowest index among allowed wins.
+            assert_eq!(q.best_action(0, &[2, 1, 3]), Some(1));
+        }
+    }
+
+    #[test]
+    fn best_action_survives_nan() {
+        // A NaN Q-value (corrupt checkpoint) must not abort the argmax:
+        // total_cmp orders positive NaN above +inf, so the pick is
+        // deterministic and the process stays alive.
+        for mut q in [QTable::square(4), QTable::sparse(4, 4)] {
+            q.set(0, 2, f64::NAN);
+            q.set(0, 1, 5.0);
+            assert_eq!(q.best_action(0, &[1, 2, 3]), Some(2));
+            // All-finite rows are unaffected.
+            assert_eq!(q.best_action(1, &[1, 2, 3]), Some(1));
+        }
     }
 
     #[test]
     fn best_value_terminal_convention() {
-        let mut q = QTable::square(3);
-        q.set(0, 1, -2.0);
-        q.set(0, 2, -5.0);
-        assert_eq!(q.best_value(0, &[1, 2]), -2.0);
-        assert_eq!(q.best_value(0, &[]), 0.0);
+        for mut q in [QTable::square(3), QTable::sparse(3, 3)] {
+            q.set(0, 1, -2.0);
+            q.set(0, 2, -5.0);
+            assert_eq!(q.best_value(0, &[1, 2]), -2.0);
+            assert_eq!(q.best_value(0, &[]), 0.0);
+        }
     }
 
     #[test]
@@ -201,9 +513,108 @@ mod tests {
 
     #[test]
     fn max_abs() {
-        let mut q = QTable::square(2);
-        q.set(0, 0, -7.0);
-        q.set(1, 1, 3.0);
-        assert_eq!(q.max_abs(), 7.0);
+        for mut q in [QTable::square(2), QTable::sparse(2, 2)] {
+            q.set(0, 0, -7.0);
+            q.set(1, 1, 3.0);
+            assert_eq!(q.max_abs(), 7.0);
+        }
+    }
+
+    #[test]
+    fn try_zeros_rejects_overflow_and_oversize() {
+        // usize overflow.
+        assert_eq!(
+            QTable::try_zeros(usize::MAX, 2),
+            Err(QTableError::TooLarge {
+                n_states: usize::MAX,
+                n_actions: 2
+            })
+        );
+        // Past the dense ceiling but no overflow: a 10k catalog.
+        assert!(QTable::try_zeros(10_000, 10_000).is_err());
+        assert!(QTable::try_zeros(1024, 1024).is_ok());
+        // Sparse has no such ceiling.
+        let q = QTable::sparse(10_000, 10_000);
+        assert_eq!(q.n_states(), 10_000);
+    }
+
+    #[test]
+    fn for_catalog_auto_selects_repr() {
+        assert!(!QTable::for_catalog(6).is_sparse());
+        assert!(!QTable::for_catalog(DENSE_AUTO_MAX).is_sparse());
+        assert!(QTable::for_catalog(DENSE_AUTO_MAX + 1).is_sparse());
+        assert!(QTable::auto_is_dense(114));
+        assert!(!QTable::auto_is_dense(10_000));
+    }
+
+    #[test]
+    fn sparse_approx_bytes_stays_far_under_dense() {
+        let mut q = QTable::sparse(10_000, 10_000);
+        for s in 0..1000 {
+            for a in 0..10 {
+                q.set(s, a * 7, 1.0);
+            }
+        }
+        let dense_bytes = 10_000usize * 10_000 * 8;
+        assert!(q.approx_bytes() < dense_bytes / 100);
+        // Headers + 10k entries, not 100M cells.
+        assert_eq!(q.entry_count(), 10_000);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_lookups() {
+        let mut d = QTable::square(8);
+        let mut s = QTable::sparse(8, 8);
+        // A deterministic scatter of writes applied to both.
+        for i in 0..32u32 {
+            let st = (i.wrapping_mul(5) % 8) as usize;
+            let ac = (i.wrapping_mul(11) % 8) as usize;
+            let v = f64::from(i) * 0.25 - 3.0;
+            d.set(st, ac, v);
+            s.set(st, ac, v);
+            d.td_update(st, ac, 0.5, 1.0);
+            s.td_update(st, ac, 0.5, 1.0);
+        }
+        for st in 0..8 {
+            for ac in 0..8 {
+                assert_eq!(d.get(st, ac).to_bits(), s.get(st, ac).to_bits());
+            }
+            assert_eq!(
+                d.best_action(st, &[1, 3, 5, 7]),
+                s.best_action(st, &[1, 3, 5, 7])
+            );
+            assert_eq!(
+                d.best_value(st, &[0, 2, 4]).to_bits(),
+                s.best_value(st, &[0, 2, 4]).to_bits()
+            );
+        }
+        assert_eq!(d.max_abs().to_bits(), s.max_abs().to_bits());
+    }
+
+    #[test]
+    fn iter_set_is_sorted_and_roundtrips() {
+        let mut q = QTable::sparse(5, 5);
+        q.set(3, 4, 1.0);
+        q.set(3, 1, 2.0);
+        q.set(0, 2, 3.0);
+        let entries: Vec<_> = q.iter_set().collect();
+        assert_eq!(entries, vec![(0, 2, 3.0), (3, 1, 2.0), (3, 4, 1.0)]);
+        let back = QTable::from_sparse_entries(5, 5, entries).unwrap();
+        assert_eq!(back, q);
+        // Out-of-range entries are rejected.
+        assert!(QTable::from_sparse_entries(2, 2, [(5, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        for mut q in [QTable::square(3), QTable::sparse(3, 3)] {
+            assert!(!q.has_non_finite());
+            q.set(1, 1, f64::NAN);
+            assert!(q.has_non_finite());
+            q.set(1, 1, f64::INFINITY);
+            assert!(q.has_non_finite());
+            q.set(1, 1, 0.5);
+            assert!(!q.has_non_finite());
+        }
     }
 }

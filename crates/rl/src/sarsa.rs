@@ -280,7 +280,7 @@ impl SarsaAgent {
             episode: done,
             sched_pos: done,
             rng_state: rng.state(),
-            visits: Vec::new(),
+            visits: crate::VisitTable::empty(),
             returns: stats.returns().to_vec(),
         })
     }

@@ -54,7 +54,9 @@ impl TrainStats {
     /// [`TrainStats::summary`] when several quantiles are needed.
     pub fn percentile(&self, q: f64) -> f64 {
         let mut sorted = self.returns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("returns are finite"));
+        // total_cmp: a NaN return (degenerate reward) sorts high
+        // instead of aborting the stats path.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         percentile_of_sorted(&sorted, q)
     }
 
@@ -74,7 +76,9 @@ impl TrainStats {
             return ReturnSummary::default();
         }
         let mut sorted = self.returns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("returns are finite"));
+        // total_cmp: a NaN return (degenerate reward) sorts high
+        // instead of aborting the stats path.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         ReturnSummary {
             episodes: sorted.len(),
             mean: self.mean_return(),

@@ -1,0 +1,268 @@
+//! State-action visit counters, dense or per-state sparse.
+//!
+//! Training uses visit counts to break exact `(reward, Q)` ties toward
+//! the least-visited pair. At seed sizes a flat `n × n` `u32` array is
+//! ideal; at city scale it would be as large as the dense Q-table it
+//! rode along with (400 MB at 10k items), so the counter store mirrors
+//! [`QTable`](crate::QTable)'s dense/sparse split.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage behind a [`VisitTable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum VisitRepr {
+    /// Flat row-major counts.
+    Dense(Vec<u32>),
+    /// Per-state visited rows, `(action, count)` sorted by action.
+    Sparse(Vec<Vec<(u32, u32)>>),
+}
+
+/// An `n_states × n_actions` visit-count table.
+///
+/// Like `QTable`, the derived `PartialEq` is representational: dense
+/// and sparse tables with the same counts compare unequal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitTable {
+    n_states: usize,
+    n_actions: usize,
+    repr: VisitRepr,
+}
+
+impl VisitTable {
+    /// A zeroed dense table.
+    ///
+    /// # Panics
+    /// Panics when `n_states * n_actions` overflows `usize`.
+    pub fn dense(n_states: usize, n_actions: usize) -> Self {
+        let elems = n_states
+            .checked_mul(n_actions)
+            .expect("visit table shape overflows");
+        VisitTable {
+            n_states,
+            n_actions,
+            repr: VisitRepr::Dense(vec![0; elems]),
+        }
+    }
+
+    /// A zeroed sparse table (counts materialize on first bump).
+    pub fn sparse(n_states: usize, n_actions: usize) -> Self {
+        VisitTable {
+            n_states,
+            n_actions,
+            repr: VisitRepr::Sparse(vec![Vec::new(); n_states]),
+        }
+    }
+
+    /// A zeroed `n × n` table matching
+    /// [`QTable::for_catalog`](crate::QTable::for_catalog)'s
+    /// representation choice for the same catalog size.
+    pub fn for_catalog(n: usize) -> Self {
+        if crate::QTable::auto_is_dense(n) {
+            Self::dense(n, n)
+        } else {
+            Self::sparse(n, n)
+        }
+    }
+
+    /// The `0 × 0` table: the "learner keeps no visit counts" marker
+    /// used by checkpoints.
+    pub fn empty() -> Self {
+        Self::dense(0, 0)
+    }
+
+    /// Rebuilds a dense table from raw parts.
+    ///
+    /// # Panics
+    /// Panics when `counts.len() != n_states * n_actions`.
+    pub fn from_raw_dense(n_states: usize, n_actions: usize, counts: Vec<u32>) -> Self {
+        assert_eq!(
+            counts.len(),
+            n_states.checked_mul(n_actions).expect("shape mismatch"),
+            "shape mismatch"
+        );
+        VisitTable {
+            n_states,
+            n_actions,
+            repr: VisitRepr::Dense(counts),
+        }
+    }
+
+    /// Rebuilds a sparse table from `(state, action, count)` entries in
+    /// any order; out-of-range entries are an error.
+    pub fn from_sparse_entries(
+        n_states: usize,
+        n_actions: usize,
+        entries: impl IntoIterator<Item = (usize, usize, u32)>,
+    ) -> Result<Self, String> {
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_states];
+        for (s, a, c) in entries {
+            if s >= n_states || a >= n_actions {
+                return Err(format!(
+                    "visit entry ({s}, {a}) out of range {n_states}x{n_actions}"
+                ));
+            }
+            let row = &mut rows[s];
+            match row.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+                Ok(i) => row[i].1 = c,
+                Err(i) => row.insert(i, (a as u32, c)),
+            }
+        }
+        Ok(VisitTable {
+            n_states,
+            n_actions,
+            repr: VisitRepr::Sparse(rows),
+        })
+    }
+
+    /// Number of state rows.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of action columns.
+    #[inline]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// `true` for the `0 × 0` "no counts kept" marker.
+    pub fn is_empty(&self) -> bool {
+        self.n_states == 0 && self.n_actions == 0
+    }
+
+    /// `true` when the table stores per-state sparse rows.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, VisitRepr::Sparse(_))
+    }
+
+    /// The visit count of `(s, a)`.
+    #[inline]
+    pub fn get(&self, s: usize, a: usize) -> u32 {
+        debug_assert!(s < self.n_states && a < self.n_actions);
+        match &self.repr {
+            VisitRepr::Dense(v) => v[s * self.n_actions + a],
+            VisitRepr::Sparse(rows) => {
+                let row = &rows[s];
+                match row.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+                    Ok(i) => row[i].1,
+                    Err(_) => 0,
+                }
+            }
+        }
+    }
+
+    /// Increments the visit count of `(s, a)`.
+    #[inline]
+    pub fn bump(&mut self, s: usize, a: usize) {
+        debug_assert!(s < self.n_states && a < self.n_actions);
+        match &mut self.repr {
+            VisitRepr::Dense(v) => v[s * self.n_actions + a] += 1,
+            VisitRepr::Sparse(rows) => {
+                let row = &mut rows[s];
+                match row.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+                    Ok(i) => row[i].1 += 1,
+                    Err(i) => row.insert(i, (a as u32, 1)),
+                }
+            }
+        }
+    }
+
+    /// Flat row-major counts when dense, `None` when sparse (the QPOL
+    /// v1/v2 wire shape).
+    pub fn dense_counts(&self) -> Option<&[u32]> {
+        match &self.repr {
+            VisitRepr::Dense(v) => Some(v),
+            VisitRepr::Sparse(_) => None,
+        }
+    }
+
+    /// Materialized entries in ascending `(state, action)` order — the
+    /// deterministic sparse encode order. Dense tables yield every cell.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        let dense = match &self.repr {
+            VisitRepr::Dense(v) => Some(
+                v.iter()
+                    .enumerate()
+                    .map(|(i, &c)| (i / self.n_actions.max(1), i % self.n_actions.max(1), c)),
+            ),
+            VisitRepr::Sparse(_) => None,
+        };
+        let sparse = match &self.repr {
+            VisitRepr::Sparse(rows) => Some(
+                rows.iter()
+                    .enumerate()
+                    .flat_map(|(st, row)| row.iter().map(move |&(a, c)| (st, a as usize, c))),
+            ),
+            VisitRepr::Dense(_) => None,
+        };
+        dense
+            .into_iter()
+            .flatten()
+            .chain(sparse.into_iter().flatten())
+    }
+
+    /// Number of materialized entries (sparse wire length).
+    pub fn entry_count(&self) -> usize {
+        match &self.repr {
+            VisitRepr::Dense(v) => v.len(),
+            VisitRepr::Sparse(rows) => rows.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_bump_and_get() {
+        let mut v = VisitTable::dense(3, 3);
+        assert_eq!(v.get(1, 2), 0);
+        v.bump(1, 2);
+        v.bump(1, 2);
+        assert_eq!(v.get(1, 2), 2);
+        assert_eq!(v.dense_counts().unwrap()[3 + 2], 2);
+    }
+
+    #[test]
+    fn sparse_bump_and_get() {
+        let mut v = VisitTable::sparse(100_000, 100_000);
+        assert!(v.is_sparse());
+        assert_eq!(v.get(99_999, 50), 0);
+        v.bump(99_999, 50);
+        v.bump(99_999, 50);
+        v.bump(99_999, 7);
+        assert_eq!(v.get(99_999, 50), 2);
+        assert_eq!(v.get(99_999, 7), 1);
+        assert_eq!(v.entry_count(), 2);
+        assert!(v.dense_counts().is_none());
+    }
+
+    #[test]
+    fn for_catalog_matches_qtable_auto_rule() {
+        assert!(!VisitTable::for_catalog(6).is_sparse());
+        assert!(VisitTable::for_catalog(2000).is_sparse());
+    }
+
+    #[test]
+    fn empty_marker() {
+        let v = VisitTable::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.entry_count(), 0);
+        assert!(!VisitTable::dense(1, 1).is_empty());
+    }
+
+    #[test]
+    fn sparse_entries_roundtrip_sorted() {
+        let mut v = VisitTable::sparse(4, 4);
+        v.bump(2, 3);
+        v.bump(2, 0);
+        v.bump(0, 1);
+        let entries: Vec<_> = v.iter_set().collect();
+        assert_eq!(entries, vec![(0, 1, 1), (2, 0, 1), (2, 3, 1)]);
+        let back = VisitTable::from_sparse_entries(4, 4, entries).unwrap();
+        assert_eq!(back, v);
+        assert!(VisitTable::from_sparse_entries(2, 2, [(9, 0, 1)]).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Dataset resolution shared by the daemon and the CLI.
 //!
-//! One name → `(PlanningInstance, PlannerParams)` mapping for the six
+//! One name → `(PlanningInstance, PlannerParams)` mapping for the
 //! built-in datasets, so `rl-planner plan --dataset nyc` and a daemon
 //! request `{"op":"plan","dataset":"nyc"}` are guaranteed to plan over
 //! the same universe. The CLI delegates here. A name ending in `.json`
@@ -13,7 +13,7 @@ use tpp_core::PlannerParams;
 use tpp_model::PlanningInstance;
 
 /// Every resolvable dataset name, for usage and error text.
-pub const DATASET_NAMES: &str = "ds-ct cyber cs univ2 nyc paris";
+pub const DATASET_NAMES: &str = "ds-ct cyber cs univ2 nyc paris city-1k city-10k city-100k";
 
 /// Loads and validates a user-supplied instance file; parameters default
 /// by instance kind (trip vs. course).
@@ -61,6 +61,23 @@ pub fn resolve_dataset(name: &str) -> Result<(PlanningInstance, PlannerParams), 
         ),
         "paris" => (
             tpp_datagen::paris(PARIS_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        // City-scale synthetic catalogs. Default params flip to the
+        // sparse Q representation and grid-pruned shortlists
+        // automatically past DENSE_AUTO_MAX items (QReprMode::Auto /
+        // ShortlistMode::Auto), so city-1k measures the dense baseline
+        // while city-10k/-100k exercise the large-n fast paths.
+        "city-1k" => (
+            tpp_datagen::city_1k(CITY_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        "city-10k" => (
+            tpp_datagen::city_10k(CITY_SEED).instance,
+            PlannerParams::trip_defaults(),
+        ),
+        "city-100k" => (
+            tpp_datagen::city_100k(CITY_SEED).instance,
             PlannerParams::trip_defaults(),
         ),
         other => {

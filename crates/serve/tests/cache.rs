@@ -39,7 +39,7 @@ fn seed_checkpoints(dir: &std::path::Path, n: u64) {
             episode,
             sched_pos: episode,
             rng_state: [1, 2, 3, episode],
-            visits: vec![],
+            visits: tpp_rl::VisitTable::empty(),
             returns: vec![0.0; episode as usize],
         };
         set.save(&ckpt).unwrap();

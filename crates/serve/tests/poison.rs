@@ -1,0 +1,141 @@
+//! Regression suite for poisoned (non-finite) policy payloads.
+//!
+//! Before the decode-time gate in `tpp-store`, a checkpoint whose
+//! Q-table carried NaN decoded "successfully" and the poison reached
+//! the argmax, where `partial_cmp().expect(...)` killed the worker —
+//! and K repeats quarantined the request key. The contract under test:
+//!
+//! 1. **A NaN checkpoint is a bad *artifact*, not a bad *request*** —
+//!    the engine answers degraded (EDA tier), the process stays alive,
+//!    and the quarantine records zero strikes, because the decoder
+//!    rejects the table before any rollout touches it.
+//! 2. **Rotation heals it** — with an older finite generation present,
+//!    the loader skips the poisoned newest and serves the policy tier.
+//! 3. **The rejection is permanent, not retried** — re-reading yields
+//!    the same poison, so the backoff loop must not spend the deadline
+//!    re-decoding it.
+
+use tpp_obs::json::{parse, Json};
+use tpp_rl::{QTable, TrainCheckpoint, VisitTable};
+use tpp_serve::{ServeConfig, ServeEngine};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpp-serve-poison-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn get<'a>(v: &'a Json, k: &str) -> &'a Json {
+    v.get(k)
+        .unwrap_or_else(|| panic!("missing field {k:?} in {v:?}"))
+}
+
+fn str_of<'a>(v: &'a Json, k: &str) -> &'a str {
+    match get(v, k) {
+        Json::Str(s) => s,
+        other => panic!("field {k:?} is not a string: {other:?}"),
+    }
+}
+
+fn handle(engine: &ServeEngine, line: &str) -> Json {
+    let response = engine.handle_line(line);
+    parse(&response).unwrap_or_else(|e| panic!("invalid response json {response:?}: {e}"))
+}
+
+/// Saves one ds-ct checkpoint generation; `poison` plants a NaN in the
+/// Q-table. The encoder writes it faithfully (checksum and all) — the
+/// *decoder* is the gate under test.
+fn save_generation(set: &tpp_store::CheckpointSet<'_>, episode: u64, poison: bool) {
+    let (instance, _) = tpp_serve::resolve_dataset("ds-ct").unwrap();
+    let mut q = QTable::square(instance.catalog.len());
+    if poison {
+        q.set(0, 0, f64::NAN);
+    }
+    set.save(&TrainCheckpoint {
+        q,
+        episode,
+        sched_pos: episode,
+        rng_state: [1, 2, 3, episode],
+        visits: VisitTable::empty(),
+        returns: vec![0.0; episode as usize],
+    })
+    .unwrap();
+}
+
+#[test]
+fn nan_checkpoint_degrades_the_response_not_the_worker() {
+    let dir = temp_dir("nan-only");
+    let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir, 1);
+    save_generation(&set, 1, true);
+
+    let engine = ServeEngine::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let r = handle(&engine, r#"{"op":"recommend","dataset":"ds-ct"}"#);
+
+    // Alive and honest: a valid degraded response, not a panic.
+    assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+    assert_eq!(str_of(&r, "tier"), "eda");
+    assert_eq!(get(&r, "degraded"), &Json::Bool(true));
+    assert!(
+        matches!(get(&r, "fallbacks"), Json::Arr(f) if !f.is_empty()),
+        "response must say why it degraded: {r:?}"
+    );
+    // The poison was rejected at decode, before any argmax ran, so no
+    // panic was isolated and no quarantine strike was recorded.
+    assert!(
+        engine.quarantine.is_empty(),
+        "a poisoned artifact must not strike the request key"
+    );
+    assert_eq!(engine.quarantine.added(), 0);
+
+    // The engine is not wedged: the next request answers too.
+    let r2 = handle(&engine, r#"{"op":"recommend","dataset":"ds-ct"}"#);
+    assert_eq!(get(&r2, "ok"), &Json::Bool(true), "{r2:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nan_newest_generation_falls_back_to_finite_older_one() {
+    let dir = temp_dir("nan-rotate");
+    let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir, 2);
+    save_generation(&set, 1, false);
+    save_generation(&set, 2, true);
+
+    let engine = ServeEngine::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let r = handle(&engine, r#"{"op":"recommend","dataset":"ds-ct"}"#);
+
+    // The loader skipped the poisoned newest generation and served the
+    // finite one — full policy tier, nothing degraded.
+    assert_eq!(get(&r, "ok"), &Json::Bool(true), "{r:?}");
+    assert_eq!(str_of(&r, "tier"), "policy");
+    assert_eq!(get(&r, "degraded"), &Json::Bool(false));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_finite_rejection_is_permanent_and_never_retried() {
+    let dir = temp_dir("nan-noretry");
+    let set = tpp_store::CheckpointSet::new(&tpp_store::RealFs, &dir, 1);
+    save_generation(&set, 1, true);
+
+    let engine = ServeEngine::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let r = handle(&engine, r#"{"op":"recommend","dataset":"ds-ct"}"#);
+
+    assert_eq!(get(&r, "degraded"), &Json::Bool(true), "{r:?}");
+    // Permanent store errors must not burn the deadline in backoff:
+    // the response reports zero load retries.
+    assert_eq!(get(&r, "retries").as_f64(), Some(0.0), "{r:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

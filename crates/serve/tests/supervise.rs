@@ -50,7 +50,7 @@ fn seed_checkpoint(dir: &std::path::Path) {
         episode: 1,
         sched_pos: 1,
         rng_state: [1, 2, 3, 4],
-        visits: vec![],
+        visits: tpp_rl::VisitTable::empty(),
         returns: vec![0.0],
     })
     .unwrap();

@@ -230,7 +230,7 @@ impl<'f> CheckpointSet<'f> {
 mod tests {
     use super::*;
     use crate::vfs::RealFs;
-    use tpp_rl::QTable;
+    use tpp_rl::{QTable, VisitTable};
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("tpp-ckpt-{}-{name}", std::process::id()));
@@ -246,7 +246,7 @@ mod tests {
             episode,
             sched_pos: episode,
             rng_state: [episode, 2, 3, 4],
-            visits: vec![1, 2, 3],
+            visits: VisitTable::from_raw_dense(1, 3, vec![1, 2, 3]),
             returns: (0..episode).map(|e| e as f64).collect(),
         }
     }

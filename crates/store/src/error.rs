@@ -26,6 +26,11 @@ pub enum StoreError {
     /// The payload is a plain policy with no resume state, but a
     /// checkpoint (Q-table + resume state) was required.
     MissingResumeState,
+    /// The payload decoded cleanly but carries NaN or infinite Q
+    /// values. A poisoned table would silently corrupt every downstream
+    /// argmax, so the decoder rejects it outright; permanent, since
+    /// re-reading yields the same poison.
+    NonFiniteValues,
     /// A failure with the offending path attached, so CLI errors can
     /// name the file instead of a bare "No such file or directory".
     At {
@@ -100,6 +105,7 @@ impl StoreError {
             | StoreError::UnsupportedVersion(_)
             | StoreError::ChecksumMismatch
             | StoreError::MissingResumeState
+            | StoreError::NonFiniteValues
             | StoreError::NoValidCheckpoint { .. } => false,
             // `root_cause` never returns `At`; treat it as its source.
             StoreError::At { source, .. } => source.is_retryable(),
@@ -120,6 +126,9 @@ impl fmt::Display for StoreError {
             StoreError::ChecksumMismatch => f.write_str("checksum mismatch (corrupt payload)"),
             StoreError::MissingResumeState => {
                 f.write_str("policy file carries no resume state (not a checkpoint)")
+            }
+            StoreError::NonFiniteValues => {
+                f.write_str("policy carries non-finite Q values (poisoned table rejected)")
             }
             StoreError::At { path, source } => write!(f, "{}: {source}", path.display()),
             StoreError::NoValidCheckpoint { dir, tried } => write!(
@@ -222,6 +231,7 @@ mod tests {
         assert!(!StoreError::ChecksumMismatch.is_retryable());
         assert!(!StoreError::UnsupportedVersion(7).is_retryable());
         assert!(!StoreError::MissingResumeState.is_retryable());
+        assert!(!StoreError::NonFiniteValues.is_retryable());
         assert!(!StoreError::NoValidCheckpoint {
             dir: PathBuf::from("/c"),
             tried: 3

@@ -1,7 +1,7 @@
 //! The `QPOL` binary format for learned policies and training
 //! checkpoints.
 //!
-//! Version 1 (plain policy — the stable interchange format):
+//! Version 1 (plain dense policy — the stable interchange format):
 //!
 //! ```text
 //! offset  size  field
@@ -29,25 +29,62 @@
 //! last    8     FNV-1a 64 checksum over everything before it
 //! ```
 //!
-//! [`encode_qtable`] keeps emitting v1 so previously written policies
-//! and external readers stay compatible; [`decode_qtable`] accepts both
-//! versions (ignoring v2 resume state). Checkpoints are written by
-//! [`encode_checkpoint`] and read back by [`decode_checkpoint`].
-//! Corruption and truncation are detected, version skew is rejected,
-//! and no input — however malformed — may panic the decoder (a property
-//! the fuzz suite asserts for both versions).
+//! Version 3 carries city-scale sparse tables. The header is identical;
+//! the Q section gains a representation flag, and the resume section's
+//! visit counts gain an explicit shape so sparse visit tables survive a
+//! roundtrip:
+//!
+//! ```text
+//! 16      1     q_repr: 0 = dense, 1 = sparse
+//! dense:  8*n   Q values, row-major f64 LE (as v1/v2)
+//! sparse: 4     q_entries (u32), then q_entries ×
+//!                 (state u32, action u32, value f64 LE)
+//!               in ascending (state, action) order
+//! ...     1     has_resume (0 or 1)
+//! then, when has_resume = 1:
+//!         8+8+32  episode, sched_pos, rng state (as v2)
+//!         1     visit_repr: 0 = dense, 1 = sparse
+//!         4+4   visit n_states, n_actions (u32 each)
+//! dense:        n_states*n_actions × u32 counts
+//! sparse: 4     visit_entries (u32), then visit_entries ×
+//!                 (state u32, action u32, count u32)
+//! then:   4     returns_len (u32), then returns_len × f64 returns
+//! last    8     FNV-1a 64 checksum over everything before it
+//! ```
+//!
+//! [`encode_qtable`] keeps emitting v1 for dense tables so previously
+//! written policies and external readers stay byte-compatible, and only
+//! upgrades to v3 when the table is sparse. [`encode_checkpoint`]
+//! likewise emits v2 byte-identically whenever both the Q-table and the
+//! visit counts are dense (or the visits are absent), reserving v3 for
+//! sparse payloads. The decoders accept all three versions. Legacy v2
+//! visit counts carry no shape; they are reconstructed as
+//! `n_states × n_actions` when the count matches the Q dimensions,
+//! empty when zero, and a single row otherwise.
+//!
+//! Decoding rejects non-finite Q values with
+//! [`StoreError::NonFiniteValues`]: a NaN in a checkpoint would
+//! otherwise poison every downstream argmax, and the serving layer
+//! treats the typed (permanent, non-retryable) error as "fall back",
+//! not "crash". Corruption and truncation are detected, version skew is
+//! rejected, and no input — however malformed — may panic the decoder
+//! (a property the fuzz suite asserts for every version).
 
 use crate::error::StoreError;
 use crate::vfs::{RealFs, Vfs};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::path::Path;
-use tpp_rl::{QTable, TrainCheckpoint};
+use tpp_rl::{QTable, TrainCheckpoint, VisitTable};
 
 const MAGIC: &[u8; 4] = b"QPOL";
 const VERSION_V1: u16 = 1;
 const VERSION_V2: u16 = 2;
+const VERSION_V3: u16 = 3;
 const HEADER_LEN: usize = 16;
 const CHECKSUM_LEN: usize = 8;
+/// Representation flag values shared by the v3 Q and visits sections.
+const REPR_DENSE: u8 = 0;
+const REPR_SPARSE: u8 = 1;
 
 fn fnv1a64(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -141,7 +178,7 @@ fn read_header(r: &mut Reader<'_>) -> Result<(u16, usize, usize), StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION_V1 && version != VERSION_V2 {
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let _reserved = r.u16()?;
@@ -164,70 +201,223 @@ fn read_values(r: &mut Reader<'_>, n: usize) -> Result<Vec<f64>, StoreError> {
     Ok(values)
 }
 
+/// Reads the Q section: plain dense values for v1/v2, flag-dispatched
+/// dense or sparse for v3.
+fn read_qtable_body(
+    r: &mut Reader<'_>,
+    version: u16,
+    n_states: usize,
+    n_actions: usize,
+) -> Result<QTable, StoreError> {
+    let dense_len = n_states * n_actions; // header pre-checked the product
+    if version != VERSION_V3 {
+        let values = read_values(r, dense_len)?;
+        return Ok(QTable::from_raw(n_states, n_actions, values));
+    }
+    match r.u8()? {
+        REPR_DENSE => {
+            let values = read_values(r, dense_len)?;
+            Ok(QTable::from_raw(n_states, n_actions, values))
+        }
+        REPR_SPARSE => {
+            let n_entries = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n_entries.min(r.data.len() / 16 + 1));
+            for _ in 0..n_entries {
+                let s = r.u32()? as usize;
+                let a = r.u32()? as usize;
+                let v = r.f64()?;
+                entries.push((s, a, v));
+            }
+            // Out-of-range entries are bad framing (a checksum only
+            // protects against corruption, not a broken writer).
+            QTable::from_sparse_entries(n_states, n_actions, entries)
+                .map_err(|_| StoreError::BadMagic)
+        }
+        _ => Err(StoreError::BadMagic),
+    }
+}
+
 fn put_header(buf: &mut BytesMut, version: u16, q: &QTable) {
     buf.put_slice(MAGIC);
     buf.put_u16_le(version);
     buf.put_u16_le(0);
     buf.put_u32_le(u32::try_from(q.n_states()).expect("state count fits u32"));
     buf.put_u32_le(u32::try_from(q.n_actions()).expect("action count fits u32"));
-    for &v in q.values() {
-        buf.put_f64_le(v);
+}
+
+/// Writes the v3 Q section (repr flag + payload).
+fn put_qtable_body_v3(buf: &mut BytesMut, q: &QTable) {
+    match q.dense_values() {
+        Some(values) => {
+            buf.put_u8(REPR_DENSE);
+            for &v in values {
+                buf.put_f64_le(v);
+            }
+        }
+        None => {
+            buf.put_u8(REPR_SPARSE);
+            buf.put_u32_le(u32::try_from(q.entry_count()).expect("entry count fits u32"));
+            for (s, a, v) in q.iter_set() {
+                buf.put_u32_le(u32::try_from(s).expect("state fits u32"));
+                buf.put_u32_le(u32::try_from(a).expect("action fits u32"));
+                buf.put_f64_le(v);
+            }
+        }
     }
 }
 
-/// Encodes a Q-table into the v1 `QPOL` wire format (the stable
-/// interchange encoding; carries no resume state).
+/// Writes the v3 visits section (repr flag + shape + payload).
+fn put_visits_v3(buf: &mut BytesMut, visits: &VisitTable) {
+    let n_states = u32::try_from(visits.n_states()).expect("visit states fit u32");
+    let n_actions = u32::try_from(visits.n_actions()).expect("visit actions fit u32");
+    match visits.dense_counts() {
+        Some(counts) => {
+            buf.put_u8(REPR_DENSE);
+            buf.put_u32_le(n_states);
+            buf.put_u32_le(n_actions);
+            for &c in counts {
+                buf.put_u32_le(c);
+            }
+        }
+        None => {
+            buf.put_u8(REPR_SPARSE);
+            buf.put_u32_le(n_states);
+            buf.put_u32_le(n_actions);
+            buf.put_u32_le(u32::try_from(visits.entry_count()).expect("visit entries fit u32"));
+            for (s, a, c) in visits.iter_set() {
+                buf.put_u32_le(u32::try_from(s).expect("state fits u32"));
+                buf.put_u32_le(u32::try_from(a).expect("action fits u32"));
+                buf.put_u32_le(c);
+            }
+        }
+    }
+}
+
+/// Appends the trailing checksum and freezes the buffer.
+fn seal(mut buf: BytesMut) -> Bytes {
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Whether a checkpoint fits the legacy v2 wire format without loss:
+/// dense Q, and visit counts that are either absent or a dense table of
+/// exactly the Q-table's shape (the only shape v2's bare flat array can
+/// reconstruct).
+fn fits_v2(ckpt: &TrainCheckpoint) -> bool {
+    if ckpt.q.dense_values().is_none() {
+        return false;
+    }
+    if ckpt.visits.is_empty() {
+        return true;
+    }
+    ckpt.visits.dense_counts().is_some()
+        && ckpt.visits.n_states() == ckpt.q.n_states()
+        && ckpt.visits.n_actions() == ckpt.q.n_actions()
+        && ckpt.visits.entry_count() > 0
+}
+
+/// Encodes a Q-table into the `QPOL` wire format. Dense tables keep the
+/// stable v1 interchange encoding byte-for-byte; sparse tables use v3.
+/// Neither carries resume state.
 pub fn encode_qtable(q: &QTable) -> Bytes {
-    let n = q.values().len();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + CHECKSUM_LEN);
-    put_header(&mut buf, VERSION_V1, q);
-    let checksum = fnv1a64(&buf);
-    buf.put_u64_le(checksum);
-    buf.freeze()
+    match q.dense_values() {
+        Some(values) => {
+            let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * values.len() + CHECKSUM_LEN);
+            put_header(&mut buf, VERSION_V1, q);
+            for &v in values {
+                buf.put_f64_le(v);
+            }
+            seal(buf)
+        }
+        None => {
+            let mut buf =
+                BytesMut::with_capacity(HEADER_LEN + 5 + 16 * q.entry_count() + 1 + CHECKSUM_LEN);
+            put_header(&mut buf, VERSION_V3, q);
+            put_qtable_body_v3(&mut buf, q);
+            buf.put_u8(0); // no resume state
+            seal(buf)
+        }
+    }
 }
 
-/// Encodes a training checkpoint into the v2 `QPOL` wire format.
+/// Encodes a training checkpoint into the `QPOL` wire format: v2
+/// byte-identically when everything is dense, v3 when the Q-table or
+/// the visit counts are sparse.
 pub fn encode_checkpoint(ckpt: &TrainCheckpoint) -> Bytes {
-    let n = ckpt.q.values().len();
-    let resume_len = 1 + 8 + 8 + 32 + 4 + 4 * ckpt.visits.len() + 4 + 8 * ckpt.returns.len();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * n + resume_len + CHECKSUM_LEN);
-    put_header(&mut buf, VERSION_V2, &ckpt.q);
-    buf.put_u8(1);
-    buf.put_u64_le(ckpt.episode);
-    buf.put_u64_le(ckpt.sched_pos);
-    for w in ckpt.rng_state {
-        buf.put_u64_le(w);
+    if fits_v2(ckpt) {
+        let values = ckpt.q.dense_values().expect("fits_v2 implies dense q");
+        let counts = ckpt.visits.dense_counts().unwrap_or(&[]);
+        let resume_len = 1 + 8 + 8 + 32 + 4 + 4 * counts.len() + 4 + 8 * ckpt.returns.len();
+        let mut buf =
+            BytesMut::with_capacity(HEADER_LEN + 8 * values.len() + resume_len + CHECKSUM_LEN);
+        put_header(&mut buf, VERSION_V2, &ckpt.q);
+        for &v in values {
+            buf.put_f64_le(v);
+        }
+        buf.put_u8(1);
+        buf.put_u64_le(ckpt.episode);
+        buf.put_u64_le(ckpt.sched_pos);
+        for w in ckpt.rng_state {
+            buf.put_u64_le(w);
+        }
+        buf.put_u32_le(u32::try_from(counts.len()).expect("visit count fits u32"));
+        for &c in counts {
+            buf.put_u32_le(c);
+        }
+        buf.put_u32_le(u32::try_from(ckpt.returns.len()).expect("return count fits u32"));
+        for &r in &ckpt.returns {
+            buf.put_f64_le(r);
+        }
+        seal(buf)
+    } else {
+        let approx = HEADER_LEN
+            + 5
+            + 16 * ckpt.q.entry_count()
+            + 62
+            + 12 * ckpt.visits.entry_count()
+            + 8 * ckpt.returns.len()
+            + CHECKSUM_LEN;
+        let mut buf = BytesMut::with_capacity(approx);
+        put_header(&mut buf, VERSION_V3, &ckpt.q);
+        put_qtable_body_v3(&mut buf, &ckpt.q);
+        buf.put_u8(1);
+        buf.put_u64_le(ckpt.episode);
+        buf.put_u64_le(ckpt.sched_pos);
+        for w in ckpt.rng_state {
+            buf.put_u64_le(w);
+        }
+        put_visits_v3(&mut buf, &ckpt.visits);
+        buf.put_u32_le(u32::try_from(ckpt.returns.len()).expect("return count fits u32"));
+        for &r in &ckpt.returns {
+            buf.put_f64_le(r);
+        }
+        seal(buf)
     }
-    buf.put_u32_le(u32::try_from(ckpt.visits.len()).expect("visit count fits u32"));
-    for &v in &ckpt.visits {
-        buf.put_u32_le(v);
-    }
-    buf.put_u32_le(u32::try_from(ckpt.returns.len()).expect("return count fits u32"));
-    for &r in &ckpt.returns {
-        buf.put_f64_le(r);
-    }
-    let checksum = fnv1a64(&buf);
-    buf.put_u64_le(checksum);
-    buf.freeze()
 }
 
-/// Decodes a `QPOL` payload (v1 or v2) into a Q-table, verifying magic,
-/// version, shape and checksum. Any v2 resume state is validated and
-/// discarded; use [`decode_checkpoint`] to keep it.
+/// Decodes a `QPOL` payload (v1, v2 or v3) into a Q-table, verifying
+/// magic, version, shape and checksum, and rejecting non-finite values.
+/// Any resume state is validated and discarded; use
+/// [`decode_checkpoint`] to keep it.
 pub fn decode_qtable(data: &[u8]) -> Result<QTable, StoreError> {
     let body = checked_body(data)?;
     let mut r = Reader::new(body, data.len());
     let (version, n_states, n_actions) = read_header(&mut r)?;
-    let values = read_values(&mut r, n_states * n_actions)?;
-    if version == VERSION_V2 {
-        read_resume(&mut r)?;
+    let q = read_qtable_body(&mut r, version, n_states, n_actions)?;
+    if version != VERSION_V1 {
+        read_resume(&mut r, version, n_states, n_actions)?;
     }
     r.finish()?;
-    Ok(QTable::from_raw(n_states, n_actions, values))
+    if q.has_non_finite() {
+        return Err(StoreError::NonFiniteValues);
+    }
+    Ok(q)
 }
 
-/// Decodes a v2 `QPOL` checkpoint, verifying magic, version, shape,
-/// resume section and checksum.
+/// Decodes a v2 or v3 `QPOL` checkpoint, verifying magic, version,
+/// shape, resume section and checksum, and rejecting non-finite Q
+/// values.
 pub fn decode_checkpoint(data: &[u8]) -> Result<TrainCheckpoint, StoreError> {
     let body = checked_body(data)?;
     let mut r = Reader::new(body, data.len());
@@ -235,12 +425,16 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<TrainCheckpoint, StoreError> {
     if version == VERSION_V1 {
         return Err(StoreError::MissingResumeState);
     }
-    let values = read_values(&mut r, n_states * n_actions)?;
-    let resume = read_resume(&mut r)?.ok_or(StoreError::MissingResumeState)?;
+    let q = read_qtable_body(&mut r, version, n_states, n_actions)?;
+    let resume =
+        read_resume(&mut r, version, n_states, n_actions)?.ok_or(StoreError::MissingResumeState)?;
     r.finish()?;
+    if q.has_non_finite() {
+        return Err(StoreError::NonFiniteValues);
+    }
     let (episode, sched_pos, rng_state, visits, returns) = resume;
     Ok(TrainCheckpoint {
-        q: QTable::from_raw(n_states, n_actions, values),
+        q,
         episode,
         sched_pos,
         rng_state,
@@ -249,9 +443,14 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<TrainCheckpoint, StoreError> {
     })
 }
 
-type ResumeFields = (u64, u64, [u64; 4], Vec<u32>, Vec<f64>);
+type ResumeFields = (u64, u64, [u64; 4], VisitTable, Vec<f64>);
 
-fn read_resume(r: &mut Reader<'_>) -> Result<Option<ResumeFields>, StoreError> {
+fn read_resume(
+    r: &mut Reader<'_>,
+    version: u16,
+    n_states: usize,
+    n_actions: usize,
+) -> Result<Option<ResumeFields>, StoreError> {
     match r.u8()? {
         0 => Ok(None),
         1 => {
@@ -261,11 +460,16 @@ fn read_resume(r: &mut Reader<'_>) -> Result<Option<ResumeFields>, StoreError> {
             for w in &mut rng_state {
                 *w = r.u64()?;
             }
-            let n_visits = r.u32()? as usize;
-            let mut visits = Vec::with_capacity(n_visits.min(r.data.len() / 4 + 1));
-            for _ in 0..n_visits {
-                visits.push(r.u32()?);
-            }
+            let visits = if version == VERSION_V3 {
+                read_visits_v3(r)?
+            } else {
+                let n_visits = r.u32()? as usize;
+                let mut flat = Vec::with_capacity(n_visits.min(r.data.len() / 4 + 1));
+                for _ in 0..n_visits {
+                    flat.push(r.u32()?);
+                }
+                reconstruct_v2_visits(n_states, n_actions, flat)
+            };
             let n_returns = r.u32()? as usize;
             let mut returns = Vec::with_capacity(n_returns.min(r.data.len() / 8 + 1));
             for _ in 0..n_returns {
@@ -279,8 +483,53 @@ fn read_resume(r: &mut Reader<'_>) -> Result<Option<ResumeFields>, StoreError> {
     }
 }
 
-/// Writes a Q-table to `path` in v1 `QPOL` format, atomically
-/// (tmp → fsync → rename → fsync dir).
+/// Legacy v2 visit counts are a bare flat array. Give them back their
+/// shape: the Q-table's when the count matches, empty when zero, a
+/// single row otherwise (pre-shape writers stored arbitrary lengths).
+fn reconstruct_v2_visits(n_states: usize, n_actions: usize, flat: Vec<u32>) -> VisitTable {
+    if flat.is_empty() {
+        VisitTable::empty()
+    } else if flat.len() == n_states * n_actions {
+        VisitTable::from_raw_dense(n_states, n_actions, flat)
+    } else {
+        let len = flat.len();
+        VisitTable::from_raw_dense(1, len, flat)
+    }
+}
+
+fn read_visits_v3(r: &mut Reader<'_>) -> Result<VisitTable, StoreError> {
+    let repr = r.u8()?;
+    let n_states = r.u32()? as usize;
+    let n_actions = r.u32()? as usize;
+    let dense_len = n_states
+        .checked_mul(n_actions)
+        .ok_or(StoreError::BadMagic)?;
+    match repr {
+        REPR_DENSE => {
+            let mut counts = Vec::with_capacity(dense_len.min(r.data.len() / 4 + 1));
+            for _ in 0..dense_len {
+                counts.push(r.u32()?);
+            }
+            Ok(VisitTable::from_raw_dense(n_states, n_actions, counts))
+        }
+        REPR_SPARSE => {
+            let n_entries = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n_entries.min(r.data.len() / 12 + 1));
+            for _ in 0..n_entries {
+                let s = r.u32()? as usize;
+                let a = r.u32()? as usize;
+                let c = r.u32()?;
+                entries.push((s, a, c));
+            }
+            VisitTable::from_sparse_entries(n_states, n_actions, entries)
+                .map_err(|_| StoreError::BadMagic)
+        }
+        _ => Err(StoreError::BadMagic),
+    }
+}
+
+/// Writes a Q-table to `path` in `QPOL` format (v1 for dense, v3 for
+/// sparse), atomically (tmp → fsync → rename → fsync dir).
 pub fn save_qtable(path: impl AsRef<Path>, q: &QTable) -> Result<(), StoreError> {
     save_qtable_with(&RealFs, path, q)
 }
@@ -294,7 +543,7 @@ pub fn save_qtable_with(
     crate::atomic::atomic_write(fs, path, &encode_qtable(q))
 }
 
-/// Reads a Q-table from a `QPOL` file (v1 or v2). Errors carry the
+/// Reads a Q-table from a `QPOL` file (v1, v2 or v3). Errors carry the
 /// offending path.
 pub fn load_qtable(path: impl AsRef<Path>) -> Result<QTable, StoreError> {
     load_qtable_with(&RealFs, path)
@@ -319,14 +568,41 @@ mod tests {
         q
     }
 
+    fn sample_sparse_q() -> QTable {
+        let mut q = QTable::sparse(5000, 5000);
+        q.set(0, 1, 1.25);
+        q.set(4999, 2, -7.5);
+        q.set(1234, 4321, f64::MIN_POSITIVE);
+        q
+    }
+
     fn sample_ckpt() -> TrainCheckpoint {
+        let mut visits = VisitTable::dense(4, 4);
+        for (s, a) in [(0, 1), (0, 1), (3, 2), (2, 2), (1, 0)] {
+            visits.bump(s, a);
+        }
         TrainCheckpoint {
             q: sample_q(),
             episode: 120,
             sched_pos: 120,
             rng_state: [1, u64::MAX, 0xdead_beef, 42],
-            visits: vec![0, 3, 7, 1],
+            visits,
             returns: vec![0.5, -1.25, 9.75],
+        }
+    }
+
+    fn sample_sparse_ckpt() -> TrainCheckpoint {
+        let mut visits = VisitTable::sparse(5000, 5000);
+        visits.bump(0, 1);
+        visits.bump(0, 1);
+        visits.bump(4999, 2);
+        TrainCheckpoint {
+            q: sample_sparse_q(),
+            episode: 77,
+            sched_pos: 77,
+            rng_state: [9, 8, 7, 6],
+            visits,
+            returns: vec![0.25, -3.5],
         }
     }
 
@@ -334,6 +610,10 @@ mod tests {
         let len = bytes.len();
         let c = fnv1a64(&bytes[..len - 8]);
         bytes[len - 8..].copy_from_slice(&c.to_le_bytes());
+    }
+
+    fn version_of(bytes: &[u8]) -> u16 {
+        u16::from_le_bytes([bytes[4], bytes[5]])
     }
 
     #[test]
@@ -348,8 +628,140 @@ mod tests {
     fn checkpoint_roundtrip() {
         let ckpt = sample_ckpt();
         let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(version_of(&bytes), VERSION_V2, "dense checkpoints stay v2");
         let back = decode_checkpoint(&bytes).unwrap();
         assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn sparse_qtable_roundtrips_as_v3() {
+        let q = sample_sparse_q();
+        let bytes = encode_qtable(&q);
+        assert_eq!(version_of(&bytes), VERSION_V3);
+        // 3 entries, not 25 M cells: the payload stays tiny.
+        assert!(
+            bytes.len() < 256,
+            "sparse payload ballooned: {}",
+            bytes.len()
+        );
+        let back = decode_qtable(&bytes).unwrap();
+        assert!(back.is_sparse());
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn sparse_checkpoint_roundtrips_as_v3() {
+        let ckpt = sample_sparse_ckpt();
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(version_of(&bytes), VERSION_V3);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+        // Policy-only readers still get the Q-table out of it.
+        assert_eq!(decode_qtable(&bytes).unwrap(), ckpt.q);
+    }
+
+    #[test]
+    fn dense_q_with_sparse_visits_uses_v3() {
+        let mut visits = VisitTable::sparse(4, 4);
+        visits.bump(1, 2);
+        let ckpt = TrainCheckpoint {
+            visits,
+            ..sample_ckpt()
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(version_of(&bytes), VERSION_V3);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn odd_shaped_visits_survive_roundtrip() {
+        // A dense visit table whose shape differs from the Q-table's
+        // cannot ride v2's bare flat array without losing its shape.
+        let ckpt = TrainCheckpoint {
+            visits: VisitTable::from_raw_dense(1, 3, vec![4, 5, 6]),
+            ..sample_ckpt()
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(version_of(&bytes), VERSION_V3);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn legacy_v2_flat_visits_reconstruct_a_shape() {
+        // Hand-build a v2 payload whose flat visit count matches neither
+        // zero nor the Q dimensions — the pre-shape format allowed it.
+        let q = QTable::square(2);
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION_V2, &q);
+        for &v in q.values() {
+            buf.put_f64_le(v);
+        }
+        buf.put_u8(1);
+        buf.put_u64_le(5); // episode
+        buf.put_u64_le(5); // sched_pos
+        for w in [1u64, 2, 3, 4] {
+            buf.put_u64_le(w);
+        }
+        buf.put_u32_le(3); // three visit counts for a 2×2 table
+        for c in [9u32, 8, 7] {
+            buf.put_u32_le(c);
+        }
+        buf.put_u32_le(0); // no returns
+        let bytes = seal(buf);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back.visits, VisitTable::from_raw_dense(1, 3, vec![9, 8, 7]));
+    }
+
+    #[test]
+    fn non_finite_values_rejected_at_decode() {
+        let mut dense = sample_q();
+        dense.set(1, 1, f64::NAN);
+        let err = decode_qtable(&encode_qtable(&dense)).unwrap_err();
+        assert!(matches!(err, StoreError::NonFiniteValues));
+        assert!(!err.is_retryable(), "poison must not be retried");
+
+        let mut sparse = sample_sparse_q();
+        sparse.set(7, 7, f64::INFINITY);
+        assert!(matches!(
+            decode_qtable(&encode_qtable(&sparse)),
+            Err(StoreError::NonFiniteValues)
+        ));
+
+        let ckpt = TrainCheckpoint {
+            q: dense,
+            ..sample_ckpt()
+        };
+        assert!(matches!(
+            decode_checkpoint(&encode_checkpoint(&ckpt)),
+            Err(StoreError::NonFiniteValues)
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_v3_errors_cleanly() {
+        let bytes = encode_checkpoint(&sample_sparse_ckpt());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_checkpoint(&bytes[..cut]).is_err(),
+                "v3 checkpoint decode accepted a {cut}-byte truncation"
+            );
+            assert!(
+                decode_qtable(&bytes[..cut]).is_err(),
+                "v3 qtable decode accepted a {cut}-byte truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_out_of_range_sparse_entry_rejected() {
+        let mut bytes = encode_qtable(&sample_sparse_q()).to_vec();
+        // First sparse entry's state u32 sits right after the header,
+        // repr flag and entry count. Point it past n_states.
+        let at = HEADER_LEN + 1 + 4;
+        bytes[at..at + 4].copy_from_slice(&10_000u32.to_le_bytes());
+        refresh_checksum(&mut bytes);
+        assert!(matches!(decode_qtable(&bytes), Err(StoreError::BadMagic)));
     }
 
     #[test]
@@ -377,7 +789,7 @@ mod tests {
         q.set(1, 1, -2.0);
         let bytes = encode_qtable(&q);
         assert_eq!(&bytes[..4], b"QPOL");
-        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+        assert_eq!(version_of(&bytes), 1);
         assert_eq!(decode_qtable(&bytes).unwrap(), q);
     }
 
@@ -386,6 +798,17 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("tpp-qpol-{}.bin", std::process::id()));
         let q = sample_q();
+        save_qtable(&path, &q).unwrap();
+        let back = load_qtable(&path).unwrap();
+        assert_eq!(q, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sparse_file_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tpp-qpol-sparse-{}.bin", std::process::id()));
+        let q = sample_sparse_q();
         save_qtable(&path, &q).unwrap();
         let back = load_qtable(&path).unwrap();
         assert_eq!(q, back);
@@ -496,10 +919,12 @@ mod tests {
             episode: 0,
             sched_pos: 0,
             rng_state: [0; 4],
-            visits: vec![],
+            visits: VisitTable::empty(),
             returns: vec![],
         };
-        assert_eq!(decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap(), ckpt);
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(version_of(&bytes), VERSION_V2);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! spot-checking a few.
 
 use std::path::PathBuf;
-use tpp_rl::{QTable, TrainCheckpoint};
+use tpp_rl::{QTable, TrainCheckpoint, VisitTable};
 use tpp_store::{atomic_write, CheckpointSet, FaultFs, FaultKind, RealFs, StoreError};
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -30,7 +30,7 @@ fn ckpt(episode: u64) -> TrainCheckpoint {
         episode,
         sched_pos: episode,
         rng_state: [episode, episode + 1, episode + 2, episode + 3],
-        visits: vec![7; 16],
+        visits: VisitTable::from_raw_dense(4, 4, vec![7; 16]),
         returns: (0..episode).map(|e| e as f64).collect(),
     }
 }

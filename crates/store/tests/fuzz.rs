@@ -9,7 +9,7 @@
 //! proptest dependency is stubbed out.
 
 use proptest::prelude::*;
-use tpp_rl::{QTable, TrainCheckpoint, TrainRng};
+use tpp_rl::{QTable, TrainCheckpoint, TrainRng, VisitTable};
 use tpp_store::{decode_checkpoint, decode_qtable, encode_checkpoint, encode_qtable, StoreError};
 
 fn sample_checkpoint(rng: &mut TrainRng, n: usize) -> TrainCheckpoint {
@@ -30,7 +30,11 @@ fn sample_checkpoint(rng: &mut TrainRng, n: usize) -> TrainCheckpoint {
             rng.next_u64(),
             rng.next_u64(),
         ],
-        visits: (0..n * n).map(|_| rng.index(1000) as u32).collect(),
+        visits: VisitTable::from_raw_dense(
+            n,
+            n,
+            (0..n * n).map(|_| rng.index(1000) as u32).collect(),
+        ),
         returns: (0..episodes).map(|_| rng.next_f64() * 10.0).collect(),
     }
 }

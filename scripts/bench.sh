@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Training-throughput benchmark: times full learn() runs on all four
-# benchmark datasets with the incremental hot-path engine and with the
-# naive pre-incremental engine, then writes the comparison to
-# BENCH_train.json (episodes/sec, speedup, bit-identical-score sanity
-# bit). The two engines produce identical plans and scores — the golden
-# equivalence suite (crates/core/tests/equivalence.rs) pins that — so
-# the speedup column is a pure like-for-like measurement.
+# Training-throughput benchmark: times full learn() runs on the four
+# benchmark datasets plus the city-scale catalogs (city-1k, city-10k),
+# then writes the comparison to BENCH_train.json.
+#
+# Seed-scale rows run twice — incremental hot-path engine vs the naive
+# pre-incremental engine — and report episodes/sec, speedup, and the
+# bit-identical-score sanity bit (the golden equivalence suite,
+# crates/core/tests/equivalence.rs, pins that the two agree). City-scale
+# rows skip the naive engine (quadratic prefix rescans do not finish at
+# 10k items) and instead gate on memory: --max-q-bytes caps the resident
+# Q-table, so a dense n² allocation sneaking into the sparse path fails
+# the run instead of silently eating ~800 MB. 64 MB cleanly separates
+# the sparse table (~hundreds of KB at 10k items) from a dense one.
 #
 # Usage: scripts/bench.sh [--episodes N] [--seed N] [--out FILE]
+#                         [--max-q-bytes N]
 # Defaults: 2000 episodes (sub-millisecond runs are too noisy), seed 0,
-# BENCH_train.json in the repo root. Extra flags pass through.
+# 64 MB Q-table cap, BENCH_train.json in the repo root. Extra flags
+# pass through.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 args=("$@")
 [[ " $* " == *" --episodes "* ]] || args+=(--episodes 2000)
 [[ " $* " == *" --out "* ]] || args+=(--out BENCH_train.json)
+[[ " $* " == *" --max-q-bytes "* ]] || args+=(--max-q-bytes 64000000)
 
 echo "==> cargo build --release -p rl-planner-cli"
 cargo build --release -p rl-planner-cli
